@@ -1,0 +1,852 @@
+(* The benchmark harness: regenerates every experiment in DESIGN.md's
+   index — the paper's worked examples (EX1–EX7) cell by cell, and the
+   performance characterizations (B1–B8) of the design levers the text
+   calls out. EXPERIMENTS.md records the expected shapes.
+
+   Run everything:        dune exec bench/main.exe
+   Run a subset:          dune exec bench/main.exe -- ex1 b3 b5
+   Smaller/faster sweeps: dune exec bench/main.exe -- --quick *)
+
+open Lsdb
+
+let quick = ref false
+
+(* ------------------------------------------------------------------ *)
+(* Small measurement helpers                                           *)
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, (Unix.gettimeofday () -. t0) *. 1e3)
+
+(* Median-of-runs wall-clock, for macro operations. *)
+let measure_ms ?(runs = 5) f =
+  let samples =
+    List.init runs (fun _ ->
+        let _, ms = time_ms f in
+        ms)
+  in
+  let sorted = List.sort compare samples in
+  List.nth sorted (runs / 2)
+
+(* Bechamel micro-benchmarks: returns (name, ns/run) rows. *)
+let bechamel_ns tests =
+  let open Bechamel in
+  let grouped =
+    Test.make_grouped ~name:"µ"
+      (List.map (fun (name, fn) -> Test.make ~name (Staged.stage fn)) tests)
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if !quick then 0.2 else 0.5))
+      ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols instance raw in
+  List.filter_map
+    (fun (name, _) ->
+      let key = "µ/" ^ name in
+      match Hashtbl.find_opt results key with
+      | Some ols -> (
+          match Analyze.OLS.estimates ols with
+          | Some [ ns ] -> Some (name, ns)
+          | _ -> None)
+      | None -> None)
+    tests
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let table headers rows = print_endline (Pretty.grid ~headers rows)
+
+let ns_pretty ns =
+  if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Printf.sprintf "%.2f µs" (ns /. 1e3)
+  else Printf.sprintf "%.0f ns" ns
+
+let rng () = Lsdb_workload.Rng.create 0xC0FFEE
+
+(* ------------------------------------------------------------------ *)
+(* EX1–EX7: the paper's worked examples                                 *)
+
+let ex1 () =
+  section "EX1 — §4.1 navigation tables (JOHN / PC#9-WAM / LEOPOLD→MOZART)";
+  let db = Paper_examples.music () in
+  let e = Database.entity db in
+  print_endline (Navigation.render_source_table db (e "JOHN"));
+  print_endline (Navigation.render_source_table db (e "PC#9-WAM"));
+  print_endline (Navigation.render_associations db ~src:(e "LEOPOLD") ~tgt:(e "MOZART"))
+
+let ex2 () =
+  section "EX2 — §5.1 minimally broader queries of (?z, LOVES, OPERA)";
+  let db = Paper_examples.campus () in
+  let broadness = Broadness.compute db in
+  let query = Query_parser.parse db "(?z, LOVES, OPERA)" in
+  List.iter
+    (fun (br : Retraction.broader) ->
+      Printf.printf "  %-26s  via %s\n"
+        (Query.to_string (Database.symtab db) br.Retraction.query)
+        (Retraction.describe db br.Retraction.step))
+    (Retraction.retraction_set db broadness query)
+
+let ex3 () =
+  section "EX3 — §5.2 automatic retraction menu (the free things all students love)";
+  let db = Paper_examples.campus () in
+  let query = Query_parser.parse db "(STUDENT, LOVE, ?z) & (?z, COSTS, FREE)" in
+  print_string (Probing.render_menu db query (Probing.probe db query))
+
+let ex4 () =
+  section "EX4 — §6.1 relation(EMPLOYEE, WORKS-FOR DEPARTMENT, EARNS SALARY)";
+  let db = Paper_examples.payroll () in
+  let view =
+    Operators.relation db "EMPLOYEE"
+      [ ("WORKS-FOR", "DEPARTMENT"); ("EARNS", "SALARY") ]
+  in
+  print_endline (View.render db view)
+
+let ex5 () =
+  section "EX5 — §3 standard inference examples, verified";
+  let db = Paper_examples.organization () in
+  let e = Database.entity db in
+  let rows =
+    List.map
+      (fun ((s, r, t), label) ->
+        let holds = Database.mem db (Fact.make (e s) (e r) (e t)) in
+        [
+          label;
+          Printf.sprintf "(%s, %s, %s)" s r t;
+          (if holds then "✓" else "✗ MISSING");
+        ])
+      [
+        (("MANAGER", "WORKS-FOR", "DEPARTMENT"), "§3.1 gen-source");
+        (("EMPLOYEE", "EARNS", "COMPENSATION"), "§3.1 gen-target");
+        (("JOHN", "IS-PAID-BY", "SHIPPING"), "§3.1 gen-rel");
+        (("JOHN", "WORKS-FOR", "DEPARTMENT"), "§3.2 mem-source");
+        (("TOM", "WORKS-FOR", "DEPARTMENT"), "§3.2 mem-target");
+        (("JOHNNY", "EARNS", "$25000"), "§3.3 synonym subst");
+        (("WAGE", "syn", "PAY"), "§3.3 syn transitivity");
+        (("CS100", "TAUGHT-BY", "HARRY"), "§3.4 inversion");
+        (("TAUGHT-BY", "inv", "TEACHES"), "§3.4 inverse pairing");
+        (("HATES", "contra", "LOVES"), "§3.5 ⊥ symmetry");
+      ]
+  in
+  table [ "rule"; "inferred fact"; "holds" ] rows
+
+let ex6 () =
+  section "EX6 — §2.7/§3.6 standard queries";
+  let library = Paper_examples.library () in
+  let run db label text =
+    let answer = Eval.eval db (Query_parser.parse db text) in
+    Printf.printf "  %-30s -> {%s}\n" label
+      (String.concat "; "
+         (List.map (String.concat ",") (Eval.rows_named (Database.symtab db) answer)))
+  in
+  run library "self-citing authors"
+    "exists x . (?x, in, BOOK) & (?y, in, PERSON) & (?x, CITES, ?x) & (?x, AUTHOR, ?y)";
+  let org = Paper_examples.organization () in
+  run org "employees earning > 20000"
+    "(?z, in, EMPLOYEE) & exists y . (?z, EARNS, ?y) & (?y, gt, 20000)";
+  let prop =
+    Query_parser.parse org "(JOHN, WORKS-FOR, SHIPPING) & (TOM, WORKS-FOR, SHIPPING)"
+  in
+  Printf.printf "  %-30s -> %b\n" "proposition: both in shipping" (Eval.holds org prop);
+  let query =
+    Query_parser.parse library "(?x, in, QUARTERBACK) & (?x, GRADUATE-OF, USC)"
+  in
+  print_string (Probing.render_menu library query (Probing.probe library query))
+
+let ex7 () =
+  section "EX7 — §5.2 misspelling diagnosis";
+  let db = Paper_examples.campus () in
+  let query, unknowns = Query_parser.parse_with_unknowns db "(JOHM, LOVES, ?x)" in
+  Printf.printf "parser-side unknown names: %s\n" (String.concat ", " unknowns);
+  print_string (Probing.render_menu db query (Probing.probe db query))
+
+(* ------------------------------------------------------------------ *)
+(* B1 — closure materialization sweep                                   *)
+
+let b1 () =
+  section "B1 — closure cost vs. database size (org workload)";
+  let sizes = if !quick then [ 250; 1000; 4000 ] else [ 250; 1000; 4000; 16000 ] in
+  let rows =
+    List.map
+      (fun employees ->
+        let org =
+          Lsdb_workload.Org_gen.generate
+            ~params:{ Lsdb_workload.Org_gen.default_params with employees }
+            (rng ())
+        in
+        let db = Lsdb_workload.Org_gen.to_database org in
+        let closure, ms = time_ms (fun () -> Database.closure db) in
+        [
+          string_of_int employees;
+          string_of_int (Closure.base_cardinal closure);
+          string_of_int (Closure.cardinal closure);
+          string_of_int (Closure.derived_count closure);
+          string_of_int (Closure.rounds closure);
+          Printf.sprintf "%.1f" ms;
+          Printf.sprintf "%.2f"
+            (1e3 *. ms /. float_of_int (max 1 (Closure.cardinal closure)));
+        ])
+      sizes
+  in
+  table
+    [ "employees"; "base facts"; "closure"; "derived"; "rounds"; "ms"; "µs/fact" ]
+    rows
+
+(* B2 — indexed matching vs. linear scan vs. B+tree                      *)
+
+let b2 () =
+  section "B2 — template matching: hash indexes vs. scan vs. B+tree";
+  let sizes = if !quick then [ 1000; 8000 ] else [ 1000; 8000; 32000 ] in
+  let rows =
+    List.map
+      (fun employees ->
+        let org =
+          Lsdb_workload.Org_gen.generate
+            ~params:{ Lsdb_workload.Org_gen.default_params with employees }
+            (rng ())
+        in
+        let db = Lsdb_workload.Org_gen.to_database org in
+        let store = Database.store db in
+        let bptree = Lsdb_storage.Triple_index.of_database db in
+        let e = Database.entity db in
+        let pat = Store.pattern ~s:(e "EMP-0000") () in
+        let consume = ref 0 in
+        let results =
+          bechamel_ns
+            [
+              ( "hash-index",
+                fun () -> Store.match_pattern store pat (fun _ -> incr consume) );
+              ("scan", fun () -> Store.match_scan store pat (fun _ -> incr consume));
+              ( "bptree",
+                fun () ->
+                  Lsdb_storage.Triple_index.match_pattern bptree pat (fun _ ->
+                      incr consume) );
+            ]
+        in
+        let find name = List.assoc name results in
+        [
+          string_of_int (Store.cardinal store);
+          ns_pretty (find "hash-index");
+          ns_pretty (find "bptree");
+          ns_pretty (find "scan");
+          Printf.sprintf "%.0fx" (find "scan" /. find "hash-index");
+        ])
+      sizes
+  in
+  table [ "facts"; "hash index"; "B+tree"; "scan"; "index speedup" ] rows
+
+(* B3 — composition blow-up vs. limit(n)                                 *)
+
+let b3 () =
+  section "B3 — composition facts and query time vs. limit(n) (§3.7/§6.1)";
+  let uni =
+    Lsdb_workload.University_gen.generate
+      ~params:
+        {
+          Lsdb_workload.University_gen.students = (if !quick then 40 else 120);
+          courses = 12;
+          instructors = 6;
+          enrollments_per_student = 3;
+        }
+      (rng ())
+  in
+  let db = Lsdb_workload.University_gen.to_database uni in
+  let e = Database.entity db in
+  let stu = uni.Lsdb_workload.University_gen.student_names.(0) in
+  (* The instructor of one of the student's courses, so the 2-hop path
+     ENROLLED-IN·TAUGHT-BY exists by construction. *)
+  let prof =
+    let answer =
+      Eval.eval db
+        (Query_parser.parse db
+           (Printf.sprintf "exists c . (%s, ENROLLED-IN, ?c) & (?c, TAUGHT-BY, ?p)" stu))
+    in
+    match Eval.column answer with
+    | p :: _ -> Database.entity_name db p
+    | [] -> uni.Lsdb_workload.University_gen.instructor_names.(0)
+  in
+  let limits = if !quick then [ 1; 2; 3 ] else [ 1; 2; 3; 4 ] in
+  let rows =
+    List.map
+      (fun n ->
+        Database.set_limit db n;
+        let count, count_ms =
+          time_ms (fun () -> Composition.count_compositions ~max_paths:2_000_000 db)
+        in
+        let paths, query_ms =
+          time_ms (fun () -> Composition.paths db ~src:(e stu) ~tgt:(e prof))
+        in
+        [
+          string_of_int n;
+          string_of_int count;
+          Printf.sprintf "%.1f" count_ms;
+          string_of_int (List.length paths);
+          Printf.sprintf "%.2f" query_ms;
+        ])
+      limits
+  in
+  Database.set_limit db 1;
+  table
+    [ "limit(n)"; "composition facts"; "enum ms"; "paths stu→prof"; "pair-query ms" ]
+    rows
+
+(* B4 — retraction cost vs. taxonomy shape                               *)
+
+let b4 () =
+  section "B4 — retraction waves vs. taxonomy depth and fanout (§5.2)";
+  let shapes =
+    if !quick then [ (2, 2); (4, 2); (4, 4) ]
+    else [ (2, 2); (4, 2); (6, 2); (4, 4); (3, 6) ]
+  in
+  let rows =
+    List.map
+      (fun (depth, fanout) ->
+        let r = rng () in
+        let taxonomy = Lsdb_workload.Taxonomy.generate ~prefix:"REL" ~depth ~fanout r in
+        let db = Database.create () in
+        Lsdb_workload.Taxonomy.insert db taxonomy;
+        (* Data lives at the root relationship; the probe asks with a
+           leaf relationship, so it must climb [depth] waves. *)
+        ignore
+          (Database.insert_names db "ITEM" taxonomy.Lsdb_workload.Taxonomy.root "GOAL");
+        let leaf = Lsdb_workload.Taxonomy.random_leaf taxonomy r in
+        let query =
+          Query.atom
+            (Template.make
+               (Template.Ent (Database.entity db "ITEM"))
+               (Template.Ent (Database.entity db leaf))
+               (Template.Var "z"))
+        in
+        let outcome, ms =
+          time_ms (fun () -> Probing.probe ~max_waves:(depth + 2) db query)
+        in
+        let wave, attempted =
+          match outcome with
+          | Probing.Retracted { wave; attempted; _ } -> (wave, attempted)
+          | Probing.Answered _ -> (0, 0)
+          | Probing.Exhausted { attempted; waves; _ } -> (-waves, attempted)
+        in
+        [
+          Printf.sprintf "%d/%d" depth fanout;
+          string_of_int (Lsdb_workload.Taxonomy.node_count taxonomy);
+          string_of_int wave;
+          string_of_int attempted;
+          Printf.sprintf "%.2f" ms;
+        ])
+      shapes
+  in
+  table
+    [ "depth/fanout"; "hierarchy size"; "success wave"; "queries tried"; "ms" ]
+    rows
+
+(* B5 — the organization/retrieval trade-off                             *)
+
+let b5 () =
+  section "B5 — organization investment vs. retrieval cost (LSDB vs. relational)";
+  let employees = if !quick then 2000 else 10000 in
+  let org =
+    Lsdb_workload.Org_gen.generate
+      ~params:{ Lsdb_workload.Org_gen.default_params with employees }
+      (rng ())
+  in
+  let (db : Database.t), lsdb_build_ms =
+    time_ms (fun () -> Lsdb_workload.Org_gen.to_database org)
+  in
+  let catalog, rel_build_ms =
+    time_ms (fun () -> Lsdb_workload.Org_gen.to_catalog org)
+  in
+  let _, closure_ms = time_ms (fun () -> Database.closure db) in
+  (* Retrieval: the departments EMP-0042 works for — relational needs the
+     schema; LSDB needs nothing but the entity. *)
+  let emp = Lsdb_relational.Catalog.relation catalog "EMP" in
+  let target = "EMP-0042" in
+  let e = Database.entity db in
+  let consume = ref 0 in
+  let micro =
+    bechamel_ns
+      [
+        ( "lsdb-template",
+          fun () ->
+            Match_layer.candidates ~opts:Match_layer.plain_opts db
+              (Store.pattern ~s:(e target) ~r:(e "WORKS-FOR") ())
+              (fun _ -> incr consume) );
+        ( "lsdb-inferred",
+          fun () ->
+            Match_layer.candidates db
+              (Store.pattern ~s:(e target) ~r:(e "WORKS-FOR") ())
+              (fun _ -> incr consume) );
+        ( "relational-lookup",
+          fun () ->
+            List.iter
+              (fun tuple -> consume := !consume + Array.length tuple)
+              (Lsdb_relational.Relation.lookup emp ~attr:"name" ~value:target) );
+      ]
+  in
+  let find name = List.assoc name micro in
+  table
+    [ "metric"; "LSDB (heap of facts)"; "relational (schema-first)" ]
+    [
+      [
+        "build ms";
+        Printf.sprintf "%.1f" lsdb_build_ms;
+        Printf.sprintf "%.1f" rel_build_ms;
+      ];
+      [ "schema design ops"; "0"; "2 schemas, 6 attributes" ];
+      [ "one-time closure ms"; Printf.sprintf "%.1f" closure_ms; "n/a" ];
+      [
+        "point lookup (stored)";
+        ns_pretty (find "lsdb-template");
+        ns_pretty (find "relational-lookup");
+      ];
+      [
+        "point lookup (w/ inference)";
+        ns_pretty (find "lsdb-inferred");
+        "not expressible";
+      ];
+    ]
+
+(* B6 — storage strategies                                               *)
+
+let b6 () =
+  section "B6 — persistence: log append/replay vs. snapshot (§6.2)";
+  let employees = if !quick then 1200 else 5000 in
+  let org =
+    Lsdb_workload.Org_gen.generate
+      ~params:{ Lsdb_workload.Org_gen.default_params with employees }
+      (rng ())
+  in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "lsdb-bench-b6" in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+  else Sys.mkdir dir 0o755;
+  let p = Lsdb_storage.Persistent.open_dir dir in
+  let _, append_ms =
+    time_ms (fun () ->
+        List.iter
+          (fun (s, r, t) -> ignore (Lsdb_storage.Persistent.insert_names p s r t))
+          org.Lsdb_workload.Org_gen.facts;
+        Lsdb_storage.Persistent.sync p)
+  in
+  let n_facts = Database.base_cardinal (Lsdb_storage.Persistent.database p) in
+  Lsdb_storage.Persistent.close p;
+  let log_bytes = (Unix.stat (Filename.concat dir "log.lsdb")).Unix.st_size in
+  let replay_ms =
+    measure_ms ~runs:3 (fun () ->
+        let p = Lsdb_storage.Persistent.open_dir dir in
+        Lsdb_storage.Persistent.close p)
+  in
+  let p = Lsdb_storage.Persistent.open_dir dir in
+  let _, compact_ms = time_ms (fun () -> Lsdb_storage.Persistent.compact p) in
+  Lsdb_storage.Persistent.close p;
+  let snap_bytes = (Unix.stat (Filename.concat dir "snapshot.lsdb")).Unix.st_size in
+  let snapshot_open_ms =
+    measure_ms ~runs:3 (fun () ->
+        let p = Lsdb_storage.Persistent.open_dir dir in
+        Lsdb_storage.Persistent.close p)
+  in
+  table
+    [ "metric"; "value" ]
+    [
+      [ "facts persisted"; string_of_int n_facts ];
+      [ "log append+sync ms"; Printf.sprintf "%.1f" append_ms ];
+      [ "log size"; Printf.sprintf "%d KiB" (log_bytes / 1024) ];
+      [ "open via log replay ms"; Printf.sprintf "%.1f" replay_ms ];
+      [ "compaction ms"; Printf.sprintf "%.1f" compact_ms ];
+      [ "snapshot size"; Printf.sprintf "%d KiB" (snap_bytes / 1024) ];
+      [ "open via snapshot ms"; Printf.sprintf "%.1f" snapshot_open_ms ];
+    ]
+
+(* B7 — restructuring cost                                               *)
+
+let b7 () =
+  section "B7 — schema evolution: relational rewrites vs. heap insertions (§1)";
+  let employees = if !quick then 2000 else 10000 in
+  let org =
+    Lsdb_workload.Org_gen.generate
+      ~params:{ Lsdb_workload.Org_gen.default_params with employees }
+      (rng ())
+  in
+  let catalog = Lsdb_workload.Org_gen.to_catalog org in
+  let db = Lsdb_workload.Org_gen.to_database org in
+  let rewritten, add_ms =
+    time_ms (fun () ->
+        Lsdb_relational.Catalog.add_attribute catalog ~relation:"EMP" ~attr:"badge"
+          ~default:"UNISSUED")
+  in
+  let _, lsdb_add_ms =
+    time_ms (fun () -> ignore (Database.insert_names db "EMPLOYEE" "HAS-A" "BADGE"))
+  in
+  let split_writes, split_ms =
+    time_ms (fun () ->
+        Lsdb_relational.Catalog.split_relation catalog ~relation:"EMP" ~key:"name"
+          ~attrs:[ "salary" ] ~into:("EMP_PAY", "EMP_ORG"))
+  in
+  table
+    [
+      "evolution"; "relational tuples rewritten"; "relational ms"; "LSDB facts";
+      "LSDB ms";
+    ]
+    [
+      [
+        "add attribute";
+        string_of_int rewritten;
+        Printf.sprintf "%.1f" add_ms;
+        "1 (class-level fact)";
+        Printf.sprintf "%.3f" lsdb_add_ms;
+      ];
+      [
+        "vertical split";
+        string_of_int split_writes;
+        Printf.sprintf "%.1f" split_ms;
+        "0 (no schema to split)";
+        "0";
+      ];
+    ]
+
+(* B8 — integrity checking cost                                          *)
+
+let b8 () =
+  section "B8 — integrity checking vs. database size (§2.5/§3.5)";
+  let sizes = if !quick then [ 500; 2000 ] else [ 500; 2000; 8000 ] in
+  let rows =
+    List.map
+      (fun employees ->
+        let org =
+          Lsdb_workload.Org_gen.generate
+            ~params:{ Lsdb_workload.Org_gen.default_params with employees }
+            (rng ())
+        in
+        let db = Lsdb_workload.Org_gen.to_database org in
+        ignore (Database.insert_names db "LOVES" "contra" "HATES");
+        let e name = Template.Ent (Database.entity db name) in
+        Database.add_rule db
+          (Rule.make ~name:"salaries-positive"
+             ~body:[ Template.make (Template.Var "x") (e "EARNS") (Template.Var "s") ]
+             ~heads:
+               [ Template.make (Template.Var "s") (Template.Ent Entity.ge) (e "$0") ]
+             ());
+        (* Inject a handful of genuine contradictions so the check has
+           something to find. *)
+        for i = 0 to 4 do
+          ignore
+            (Database.insert_names db (Printf.sprintf "P%d" i) "LOVES" "OPERA");
+          ignore (Database.insert_names db (Printf.sprintf "P%d" i) "HATES" "OPERA")
+        done;
+        ignore (Database.insert_names db "-1" "EARNS" "$-5");
+        ignore (Database.closure db);
+        let violations, ms = time_ms (fun () -> Integrity.violations db) in
+        [
+          string_of_int (Database.base_cardinal db);
+          string_of_int (Closure.cardinal (Database.closure db));
+          string_of_int (List.length violations);
+          Printf.sprintf "%.1f" ms;
+        ])
+      sizes
+  in
+  table [ "base facts"; "closure"; "violations"; "check ms" ] rows
+
+(* B9 — incremental closure maintenance (ablation)                       *)
+
+let b9 () =
+  section "B9 — closure maintenance: incremental extension vs. recompute";
+  let employees = if !quick then 500 else 2000 in
+  let inserts = if !quick then 50 else 200 in
+  let org =
+    Lsdb_workload.Org_gen.generate
+      ~params:{ Lsdb_workload.Org_gen.default_params with employees }
+      (rng ())
+  in
+  let make () =
+    let db = Lsdb_workload.Org_gen.to_database org in
+    ignore (Database.closure db);
+    db
+  in
+  let fresh_facts db =
+    List.init inserts (fun i ->
+        Fact.of_names (Database.symtab db)
+          (Printf.sprintf "NEW-%04d" i)
+          "in" "EMPLOYEE")
+  in
+  (* Incremental: each insert is folded into the cached closure. *)
+  let db = make () in
+  let _, incr_ms =
+    time_ms (fun () ->
+        List.iter
+          (fun fact ->
+            ignore (Database.insert db fact);
+            ignore (Database.closure db))
+          (fresh_facts db))
+  in
+  let extensions = Database.closure_extensions db in
+  (* Ablation: force a full recomputation after every insert. *)
+  let db2 = make () in
+  let _, full_ms =
+    time_ms (fun () ->
+        List.iter
+          (fun fact ->
+            ignore (Database.insert db2 fact);
+            Database.invalidate db2;
+            ignore (Database.closure db2))
+          (fresh_facts db2))
+  in
+  table
+    [ "strategy"; "inserts"; "total ms"; "ms/insert"; "speedup" ]
+    [
+      [
+        Printf.sprintf "incremental (%d extensions)" extensions;
+        string_of_int inserts;
+        Printf.sprintf "%.1f" incr_ms;
+        Printf.sprintf "%.3f" (incr_ms /. float_of_int inserts);
+        Printf.sprintf "%.0fx" (full_ms /. incr_ms);
+      ];
+      [
+        "recompute each time";
+        string_of_int inserts;
+        Printf.sprintf "%.1f" full_ms;
+        Printf.sprintf "%.3f" (full_ms /. float_of_int inserts);
+        "1x";
+      ];
+    ]
+
+(* B10 — dynamic conjunct reordering (ablation)                           *)
+
+let b10 () =
+  section "B10 — query evaluation: dynamic conjunct reordering vs. written order";
+  let employees = if !quick then 500 else 2000 in
+  let org =
+    Lsdb_workload.Org_gen.generate
+      ~params:{ Lsdb_workload.Org_gen.default_params with employees }
+      (rng ())
+  in
+  let db = Lsdb_workload.Org_gen.to_database org in
+  ignore (Database.closure db);
+  (* Written in the worst order: the first conjunct is satisfied by the
+     entire active domain (everything is ⊑ Δ), so written-order
+     evaluation enumerates every entity before filtering. *)
+  let bad_order =
+    Query_parser.parse db "(?z, isa, top) & (?z, in, MANAGER) & (?z, EARNS, ?y)"
+  in
+  let reordered_ms = measure_ms ~runs:5 (fun () -> ignore (Eval.eval db bad_order)) in
+  let written_ms =
+    measure_ms ~runs:3 (fun () -> ignore (Eval.eval ~reorder:false db bad_order))
+  in
+  let check_same =
+    let a = (Eval.eval db bad_order).Eval.rows in
+    let b = (Eval.eval ~reorder:false db bad_order).Eval.rows in
+    List.sort compare (List.map Array.to_list a)
+    = List.sort compare (List.map Array.to_list b)
+  in
+  table
+    [ "strategy"; "ms/query"; "same answers" ]
+    [
+      [ "most-bound-first (default)"; Printf.sprintf "%.2f" reordered_ms; "—" ];
+      [
+        "written order (comparator first)";
+        Printf.sprintf "%.2f" written_ms;
+        (if check_same then "✓" else "✗");
+      ];
+    ]
+
+(* B11 — cold point queries: top-down proving vs. materialization        *)
+
+let b11 () =
+  section "B11 — cold point query: backward chaining vs. full materialization";
+  (* Small sizes on purpose: the honest finding is that top-down proving
+     explodes on hub-heavy heaps (the EMPLOYEE class touches most facts,
+     so subgoals fan out to the whole database) — see EXPERIMENTS.md. *)
+  let sizes = if !quick then [ 100 ] else [ 100; 250; 500 ] in
+  let rows =
+    List.map
+      (fun employees ->
+        let org =
+          Lsdb_workload.Org_gen.generate
+            ~params:{ Lsdb_workload.Org_gen.default_params with employees }
+            (rng ())
+        in
+        let make () = Lsdb_workload.Org_gen.to_database org in
+        (* The inferred fact "EMP-0042 earns compensation" (3 rule
+           applications deep). *)
+        let goal db =
+          Fact.make
+            (Database.entity db "EMP-0042")
+            (Database.entity db "EARNS")
+            (Database.entity db "COMPENSATION")
+        in
+        (* Cold materialization: compute the whole closure, then ask. *)
+        let db1 = make () in
+        let _, full_ms = time_ms (fun () -> Database.mem db1 (goal db1)) in
+        (* Cold proving: no closure at all (capped goal budget). *)
+        let db2 = make () in
+        let outcome, prove_ms =
+          time_ms (fun () ->
+              try
+                let proved, expansions =
+                  Prover.prove_counted ~max_expansions:500_000 db2 (goal db2)
+                in
+                assert proved;
+                Printf.sprintf "%d goals" expansions
+              with Prover.Gave_up n -> Printf.sprintf "gave up at %d goals" n)
+        in
+        (* Warm materialization amortizes. *)
+        let warm_ms = measure_ms ~runs:5 (fun () -> ignore (Database.mem db1 (goal db1))) in
+        [
+          string_of_int (Database.base_cardinal db1);
+          Printf.sprintf "%.1f" full_ms;
+          Printf.sprintf "%.1f (%s)" prove_ms outcome;
+          Printf.sprintf "%.4f" warm_ms;
+        ])
+      sizes
+  in
+  table
+    [ "base facts"; "cold closure+mem ms"; "cold prove ms"; "warm mem ms" ]
+    rows
+
+(* B12 — interactive browsing latency at scale                            *)
+
+let b12 () =
+  section "B12 — browsing stays interactive on an unorganized heap (§4)";
+  let sizes = if !quick then [ 1000; 4000 ] else [ 1000; 4000; 16000 ] in
+  let rows =
+    List.map
+      (fun books ->
+        let r = rng () in
+        let lib =
+          Lsdb_workload.Citation_gen.generate
+            ~params:{ Lsdb_workload.Citation_gen.default_params with books }
+            r
+        in
+        let db = Lsdb_workload.Citation_gen.to_database lib in
+        Database.set_limit db 2;
+        ignore (Database.closure db);
+        let walk = Lsdb_workload.Citation_gen.browsing_walk lib r ~hops:50 in
+        let entities = List.map (Database.entity db) walk in
+        (* Per-step navigation: one neighborhood per hop. *)
+        let _, walk_ms =
+          time_ms (fun () ->
+              List.iter (fun e -> ignore (Navigation.neighborhood db e)) entities)
+        in
+        let per_hop = walk_ms /. float_of_int (List.length entities) in
+        (* try(e) on a hub (rank-0 book: the most cited). *)
+        let hub = Database.entity db lib.Lsdb_workload.Citation_gen.book_names.(0) in
+        let try_ms = measure_ms ~runs:5 (fun () -> ignore (Navigation.try_entity db hub)) in
+        (* Associations between two random books, with composition. *)
+        let pick () =
+          Database.entity db
+            (Lsdb_workload.Rng.choose_array r lib.Lsdb_workload.Citation_gen.book_names)
+        in
+        let a = pick () and b = pick () in
+        let assoc_ms =
+          measure_ms ~runs:5 (fun () -> ignore (Navigation.associations db ~src:a ~tgt:b))
+        in
+        [
+          string_of_int (Database.base_cardinal db);
+          string_of_int (Closure.cardinal (Database.closure db));
+          Printf.sprintf "%.3f" per_hop;
+          Printf.sprintf "%.2f" try_ms;
+          Printf.sprintf "%.2f" assoc_ms;
+        ])
+      sizes
+  in
+  table
+    [ "base facts"; "closure"; "ms/neighborhood hop"; "try(hub) ms"; "assoc (limit 2) ms" ]
+    rows
+
+(* Bechamel micro-op reference table                                     *)
+
+let micro () =
+  section "MICRO — core operation costs (Bechamel, ns/op)";
+  let db = Paper_examples.organization () in
+  ignore (Database.closure db);
+  let e = Database.entity db in
+  let store = Database.store db in
+  let consume = ref 0 in
+  let query =
+    Query_parser.parse db
+      "(?z, in, EMPLOYEE) & exists y . (?z, EARNS, ?y) & (?y, gt, 20000)"
+  in
+  let campus = Paper_examples.campus () in
+  let campus_broadness = Broadness.compute campus in
+  let campus_query =
+    Query_parser.parse campus "(STUDENT, LOVE, ?z) & (?z, COSTS, FREE)"
+  in
+  let results =
+    bechamel_ns
+      [
+        ( "store.add+remove",
+          fun () ->
+            let f = Fact.make 9999 9998 9997 in
+            ignore (Store.add store f);
+            ignore (Store.remove store f) );
+        ( "store.match (s,r,?)",
+          fun () ->
+            Store.match_pattern store
+              (Store.pattern ~s:(e "JOHN") ~r:(e "EARNS") ())
+              (fun _ -> incr consume) );
+        ( "closure.mem (inferred)",
+          fun () ->
+            consume :=
+              !consume
+              +
+              if Database.mem db (Fact.make (e "JOHN") (e "EARNS") (e "SALARY")) then 1
+              else 0 );
+        ( "eval (2-atom + comparator)",
+          fun () -> consume := !consume + List.length (Eval.eval db query).Eval.rows );
+        ( "neighborhood (JOHN)",
+          fun () ->
+            consume :=
+              !consume
+              + List.length (Navigation.neighborhood db (e "JOHN")).Navigation.as_source
+        );
+        ( "retraction_set (§5.2 query)",
+          fun () ->
+            consume :=
+              !consume
+              + List.length
+                  (Retraction.retraction_set campus campus_broadness campus_query) );
+      ]
+  in
+  table [ "operation"; "cost" ] (List.map (fun (n, ns) -> [ n; ns_pretty ns ]) results)
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("ex1", ex1); ("ex2", ex2); ("ex3", ex3); ("ex4", ex4); ("ex5", ex5);
+    ("ex6", ex6); ("ex7", ex7);
+    ("b1", b1); ("b2", b2); ("b3", b3); ("b4", b4); ("b5", b5); ("b6", b6);
+    ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10); ("b11", b11); ("b12", b12);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      args
+  in
+  let selected =
+    match args with
+    | [] -> experiments
+    | names ->
+        List.filter_map
+          (fun name ->
+            match List.assoc_opt (String.lowercase_ascii name) experiments with
+            | Some fn -> Some (name, fn)
+            | None ->
+                Printf.eprintf "unknown experiment %S (known: %s)\n" name
+                  (String.concat ", " (List.map fst experiments));
+                None)
+          names
+  in
+  Printf.printf "lsdb experiment harness%s\n" (if !quick then " (quick mode)" else "");
+  List.iter (fun (_, fn) -> fn ()) selected

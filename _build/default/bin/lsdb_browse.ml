@@ -1,0 +1,93 @@
+(* lsdb-browse: an interactive browser for loosely structured databases.
+
+   All command logic lives in the Lsdb_shell library (so it is testable);
+   this binary handles argument parsing, database selection and the REPL
+   loop.
+
+     dune exec bin/lsdb_browse.exe -- --demo music
+     dune exec bin/lsdb_browse.exe -- facts.lsdb
+     dune exec bin/lsdb_browse.exe -- --dir /path/to/durable-db *)
+
+open Lsdb
+
+let repl shell =
+  print_endline "lsdb browser — type 'help' for commands, 'quit' to exit";
+  print_string (Lsdb_shell.Shell.execute shell "stats");
+  let rec loop () =
+    print_string "lsdb> ";
+    match read_line () with
+    | exception End_of_file -> ()
+    | "quit" | "exit" -> ()
+    | line ->
+        print_string (Lsdb_shell.Shell.execute shell line);
+        loop ()
+  in
+  loop ()
+
+let drive db command =
+  let shell = Lsdb_shell.Shell.create db in
+  match command with
+  | Some cmd -> print_string (Lsdb_shell.Shell.execute shell cmd)
+  | None -> repl shell
+
+open Cmdliner
+
+let file =
+  let doc = "Fact file (text format, see Lsdb.Fact_file) to load." in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let demo =
+  let doc =
+    Printf.sprintf "Start from a built-in example database: %s."
+      (String.concat ", " (List.map fst Lsdb_shell.Shell.demos))
+  in
+  Arg.(value & opt (some string) None & info [ "demo" ] ~docv:"NAME" ~doc)
+
+let persistent_dir =
+  let doc = "Open a durable database directory (snapshot + operation log)." in
+  Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
+
+let command_line =
+  let doc = "Execute one command instead of starting the REPL." in
+  Arg.(value & opt (some string) None & info [ "c"; "command" ] ~docv:"CMD" ~doc)
+
+let main file demo dir command =
+  match (demo, dir) with
+  | Some name, _ -> (
+      match List.assoc_opt name Lsdb_shell.Shell.demos with
+      | Some build ->
+          drive (build ()) command;
+          0
+      | None ->
+          Printf.eprintf "unknown demo %S (known: %s)\n" name
+            (String.concat ", " (List.map fst Lsdb_shell.Shell.demos));
+          1)
+  | None, Some dir ->
+      let p = Lsdb_storage.Persistent.open_dir dir in
+      drive (Lsdb_storage.Persistent.database p) command;
+      Lsdb_storage.Persistent.close p;
+      0
+  | None, None -> (
+      let db = Database.create () in
+      match
+        match file with
+        | Some path -> ( try Ok (Fact_file.load_file db path) with e -> Error e)
+        | None -> Ok 0
+      with
+      | Ok n ->
+          if n > 0 then Printf.printf "loaded %d facts from %s\n" n (Option.get file);
+          drive db command;
+          0
+      | Error (Fact_file.Syntax_error { line; message }) ->
+          Printf.eprintf "%s:%d: %s\n" (Option.get file) line message;
+          1
+      | Error e ->
+          Printf.eprintf "%s\n" (Printexc.to_string e);
+          1)
+
+let cmd =
+  let doc = "browse a loosely structured database (Motro, SIGMOD 1984)" in
+  let info = Cmd.info "lsdb-browse" ~version:"1.0.0" ~doc in
+  Cmd.v info Term.(const main $ file $ demo $ persistent_dir $ command_line)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/campus_probing.ml: Broadness Database Eval Fact Integrity List Lsdb Paper_examples Printf Probing Query Query_parser Retraction String

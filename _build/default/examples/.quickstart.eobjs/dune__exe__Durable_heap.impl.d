@@ -1,0 +1,1 @@
+examples/durable_heap.ml: Array Bptree Database Entity Fact Filename Format Heap_file List Lsdb Lsdb_storage Option Pager Paper_examples Persistent Printf Store Sys Triple_index Unix

@@ -1,0 +1,1 @@
+examples/evolving_world.ml: Closure Database Definitions Entity Eval Fact Integrity List Lsdb Navigation Printf Query_parser Rule String Template

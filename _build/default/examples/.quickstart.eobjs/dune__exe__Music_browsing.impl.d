@@ -1,0 +1,1 @@
+examples/music_browsing.ml: Database Eval Explain Fact List Lsdb Navigation Operators Paper_examples Printf Query_parser String

@@ -1,0 +1,1 @@
+examples/org_federation.ml: Database Eval Fact Federation List Lsdb Lsdb_relational Navigation Operators Printf Query_parser String View

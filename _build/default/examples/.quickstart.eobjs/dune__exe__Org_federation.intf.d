@@ -1,0 +1,1 @@
+examples/org_federation.mli:

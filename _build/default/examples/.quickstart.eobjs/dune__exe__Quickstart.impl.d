@@ -1,0 +1,1 @@
+examples/quickstart.ml: Database Eval Explain Fact List Lsdb Navigation Printf Probing Query_parser String

@@ -1,0 +1,90 @@
+(* The paper's motivating scenario (§1): an environment under constant
+   evolution. A structured database would need restructuring; the heap of
+   facts just absorbs new kinds of information, fact by fact, while the
+   closure is maintained incrementally and browsing keeps working.
+
+   Run with: dune exec examples/evolving_world.exe *)
+
+open Lsdb
+
+let () =
+  let db = Database.create () in
+  let insert s r t = ignore (Database.insert_names db s r t) in
+
+  (* Day 1: a tiny company. Nobody designed anything. *)
+  insert "ACME" "in" "COMPANY";
+  insert "ADA" "in" "EMPLOYEE";
+  insert "ADA" "WORKS-FOR" "ACME";
+  insert "EMPLOYEE" "isa" "PERSON";
+  ignore (Database.closure db);
+  Printf.printf "day 1: %d base facts, closure %d\n" (Database.base_cardinal db)
+    (Closure.cardinal (Database.closure db));
+
+  (* Day 30: the world grows new *kinds* of facts — customers, products,
+     a pet policy. No restructuring happens because there is no
+     structure; the cached closure is extended, not recomputed. *)
+  insert "WIDGET" "in" "PRODUCT";
+  insert "ACME" "SELLS" "WIDGET";
+  insert "BOB" "in" "CUSTOMER";
+  insert "CUSTOMER" "isa" "PERSON";
+  insert "BOB" "BOUGHT" "WIDGET";
+  insert "ADA" "BRINGS-TO-WORK" "REX";
+  insert "REX" "in" "DOG";
+  ignore (Database.closure db);
+  Printf.printf "day 30: %d base facts, closure %d — %d full computation(s), %d incremental extension(s)\n"
+    (Database.base_cardinal db)
+    (Closure.cardinal (Database.closure db))
+    (Database.closure_computations db)
+    (Database.closure_extensions db);
+
+  (* Day 60: our *perception* evolves (the paper's other case): we learn
+     that buying makes you a client, and that client ≈ customer. Rules
+     and synonyms are facts/rules like everything else. *)
+  insert "CLIENT" "syn" "CUSTOMER";
+  Database.add_rule db
+    (Rule.make ~name:"buyers-are-clients"
+       ~body:
+         [ Template.make (Template.Var "x")
+             (Template.Ent (Database.entity db "BOUGHT"))
+             (Template.Var "y") ]
+       ~heads:
+         [ Template.make (Template.Var "x")
+             (Template.Ent Entity.member)
+             (Template.Ent (Database.entity db "CLIENT")) ]
+       ());
+  Printf.printf "\nday 60: BOB is now a CUSTOMER too: %b\n"
+    (Database.mem db
+       (Fact.make (Database.entity db "BOB") Entity.member (Database.entity db "CUSTOMER")));
+
+  (* Browsing keeps working with zero knowledge of what changed. *)
+  print_endline "\n== browse BOB ==";
+  print_endline (Navigation.render_source_table db (Database.entity db "BOB"));
+
+  (* Two-dimensional navigation tables (§4.1's second form). *)
+  print_endline "== who bought what: (?who, BOUGHT, ?what) ==";
+  print_endline
+    (Navigation.render_template db (Query_parser.parse_template db "(?who, BOUGHT, ?what)"));
+
+  (* User-defined operators (§6's definition facility) adapt as fast as
+     the data does. *)
+  let defs = Definitions.create () in
+  Definitions.define_text db defs
+    "profile(?e) := (?e, in, ?class) | (?e, BOUGHT, ?class)";
+  ignore defs;
+  Definitions.define_text db defs "people() := (?p, in, PERSON)";
+  print_endline "== call people() ==";
+  let answer = Definitions.invoke db defs "people" [] in
+  List.iter
+    (fun row -> print_endline ("  " ^ String.concat ", " row))
+    (Eval.rows_named (Database.symtab db) answer);
+
+  (* And when the world contradicts itself, integrity notices. *)
+  insert "PROFITABLE-IN" "contra" "BANKRUPT-IN";
+  insert "ACME" "PROFITABLE-IN" "FY-2025";
+  Printf.printf "\nvalid today: %b\n" (Integrity.is_valid db);
+  (match
+     Integrity.insert_checked db
+       (Fact.of_names (Database.symtab db) "ACME" "BANKRUPT-IN" "FY-2025")
+   with
+  | Error _ -> print_endline "a contradictory rating was rejected"
+  | Ok _ -> print_endline "unexpected")

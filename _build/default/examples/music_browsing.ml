@@ -1,0 +1,61 @@
+(* The §4.1 navigation walkthrough: John → PC#9-WAM → Leopold/Mozart,
+   exactly the browsing session the paper prints, including the composed
+   relationship paths found by (LEOPOLD, *, MOZART).
+
+   Run with: dune exec examples/music_browsing.exe *)
+
+open Lsdb
+
+let () =
+  let db = Paper_examples.music () in
+  let e = Database.entity db in
+  let session = Navigation.start db in
+
+  (* A browser who knows nothing starts with try(e) (§6.1). *)
+  print_endline "== try(MOZART): find a starting point ==";
+  print_endline (Operators.try_render db "MOZART");
+
+  (* First stop: the all-star template of JOHN. *)
+  print_endline "\n== step 1: (JOHN, *, *) ==";
+  ignore (Navigation.visit session (e "JOHN"));
+  print_endline (Navigation.render_source_table db (e "JOHN"));
+
+  (* The user spots PC#9-WAM and looks at its neighborhood. *)
+  print_endline "== step 2: (PC#9-WAM, *, *) ==";
+  ignore (Navigation.visit session (e "PC#9-WAM"));
+  print_endline (Navigation.render_source_table db (e "PC#9-WAM"));
+
+  (* Finally: every association between Leopold and Mozart — composition
+     (§3.7) surfaces the FAVORITE-MUSIC·COMPOSED-BY path alongside the
+     direct FATHER-OF fact. The composition limit is 3 (§6.1 limit(n)). *)
+  print_endline "== step 3: (LEOPOLD, *, MOZART) ==";
+  print_endline (Navigation.render_associations db ~src:(e "LEOPOLD") ~tgt:(e "MOZART"));
+
+  Printf.printf "\nbrowsing trail: %s\n"
+    (String.concat " → "
+       (List.rev_map (Database.entity_name db) (Navigation.history session)));
+
+  (* Navigation interleaves with standard queries (§4.1): use a query
+     answer as the next starting point. *)
+  print_endline "\n== interleaved query: performers of John's favorites ==";
+  let query =
+    Query_parser.parse db
+      "exists m . (JOHN, FAVORITE-MUSIC, ?m) & (?m, PERFORMED-BY, ?p)"
+  in
+  let answer = Eval.eval db query in
+  List.iter
+    (fun row -> print_endline ("  " ^ String.concat ", " row))
+    (Eval.rows_named (Database.symtab db) answer);
+
+  (* Composition limits matter: at limit(1) the path disappears. *)
+  print_endline "\n== limit(1): composition disabled ==";
+  Operators.limit db 1;
+  let rels = Navigation.associations db ~src:(e "LEOPOLD") ~tgt:(e "MOZART") in
+  List.iter (fun r -> print_endline ("  " ^ Database.entity_name db r)) rels;
+  Operators.limit db 3;
+
+  (* Why does (PC#9-WAM, FAVORITE-OF, JOHN) hold? It was never stored. *)
+  print_endline "\n== explain the inverse-derived fact ==";
+  print_string
+    (Explain.render db
+       (Explain.explain db (Fact.make (e "PC#9-WAM") (e "FAVORITE-OF") (e "JOHN"))))

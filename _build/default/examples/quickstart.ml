@@ -1,0 +1,63 @@
+(* Quickstart: a loosely structured database in a dozen lines.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Lsdb
+
+let () =
+  (* A database is just a heap of facts — no schema, no tables. *)
+  let db = Database.create () in
+  List.iter
+    (fun (s, r, t) -> ignore (Database.insert_names db s r t))
+    [
+      (* data facts and "schema" facts go into the same heap (§2.6) *)
+      ("JOHN", "in", "EMPLOYEE");
+      ("EMPLOYEE", "isa", "PERSON");
+      ("EMPLOYEE", "EARNS", "SALARY");
+      ("JOHN", "EARNS", "$25000");
+      ("JOHN", "WORKS-FOR", "SHIPPING");
+      ("SHIPPING", "in", "DEPARTMENT");
+      ("WORKS-FOR", "isa", "IS-PAID-BY");
+    ];
+
+  (* Inference (§3) is on by default: membership, generalization,
+     synonyms, inversion. Ask about facts that were never stored. *)
+  let e = Database.entity db in
+  let show (s, r, t) =
+    Printf.printf "%-45s %b\n"
+      (Printf.sprintf "(%s, %s, %s) ?" s r t)
+      (Database.mem db (Fact.make (e s) (e r) (e t)))
+  in
+  print_endline "== inferred facts ==";
+  List.iter show
+    [
+      ("JOHN", "EARNS", "SALARY");       (* membership: John is an employee *)
+      ("JOHN", "in", "PERSON");          (* membership up the hierarchy *)
+      ("JOHN", "IS-PAID-BY", "SHIPPING") (* relationship generalization *);
+    ];
+
+  (* The standard query language (§2.7): predicate logic over templates. *)
+  print_endline "\n== query: who earns more than $20000? ==";
+  let query =
+    Query_parser.parse db
+      "(?who, in, EMPLOYEE) & exists s . (?who, EARNS, ?s) & (?s, gt, 20000)"
+  in
+  let answer = Eval.eval db query in
+  List.iter (fun row -> print_endline (String.concat ", " row))
+    (Eval.rows_named (Database.symtab db) answer);
+
+  (* Browsing by navigation (§4.1): look around an entity. *)
+  print_endline "\n== navigate: the neighborhood of JOHN ==";
+  print_endline (Navigation.render_source_table db (e "JOHN"));
+
+  (* Browsing by probing (§5): failures retract automatically. *)
+  print_endline "== probe: employees earning over $90000 (fails, retracts) ==";
+  let probe_query =
+    Query_parser.parse db "(?who, FULL-TIME, SHIPPING)"
+  in
+  print_endline (Probing.render_menu db probe_query (Probing.probe db probe_query));
+
+  (* Explanations: why is an inferred fact in the database? *)
+  print_endline "== explain (JOHN, IS-PAID-BY, SHIPPING) ==";
+  print_string
+    (Explain.render db (Explain.explain db (Fact.make (e "JOHN") (e "IS-PAID-BY") (e "SHIPPING"))))

@@ -1,0 +1,1 @@
+lib/core/broadness.ml: Closure Database Entity Hashtbl Int List Option Store

@@ -1,0 +1,1 @@
+lib/core/broadness.mli: Database Entity

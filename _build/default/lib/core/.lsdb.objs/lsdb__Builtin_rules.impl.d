@@ -1,0 +1,1 @@
+lib/core/builtin_rules.ml: Entity List Rule String Template

@@ -1,0 +1,1 @@
+lib/core/builtin_rules.mli: Rule

@@ -1,0 +1,1 @@
+lib/core/closure.ml: Hashtbl Int List Lsdb_datalog Option Store

@@ -1,0 +1,1 @@
+lib/core/closure.mli: Entity Fact Lsdb_datalog Seq Store

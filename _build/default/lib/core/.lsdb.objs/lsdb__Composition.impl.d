@@ -1,0 +1,1 @@
+lib/core/composition.ml: Closure Database Entity Fact Hashtbl List Seq Store String Symtab

@@ -1,0 +1,1 @@
+lib/core/composition.mli: Database Entity Fact Store Symtab

@@ -1,0 +1,1 @@
+lib/core/database.ml: Builtin_rules Closure Entity Fact List Relclass Rule Store String Symtab

@@ -1,0 +1,1 @@
+lib/core/database.mli: Closure Entity Fact Relclass Rule Store Symtab

@@ -1,0 +1,1 @@
+lib/core/definitions.ml: Database Eval Hashtbl List Option Printf Query Query_parser String Template

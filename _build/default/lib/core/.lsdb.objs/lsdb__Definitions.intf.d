@@ -1,0 +1,1 @@
+lib/core/definitions.mli: Database Entity Eval Match_layer Query Symtab

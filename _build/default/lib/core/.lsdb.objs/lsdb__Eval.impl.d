@@ -1,0 +1,1 @@
+lib/core/eval.ml: Array Entity Fact Hashtbl List Match_layer Option Printf Query Seq Store Symtab Template

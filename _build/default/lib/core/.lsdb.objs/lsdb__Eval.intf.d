@@ -1,0 +1,1 @@
+lib/core/eval.mli: Database Entity Match_layer Query Symtab

@@ -1,0 +1,1 @@
+lib/core/explain.ml: Buffer Closure Composition Database Fact List Match_layer Printf String Virtual_facts

@@ -1,0 +1,1 @@
+lib/core/fact.ml: Entity Format Lsdb_datalog Symtab

@@ -1,0 +1,1 @@
+lib/core/fact.mli: Entity Format Hashtbl Lsdb_datalog Set Symtab

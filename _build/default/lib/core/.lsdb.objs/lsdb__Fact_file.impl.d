@@ -1,0 +1,1 @@
+lib/core/fact_file.ml: Buffer Builtin_rules Database Fact Fun List Printf Query_parser Relclass Rule String Symtab Template

@@ -1,0 +1,1 @@
+lib/core/fact_file.mli: Database

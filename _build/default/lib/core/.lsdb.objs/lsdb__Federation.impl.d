@@ -1,0 +1,1 @@
+lib/core/federation.ml: Builtin_rules Database Fact List Option Relclass Rule Store Symtab

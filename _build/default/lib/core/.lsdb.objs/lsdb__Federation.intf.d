@@ -1,0 +1,1 @@
+lib/core/federation.mli: Database Fact

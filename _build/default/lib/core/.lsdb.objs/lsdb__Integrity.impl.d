@@ -1,0 +1,1 @@
+lib/core/integrity.ml: Closure Database Entity Fact List Printf Rule Store Virtual_facts

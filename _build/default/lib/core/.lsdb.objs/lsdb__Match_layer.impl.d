@@ -1,0 +1,1 @@
+lib/core/match_layer.ml: Closure Composition Database Entity Fact Store Virtual_facts

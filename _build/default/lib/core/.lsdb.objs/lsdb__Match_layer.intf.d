@@ -1,0 +1,1 @@
+lib/core/match_layer.mli: Database Entity Fact Seq Store

@@ -1,0 +1,1 @@
+lib/core/navigation.ml: Array Database Entity Eval Fact Hashtbl Int List Match_layer Option Pretty Printf Query Store String Symtab Template

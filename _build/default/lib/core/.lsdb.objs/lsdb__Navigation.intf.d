@@ -1,0 +1,1 @@
+lib/core/navigation.mli: Database Entity Fact Match_layer Template

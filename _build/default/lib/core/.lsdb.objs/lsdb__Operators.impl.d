@@ -1,0 +1,1 @@
+lib/core/operators.ml: Database List Navigation Pretty Printf Rule String View

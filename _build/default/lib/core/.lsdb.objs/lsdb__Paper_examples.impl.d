@@ -1,0 +1,1 @@
+lib/core/paper_examples.ml: Database List

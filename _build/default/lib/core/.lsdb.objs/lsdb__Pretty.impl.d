@@ -1,0 +1,1 @@
+lib/core/pretty.ml: Buffer Char Fact List Printf String Symtab

@@ -1,0 +1,1 @@
+lib/core/probing.ml: Broadness Buffer Database Entity Eval Hashtbl List Printf Query Retraction Search String

@@ -1,0 +1,1 @@
+lib/core/probing.mli: Database Entity Eval Match_layer Query Retraction

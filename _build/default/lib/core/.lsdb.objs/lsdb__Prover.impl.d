@@ -1,0 +1,1 @@
+lib/core/prover.ml: Database Entity Fact Hashtbl List Option Relclass Rule Store String Template Virtual_facts

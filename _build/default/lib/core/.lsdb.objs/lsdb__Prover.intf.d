@@ -1,0 +1,1 @@
+lib/core/prover.mli: Database Entity Fact Template

@@ -1,0 +1,1 @@
+lib/core/query.ml: Closure Database Entity Format Hashtbl Int List Printf Seq String Symtab Template

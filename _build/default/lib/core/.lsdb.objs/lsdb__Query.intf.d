@@ -1,0 +1,1 @@
+lib/core/query.mli: Database Entity Format Symtab Template

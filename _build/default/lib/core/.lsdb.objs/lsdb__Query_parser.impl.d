@@ -1,0 +1,1 @@
+lib/core/query_parser.ml: Database List Printf Query String Template

@@ -1,0 +1,1 @@
+lib/core/relclass.ml: Entity Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/core/retraction.ml: Broadness Database Entity Hashtbl List Printf Query Template

@@ -1,0 +1,1 @@
+lib/core/retraction.mli: Broadness Database Entity Query Template

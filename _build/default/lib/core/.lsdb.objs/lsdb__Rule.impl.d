@@ -1,0 +1,1 @@
+lib/core/rule.ml: Format Hashtbl List Lsdb_datalog Printf String Template

@@ -1,0 +1,1 @@
+lib/core/rule.mli: Entity Format Lsdb_datalog Symtab Template

@@ -1,0 +1,1 @@
+lib/core/search.ml: Array Closure Database Entity Fun Hashtbl Int List Seq String Symtab

@@ -1,0 +1,1 @@
+lib/core/store.ml: Entity Fact Hashtbl Int List

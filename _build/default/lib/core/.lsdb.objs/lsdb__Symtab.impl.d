@@ -1,0 +1,1 @@
+lib/core/symtab.ml: Array Buffer Entity Float Hashtbl List Printf String

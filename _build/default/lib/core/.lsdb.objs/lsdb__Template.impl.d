@@ -1,0 +1,1 @@
+lib/core/template.ml: Entity Fact Format Hashtbl List String Symtab

@@ -1,0 +1,1 @@
+lib/core/transaction.ml: Database Fact Integrity List

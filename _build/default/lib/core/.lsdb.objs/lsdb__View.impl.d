@@ -1,0 +1,1 @@
+lib/core/view.ml: Database Entity Fact List Match_layer Pretty Printf Store String Symtab

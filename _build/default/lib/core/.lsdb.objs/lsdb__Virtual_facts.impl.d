@@ -1,0 +1,1 @@
+lib/core/virtual_facts.ml: Entity Fact Seq Store Symtab

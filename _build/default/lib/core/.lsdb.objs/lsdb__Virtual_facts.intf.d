@@ -1,0 +1,1 @@
+lib/core/virtual_facts.mli: Entity Fact Seq Store Symtab

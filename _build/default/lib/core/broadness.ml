@@ -1,0 +1,99 @@
+module Int_tbl = Hashtbl.Make (Int)
+
+type t = {
+  ups : Entity.t list Int_tbl.t;  (* strict generalizations *)
+  downs : Entity.t list Int_tbl.t;  (* strict specializations *)
+  up_sets : unit Int_tbl.t Int_tbl.t;  (* membership view of ups *)
+}
+
+let compute db =
+  let closure = Database.closure db in
+  let ups = Int_tbl.create 64 in
+  let downs = Int_tbl.create 64 in
+  let up_sets = Int_tbl.create 64 in
+  let push tbl key v =
+    Int_tbl.replace tbl key (v :: (Option.value ~default:[] (Int_tbl.find_opt tbl key)))
+  in
+  Closure.match_pattern closure (Store.pattern ~r:Entity.gen ()) (fun fact ->
+      if not (Entity.equal fact.s fact.t) then begin
+        push ups fact.s fact.t;
+        push downs fact.t fact.s;
+        let set =
+          match Int_tbl.find_opt up_sets fact.s with
+          | Some set -> set
+          | None ->
+              let set = Int_tbl.create 8 in
+              Int_tbl.add up_sets fact.s set;
+              set
+        in
+        Int_tbl.replace set fact.t ()
+      end);
+  { ups; downs; up_sets }
+
+let generalizations t e = Option.value ~default:[] (Int_tbl.find_opt t.ups e)
+let specializations t e = Option.value ~default:[] (Int_tbl.find_opt t.downs e)
+
+let in_ups t e e' =
+  match Int_tbl.find_opt t.up_sets e with
+  | Some set -> Int_tbl.mem set e'
+  | None -> false
+
+let is_generalization t ~of_ e' =
+  Entity.equal e' Entity.top || in_ups t of_ e'
+
+(* b is a cover of a iff a ⊏ b with no x strictly between: the paper's
+   minimal generalization. Synonym pairs (mutual ⊑) cover each other. *)
+let covers_up t a =
+  let ups = generalizations t a in
+  List.filter
+    (fun b ->
+      not
+        (List.exists
+           (fun x ->
+             (not (Entity.equal x b))
+             && (not (in_ups t x a)) (* synonyms of a are not strictly between *)
+             && in_ups t x b
+             && not (in_ups t b x) (* nor synonyms of b *))
+           ups))
+    ups
+
+let covers_down t a =
+  let downs = specializations t a in
+  List.filter
+    (fun b ->
+      not
+        (List.exists
+           (fun x ->
+             (not (Entity.equal x b))
+             && (not (in_ups t a x))
+             && in_ups t b x
+             && not (in_ups t x b))
+           downs))
+    downs
+
+let minimal_generalizations t e =
+  if Entity.equal e Entity.top then []
+  else match covers_up t e with [] -> [ Entity.top ] | covers -> covers
+
+let minimal_specializations t e =
+  if Entity.equal e Entity.bottom then []
+  else match covers_down t e with [] -> [ Entity.bottom ] | covers -> covers
+
+let entities t =
+  let seen = Int_tbl.create 64 in
+  Int_tbl.iter (fun e _ -> Int_tbl.replace seen e ()) t.ups;
+  Int_tbl.iter (fun e _ -> Int_tbl.replace seen e ()) t.downs;
+  Int_tbl.fold (fun e () acc -> e :: acc) seen []
+
+let height t e =
+  (* Longest strict chain upward; the hierarchy may contain synonym
+     cycles, so visited entities are never re-entered. *)
+  let rec go visited e =
+    let nexts =
+      List.filter (fun e' -> not (List.exists (Entity.equal e') visited)) (covers_up t e)
+    in
+    match nexts with
+    | [] -> 0
+    | _ -> 1 + List.fold_left (fun acc e' -> max acc (go (e :: visited) e')) 0 nexts
+  in
+  go [] e

@@ -1,0 +1,38 @@
+(** The broadness structure (§5.1): the generalization hierarchy of the
+    closure, with *minimal generalizations* — the covers of the [⊑] partial
+    order — precomputed.
+
+    The closure is already transitively closed under [⊑] (the §3.1 rules
+    include transitivity), so an entity's generalization set can be read
+    off directly; covers are those not reachable through a third strictly
+    intermediate entity, exactly the paper's definition. Entities with no
+    stored generalization have [Δ] as their only minimal generalization;
+    entities with no stored specialization have [∇] (§2.3's virtual
+    extremes). *)
+
+type t
+
+(** Snapshot of the database's current closure. *)
+val compute : Database.t -> t
+
+(** All strict generalizations [e'] with [(e,⊑,e')] in the closure. *)
+val generalizations : t -> Entity.t -> Entity.t list
+
+(** All strict specializations [e'] with [(e',⊑,e)] in the closure. *)
+val specializations : t -> Entity.t -> Entity.t list
+
+(** [is_generalization t ~of_:e e'] — strict [(e,⊑,e')], or [e' = Δ]. *)
+val is_generalization : t -> of_:Entity.t -> Entity.t -> bool
+
+(** Minimal generalizations per §5.1; [Δ] when none exist ([] for [Δ]
+    itself). *)
+val minimal_generalizations : t -> Entity.t -> Entity.t list
+
+(** Dual: minimal specializations; [∇] when none exist ([] for [∇]). *)
+val minimal_specializations : t -> Entity.t -> Entity.t list
+
+(** Entities known to the hierarchy (participating in some strict [⊑]). *)
+val entities : t -> Entity.t list
+
+(** Longest chain length from [e] up to [Δ] (for experiment B4). *)
+val height : t -> Entity.t -> int

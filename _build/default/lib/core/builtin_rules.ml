@@ -1,0 +1,110 @@
+open Template
+
+let v name = Var name
+let e entity = Ent entity
+let tpl a b c = Template.make a b c
+
+(* Shorthands for the special relationship entities. *)
+let gen = e Entity.gen
+let mem = e Entity.member
+let syn = e Entity.syn
+let inv_rel = e Entity.inv
+
+let gen_source =
+  Rule.make ~name:"gen-source"
+    ~body:[ tpl (v "s") (v "r") (v "t"); tpl (v "s'") gen (v "s") ]
+    ~guards:[ Rule.Individual "r"; Rule.Distinct ("s'", "s") ]
+    ~heads:[ tpl (v "s'") (v "r") (v "t") ]
+    ()
+
+let gen_rel =
+  Rule.make ~name:"gen-rel"
+    ~body:[ tpl (v "s") (v "r") (v "t"); tpl (v "r") gen (v "r'") ]
+    ~guards:[ Rule.Individual "r"; Rule.Distinct ("r", "r'") ]
+    ~heads:[ tpl (v "s") (v "r'") (v "t") ]
+    ()
+
+let gen_target =
+  Rule.make ~name:"gen-target"
+    ~body:[ tpl (v "s") (v "r") (v "t"); tpl (v "t") gen (v "t'") ]
+    ~guards:[ Rule.Individual "r"; Rule.Distinct ("t", "t'") ]
+    ~heads:[ tpl (v "s") (v "r") (v "t'") ]
+    ()
+
+let mem_source =
+  Rule.make ~name:"mem-source"
+    ~body:[ tpl (v "s") (v "r") (v "t"); tpl (v "s'") mem (v "s") ]
+    ~guards:[ Rule.Individual "r" ]
+    ~heads:[ tpl (v "s'") (v "r") (v "t") ]
+    ()
+
+let mem_target =
+  Rule.make ~name:"mem-target"
+    ~body:[ tpl (v "s") (v "r") (v "t"); tpl (v "t") mem (v "t'") ]
+    ~guards:[ Rule.Individual "r" ]
+    ~heads:[ tpl (v "s") (v "r") (v "t'") ]
+    ()
+
+let mem_up =
+  Rule.make ~name:"mem-up"
+    ~body:[ tpl (v "x") mem (v "c"); tpl (v "c") gen (v "c'") ]
+    ~guards:[ Rule.Distinct ("c", "c'") ]
+    ~heads:[ tpl (v "x") mem (v "c'") ]
+    ()
+
+let syn_def =
+  Rule.make ~name:"syn-def"
+    ~body:[ tpl (v "s") syn (v "t") ]
+    ~heads:[ tpl (v "s") gen (v "t"); tpl (v "t") gen (v "s") ]
+    ()
+
+let syn_intro =
+  Rule.make ~name:"syn-intro"
+    ~body:[ tpl (v "s") gen (v "t"); tpl (v "t") gen (v "s") ]
+    ~guards:[ Rule.Distinct ("s", "t") ]
+    ~heads:[ tpl (v "s") syn (v "t") ]
+    ()
+
+let syn_source =
+  Rule.make ~name:"syn-source"
+    ~body:[ tpl (v "s") (v "r") (v "t"); tpl (v "s") syn (v "s'") ]
+    ~heads:[ tpl (v "s'") (v "r") (v "t") ]
+    ()
+
+let syn_rel =
+  Rule.make ~name:"syn-rel"
+    ~body:[ tpl (v "s") (v "r") (v "t"); tpl (v "r") syn (v "r'") ]
+    ~heads:[ tpl (v "s") (v "r'") (v "t") ]
+    ()
+
+let syn_target =
+  Rule.make ~name:"syn-target"
+    ~body:[ tpl (v "s") (v "r") (v "t"); tpl (v "t") syn (v "t'") ]
+    ~heads:[ tpl (v "s") (v "r") (v "t'") ]
+    ()
+
+let inversion =
+  Rule.make ~name:"inversion"
+    ~body:[ tpl (v "s") (v "r") (v "t"); tpl (v "r") inv_rel (v "r'") ]
+    ~heads:[ tpl (v "t") (v "r'") (v "s") ]
+    ()
+
+let all =
+  [
+    gen_source;
+    gen_rel;
+    gen_target;
+    mem_source;
+    mem_target;
+    mem_up;
+    syn_def;
+    syn_intro;
+    syn_source;
+    syn_rel;
+    syn_target;
+    inversion;
+  ]
+
+let names = List.map (fun (rule : Rule.t) -> rule.name) all
+
+let find name = List.find_opt (fun (rule : Rule.t) -> String.equal rule.name name) all

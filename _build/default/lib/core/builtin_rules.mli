@@ -1,0 +1,57 @@
+(** The paper's standard inference rules (§3), as ordinary {!Rule.t}
+    values. They can be listed, included and excluded like any other rule
+    (§6.1 [include]/[exclude]).
+
+    One interpretation note (recorded in DESIGN.md): §3.2's prose — "if one
+    entity is an instance of another entity, then it is also an instance of
+    every more general entity" — is not derivable from the printed formulas
+    alone because [∈] is a class relationship; we therefore include it as
+    the explicit rule {!mem_up}. Inference by composition (§3.7) is *not* a
+    rule here: it creates fresh relationship entities and is handled
+    lazily by {!Composition} under the [limit(n)] operator. *)
+
+val gen_source : Rule.t
+(** [(s,r,t) ∧ (s',⊑,s) ⇒ (s',r,t)] for [r ∈ R_i] — §3.1 rule 1. *)
+
+val gen_rel : Rule.t
+(** [(s,r,t) ∧ (r,⊑,r') ⇒ (s,r',t)] for [r ∈ R_i] — §3.1 rule 2. *)
+
+val gen_target : Rule.t
+(** [(s,r,t) ∧ (t,⊑,t') ⇒ (s,r,t')] for [r ∈ R_i] — §3.1 rule 3. *)
+
+val mem_source : Rule.t
+(** [(s,r,t) ∧ (s',∈,s) ⇒ (s',r,t)] for [r ∈ R_i] — §3.2 rule 1. *)
+
+val mem_target : Rule.t
+(** [(s,r,t) ∧ (t,∈,t') ⇒ (s,r,t')] for [r ∈ R_i] — §3.2 rule 2. *)
+
+val mem_up : Rule.t
+(** [(x,∈,c) ∧ (c,⊑,c') ⇒ (x,∈,c')] — §3.2 prose (see note above). *)
+
+val syn_def : Rule.t
+(** [(s,≈,t) ⇒ (s,⊑,t) ∧ (t,⊑,s)] — §3.3's definition of synonymy. *)
+
+val syn_intro : Rule.t
+(** [(s,⊑,t) ∧ (t,⊑,s) ⇒ (s,≈,t)] for [s ≠ t] — the converse direction. *)
+
+val syn_source : Rule.t
+(** [(s,r,t) ∧ (s,≈,s') ⇒ (s',r,t)] — §3.3 replacement, source position. *)
+
+val syn_rel : Rule.t
+(** [(s,r,t) ∧ (r,≈,r') ⇒ (s,r',t)] — §3.3 replacement, relationship. *)
+
+val syn_target : Rule.t
+(** [(s,r,t) ∧ (t,≈,t') ⇒ (s,r,t')] — §3.3 replacement, target position. *)
+
+val inversion : Rule.t
+(** [(s,r,t) ∧ (r,↔,r') ⇒ (t,r',s)] — §3.4. Symmetry of [↔] and [⊥]
+    follows from the axiom facts [(↔,↔,↔)] and [(⊥,↔,⊥)] seeded by
+    {!Database.create}. *)
+
+(** All of the above, in a stable order. *)
+val all : Rule.t list
+
+(** Names of all builtin rules. *)
+val names : string list
+
+val find : string -> Rule.t option

@@ -1,0 +1,151 @@
+module D = Lsdb_datalog
+
+type t = {
+  mutable staged : D.Engine.result option;  (* stratum 1 (inversion) *)
+  mutable result : D.Engine.result;  (* the full closure *)
+  staged_rules : D.Rule.t list;
+  rules : D.Rule.t list;
+  mutable base_cardinal : int;
+  mutable actives : (int, unit) Hashtbl.t option;
+  (* Derived facts in derivation order, newest segment first: extensions
+     push a segment instead of concatenating (which would be O(closure)
+     per insert). *)
+  mutable derived_segments : D.Triple.t list list;
+  mutable derived_total : int;
+}
+
+exception Diverged = D.Engine.Diverged
+
+let compute ?(max_facts = 2_000_000) ?(staged_rules = []) ~rules store =
+  let staged, result =
+    match staged_rules with
+    | [] -> (None, D.Engine.closure ~max_facts rules (Store.to_seq store))
+    | _ ->
+        let stage = D.Engine.closure ~max_facts staged_rules (Store.to_seq store) in
+        let result = D.Engine.closure ~max_facts rules (D.Index.to_seq stage.index) in
+        (* The stage's derived facts are base facts to the main run;
+           restore their provenance and derivation order. *)
+        D.Triple.Tbl.iter
+          (fun fact prov ->
+            if not (D.Triple.Tbl.mem result.provenance fact) then
+              D.Triple.Tbl.replace result.provenance fact prov)
+          stage.provenance;
+        ( Some stage,
+          {
+            result with
+            derived = stage.derived @ result.derived;
+            rounds = stage.rounds + result.rounds;
+          } )
+  in
+  {
+    staged;
+    result;
+    staged_rules;
+    rules;
+    base_cardinal = Store.cardinal store;
+    actives = None;
+    derived_segments = [ result.derived ];
+    derived_total = List.length result.derived;
+  }
+
+let push_derived t added =
+  (* The derived facts among the newly added triples are exactly those
+     with a recorded derivation. *)
+  let derived =
+    List.filter (fun fact -> D.Triple.Tbl.mem t.result.provenance fact) added
+  in
+  if derived <> [] then begin
+    t.derived_segments <- derived :: t.derived_segments;
+    t.derived_total <- t.derived_total + List.length derived
+  end
+
+let extend ?(max_facts = 2_000_000) t facts =
+  let triples = List.to_seq facts in
+  (match t.staged with
+  | None ->
+      let result, added = D.Engine.extend ~max_facts t.rules t.result triples in
+      t.result <- result;
+      push_derived t added
+  | Some stage ->
+      let stage, stage_added = D.Engine.extend ~max_facts t.staged_rules stage triples in
+      t.staged <- Some stage;
+      (* Stage provenance for the newly inverted facts carries over. *)
+      List.iter
+        (fun fact ->
+          match D.Triple.Tbl.find_opt stage.provenance fact with
+          | Some prov when not (D.Triple.Tbl.mem t.result.provenance fact) ->
+              D.Triple.Tbl.replace t.result.provenance fact prov
+          | _ -> ())
+        stage_added;
+      let result, added =
+        D.Engine.extend ~max_facts t.rules t.result (List.to_seq stage_added)
+      in
+      t.result <- result;
+      push_derived t added);
+  t.base_cardinal <- t.base_cardinal + List.length facts;
+  t.actives <- None;
+  t
+
+let mem t fact = D.Index.mem t.result.index fact
+let cardinal t = D.Index.cardinal t.result.index
+let base_cardinal t = t.base_cardinal
+let derived t = List.concat (List.rev t.derived_segments)
+let derived_count t = t.derived_total
+let is_derived t fact = D.Triple.Tbl.mem t.result.provenance fact
+
+let provenance t fact =
+  match D.Triple.Tbl.find_opt t.result.provenance fact with
+  | Some { D.Engine.rule; premises } -> Some (rule, premises)
+  | None -> None
+
+let rounds t = t.result.rounds
+
+let rule_counts t =
+  let counts = Hashtbl.create 16 in
+  D.Triple.Tbl.iter
+    (fun _ { D.Engine.rule; _ } ->
+      Hashtbl.replace counts rule
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts rule)))
+    t.result.provenance;
+  Hashtbl.fold (fun rule n acc -> (rule, n) :: acc) counts []
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+let iter f t = D.Index.iter f t.result.index
+let to_seq t = D.Index.to_seq t.result.index
+
+let match_pattern t (pat : Store.pattern) f =
+  D.Index.candidates t.result.index ~s:pat.s ~r:pat.r ~tgt:pat.t f
+
+let match_list t pat =
+  let acc = ref [] in
+  match_pattern t pat (fun fact -> acc := fact :: !acc);
+  !acc
+
+let count_matches t pat =
+  let n = ref 0 in
+  match_pattern t pat (fun _ -> incr n);
+  !n
+
+exception Found
+
+let exists_match t pat =
+  try
+    match_pattern t pat (fun _ -> raise Found);
+    false
+  with Found -> true
+
+let active_entities t =
+  let table =
+    match t.actives with
+    | Some table -> table
+    | None ->
+        let table = Hashtbl.create 256 in
+        D.Index.iter
+          (fun (triple : D.Triple.t) ->
+            Hashtbl.replace table triple.s ();
+            Hashtbl.replace table triple.r ();
+            Hashtbl.replace table triple.t ())
+          t.result.index;
+        t.actives <- Some table;
+        table
+  in
+  Hashtbl.to_seq_keys table

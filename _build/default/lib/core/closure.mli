@@ -1,0 +1,74 @@
+(** The closure of the fact heap under the database's rules (§2.6): base
+    facts plus everything derivable, with per-fact provenance.
+
+    Mathematical facts (§3.6), hierarchy extremes and reflexive [⊑] are
+    *not* in the closure — they are virtual and answered by
+    {!Virtual_facts}; composition facts (§3.7) are enumerated lazily by
+    {!Composition}. The {!Match} layer fuses all three views. *)
+
+type t
+
+exception Diverged of int
+(** The rule set generated more than [max_facts] facts. *)
+
+(** [compute ?max_facts ?staged_rules ~rules store] runs the semi-naive
+    engine over the current contents of [store]. [rules] must already be
+    compiled against the owning database's relationship classification.
+
+    [staged_rules] run first, to their own fixpoint over the base facts
+    only; the main [rules] then close over base ∪ staged consequences.
+    This stratification exists for inversion (§3.4): the paper's facts
+    read "every instance of the source relates to {e some} instance of
+    the target" (§3.2's footnote), and inverting a fact whose endpoint
+    was already generalized would silently turn that ∃ into a ∀ — an
+    unsoundness in the rules as printed that only shows up when they are
+    actually executed (see DESIGN.md). *)
+val compute :
+  ?max_facts:int ->
+  ?staged_rules:Lsdb_datalog.Rule.t list ->
+  rules:Lsdb_datalog.Rule.t list ->
+  Store.t ->
+  t
+
+(** [extend ?max_facts closure facts] incrementally maintains the closure
+    under insertion of base [facts]: the semi-naive fixpoint continues
+    from the new triples (through the same strata as [compute]), reusing
+    everything already derived. The closure is updated in place and also
+    returned. Deletions cannot be handled incrementally (derived facts
+    would need support counting); callers recompute for those. *)
+val extend : ?max_facts:int -> t -> Fact.t list -> t
+
+val mem : t -> Fact.t -> bool
+val cardinal : t -> int
+
+(** Number of base (stored) facts at computation time. *)
+val base_cardinal : t -> int
+
+(** Derived (non-base) facts in derivation order. *)
+val derived : t -> Fact.t list
+
+val derived_count : t -> int
+val is_derived : t -> Fact.t -> bool
+
+(** One recorded derivation for a derived fact: rule name and premises. *)
+val provenance : t -> Fact.t -> (string * Fact.t list) option
+
+(** Semi-naive rounds needed to reach the fixpoint. *)
+val rounds : t -> int
+
+(** Derivations per rule, sorted descending — where the closure's volume
+    comes from (used by the B1 report and for tuning rule sets). *)
+val rule_counts : t -> (string * int) list
+
+val iter : (Fact.t -> unit) -> t -> unit
+val to_seq : t -> Fact.t Seq.t
+
+(** Indexed pattern matching over the whole closure. *)
+val match_pattern : t -> Store.pattern -> (Fact.t -> unit) -> unit
+
+val match_list : t -> Store.pattern -> Fact.t list
+val count_matches : t -> Store.pattern -> int
+val exists_match : t -> Store.pattern -> bool
+
+(** Entities appearing in some closure fact. *)
+val active_entities : t -> Entity.t Seq.t

@@ -1,0 +1,184 @@
+let separator = "\xc2\xb7" (* "·" *)
+
+let contains_separator name =
+  let sep0 = separator.[0] and sep1 = separator.[1] in
+  let n = String.length name in
+  let rec scan i = i + 1 < n && ((name.[i] = sep0 && name.[i + 1] = sep1) || scan (i + 1)) in
+  scan 0
+
+let split_on_separator name =
+  let sep0 = separator.[0] and sep1 = separator.[1] in
+  let n = String.length name in
+  let parts = ref [] in
+  let start = ref 0 in
+  let i = ref 0 in
+  while !i + 1 < n do
+    if name.[!i] = sep0 && name.[!i + 1] = sep1 then begin
+      parts := String.sub name !start (!i - !start) :: !parts;
+      start := !i + 2;
+      i := !i + 2
+    end
+    else incr i
+  done;
+  parts := String.sub name !start (n - !start) :: !parts;
+  List.rev !parts
+
+let compose_name symtab rels =
+  match rels with
+  | [] | [ _ ] -> invalid_arg "Composition.compose_name: need at least two relationships"
+  | _ ->
+      let name = String.concat separator (List.map (Symtab.name symtab) rels) in
+      Symtab.intern symtab name
+
+let decompose symtab e =
+  let name = Symtab.name symtab e in
+  if not (contains_separator name) then None
+  else
+    let parts = split_on_separator name in
+    let rec resolve acc = function
+      | [] -> Some (List.rev acc)
+      | part :: rest -> (
+          match Symtab.find symtab part with
+          | Some id -> resolve (id :: acc) rest
+          | None -> None)
+    in
+    resolve [] parts
+
+let is_composed symtab e = contains_separator (Symtab.name symtab e)
+
+type path = { source : Entity.t; chain : Entity.t list; target : Entity.t }
+
+(* Only ordinary relationships compose: specials (⊑, ∈, comparators, …)
+   and already-composed entities are excluded from chains. *)
+let composable symtab r = (not (Entity.is_special r)) && not (is_composed symtab r)
+
+exception Enough
+
+let paths ?(max_paths = 10_000) db ~src ~tgt =
+  let limit = Database.limit db in
+  if limit < 2 || Entity.equal src tgt then []
+  else begin
+    let closure = Database.closure db in
+    let symtab = Database.symtab db in
+    let found = ref [] in
+    let count = ref 0 in
+    let rec dfs node chain_rev depth =
+      if depth < limit then
+        Closure.match_pattern closure (Store.pattern ~s:node ()) (fun fact ->
+            if composable symtab fact.r then begin
+              let chain_rev' = fact.r :: chain_rev in
+              if Entity.equal fact.t tgt && depth + 1 >= 2 then begin
+                found := { source = src; chain = List.rev chain_rev'; target = tgt } :: !found;
+                incr count;
+                if !count >= max_paths then raise Enough
+              end;
+              dfs fact.t chain_rev' (depth + 1)
+            end)
+    in
+    (try dfs src [] 0 with Enough -> ());
+    List.rev !found
+  end
+
+let walk db ~chain ~src =
+  let closure = Database.closure db in
+  let step frontier r =
+    let next = Hashtbl.create 16 in
+    List.iter
+      (fun node ->
+        Closure.match_pattern closure (Store.pattern ~s:node ~r ()) (fun fact ->
+            Hashtbl.replace next fact.t ()))
+      frontier;
+    Hashtbl.fold (fun e () acc -> e :: acc) next []
+  in
+  List.fold_left step [ src ] chain
+
+let walk_backward db ~chain ~tgt =
+  let closure = Database.closure db in
+  let step r frontier =
+    let prev = Hashtbl.create 16 in
+    List.iter
+      (fun node ->
+        Closure.match_pattern closure (Store.pattern ~r ~t:node ()) (fun fact ->
+            Hashtbl.replace prev fact.s ()))
+      frontier;
+    Hashtbl.fold (fun e () acc -> e :: acc) prev []
+  in
+  List.fold_right step chain [ tgt ]
+
+let candidates ?max_paths db (pat : Store.pattern) emit =
+  let limit = Database.limit db in
+  if limit >= 2 then
+    let symtab = Database.symtab db in
+    match pat.r with
+    | None -> (
+        match (pat.s, pat.t) with
+        | Some src, Some tgt ->
+            List.iter
+              (fun path ->
+                emit (Fact.make path.source (compose_name symtab path.chain) path.target))
+              (paths ?max_paths db ~src ~tgt)
+        | _ -> ())
+    | Some r -> (
+        match decompose symtab r with
+        | None -> ()
+        | Some chain when List.length chain > limit -> ()
+        | Some chain -> (
+            match (pat.s, pat.t) with
+            | Some src, Some tgt ->
+                if
+                  (not (Entity.equal src tgt))
+                  && List.exists (Entity.equal tgt) (walk db ~chain ~src)
+                then emit (Fact.make src r tgt)
+            | Some src, None ->
+                List.iter
+                  (fun tgt -> if not (Entity.equal src tgt) then emit (Fact.make src r tgt))
+                  (walk db ~chain ~src)
+            | None, Some tgt ->
+                List.iter
+                  (fun src -> if not (Entity.equal src tgt) then emit (Fact.make src r tgt))
+                  (walk_backward db ~chain ~tgt)
+            | None, None ->
+                (* Enumerate from every entity that sources the chain head. *)
+                let closure = Database.closure db in
+                let first = List.hd chain in
+                let seen = Hashtbl.create 64 in
+                Closure.match_pattern closure (Store.pattern ~r:first ()) (fun fact ->
+                    if not (Hashtbl.mem seen fact.s) then begin
+                      Hashtbl.add seen fact.s ();
+                      List.iter
+                        (fun tgt ->
+                          if not (Entity.equal fact.s tgt) then emit (Fact.make fact.s r tgt))
+                        (walk db ~chain ~src:fact.s)
+                    end)))
+
+let count_compositions ?(max_paths = 1_000_000) db =
+  let limit = Database.limit db in
+  if limit < 2 then 0
+  else begin
+    let closure = Database.closure db in
+    let symtab = Database.symtab db in
+    let seen = Hashtbl.create 1024 in
+    let count = ref 0 in
+    let rec dfs origin node chain_rev depth =
+      if depth < limit then
+        Closure.match_pattern closure (Store.pattern ~s:node ()) (fun fact ->
+            if composable symtab fact.r then begin
+              let chain_rev' = fact.r :: chain_rev in
+              if depth + 1 >= 2 && not (Entity.equal origin fact.t) then begin
+                let key = (origin, chain_rev', fact.t) in
+                if not (Hashtbl.mem seen key) then begin
+                  Hashtbl.add seen key ();
+                  incr count;
+                  if !count >= max_paths then raise Enough
+                end
+              end;
+              dfs origin fact.t chain_rev' (depth + 1)
+            end)
+    in
+    (try
+       Seq.iter
+         (fun e -> if not (Entity.is_special e) then dfs e e [] 0)
+         (Closure.active_entities closure)
+     with Enough -> ());
+    !count
+  end

@@ -1,0 +1,53 @@
+(** Inference by composition (§3.7): when the target of one fact is the
+    source of another, an indirect relationship is implied, named by a
+    composed relationship entity [r1·r2·…·rk].
+
+    Composition facts are never materialized into the closure — unrestricted
+    they are infinite-prone, as the paper notes — but enumerated on demand,
+    bounded by the database's [limit(n)] (§6.1): a chain may contain at most
+    [n] facts, so [limit 1] disables composition and [limit 2] composes base
+    facts only. Chains follow closure facts (inferred ones included) whose
+    relationship is an ordinary entity (specials and comparators do not
+    compose), and the paper's acyclicity restriction applies: the chain's
+    overall source must differ from its overall target. *)
+
+(** The separator in composed relationship names. *)
+val separator : string
+
+(** [compose_name symtab rels] interns the composed entity for a chain of
+    at least two relationships, e.g. ["ENROLLED-IN·TAUGHT-BY"]. *)
+val compose_name : Symtab.t -> Entity.t list -> Entity.t
+
+(** [decompose symtab e] splits a composed relationship entity back into
+    its chain; [None] if [e]'s name contains no separator or a component
+    is unknown. *)
+val decompose : Symtab.t -> Entity.t -> Entity.t list option
+
+val is_composed : Symtab.t -> Entity.t -> bool
+
+(** A discovered path: the composed relationship chain and the endpoints. *)
+type path = { source : Entity.t; chain : Entity.t list; target : Entity.t }
+
+(** [paths db ~src ~tgt] — every composition chain of length 2..limit from
+    [src] to [tgt] (requires [src <> tgt] per the paper; returns [[]]
+    otherwise). Paths are capped at [max_paths] (default 10_000) to keep
+    pathological graphs interactive. *)
+val paths : ?max_paths:int -> Database.t -> src:Entity.t -> tgt:Entity.t -> path list
+
+(** [candidates db pattern emit] — the composition facts matching a
+    pattern, honoring [Database.limit db]:
+    - relationship free, source and target bound: all paths between them;
+    - relationship bound to a composed entity: walk the chain from/to the
+      bound endpoint(s), or verify if both are bound.
+    Patterns with a free relationship and a free endpoint are not
+    enumerated (unbounded). *)
+val candidates : ?max_paths:int -> Database.t -> Store.pattern -> (Fact.t -> unit) -> unit
+
+(** [walk db ~chain ~src] — all targets reachable from [src] through the
+    exact relationship chain. *)
+val walk : Database.t -> chain:Entity.t list -> src:Entity.t -> Entity.t list
+
+(** [count_compositions db] — the number of distinct composition facts the
+    current limit admits over the whole database (used by experiment B3 to
+    show the blow-up the paper predicts). *)
+val count_compositions : ?max_paths:int -> Database.t -> int

@@ -1,0 +1,182 @@
+type t = {
+  symtab : Symtab.t;
+  store : Store.t;
+  relclass : Relclass.t;
+  mutable rules : (Rule.t * bool) list;  (* registration order, enabled flag *)
+  mutable composition_limit : int;
+  max_facts : int;
+  mutable closure_cache : Closure.t option;
+  mutable pending : Fact.t list;  (* inserts not yet folded into the cache *)
+  mutable computations : int;
+  mutable extensions : int;
+}
+
+exception Diverged of int
+
+let axiom_facts =
+  [
+    Fact.make Entity.inv Entity.inv Entity.inv;  (* ↔ is its own inverse (§3.4) *)
+    Fact.make Entity.contra Entity.inv Entity.contra;  (* ⊥ is its own inverse (§3.5) *)
+  ]
+
+let create ?(max_facts = 2_000_000) () =
+  let t =
+    {
+      symtab = Symtab.create ();
+      store = Store.create ();
+      relclass = Relclass.create ();
+      rules = List.map (fun rule -> (rule, true)) Builtin_rules.all;
+      composition_limit = 1;
+      max_facts;
+      closure_cache = None;
+      pending = [];
+      computations = 0;
+      extensions = 0;
+    }
+  in
+  List.iter (fun fact -> ignore (Store.add t.store fact)) axiom_facts;
+  t
+
+let symtab t = t.symtab
+let store t = t.store
+let relclass t = t.relclass
+
+let invalidate t =
+  t.closure_cache <- None;
+  t.pending <- []
+
+let entity t name = Symtab.intern t.symtab name
+let find_entity t name = Symtab.find t.symtab name
+let entity_name t e = Symtab.name t.symtab e
+let entity_count t = Symtab.cardinal t.symtab
+
+let declare_class_relationship t e =
+  Relclass.declare_class t.relclass e;
+  invalidate t
+
+let declare_individual_relationship t e =
+  Relclass.declare_individual t.relclass e;
+  invalidate t
+
+let is_class_relationship t e = Relclass.is_class t.relclass e
+
+let insert t fact =
+  let added = Store.add t.store fact in
+  (* Insertions extend the cached closure incrementally on next access;
+     everything else (removal, rule/class changes) invalidates it. *)
+  if added && t.closure_cache <> None then t.pending <- fact :: t.pending;
+  added
+
+let insert_names t s r tgt = insert t (Fact.of_names t.symtab s r tgt)
+let insert_all t facts = List.iter (fun fact -> ignore (insert t fact)) facts
+
+let remove t fact =
+  let removed = Store.remove t.store fact in
+  if removed then invalidate t;
+  removed
+
+let remove_names t s r tgt =
+  match (find_entity t s, find_entity t r, find_entity t tgt) with
+  | Some s, Some r, Some tgt -> remove t (Fact.make s r tgt)
+  | _ -> false
+
+let mem_base t fact = Store.mem t.store fact
+let base_cardinal t = Store.cardinal t.store
+
+let add_rule t rule =
+  t.rules <-
+    List.filter (fun (existing, _) -> not (Rule.equal_name existing rule)) t.rules
+    @ [ (rule, true) ];
+  invalidate t
+
+let set_enabled t name enabled =
+  let found = ref false in
+  t.rules <-
+    List.map
+      (fun ((rule : Rule.t), current) ->
+        if String.equal rule.name name then begin
+          found := true;
+          if current <> enabled then invalidate t;
+          (rule, enabled)
+        end
+        else (rule, current))
+      t.rules;
+  !found
+
+let exclude t name = set_enabled t name false
+let include_rule t name = set_enabled t name true
+
+let remove_rule t name =
+  let before = List.length t.rules in
+  t.rules <- List.filter (fun ((rule : Rule.t), _) -> not (String.equal rule.name name)) t.rules;
+  let removed = List.length t.rules < before in
+  if removed then invalidate t;
+  removed
+
+let rule_enabled t name =
+  List.exists (fun ((rule : Rule.t), enabled) -> enabled && String.equal rule.name name) t.rules
+
+let rules t = t.rules
+let enabled_rules t = List.filter_map (fun (rule, enabled) -> if enabled then Some rule else None) t.rules
+
+let set_limit t n =
+  if n < 1 then invalid_arg "Database.set_limit: limit must be >= 1";
+  t.composition_limit <- n
+
+let limit t = t.composition_limit
+
+let closure t =
+  match t.closure_cache with
+  | Some closure when t.pending = [] -> closure
+  | Some closure ->
+      let facts = List.rev t.pending in
+      t.pending <- [];
+      t.extensions <- t.extensions + 1;
+      (try ignore (Closure.extend ~max_facts:t.max_facts closure facts)
+       with Closure.Diverged n -> raise (Diverged n));
+      closure
+  | None ->
+      let is_class = Relclass.is_class t.relclass in
+      (* Inversion is stratified: it applies to stored facts only (see
+         Closure.compute). *)
+      let staged, main =
+        List.partition
+          (fun (rule : Rule.t) -> String.equal rule.name "inversion")
+          (enabled_rules t)
+      in
+      let compile = List.map (Rule.compile ~is_class) in
+      let closure =
+        try
+          Closure.compute ~max_facts:t.max_facts ~staged_rules:(compile staged)
+            ~rules:(compile main) t.store
+        with Closure.Diverged n -> raise (Diverged n)
+      in
+      t.closure_cache <- Some closure;
+      t.computations <- t.computations + 1;
+      closure
+
+let mem t fact = Closure.mem (closure t) fact
+let closure_computations t = t.computations
+let closure_extensions t = t.extensions
+let facts t = Store.to_list t.store
+
+let copy t =
+  let fresh =
+    {
+      symtab = Symtab.create ();
+      store = Store.create ();
+      relclass = Relclass.copy t.relclass;
+      rules = t.rules;
+      composition_limit = t.composition_limit;
+      max_facts = t.max_facts;
+      closure_cache = None;
+      pending = [];
+      computations = 0;
+      extensions = 0;
+    }
+  in
+  (* Re-intern names so the copy owns its symbol table; ids are preserved
+     because interning replays in id order. *)
+  Symtab.iter (fun id -> ignore (Symtab.intern fresh.symtab (Symtab.name t.symtab id))) t.symtab;
+  Store.iter (fun fact -> ignore (Store.add fresh.store fact)) t.store;
+  fresh

@@ -1,0 +1,121 @@
+(** A loosely structured database: a set of facts and a set of rules whose
+    closure is meant to be free of contradictions (§2.6).
+
+    The database owns the symbol table, the fact heap, the relationship
+    classification, the rule set (builtins pre-included, §6.1
+    [include]/[exclude] supported) and a lazily maintained closure cache
+    that is invalidated by every mutation. Contradiction checking itself
+    lives in {!Integrity} so that callers choose when to pay for it. *)
+
+type t
+
+(** [create ()] — a fresh database containing only the axiom facts
+    [(↔,↔,↔)] and [(⊥,↔,⊥)] (§3.4, §3.5), with every builtin rule of §3
+    enabled and composition disabled ([limit 1]). *)
+val create : ?max_facts:int -> unit -> t
+
+(** The two axiom facts seeded into every database: [(↔,↔,↔)] and
+    [(⊥,↔,⊥)] (§3.4, §3.5). *)
+val axiom_facts : Fact.t list
+
+val symtab : t -> Symtab.t
+val store : t -> Store.t
+val relclass : t -> Relclass.t
+
+(** {1 Entities} *)
+
+(** Intern (or look up) an entity by name. *)
+val entity : t -> string -> Entity.t
+
+val find_entity : t -> string -> Entity.t option
+val entity_name : t -> Entity.t -> string
+val entity_count : t -> int
+
+(** Declare a relationship to be a class relationship (§2.2), e.g.
+    TOTAL-NUMBER. Invalidates the closure. *)
+val declare_class_relationship : t -> Entity.t -> unit
+
+val declare_individual_relationship : t -> Entity.t -> unit
+val is_class_relationship : t -> Entity.t -> bool
+
+(** {1 Facts} *)
+
+(** [insert t fact] — [true] iff new. Invalidates the closure. *)
+val insert : t -> Fact.t -> bool
+
+(** [insert_names t s r tgt] interns the names and inserts. *)
+val insert_names : t -> string -> string -> string -> bool
+
+val insert_all : t -> Fact.t list -> unit
+
+(** [remove t fact] — [true] iff present (only base facts can be removed;
+    derived facts disappear when their premises do). *)
+val remove : t -> Fact.t -> bool
+
+val remove_names : t -> string -> string -> string -> bool
+
+(** Base facts only (no inference). *)
+val mem_base : t -> Fact.t -> bool
+
+val base_cardinal : t -> int
+
+(** {1 Rules} *)
+
+(** [add_rule t rule] registers (and enables) a rule; replaces any rule of
+    the same name. Invalidates the closure. *)
+val add_rule : t -> Rule.t -> unit
+
+(** [exclude t name] disables a rule without forgetting it (§6.1). [true]
+    iff the rule exists. *)
+val exclude : t -> string -> bool
+
+(** [include_rule t name] re-enables a rule (§6.1). *)
+val include_rule : t -> string -> bool
+
+(** [remove_rule t name] forgets a rule entirely. [true] iff it existed. *)
+val remove_rule : t -> string -> bool
+
+val rule_enabled : t -> string -> bool
+
+(** All registered rules with their enabled flag. *)
+val rules : t -> (Rule.t * bool) list
+
+val enabled_rules : t -> Rule.t list
+
+(** {1 Composition (§3.7, §6.1)} *)
+
+(** [set_limit t n] sets the maximal composition-chain length to [n]
+    ([limit(n)]): 1 disables composition, 2 composes base facts only, etc.
+    Raises [Invalid_argument] for [n < 1]. *)
+val set_limit : t -> int -> unit
+
+val limit : t -> int
+
+(** {1 Closure} *)
+
+exception Diverged of int
+
+(** The cached closure, recomputed if a mutation occurred. *)
+val closure : t -> Closure.t
+
+(** [mem t fact] — membership in the closure (stored or inferred). *)
+val mem : t -> Fact.t -> bool
+
+(** Force invalidation (rarely needed; mutations do it automatically). *)
+val invalidate : t -> unit
+
+(** Number of full closure recomputations so far (for tests/benches).
+    Insertions do not trigger recomputation: the cached closure is
+    extended incrementally (semi-naive from the new facts); removals and
+    rule/classification changes invalidate it. *)
+val closure_computations : t -> int
+
+(** Number of incremental extensions applied to the cached closure. *)
+val closure_extensions : t -> int
+
+(** {1 Bulk access} *)
+
+val facts : t -> Fact.t list
+
+(** A deep copy sharing nothing with the original. *)
+val copy : t -> t

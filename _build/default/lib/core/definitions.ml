@@ -1,0 +1,108 @@
+type definition = { params : string list; query : Query.t }
+
+type t = { table : (string, definition) Hashtbl.t }
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun msg -> raise (Error msg)) fmt
+
+let create () = { table = Hashtbl.create 16 }
+
+let define t ~name ~params query =
+  if name = "" then error "operator name may not be empty";
+  let free = Query.free_vars query in
+  List.iter
+    (fun p ->
+      if not (List.mem p free) then
+        error "parameter ?%s is not a free variable of the body" p)
+    params;
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (fun p ->
+      if Hashtbl.mem seen p then error "duplicate parameter ?%s" p;
+      Hashtbl.add seen p ())
+    params;
+  Hashtbl.replace t.table name { params; query }
+
+let strip_question p =
+  let p = String.trim p in
+  if String.length p > 1 && p.[0] = '?' then String.sub p 1 (String.length p - 1) else p
+
+let define_text db t text =
+  (* name(params) := query *)
+  let split_define s =
+    let rec find i =
+      if i + 2 > String.length s then None
+      else if String.sub s i 2 = ":=" then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> error "definition needs ':=' (name(?p) := query)"
+    | Some i ->
+        (String.trim (String.sub s 0 i), String.sub s (i + 2) (String.length s - i - 2))
+  in
+  let head, body = split_define text in
+  let name, params =
+    match String.index_opt head '(' with
+    | None -> (head, [])
+    | Some open_paren ->
+        let close =
+          match String.rindex_opt head ')' with
+          | Some i when i > open_paren -> i
+          | _ -> error "unbalanced parameter list in %S" head
+        in
+        let name = String.trim (String.sub head 0 open_paren) in
+        let inside = String.sub head (open_paren + 1) (close - open_paren - 1) in
+        let params =
+          String.split_on_char ',' inside
+          |> List.map strip_question
+          |> List.filter (fun p -> p <> "")
+        in
+        (name, params)
+  in
+  let query =
+    try Query_parser.parse db body
+    with Query_parser.Parse_error msg -> error "in body of %s: %s" name msg
+  in
+  define t ~name ~params query
+
+let remove t name =
+  let existed = Hashtbl.mem t.table name in
+  Hashtbl.remove t.table name;
+  existed
+
+let find t name =
+  Option.map (fun { params; query } -> (params, query)) (Hashtbl.find_opt t.table name)
+
+let list t =
+  Hashtbl.fold (fun name { params; _ } acc -> (name, params) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let invoke ?opts db t name args =
+  match Hashtbl.find_opt t.table name with
+  | None -> error "no operator named %s" name
+  | Some { params; query } ->
+      if List.length args <> List.length params then
+        error "%s expects %d argument(s), got %d" name (List.length params)
+          (List.length args);
+      let bindings = List.combine params args in
+      let bound =
+        Query.map_atoms
+          (Template.subst (fun v -> List.assoc_opt v bindings))
+          query
+      in
+      (* Bound parameters may leave residual quantifier-free atoms that
+         are now ground; Eval handles those as propositional conjuncts. *)
+      Eval.eval ?opts db bound
+
+let invoke_names ?opts db t name args =
+  invoke ?opts db t name (List.map (Database.entity db) args)
+
+let show symtab t =
+  list t
+  |> List.map (fun (name, params) ->
+         let { query; _ } = Hashtbl.find t.table name in
+         Printf.sprintf "%s(%s) := %s" name
+           (String.concat ", " (List.map (fun p -> "?" ^ p) params))
+           (Query.to_string symtab query))
+  |> String.concat "\n"

@@ -1,0 +1,44 @@
+(** The §6 definition facility: "provide a definition facility to
+    implement new retrieval operators, based on the standard query
+    language".
+
+    A definition is a named query with formal parameters. Invoking it
+    binds the parameters to entities; the remaining free variables are
+    the result columns. For instance:
+
+    {v define salary_of(?who) := (?who, EARNS, ?s) & (?s, in, SALARY) v}
+
+    The §6.1 [try] operator is likewise definable as a three-way
+    disjunction of star templates over its parameter. *)
+
+type t
+
+exception Error of string
+
+val create : unit -> t
+
+(** [define t ~name ~params query] registers (or replaces) an operator.
+    Raises {!Error} if a parameter is not a free variable of the query. *)
+val define : t -> name:string -> params:string list -> Query.t -> unit
+
+(** Parse a textual definition of the form
+    ["name(?p1, ?p2) := query"] (the [?] on parameters is optional). *)
+val define_text : Database.t -> t -> string -> unit
+
+val remove : t -> string -> bool
+val find : t -> string -> (string list * Query.t) option
+
+(** [(name, params)] pairs, sorted by name. *)
+val list : t -> (string * string list) list
+
+(** [invoke db t name args] — evaluate the operator with the parameters
+    bound to [args] (arity-checked). *)
+val invoke :
+  ?opts:Match_layer.opts -> Database.t -> t -> string -> Entity.t list -> Eval.answer
+
+(** Convenience: arguments by name, interned. *)
+val invoke_names :
+  ?opts:Match_layer.opts -> Database.t -> t -> string -> string list -> Eval.answer
+
+(** Render all definitions (for the browser's [ops] command). *)
+val show : Symtab.t -> t -> string

@@ -1,0 +1,57 @@
+type t = int
+
+let equal = Int.equal
+let compare = Int.compare
+let hash x = x land max_int
+
+let special_names =
+  [|
+    ("⊑", [ "isa"; "kind-of" ]);
+    ("∈", [ "in"; "member-of" ]);
+    ("≈", [ "syn"; "same-as" ]);
+    ("↔", [ "inv"; "inverse-of" ]);
+    ("⊥", [ "contra"; "contradicts" ]);
+    ("Δ", [ "top"; "anything" ]);
+    ("∇", [ "bottom"; "nothing" ]);
+    ("<", [ "lt" ]);
+    (">", [ "gt" ]);
+    ("=", [ "eq" ]);
+    ("≠", [ "neq"; "<>" ]);
+    ("≤", [ "le"; "<=" ]);
+    ("≥", [ "ge"; ">=" ]);
+  |]
+
+let gen = 0
+let member = 1
+let syn = 2
+let inv = 3
+let contra = 4
+let top = 5
+let bottom = 6
+let lt = 7
+let gt = 8
+let eq = 9
+let neq = 10
+let le = 11
+let ge = 12
+let special_count = Array.length special_names
+let is_special e = e >= 0 && e < special_count
+let is_comparator e = e >= lt && e <= ge
+
+let converse_comparator e =
+  if e = lt then gt
+  else if e = gt then lt
+  else if e = le then ge
+  else if e = ge then le
+  else if e = eq then eq
+  else if e = neq then neq
+  else invalid_arg "Entity.converse_comparator: not a comparator"
+
+let comparator_holds cmp a b =
+  if cmp = lt then a < b
+  else if cmp = gt then a > b
+  else if cmp = eq then a = b
+  else if cmp = neq then a <> b
+  else if cmp = le then a <= b
+  else if cmp = ge then a >= b
+  else invalid_arg "Entity.comparator_holds: not a comparator"

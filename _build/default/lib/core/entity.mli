@@ -1,0 +1,65 @@
+(** Entities: the basic units of data (§2.1).
+
+    An entity is an interned identifier; names live in the database's
+    {!Symtab}. The special entities of the paper — generalization [⊑],
+    membership [∈], synonym [≈], inversion [↔], contradiction [⊥], the
+    hierarchy extremes [Δ]/[∇], and the mathematical comparators — are
+    pre-interned at fixed, well-known ids so hot paths can compare ints. *)
+
+type t = int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** {1 Special entities}
+
+    Ids are guaranteed stable across databases: a fresh {!Symtab} interns
+    the special names first, in this order. *)
+
+val gen : t  (** [⊑] — generalization, "is a kind of" (§2.3) *)
+
+val member : t  (** [∈] — membership, "is an instance of" (§2.3) *)
+
+val syn : t  (** [≈] — synonym (§3.3) *)
+
+val inv : t  (** [↔] — inversion (§3.4) *)
+
+val contra : t  (** [⊥] — contradiction (§3.5) *)
+
+val top : t  (** [Δ] — the most abstract entity (§2.3) *)
+
+val bottom : t  (** [∇] — the most specific entity (§2.3) *)
+
+val lt : t  (** [<] *)
+
+val gt : t  (** [>] *)
+
+val eq : t  (** [=] *)
+
+val neq : t  (** [≠] *)
+
+val le : t  (** [≤] *)
+
+val ge : t  (** [≥] *)
+
+(** Canonical names and their ASCII aliases, in interning order. The id of
+    the [i]-th pair is [i]. *)
+val special_names : (string * string list) array
+
+(** Number of special entities; the first user entity gets this id. *)
+val special_count : int
+
+val is_special : t -> bool
+
+(** Comparator entities ([<], [>], [=], [≠], [≤], [≥]) denote the virtual
+    mathematical relationships of §3.6. *)
+val is_comparator : t -> bool
+
+(** The comparator with swapped operand order: [< ↔ >], [≤ ↔ ≥], [=] and
+    [≠] are their own converses. *)
+val converse_comparator : t -> t
+
+(** [comparator_holds cmp a b] decides a comparator over floats (used by
+    the virtual-fact oracle for numeric entities). *)
+val comparator_holds : t -> float -> float -> bool

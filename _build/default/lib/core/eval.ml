@@ -1,0 +1,213 @@
+type answer = { vars : string list; rows : Entity.t array list }
+
+exception Unsafe of string
+
+(* Alpha-rename quantified variables apart from free variables and from
+   each other, so the evaluator can use one flat environment. *)
+let alpha_rename q =
+  let counter = ref 0 in
+  let rec go subst = function
+    | Query.Atom tpl ->
+        let rename = function
+          | Template.Var v as term -> (
+              match List.assoc_opt v subst with
+              | Some v' -> Template.Var v'
+              | None -> term)
+          | Template.Ent _ as term -> term
+        in
+        Query.Atom
+          (Template.make (rename tpl.src) (rename tpl.rel) (rename tpl.tgt))
+    | Query.And (a, b) -> Query.And (go subst a, go subst b)
+    | Query.Or (a, b) -> Query.Or (go subst a, go subst b)
+    | Query.Exists (v, body) ->
+        incr counter;
+        let v' = Printf.sprintf "%s#%d" v !counter in
+        Query.Exists (v', go ((v, v') :: subst) body)
+    | Query.Forall (v, body) ->
+        incr counter;
+        let v' = Printf.sprintf "%s#%d" v !counter in
+        Query.Forall (v', go ((v, v') :: subst) body)
+  in
+  go [] q
+
+(* Cost heuristic for dynamic conjunct ordering: fewest unbound distinct
+   variables first; among equals, defer atoms whose relationship is
+   answered by enumeration over the active domain (comparators, ⊑ with
+   its virtual extent, Δ wildcards, or an unbound relationship variable)
+   behind ordinary indexed atoms. Quantified/disjunctive subformulas come
+   last. *)
+let cost env = function
+  | Query.Atom tpl ->
+      let unbound =
+        List.filter (fun v -> not (Hashtbl.mem env v)) (Template.distinct_vars tpl)
+      in
+      let rel_entity =
+        match tpl.Template.rel with
+        | Template.Ent e -> Some e
+        | Template.Var v -> Hashtbl.find_opt env v
+      in
+      let virtual_penalty =
+        match rel_entity with
+        | Some e when Entity.is_comparator e || e = Entity.gen || e = Entity.top -> 1
+        | Some _ -> 0
+        | None -> 1
+      in
+      (List.length unbound, virtual_penalty)
+  | Query.Or _ -> (3, 2)
+  | Query.Exists _ -> (3, 2)
+  | Query.Forall _ -> (4, 2)
+  | Query.And _ -> assert false (* conjunctions are flattened *)
+
+let rec flatten_conj = function
+  | Query.And (a, b) -> flatten_conj a @ flatten_conj b
+  | q -> [ q ]
+
+let pattern_of env (tpl : Template.t) =
+  let value = function
+    | Template.Ent e -> Some e
+    | Template.Var v -> Hashtbl.find_opt env v
+  in
+  Store.pattern ?s:(value tpl.src) ?r:(value tpl.rel) ?t:(value tpl.tgt) ()
+
+(* Bind the template's variables to the fact's entities, extending [env];
+   returns the newly bound variables (for undo) or [None] on mismatch
+   (repeated variables must agree). *)
+let try_bind env (tpl : Template.t) (fact : Fact.t) =
+  let bind term value newly =
+    match term with
+    | Template.Ent e -> if Entity.equal e value then Some newly else None
+    | Template.Var v -> (
+        match Hashtbl.find_opt env v with
+        | Some bound -> if Entity.equal bound value then Some newly else None
+        | None ->
+            Hashtbl.replace env v value;
+            Some (v :: newly))
+  in
+  let undo newly = List.iter (Hashtbl.remove env) newly in
+  match bind tpl.src fact.s [] with
+  | None -> None
+  | Some newly -> (
+      match bind tpl.rel fact.r newly with
+      | None ->
+          undo newly;
+          None
+      | Some newly -> (
+          match bind tpl.tgt fact.t newly with
+          | None ->
+              undo newly;
+              None
+          | Some newly -> Some newly))
+
+exception Sat
+
+let eval ?(opts = Match_layer.eval_opts) ?(reorder = true) db q =
+  let q = alpha_rename q in
+  let env : (string, Entity.t) Hashtbl.t = Hashtbl.create 16 in
+  let rec sat q k =
+    match q with
+    | Query.Atom tpl ->
+        Match_layer.candidates ~opts db (pattern_of env tpl) (fun fact ->
+            match try_bind env tpl fact with
+            | Some newly ->
+                k ();
+                List.iter (Hashtbl.remove env) newly
+            | None -> ())
+    | Query.And _ -> sat_conj (flatten_conj q) k
+    | Query.Or (a, b) ->
+        sat a k;
+        sat b k
+    | Query.Exists (_, body) -> sat body k
+    | Query.Forall (v, body) ->
+        (* Free variables of the body other than [v] that are still
+           unbound range over the active domain (§2.7's unrestricted
+           formula grammar, under the finite reading): enumerate them,
+           then check the universal for each assignment. *)
+        let unbound =
+          List.filter
+            (fun w -> w <> v && not (Hashtbl.mem env w))
+            (Query.free_vars body)
+        in
+        let check_forall () =
+          Seq.for_all
+            (fun e ->
+              Hashtbl.replace env v e;
+              let holds_for_e =
+                try
+                  sat body (fun () -> raise Sat);
+                  false
+                with Sat -> true
+              in
+              Hashtbl.remove env v;
+              holds_for_e)
+            (Match_layer.domain db ())
+        in
+        let rec assign = function
+          | [] -> if check_forall () then k ()
+          | w :: rest ->
+              Seq.iter
+                (fun e ->
+                  Hashtbl.replace env w e;
+                  assign rest;
+                  Hashtbl.remove env w)
+                (Match_layer.domain db ())
+        in
+        assign unbound
+  and sat_conj pending k =
+    match pending with
+    | [] -> k ()
+    | first :: rest when not reorder -> sat first (fun () -> sat_conj rest k)
+    | _ ->
+        let best =
+          List.fold_left
+            (fun acc q ->
+              match acc with
+              | None -> Some q
+              | Some current -> if cost env q < cost env current then Some q else acc)
+            None pending
+        in
+        let chosen = Option.get best in
+        let rest = List.filter (fun q -> q != chosen) pending in
+        sat chosen (fun () -> sat_conj rest k)
+  in
+  let vars = Query.free_vars q in
+  let seen = Hashtbl.create 64 in
+  let rows = ref [] in
+  let emit () =
+    let row =
+      Array.of_list
+        (List.map
+           (fun v ->
+             match Hashtbl.find_opt env v with
+             | Some e -> e
+             | None ->
+                 raise
+                   (Unsafe
+                      (Printf.sprintf "free variable ?%s left unbound by a disjunct" v)))
+           vars)
+    in
+    let key = Array.to_list row in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      rows := row :: !rows
+    end
+  in
+  (match vars with
+  | [] ->
+      (* Proposition: record an empty row iff satisfiable. *)
+      (try
+         sat q (fun () -> raise Sat)
+       with Sat -> rows := [ [||] ])
+  | _ -> sat q emit);
+  { vars; rows = List.rev !rows }
+
+let holds ?opts db q = (eval ?opts db q).rows <> []
+
+let column answer =
+  match answer.vars with
+  | [ _ ] -> List.map (fun row -> row.(0)) answer.rows
+  | vars ->
+      invalid_arg
+        (Printf.sprintf "Eval.column: query has %d free variables" (List.length vars))
+
+let rows_named symtab answer =
+  List.map (fun row -> List.map (Symtab.name symtab) (Array.to_list row)) answer.rows

@@ -1,0 +1,38 @@
+(** Query evaluation (§2.7): the value of a query [Q(x1,…,xn)] is the set
+    of tuples [(c1,…,cn)] satisfying it.
+
+    Semantics notes (recorded in DESIGN.md):
+    - Templates match the fused {!Match_layer} view: closure facts, virtual
+      mathematical/hierarchy facts, and composition under the current
+      [limit].
+    - Quantifiers range over the active domain (entities occurring in the
+      closure) — the standard finite reading of the paper's logic.
+    - A disjunct must bind every free variable of the query; otherwise
+      {!Unsafe} is raised. A [∀] body's other free variables, if still
+      unbound, range over the active domain. Conjuncts are dynamically
+      reordered (most-bound first), so "(x,EARNS,y) ∧ (y,>,20000)" works
+      in any written order. *)
+
+type answer = {
+  vars : string list;  (** free variables, first-occurrence order *)
+  rows : Entity.t array list;  (** distinct satisfying tuples *)
+}
+
+exception Unsafe of string
+
+(** [reorder] (default [true]) enables the dynamic most-bound-first
+    conjunct ordering; with [false], conjuncts evaluate in written order
+    — exposed for the ablation experiment B10. *)
+val eval : ?opts:Match_layer.opts -> ?reorder:bool -> Database.t -> Query.t -> answer
+
+(** [holds db q] — the predicate reading: [q] is satisfied iff it matches a
+    non-empty set of facts (for propositions: iff true). *)
+val holds : ?opts:Match_layer.opts -> Database.t -> Query.t -> bool
+
+(** Convenience: the answer's single column, for one-variable queries.
+    Raises [Invalid_argument] if the query does not have exactly one free
+    variable. *)
+val column : answer -> Entity.t list
+
+(** Answers as name tuples. *)
+val rows_named : Symtab.t -> answer -> string list list

@@ -1,0 +1,58 @@
+type source = Stored | Derived of string | Virtual | Composed | Unknown
+
+type tree = { fact : Fact.t; source : source; premises : tree list }
+
+let source_of db (fact : Fact.t) =
+  let symtab = Database.symtab db in
+  if Database.mem_base db fact then Stored
+  else
+    let closure = Database.closure db in
+    match Closure.provenance closure fact with
+    | Some (rule, _) -> Derived rule
+    | None -> (
+        match Virtual_facts.holds symtab fact.s fact.r fact.t with
+        | Some true -> Virtual
+        | Some false | None ->
+            if
+              Composition.is_composed symtab fact.r
+              && Match_layer.holds db fact
+            then Composed
+            else if Match_layer.holds db fact then Virtual
+            else Unknown)
+
+let explain db fact =
+  let closure = Database.closure db in
+  let rec go visited fact =
+    let source = source_of db fact in
+    let premises =
+      match source with
+      | Derived _ when not (List.exists (Fact.equal fact) visited) -> (
+          match Closure.provenance closure fact with
+          | Some (_, premises) -> List.map (go (fact :: visited)) premises
+          | None -> [])
+      | Derived _ | Stored | Virtual | Composed | Unknown -> []
+    in
+    { fact; source; premises }
+  in
+  go [] fact
+
+let source_label = function
+  | Stored -> "stored"
+  | Derived rule -> "by rule " ^ rule
+  | Virtual -> "virtual (mathematical/hierarchy)"
+  | Composed -> "by composition"
+  | Unknown -> "NOT in the database"
+
+let render db tree =
+  let symtab = Database.symtab db in
+  let buf = Buffer.create 128 in
+  let rec go indent { fact; source; premises } =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s  [%s]\n"
+         (String.make indent ' ')
+         (Fact.to_string symtab fact)
+         (source_label source));
+    List.iter (go (indent + 2)) premises
+  in
+  go 0 tree;
+  Buffer.contents buf

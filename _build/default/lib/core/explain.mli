@@ -1,0 +1,25 @@
+(** Explanations: why is a fact in the database view?
+
+    Derived facts carry provenance from the closure engine (one derivation:
+    rule name + premises); base facts, virtual facts and composition facts
+    are explained as such. Browsing uses this to answer "where did this
+    come from?" without the user knowing any schema — there is none. *)
+
+type source =
+  | Stored  (** a base fact of the heap *)
+  | Derived of string  (** rule name *)
+  | Virtual  (** §3.6 mathematical / §2.3 hierarchy oracle *)
+  | Composed  (** §3.7 composition *)
+  | Unknown  (** not in the database view at all *)
+
+type tree = { fact : Fact.t; source : source; premises : tree list }
+
+(** [explain db fact] — full derivation tree (premises recursively
+    explained). *)
+val explain : Database.t -> Fact.t -> tree
+
+(** How the fact is established, without recursion. *)
+val source_of : Database.t -> Fact.t -> source
+
+(** Indented rendering of a derivation tree. *)
+val render : Database.t -> tree -> string

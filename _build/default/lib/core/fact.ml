@@ -1,0 +1,24 @@
+type t = Lsdb_datalog.Triple.t = { s : Entity.t; r : Entity.t; t : Entity.t }
+
+let make = Lsdb_datalog.Triple.make
+let source (fact : t) = fact.s
+let relationship (fact : t) = fact.r
+let target (fact : t) = fact.t
+let equal = Lsdb_datalog.Triple.equal
+let compare = Lsdb_datalog.Triple.compare
+let hash = Lsdb_datalog.Triple.hash
+
+let of_names symtab s r t =
+  make (Symtab.intern symtab s) (Symtab.intern symtab r) (Symtab.intern symtab t)
+
+let names symtab (fact : t) =
+  (Symtab.name symtab fact.s, Symtab.name symtab fact.r, Symtab.name symtab fact.t)
+
+let pp symtab ppf (fact : t) =
+  let s, r, t = names symtab fact in
+  Format.fprintf ppf "(%s, %s, %s)" s r t
+
+let to_string symtab fact = Format.asprintf "%a" (pp symtab) fact
+
+module Set = Lsdb_datalog.Triple.Set
+module Tbl = Lsdb_datalog.Triple.Tbl

@@ -1,0 +1,32 @@
+(** Facts: named pairs of entities [(source, relationship, target)] — the
+    basic units of information (§2.1).
+
+    A fact is the same datum as a Datalog {!Lsdb_datalog.Triple.t}; this
+    module re-exports it under database vocabulary and adds name-aware
+    construction and printing. *)
+
+type t = Lsdb_datalog.Triple.t = { s : Entity.t; r : Entity.t; t : Entity.t }
+
+val make : Entity.t -> Entity.t -> Entity.t -> t
+
+val source : t -> Entity.t
+val relationship : t -> Entity.t
+val target : t -> Entity.t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** [of_names symtab s r t] interns the three names and builds the fact. *)
+val of_names : Symtab.t -> string -> string -> string -> t
+
+(** [names symtab fact] is the [(source, relationship, target)] names. *)
+val names : Symtab.t -> t -> string * string * string
+
+(** Print as [(SOURCE, REL, TARGET)] using canonical names. *)
+val pp : Symtab.t -> Format.formatter -> t -> unit
+
+val to_string : Symtab.t -> t -> string
+
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,39 @@
+(** A plain-text exchange format for loosely structured databases.
+
+    One directive per line; [#] starts a comment. Since there is no schema,
+    a database file is just its facts plus a handful of declarations:
+
+    {v
+    # facts: templates without variables
+    (JOHN, LIKES, FELIX)
+    (JOHN, EARNS, $25000)
+
+    # declare a class relationship (default is individual)
+    class TOTAL-NUMBER
+    individual WORKS-FOR
+
+    # composition limit (§6.1)
+    limit 3
+
+    # rule NAME: body-templates => head-templates  (variables: ?x)
+    rule adults: (?x, in, EMPLOYEE) => (?x, in, ADULT)
+
+    # disable / enable a rule by name
+    exclude syn-rel
+    include syn-rel
+    v} *)
+
+exception Syntax_error of { line : int; message : string }
+
+(** Apply the directives of [text] to [db]. Returns the number of facts
+    inserted. *)
+val load_string : Database.t -> string -> int
+
+(** Load a file. *)
+val load_file : Database.t -> string -> int
+
+(** Serialize the database: declarations, limit, non-builtin rules,
+    excluded builtins, then every base fact (axiom facts omitted). *)
+val save_string : Database.t -> string
+
+val save_file : Database.t -> string -> unit

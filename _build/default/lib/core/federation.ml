@@ -1,0 +1,55 @@
+type t = {
+  merged : Database.t;
+  member_names : string list;
+  origin_table : string list Fact.Tbl.t;
+}
+
+let create members =
+  let merged = Database.create () in
+  let origin_table = Fact.Tbl.create 256 in
+  List.iter
+    (fun (member_name, member_db) ->
+      let member_symtab = Database.symtab member_db in
+      Store.iter
+        (fun fact ->
+          let s, r, tgt = Fact.names member_symtab fact in
+          let merged_fact = Fact.of_names (Database.symtab merged) s r tgt in
+          ignore (Database.insert merged merged_fact);
+          let existing =
+            Option.value ~default:[] (Fact.Tbl.find_opt origin_table merged_fact)
+          in
+          if not (List.mem member_name existing) then
+            Fact.Tbl.replace origin_table merged_fact (member_name :: existing))
+        (Database.store member_db);
+      (* Carry over class declarations and non-builtin rules. *)
+      List.iter
+        (fun (e, is_class) ->
+          let e' = Database.entity merged (Symtab.name member_symtab e) in
+          if is_class then Database.declare_class_relationship merged e'
+          else Database.declare_individual_relationship merged e')
+        (Relclass.declarations (Database.relclass member_db));
+      let remap e = Database.entity merged (Symtab.name member_symtab e) in
+      List.iter
+        (fun ((rule : Rule.t), enabled) ->
+          if Builtin_rules.find rule.name = None then begin
+            Database.add_rule merged (Rule.map_entities remap rule);
+            if not enabled then ignore (Database.exclude merged rule.name)
+          end)
+        (Database.rules member_db))
+    members;
+  { merged; member_names = List.map fst members; origin_table }
+
+let database t = t.merged
+let members t = t.member_names
+
+let origins t fact =
+  Option.value ~default:[] (Fact.Tbl.find_opt t.origin_table fact)
+
+let add_bridge t a b =
+  let fact = Fact.of_names (Database.symtab t.merged) a "≈" b in
+  ignore (Database.insert t.merged fact)
+
+let shared_facts t =
+  Fact.Tbl.fold
+    (fun fact origin_list acc -> if List.length origin_list >= 2 then fact :: acc else acc)
+    t.origin_table []

@@ -1,0 +1,33 @@
+(** Unified access to multiple databases (§1): "unified access to multiple
+    databases is much simpler with databases whose architecture does not
+    emphasize structure".
+
+    A federation merges member heaps into one database by name — no schema
+    integration step exists because there are no schemas. Synonym bridge
+    facts ([(A,≈,B)]) reconcile members that name the same real-world
+    entity differently; they are ordinary facts inserted into the merged
+    view. The federation remembers which member(s) contributed each base
+    fact. *)
+
+type t
+
+(** Merge the named members into a fresh database. Member rule sets beyond
+    the builtins are carried over (name clashes: last member wins). *)
+val create : (string * Database.t) list -> t
+
+(** The merged database (browse and query it like any other). *)
+val database : t -> Database.t
+
+val members : t -> string list
+
+(** Member names that contributed a base fact ([[]] for facts added
+    directly to the merged view, e.g. bridges). *)
+val origins : t -> Fact.t -> string list
+
+(** [add_bridge t a b] inserts the synonym fact [(a,≈,b)] into the merged
+    view, consolidating two spellings of one real-world entity (§3.3). *)
+val add_bridge : t -> string -> string -> unit
+
+(** Facts contributed by at least two different members — the overlap the
+    merge discovered. *)
+val shared_facts : t -> Fact.t list

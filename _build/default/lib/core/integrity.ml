@@ -1,0 +1,70 @@
+type conflict = Contradictory of Fact.t | Math
+
+type violation = { fact : Fact.t; conflict : conflict }
+
+let violations db =
+  let closure = Database.closure db in
+  let symtab = Database.symtab db in
+  let out = ref [] in
+  (* Contradiction pairs: for every (r,⊥,r') in the closure, facts related
+     by r and also by r'. ⊥ is symmetric (axiom (⊥,↔,⊥) + inversion), so
+     each unordered pair is reported once via an order filter. *)
+  Closure.match_pattern closure (Store.pattern ~r:Entity.contra ()) (fun contra_fact ->
+      let r = contra_fact.s and r' = contra_fact.t in
+      if r <= r' && not (Entity.equal r Entity.contra) then
+        Closure.match_pattern closure (Store.pattern ~r ()) (fun fact ->
+            let clash = Fact.make fact.s r' fact.t in
+            let clashes =
+              Closure.mem closure clash
+              || Virtual_facts.holds symtab fact.s r' fact.t = Some true
+            in
+            if clashes && not (r = r' && Fact.compare fact clash > 0) then
+              out := { fact; conflict = Contradictory clash } :: !out));
+  (* Oracle refutations: stored or derived facts the mathematics denies. *)
+  Closure.iter
+    (fun fact ->
+      match Virtual_facts.holds symtab fact.s fact.r fact.t with
+      | Some false -> out := { fact; conflict = Math } :: !out
+      | Some true | None -> ())
+    closure;
+  List.rev !out
+
+let is_valid db = violations db = []
+
+let insert_checked db fact =
+  if Database.mem_base db fact then Ok false
+  else begin
+    ignore (Database.insert db fact);
+    match violations db with
+    | [] -> Ok true
+    | vs ->
+        ignore (Database.remove db fact);
+        Error vs
+  end
+
+let add_rule_checked db rule =
+  let shadowed =
+    List.find_opt (fun (existing, _) -> Rule.equal_name existing rule) (Database.rules db)
+  in
+  Database.add_rule db rule;
+  match violations db with
+  | [] -> Ok ()
+  | vs ->
+      ignore (Database.remove_rule db rule.Rule.name);
+      (match shadowed with
+      | Some (old_rule, enabled) ->
+          Database.add_rule db old_rule;
+          if not enabled then ignore (Database.exclude db old_rule.Rule.name)
+      | None -> ());
+      Error vs
+
+let describe db violation =
+  let symtab = Database.symtab db in
+  match violation.conflict with
+  | Contradictory clash ->
+      Printf.sprintf "%s contradicts %s"
+        (Fact.to_string symtab violation.fact)
+        (Fact.to_string symtab clash)
+  | Math ->
+      Printf.sprintf "%s is refuted by the mathematical facts"
+        (Fact.to_string symtab violation.fact)

@@ -1,0 +1,118 @@
+type opts = { virtual_math : bool; virtual_hierarchy : bool; composition : bool }
+
+let eval_opts = { virtual_math = true; virtual_hierarchy = true; composition = true }
+let nav_opts = { virtual_math = false; virtual_hierarchy = false; composition = true }
+let plain_opts = { virtual_math = false; virtual_hierarchy = false; composition = false }
+
+let domain db () = Closure.active_entities (Database.closure db)
+
+(* The oracle owns a ground triple when it can decide it; stored facts in
+   that region are suppressed to avoid double emission and to keep the
+   §3.6 semantics ("never actually stored") authoritative. *)
+let oracle_owns opts symtab (fact : Fact.t) =
+  let relevant =
+    if Entity.is_comparator fact.r then opts.virtual_math
+    else if fact.r = Entity.gen then opts.virtual_hierarchy
+    else false
+  in
+  relevant && Virtual_facts.decides symtab fact.s fact.r fact.t
+
+(* Δ/∇ extremity semantics over the virtual hierarchy (§2.3 + §3.1): every
+   fact generalizes its relationship and target to Δ (gen-rel/gen-target
+   with the virtual (e,⊑,Δ)) and specializes its source to ∇ (gen-source
+   with the virtual (∇,⊑,e)). A bound Δ in relationship or target position,
+   or ∇ in source position, therefore acts as a wildcard whose matches are
+   re-labelled with the extreme. Δ in source position and ∇ elsewhere match
+   nothing — exactly why §5.2's (Δ, LOVES, x) fails. *)
+let extremity_rewrite (pat : Store.pattern) =
+  let rewrap = ref None in
+  let s =
+    match pat.s with
+    | Some s when s = Entity.bottom ->
+        rewrap := Some ();
+        None
+    | other -> other
+  in
+  let r =
+    match pat.r with
+    | Some r when r = Entity.top ->
+        rewrap := Some ();
+        None
+    | other -> other
+  in
+  let t =
+    match pat.t with
+    | Some t when t = Entity.top ->
+        rewrap := Some ();
+        None
+    | other -> other
+  in
+  if !rewrap = None then None
+  else
+    let relabel (fact : Fact.t) =
+      Fact.make
+        (if pat.s = Some Entity.bottom then Entity.bottom else fact.s)
+        (if pat.r = Some Entity.top then Entity.top else fact.r)
+        (if pat.t = Some Entity.top then Entity.top else fact.t)
+    in
+    Some ({ Store.s; r; t }, relabel)
+
+let rec candidates ?(opts = eval_opts) db (pat : Store.pattern) emit =
+  (* Hierarchy patterns (r = ⊑) belong to the oracle and are never
+     rewritten; for other relationships the extremes relabel {e real}
+     facts only — counting the trivially-true reflexive ⊑ among "related
+     in any way" would make every Δ-template succeed and defeat the §5.2
+     misspelling diagnosis. *)
+  let rewritable = pat.r <> Some Entity.gen in
+  match (if opts.virtual_hierarchy && rewritable then extremity_rewrite pat else None) with
+  | Some (rewritten, relabel) ->
+      let seen = Fact.Tbl.create 16 in
+      candidates ~opts:{ opts with virtual_hierarchy = false } db rewritten (fun fact ->
+          let fact = relabel fact in
+          if not (Fact.Tbl.mem seen fact) then begin
+            Fact.Tbl.add seen fact ();
+            emit fact
+          end)
+  | None ->
+  let closure = Database.closure db in
+  let symtab = Database.symtab db in
+  Closure.match_pattern closure pat (fun fact ->
+      if not (oracle_owns opts symtab fact) then emit fact);
+  let wants_virtual =
+    match pat.r with
+    | Some r when Entity.is_comparator r -> opts.virtual_math
+    | Some r when r = Entity.gen -> opts.virtual_hierarchy
+    | Some _ -> false
+    | None -> opts.virtual_hierarchy
+  in
+  if wants_virtual then Virtual_facts.candidates symtab ~domain:(domain db) pat emit;
+  if opts.composition then Composition.candidates db pat emit
+
+let match_list ?opts db pat =
+  let acc = ref [] in
+  candidates ?opts db pat (fun fact -> acc := fact :: !acc);
+  !acc
+
+let count ?opts db pat =
+  let n = ref 0 in
+  candidates ?opts db pat (fun _ -> incr n);
+  !n
+
+exception Found
+
+let exists ?opts db pat =
+  try
+    candidates ?opts db pat (fun _ -> raise Found);
+    false
+  with Found -> true
+
+let holds ?(opts = eval_opts) db (fact : Fact.t) =
+  let symtab = Database.symtab db in
+  match Virtual_facts.holds symtab fact.s fact.r fact.t with
+  | Some answer
+    when (Entity.is_comparator fact.r && opts.virtual_math)
+         || (fact.r = Entity.gen && opts.virtual_hierarchy) ->
+      answer
+  | _ ->
+      Closure.mem (Database.closure db) fact
+      || exists ~opts db (Store.pattern ~s:fact.s ~r:fact.r ~t:fact.t ())

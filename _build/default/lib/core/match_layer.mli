@@ -1,0 +1,41 @@
+(** The unified matching layer: one entry point answering a bound-position
+    pattern from the fused view of (1) the closure (stored + inferred
+    facts), (2) the virtual facts of §3.6/§2.3, and (3) on-demand
+    composition facts (§3.7).
+
+    Query evaluation, navigation and probing all match through here, which
+    is what makes the paper's "unified access strategy for schema and
+    data" (§2.6) literal: there is exactly one way to ask. *)
+
+type opts = {
+  virtual_math : bool;  (** answer comparator templates from the oracle *)
+  virtual_hierarchy : bool;  (** reflexive ⊑ and Δ/∇ facts *)
+  composition : bool;  (** honor composed relationships and path search *)
+}
+
+(** Everything on: what query evaluation uses. *)
+val eval_opts : opts
+
+(** Composition on, virtual facts off: what the §4.1 navigation tables
+    show (no Δ/reflexive noise, but composed paths do appear). *)
+val nav_opts : opts
+
+(** Facts only. *)
+val plain_opts : opts
+
+(** [candidates db ?opts pattern emit] enumerates matching facts. Stored
+    facts that fall under the oracle's authority (e.g. a stored reflexive
+    generalization, or a stored numeric comparison) are suppressed in
+    favor of the oracle so nothing is emitted twice. *)
+val candidates : ?opts:opts -> Database.t -> Store.pattern -> (Fact.t -> unit) -> unit
+
+val match_list : ?opts:opts -> Database.t -> Store.pattern -> Fact.t list
+val count : ?opts:opts -> Database.t -> Store.pattern -> int
+val exists : ?opts:opts -> Database.t -> Store.pattern -> bool
+
+(** [holds db ?opts fact] — ground-fact membership in the fused view. *)
+val holds : ?opts:opts -> Database.t -> Fact.t -> bool
+
+(** The active domain used for virtual-fact enumeration: entities
+    occurring in the closure. *)
+val domain : Database.t -> unit -> Entity.t Seq.t

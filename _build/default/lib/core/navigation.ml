@@ -1,0 +1,172 @@
+type neighborhood = {
+  entity : Entity.t;
+  as_source : (Entity.t * Entity.t list) list;
+  as_target : (Entity.t * Entity.t list) list;
+  as_relationship : (Entity.t * Entity.t) list;
+}
+
+let group_by_relationship symtab pairs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (r, other) ->
+      let cell =
+        match Hashtbl.find_opt tbl r with
+        | Some cell -> cell
+        | None ->
+            let cell = ref [] in
+            Hashtbl.add tbl r cell;
+            cell
+      in
+      cell := other :: !cell)
+    pairs;
+  let name = Symtab.name symtab in
+  let groups = Hashtbl.fold (fun r cell acc -> (r, List.rev !cell) :: acc) tbl [] in
+  (* Membership first (it answers "what is this entity?"), then
+     generalization, then the rest alphabetically — the §4.1 tables lead
+     with the entity's classes. *)
+  let rank r =
+    if r = Entity.member then 0 else if r = Entity.gen then 1 else 2
+  in
+  List.sort
+    (fun (r1, _) (r2, _) ->
+      let c = Int.compare (rank r1) (rank r2) in
+      if c <> 0 then c else String.compare (name r1) (name r2))
+    groups
+  |> List.map (fun (r, others) ->
+         (r, List.sort (fun a b -> String.compare (name a) (name b)) others))
+
+let neighborhood ?(opts = Match_layer.nav_opts) ?(derived = true) db entity =
+  let symtab = Database.symtab db in
+  let keep fact = derived || Database.mem_base db fact in
+  let sources = ref [] and targets = ref [] and rels = ref [] in
+  Match_layer.candidates ~opts db (Store.pattern ~s:entity ()) (fun fact ->
+      if keep fact then sources := (fact.r, fact.t) :: !sources);
+  Match_layer.candidates ~opts db (Store.pattern ~t:entity ()) (fun fact ->
+      if keep fact && not (Entity.equal fact.s entity) then
+        targets := (fact.r, fact.s) :: !targets);
+  Match_layer.candidates ~opts db (Store.pattern ~r:entity ()) (fun fact ->
+      if keep fact then rels := (fact.s, fact.t) :: !rels);
+  {
+    entity;
+    as_source = group_by_relationship symtab (List.rev !sources);
+    as_target = group_by_relationship symtab (List.rev !targets);
+    as_relationship = List.rev !rels;
+  }
+
+let try_entity ?(opts = Match_layer.nav_opts) db entity =
+  let out = ref [] in
+  let seen = Fact.Tbl.create 32 in
+  let emit fact =
+    if not (Fact.Tbl.mem seen fact) then begin
+      Fact.Tbl.add seen fact ();
+      out := fact :: !out
+    end
+  in
+  Match_layer.candidates ~opts db (Store.pattern ~s:entity ()) emit;
+  Match_layer.candidates ~opts db (Store.pattern ~r:entity ()) emit;
+  Match_layer.candidates ~opts db (Store.pattern ~t:entity ()) emit;
+  List.rev !out
+
+let associations ?(opts = Match_layer.nav_opts) db ~src ~tgt =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  Match_layer.candidates ~opts db (Store.pattern ~s:src ~t:tgt ()) (fun fact ->
+      if not (Hashtbl.mem seen fact.r) then begin
+        Hashtbl.add seen fact.r ();
+        out := fact.r :: !out
+      end);
+  List.rev !out
+
+let fresh_var =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Printf.sprintf "*%d" !counter
+
+let star_term db spec =
+  if String.equal spec "*" then Template.Var (fresh_var ())
+  else if String.length spec > 1 && spec.[0] = '?' then
+    Template.Var (String.sub spec 1 (String.length spec - 1))
+  else Template.Ent (Database.entity db spec)
+
+let star_template db (s, r, t) =
+  Template.make (star_term db s) (star_term db r) (star_term db t)
+
+let render_source_table ?derived db entity =
+  let symtab = Database.symtab db in
+  let nbhd = neighborhood ?derived db entity in
+  let name = Symtab.name symtab in
+  let cols =
+    List.map (fun (r, others) -> (name r, List.map name others)) nbhd.as_source
+  in
+  Pretty.columns ~title:(Printf.sprintf "%s, *, *" (name entity)) cols
+
+let render_associations db ~src ~tgt =
+  let symtab = Database.symtab db in
+  let name = Symtab.name symtab in
+  let rels = associations db ~src ~tgt in
+  Pretty.column
+    ~title:(Printf.sprintf "%s, *, %s" (name src) (name tgt))
+    (List.map name rels)
+
+let render_template ?(opts = Match_layer.nav_opts) db tpl =
+  let symtab = Database.symtab db in
+  let title = Template.to_string symtab tpl in
+  let answer = Eval.eval ~opts db (Query.atom tpl) in
+  match answer.Eval.vars with
+  | [] ->
+      Pretty.column ~title [ (if answer.Eval.rows <> [] then "true" else "false") ]
+  | [ _ ] ->
+      let cells =
+        Eval.column answer
+        |> List.map (Symtab.name symtab)
+        |> List.sort String.compare
+      in
+      Pretty.column ~title cells
+  | [ v1; v2 ] ->
+      (* Two free variables: group the second variable's values under
+         each value of the first — the paper's two-dimensional table. *)
+      let groups = Hashtbl.create 16 in
+      List.iter
+        (fun row ->
+          let key = Symtab.name symtab row.(0) in
+          let value = Symtab.name symtab row.(1) in
+          Hashtbl.replace groups key
+            (value :: Option.value ~default:[] (Hashtbl.find_opt groups key)))
+        answer.Eval.rows;
+      let rows =
+        Hashtbl.fold
+          (fun key values acc ->
+            [ key; String.concat ", " (List.sort String.compare values) ] :: acc)
+          groups []
+        |> List.sort compare
+      in
+      Pretty.grid ~title ~headers:[ v1; v2 ] rows
+  | vars ->
+      Pretty.grid ~title ~headers:vars
+        (List.sort compare (Eval.rows_named symtab answer))
+
+type session = {
+  db : Database.t;
+  mutable trail : Entity.t list;  (* most recent first *)
+}
+
+let start db = { db; trail = [] }
+let database session = session.db
+
+let visit session entity =
+  session.trail <- entity :: session.trail;
+  neighborhood session.db entity
+
+let back session =
+  match session.trail with
+  | [] -> None
+  | [ _ ] ->
+      session.trail <- [];
+      None
+  | _ :: previous :: rest ->
+      session.trail <- previous :: rest;
+      Some previous
+
+let current session = match session.trail with [] -> None | e :: _ -> Some e
+let history session = session.trail

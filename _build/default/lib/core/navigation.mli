@@ -1,0 +1,71 @@
+(** Browsing by navigation (§4.1): iteratively examine the neighborhood of
+    an entity, pick an entity there, examine its neighborhood, and so on.
+
+    Navigation is effected through template queries — a restricted form of
+    the standard query language — so it can be interleaved with standard
+    querying. The [*] symbol stands for independent anonymous variables. *)
+
+(** The neighborhood of an entity: every closure fact it participates in,
+    grouped by the entity's position. Relationship groups preserve a
+    stable order (membership first, then alphabetical). *)
+type neighborhood = {
+  entity : Entity.t;
+  as_source : (Entity.t * Entity.t list) list;  (** relationship ↦ targets *)
+  as_target : (Entity.t * Entity.t list) list;  (** relationship ↦ sources *)
+  as_relationship : (Entity.t * Entity.t) list;  (** (source, target) pairs *)
+}
+
+(** [derived] (default [true]) controls whether inferred facts appear;
+    with [false] the table shows stored facts only — exactly the cells
+    the paper's §4.1 figures print. *)
+val neighborhood :
+  ?opts:Match_layer.opts -> ?derived:bool -> Database.t -> Entity.t -> neighborhood
+
+(** [try_entity db e] — the §6.1 [try] operator: all facts that include
+    [e] in any position, i.e. [(e,x,y) ∨ (x,e,y) ∨ (x,y,e)]. *)
+val try_entity : ?opts:Match_layer.opts -> Database.t -> Entity.t -> Fact.t list
+
+(** [associations db ~src ~tgt] — the relationships connecting two given
+    entities, the template [(SRC, *, TGT)]; with composition enabled this
+    includes composed paths, the paper's (LEOPOLD, *, MOZART) example. *)
+val associations :
+  ?opts:Match_layer.opts -> Database.t -> src:Entity.t -> tgt:Entity.t -> Entity.t list
+
+(** [star_template db spec] parses a navigation template of the form
+    [(term, term, term)] where each term is an entity name, [*], or
+    [?var]; [*] becomes a fresh variable. Unknown entity names intern. *)
+val star_template : Database.t -> string * string * string -> Template.t
+
+(** Render the §4.1 one-entity table for the all-star template of [E]:
+    one column per
+    relationship, targets listed below, membership classes first. *)
+val render_source_table : ?derived:bool -> Database.t -> Entity.t -> string
+
+(** Render the table of associations between two entities, §4.1's last
+    example. *)
+val render_associations : Database.t -> src:Entity.t -> tgt:Entity.t -> string
+
+(** Render any navigation template's answer the way §4.1 prescribes: one
+    free variable → a single column; two free variables → a
+    two-dimensional table (first variable's values down the side, their
+    partners grouped in the second column); propositions and wider
+    templates → a plain grid. *)
+val render_template : ?opts:Match_layer.opts -> Database.t -> Template.t -> string
+
+(** {1 Sessions} — the iterative stroll, with history. *)
+
+type session
+
+val start : Database.t -> session
+val database : session -> Database.t
+
+(** Visit an entity (pushes onto the history). *)
+val visit : session -> Entity.t -> neighborhood
+
+(** Step back; [None] at the start of history. *)
+val back : session -> Entity.t option
+
+val current : session -> Entity.t option
+
+(** Visited entities, most recent first. *)
+val history : session -> Entity.t list

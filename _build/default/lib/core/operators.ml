@@ -1,0 +1,23 @@
+let try_ db name =
+  match Database.find_entity db name with
+  | None -> None
+  | Some e -> Some (Navigation.try_entity db e)
+
+let try_render db name =
+  match try_ db name with
+  | None -> Printf.sprintf "try(%s): no such database entity" name
+  | Some [] -> Printf.sprintf "try(%s): no facts include this entity" name
+  | Some facts ->
+      Printf.sprintf "try(%s):\n%s" name (Pretty.facts (Database.symtab db) facts)
+
+let include_rule = Database.include_rule
+let exclude = Database.exclude
+let limit = Database.set_limit
+let relation = View.relation_names
+
+let show_rules db =
+  let symtab = Database.symtab db in
+  Database.rules db
+  |> List.map (fun (rule, enabled) ->
+         Printf.sprintf "[%c] %s" (if enabled then 'x' else ' ') (Rule.to_string symtab rule))
+  |> String.concat "\n"

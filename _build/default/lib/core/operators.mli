@@ -1,0 +1,29 @@
+(** The §6.1 user-level operators, as one convenient facade:
+    [try(e)], [include(rule)], [exclude(rule)], [limit(n)] and
+    [relation(s, r1 t1, …)]. Each is a thin veneer over the corresponding
+    library mechanism — the paper defines them all in terms of the
+    standard query language. *)
+
+(** [try_ db name] — all facts including the entity, rendered groups of
+    facts; [None] when the name is not interned. *)
+val try_ : Database.t -> string -> Fact.t list option
+
+(** [try_render db name] — printable form, or the "unknown entity"
+    message. *)
+val try_render : Database.t -> string -> string
+
+(** [include_rule db name] / [exclude db name] — toggle a rule (§6.1);
+    [false] when no such rule. *)
+val include_rule : Database.t -> string -> bool
+
+val exclude : Database.t -> string -> bool
+
+(** [limit db n] — set the composition-chain bound. *)
+val limit : Database.t -> int -> unit
+
+(** [relation db s columns] — the tabulated view; column specs are
+    [(relationship, class)] name pairs. *)
+val relation : Database.t -> string -> (string * string) list -> View.t
+
+(** List the rules with enabled flags, printable. *)
+val show_rules : Database.t -> string

@@ -1,0 +1,156 @@
+let db_of_facts ?(class_relationships = []) ?(limit = 1) facts =
+  let db = Database.create () in
+  List.iter
+    (fun (s, r, t) -> ignore (Database.insert_names db s r t))
+    facts;
+  List.iter
+    (fun r -> Database.declare_class_relationship db (Database.entity db r))
+    class_relationships;
+  if limit <> 1 then Database.set_limit db limit;
+  db
+
+let music () =
+  db_of_facts ~limit:3
+    [
+      (* the all-star JOHN template — first §4.1 table *)
+      ("JOHN", "in", "PERSON");
+      ("JOHN", "in", "EMPLOYEE");
+      ("JOHN", "in", "PET-OWNER");
+      ("JOHN", "in", "MUSIC-LOVER");
+      ("JOHN", "LIKES", "CAT");
+      ("JOHN", "LIKES", "FELIX");
+      ("JOHN", "LIKES", "HEATHCLIFF");
+      ("JOHN", "LIKES", "MOZART");
+      ("JOHN", "LIKES", "MARY");
+      ("JOHN", "WORKS-FOR", "SHIPPING");
+      ("JOHN", "BOSS", "PETER");
+      ("JOHN", "FAVORITE-MUSIC", "PC#9-WAM");
+      ("JOHN", "FAVORITE-MUSIC", "PC#20-PIT");
+      ("JOHN", "FAVORITE-MUSIC", "S#5-LVB");
+      (* the all-star PC#9-WAM template — second table *)
+      ("PC#9-WAM", "in", "CONCERTO");
+      ("CONCERTO", "isa", "CLASSICAL-COMPOSITION");
+      ("PC#9-WAM", "COMPOSED-BY", "MOZART");
+      ("PC#9-WAM", "PERFORMED-BY", "SERKIN");
+      ("PC#9-WAM", "PERFORMED-BY", "BARENBOIM");
+      ("FAVORITE-MUSIC", "inv", "FAVORITE-OF");
+      (* LEOPOLD-to-MOZART associations — third table: composed path + fact *)
+      ("LEOPOLD", "FAVORITE-MUSIC", "PC#9-WAM");
+      ("LEOPOLD", "FATHER-OF", "MOZART");
+      (* supporting cast *)
+      ("FELIX", "in", "CAT");
+      ("HEATHCLIFF", "in", "CAT");
+      ("CAT", "isa", "PET");
+      ("MOZART", "in", "COMPOSER");
+      ("COMPOSER", "isa", "PERSON");
+      ("SERKIN", "in", "PIANIST");
+      ("BARENBOIM", "in", "PIANIST");
+      ("PIANIST", "isa", "PERSON");
+      ("MARY", "in", "PERSON");
+      ("PETER", "in", "PERSON");
+      ("SHIPPING", "in", "DEPARTMENT");
+      ("EMPLOYEE", "isa", "PERSON");
+    ]
+
+let organization () =
+  db_of_facts
+    ~class_relationships:[ "TOTAL-NUMBER" ]
+    [
+      (* §3.1 — inference by generalization *)
+      ("EMPLOYEE", "WORKS-FOR", "DEPARTMENT");
+      ("MANAGER", "isa", "EMPLOYEE");
+      ("EMPLOYEE", "EARNS", "SALARY");
+      ("SALARY", "isa", "COMPENSATION");
+      ("WORKS-FOR", "isa", "IS-PAID-BY");
+      ("JOHN", "WORKS-FOR", "SHIPPING");
+      (* §3.2 — inference by membership *)
+      ("JOHN", "in", "EMPLOYEE");
+      ("TOM", "in", "EMPLOYEE");
+      ("TOM", "WORKS-FOR", "SHIPPING");
+      ("SHIPPING", "in", "DEPARTMENT");
+      (* §3.3 — synonyms *)
+      ("JOHN", "syn", "JOHNNY");
+      ("JOHN", "EARNS", "$25000");
+      ("SALARY", "syn", "WAGE");
+      ("SALARY", "syn", "PAY");
+      (* §3.5 — contradiction facts *)
+      ("LOVES", "contra", "HATES");
+      (* §2.2 — a class relationship *)
+      ("EMPLOYEE", "TOTAL-NUMBER", "180");
+      (* §3.4 — inversion *)
+      ("INSTRUCTOR", "TEACHES", "COURSE");
+      ("TEACHES", "inv", "TAUGHT-BY");
+      ("HARRY", "in", "INSTRUCTOR");
+      ("CS100", "in", "COURSE");
+      ("HARRY", "TEACHES", "CS100");
+    ]
+
+let campus () =
+  db_of_facts
+    [
+      (* hierarchy used by §5.1/§5.2 *)
+      ("FRESHMAN", "isa", "STUDENT");
+      ("LOVE", "isa", "LIKE");
+      ("LOVES", "isa", "ENJOYS");
+      ("FREE", "isa", "CHEAP");
+      ("OPERA", "isa", "MUSIC");
+      ("OPERA", "isa", "THEATER");
+      (* §5.1 — who loves opera *)
+      ("SUE", "ENJOYS", "OPERA");
+      ("SUE", "in", "STUDENT");
+      ("TED", "LOVES", "MUSIC");
+      ("TED", "in", "STUDENT");
+      (* §5.2 — free things all students love: Q fails, FRESHMAN and CHEAP
+         variants succeed *)
+      ("FRESHMAN", "LOVE", "FROSH-CONCERT");
+      ("FROSH-CONCERT", "COSTS", "FREE");
+      ("STUDENT", "LOVE", "CAMPUS-CINEMA");
+      ("CAMPUS-CINEMA", "COSTS", "CHEAP");
+    ]
+
+let library () =
+  db_of_facts
+    [
+      (* §2.7 — books, citations, self-citing authors *)
+      ("WAR-AND-PIECES", "in", "BOOK");
+      ("OCAML-IN-ANGER", "in", "BOOK");
+      ("DUST-JACKET", "in", "BOOK");
+      ("WAR-AND-PIECES", "CITES", "WAR-AND-PIECES");
+      ("WAR-AND-PIECES", "CITES", "OCAML-IN-ANGER");
+      ("OCAML-IN-ANGER", "CITES", "WAR-AND-PIECES");
+      ("WAR-AND-PIECES", "AUTHOR", "ALICE");
+      ("OCAML-IN-ANGER", "AUTHOR", "BOB");
+      ("DUST-JACKET", "AUTHOR", "BOB");
+      ("ALICE", "in", "PERSON");
+      ("BOB", "in", "PERSON");
+      (* §5 — quarterbacks who graduated from USC: none graduated, one
+         attended *)
+      ("GRADUATE-OF", "isa", "ATTENDED");
+      ("QUARTERBACK", "isa", "FOOTBALL-PLAYER");
+      ("FOOTBALL-PLAYER", "isa", "ATHLETE");
+      ("JAKE", "in", "QUARTERBACK");
+      ("JAKE", "ATTENDED", "USC");
+      ("RON", "in", "FOOTBALL-PLAYER");
+      ("RON", "GRADUATE-OF", "USC");
+      ("USC", "in", "UNIVERSITY");
+    ]
+
+let payroll () =
+  db_of_facts
+    [
+      ("JOHN", "in", "EMPLOYEE");
+      ("TOM", "in", "EMPLOYEE");
+      ("MARY", "in", "EMPLOYEE");
+      ("JOHN", "WORKS-FOR", "SHIPPING");
+      ("TOM", "WORKS-FOR", "ACCOUNTING");
+      ("MARY", "WORKS-FOR", "RECEIVING");
+      ("JOHN", "EARNS", "$26000");
+      ("TOM", "EARNS", "$27000");
+      ("MARY", "EARNS", "$25000");
+      ("SHIPPING", "in", "DEPARTMENT");
+      ("ACCOUNTING", "in", "DEPARTMENT");
+      ("RECEIVING", "in", "DEPARTMENT");
+      ("$26000", "in", "SALARY");
+      ("$27000", "in", "SALARY");
+      ("$25000", "in", "SALARY");
+    ]

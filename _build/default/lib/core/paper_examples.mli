@@ -1,0 +1,24 @@
+(** The example databases the paper's walkthroughs presuppose,
+    reconstructed from the prose so that the worked examples of §3–§6 can
+    be regenerated and compared cell by cell (experiments EX1–EX7). *)
+
+(** §4.1: John, his cats, Mozart's piano concerto PC#9-WAM, Leopold — the
+    three navigation tables. Composition limit is set to 3 so that
+    (LEOPOLD, *, MOZART) finds the FAVORITE-MUSIC·COMPOSED-BY path. *)
+val music : unit -> Database.t
+
+(** §3.1–§3.5: the organization database — employees, departments,
+    works-for/is-paid-by generalization, Johnny synonym, teaches/taught-by
+    inversion, loves ⊥ hates. *)
+val organization : unit -> Database.t
+
+(** §5.1/§5.2: students, freshmen, opera/music/theater, LOVE ⊑ LIKE,
+    FREE ⊑ CHEAP — the probing and retraction walkthroughs. *)
+val campus : unit -> Database.t
+
+(** §2.7/§3.6/§5.1: books, citations, authors, quarterbacks and USC. *)
+val library : unit -> Database.t
+
+(** §6.1: the employee relation table (JOHN/TOM/MARY with departments and
+    salaries). *)
+val payroll : unit -> Database.t

@@ -1,0 +1,103 @@
+let display_width s =
+  let n = String.length s in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    (* Count every byte that is not a UTF-8 continuation byte. *)
+    if Char.code s.[i] land 0xC0 <> 0x80 then incr count
+  done;
+  !count
+
+let pad width s =
+  let w = display_width s in
+  if w >= width then s else s ^ String.make (width - w) ' '
+
+let center width s =
+  let w = display_width s in
+  if w >= width then s
+  else
+    let left = (width - w) / 2 in
+    String.make left ' ' ^ s ^ String.make (width - w - left) ' '
+
+let rule widths =
+  "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "+"
+
+let row widths cells =
+  "| "
+  ^ String.concat " | " (List.map2 (fun w c -> pad w c) widths cells)
+  ^ " |"
+
+let normalize_heights cols =
+  let height = List.fold_left (fun acc (_, cells) -> max acc (List.length cells)) 0 cols in
+  List.map
+    (fun (header, cells) ->
+      (header, cells @ List.init (height - List.length cells) (fun _ -> "")))
+    cols
+
+let columns ~title cols =
+  match cols with
+  | [] -> Printf.sprintf "+--- %s ---+\n| (empty) |\n+%s+" title (String.make (display_width title + 8) '-')
+  | _ ->
+      let cols = normalize_heights cols in
+      let widths =
+        List.map
+          (fun (header, cells) ->
+            List.fold_left (fun acc s -> max acc (display_width s)) (display_width header) cells)
+          cols
+      in
+      let total = List.fold_left ( + ) 0 widths + (3 * List.length widths) - 1 in
+      let buf = Buffer.create 256 in
+      let add line =
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n'
+      in
+      add ("+" ^ String.make total '-' ^ "+");
+      add ("|" ^ center total title ^ "|");
+      add (rule widths);
+      add (row widths (List.map fst cols));
+      add (rule widths);
+      let height = List.length (snd (List.hd cols)) in
+      for i = 0 to height - 1 do
+        add (row widths (List.map (fun (_, cells) -> List.nth cells i) cols))
+      done;
+      Buffer.add_string buf (rule widths);
+      Buffer.contents buf
+
+let grid ?title ~headers rows =
+  let ncols = List.length headers in
+  let pad_row r =
+    let len = List.length r in
+    if len >= ncols then r else r @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map pad_row rows in
+  let widths =
+    List.mapi
+      (fun i header ->
+        List.fold_left
+          (fun acc r -> max acc (display_width (List.nth r i)))
+          (display_width header) rows)
+      headers
+  in
+  let buf = Buffer.create 256 in
+  let add line =
+    Buffer.add_string buf line;
+    Buffer.add_char buf '\n'
+  in
+  (match title with
+  | Some title ->
+      let total = List.fold_left ( + ) 0 widths + (3 * List.length widths) - 1 in
+      add ("+" ^ String.make total '-' ^ "+");
+      add ("|" ^ center total title ^ "|")
+  | None -> ());
+  add (rule widths);
+  add (row widths headers);
+  add (rule widths);
+  List.iter (fun r -> add (row widths r)) rows;
+  Buffer.add_string buf (rule widths);
+  Buffer.contents buf
+
+let column ~title cells = grid ~headers:[ title ] (List.map (fun c -> [ c ]) cells)
+
+let facts symtab fact_list =
+  String.concat "\n" (List.map (Fact.to_string symtab) fact_list)
+
+let cell symtab entities = String.concat ", " (List.map (Symtab.name symtab) entities)

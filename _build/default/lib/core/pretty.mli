@@ -1,0 +1,24 @@
+(** Rendering answers the way the paper prints them (§4.1, §6.1):
+    one-column answers, ragged multi-column neighborhood tables, and
+    two-dimensional grids. All output is plain text with box borders. *)
+
+(** Display width of a UTF-8 string (code points, good enough for the
+    entity names this system prints). *)
+val display_width : string -> int
+
+(** A ragged table: a title spanning the full width, one header per
+    column, and columns of possibly different heights (the §4.1 layout). *)
+val columns : title:string -> (string * string list) list -> string
+
+(** A regular grid with one header row; short rows are padded. *)
+val grid : ?title:string -> headers:string list -> string list list -> string
+
+(** One-column answer (single-free-variable queries). *)
+val column : title:string -> string list -> string
+
+(** Render a list of facts, one per line. *)
+val facts : Symtab.t -> Fact.t list -> string
+
+(** Non-1NF cell: entities separated by [", "] (§6.1's relation tables may
+    hold any number of entities per position). *)
+val cell : Symtab.t -> Entity.t list -> string

@@ -1,0 +1,128 @@
+type success = {
+  query : Query.t;
+  steps : Retraction.step list;
+  answer : Eval.answer;
+}
+
+type outcome =
+  | Answered of Eval.answer
+  | Retracted of {
+      wave : int;
+      successes : success list;
+      attempted : int;
+      critical : bool;
+    }
+  | Exhausted of {
+      waves : int;
+      attempted : int;
+      unknown_entities : Entity.t list;
+    }
+
+type pending = { query : Query.t; steps_rev : Retraction.step list }
+
+let probe ?policy ?(max_waves = 8) ?(max_wave_width = 512) ?opts db q =
+  let answer = Eval.eval ?opts db q in
+  if answer.rows <> [] then Answered answer
+  else begin
+    let broadness = Broadness.compute db in
+    let seen = Hashtbl.create 64 in
+    Hashtbl.add seen q ();
+    let total_attempted = ref 0 in
+    let rec wave n frontier =
+      if n > max_waves || frontier = [] then
+        Exhausted
+          {
+            waves = n - 1;
+            attempted = !total_attempted;
+            unknown_entities = Query.unmatched_entities db q;
+          }
+      else begin
+        (* Expand every failed query of the previous wave by one minimal
+           broadening step, deduplicating across the whole search. *)
+        let next = ref [] in
+        let count = ref 0 in
+        List.iter
+          (fun { query; steps_rev } ->
+            if !count < max_wave_width then
+              List.iter
+                (fun ({ Retraction.query = broader_query; step } : Retraction.broader) ->
+                  if !count < max_wave_width && not (Hashtbl.mem seen broader_query)
+                  then begin
+                    Hashtbl.add seen broader_query ();
+                    incr count;
+                    next := { query = broader_query; steps_rev = step :: steps_rev } :: !next
+                  end)
+                (Retraction.retraction_set ?policy db broadness query))
+          frontier;
+        let candidates = List.rev !next in
+        let attempted = List.length candidates in
+        total_attempted := !total_attempted + attempted;
+        let successes, failures =
+          List.partition_map
+            (fun { query; steps_rev } ->
+              let answer = Eval.eval ?opts db query in
+              if answer.rows <> [] then
+                Left { query; steps = List.rev steps_rev; answer }
+              else Right { query; steps_rev })
+            candidates
+        in
+        if successes <> [] then
+          Retracted
+            {
+              wave = n;
+              successes;
+              attempted;
+              critical = List.length successes = attempted;
+            }
+        else wave (n + 1) failures
+      end
+    in
+    wave 1 [ { query = q; steps_rev = [] } ]
+  end
+
+let render_menu db q outcome =
+  let symtab = Database.symtab db in
+  let buf = Buffer.create 256 in
+  let add line =
+    Buffer.add_string buf line;
+    Buffer.add_char buf '\n'
+  in
+  add (Printf.sprintf "Query: %s" (Query.to_string symtab q));
+  (match outcome with
+  | Answered answer ->
+      add (Printf.sprintf "Succeeded with %d answer(s)." (List.length answer.rows))
+  | Retracted { wave; successes; critical; _ } ->
+      add "Query failed. Retrying...";
+      if wave > 1 then add (Printf.sprintf "(successes appear at retraction wave %d)" wave);
+      List.iteri
+        (fun i success ->
+          let descr =
+            String.concat ", " (List.map (Retraction.describe db) success.steps)
+          in
+          add
+            (Printf.sprintf "%d. Success with %s (%d answer(s))" (i + 1) descr
+               (List.length success.answer.rows)))
+        successes;
+      add "You may select.";
+      if critical then
+        add "(critical failure: every minimally broader query succeeds)"
+  | Exhausted { unknown_entities = []; waves; attempted } ->
+      add
+        (Printf.sprintf
+           "Query failed; no broader query succeeded (%d waves, %d queries attempted)."
+           waves attempted)
+  | Exhausted { unknown_entities; _ } ->
+      add
+        (Printf.sprintf "Query failed: no such database entities: %s."
+           (String.concat ", " (List.map (Database.entity_name db) unknown_entities)));
+      List.iter
+        (fun unknown ->
+          match Search.suggestions db (Database.entity_name db unknown) with
+          | [] -> ()
+          | candidates ->
+              add
+                (Printf.sprintf "Did you mean %s?"
+                   (String.concat ", "
+                      (List.map (Database.entity_name db) candidates))))
+        unknown_entities);
+  Buffer.contents buf

@@ -1,0 +1,48 @@
+(** Browsing by probing (§5.2): attempt a query; on failure, automatically
+    attempt its retraction set, wave by wave, reporting every success with
+    the generalizations that produced it — the paper's
+    "Query failed. Retrying…" menu.
+
+    Wave [k] holds the queries reachable from the original by [k] minimal
+    broadening steps. The process stops at the first wave with a success,
+    or when no query can be broadened further, or at [max_waves]. *)
+
+(** A successful retraction query. *)
+type success = {
+  query : Query.t;
+  steps : Retraction.step list;  (** broadening chain, first step first *)
+  answer : Eval.answer;
+}
+
+type outcome =
+  | Answered of Eval.answer  (** the original query succeeded *)
+  | Retracted of {
+      wave : int;  (** wave index (1 = the §5.1 retraction set) *)
+      successes : success list;
+      attempted : int;  (** queries evaluated in the successful wave *)
+      critical : bool;
+          (** every query of the wave succeeded — the paper's "critical
+              point", isolating exactly where the database cannot satisfy
+              the query *)
+    }
+  | Exhausted of {
+      waves : int;  (** waves fully explored *)
+      attempted : int;  (** total broadened queries evaluated *)
+      unknown_entities : Entity.t list;
+          (** query entities appearing in no closure fact: the "no such
+              database entities" diagnosis for misspellings *)
+    }
+
+(** [probe db q] — evaluate and retract automatically. [max_waves]
+    defaults to 8; [max_wave_width] (default 512) caps each wave. *)
+val probe :
+  ?policy:Retraction.policy ->
+  ?max_waves:int ->
+  ?max_wave_width:int ->
+  ?opts:Match_layer.opts ->
+  Database.t ->
+  Query.t ->
+  outcome
+
+(** Render the §5.2 menu ("Query failed. Retrying …  1. Success with …"). *)
+val render_menu : Database.t -> Query.t -> outcome -> string

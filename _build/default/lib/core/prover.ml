@@ -1,0 +1,303 @@
+(* Top-down proving with tabling-by-iteration: one pass expands goals
+   depth-first, cutting cycles at in-progress goals (their current
+   answers are used); passes repeat until no table grows, which yields
+   the least fixpoint over the generated subgoal patterns — the standard
+   magic-sets-style relevance restriction, implemented as iterated SLD.
+
+   Goals are staged like the closure: [`Inversion] goals see stored facts
+   plus the inversion rule (recursively staged, so chained inversions
+   through ↔ pairs converge); [`Full] goals see stored facts, the
+   inversion stratum, and every other enabled rule. *)
+
+type pattern = { ps : Entity.t option; pr : Entity.t option; pt : Entity.t option }
+
+type stage = Inversion | Full
+
+let pattern_key stage { ps; pr; pt } =
+  let v = function Some e -> e | None -> -1 in
+  ((stage = Full), v ps, v pr, v pt)
+
+type key = bool * int * int * int
+
+type goal_state = {
+  mutable answers : Fact.Set.t;
+  mutable in_progress : bool;
+  mutable valid : bool;  (* false = needs (re-)expansion *)
+  mutable dependents : key list;  (* goals that consumed our answers *)
+}
+
+type state = {
+  db : Database.t;
+  table : (key, goal_state) Hashtbl.t;
+  mutable worklist : key list;  (* invalidated goals awaiting re-expansion *)
+  mutable expansions : int;
+  max_depth : int;
+  max_expansions : int;
+}
+
+exception Gave_up of int
+
+let matches_pattern { ps; pr; pt } (fact : Fact.t) =
+  (match ps with Some e -> Entity.equal e fact.s | None -> true)
+  && (match pr with Some e -> Entity.equal e fact.r | None -> true)
+  && match pt with Some e -> Entity.equal e fact.t | None -> true
+
+(* [expand state depth ?consumer stage pattern] returns the goal's
+   current answers, computing them if the goal is new or invalidated.
+   [consumer] is the goal that asked; it is registered as a dependent so
+   that when this goal's answers later grow, the consumer is re-expanded
+   (dependency-driven semi-naive convergence, instead of re-running the
+   whole proof tree until quiescence). *)
+let rec expand state depth ?consumer stage pattern =
+  let key = pattern_key stage pattern in
+  let goal =
+    match Hashtbl.find_opt state.table key with
+    | Some goal -> goal
+    | None ->
+        let goal =
+          { answers = Fact.Set.empty; in_progress = false; valid = false; dependents = [] }
+        in
+        Hashtbl.add state.table key goal;
+        goal
+  in
+  (match consumer with
+  | Some c when not (List.mem c goal.dependents) -> goal.dependents <- c :: goal.dependents
+  | _ -> ());
+  if goal.in_progress || goal.valid || depth <= 0 then goal.answers
+  else begin
+    goal.in_progress <- true;
+    goal.valid <- true;
+    state.expansions <- state.expansions + 1;
+    if state.expansions > state.max_expansions then raise (Gave_up state.expansions);
+    let add fact =
+      if matches_pattern pattern fact && not (Fact.Set.mem fact goal.answers) then begin
+        goal.answers <- Fact.Set.add fact goal.answers;
+        (* New answers stale every consumer. *)
+        List.iter
+          (fun dep_key ->
+            match Hashtbl.find_opt state.table dep_key with
+            | Some dep when dep.valid && not dep.in_progress ->
+                dep.valid <- false;
+                state.worklist <- dep_key :: state.worklist
+            | Some dep -> dep.valid <- false
+            | None -> ())
+          goal.dependents
+      end
+    in
+    (* Stored facts feed both stages. *)
+    Store.match_pattern (Database.store state.db)
+      (Store.pattern ?s:pattern.ps ?r:pattern.pr ?t:pattern.pt ())
+      add;
+    let rules = Database.enabled_rules state.db in
+    let key_as_consumer = key in
+    (match stage with
+    | Inversion ->
+        List.iter
+          (fun (rule : Rule.t) ->
+            if String.equal rule.name "inversion" then
+              List.iter
+                (fun head ->
+                  chain state depth ~consumer:key_as_consumer Inversion pattern rule head add)
+                rule.heads)
+          rules
+    | Full ->
+        (* The whole inversion stratum for this pattern. *)
+        Fact.Set.iter add
+          (expand state (depth - 1) ~consumer:key_as_consumer Inversion pattern);
+        List.iter
+          (fun (rule : Rule.t) ->
+            if not (String.equal rule.name "inversion") then
+              List.iter
+                (fun head ->
+                  chain state depth ~consumer:key_as_consumer Full pattern rule head add)
+                rule.heads)
+          rules);
+    goal.in_progress <- false;
+    (* If a dependency (possibly this very goal, through a cycle) grew
+       while we were expanding, we were invalidated without being queued
+       (in-progress goals are skipped); queue the re-expansion now. *)
+    if not goal.valid then state.worklist <- key :: state.worklist;
+    goal.answers
+  end
+
+(* Unify the goal pattern with a rule head, then solve the body atoms
+   left to right under the accumulated bindings; subgoals stay in the
+   caller's stage. *)
+and chain state depth ~consumer stage pattern (rule : Rule.t) (head : Template.t) add =
+  let env : (string, Entity.t) Hashtbl.t = Hashtbl.create 8 in
+  let unify_term term bound =
+    match (term, bound) with
+    | _, None -> true (* goal position free: no constraint *)
+    | Template.Ent e, Some want -> Entity.equal e want
+    | Template.Var v, Some want -> (
+        match Hashtbl.find_opt env v with
+        | Some existing -> Entity.equal existing want
+        | None ->
+            Hashtbl.replace env v want;
+            true)
+  in
+  if
+    unify_term head.Template.src pattern.ps
+    && unify_term head.Template.rel pattern.pr
+    && unify_term head.Template.tgt pattern.pt
+  then begin
+    let relclass = Database.relclass state.db in
+    let guards_ok () =
+      List.for_all
+        (fun guard ->
+          match guard with
+          | Rule.Individual v -> (
+              match Hashtbl.find_opt env v with
+              | Some e -> Relclass.is_individual relclass e
+              | None -> true)
+          | Rule.Class v -> (
+              match Hashtbl.find_opt env v with
+              | Some e -> Relclass.is_class relclass e
+              | None -> true)
+          | Rule.Distinct (a, b) -> (
+              match (Hashtbl.find_opt env a, Hashtbl.find_opt env b) with
+              | Some x, Some y -> not (Entity.equal x y)
+              | _ -> true))
+        rule.guards
+    in
+    let term_value = function
+      | Template.Ent e -> Some e
+      | Template.Var v -> Hashtbl.find_opt env v
+    in
+    let bind_fact (tpl : Template.t) (fact : Fact.t) =
+      let bind term value newly =
+        match term with
+        | Template.Ent e -> if Entity.equal e value then Some newly else None
+        | Template.Var v -> (
+            match Hashtbl.find_opt env v with
+            | Some existing -> if Entity.equal existing value then Some newly else None
+            | None ->
+                Hashtbl.replace env v value;
+                Some (v :: newly))
+      in
+      match bind tpl.Template.src fact.s [] with
+      | None -> None
+      | Some newly -> (
+          match bind tpl.Template.rel fact.r newly with
+          | None ->
+              List.iter (Hashtbl.remove env) newly;
+              None
+          | Some newly -> (
+              match bind tpl.Template.tgt fact.t newly with
+              | None ->
+                  List.iter (Hashtbl.remove env) newly;
+                  None
+              | Some newly -> Some newly))
+    in
+    (* Greedy body ordering: solve the most-bound atom next, preferring
+       a bound source (entity-rooted subgoals stay local; a subgoal like
+       (?, EARNS, COMPENSATION) would enumerate the world). *)
+    let score (atom : Template.t) =
+      let free = ref 0 in
+      let bound term = match term_value term with Some _ -> true | None -> incr free; false in
+      let src_bound = bound atom.Template.src in
+      ignore (bound atom.Template.rel);
+      ignore (bound atom.Template.tgt);
+      (!free, if src_bound then 0 else 1)
+    in
+    let rec body pending =
+      match pending with
+      | [] ->
+          if guards_ok () then
+            let instantiate (tpl : Template.t) =
+              match
+                ( term_value tpl.Template.src,
+                  term_value tpl.Template.rel,
+                  term_value tpl.Template.tgt )
+              with
+              | Some s, Some r, Some t -> Some (Fact.make s r t)
+              | _ -> None
+            in
+            Option.iter add (instantiate head)
+      | _ ->
+          if guards_ok () then begin
+            let atom =
+              List.fold_left
+                (fun best candidate ->
+                  if score candidate < score best then candidate else best)
+                (List.hd pending) (List.tl pending)
+            in
+            let rest = List.filter (fun a -> a != atom) pending in
+            let sub =
+              {
+                ps = term_value atom.Template.src;
+                pr = term_value atom.Template.rel;
+                pt = term_value atom.Template.tgt;
+              }
+            in
+            let answers = expand state (depth - 1) ~consumer stage sub in
+            Fact.Set.iter
+              (fun fact ->
+                match bind_fact atom fact with
+                | Some newly ->
+                    body rest;
+                    List.iter (Hashtbl.remove env) newly
+                | None -> ())
+              answers
+          end
+    in
+    body rule.body
+  end
+
+let run ?(max_depth = 32) ?(max_expansions = 200_000) db pattern =
+  let state =
+    {
+      db;
+      table = Hashtbl.create 64;
+      worklist = [];
+      expansions = 0;
+      max_depth;
+      max_expansions;
+    }
+  in
+  ignore (expand state state.max_depth Full pattern);
+  (* Dependency-driven convergence: re-expand goals whose dependencies
+     grew, until quiescence. Termination: answers grow monotonically
+     within a finite Herbrand base. *)
+  let rec drain () =
+    match state.worklist with
+    | [] -> ()
+    | key :: rest ->
+        state.worklist <- rest;
+        (match Hashtbl.find_opt state.table key with
+        | Some goal when not goal.valid ->
+            let stage, s, r, t = key in
+            let unv v = if v < 0 then None else Some v in
+            let pattern = { ps = unv s; pr = unv r; pt = unv t } in
+            ignore
+              (expand state state.max_depth (if stage then Full else Inversion) pattern)
+        | _ -> ());
+        drain ()
+  in
+  drain ();
+  let root = Hashtbl.find state.table (pattern_key Full pattern) in
+  (root.answers, state.expansions)
+
+let prove_counted ?max_depth ?max_expansions db (fact : Fact.t) =
+  if Database.mem_base db fact then (true, 0)
+  else
+    match Virtual_facts.holds (Database.symtab db) fact.s fact.r fact.t with
+    | Some answer -> (answer, 0)
+    | None ->
+        let pattern = { ps = Some fact.s; pr = Some fact.r; pt = Some fact.t } in
+        let answers, expansions = run ?max_depth ?max_expansions db pattern in
+        (Fact.Set.mem fact answers, expansions)
+
+let prove ?max_depth ?max_expansions db fact =
+  fst (prove_counted ?max_depth ?max_expansions db fact)
+
+let solve ?max_depth ?max_expansions db (tpl : Template.t) =
+  let term = function Template.Ent e -> Some e | Template.Var _ -> None in
+  let pattern =
+    { ps = term tpl.Template.src; pr = term tpl.Template.rel; pt = term tpl.Template.tgt }
+  in
+  let answers, _ = run ?max_depth ?max_expansions db pattern in
+  Fact.Set.fold
+    (fun fact acc ->
+      match Template.matches tpl fact with Some bindings -> bindings :: acc | None -> acc)
+    answers []

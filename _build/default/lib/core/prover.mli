@@ -1,0 +1,42 @@
+(** Goal-directed inference: prove a single fact (or enumerate matches of
+    a single template) by backward chaining through the enabled rules,
+    without materializing the closure.
+
+    The paper leaves "performance" open (§6.2); the two classical
+    strategies are bottom-up materialization ({!Closure}, amortized over
+    many queries) and top-down proving (cheap for cold point queries over
+    big heaps). The prover runs iterated tabled resolution: each pass
+    expands goals depth-first with cycles cut at in-progress goals, and
+    passes repeat until no goal's answer table grows — the least fixpoint
+    over the generated subgoal patterns, i.e. a magic-sets-style
+    relevance restriction of the closure. It is {e sound} w.r.t. the
+    closure semantics and complete for derivations whose subgoal chains
+    fit in [max_depth] (default 32; recursion safety, not a practical
+    limit for the §3 rules). Inversion is applied to stored facts only,
+    mirroring the closure's stratification. Experiment B11 measures the
+    crossover against materialization. *)
+
+exception Gave_up of int
+(** Raised when a proof attempt exceeds [max_expansions] goal expansions
+    — the honest signal that top-down proving is losing to the subgoal
+    fan-out (on hub-heavy heaps, where a class like EMPLOYEE touches
+    most facts, materialization wins; experiment B11 quantifies this). *)
+
+(** [prove db fact] — is [fact] in the inference closure of the stored
+    facts? (Virtual facts are consulted; composition is not — use
+    {!Match_layer} for composed relationships.) *)
+val prove : ?max_depth:int -> ?max_expansions:int -> Database.t -> Fact.t -> bool
+
+(** [solve db tpl] — all ground instances of a template derivable by
+    backward chaining, as bindings of the template's variables. *)
+val solve :
+  ?max_depth:int ->
+  ?max_expansions:int ->
+  Database.t ->
+  Template.t ->
+  (string * Entity.t) list list
+
+(** [prove_counted] additionally returns the number of goal expansions
+    (for benchmarks). [max_expansions] defaults to 200_000. *)
+val prove_counted :
+  ?max_depth:int -> ?max_expansions:int -> Database.t -> Fact.t -> bool * int

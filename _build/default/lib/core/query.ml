@@ -1,0 +1,150 @@
+type t =
+  | Atom of Template.t
+  | And of t * t
+  | Or of t * t
+  | Exists of string * t
+  | Forall of string * t
+
+let atom tpl = Atom tpl
+
+let conj = function
+  | [] -> invalid_arg "Query.conj: empty conjunction"
+  | first :: rest -> List.fold_left (fun acc q -> And (acc, q)) first rest
+
+let disj = function
+  | [] -> invalid_arg "Query.disj: empty disjunction"
+  | first :: rest -> List.fold_left (fun acc q -> Or (acc, q)) first rest
+
+let rec equal a b =
+  match (a, b) with
+  | Atom x, Atom y -> Template.equal x y
+  | And (a1, a2), And (b1, b2) | Or (a1, a2), Or (b1, b2) -> equal a1 b1 && equal a2 b2
+  | Exists (v, x), Exists (w, y) | Forall (v, x), Forall (w, y) ->
+      String.equal v w && equal x y
+  | (Atom _ | And _ | Or _ | Exists _ | Forall _), _ -> false
+
+let rec compare a b =
+  let tag = function
+    | Atom _ -> 0
+    | And _ -> 1
+    | Or _ -> 2
+    | Exists _ -> 3
+    | Forall _ -> 4
+  in
+  match (a, b) with
+  | Atom x, Atom y -> Template.compare x y
+  | And (a1, a2), And (b1, b2) | Or (a1, a2), Or (b1, b2) ->
+      let c = compare a1 b1 in
+      if c <> 0 then c else compare a2 b2
+  | Exists (v, x), Exists (w, y) | Forall (v, x), Forall (w, y) ->
+      let c = String.compare v w in
+      if c <> 0 then c else compare x y
+  | _ -> Int.compare (tag a) (tag b)
+
+let free_vars q =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec go bound = function
+    | Atom tpl ->
+        List.iter
+          (fun v ->
+            if (not (List.mem v bound)) && not (Hashtbl.mem seen v) then begin
+              Hashtbl.add seen v ();
+              out := v :: !out
+            end)
+          (Template.vars tpl)
+    | And (a, b) | Or (a, b) ->
+        go bound a;
+        go bound b
+    | Exists (v, body) | Forall (v, body) -> go (v :: bound) body
+  in
+  go [] q;
+  List.rev !out
+
+let is_proposition q = free_vars q = []
+
+let atoms q =
+  let out = ref [] in
+  let rec go = function
+    | Atom tpl -> out := tpl :: !out
+    | And (a, b) | Or (a, b) ->
+        go a;
+        go b
+    | Exists (_, body) | Forall (_, body) -> go body
+  in
+  go q;
+  List.rev !out
+
+let rec map_atoms f = function
+  | Atom tpl -> Atom (f tpl)
+  | And (a, b) -> And (map_atoms f a, map_atoms f b)
+  | Or (a, b) -> Or (map_atoms f a, map_atoms f b)
+  | Exists (v, body) -> Exists (v, map_atoms f body)
+  | Forall (v, body) -> Forall (v, map_atoms f body)
+
+let replace_atom q ~index ~by =
+  let counter = ref (-1) in
+  let rec go = function
+    | Atom tpl ->
+        incr counter;
+        if !counter = index then match by with Some tpl' -> Some (Atom tpl') | None -> None
+        else Some (Atom tpl)
+    | And (a, b) -> (
+        match (go a, go b) with
+        | Some a', Some b' -> Some (And (a', b'))
+        | Some a', None -> Some a'
+        | None, Some b' -> Some b'
+        | None, None -> None)
+    | Or (a, b) -> (
+        match (go a, go b) with
+        | Some a', Some b' -> Some (Or (a', b'))
+        | Some a', None -> Some a'
+        | None, Some b' -> Some b'
+        | None, None -> None)
+    | Exists (v, body) -> (
+        match go body with Some body' -> Some (Exists (v, body')) | None -> None)
+    | Forall (v, body) -> (
+        match go body with Some body' -> Some (Forall (v, body')) | None -> None)
+  in
+  let result = go q in
+  if !counter < index then
+    invalid_arg (Printf.sprintf "Query.replace_atom: no atom at index %d" index);
+  result
+
+let constants q =
+  List.concat
+    (List.mapi
+       (fun i tpl -> List.map (fun (pos, e) -> (i, pos, e)) (Template.constants tpl))
+       (atoms q))
+
+let unmatched_entities db q =
+  let closure = Database.closure db in
+  let active = Hashtbl.create 64 in
+  Seq.iter (fun e -> Hashtbl.replace active e ()) (Closure.active_entities closure);
+  let symtab = Database.symtab db in
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun (_, _, e) ->
+      if
+        Entity.is_special e || Symtab.is_numeric symtab e || Hashtbl.mem active e
+        || Hashtbl.mem seen e
+      then None
+      else begin
+        Hashtbl.add seen e ();
+        Some e
+      end)
+    (constants q)
+
+let rec pp symtab ppf = function
+  | Atom tpl -> Template.pp symtab ppf tpl
+  | And (a, b) -> Format.fprintf ppf "%a ∧ %a" (pp_inner symtab) a (pp_inner symtab) b
+  | Or (a, b) -> Format.fprintf ppf "%a ∨ %a" (pp_inner symtab) a (pp_inner symtab) b
+  | Exists (v, body) -> Format.fprintf ppf "∃%s . %a" v (pp_inner symtab) body
+  | Forall (v, body) -> Format.fprintf ppf "∀%s . %a" v (pp_inner symtab) body
+
+and pp_inner symtab ppf q =
+  match q with
+  | Atom _ -> pp symtab ppf q
+  | And _ | Or _ | Exists _ | Forall _ -> Format.fprintf ppf "(%a)" (pp symtab) q
+
+let to_string symtab q = Format.asprintf "%a" (pp symtab) q

@@ -1,0 +1,50 @@
+(** The standard query language (§2.7): formulas built from template
+    predicates with conjunction, disjunction and quantifiers. No negation —
+    the paper prescribes complementary relationships instead. *)
+
+type t =
+  | Atom of Template.t
+  | And of t * t
+  | Or of t * t
+  | Exists of string * t
+  | Forall of string * t
+
+val atom : Template.t -> t
+val conj : t list -> t  (** right-nested; raises on [[]] *)
+
+val disj : t list -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Free variables, first-occurrence order. A query's value is the set of
+    tuples over these (§2.7); a formula with none is a proposition. *)
+val free_vars : t -> string list
+
+val is_proposition : t -> bool
+
+(** All atoms, left-to-right, with quantifier context ignored. *)
+val atoms : t -> Template.t list
+
+(** [map_atoms f q] rebuilds the query with every atom transformed. *)
+val map_atoms : (Template.t -> Template.t) -> t -> t
+
+(** [replace_atom q ~index ~by] replaces the [index]-th atom (in [atoms]
+    order); raises [Invalid_argument] on out-of-range. [by = None] deletes
+    the atom (§5.2: all-Δ templates are dropped), which fails if it was the
+    only atom of a conjunct side that cannot be collapsed. *)
+val replace_atom : t -> index:int -> by:Template.t option -> t option
+
+(** Entities mentioned by the query: [(atom_index, position, entity)]. *)
+val constants : t -> (int * int * Entity.t) list
+
+(** Entity names in the query that are not interned in [symtab] — the §5.2
+    misspelling diagnosis works on these. With an interned-only
+    representation unknown names can only enter through the parser, which
+    interns on sight; the parser therefore reports them via
+    {!Query_parser.unknown_names}. This function instead reports entities
+    that no longer occur in any closure fact. *)
+val unmatched_entities : Database.t -> t -> Entity.t list
+
+val pp : Symtab.t -> Format.formatter -> t -> unit
+val to_string : Symtab.t -> t -> string

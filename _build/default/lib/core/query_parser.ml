@@ -1,0 +1,222 @@
+exception Parse_error of string
+
+type token =
+  | Lparen
+  | Rparen
+  | Comma
+  | Amp
+  | Bar
+  | Dot
+  | Star
+  | Exists
+  | Forall
+  | Variable of string
+  | Name of string
+
+let error fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let is_delim c =
+  c = '(' || c = ')' || c = ',' || c = '&' || c = '|' || c = '?' || c = '"'
+
+(* Multi-byte connectives accepted as aliases: ∧ ∨ ∃ ∀. *)
+let unicode_tokens = [ ("\xe2\x88\xa7", Amp); ("\xe2\x88\xa8", Bar); ("\xe2\x88\x83", Exists); ("\xe2\x88\x80", Forall) ]
+
+let lex input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let push t = tokens := t :: !tokens in
+  let i = ref 0 in
+  let starts_with prefix =
+    let lp = String.length prefix in
+    !i + lp <= n && String.equal (String.sub input !i lp) prefix
+  in
+  while !i < n do
+    let c = input.[!i] in
+    if is_space c then incr i
+    else if c = '(' then (push Lparen; incr i)
+    else if c = ')' then (push Rparen; incr i)
+    else if c = ',' then (push Comma; incr i)
+    else if c = '&' then (push Amp; incr i)
+    else if c = '|' then (push Bar; incr i)
+    else if c = '"' then begin
+      let close = try String.index_from input (!i + 1) '"' with Not_found -> error "unterminated quote" in
+      push (Name (String.sub input (!i + 1) (close - !i - 1)));
+      i := close + 1
+    end
+    else if c = '?' then begin
+      let start = !i + 1 in
+      let stop = ref start in
+      while !stop < n && (not (is_space input.[!stop])) && not (is_delim input.[!stop]) do
+        incr stop
+      done;
+      if !stop = start then error "'?' must be followed by a variable name";
+      push (Variable (String.sub input start (!stop - start)));
+      i := !stop
+    end
+    else
+      match List.find_opt (fun (prefix, _) -> starts_with prefix) unicode_tokens with
+      | Some (prefix, tok) ->
+          push tok;
+          i := !i + String.length prefix
+      | None ->
+          let start = !i in
+          let stop = ref start in
+          while !stop < n && (not (is_space input.[!stop])) && not (is_delim input.[!stop]) do
+            incr stop
+          done;
+          let word = String.sub input start (!stop - start) in
+          i := !stop;
+          let lower = String.lowercase_ascii word in
+          if String.equal word "*" then push Star
+          else if String.equal lower "exists" then push Exists
+          else if String.equal lower "forall" then push Forall
+          else if String.equal lower "and" then push Amp
+          else if String.equal lower "or" then push Bar
+          else if String.equal word "." then push Dot
+          else if String.length word > 1 && word.[String.length word - 1] = '.' then begin
+            (* "x." after a quantified variable list *)
+            push (Name (String.sub word 0 (String.length word - 1)));
+            push Dot
+          end
+          else push (Name word)
+  done;
+  List.rev !tokens
+
+type state = { mutable tokens : token list; db : Database.t; mutable fresh : int }
+
+let peek st = match st.tokens with [] -> None | t :: _ -> Some t
+
+let advance st =
+  match st.tokens with
+  | [] -> error "unexpected end of query"
+  | t :: rest ->
+      st.tokens <- rest;
+      t
+
+let expect st expected what =
+  let got = advance st in
+  if got <> expected then error "expected %s" what
+
+let fresh_var st =
+  st.fresh <- st.fresh + 1;
+  Printf.sprintf "*%d" st.fresh
+
+let term st =
+  match advance st with
+  | Variable v -> Template.Var v
+  | Star -> Template.Var (fresh_var st)
+  | Name name -> Template.Ent (Database.entity st.db name)
+  | Lparen | Rparen | Comma | Amp | Bar | Dot | Exists | Forall ->
+      error "expected an entity, ?variable or *"
+
+(* After '(' we may be reading a template or a parenthesized formula;
+   templates are recognized by the comma after the first term. *)
+let rec parse_unit st =
+  match peek st with
+  | Some Lparen -> (
+      let saved = st.tokens in
+      ignore (advance st);
+      match try_template st with
+      | Some tpl -> Query.Atom tpl
+      | None ->
+          st.tokens <- saved;
+          ignore (advance st);
+          let q = parse_disj st in
+          expect st Rparen "')'";
+          q)
+  | Some (Exists | Forall) ->
+      let quant = advance st in
+      let rec vars acc =
+        match advance st with
+        | Variable v | Name v -> (
+            match peek st with
+            | Some Comma ->
+                ignore (advance st);
+                vars (v :: acc)
+            | Some Dot ->
+                ignore (advance st);
+                List.rev (v :: acc)
+            | _ -> error "expected '.' after quantified variables")
+        | _ -> error "expected a variable after the quantifier"
+      in
+      let vs = vars [] in
+      (* The quantifier's scope extends over the following conjunction:
+         "exists s . A & B" reads ∃s.(A ∧ B). *)
+      let body = parse_conj st in
+      let wrap v q = match quant with
+        | Exists -> Query.Exists (v, q)
+        | Forall -> Query.Forall (v, q)
+        | _ -> assert false
+      in
+      List.fold_right wrap vs body
+  | _ -> error "expected a template, quantifier or '('"
+
+and try_template st =
+  let saved = st.tokens in
+  try
+    let a = term st in
+    match peek st with
+    | Some Comma ->
+        ignore (advance st);
+        let b = term st in
+        expect st Comma "','";
+        let c = term st in
+        expect st Rparen "')'";
+        Some (Template.make a b c)
+    | _ ->
+        st.tokens <- saved;
+        None
+  with Parse_error _ ->
+    st.tokens <- saved;
+    None
+
+and parse_conj st =
+  let first = parse_unit st in
+  let rec loop acc =
+    match peek st with
+    | Some Amp ->
+        ignore (advance st);
+        loop (Query.And (acc, parse_unit st))
+    | _ -> acc
+  in
+  loop first
+
+and parse_disj st =
+  let first = parse_conj st in
+  let rec loop acc =
+    match peek st with
+    | Some Bar ->
+        ignore (advance st);
+        loop (Query.Or (acc, parse_conj st))
+    | _ -> acc
+  in
+  loop first
+
+let names_in input =
+  List.filter_map (function Name n -> Some n | _ -> None) (lex input)
+
+let parse db input =
+  let st = { tokens = lex input; db; fresh = 0 } in
+  let q = parse_disj st in
+  if st.tokens <> [] then error "trailing input after query";
+  q
+
+let parse_with_unknowns db input =
+  let unknown =
+    List.sort_uniq String.compare
+      (List.filter (fun name -> Database.find_entity db name = None) (names_in input))
+  in
+  (parse db input, unknown)
+
+let parse_template db input =
+  let st = { tokens = lex input; db; fresh = 0 } in
+  match peek st with
+  | Some Lparen -> (
+      ignore (advance st);
+      match try_template st with
+      | Some tpl when st.tokens = [] -> tpl
+      | Some _ -> error "trailing input after template"
+      | None -> error "not a template")
+  | _ -> error "templates start with '('"

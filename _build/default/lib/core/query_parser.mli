@@ -1,0 +1,37 @@
+(** Concrete syntax for the standard query language (§2.7) and navigation
+    templates (§4.1).
+
+    Grammar (ASCII-friendly; the Unicode connectives also work):
+
+    {v
+    query    ::= disj
+    disj     ::= conj  { ("|" | "∨" | "or")  conj }
+    conj     ::= unit  { ("&" | "∧" | "and") unit }
+    unit     ::= template
+               | ("exists" | "∃") var { "," var } "." conj
+               | ("forall" | "∀") var { "," var } "." conj
+               | "(" query ")"
+    template ::= "(" term "," term "," term ")"
+    term     ::= "?" ident        — named variable
+               | "*"              — fresh anonymous variable (§4.1)
+               | name             — entity (interned on sight)
+               | '"' chars '"'    — quoted entity name
+    v}
+
+    Entity names may contain any characters except whitespace, parens,
+    commas, ampersands, bars, question marks and double quotes; use quotes
+    otherwise. Special entities go by their aliases
+    ([isa], [in], [syn], [inv], [contra], [top], [bottom], [lt], [gt],
+    [eq], [neq], [le], [ge]) or their Unicode forms. *)
+
+exception Parse_error of string
+
+(** Parse a query, interning entity names into the database. *)
+val parse : Database.t -> string -> Query.t
+
+(** Parse, also reporting entity names that were {e not} interned before
+    the parse — the §5.2 misspelling candidates. *)
+val parse_with_unknowns : Database.t -> string -> Query.t * string list
+
+(** Parse a single template such as the all-star template of JOHN. *)
+val parse_template : Database.t -> string -> Template.t

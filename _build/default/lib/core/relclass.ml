@@ -1,0 +1,28 @@
+module Int_tbl = Hashtbl.Make (Int)
+
+type t = { overrides : bool Int_tbl.t (* entity -> is_class *) }
+
+let create () = { overrides = Int_tbl.create 16 }
+let declare_class t e = Int_tbl.replace t.overrides e true
+let declare_individual t e = Int_tbl.replace t.overrides e false
+
+(* ⊑ is individual (§2.3: "Generalization is an individual relationship");
+   membership is a class relationship (§2.3); the remaining specials are
+   structural and must not be propagated by the §3.1/§3.2 rules. *)
+let default_is_class e = Entity.is_special e && e <> Entity.gen
+
+let is_class t e =
+  match Int_tbl.find_opt t.overrides e with
+  | Some b -> b
+  | None -> default_is_class e
+
+let is_individual t e = not (is_class t e)
+
+let declarations t =
+  Int_tbl.fold (fun e b acc -> (e, b) :: acc) t.overrides []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let copy t =
+  let fresh = create () in
+  Int_tbl.iter (fun e b -> Int_tbl.replace fresh.overrides e b) t.overrides;
+  fresh

@@ -1,0 +1,25 @@
+(** Classification of relationships into individual ([R_i]) and class
+    ([R_c]) relationships (§2.2).
+
+    Individual relationships (EARN) characterize every instance of their
+    source; class relationships (TOTAL-NUMBER) characterize the aggregate
+    and must not propagate to members. Defaults: user relationships are
+    individual; generalization [⊑] is individual (the paper states so, and
+    transitivity depends on it); membership, synonym, inversion,
+    contradiction and the comparators are class relationships. *)
+
+type t
+
+val create : unit -> t
+
+val declare_class : t -> Entity.t -> unit
+val declare_individual : t -> Entity.t -> unit
+
+val is_class : t -> Entity.t -> bool
+val is_individual : t -> Entity.t -> bool
+
+(** Entities explicitly declared (for persistence/round-trips):
+    [(entity, is_class)] pairs. *)
+val declarations : t -> (Entity.t * bool) list
+
+val copy : t -> t

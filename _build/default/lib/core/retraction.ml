@@ -1,0 +1,107 @@
+type position = Source | Relationship | Target
+
+type step =
+  | Replace of {
+      atom_index : int;
+      position : position;
+      replaced : Entity.t;
+      by : Entity.t;
+    }
+  | Delete_atom of { atom_index : int; template : Template.t }
+
+type broader = { query : Query.t; step : step }
+
+type policy = { source_mode : [ `Specialize | `Generalize ] }
+
+let default_policy = { source_mode = `Specialize }
+
+let pos_index = function Source -> 0 | Relationship -> 1 | Target -> 2
+
+let is_weak (tpl : Template.t) =
+  let weak_term = function
+    | Template.Var _ -> true
+    | Template.Ent e -> e = Entity.top || e = Entity.bottom
+  in
+  weak_term tpl.src && weak_term tpl.rel && weak_term tpl.tgt
+
+(* An entity that can still be substituted: the extremes are terminal and
+   the comparators denote fixed mathematical relationships. *)
+let substitutable e =
+  (not (Entity.equal e Entity.top))
+  && (not (Entity.equal e Entity.bottom))
+  && not (Entity.is_comparator e)
+
+let replacements policy broadness position e =
+  match position with
+  | Relationship | Target -> Broadness.minimal_generalizations broadness e
+  | Source -> (
+      match policy.source_mode with
+      | `Specialize ->
+          (* A ∇ source inherits every fact (gen-source over the virtual
+             (∇,⊑,s)), so substituting it would make any query "succeed"
+             and mask the §5.2 misspelling diagnosis; only stored
+             specializations are attempted. *)
+          List.filter
+            (fun e' -> not (Entity.equal e' Entity.bottom))
+            (Broadness.minimal_specializations broadness e)
+      | `Generalize -> Broadness.minimal_generalizations broadness e)
+
+let retraction_set ?(policy = default_policy) db broadness q =
+  ignore db;
+  let atoms = Query.atoms q in
+  let out = ref [] in
+  let seen = Hashtbl.create 16 in
+  let push broader_query step =
+    let key = broader_query in
+    if (not (Query.equal key q)) && not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      out := { query = broader_query; step } :: !out
+    end
+  in
+  List.iteri
+    (fun atom_index tpl ->
+      if is_weak tpl then begin
+        (* Weak templates are broadened by deletion (§5.2). *)
+        match Query.replace_atom q ~index:atom_index ~by:None with
+        | Some query -> push query (Delete_atom { atom_index; template = tpl })
+        | None -> ()
+      end
+      else
+        List.iter
+          (fun position ->
+            let constant =
+              match (position, (tpl : Template.t)) with
+              | Source, { src = Template.Ent e; _ } -> Some e
+              | Relationship, { rel = Template.Ent e; _ } -> Some e
+              | Target, { tgt = Template.Ent e; _ } -> Some e
+              | (Source | Relationship | Target), _ -> None
+            in
+            match constant with
+            | Some e when substitutable e ->
+                List.iter
+                  (fun by ->
+                    let tpl' = Template.replace_at tpl ~pos:(pos_index position) ~by in
+                    match Query.replace_atom q ~index:atom_index ~by:(Some tpl') with
+                    | Some query ->
+                        push query (Replace { atom_index; position; replaced = e; by })
+                    | None -> ())
+                  (replacements policy broadness position e)
+            | Some _ | None -> ())
+          [ Source; Relationship; Target ])
+    atoms;
+  List.rev !out
+
+let describe db step =
+  let name = Database.entity_name db in
+  match step with
+  | Replace { replaced; by; position; _ } ->
+      let where =
+        match position with
+        | Source -> "source"
+        | Relationship -> "relationship"
+        | Target -> "target"
+      in
+      Printf.sprintf "%s instead of %s (%s)" (name by) (name replaced) where
+  | Delete_atom { template; _ } ->
+      Printf.sprintf "dropped weak template %s"
+        (Template.to_string (Database.symtab db) template)

@@ -1,0 +1,93 @@
+module D = Lsdb_datalog
+
+type guard =
+  | Individual of string
+  | Class of string
+  | Distinct of string * string
+
+type t = {
+  name : string;
+  body : Template.t list;
+  guards : guard list;
+  heads : Template.t list;
+}
+
+exception Unsafe of string
+
+let guard_vars = function
+  | Individual v | Class v -> [ v ]
+  | Distinct (a, b) -> [ a; b ]
+
+let make ~name ~body ?(guards = []) ~heads () =
+  if body = [] then raise (Unsafe (name ^ ": empty body"));
+  if heads = [] then raise (Unsafe (name ^ ": empty head"));
+  let body_vars = List.concat_map Template.vars body in
+  let covered v = List.mem v body_vars in
+  let check what vs =
+    List.iter
+      (fun v ->
+        if not (covered v) then
+          raise (Unsafe (Printf.sprintf "%s: %s variable ?%s not in body" name what v)))
+      vs
+  in
+  List.iter (fun tpl -> check "head" (Template.vars tpl)) heads;
+  List.iter (fun g -> check "guard" (guard_vars g)) guards;
+  { name; body; guards; heads }
+
+let equal_name a b = String.equal a.name b.name
+
+let map_entities f rule =
+  let term = function
+    | Template.Ent e -> Template.Ent (f e)
+    | Template.Var _ as v -> v
+  in
+  let tpl (t : Template.t) = Template.make (term t.src) (term t.rel) (term t.tgt) in
+  { rule with body = List.map tpl rule.body; heads = List.map tpl rule.heads }
+
+let compile ~is_class rule =
+  let var_ids = Hashtbl.create 8 in
+  let next = ref 0 in
+  let var_id v =
+    match Hashtbl.find_opt var_ids v with
+    | Some i -> i
+    | None ->
+        let i = !next in
+        incr next;
+        Hashtbl.add var_ids v i;
+        i
+  in
+  let term = function
+    | Template.Var v -> D.Term.Var (var_id v)
+    | Template.Ent e -> D.Term.Const e
+  in
+  let atom (tpl : Template.t) = D.Atom.make (term tpl.src) (term tpl.rel) (term tpl.tgt) in
+  let body = List.map atom rule.body in
+  let heads = List.map atom rule.heads in
+  let guard = function
+    | Individual v ->
+        D.Guard.Holds ("individual", (fun e -> not (is_class e)), D.Term.Var (var_id v))
+    | Class v -> D.Guard.Holds ("class", is_class, D.Term.Var (var_id v))
+    | Distinct (a, b) -> D.Guard.Distinct (D.Term.Var (var_id a), D.Term.Var (var_id b))
+  in
+  let guards = List.map guard rule.guards in
+  D.Rule.make ~name:rule.name ~body ~guards ~heads ()
+
+let pp_guard ppf = function
+  | Individual v -> Format.fprintf ppf "?%s ∈ R_i" v
+  | Class v -> Format.fprintf ppf "?%s ∈ R_c" v
+  | Distinct (a, b) -> Format.fprintf ppf "?%s ≠ ?%s" a b
+
+let pp symtab ppf rule =
+  let pp_templates =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+      (Template.pp symtab)
+  in
+  Format.fprintf ppf "@[<hov 2>%s:@ %a" rule.name pp_templates rule.body;
+  if rule.guards <> [] then
+    Format.fprintf ppf "@ [%a]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_guard)
+      rule.guards;
+  Format.fprintf ppf "@ ⇒@ %a@]" pp_templates rule.heads
+
+let to_string symtab rule = Format.asprintf "%a" (pp symtab) rule

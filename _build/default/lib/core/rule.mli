@@ -1,0 +1,44 @@
+(** Rules <L, R>: one set of templates implies another (§2.6).
+
+    This single mechanism expresses both inference rules and integrity
+    constraints. Rules may carry guards restricting relationship variables
+    to [R_i]/[R_c] (the paper's [∀ r ∈ R_i] quantifications) or requiring
+    distinctness; guards are resolved against the database's {!Relclass}
+    when the rule is compiled for the Datalog engine. *)
+
+type guard =
+  | Individual of string  (** variable must denote an [R_i] relationship *)
+  | Class of string  (** variable must denote an [R_c] relationship *)
+  | Distinct of string * string  (** the two variables denote different entities *)
+
+type t = private {
+  name : string;
+  body : Template.t list;
+  guards : guard list;
+  heads : Template.t list;
+}
+
+exception Unsafe of string
+
+(** [make ~name ~body ?guards ~heads ()] — raises {!Unsafe} when a head or
+    guard variable does not occur in the body, or body/heads are empty. *)
+val make :
+  name:string ->
+  body:Template.t list ->
+  ?guards:guard list ->
+  heads:Template.t list ->
+  unit ->
+  t
+
+val equal_name : t -> t -> bool
+
+(** [map_entities f rule] rewrites every entity constant (used to move a
+    rule between databases with different symbol tables). *)
+val map_entities : (Entity.t -> Entity.t) -> t -> t
+
+(** Compile for the engine, resolving [Individual]/[Class] guards through
+    the given predicate. *)
+val compile : is_class:(Entity.t -> bool) -> t -> Lsdb_datalog.Rule.t
+
+val pp : Symtab.t -> Format.formatter -> t -> unit
+val to_string : Symtab.t -> t -> string

@@ -1,0 +1,72 @@
+let lowercase = String.lowercase_ascii
+
+let contains_ci haystack needle =
+  let haystack = lowercase haystack and needle = lowercase needle in
+  let nh = String.length haystack and nn = String.length needle in
+  nn = 0
+  ||
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let substring ?(limit = 20) db needle =
+  let symtab = Database.symtab db in
+  let hits = ref [] in
+  Symtab.iter_user
+    (fun e -> if contains_ci (Symtab.name symtab e) needle then hits := e :: !hits)
+    symtab;
+  !hits
+  |> List.sort (fun a b ->
+         let la = String.length (Symtab.name symtab a) in
+         let lb = String.length (Symtab.name symtab b) in
+         if la <> lb then Int.compare la lb else Entity.compare a b)
+  |> List.filteri (fun i _ -> i < limit)
+
+(* Classic two-row Levenshtein. *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    let previous = Array.init (lb + 1) Fun.id in
+    let current = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      current.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        current.(j) <-
+          min
+            (min (current.(j - 1) + 1) (previous.(j) + 1))
+            (previous.(j - 1) + cost)
+      done;
+      Array.blit current 0 previous 0 (lb + 1)
+    done;
+    previous.(lb)
+  end
+
+let fuzzy ?(limit = 10) ?(max_distance = 2) db name =
+  let symtab = Database.symtab db in
+  let target = lowercase name in
+  let hits = ref [] in
+  Symtab.iter_user
+    (fun e ->
+      let candidate = lowercase (Symtab.name symtab e) in
+      if candidate <> target then begin
+        (* Cheap length prefilter before the quadratic distance. *)
+        let delta = abs (String.length candidate - String.length target) in
+        if delta <= max_distance then begin
+          let d = edit_distance candidate target in
+          if d <= max_distance then hits := (d, e) :: !hits
+        end
+      end)
+    symtab;
+  List.sort compare !hits
+  |> List.filteri (fun i _ -> i < limit)
+  |> List.map snd
+
+let suggestions ?(limit = 5) db name =
+  let closure = Database.closure db in
+  let active = Hashtbl.create 64 in
+  Seq.iter (fun e -> Hashtbl.replace active e ()) (Closure.active_entities closure);
+  fuzzy ~limit:(limit * 4) db name
+  |> List.filter (Hashtbl.mem active)
+  |> List.filteri (fun i _ -> i < limit)

@@ -1,0 +1,23 @@
+(** Finding entry points: name search over the universe of entities.
+
+    Browsing needs a first foothold (§6.1's [try] assumes you can spell
+    the entity). [Search] finds candidates by substring and by bounded
+    edit distance, which also upgrades the §5.2 misspelling diagnosis
+    from "no such database entities" to a "did you mean …?" list. *)
+
+(** Case-insensitive substring match over entity names, best (shortest
+    name) first, capped at [limit] (default 20). *)
+val substring : ?limit:int -> Database.t -> string -> Entity.t list
+
+(** [fuzzy db name] — entities whose name is within edit distance
+    [max_distance] (default 2, case-insensitive), nearest first;
+    excludes exact matches of [name] itself. *)
+val fuzzy : ?limit:int -> ?max_distance:int -> Database.t -> string -> Entity.t list
+
+(** Damerau-ish Levenshtein distance (insert/delete/substitute, unit
+    costs), case-sensitive; exposed for tests. *)
+val edit_distance : string -> string -> int
+
+(** [suggestions db name] — the "did you mean" list for an unknown name:
+    fuzzy matches that actually occur in some closure fact. *)
+val suggestions : ?limit:int -> Database.t -> string -> Entity.t list

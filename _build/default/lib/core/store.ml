@@ -1,0 +1,184 @@
+module Pair = struct
+  type t = int * int
+
+  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
+  let hash (a, b) = ((a * 0x9e3779b1) lxor (b * 0x85ebca77)) land max_int
+end
+
+module Pair_tbl = Hashtbl.Make (Pair)
+module Int_tbl = Hashtbl.Make (Int)
+
+type bucket = unit Fact.Tbl.t
+
+type t = {
+  all : unit Fact.Tbl.t;
+  by_sr : bucket Pair_tbl.t;
+  by_st : bucket Pair_tbl.t;
+  by_rt : bucket Pair_tbl.t;
+  by_s : bucket Int_tbl.t;
+  by_r : bucket Int_tbl.t;
+  by_t : bucket Int_tbl.t;
+  refcount : int Int_tbl.t;  (* entity -> number of occurrences in facts *)
+}
+
+type pattern = { s : Entity.t option; r : Entity.t option; t : Entity.t option }
+
+let pattern ?s ?r ?t () = { s; r; t }
+
+let create ?(size_hint = 256) () =
+  {
+    all = Fact.Tbl.create size_hint;
+    by_sr = Pair_tbl.create size_hint;
+    by_st = Pair_tbl.create size_hint;
+    by_rt = Pair_tbl.create size_hint;
+    by_s = Int_tbl.create size_hint;
+    by_r = Int_tbl.create size_hint;
+    by_t = Int_tbl.create size_hint;
+    refcount = Int_tbl.create size_hint;
+  }
+
+let bucket_add_pair tbl key fact =
+  let bucket =
+    match Pair_tbl.find_opt tbl key with
+    | Some b -> b
+    | None ->
+        let b = Fact.Tbl.create 4 in
+        Pair_tbl.add tbl key b;
+        b
+  in
+  Fact.Tbl.replace bucket fact ()
+
+let bucket_add_int tbl key fact =
+  let bucket =
+    match Int_tbl.find_opt tbl key with
+    | Some b -> b
+    | None ->
+        let b = Fact.Tbl.create 4 in
+        Int_tbl.add tbl key b;
+        b
+  in
+  Fact.Tbl.replace bucket fact ()
+
+let bucket_remove_pair tbl key fact =
+  match Pair_tbl.find_opt tbl key with
+  | None -> ()
+  | Some b ->
+      Fact.Tbl.remove b fact;
+      if Fact.Tbl.length b = 0 then Pair_tbl.remove tbl key
+
+let bucket_remove_int tbl key fact =
+  match Int_tbl.find_opt tbl key with
+  | None -> ()
+  | Some b ->
+      Fact.Tbl.remove b fact;
+      if Fact.Tbl.length b = 0 then Int_tbl.remove tbl key
+
+let ref_incr t e =
+  Int_tbl.replace t.refcount e
+    (1 + match Int_tbl.find_opt t.refcount e with Some n -> n | None -> 0)
+
+let ref_decr t e =
+  match Int_tbl.find_opt t.refcount e with
+  | None -> ()
+  | Some 1 -> Int_tbl.remove t.refcount e
+  | Some n -> Int_tbl.replace t.refcount e (n - 1)
+
+let add t (fact : Fact.t) =
+  if Fact.Tbl.mem t.all fact then false
+  else begin
+    Fact.Tbl.add t.all fact ();
+    bucket_add_pair t.by_sr (fact.s, fact.r) fact;
+    bucket_add_pair t.by_st (fact.s, fact.t) fact;
+    bucket_add_pair t.by_rt (fact.r, fact.t) fact;
+    bucket_add_int t.by_s fact.s fact;
+    bucket_add_int t.by_r fact.r fact;
+    bucket_add_int t.by_t fact.t fact;
+    ref_incr t fact.s;
+    ref_incr t fact.r;
+    ref_incr t fact.t;
+    true
+  end
+
+let remove t (fact : Fact.t) =
+  if not (Fact.Tbl.mem t.all fact) then false
+  else begin
+    Fact.Tbl.remove t.all fact;
+    bucket_remove_pair t.by_sr (fact.s, fact.r) fact;
+    bucket_remove_pair t.by_st (fact.s, fact.t) fact;
+    bucket_remove_pair t.by_rt (fact.r, fact.t) fact;
+    bucket_remove_int t.by_s fact.s fact;
+    bucket_remove_int t.by_r fact.r fact;
+    bucket_remove_int t.by_t fact.t fact;
+    ref_decr t fact.s;
+    ref_decr t fact.r;
+    ref_decr t fact.t;
+    true
+  end
+
+let mem t fact = Fact.Tbl.mem t.all fact
+let cardinal t = Fact.Tbl.length t.all
+let is_empty t = cardinal t = 0
+
+let clear t =
+  Fact.Tbl.reset t.all;
+  Pair_tbl.reset t.by_sr;
+  Pair_tbl.reset t.by_st;
+  Pair_tbl.reset t.by_rt;
+  Int_tbl.reset t.by_s;
+  Int_tbl.reset t.by_r;
+  Int_tbl.reset t.by_t;
+  Int_tbl.reset t.refcount
+
+let iter f t = Fact.Tbl.iter (fun fact () -> f fact) t.all
+let fold f t init = Fact.Tbl.fold (fun fact () acc -> f fact acc) t.all init
+let to_seq t = Fact.Tbl.to_seq_keys t.all
+let to_list t = List.of_seq (to_seq t)
+
+let iter_bucket f = function
+  | None -> ()
+  | Some bucket -> Fact.Tbl.iter (fun fact () -> f fact) bucket
+
+let match_pattern t { s; r; t = tgt } f =
+  match (s, r, tgt) with
+  | Some s, Some r, Some tg ->
+      let fact = Fact.make s r tg in
+      if mem t fact then f fact
+  | Some s, Some r, None -> iter_bucket f (Pair_tbl.find_opt t.by_sr (s, r))
+  | Some s, None, Some tg -> iter_bucket f (Pair_tbl.find_opt t.by_st (s, tg))
+  | None, Some r, Some tg -> iter_bucket f (Pair_tbl.find_opt t.by_rt (r, tg))
+  | Some s, None, None -> iter_bucket f (Int_tbl.find_opt t.by_s s)
+  | None, Some r, None -> iter_bucket f (Int_tbl.find_opt t.by_r r)
+  | None, None, Some tg -> iter_bucket f (Int_tbl.find_opt t.by_t tg)
+  | None, None, None -> iter f t
+
+let match_list t pat =
+  let acc = ref [] in
+  match_pattern t pat (fun fact -> acc := fact :: !acc);
+  !acc
+
+let count_matches t pat =
+  let n = ref 0 in
+  match_pattern t pat (fun _ -> incr n);
+  !n
+
+exception Found
+
+let exists_match t pat =
+  try
+    match_pattern t pat (fun _ -> raise Found);
+    false
+  with Found -> true
+
+let matches_pattern { s; r; t = tgt } (fact : Fact.t) =
+  (match s with Some s -> s = fact.s | None -> true)
+  && (match r with Some r -> r = fact.r | None -> true)
+  && match tgt with Some tg -> tg = fact.t | None -> true
+
+let match_scan t pat f = iter (fun fact -> if matches_pattern pat fact then f fact) t
+
+let active_entities t = Int_tbl.to_seq_keys t.refcount
+
+let copy t =
+  let fresh = create ~size_hint:(max 256 (cardinal t)) () in
+  iter (fun fact -> ignore (add fresh fact)) t;
+  fresh

@@ -1,0 +1,48 @@
+(** The heap of facts: a mutable, fully indexed set of triples.
+
+    Supports insertion, deletion and matching for every bound-position
+    pattern in O(1) expected time per result. A deliberately naive linear
+    [match_scan] is also exposed so the benchmarks can quantify what the
+    indexes buy (experiment B2) — the paper leaves "suitable storage
+    strategies" open (§6.2). *)
+
+type t
+
+(** Bound-position pattern; [None] is a wildcard. *)
+type pattern = { s : Entity.t option; r : Entity.t option; t : Entity.t option }
+
+val pattern : ?s:Entity.t -> ?r:Entity.t -> ?t:Entity.t -> unit -> pattern
+
+val create : ?size_hint:int -> unit -> t
+
+(** [add t fact] is [true] iff the fact was not already present. *)
+val add : t -> Fact.t -> bool
+
+(** [remove t fact] is [true] iff the fact was present. *)
+val remove : t -> Fact.t -> bool
+
+val mem : t -> Fact.t -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+val clear : t -> unit
+
+val iter : (Fact.t -> unit) -> t -> unit
+val fold : (Fact.t -> 'a -> 'a) -> t -> 'a -> 'a
+val to_seq : t -> Fact.t Seq.t
+val to_list : t -> Fact.t list
+
+(** Indexed pattern matching. *)
+val match_pattern : t -> pattern -> (Fact.t -> unit) -> unit
+
+val match_list : t -> pattern -> Fact.t list
+val count_matches : t -> pattern -> int
+val exists_match : t -> pattern -> bool
+
+(** Unindexed full-scan matching (baseline for B2). Same results as
+    [match_pattern], radically different cost profile. *)
+val match_scan : t -> pattern -> (Fact.t -> unit) -> unit
+
+(** Distinct entities appearing in some fact, with multiplicity ignored. *)
+val active_entities : t -> Entity.t Seq.t
+
+val copy : t -> t

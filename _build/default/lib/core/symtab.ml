@@ -1,0 +1,103 @@
+type t = {
+  mutable names : string array;  (* id -> canonical name *)
+  mutable numeric : float array;  (* id -> value, nan when not numeric *)
+  table : (string, int) Hashtbl.t;
+  mutable next : int;
+}
+
+let parse_numeric s =
+  let n = String.length s in
+  if n = 0 then None
+  else
+    let start = if s.[0] = '$' then 1 else 0 in
+    if start >= n then None
+    else
+      let buf = Buffer.create n in
+      let ok = ref true in
+      for i = start to n - 1 do
+        match s.[i] with
+        | ',' -> ()
+        | ('0' .. '9' | '.' | '-' | '+' | 'e' | 'E') as c -> Buffer.add_char buf c
+        | _ -> ok := false
+      done;
+      if not !ok then None else float_of_string_opt (Buffer.contents buf)
+
+let grow t =
+  let cap = Array.length t.names in
+  if t.next >= cap then begin
+    let cap' = max 16 (cap * 2) in
+    let names = Array.make cap' "" in
+    Array.blit t.names 0 names 0 cap;
+    t.names <- names;
+    let numeric = Array.make cap' nan in
+    Array.blit t.numeric 0 numeric 0 cap;
+    t.numeric <- numeric
+  end
+
+let raw_add t name =
+  grow t;
+  let id = t.next in
+  t.names.(id) <- name;
+  t.numeric.(id) <- (match parse_numeric name with Some v -> v | None -> nan);
+  Hashtbl.replace t.table name id;
+  t.next <- id + 1;
+  id
+
+let create () =
+  let t =
+    {
+      names = Array.make 64 "";
+      numeric = Array.make 64 nan;
+      table = Hashtbl.create 64;
+      next = 0;
+    }
+  in
+  Array.iteri
+    (fun expected (canonical, aliases) ->
+      let id = raw_add t canonical in
+      assert (id = expected);
+      (* Specials are relationship names, never numbers. *)
+      t.numeric.(id) <- nan;
+      List.iter (fun a -> Hashtbl.replace t.table a id) aliases)
+    Entity.special_names;
+  t
+
+let find t name = Hashtbl.find_opt t.table name
+let mem t name = Hashtbl.mem t.table name
+
+let intern t name =
+  match Hashtbl.find_opt t.table name with Some id -> id | None -> raw_add t name
+
+let name t id =
+  if id < 0 || id >= t.next then
+    invalid_arg (Printf.sprintf "Symtab.name: unknown entity id %d" id)
+  else t.names.(id)
+
+let alias t alias_name id =
+  if id < 0 || id >= t.next then
+    invalid_arg (Printf.sprintf "Symtab.alias: unknown entity id %d" id);
+  match Hashtbl.find_opt t.table alias_name with
+  | Some existing when existing <> id ->
+      invalid_arg
+        (Printf.sprintf "Symtab.alias: %S already names entity %d" alias_name existing)
+  | Some _ -> ()
+  | None -> Hashtbl.add t.table alias_name id
+
+let cardinal t = t.next
+let numeric_value t id = if Float.is_nan t.numeric.(id) then None else Some t.numeric.(id)
+let is_numeric t id = not (Float.is_nan t.numeric.(id))
+
+let iter f t =
+  for id = 0 to t.next - 1 do
+    f id
+  done
+
+let iter_user f t =
+  for id = Entity.special_count to t.next - 1 do
+    f id
+  done
+
+let iter_numeric f t =
+  for id = 0 to t.next - 1 do
+    if not (Float.is_nan t.numeric.(id)) then f id
+  done

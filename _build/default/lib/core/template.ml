@@ -1,0 +1,98 @@
+type term = Var of string | Ent of Entity.t
+
+type t = { src : term; rel : term; tgt : term }
+
+let make src rel tgt = { src; rel; tgt }
+
+let term_equal a b =
+  match (a, b) with
+  | Var x, Var y -> String.equal x y
+  | Ent x, Ent y -> Entity.equal x y
+  | Var _, Ent _ | Ent _, Var _ -> false
+
+let term_compare a b =
+  match (a, b) with
+  | Var x, Var y -> String.compare x y
+  | Ent x, Ent y -> Entity.compare x y
+  | Var _, Ent _ -> -1
+  | Ent _, Var _ -> 1
+
+let equal a b = term_equal a.src b.src && term_equal a.rel b.rel && term_equal a.tgt b.tgt
+
+let compare a b =
+  let c = term_compare a.src b.src in
+  if c <> 0 then c
+  else
+    let c = term_compare a.rel b.rel in
+    if c <> 0 then c else term_compare a.tgt b.tgt
+
+let vars { src; rel; tgt } =
+  let add acc = function Var v -> v :: acc | Ent _ -> acc in
+  List.rev (add (add (add [] src) rel) tgt)
+
+let distinct_vars tpl =
+  let seen = Hashtbl.create 4 in
+  List.filter
+    (fun v ->
+      if Hashtbl.mem seen v then false
+      else begin
+        Hashtbl.add seen v ();
+        true
+      end)
+    (vars tpl)
+
+let is_ground tpl = vars tpl = []
+
+let to_fact { src; rel; tgt } =
+  match (src, rel, tgt) with
+  | Ent s, Ent r, Ent t -> Some (Fact.make s r t)
+  | _ -> None
+
+let of_fact (fact : Fact.t) = { src = Ent fact.s; rel = Ent fact.r; tgt = Ent fact.t }
+
+let subst_term env = function
+  | Ent _ as t -> t
+  | Var v as t -> ( match env v with Some e -> Ent e | None -> t)
+
+let subst env { src; rel; tgt } =
+  { src = subst_term env src; rel = subst_term env rel; tgt = subst_term env tgt }
+
+let matches tpl (fact : Fact.t) =
+  let bind env term value =
+    match term with
+    | Ent e -> if Entity.equal e value then Some env else None
+    | Var v -> (
+        match List.assoc_opt v env with
+        | Some bound -> if Entity.equal bound value then Some env else None
+        | None -> Some ((v, value) :: env))
+  in
+  match bind [] tpl.src fact.s with
+  | None -> None
+  | Some env -> (
+      match bind env tpl.rel fact.r with
+      | None -> None
+      | Some env -> (
+          match bind env tpl.tgt fact.t with
+          | None -> None
+          | Some env -> Some (List.rev env)))
+
+let constants { src; rel; tgt } =
+  let add pos acc = function Ent e -> (pos, e) :: acc | Var _ -> acc in
+  List.rev (add 2 (add 1 (add 0 [] src) rel) tgt)
+
+let replace_at tpl ~pos ~by =
+  match pos with
+  | 0 -> { tpl with src = Ent by }
+  | 1 -> { tpl with rel = Ent by }
+  | 2 -> { tpl with tgt = Ent by }
+  | _ -> invalid_arg "Template.replace_at: position must be 0, 1 or 2"
+
+let pp_term symtab ppf = function
+  | Var v -> Format.fprintf ppf "?%s" v
+  | Ent e -> Format.pp_print_string ppf (Symtab.name symtab e)
+
+let pp symtab ppf { src; rel; tgt } =
+  Format.fprintf ppf "(%a, %a, %a)" (pp_term symtab) src (pp_term symtab) rel
+    (pp_term symtab) tgt
+
+let to_string symtab tpl = Format.asprintf "%a" (pp symtab) tpl

@@ -1,0 +1,49 @@
+(** Templates: facts that may include variables (§2.4, §2.7).
+
+    Templates are the atomic predicates of the query language and the
+    building blocks of rules. The special navigation symbol [*] (§4.1) is
+    desugared to fresh anonymous variables by the parser, so it does not
+    appear here. *)
+
+type term =
+  | Var of string  (** named entity variable *)
+  | Ent of Entity.t
+
+type t = { src : term; rel : term; tgt : term }
+
+val make : term -> term -> term -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Variable names in source-relationship-target order, duplicates kept. *)
+val vars : t -> string list
+
+(** Distinct variable names, first-occurrence order. *)
+val distinct_vars : t -> string list
+
+val is_ground : t -> bool
+
+(** [to_fact tpl] is the fact a ground template denotes. *)
+val to_fact : t -> Fact.t option
+
+val of_fact : Fact.t -> t
+
+(** [subst env tpl] replaces every variable bound in [env]. *)
+val subst : (string -> Entity.t option) -> t -> t
+
+(** [matches tpl fact] — bindings extending the empty environment under
+    which [tpl] equals [fact], or [None]. Repeated variables must match
+    equal entities (e.g. [(x, CITES, x)] for self-citations, §2.7). *)
+val matches : t -> Fact.t -> (string * Entity.t) list option
+
+(** Entities occurring (as constants) in the template, in position order:
+    [(position, entity)] with positions 0 = source, 1 = relationship,
+    2 = target. *)
+val constants : t -> (int * Entity.t) list
+
+(** [replace_at tpl ~pos ~by] replaces the constant at position [pos]. *)
+val replace_at : t -> pos:int -> by:Entity.t -> t
+
+val pp : Symtab.t -> Format.formatter -> t -> unit
+val to_string : Symtab.t -> t -> string

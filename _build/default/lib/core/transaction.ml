@@ -1,0 +1,44 @@
+type op = [ `Insert of Fact.t | `Remove of Fact.t ]
+
+type t = { db : Database.t; mutable ops : op list }
+
+let start db = { db; ops = [] }
+
+let insert t fact =
+  let added = Database.insert t.db fact in
+  if added then t.ops <- `Insert fact :: t.ops;
+  added
+
+let insert_names t s r tgt =
+  insert t (Fact.of_names (Database.symtab t.db) s r tgt)
+
+let remove t fact =
+  let removed = Database.remove t.db fact in
+  if removed then t.ops <- `Remove fact :: t.ops;
+  removed
+
+let journal t = t.ops
+
+let rollback t =
+  List.iter
+    (function
+      | `Insert fact -> ignore (Database.remove t.db fact)
+      | `Remove fact -> ignore (Database.insert t.db fact))
+    t.ops;
+  t.ops <- []
+
+let atomically ?(check = true) db f =
+  let t = start db in
+  match f t with
+  | result ->
+      if not check then Ok result
+      else begin
+        match Integrity.violations db with
+        | [] -> Ok result
+        | violations ->
+            rollback t;
+            Error violations
+      end
+  | exception e ->
+      rollback t;
+      raise e

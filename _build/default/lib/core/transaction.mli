@@ -1,0 +1,34 @@
+(** Atomic update groups (§6 lists "update of the facts and the rules"
+    among the operators a usable system needs).
+
+    A transaction records the fact insertions/removals performed through
+    it; on [rollback] — explicit, or implicit when the body of
+    {!atomically} raises or the final integrity check fails — the
+    mutations are undone in reverse order. Rules and declarations are not
+    transactional (they are code-like, rarely batched). *)
+
+type t
+
+(** Begin recording against a database. *)
+val start : Database.t -> t
+
+val insert : t -> Fact.t -> bool
+val insert_names : t -> string -> string -> string -> bool
+val remove : t -> Fact.t -> bool
+
+(** Mutations applied so far (most recent first). *)
+val journal : t -> [ `Insert of Fact.t | `Remove of Fact.t ] list
+
+(** Undo everything this transaction applied. Idempotent. *)
+val rollback : t -> unit
+
+(** [atomically ?check db f] runs [f] with a fresh transaction. If [f]
+    raises, every mutation is rolled back and the exception re-raised.
+    If [check] is [true] (default), the closure is then validated with
+    {!Integrity.violations}; violations roll the transaction back and
+    are returned as [Error]. *)
+val atomically :
+  ?check:bool ->
+  Database.t ->
+  (t -> 'a) ->
+  ('a, Integrity.violation list) result

@@ -1,0 +1,56 @@
+type t = { headers : string list; rows : Entity.t list list list }
+
+let default_opts =
+  (* Composition off: the §6.1 relation operator tabulates direct
+     relationships; composed paths would flood the cells. *)
+  { Match_layer.eval_opts with composition = false }
+
+let sorted_by_name symtab entities =
+  List.sort_uniq
+    (fun a b ->
+      let c = String.compare (Symtab.name symtab a) (Symtab.name symtab b) in
+      if c <> 0 then c else Entity.compare a b)
+    entities
+
+let relation ?(opts = default_opts) db ~instance_of columns =
+  let symtab = Database.symtab db in
+  let name = Symtab.name symtab in
+  let headers =
+    name instance_of
+    :: List.map (fun (r, t) -> Printf.sprintf "%s %s" (name r) (name t)) columns
+  in
+  let instances = ref [] in
+  Match_layer.candidates ~opts db
+    (Store.pattern ~r:Entity.member ~t:instance_of ())
+    (fun fact -> instances := fact.s :: !instances);
+  let instances = sorted_by_name symtab !instances in
+  let cell y (r, target_class) =
+    let values = ref [] in
+    Match_layer.candidates ~opts db (Store.pattern ~s:y ~r ()) (fun fact ->
+        if
+          Match_layer.holds ~opts db (Fact.make fact.t Entity.member target_class)
+        then values := fact.t :: !values);
+    sorted_by_name symtab !values
+  in
+  let rows = List.map (fun y -> [ y ] :: List.map (cell y) columns) instances in
+  { headers; rows }
+
+let relation_names db class_name columns =
+  let e = Database.entity db in
+  relation db ~instance_of:(e class_name)
+    (List.map (fun (r, t) -> (e r, e t)) columns)
+
+let apply ?(opts = default_opts) db ~rel e =
+  let out = ref [] in
+  Match_layer.candidates ~opts db (Store.pattern ~s:e ~r:rel ()) (fun fact ->
+      out := fact.t :: !out);
+  sorted_by_name (Database.symtab db) !out
+
+let row_count t = List.length t.rows
+
+let rows_named db t =
+  let symtab = Database.symtab db in
+  List.map (List.map (Pretty.cell symtab)) t.rows
+
+let render db t =
+  Pretty.grid ~headers:t.headers (rows_named db t)

@@ -1,0 +1,36 @@
+(** Structured views over the heap (§6.1): the [relation] operator returns
+    a tabulated — possibly non-first-normal-form — relation, demonstrating
+    that the unstructured representation does not preclude structured
+    (relational or functional) views. *)
+
+(** A non-1NF table: each cell holds any number of entities. *)
+type t = {
+  headers : string list;
+  rows : Entity.t list list list;  (** rows → columns → cell entities *)
+}
+
+(** [relation db ~instance_of columns] — the paper's
+    [relation(s, r1 t1, …, rn tn)]: one row per instance [y] of
+    [instance_of]; the first column holds [y]; column [i+1] holds every
+    [z] with [(y, ri, z)] and [(z, ∈, ti)]. *)
+val relation :
+  ?opts:Match_layer.opts ->
+  Database.t ->
+  instance_of:Entity.t ->
+  (Entity.t * Entity.t) list ->
+  t
+
+(** Same, from names: [relation_names db "employee" [("works-for",
+    "department"); ("earns", "salary")]]. *)
+val relation_names : Database.t -> string -> (string * string) list -> t
+
+(** A functional view: [apply db ~rel e] is every target related to [e]
+    via [rel] — entities as functions, the "functional model" reading. *)
+val apply : ?opts:Match_layer.opts -> Database.t -> rel:Entity.t -> Entity.t -> Entity.t list
+
+val row_count : t -> int
+
+(** Rows with every cell rendered (entities comma-separated). *)
+val rows_named : Database.t -> t -> string list list
+
+val render : Database.t -> t -> string

@@ -1,0 +1,70 @@
+let numeric symtab e = Symtab.numeric_value symtab e
+
+let holds symtab s r t =
+  if Entity.is_comparator r then
+    match (numeric symtab s, numeric symtab t) with
+    | Some a, Some b -> Some (Entity.comparator_holds r a b)
+    | _ ->
+        (* Identity is decidable for every pair of entities (§3.6); the
+           ordering comparators have no authority over non-numbers, so
+           stored facts like (CHEAP, <, EXPENSIVE) remain possible. *)
+        if r = Entity.eq then Some (Entity.equal s t)
+        else if r = Entity.neq then Some (not (Entity.equal s t))
+        else None
+  else if r = Entity.gen then
+    if Entity.equal s t then Some true
+    else if Entity.equal t Entity.top then Some true
+    else if Entity.equal s Entity.bottom then Some true
+    else None
+  else None
+
+let decides symtab s r t = holds symtab s r t <> None
+
+let emit_if symtab f s r t =
+  match holds symtab s r t with Some true -> f (Fact.make s r t) | Some false | None -> ()
+
+let comparator_candidates symtab ~domain cmp (pat : Store.pattern) f =
+  match (pat.s, pat.t) with
+  | Some s, Some t -> emit_if symtab f s cmp t
+  | Some s, None ->
+      if cmp = Entity.eq then emit_if symtab f s cmp s;
+      Seq.iter (fun e -> if cmp <> Entity.eq || e <> s then emit_if symtab f s cmp e) (domain ())
+  | None, Some t ->
+      if cmp = Entity.eq then emit_if symtab f t cmp t;
+      Seq.iter (fun e -> if cmp <> Entity.eq || e <> t then emit_if symtab f e cmp t) (domain ())
+  | None, None ->
+      Seq.iter
+        (fun a -> Seq.iter (fun b -> emit_if symtab f a cmp b) (domain ()))
+        (domain ())
+
+(* The extremes are {e checkable} but never {e enumerable}: a fully bound
+   (E,⊑,Δ) or (∇,⊑,E) is affirmed, but a free position is never bound to
+   Δ or ∇ — otherwise query answers would depend on which atom happened
+   to enumerate first (∇ inherits every fact, so it would satisfy almost
+   any conjunction). Answers therefore contain the extremes only when
+   the query names them. *)
+let gen_candidates ~domain (pat : Store.pattern) f =
+  let top = Entity.top and bottom = Entity.bottom in
+  let emit s t = f (Fact.make s Entity.gen t) in
+  match (pat.s, pat.t) with
+  | Some s, Some t -> if s = t || t = top || s = bottom then emit s t
+  | Some s, None ->
+      emit s s;
+      if s = bottom then
+        Seq.iter (fun e -> if e <> bottom && e <> top then emit bottom e) (domain ())
+  | None, Some t ->
+      emit t t;
+      if t = top then
+        Seq.iter (fun e -> if e <> top && e <> bottom then emit e top) (domain ())
+  | None, None -> Seq.iter (fun e -> emit e e) (domain ())
+
+let candidates symtab ~domain (pat : Store.pattern) f =
+  match pat.r with
+  | Some r when Entity.is_comparator r -> comparator_candidates symtab ~domain r pat f
+  | Some r when r = Entity.gen -> gen_candidates ~domain pat f
+  | Some _ -> ()
+  | None ->
+      (* Free relationship: hierarchy facts are enumerated (reflexive ⊑,
+         Δ, ∇); comparators are not — between every pair of entities they
+         would drown the answer, and §4.1's tables show none. *)
+      gen_candidates ~domain pat f

@@ -1,0 +1,39 @@
+(** Virtual facts (§3.6 and §2.3): mathematical relationships and the
+    generalization hierarchy's built-in extent, answered without storage.
+
+    The paper assumes "the existence of all relevant mathematical
+    relationships, without actually storing them as ordinary facts": for
+    numeric entities all comparator facts; for every pair of entities
+    exactly one of [(E1,=,E2)] / [(E1,≠,E2)]. Likewise [⊑] is reflexive and
+    bounded by [Δ]/[∇] for every entity: [(E,⊑,E)], [(E,⊑,Δ)], [(∇,⊑,E)].
+
+    Enumeration uses active-domain semantics: free positions range over the
+    entities known to [domain] (typically the closure's active entities).
+    The extremes Δ/∇ are {e checkable but never enumerable}: they are
+    affirmed when the caller names them, but a free position is never
+    bound to them, so query answers contain them only when the query
+    says them — otherwise answers would depend on evaluation order (∇
+    inherits every fact). *)
+
+(** [holds symtab s r t] decides a fully ground virtual fact:
+    [Some true/false] if the triple falls under the oracle's authority
+    (comparator with decidable operands, or hierarchy extent), [None] if it
+    is an ordinary fact the oracle knows nothing about. *)
+val holds : Symtab.t -> Entity.t -> Entity.t -> Entity.t -> bool option
+
+(** [decides symtab s r t] — whether the oracle has authority over the
+    triple (i.e. [holds] would answer [Some _]). *)
+val decides : Symtab.t -> Entity.t -> Entity.t -> Entity.t -> bool
+
+(** [candidates symtab ~domain pattern emit] enumerates the virtual facts
+    matching [pattern] ([None] = free position, ranging over [domain]).
+    Comparator positions with a free relationship are {e not} enumerated
+    (they would add [=]/[≠] noise between every pair); callers that want
+    comparators must bind the relationship. Hierarchy facts {e are}
+    enumerated for a free relationship when source or target is [Δ]/[∇]. *)
+val candidates :
+  Symtab.t ->
+  domain:(unit -> Entity.t Seq.t) ->
+  Store.pattern ->
+  (Fact.t -> unit) ->
+  unit

@@ -1,0 +1,1 @@
+lib/datalog/atom.ml: Array Format List Term Triple

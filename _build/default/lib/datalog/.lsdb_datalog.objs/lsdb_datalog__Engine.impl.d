@@ -1,0 +1,1 @@
+lib/datalog/engine.ml: Array Atom Fun Guard Index List Rule Seq Term Triple

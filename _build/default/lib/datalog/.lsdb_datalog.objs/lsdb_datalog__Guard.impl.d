@@ -1,0 +1,1 @@
+lib/datalog/guard.ml: Format Term

@@ -1,0 +1,1 @@
+lib/datalog/guard.mli: Format Term

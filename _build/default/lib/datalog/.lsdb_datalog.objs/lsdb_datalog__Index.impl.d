@@ -1,0 +1,1 @@
+lib/datalog/index.ml: Hashtbl Int List Triple

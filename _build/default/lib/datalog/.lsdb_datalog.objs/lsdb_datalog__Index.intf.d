@@ -1,0 +1,1 @@
+lib/datalog/index.mli: Seq Triple

@@ -1,0 +1,1 @@
+lib/datalog/rule.ml: Atom Format Guard Int List Printf Set

@@ -1,0 +1,1 @@
+lib/datalog/term.ml: Array Format Int

@@ -1,0 +1,1 @@
+lib/datalog/triple.ml: Format Hashtbl Int Set

@@ -1,0 +1,1 @@
+lib/datalog/triple.mli: Format Hashtbl Set

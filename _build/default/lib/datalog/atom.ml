@@ -1,0 +1,56 @@
+type t = { s : Term.t; r : Term.t; t : Term.t }
+
+let make s r t = { s; r; t }
+
+let equal a b = Term.equal a.s b.s && Term.equal a.r b.r && Term.equal a.t b.t
+
+let compare a b =
+  let c = Term.compare a.s b.s in
+  if c <> 0 then c
+  else
+    let c = Term.compare a.r b.r in
+    if c <> 0 then c else Term.compare a.t b.t
+
+let vars { s; r; t } =
+  let add acc = function Term.Var v -> v :: acc | Term.Const _ -> acc in
+  List.rev (add (add (add [] s) r) t)
+
+let max_var atom = List.fold_left max (-1) (vars atom)
+
+let match_term binding term value newly =
+  match term with
+  | Term.Const c -> if c = value then Some newly else None
+  | Term.Var v ->
+      if binding.(v) < 0 then begin
+        binding.(v) <- value;
+        Some (v :: newly)
+      end
+      else if binding.(v) = value then Some newly
+      else None
+
+let undo binding newly = List.iter (fun v -> binding.(v) <- -1) newly
+
+let match_against binding atom (triple : Triple.t) =
+  match match_term binding atom.s triple.s [] with
+  | None -> None
+  | Some newly -> (
+      match match_term binding atom.r triple.r newly with
+      | None ->
+          undo binding newly;
+          None
+      | Some newly -> (
+          match match_term binding atom.t triple.t newly with
+          | None ->
+              undo binding newly;
+              None
+          | Some newly -> Some newly))
+
+let instantiate binding atom =
+  match
+    (Term.subst binding atom.s, Term.subst binding atom.r, Term.subst binding atom.t)
+  with
+  | Some s, Some r, Some t -> Some (Triple.make s r t)
+  | _ -> None
+
+let pp ppf { s; r; t } =
+  Format.fprintf ppf "(%a,%a,%a)" Term.pp s Term.pp r Term.pp t

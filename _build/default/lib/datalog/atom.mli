@@ -1,0 +1,28 @@
+(** Rule atoms: triples of terms, matched against ground triples. *)
+
+type t = { s : Term.t; r : Term.t; t : Term.t }
+
+val make : Term.t -> Term.t -> Term.t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Variables occurring in the atom, in source-relationship-target order,
+    with duplicates preserved. *)
+val vars : t -> int list
+
+(** Largest variable index occurring in the atom, or [-1] if ground. *)
+val max_var : t -> int
+
+(** [match_against binding atom triple] attempts to unify [atom] with the
+    ground [triple] under the partial [binding] ([-1] = unbound). On success
+    it returns the list of variable slots it newly bound (so the caller can
+    undo them); on failure it returns [None] and leaves [binding] exactly as
+    it was. *)
+val match_against : int array -> t -> Triple.t -> int list option
+
+(** [instantiate binding atom] is the ground triple denoted by [atom] under
+    [binding], or [None] if some variable is unbound. *)
+val instantiate : int array -> t -> Triple.t option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,129 @@
+type provenance = { rule : string; premises : Triple.t list }
+
+type result = {
+  index : Index.t;
+  derived : Triple.t list;
+  provenance : provenance Triple.Tbl.t;
+  rounds : int;
+}
+
+exception Diverged of int
+
+(* Check every guard that is fully bound; fail fast on the first violated
+   one. Guards whose variables are still unbound are deferred to a later
+   atom (and are guaranteed checkable at the end because rules are safe). *)
+let guards_ok binding guards =
+  List.for_all
+    (fun g -> match Guard.check binding g with Some false -> false | Some true | None -> true)
+    guards
+
+let atom_pattern binding (atom : Atom.t) =
+  ( Term.subst binding atom.s,
+    Term.subst binding atom.r,
+    Term.subst binding atom.t )
+
+(* Semi-naive body evaluation: for each position [k], match atom [k]
+   against [delta] and every other atom against [full], so that every
+   produced binding uses at least one new premise. The delta atom is
+   matched {e first} — the delta is the smallest relation by far, and
+   leading with it binds variables that make the remaining full-index
+   probes selective (leading with an unconstrained atom would scan the
+   whole index once per rule per round). [emit binding premises] is
+   called for each complete match, premises in body order. *)
+let eval_rule (rule : Rule.t) ~full ~delta ~emit =
+  let binding = Array.make (max rule.nvars 1) (-1) in
+  let body = Array.of_list rule.body in
+  let n = Array.length body in
+  let premises = Array.make n (Triple.make (-1) (-1) (-1)) in
+  for k = 0 to n - 1 do
+    let order = k :: List.filter (fun i -> i <> k) (List.init n Fun.id) in
+    let rec go = function
+      | [] ->
+          if guards_ok binding rule.guards then emit binding (Array.to_list premises)
+      | i :: rest ->
+          let atom = body.(i) in
+          let s, r, tgt = atom_pattern binding atom in
+          let source = if i = k then delta else full in
+          Index.candidates source ~s ~r ~tgt (fun triple ->
+              match Atom.match_against binding atom triple with
+              | None -> ()
+              | Some newly ->
+                  premises.(i) <- triple;
+                  if guards_ok binding rule.guards then go rest;
+                  List.iter (fun v -> binding.(v) <- -1) newly)
+    in
+    go order
+  done
+
+(* The shared semi-naive driver: iterate rules from [initial] as the
+   first delta against [full], adding consequences to [full] and
+   recording provenance, until no new triples appear. Returns the derived
+   triples (in order) and the number of rounds. *)
+let fixpoint ~max_facts rules ~full ~provenance initial =
+  let derived_rev = ref [] in
+  let delta = ref initial in
+  let rounds = ref 0 in
+  while !delta <> [] do
+    incr rounds;
+    let delta_index = Index.create ~size_hint:(List.length !delta) () in
+    List.iter (fun triple -> ignore (Index.add delta_index triple)) !delta;
+    let next = ref [] in
+    List.iter
+      (fun (rule : Rule.t) ->
+        eval_rule rule ~full ~delta:delta_index ~emit:(fun binding premises ->
+            List.iter
+              (fun head ->
+                match Atom.instantiate binding head with
+                | None -> ()
+                | Some triple ->
+                    if Index.add full triple then begin
+                      if Index.cardinal full > max_facts then
+                        raise (Diverged (Index.cardinal full));
+                      next := triple :: !next;
+                      derived_rev := triple :: !derived_rev;
+                      Triple.Tbl.replace provenance triple
+                        { rule = rule.name; premises }
+                    end)
+              rule.heads))
+      rules;
+    delta := !next
+  done;
+  (List.rev !derived_rev, !rounds)
+
+let closure ?(max_facts = 10_000_000) rules base =
+  let full = Index.create () in
+  let provenance = Triple.Tbl.create 256 in
+  let initial = ref [] in
+  Seq.iter
+    (fun triple -> if Index.add full triple then initial := triple :: !initial)
+    base;
+  let derived, rounds = fixpoint ~max_facts rules ~full ~provenance !initial in
+  { index = full; derived; provenance; rounds }
+
+let extend ?(max_facts = 10_000_000) rules result extra =
+  let fresh = ref [] in
+  Seq.iter
+    (fun triple -> if Index.add result.index triple then fresh := triple :: !fresh)
+    extra;
+  let fresh = List.rev !fresh in
+  let derived, rounds =
+    fixpoint ~max_facts rules ~full:result.index ~provenance:result.provenance fresh
+  in
+  (* [derived] is deliberately NOT concatenated onto [result.derived]:
+     that would make each extension O(closure size). Callers that track
+     the full derivation order accumulate the returned segment. *)
+  ({ result with rounds = result.rounds + rounds }, fresh @ derived)
+
+let step rules index =
+  let out = ref [] in
+  List.iter
+    (fun (rule : Rule.t) ->
+      eval_rule rule ~full:index ~delta:index ~emit:(fun binding _premises ->
+          List.iter
+            (fun head ->
+              match Atom.instantiate binding head with
+              | Some triple -> if not (Index.mem index triple) then out := triple :: !out
+              | None -> ())
+            rule.heads))
+    rules;
+  !out

@@ -1,0 +1,44 @@
+(** Semi-naive fixpoint evaluation.
+
+    Computes the closure of a set of ground triples under a set of
+    conjunctive rules (§2.6 of the paper), recording for every derived
+    triple one derivation (rule name + premises) for explanation. *)
+
+type provenance = { rule : string; premises : Triple.t list }
+
+type result = {
+  index : Index.t;  (** the full closure, base facts included *)
+  derived : Triple.t list;  (** derived facts, in derivation order *)
+  provenance : provenance Triple.Tbl.t;  (** one derivation per derived fact *)
+  rounds : int;  (** number of semi-naive iterations to fixpoint *)
+}
+
+exception Diverged of int
+(** Raised (with the cardinal reached) when [max_facts] is exceeded — a
+    safety valve for rule sets that generate unboundedly, which the paper
+    notes is possible with unrestricted composition. *)
+
+(** [closure ?max_facts rules base] computes the closure of [base] under
+    [rules]. Duplicate base triples are collapsed. *)
+val closure : ?max_facts:int -> Rule.t list -> Triple.t Seq.t -> result
+
+(** [extend ?max_facts rules result extra] incrementally maintains a
+    closure under insertions: the [extra] base triples are added and the
+    semi-naive fixpoint continues from them, reusing everything already
+    derived. [result.index] and [result.provenance] are updated in place;
+    the returned record carries the accumulated [rounds], but [derived]
+    is {e not} extended (that would cost O(closure) per call) — the
+    second component lists every triple new to the index (base and
+    derived), in derivation order, for callers to accumulate or to feed
+    to the next stratum. *)
+val extend :
+  ?max_facts:int ->
+  Rule.t list ->
+  result ->
+  Triple.t Seq.t ->
+  result * Triple.t list
+
+(** [consequences rules index binding_hook] — single application round used
+    by incremental maintenance: derive everything the rules produce from the
+    facts currently in [index] without iterating to fixpoint. *)
+val step : Rule.t list -> Index.t -> Triple.t list

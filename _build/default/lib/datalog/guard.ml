@@ -1,0 +1,27 @@
+type t =
+  | Distinct of Term.t * Term.t
+  | Same of Term.t * Term.t
+  | Holds of string * (int -> bool) * Term.t
+
+let pp ppf = function
+  | Distinct (a, b) -> Format.fprintf ppf "%a <> %a" Term.pp a Term.pp b
+  | Same (a, b) -> Format.fprintf ppf "%a = %a" Term.pp a Term.pp b
+  | Holds (name, _, t) -> Format.fprintf ppf "%s(%a)" name Term.pp t
+
+let term_vars = function Term.Var v -> [ v ] | Term.Const _ -> []
+
+let vars = function
+  | Distinct (a, b) | Same (a, b) -> term_vars a @ term_vars b
+  | Holds (_, _, t) -> term_vars t
+
+let check binding = function
+  | Distinct (a, b) -> (
+      match (Term.subst binding a, Term.subst binding b) with
+      | Some x, Some y -> Some (x <> y)
+      | _ -> None)
+  | Same (a, b) -> (
+      match (Term.subst binding a, Term.subst binding b) with
+      | Some x, Some y -> Some (x = y)
+      | _ -> None)
+  | Holds (_, pred, t) -> (
+      match Term.subst binding t with Some x -> Some (pred x) | None -> None)

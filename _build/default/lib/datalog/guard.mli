@@ -1,0 +1,23 @@
+(** Side conditions attached to rules.
+
+    The paper's standard inference rules are guarded: e.g. inference by
+    generalization applies only when the relationship is an *individual*
+    relationship ([r ∈ R_i]). Guards are checked once all their terms are
+    bound; a guard whose terms are not yet all bound is deferred. *)
+
+type t =
+  | Distinct of Term.t * Term.t
+      (** the two terms denote different constants *)
+  | Same of Term.t * Term.t  (** the two terms denote the same constant *)
+  | Holds of string * (int -> bool) * Term.t
+      (** named unary predicate over the denoted constant; the name is used
+          only for printing and equality *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Variables the guard mentions. *)
+val vars : t -> int list
+
+(** [check binding guard] is [Some true]/[Some false] once every term is
+    bound, [None] while some variable is still unbound. *)
+val check : int array -> t -> bool option

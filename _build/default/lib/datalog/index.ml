@@ -1,0 +1,81 @@
+module Pair = struct
+  type t = int * int
+
+  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
+  let hash (a, b) = (a * 0x9e3779b1) lxor (b * 0x85ebca77) land max_int
+end
+
+module Pair_tbl = Hashtbl.Make (Pair)
+module Int_tbl = Hashtbl.Make (Int)
+
+type t = {
+  all : unit Triple.Tbl.t;
+  by_sr : Triple.t list ref Pair_tbl.t;
+  by_st : Triple.t list ref Pair_tbl.t;
+  by_rt : Triple.t list ref Pair_tbl.t;
+  by_s : Triple.t list ref Int_tbl.t;
+  by_r : Triple.t list ref Int_tbl.t;
+  by_t : Triple.t list ref Int_tbl.t;
+}
+
+let create ?(size_hint = 1024) () =
+  {
+    all = Triple.Tbl.create size_hint;
+    by_sr = Pair_tbl.create size_hint;
+    by_st = Pair_tbl.create size_hint;
+    by_rt = Pair_tbl.create size_hint;
+    by_s = Int_tbl.create size_hint;
+    by_r = Int_tbl.create size_hint;
+    by_t = Int_tbl.create size_hint;
+  }
+
+let push_pair tbl key triple =
+  match Pair_tbl.find_opt tbl key with
+  | Some cell -> cell := triple :: !cell
+  | None -> Pair_tbl.add tbl key (ref [ triple ])
+
+let push_int tbl key triple =
+  match Int_tbl.find_opt tbl key with
+  | Some cell -> cell := triple :: !cell
+  | None -> Int_tbl.add tbl key (ref [ triple ])
+
+let add idx (triple : Triple.t) =
+  if Triple.Tbl.mem idx.all triple then false
+  else begin
+    Triple.Tbl.add idx.all triple ();
+    push_pair idx.by_sr (triple.s, triple.r) triple;
+    push_pair idx.by_st (triple.s, triple.t) triple;
+    push_pair idx.by_rt (triple.r, triple.t) triple;
+    push_int idx.by_s triple.s triple;
+    push_int idx.by_r triple.r triple;
+    push_int idx.by_t triple.t triple;
+    true
+  end
+
+let mem idx triple = Triple.Tbl.mem idx.all triple
+let cardinal idx = Triple.Tbl.length idx.all
+let iter f idx = Triple.Tbl.iter (fun triple () -> f triple) idx.all
+let to_seq idx = Triple.Tbl.to_seq_keys idx.all
+
+let iter_pair tbl key f =
+  match Pair_tbl.find_opt tbl key with
+  | Some cell -> List.iter f !cell
+  | None -> ()
+
+let iter_int tbl key f =
+  match Int_tbl.find_opt tbl key with
+  | Some cell -> List.iter f !cell
+  | None -> ()
+
+let candidates idx ~s ~r ~tgt f =
+  match (s, r, tgt) with
+  | Some s, Some r, Some t ->
+      let triple = Triple.make s r t in
+      if mem idx triple then f triple
+  | Some s, Some r, None -> iter_pair idx.by_sr (s, r) f
+  | Some s, None, Some t -> iter_pair idx.by_st (s, t) f
+  | None, Some r, Some t -> iter_pair idx.by_rt (r, t) f
+  | Some s, None, None -> iter_int idx.by_s s f
+  | None, Some r, None -> iter_int idx.by_r r f
+  | None, None, Some t -> iter_int idx.by_t t f
+  | None, None, None -> iter f idx

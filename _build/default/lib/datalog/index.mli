@@ -1,0 +1,23 @@
+(** Evaluation index over ground triples.
+
+    Append-only (the fixpoint only ever adds facts); every bound-position
+    pattern is answered from the most selective available hash index. *)
+
+type t
+
+val create : ?size_hint:int -> unit -> t
+
+(** [add t triple] is [true] if the triple was new, [false] if already
+    present (in which case the index is unchanged). *)
+val add : t -> Triple.t -> bool
+
+val mem : t -> Triple.t -> bool
+val cardinal : t -> int
+val iter : (Triple.t -> unit) -> t -> unit
+val to_seq : t -> Triple.t Seq.t
+
+(** [candidates t ~s ~r ~t:tgt f] applies [f] to every stored triple
+    compatible with the pattern; [None] positions are wildcards. The
+    triples passed to [f] are guaranteed to match the bound positions. *)
+val candidates :
+  t -> s:int option -> r:int option -> tgt:int option -> (Triple.t -> unit) -> unit

@@ -1,0 +1,49 @@
+type t = {
+  name : string;
+  body : Atom.t list;
+  guards : Guard.t list;
+  heads : Atom.t list;
+  nvars : int;
+}
+
+exception Unsafe of string
+
+module Int_set = Set.Make (Int)
+
+let make ~name ~body ?(guards = []) ~heads () =
+  let body_vars =
+    List.fold_left
+      (fun acc atom -> List.fold_left (fun acc v -> Int_set.add v acc) acc (Atom.vars atom))
+      Int_set.empty body
+  in
+  let check_covered what vars =
+    List.iter
+      (fun v ->
+        if not (Int_set.mem v body_vars) then
+          raise
+            (Unsafe
+               (Printf.sprintf "rule %s: %s variable ?%d does not occur in the body"
+                  name what v)))
+      vars
+  in
+  List.iter (fun atom -> check_covered "head" (Atom.vars atom)) heads;
+  List.iter (fun g -> check_covered "guard" (Guard.vars g)) guards;
+  let max_in atoms =
+    List.fold_left (fun acc atom -> max acc (Atom.max_var atom)) (-1) atoms
+  in
+  let nvars = 1 + max (max_in body) (max_in heads) in
+  if heads = [] then raise (Unsafe (Printf.sprintf "rule %s: no head" name));
+  if body = [] then raise (Unsafe (Printf.sprintf "rule %s: no body" name));
+  { name; body; guards; heads; nvars }
+
+let pp ppf { name; body; guards; heads; _ } =
+  Format.fprintf ppf "@[<hov 2>%s:@ %a" name
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") Atom.pp)
+    body;
+  if guards <> [] then
+    Format.fprintf ppf "@ where %a"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") Guard.pp)
+      guards;
+  Format.fprintf ppf "@ =>@ %a@]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") Atom.pp)
+    heads

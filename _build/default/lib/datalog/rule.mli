@@ -1,0 +1,21 @@
+(** Conjunctive rules <L, R>: a set of body templates (plus guards) implying
+    a set of head templates — the paper's single mechanism for both inference
+    rules and integrity constraints (§2.6). *)
+
+type t = private {
+  name : string;  (** for display and provenance *)
+  body : Atom.t list;
+  guards : Guard.t list;
+  heads : Atom.t list;
+  nvars : int;  (** size of the variable frame *)
+}
+
+exception Unsafe of string
+
+(** [make ~name ~body ~guards ~heads] builds a rule, renumbering nothing:
+    callers use variable indices [0..n-1]. Raises [Unsafe] if a head or guard
+    variable does not occur in the body (such rules could derive non-ground
+    facts). *)
+val make : name:string -> body:Atom.t list -> ?guards:Guard.t list -> heads:Atom.t list -> unit -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+type t = Var of int | Const of int
+
+let equal a b =
+  match (a, b) with
+  | Var x, Var y -> x = y
+  | Const x, Const y -> x = y
+  | Var _, Const _ | Const _, Var _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Var x, Var y -> Int.compare x y
+  | Const x, Const y -> Int.compare x y
+  | Var _, Const _ -> -1
+  | Const _, Var _ -> 1
+
+let is_var = function Var _ -> true | Const _ -> false
+let is_const = function Const _ -> true | Var _ -> false
+
+let subst binding = function
+  | Const c -> Some c
+  | Var v -> if binding.(v) < 0 then None else Some binding.(v)
+
+let pp ppf = function
+  | Var v -> Format.fprintf ppf "?%d" v
+  | Const c -> Format.fprintf ppf "%d" c

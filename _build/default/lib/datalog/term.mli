@@ -1,0 +1,21 @@
+(** Terms of rule atoms: rule-local variables or interned constants.
+
+    Variables are identified by their index in the rule's variable frame;
+    a rule with [n] distinct variables uses indices [0 .. n-1]. *)
+
+type t =
+  | Var of int    (** rule-local variable slot *)
+  | Const of int  (** interned constant (entity id) *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val is_var : t -> bool
+val is_const : t -> bool
+
+(** [subst binding term] is the constant denoted by [term] under [binding],
+    or [None] if [term] is an unbound variable. [binding.(v) = -1] marks
+    slot [v] unbound. *)
+val subst : int array -> t -> int option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+type t = { s : int; r : int; t : int }
+
+let make s r t = { s; r; t }
+
+let equal a b = a.s = b.s && a.r = b.r && a.t = b.t
+
+let compare a b =
+  let c = Int.compare a.s b.s in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.r b.r in
+    if c <> 0 then c else Int.compare a.t b.t
+
+(* A cheap mixing hash; triples are hot keys in the closure fixpoint. *)
+let hash { s; r; t } =
+  let h = s * 0x9e3779b1 in
+  let h = (h lxor r) * 0x85ebca77 in
+  let h = (h lxor t) * 0xc2b2ae3d in
+  h land max_int
+
+let pp ppf { s; r; t } = Format.fprintf ppf "(%d,%d,%d)" s r t
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Hash = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Set = Set.Make (Ord)
+module Tbl = Hashtbl.Make (Hash)

@@ -1,0 +1,18 @@
+(** Integer triples: the ground facts manipulated by the Datalog engine.
+
+    The engine is deliberately ignorant of what the integers denote; the
+    [lsdb] core library interns entity names to non-negative integers and
+    maps its facts down to triples before invoking the engine. *)
+
+type t = { s : int; r : int; t : int }
+
+val make : int -> int -> int -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,1 @@
+lib/relational/bridge.ml: Array Catalog Database List Lsdb Printf Relation Schema String Symtab View

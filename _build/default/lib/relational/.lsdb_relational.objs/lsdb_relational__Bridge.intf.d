@@ -1,0 +1,1 @@
+lib/relational/bridge.mli: Catalog Lsdb Relation

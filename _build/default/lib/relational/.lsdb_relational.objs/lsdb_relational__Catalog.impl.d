@@ -1,0 +1,1 @@
+lib/relational/catalog.ml: Array Hashtbl List Option Relation Schema String

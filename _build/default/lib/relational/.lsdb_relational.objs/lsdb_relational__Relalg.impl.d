@@ -1,0 +1,1 @@
+lib/relational/relalg.ml: Array List Printf Relation Schema String

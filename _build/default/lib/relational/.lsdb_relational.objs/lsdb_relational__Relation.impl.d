@@ -1,0 +1,1 @@
+lib/relational/relation.ml: Array Hashtbl List Lsdb Printf Schema String

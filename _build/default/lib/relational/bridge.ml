@@ -1,0 +1,72 @@
+open Lsdb
+
+let export db catalog ~instance_of ~columns =
+  let view = View.relation_names db instance_of columns in
+  let attributes =
+    instance_of :: List.map (fun (r, t) -> Printf.sprintf "%s %s" r t) columns
+  in
+  let schema = Schema.make ~name:instance_of ~attributes in
+  let relation = Catalog.create_relation catalog schema in
+  let symtab = Database.symtab db in
+  (* Non-1NF cells become one tuple per combination (unnest). *)
+  let rec combinations = function
+    | [] -> [ [] ]
+    | cell :: rest ->
+        let tails = combinations rest in
+        let cell = if cell = [] then [ None ] else List.map (fun e -> Some e) cell in
+        List.concat_map
+          (fun v -> List.map (fun tail -> v :: tail) tails)
+          cell
+  in
+  List.iter
+    (fun row ->
+      List.iter
+        (fun combo ->
+          let tuple =
+            Array.of_list
+              (List.map
+                 (function Some e -> Symtab.name symtab e | None -> "")
+                 combo)
+          in
+          ignore (Relation.insert relation tuple))
+        (combinations row))
+    view.View.rows;
+  relation
+
+let import db relation ~key =
+  let schema = Relation.schema relation in
+  let rel_name = Schema.name schema in
+  let attrs = Schema.attributes schema in
+  let inserted = ref 0 in
+  let add s r t = if Database.insert_names db s r t then incr inserted in
+  (match attrs with
+  | [ a; b ] when String.equal a key ->
+      (* Binary relation: attribute b becomes the relationship. *)
+      Relation.iter (fun tuple -> add tuple.(0) b tuple.(1)) relation
+  | _ ->
+      let counter = ref 0 in
+      Relation.iter
+        (fun tuple ->
+          incr counter;
+          let row_entity = Printf.sprintf "%s#%d" rel_name !counter in
+          add row_entity "in" rel_name;
+          List.iteri
+            (fun i attr ->
+              if tuple.(i) <> "" then
+                if String.equal attr key then add row_entity key tuple.(i)
+                else add row_entity attr tuple.(i))
+            attrs)
+        relation);
+  !inserted
+
+let import_catalog db catalog ~keys =
+  List.fold_left
+    (fun acc name ->
+      let relation = Catalog.relation catalog name in
+      let key =
+        match List.assoc_opt name keys with
+        | Some k -> k
+        | None -> List.hd (Schema.attributes (Relation.schema relation))
+      in
+      acc + import db relation ~key)
+    0 (Catalog.relation_names catalog)

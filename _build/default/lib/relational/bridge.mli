@@ -1,0 +1,26 @@
+(** Converters between the two architectures.
+
+    Exporting a heap into relations needs a schema choice (that is the
+    point); importing relations into a heap needs none — wide tuples are
+    reified through a fresh row entity, the §2.6 [E123] pattern. *)
+
+(** [export db catalog ~relation ~instance_of ~columns] materializes the
+    §6.1 relation view as a typed relation (first attribute named after
+    the class; non-1NF cells explode into multiple tuples). Returns the
+    relation. *)
+val export :
+  Lsdb.Database.t ->
+  Catalog.t ->
+  instance_of:string ->
+  columns:(string * string) list ->
+  Relation.t
+
+(** [import db relation ~key] inserts the relation's tuples as facts:
+    binary relations import directly as [(key-value, attr, value)]; wider
+    ones reify each row as a fresh entity [R#i] with one fact per
+    attribute, plus [(row, ∈, R)]. Returns how many facts were inserted. *)
+val import : Lsdb.Database.t -> Relation.t -> key:string -> int
+
+(** [import_catalog db catalog ~keys] imports every relation; [keys] maps
+    relation name to key attribute (defaults to the first attribute). *)
+val import_catalog : Lsdb.Database.t -> Catalog.t -> keys:(string * string) list -> int

@@ -1,0 +1,106 @@
+type t = { relations : (string, Relation.t) Hashtbl.t }
+
+exception No_such_relation of string
+exception Already_exists of string
+
+let create () = { relations = Hashtbl.create 16 }
+
+let create_relation t schema =
+  let name = Schema.name schema in
+  if Hashtbl.mem t.relations name then raise (Already_exists name);
+  let r = Relation.create schema in
+  Hashtbl.add t.relations name r;
+  r
+
+let relation t name =
+  match Hashtbl.find_opt t.relations name with
+  | Some r -> r
+  | None -> raise (No_such_relation name)
+
+let find t name = Hashtbl.find_opt t.relations name
+
+let drop_relation t name =
+  if not (Hashtbl.mem t.relations name) then raise (No_such_relation name);
+  Hashtbl.remove t.relations name
+
+let relation_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.relations [] |> List.sort String.compare
+
+let total_tuples t =
+  Hashtbl.fold (fun _ r acc -> acc + Relation.cardinal r) t.relations 0
+
+let replace t name r = Hashtbl.replace t.relations name r
+
+let add_attribute t ~relation:name ~attr ~default =
+  let r = relation t name in
+  let fresh = Relation.create (Schema.add (Relation.schema r) attr) in
+  let rewritten = ref 0 in
+  Relation.iter
+    (fun tuple ->
+      ignore (Relation.insert fresh (Array.append tuple [| default |]));
+      incr rewritten)
+    r;
+  replace t name fresh;
+  !rewritten
+
+let drop_attribute t ~relation:name ~attr =
+  let r = relation t name in
+  let schema = Relation.schema r in
+  let keep =
+    List.filter (fun a -> not (String.equal a attr)) (Schema.attributes schema)
+  in
+  let positions =
+    List.map (fun a -> Option.get (Schema.index_of schema a)) keep
+  in
+  let fresh = Relation.create (Schema.make ~name ~attributes:keep) in
+  let rewritten = ref 0 in
+  Relation.iter
+    (fun tuple ->
+      ignore
+        (Relation.insert fresh (Array.of_list (List.map (fun i -> tuple.(i)) positions)));
+      incr rewritten)
+    r;
+  replace t name fresh;
+  !rewritten
+
+let rename_attribute t ~relation:name ~from ~to_ =
+  let r = relation t name in
+  let fresh = Relation.create (Schema.rename (Relation.schema r) ~from ~to_) in
+  let rewritten = ref 0 in
+  Relation.iter
+    (fun tuple ->
+      ignore (Relation.insert fresh tuple);
+      incr rewritten)
+    r;
+  replace t name fresh;
+  !rewritten
+
+let split_relation t ~relation:name ~key ~attrs ~into:(left_name, right_name) =
+  let r = relation t name in
+  let schema = Relation.schema r in
+  if Hashtbl.mem t.relations left_name then raise (Already_exists left_name);
+  if Hashtbl.mem t.relations right_name then raise (Already_exists right_name);
+  let left_attrs = key :: List.filter (fun a -> not (String.equal a key)) attrs in
+  let right_attrs =
+    key
+    :: List.filter
+         (fun a -> (not (String.equal a key)) && not (List.mem a attrs))
+         (Schema.attributes schema)
+  in
+  let pick attrs tuple =
+    Array.of_list
+      (List.map (fun a -> tuple.(Option.get (Schema.index_of schema a))) attrs)
+  in
+  let left = Relation.create (Schema.make ~name:left_name ~attributes:left_attrs) in
+  let right = Relation.create (Schema.make ~name:right_name ~attributes:right_attrs) in
+  let rewritten = ref 0 in
+  Relation.iter
+    (fun tuple ->
+      ignore (Relation.insert left (pick left_attrs tuple));
+      ignore (Relation.insert right (pick right_attrs tuple));
+      rewritten := !rewritten + 2)
+    r;
+  Hashtbl.remove t.relations name;
+  Hashtbl.add t.relations left_name left;
+  Hashtbl.add t.relations right_name right;
+  !rewritten

@@ -1,0 +1,34 @@
+(** The catalog of a structured database: named relations plus the DDL a
+    schema-full architecture requires — exactly the "investment in
+    organization" side of the paper's trade-off (§1). Restructuring
+    operations report how many tuples they had to rewrite, the currency
+    of experiment B7. *)
+
+type t
+
+exception No_such_relation of string
+exception Already_exists of string
+
+val create : unit -> t
+val create_relation : t -> Schema.t -> Relation.t
+val relation : t -> string -> Relation.t
+val find : t -> string -> Relation.t option
+val drop_relation : t -> string -> unit
+val relation_names : t -> string list
+
+(** Total tuples across all relations. *)
+val total_tuples : t -> int
+
+(** {1 Restructuring (B7)} — each returns the number of tuples rewritten. *)
+
+(** Add an attribute, filling existing tuples with [default]. *)
+val add_attribute : t -> relation:string -> attr:string -> default:string -> int
+
+val drop_attribute : t -> relation:string -> attr:string -> int
+
+val rename_attribute : t -> relation:string -> from:string -> to_:string -> int
+
+(** Vertical split: relation R(K, rest) becomes R1(K, attrs) and
+    R2(K, rest∖attrs), joined on key [key]. The original is dropped. *)
+val split_relation :
+  t -> relation:string -> key:string -> attrs:string list -> into:string * string -> int

@@ -1,0 +1,107 @@
+exception Incompatible of string
+
+let select r pred =
+  let out = Relation.create (Relation.schema r) in
+  Relation.iter (fun tuple -> if pred r tuple then ignore (Relation.insert out tuple)) r;
+  out
+
+let select_eq r ~attr ~value =
+  let out = Relation.create (Relation.schema r) in
+  List.iter
+    (fun tuple -> ignore (Relation.insert out tuple))
+    (Relation.lookup r ~attr ~value);
+  out
+
+let project r attrs =
+  let schema = Relation.schema r in
+  let positions =
+    List.map
+      (fun attr ->
+        match Schema.index_of schema attr with
+        | Some i -> i
+        | None ->
+            raise
+              (Incompatible
+                 (Printf.sprintf "project: %s has no attribute %s" (Schema.name schema) attr)))
+      attrs
+  in
+  let out =
+    Relation.create
+      (Schema.make ~name:(Printf.sprintf "π(%s)" (Schema.name schema)) ~attributes:attrs)
+  in
+  Relation.iter
+    (fun tuple ->
+      ignore (Relation.insert out (Array.of_list (List.map (fun i -> tuple.(i)) positions))))
+    r;
+  out
+
+let rename r ~from ~to_ =
+  let out = Relation.create (Schema.rename (Relation.schema r) ~from ~to_) in
+  Relation.iter (fun tuple -> ignore (Relation.insert out tuple)) r;
+  out
+
+let natural_join a b =
+  let sa = Relation.schema a and sb = Relation.schema b in
+  let shared = List.filter (Schema.has_attribute sb) (Schema.attributes sa) in
+  if shared = [] then
+    raise
+      (Incompatible
+         (Printf.sprintf "natural_join: %s and %s share no attribute" (Schema.name sa)
+            (Schema.name sb)));
+  let b_only =
+    List.filter (fun attr -> not (Schema.has_attribute sa attr)) (Schema.attributes sb)
+  in
+  let out_schema =
+    Schema.make
+      ~name:(Printf.sprintf "%s⋈%s" (Schema.name sa) (Schema.name sb))
+      ~attributes:(Schema.attributes sa @ b_only)
+  in
+  let out = Relation.create out_schema in
+  let first_shared = List.hd shared in
+  Relation.iter
+    (fun ta ->
+      let probe = Relation.field a ta first_shared in
+      List.iter
+        (fun tb ->
+          let agree =
+            List.for_all
+              (fun attr -> String.equal (Relation.field a ta attr) (Relation.field b tb attr))
+              shared
+          in
+          if agree then begin
+            let extras = List.map (fun attr -> Relation.field b tb attr) b_only in
+            ignore (Relation.insert out (Array.append ta (Array.of_list extras)))
+          end)
+        (Relation.lookup b ~attr:first_shared ~value:probe))
+    a;
+  out
+
+let check_union_compatible what a b =
+  let sa = Relation.schema a and sb = Relation.schema b in
+  if
+    not
+      (List.length (Schema.attributes sa) = List.length (Schema.attributes sb)
+      && List.for_all2 String.equal (Schema.attributes sa) (Schema.attributes sb))
+  then
+    raise
+      (Incompatible
+         (Printf.sprintf "%s: %s and %s have different attributes" what (Schema.name sa)
+            (Schema.name sb)))
+
+let union a b =
+  check_union_compatible "union" a b;
+  let out = Relation.copy a in
+  Relation.iter (fun tuple -> ignore (Relation.insert out tuple)) b;
+  out
+
+let difference a b =
+  check_union_compatible "difference" a b;
+  let out = Relation.create (Relation.schema a) in
+  Relation.iter (fun tuple -> if not (Relation.mem b tuple) then ignore (Relation.insert out tuple)) a;
+  out
+
+let intersection a b =
+  check_union_compatible "intersection" a b;
+  let out = Relation.create (Relation.schema a) in
+  Relation.iter (fun tuple -> if Relation.mem b tuple then ignore (Relation.insert out tuple)) a;
+  out

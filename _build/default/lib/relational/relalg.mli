@@ -1,0 +1,31 @@
+(** Relational algebra over {!Relation}: the schema-directed query
+    machinery a structured database offers — and which requires knowing
+    the schema, the paper's core criticism (§1, §4). All operators
+    produce fresh relations. *)
+
+exception Incompatible of string
+
+(** [select r pred] — tuples satisfying the predicate (given the source
+    relation for field access). *)
+val select : Relation.t -> (Relation.t -> string array -> bool) -> Relation.t
+
+(** [select_eq r ~attr ~value] — indexed equality selection. *)
+val select_eq : Relation.t -> attr:string -> value:string -> Relation.t
+
+(** [project r attrs] — duplicate-eliminating projection; result relation
+    is named ["π(<name>)"]. *)
+val project : Relation.t -> string list -> Relation.t
+
+(** [rename r ~from ~to_]. *)
+val rename : Relation.t -> from:string -> to_:string -> Relation.t
+
+(** Natural join on all shared attribute names (hash join on the first
+    shared attribute). Raises {!Incompatible} when no attribute is
+    shared. *)
+val natural_join : Relation.t -> Relation.t -> Relation.t
+
+(** Set operations; schemas must have identical attribute lists. *)
+val union : Relation.t -> Relation.t -> Relation.t
+
+val difference : Relation.t -> Relation.t -> Relation.t
+val intersection : Relation.t -> Relation.t -> Relation.t

@@ -1,0 +1,108 @@
+exception Arity_mismatch of { relation : string; expected : int; got : int }
+
+module Tuple = struct
+  type t = string array
+
+  let equal a b = Array.length a = Array.length b && Array.for_all2 String.equal a b
+
+  let hash t =
+    Array.fold_left (fun acc s -> (acc * 31) + Hashtbl.hash s) 17 t land max_int
+end
+
+module Tuple_tbl = Hashtbl.Make (Tuple)
+
+type t = {
+  schema : Schema.t;
+  tuples : unit Tuple_tbl.t;
+  indexes : (string, string array list ref) Hashtbl.t array;
+      (* per attribute position: value -> tuples *)
+}
+
+let create schema =
+  {
+    schema;
+    tuples = Tuple_tbl.create 64;
+    indexes = Array.init (Schema.arity schema) (fun _ -> Hashtbl.create 64);
+  }
+
+let schema t = t.schema
+let cardinal t = Tuple_tbl.length t.tuples
+
+let check_arity t tuple =
+  let expected = Schema.arity t.schema in
+  if Array.length tuple <> expected then
+    raise
+      (Arity_mismatch
+         { relation = Schema.name t.schema; expected; got = Array.length tuple })
+
+let index_add t tuple =
+  Array.iteri
+    (fun i idx ->
+      let v = tuple.(i) in
+      match Hashtbl.find_opt idx v with
+      | Some cell -> cell := tuple :: !cell
+      | None -> Hashtbl.add idx v (ref [ tuple ]))
+    t.indexes
+
+let index_remove t tuple =
+  Array.iteri
+    (fun i idx ->
+      let v = tuple.(i) in
+      match Hashtbl.find_opt idx v with
+      | Some cell ->
+          cell := List.filter (fun u -> not (Tuple.equal u tuple)) !cell;
+          if !cell = [] then Hashtbl.remove idx v
+      | None -> ())
+    t.indexes
+
+let insert t tuple =
+  check_arity t tuple;
+  if Tuple_tbl.mem t.tuples tuple then false
+  else begin
+    let tuple = Array.copy tuple in
+    Tuple_tbl.add t.tuples tuple ();
+    index_add t tuple;
+    true
+  end
+
+let delete t tuple =
+  check_arity t tuple;
+  if not (Tuple_tbl.mem t.tuples tuple) then false
+  else begin
+    Tuple_tbl.remove t.tuples tuple;
+    index_remove t tuple;
+    true
+  end
+
+let mem t tuple =
+  check_arity t tuple;
+  Tuple_tbl.mem t.tuples tuple
+
+let iter f t = Tuple_tbl.iter (fun tuple () -> f tuple) t.tuples
+let to_list t = Tuple_tbl.fold (fun tuple () acc -> tuple :: acc) t.tuples []
+
+let attr_index t attr =
+  match Schema.index_of t.schema attr with
+  | Some i -> i
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Relation.lookup: %s has no attribute %s"
+           (Schema.name t.schema) attr)
+
+let lookup t ~attr ~value =
+  let i = attr_index t attr in
+  match Hashtbl.find_opt t.indexes.(i) value with
+  | Some cell -> !cell
+  | None -> []
+
+let field t tuple attr = tuple.(attr_index t attr)
+
+let copy t =
+  let fresh = create t.schema in
+  iter (fun tuple -> ignore (insert fresh tuple)) t;
+  fresh
+
+let render t =
+  let rows = List.map Array.to_list (to_list t) in
+  let rows = List.sort compare rows in
+  Lsdb.Pretty.grid ~title:(Schema.name t.schema) ~headers:(Schema.attributes t.schema) rows

@@ -1,0 +1,31 @@
+(** A typed relation instance: a schema plus a set of tuples. Tuples are
+    string arrays positionally matching the schema; duplicates are
+    eliminated (set semantics). A hash index per attribute supports the
+    baseline's fast schema-directed lookups (the very thing the paper
+    says organization buys you). *)
+
+type t
+
+exception Arity_mismatch of { relation : string; expected : int; got : int }
+
+val create : Schema.t -> t
+val schema : t -> Schema.t
+val cardinal : t -> int
+
+(** [true] iff new. Raises {!Arity_mismatch}. *)
+val insert : t -> string array -> bool
+
+val delete : t -> string array -> bool
+val mem : t -> string array -> bool
+val iter : (string array -> unit) -> t -> unit
+val to_list : t -> string array list
+
+(** [lookup t ~attr ~value] — tuples whose attribute equals the value,
+    via the per-attribute index. *)
+val lookup : t -> attr:string -> value:string -> string array list
+
+(** Attribute value of a tuple. *)
+val field : t -> string array -> string -> string
+
+val copy : t -> t
+val render : t -> string

@@ -1,0 +1,53 @@
+type t = { name : string; attributes : string list }
+
+exception Bad_schema of string
+
+let validate name attributes =
+  if attributes = [] then raise (Bad_schema (name ^ ": no attributes"));
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun attr ->
+      if attr = "" then raise (Bad_schema (name ^ ": empty attribute name"));
+      if Hashtbl.mem seen attr then
+        raise (Bad_schema (Printf.sprintf "%s: duplicate attribute %s" name attr));
+      Hashtbl.add seen attr ())
+    attributes
+
+let make ~name ~attributes =
+  validate name attributes;
+  { name; attributes }
+
+let name t = t.name
+let attributes t = t.attributes
+let arity t = List.length t.attributes
+
+let index_of t attr =
+  let rec go i = function
+    | [] -> None
+    | a :: rest -> if String.equal a attr then Some i else go (i + 1) rest
+  in
+  go 0 t.attributes
+
+let has_attribute t attr = index_of t attr <> None
+
+let equal a b =
+  String.equal a.name b.name
+  && List.length a.attributes = List.length b.attributes
+  && List.for_all2 String.equal a.attributes b.attributes
+
+let rename t ~from ~to_ =
+  if not (has_attribute t from) then
+    raise (Bad_schema (Printf.sprintf "%s: no attribute %s" t.name from));
+  make ~name:t.name
+    ~attributes:(List.map (fun a -> if String.equal a from then to_ else a) t.attributes)
+
+let add t attr = make ~name:t.name ~attributes:(t.attributes @ [ attr ])
+
+let drop t attr =
+  if not (has_attribute t attr) then
+    raise (Bad_schema (Printf.sprintf "%s: no attribute %s" t.name attr));
+  make ~name:t.name
+    ~attributes:(List.filter (fun a -> not (String.equal a attr)) t.attributes)
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%s)" t.name (String.concat ", " t.attributes)

@@ -1,0 +1,30 @@
+(** Relation schemas for the structured baseline: the "highly structured
+    aggregates of data" the paper contrasts with (§1). A schema is a
+    relation name plus an ordered list of distinct attribute names. *)
+
+type t
+
+exception Bad_schema of string
+
+(** Raises {!Bad_schema} on duplicate or empty attribute names. *)
+val make : name:string -> attributes:string list -> t
+
+val name : t -> string
+val attributes : t -> string list
+val arity : t -> int
+
+(** Position of an attribute. *)
+val index_of : t -> string -> int option
+
+val has_attribute : t -> string -> bool
+val equal : t -> t -> bool
+
+(** [rename t ~from ~to_] — a schema with one attribute renamed. *)
+val rename : t -> from:string -> to_:string -> t
+
+(** [add t attr] / [drop t attr] — schema evolution primitives (B7). *)
+val add : t -> string -> t
+
+val drop : t -> string -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/shell/shell.mli: Lsdb

@@ -1,0 +1,239 @@
+open Lsdb
+
+type t = {
+  db : Database.t;
+  session : Navigation.session;
+  defs : Definitions.t;
+}
+
+let create db = { db; session = Navigation.start db; defs = Definitions.create () }
+let database t = t.db
+
+let demos =
+  [
+    ("music", Paper_examples.music);
+    ("organization", Paper_examples.organization);
+    ("campus", Paper_examples.campus);
+    ("library", Paper_examples.library);
+    ("payroll", Paper_examples.payroll);
+  ]
+
+let help =
+  {|commands:
+  try NAME                      all facts including the entity (§6.1)
+  find TEXT                     entities whose name contains TEXT
+  nav NAME                      neighborhood table, visits the entity (§4.1)
+  back                          step back in the navigation history
+  history                       the browsing trail
+  assoc NAME NAME               all associations between two entities
+  t TEMPLATE                    render a navigation template as a table
+  q QUERY                       evaluate a standard query (§2.7)
+  probe QUERY                   query with automatic retraction (§5.2)
+  explain (S, R, T)             why is this fact in the database?
+  relation CLASS [REL CLASS]…   the §6.1 relation operator
+  define NAME(?p) := QUERY      define a retrieval operator (§6)
+  call NAME [ARG]…              invoke a defined operator
+  ops | undefine NAME           list / remove defined operators
+  insert (S, R, T)              add a fact (with integrity check)
+  remove (S, R, T)              remove a base fact
+  rules                         list rules with enabled markers
+  include NAME | exclude NAME   toggle a rule (§6.1)
+  limit N                       set the composition chain bound (§6.1)
+  check                         report contradictions in the closure
+  stats                         database statistics
+  save FILE | load FILE         text fact-file I/O
+  script FILE                   run a file of commands
+  help | quit
+
+query syntax: (JOHN, *, *)   (?x, in, BOOK) & (?x, CITES, ?x)
+              exists y . (?x, AUTHOR, ?y) & (?y, neq, ALICE)|}
+
+let split_words line =
+  String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+
+let answer_text db answer =
+  match answer.Eval.vars with
+  | [] -> if answer.Eval.rows <> [] then "true" else "false"
+  | vars ->
+      if answer.Eval.rows = [] then "(no answers)"
+      else Pretty.grid ~headers:vars (Eval.rows_named (Database.symtab db) answer)
+
+let stats_text db =
+  let closure = Database.closure db in
+  String.concat "\n"
+    [
+      Printf.sprintf "entities: %d" (Database.entity_count db);
+      Printf.sprintf "base facts: %d" (Database.base_cardinal db);
+      Printf.sprintf "closure: %d (%d derived, %d rounds)" (Closure.cardinal closure)
+        (Closure.derived_count closure) (Closure.rounds closure);
+      Printf.sprintf "composition limit: %d" (Database.limit db);
+      Printf.sprintf "rules: %d enabled / %d"
+        (List.length (Database.enabled_rules db))
+        (List.length (Database.rules db));
+    ]
+
+let rec chunk_pairs out = function
+  | [] -> []
+  | [ last ] ->
+      Buffer.add_string out (Printf.sprintf "(ignoring dangling column spec %S)\n" last);
+      []
+  | rel :: cls :: rest -> (rel, cls) :: chunk_pairs out rest
+
+let parse_fact out db text =
+  match Query_parser.parse_template db text with
+  | tpl -> (
+      match Template.to_fact tpl with
+      | Some fact -> Some fact
+      | None ->
+          Buffer.add_string out "facts may not contain variables\n";
+          None)
+  | exception Query_parser.Parse_error msg ->
+      Buffer.add_string out (Printf.sprintf "parse error: %s\n" msg);
+      None
+
+let rec execute t line =
+  let out = Buffer.create 256 in
+  (try run t out (split_words line)
+   with e -> Buffer.add_string out ("error: " ^ Printexc.to_string e ^ "\n"));
+  Buffer.contents out
+
+and run t out words =
+  let say fmt = Printf.ksprintf (fun s -> Buffer.add_string out (s ^ "\n")) fmt in
+  let db = t.db in
+  match words with
+  | [] -> ()
+  | cmd :: rest -> (
+      let rest_text () = String.concat " " rest in
+      match (String.lowercase_ascii cmd, rest) with
+      | "help", _ -> say "%s" help
+      | "try", [ name ] -> say "%s" (Operators.try_render db name)
+      | "find", [ needle ] -> (
+          match Search.substring db needle with
+          | [] -> say "no entity name contains %S" needle
+          | hits ->
+              List.iter (fun e -> say "  %s" (Database.entity_name db e)) hits)
+      | "nav", [ name ] -> (
+          match Database.find_entity db name with
+          | Some e ->
+              ignore (Navigation.visit t.session e);
+              say "%s" (Navigation.render_source_table db e)
+          | None -> say "no such entity: %s" name)
+      | "back", _ -> (
+          match Navigation.back t.session with
+          | Some e -> say "%s" (Navigation.render_source_table db e)
+          | None -> say "(at the start of history)")
+      | "history", _ ->
+          say "%s"
+            (String.concat " → "
+               (List.rev_map (Database.entity_name db) (Navigation.history t.session)))
+      | "assoc", [ a; b ] -> (
+          match (Database.find_entity db a, Database.find_entity db b) with
+          | Some src, Some tgt -> say "%s" (Navigation.render_associations db ~src ~tgt)
+          | _ -> say "unknown entity")
+      | "t", _ :: _ -> (
+          match Query_parser.parse_template db (rest_text ()) with
+          | tpl -> say "%s" (Navigation.render_template db tpl)
+          | exception Query_parser.Parse_error msg -> say "parse error: %s" msg)
+      | "q", _ :: _ -> (
+          match Query_parser.parse db (rest_text ()) with
+          | query -> say "%s" (answer_text db (Eval.eval db query))
+          | exception Query_parser.Parse_error msg -> say "parse error: %s" msg)
+      | "probe", _ :: _ -> (
+          match Query_parser.parse_with_unknowns db (rest_text ()) with
+          | query, unknowns ->
+              if unknowns <> [] then say "(new names: %s)" (String.concat ", " unknowns);
+              let outcome = Probing.probe db query in
+              Buffer.add_string out (Probing.render_menu db query outcome);
+              (match outcome with
+              | Probing.Retracted { successes; _ } ->
+                  List.iteri
+                    (fun i success ->
+                      say "--- %d: %s" (i + 1)
+                        (Query.to_string (Database.symtab db) success.Probing.query);
+                      say "%s" (answer_text db success.Probing.answer))
+                    successes
+              | Probing.Answered answer -> say "%s" (answer_text db answer)
+              | Probing.Exhausted _ -> ())
+          | exception Query_parser.Parse_error msg -> say "parse error: %s" msg)
+      | "explain", _ :: _ -> (
+          match parse_fact out db (rest_text ()) with
+          | Some fact -> Buffer.add_string out (Explain.render db (Explain.explain db fact))
+          | None -> ())
+      | "relation", cls :: columns ->
+          let view = Operators.relation db cls (chunk_pairs out columns) in
+          say "%s" (View.render db view)
+      | "define", _ :: _ -> (
+          match Definitions.define_text db t.defs (rest_text ()) with
+          | () -> say "defined"
+          | exception Definitions.Error msg -> say "%s" msg)
+      | "call", name :: args -> (
+          match Definitions.invoke_names db t.defs name args with
+          | answer -> say "%s" (answer_text db answer)
+          | exception Definitions.Error msg -> say "%s" msg)
+      | "ops", _ ->
+          let listing = Definitions.show (Database.symtab db) t.defs in
+          say "%s" (if listing = "" then "(no operators defined)" else listing)
+      | "undefine", [ name ] ->
+          say "%s" (if Definitions.remove t.defs name then "removed" else "no such operator")
+      | "insert", _ :: _ -> (
+          match parse_fact out db (rest_text ()) with
+          | Some fact -> (
+              match Integrity.insert_checked db fact with
+              | Ok true -> say "inserted"
+              | Ok false -> say "already present"
+              | Error violations ->
+                  say "rejected:";
+                  List.iter (fun v -> say "  %s" (Integrity.describe db v)) violations)
+          | None -> ())
+      | "remove", _ :: _ -> (
+          match parse_fact out db (rest_text ()) with
+          | Some fact ->
+              say "%s" (if Database.remove db fact then "removed" else "not a base fact")
+          | None -> ())
+      | "rules", _ -> say "%s" (Operators.show_rules db)
+      | "include", [ name ] ->
+          say "%s" (if Operators.include_rule db name then "enabled" else "no such rule")
+      | "exclude", [ name ] ->
+          say "%s" (if Operators.exclude db name then "disabled" else "no such rule")
+      | "limit", [ n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 1 ->
+              Operators.limit db n;
+              say "composition limit = %d" n
+          | _ -> say "limit needs a positive integer")
+      | "check", _ -> (
+          match Integrity.violations db with
+          | [] -> say "no contradictions"
+          | violations -> List.iter (fun v -> say "%s" (Integrity.describe db v)) violations)
+      | "stats", _ -> say "%s" (stats_text db)
+      | "save", [ path ] ->
+          Fact_file.save_file db path;
+          say "saved to %s" path
+      | "load", [ path ] -> (
+          match Fact_file.load_file db path with
+          | n -> say "loaded %d facts" n
+          | exception Fact_file.Syntax_error { line; message } ->
+              say "%s:%d: %s" path line message
+          | exception Sys_error msg -> say "%s" msg)
+      | "script", [ path ] -> (
+          match
+            let ic = open_in_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          with
+          | text -> Buffer.add_string out (run_script t text)
+          | exception Sys_error msg -> say "%s" msg)
+      | _ -> say "unknown command %S — type 'help'" cmd)
+
+and run_script t text =
+  let out = Buffer.create 1024 in
+  List.iter
+    (fun raw ->
+      let line = String.trim raw in
+      if line <> "" && line.[0] <> '#' then begin
+        Buffer.add_string out (Printf.sprintf "lsdb> %s\n" line);
+        Buffer.add_string out (execute t line)
+      end)
+    (String.split_on_char '\n' text);
+  Buffer.contents out

@@ -1,0 +1,27 @@
+(** The browser's command interpreter, as a library: one session state
+    (database + navigation trail + defined operators), one entry point
+    that turns a command line into printable output. The [lsdb-browse]
+    binary is a thin REPL around this; tests drive it directly.
+
+    Commands (see {!help}): [try], [nav], [back], [history], [assoc],
+    [t], [q], [probe], [explain], [relation], [define]/[call]/[ops]/
+    [undefine], [insert]/[remove], [rules]/[include]/[exclude]/[limit],
+    [check], [stats], [save]/[load]/[script]. *)
+
+type t
+
+val create : Lsdb.Database.t -> t
+val database : t -> Lsdb.Database.t
+
+(** Execute one command line; returns the output text (possibly empty,
+    never raises — errors are reported in the output). *)
+val execute : t -> string -> string
+
+(** Execute every line of a script (["#"] comments and blank lines are
+    skipped), concatenating the outputs with the commands echoed. *)
+val run_script : t -> string -> string
+
+(** The built-in example databases, by name. *)
+val demos : (string * (unit -> Lsdb.Database.t)) list
+
+val help : string

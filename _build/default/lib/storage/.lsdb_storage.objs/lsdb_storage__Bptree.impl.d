@@ -1,0 +1,1 @@
+lib/storage/bptree.ml: Array Int List Printf

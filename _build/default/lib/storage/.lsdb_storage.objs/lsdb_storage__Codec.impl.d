@@ -1,0 +1,1 @@
+lib/storage/codec.ml: Array Buffer Bytes Char Int32 Lazy String

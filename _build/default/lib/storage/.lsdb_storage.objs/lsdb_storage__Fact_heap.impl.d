@@ -1,0 +1,1 @@
+lib/storage/fact_heap.ml: Codec Hashtbl Heap_file Lsdb Pager

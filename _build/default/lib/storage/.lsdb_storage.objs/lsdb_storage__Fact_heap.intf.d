@@ -1,0 +1,1 @@
+lib/storage/fact_heap.mli: Lsdb

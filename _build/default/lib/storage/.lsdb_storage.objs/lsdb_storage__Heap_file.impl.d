@@ -1,0 +1,1 @@
+lib/storage/heap_file.ml: Bytes Char Format Pager String

@@ -1,0 +1,1 @@
+lib/storage/log.ml: Codec Format Fun List Lsdb Printf Sys

@@ -1,0 +1,1 @@
+lib/storage/log.mli: Format Lsdb

@@ -1,0 +1,1 @@
+lib/storage/persistent.ml: Filename Log Lsdb Printf Snapshot Sys

@@ -1,0 +1,1 @@
+lib/storage/persistent.mli: Lsdb

@@ -1,0 +1,1 @@
+lib/storage/snapshot.ml: Array Codec Database Entity Fact Fun Hashtbl List Lsdb Printf Relclass Rule String Symtab

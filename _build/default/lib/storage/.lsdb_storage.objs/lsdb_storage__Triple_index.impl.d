@@ -1,0 +1,1 @@
+lib/storage/triple_index.ml: Bptree Database Fact Lsdb Store

@@ -1,0 +1,1 @@
+lib/storage/triple_index.mli: Lsdb

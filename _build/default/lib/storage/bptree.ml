@@ -1,0 +1,218 @@
+type key = int * int * int
+
+let key_compare (a1, b1, c1) (a2, b2, c2) =
+  let c = Int.compare a1 a2 in
+  if c <> 0 then c
+  else
+    let c = Int.compare b1 b2 in
+    if c <> 0 then c else Int.compare c1 c2
+
+type leaf = { mutable lkeys : key array; mutable next : leaf option }
+
+type node = Leaf of leaf | Internal of internal
+
+and internal = { mutable seps : key array; mutable children : node array }
+
+type t = { mutable root : node; mutable count : int; max_keys : int }
+
+let create ?(branching = 16) () =
+  if branching < 2 then invalid_arg "Bptree.create: branching must be >= 2";
+  { root = Leaf { lkeys = [||]; next = None }; count = 0; max_keys = 2 * branching }
+
+(* Index of the first key >= k, by binary search. *)
+let lower_bound keys k =
+  let lo = ref 0 and hi = ref (Array.length keys) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if key_compare keys.(mid) k < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let array_insert arr i v =
+  let n = Array.length arr in
+  Array.init (n + 1) (fun j -> if j < i then arr.(j) else if j = i then v else arr.(j - 1))
+
+let array_remove arr i =
+  let n = Array.length arr in
+  Array.init (n - 1) (fun j -> if j < i then arr.(j) else arr.(j + 1))
+
+(* Child index for key k: first separator greater than k decides. *)
+let child_index seps k =
+  let lo = ref 0 and hi = ref (Array.length seps) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if key_compare k seps.(mid) >= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+type split = No_split | Split of key * node
+
+let rec insert_node t node k =
+  match node with
+  | Leaf leaf ->
+      let i = lower_bound leaf.lkeys k in
+      if i < Array.length leaf.lkeys && key_compare leaf.lkeys.(i) k = 0 then (false, No_split)
+      else begin
+        leaf.lkeys <- array_insert leaf.lkeys i k;
+        if Array.length leaf.lkeys <= t.max_keys then (true, No_split)
+        else begin
+          let n = Array.length leaf.lkeys in
+          let mid = n / 2 in
+          let right =
+            { lkeys = Array.sub leaf.lkeys mid (n - mid); next = leaf.next }
+          in
+          leaf.lkeys <- Array.sub leaf.lkeys 0 mid;
+          leaf.next <- Some right;
+          (true, Split (right.lkeys.(0), Leaf right))
+        end
+      end
+  | Internal inner -> (
+      let i = child_index inner.seps k in
+      let added, split = insert_node t inner.children.(i) k in
+      match split with
+      | No_split -> (added, No_split)
+      | Split (sep, right) ->
+          inner.seps <- array_insert inner.seps i sep;
+          inner.children <- array_insert inner.children (i + 1) right;
+          if Array.length inner.children <= t.max_keys then (added, No_split)
+          else begin
+            let n = Array.length inner.seps in
+            let mid = n / 2 in
+            let up = inner.seps.(mid) in
+            let right_inner =
+              {
+                seps = Array.sub inner.seps (mid + 1) (n - mid - 1);
+                children = Array.sub inner.children (mid + 1) (Array.length inner.children - mid - 1);
+              }
+            in
+            inner.seps <- Array.sub inner.seps 0 mid;
+            inner.children <- Array.sub inner.children 0 (mid + 1);
+            (added, Split (up, Internal right_inner))
+          end)
+
+let insert t k =
+  let added, split = insert_node t t.root k in
+  (match split with
+  | No_split -> ()
+  | Split (sep, right) ->
+      t.root <- Internal { seps = [| sep |]; children = [| t.root; right |] });
+  if added then t.count <- t.count + 1;
+  added
+
+(* Deletion is lazy: the key is removed from its leaf, but nodes are not
+   rebalanced — empty leaves persist until the tree is rebuilt. This keeps
+   deletion O(log n) and all read paths exact. *)
+let rec delete_node node k =
+  match node with
+  | Leaf leaf ->
+      let i = lower_bound leaf.lkeys k in
+      if i < Array.length leaf.lkeys && key_compare leaf.lkeys.(i) k = 0 then begin
+        leaf.lkeys <- array_remove leaf.lkeys i;
+        true
+      end
+      else false
+  | Internal inner -> delete_node inner.children.(child_index inner.seps k) k
+
+let delete t k =
+  let removed = delete_node t.root k in
+  if removed then t.count <- t.count - 1;
+  removed
+
+let rec mem_node node k =
+  match node with
+  | Leaf leaf ->
+      let i = lower_bound leaf.lkeys k in
+      i < Array.length leaf.lkeys && key_compare leaf.lkeys.(i) k = 0
+  | Internal inner -> mem_node inner.children.(child_index inner.seps k) k
+
+let mem t k = mem_node t.root k
+let cardinal t = t.count
+
+let rec leftmost = function
+  | Leaf leaf -> leaf
+  | Internal inner -> leftmost inner.children.(0)
+
+let rec leaf_for node k =
+  match node with
+  | Leaf leaf -> leaf
+  | Internal inner -> leaf_for inner.children.(child_index inner.seps k) k
+
+let iter f t =
+  let rec walk = function
+    | None -> ()
+    | Some leaf ->
+        Array.iter f leaf.lkeys;
+        walk leaf.next
+  in
+  walk (Some (leftmost t.root))
+
+let iter_range t ~lo ~hi f =
+  if key_compare lo hi < 0 then begin
+    let leaf = leaf_for t.root lo in
+    let exception Done in
+    let visit leaf =
+      Array.iter
+        (fun k ->
+          if key_compare k hi >= 0 then raise Done
+          else if key_compare k lo >= 0 then f k)
+        leaf.lkeys
+    in
+    try
+      let rec walk = function
+        | None -> ()
+        | Some leaf ->
+            visit leaf;
+            walk leaf.next
+      in
+      walk (Some leaf)
+    with Done -> ()
+  end
+
+let iter_prefix1 t a f = iter_range t ~lo:(a, min_int, min_int) ~hi:(a + 1, min_int, min_int) f
+let iter_prefix2 t a b f = iter_range t ~lo:(a, b, min_int) ~hi:(a, b + 1, min_int) f
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun k -> acc := k :: !acc) t;
+  List.rev !acc
+
+let height t =
+  let rec go = function Leaf _ -> 1 | Internal inner -> 1 + go inner.children.(0) in
+  go t.root
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  (* Keys in order across the leaf chain. *)
+  let last = ref None in
+  iter
+    (fun k ->
+      (match !last with
+      | Some prev when key_compare prev k >= 0 -> fail "leaf chain out of order"
+      | _ -> ());
+      last := Some k)
+    t;
+  (* Separators bound their subtrees. *)
+  let rec bounds node lo hi =
+    (match node with
+    | Leaf leaf ->
+        Array.iter
+          (fun k ->
+            (match lo with Some l when key_compare k l < 0 -> fail "key below lower bound" | _ -> ());
+            match hi with Some h when key_compare k h >= 0 -> fail "key above upper bound" | _ -> ())
+          leaf.lkeys
+    | Internal inner ->
+        if Array.length inner.children <> Array.length inner.seps + 1 then
+          fail "child/separator arity mismatch";
+        Array.iteri
+          (fun i child ->
+            let lo' = if i = 0 then lo else Some inner.seps.(i - 1) in
+            let hi' = if i = Array.length inner.seps then hi else Some inner.seps.(i) in
+            bounds child lo' hi')
+          inner.children);
+    ()
+  in
+  bounds t.root None None;
+  (* Count agrees. *)
+  let n = ref 0 in
+  iter (fun _ -> incr n) t;
+  if !n <> t.count then fail "cardinal mismatch: counted %d, recorded %d" !n t.count

@@ -1,0 +1,41 @@
+(** A B+tree over triple keys [(a, b, c)] in lexicographic order — the
+    ordered-index storage strategy: unlike the hash {!Lsdb.Store}, it
+    supports prefix scans ([all triples with a = s], [with a = s, b = r])
+    in one seek plus a sequential walk. Three trees with permuted
+    components (SPO/POS/OSP) cover every bound-position pattern, the
+    classical triple-store layout. *)
+
+type key = int * int * int
+
+type t
+
+val create : ?branching:int -> unit -> t
+
+(** [true] iff newly inserted. *)
+val insert : t -> key -> bool
+
+(** [true] iff present (and now removed). *)
+val delete : t -> key -> bool
+
+val mem : t -> key -> bool
+val cardinal : t -> int
+
+(** Ordered iteration over the whole tree. *)
+val iter : (key -> unit) -> t -> unit
+
+(** [iter_range t ~lo ~hi f] — keys with [lo <= k < hi]. *)
+val iter_range : t -> lo:key -> hi:key -> (key -> unit) -> unit
+
+(** Prefix scans. *)
+val iter_prefix1 : t -> int -> (key -> unit) -> unit
+
+val iter_prefix2 : t -> int -> int -> (key -> unit) -> unit
+
+val to_list : t -> key list
+
+(** Tree height (for tests/benches). *)
+val height : t -> int
+
+(** Internal structural invariants (for property tests): sorted leaves,
+    linked-list order, node occupancy. Raises [Failure] when violated. *)
+val check_invariants : t -> unit

@@ -1,0 +1,115 @@
+type writer = Buffer.t
+
+let writer ?(size_hint = 256) () = Buffer.create size_hint
+let contents = Buffer.contents
+let length = Buffer.length
+
+let write_varint buf n =
+  if n < 0 then invalid_arg "Codec.write_varint: negative";
+  let rec go n =
+    if n < 0x80 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let write_string buf s =
+  write_varint buf (String.length s);
+  Buffer.add_string buf s
+
+let write_byte buf b = Buffer.add_char buf (Char.chr (b land 0xff))
+let write_raw buf s = Buffer.add_string buf s
+
+type reader = { data : string; mutable pos : int }
+
+exception Corrupt of string
+
+let reader ?(pos = 0) data = { data; pos }
+let pos r = r.pos
+let at_end r = r.pos >= String.length r.data
+
+let read_byte r =
+  if r.pos >= String.length r.data then raise (Corrupt "unexpected end of input");
+  let b = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  b
+
+let read_varint r =
+  let rec go shift acc =
+    if shift > 62 then raise (Corrupt "varint too long");
+    let b = read_byte r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let read_string r =
+  let len = read_varint r in
+  if len < 0 || r.pos + len > String.length r.data then
+    raise (Corrupt "string length out of bounds");
+  let s = String.sub r.data r.pos len in
+  r.pos <- r.pos + len;
+  s
+
+(* CRC-32 (IEEE), table-driven. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 ?(pos = 0) ?len data =
+  let len = match len with Some l -> l | None -> String.length data - pos in
+  let table = Lazy.force crc_table in
+  let crc = ref 0xFFFFFFFFl in
+  for i = pos to pos + len - 1 do
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code data.[i]))) 0xffl) in
+    crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8)
+  done;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+let le32_of_int32 v =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr (Int32.to_int (Int32.logand v 0xffl)));
+  Bytes.set b 1 (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v 8) 0xffl)));
+  Bytes.set b 2 (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v 16) 0xffl)));
+  Bytes.set b 3 (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical v 24) 0xffl)));
+  Bytes.to_string b
+
+let int32_of_le32 s pos =
+  let byte i = Int32.of_int (Char.code s.[pos + i]) in
+  Int32.logor (byte 0)
+    (Int32.logor
+       (Int32.shift_left (byte 1) 8)
+       (Int32.logor (Int32.shift_left (byte 2) 16) (Int32.shift_left (byte 3) 24)))
+
+let write_frame oc payload =
+  let header = writer ~size_hint:8 () in
+  write_varint header (String.length payload);
+  output_string oc (contents header);
+  output_string oc payload;
+  output_string oc (le32_of_int32 (crc32 payload))
+
+let read_frame data ~pos =
+  if pos >= String.length data then None
+  else
+    let r = reader ~pos data in
+    match read_varint r with
+    | exception Corrupt _ -> None (* torn length prefix at the tail *)
+    | len ->
+        let body_start = r.pos in
+        if body_start + len + 4 > String.length data then None (* torn frame *)
+        else
+          let payload = String.sub data body_start len in
+          let stored = int32_of_le32 data (body_start + len) in
+          if Int32.equal stored (crc32 payload) then Some (payload, body_start + len + 4)
+          else if body_start + len + 4 = String.length data then None
+            (* corrupt final frame: treat as torn *)
+          else raise (Corrupt "frame checksum mismatch")

@@ -1,0 +1,51 @@
+(** Binary encoding primitives for the storage layer: LEB128 varints,
+    length-prefixed strings, and CRC-32 (IEEE 802.3, implemented here —
+    the container is sealed, nothing is vendored). *)
+
+(** {1 Writing} *)
+
+type writer
+
+val writer : ?size_hint:int -> unit -> writer
+val contents : writer -> string
+val length : writer -> int
+
+val write_varint : writer -> int -> unit  (** non-negative *)
+
+val write_string : writer -> string -> unit  (** varint length prefix *)
+
+val write_byte : writer -> int -> unit
+
+val write_raw : writer -> string -> unit  (** no length prefix *)
+
+(** {1 Reading} *)
+
+type reader
+
+exception Corrupt of string
+
+val reader : ?pos:int -> string -> reader
+val pos : reader -> int
+val at_end : reader -> bool
+
+val read_varint : reader -> int
+val read_string : reader -> string
+val read_byte : reader -> int
+
+(** {1 Integrity} *)
+
+(** CRC-32 of a substring. *)
+val crc32 : ?pos:int -> ?len:int -> string -> int32
+
+(** {1 Framing}
+
+    A frame is [varint length ∥ payload ∥ crc32(payload) as 4 LE bytes].
+    Frames survive partial trailing writes: a torn final frame is detected
+    and reported as the clean end of the stream. *)
+
+val write_frame : out_channel -> string -> unit
+
+(** [read_frame buffer ~pos] returns [Some (payload, next_pos)], [None] at
+    a clean end (end of buffer or torn final frame), and raises [Corrupt]
+    on a checksum mismatch in a non-final position. *)
+val read_frame : string -> pos:int -> (string * int) option

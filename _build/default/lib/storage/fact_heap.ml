@@ -1,0 +1,64 @@
+type t = {
+  pager : Pager.t;
+  heap : Heap_file.t;
+  rids : (string * string * string, Heap_file.rid) Hashtbl.t;
+}
+
+let encode (s, r, tgt) =
+  let w = Codec.writer () in
+  Codec.write_string w s;
+  Codec.write_string w r;
+  Codec.write_string w tgt;
+  Codec.contents w
+
+let decode payload =
+  let reader = Codec.reader payload in
+  let s = Codec.read_string reader in
+  let r = Codec.read_string reader in
+  let tgt = Codec.read_string reader in
+  if not (Codec.at_end reader) then raise (Codec.Corrupt "trailing bytes in fact record");
+  (s, r, tgt)
+
+let open_ path =
+  let pager = Pager.open_ path in
+  let heap = Heap_file.create pager in
+  let rids = Hashtbl.create 256 in
+  Heap_file.iter (fun rid payload -> Hashtbl.replace rids (decode payload) rid) heap;
+  { pager; heap; rids }
+
+let insert t fact =
+  if Hashtbl.mem t.rids fact then false
+  else begin
+    let rid = Heap_file.insert t.heap (encode fact) in
+    Hashtbl.replace t.rids fact rid;
+    true
+  end
+
+let delete t fact =
+  match Hashtbl.find_opt t.rids fact with
+  | None -> false
+  | Some rid ->
+      ignore (Heap_file.delete t.heap rid);
+      Hashtbl.remove t.rids fact;
+      true
+
+let mem t fact = Hashtbl.mem t.rids fact
+let cardinal t = Hashtbl.length t.rids
+let iter f t = Hashtbl.iter (fun fact _ -> f fact) t.rids
+let sync t = Pager.sync t.pager
+let close t = Pager.close t.pager
+
+let to_database t =
+  let db = Lsdb.Database.create () in
+  iter (fun (s, r, tgt) -> ignore (Lsdb.Database.insert_names db s r tgt)) t;
+  db
+
+let add_database t db =
+  let added = ref 0 in
+  let symtab = Lsdb.Database.symtab db in
+  Lsdb.Store.iter
+    (fun fact -> if insert t (Lsdb.Fact.names symtab fact) then incr added)
+    (Lsdb.Database.store db);
+  !added
+
+let pages t = Pager.page_count t.pager

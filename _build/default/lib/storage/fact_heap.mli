@@ -1,0 +1,37 @@
+(** A disk-resident heap of facts: name triples stored as slotted-page
+    records through {!Heap_file}/{!Pager} — the paper's "heap of facts"
+    taken literally onto pages. An in-memory rid map provides membership
+    and deletion; records are decoded on scan.
+
+    This is the third storage strategy next to the operation log and the
+    snapshot (experiment B6): unlike the log it supports in-place
+    deletion; unlike the snapshot it is updated incrementally, record by
+    record. *)
+
+type t
+
+(** Open or create the paged file. Existing records are indexed. *)
+val open_ : string -> t
+
+(** [insert t (s, r, tgt)] — [true] iff the fact was not present. *)
+val insert : t -> string * string * string -> bool
+
+val delete : t -> string * string * string -> bool
+val mem : t -> string * string * string -> bool
+val cardinal : t -> int
+val iter : (string * string * string -> unit) -> t -> unit
+
+(** Flush pages to disk. *)
+val sync : t -> unit
+
+val close : t -> unit
+
+(** Load every fact into a fresh database. *)
+val to_database : t -> Lsdb.Database.t
+
+(** Append every base fact of a database (names preserved); returns how
+    many were new. *)
+val add_database : t -> Lsdb.Database.t -> int
+
+(** Pages used (for the B6 report). *)
+val pages : t -> int

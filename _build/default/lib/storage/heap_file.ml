@@ -1,0 +1,119 @@
+(* Page layout:
+     [0..2)   u16 nslots
+     [2..4)   u16 rec_start (lowest byte used by records; page_size if none)
+     [4..)    slot directory: per slot, u16 offset (0 = tombstone), u16 length
+   Records grow downward from the page end; the free gap lies between the
+   slot directory and rec_start. *)
+
+type t = { pager : Pager.t; mutable current : int (* insertion cursor *) }
+
+type rid = { page : int; slot : int }
+
+let rid_equal a b = a.page = b.page && a.slot = b.slot
+let pp_rid ppf { page; slot } = Format.fprintf ppf "%d.%d" page slot
+
+let header = 4
+let slot_bytes = 4
+let max_record = Pager.page_size - header - slot_bytes
+
+let get_u16 data off = Char.code (Bytes.get data off) lor (Char.code (Bytes.get data (off + 1)) lsl 8)
+
+let set_u16 data off v =
+  Bytes.set data off (Char.chr (v land 0xff));
+  Bytes.set data (off + 1) (Char.chr ((v lsr 8) land 0xff))
+
+let nslots data = get_u16 data 0
+let rec_start data = match get_u16 data 2 with 0 -> Pager.page_size | v -> v
+let slot_off data i = (get_u16 data (header + (slot_bytes * i)), get_u16 data (header + (slot_bytes * i) + 2))
+
+let create pager = { pager; current = 0 }
+
+let free_space data =
+  rec_start data - (header + (slot_bytes * nslots data))
+
+(* A tombstoned slot can be reused if the payload fits in the gap. *)
+let find_tombstone data =
+  let n = nslots data in
+  let rec go i = if i >= n then None else if fst (slot_off data i) = 0 then Some i else go (i + 1) in
+  go 0
+
+let insert_into_page t page payload =
+  let data = Pager.read t.pager page in
+  let len = String.length payload in
+  let need_slot = match find_tombstone data with None -> slot_bytes | Some _ -> 0 in
+  if free_space data < len + need_slot then None
+  else begin
+    let slot =
+      match find_tombstone data with
+      | Some slot -> slot
+      | None ->
+          let slot = nslots data in
+          set_u16 data 0 (slot + 1);
+          slot
+    in
+    let off = rec_start data - len in
+    Bytes.blit_string payload 0 data off len;
+    set_u16 data 2 off;
+    set_u16 data (header + (slot_bytes * slot)) off;
+    set_u16 data (header + (slot_bytes * slot) + 2) len;
+    Pager.write t.pager page data;
+    Some { page; slot }
+  end
+
+let insert t payload =
+  if String.length payload > max_record then
+    invalid_arg "Heap_file.insert: record too large";
+  if String.length payload = 0 then invalid_arg "Heap_file.insert: empty record";
+  let pages = Pager.page_count t.pager in
+  let rec try_from n attempts =
+    if attempts >= pages then begin
+      let page = Pager.alloc t.pager in
+      t.current <- page;
+      match insert_into_page t page payload with
+      | Some rid -> rid
+      | None -> assert false (* a fresh page always fits max_record *)
+    end
+    else
+      let page = (t.current + n) mod max 1 pages in
+      match insert_into_page t page payload with
+      | Some rid ->
+          t.current <- page;
+          rid
+      | None -> try_from (n + 1) (attempts + 1)
+  in
+  try_from 0 0
+
+let get t { page; slot } =
+  if page < 0 || page >= Pager.page_count t.pager then None
+  else
+    let data = Pager.read t.pager page in
+    if slot < 0 || slot >= nslots data then None
+    else
+      let off, len = slot_off data slot in
+      if off = 0 then None else Some (Bytes.sub_string data off len)
+
+let delete t ({ page; slot } as rid) =
+  match get t rid with
+  | None -> false
+  | Some _ ->
+      let data = Pager.read t.pager page in
+      set_u16 data (header + (slot_bytes * slot)) 0;
+      set_u16 data (header + (slot_bytes * slot) + 2) 0;
+      Pager.write t.pager page data;
+      true
+
+let iter f t =
+  for page = 0 to Pager.page_count t.pager - 1 do
+    let data = Pager.read t.pager page in
+    for slot = 0 to nslots data - 1 do
+      let off, len = slot_off data slot in
+      if off <> 0 then f { page; slot } (Bytes.sub_string data off len)
+    done
+  done
+
+let count t =
+  let n = ref 0 in
+  iter (fun _ _ -> incr n) t;
+  !n
+
+let stats t = (`Records (count t), `Pages (Pager.page_count t.pager))

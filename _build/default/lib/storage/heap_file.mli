@@ -1,0 +1,34 @@
+(** A slotted-page heap file over {!Pager}: variable-length records
+    addressed by stable record ids (page, slot). The classical layout —
+    slot directory at the page head, records growing from the tail —
+    so deletions leave reusable holes and record ids survive. *)
+
+type t
+
+(** A record id. *)
+type rid = { page : int; slot : int }
+
+val rid_equal : rid -> rid -> bool
+val pp_rid : Format.formatter -> rid -> unit
+
+(** Attach to a pager (page 0 onward is owned by the heap). *)
+val create : Pager.t -> t
+
+(** Maximal record payload. *)
+val max_record : int
+
+(** Insert a record; raises [Invalid_argument] if larger than
+    [max_record]. *)
+val insert : t -> string -> rid
+
+val get : t -> rid -> string option
+
+(** [delete t rid] — [true] iff the record existed. The slot becomes a
+    tombstone; its space is reclaimed by the next in-page compaction. *)
+val delete : t -> rid -> bool
+
+val iter : (rid -> string -> unit) -> t -> unit
+val count : t -> int
+
+(** Bytes of live payload vs. pages used (for the B6 report). *)
+val stats : t -> [ `Records of int ] * [ `Pages of int ]

@@ -1,0 +1,120 @@
+type op =
+  | Insert of string * string * string
+  | Remove of string * string * string
+  | Declare_class of string
+  | Declare_individual of string
+  | Set_limit of int
+  | Exclude_rule of string
+  | Include_rule of string
+
+let op_equal (a : op) (b : op) = a = b
+
+let pp_op ppf = function
+  | Insert (s, r, t) -> Format.fprintf ppf "insert (%s, %s, %s)" s r t
+  | Remove (s, r, t) -> Format.fprintf ppf "remove (%s, %s, %s)" s r t
+  | Declare_class r -> Format.fprintf ppf "class %s" r
+  | Declare_individual r -> Format.fprintf ppf "individual %s" r
+  | Set_limit n -> Format.fprintf ppf "limit %d" n
+  | Exclude_rule name -> Format.fprintf ppf "exclude %s" name
+  | Include_rule name -> Format.fprintf ppf "include %s" name
+
+let tag = function
+  | Insert _ -> 1
+  | Remove _ -> 2
+  | Declare_class _ -> 3
+  | Declare_individual _ -> 4
+  | Set_limit _ -> 5
+  | Exclude_rule _ -> 6
+  | Include_rule _ -> 7
+
+let encode op =
+  let w = Codec.writer () in
+  Codec.write_byte w (tag op);
+  (match op with
+  | Insert (s, r, t) | Remove (s, r, t) ->
+      Codec.write_string w s;
+      Codec.write_string w r;
+      Codec.write_string w t
+  | Declare_class name | Declare_individual name | Exclude_rule name | Include_rule name
+    ->
+      Codec.write_string w name
+  | Set_limit n -> Codec.write_varint w n);
+  Codec.contents w
+
+let decode payload =
+  let r = Codec.reader payload in
+  let op =
+    match Codec.read_byte r with
+    | 1 ->
+        let s = Codec.read_string r in
+        let rel = Codec.read_string r in
+        let t = Codec.read_string r in
+        Insert (s, rel, t)
+    | 2 ->
+        let s = Codec.read_string r in
+        let rel = Codec.read_string r in
+        let t = Codec.read_string r in
+        Remove (s, rel, t)
+    | 3 -> Declare_class (Codec.read_string r)
+    | 4 -> Declare_individual (Codec.read_string r)
+    | 5 -> Set_limit (Codec.read_varint r)
+    | 6 -> Exclude_rule (Codec.read_string r)
+    | 7 -> Include_rule (Codec.read_string r)
+    | n -> raise (Codec.Corrupt (Printf.sprintf "unknown log tag %d" n))
+  in
+  if not (Codec.at_end r) then raise (Codec.Corrupt "trailing bytes in log record");
+  op
+
+type t = { oc : out_channel; path : string }
+
+let open_ path =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
+  { oc; path }
+
+let append t op = Codec.write_frame t.oc (encode op)
+let sync t = flush t.oc
+let close t = close_out t.oc
+
+let read_file path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+  end
+
+let read_all path =
+  match read_file path with
+  | None -> []
+  | Some data ->
+      let rec go pos acc =
+        match Codec.read_frame data ~pos with
+        | Some (payload, next) -> go next (decode payload :: acc)
+        | None -> List.rev acc
+      in
+      go 0 []
+
+let apply db = function
+  | Insert (s, r, t) -> ignore (Lsdb.Database.insert_names db s r t)
+  | Remove (s, r, t) -> ignore (Lsdb.Database.remove_names db s r t)
+  | Declare_class name ->
+      Lsdb.Database.declare_class_relationship db (Lsdb.Database.entity db name)
+  | Declare_individual name ->
+      Lsdb.Database.declare_individual_relationship db (Lsdb.Database.entity db name)
+  | Set_limit n -> Lsdb.Database.set_limit db n
+  | Exclude_rule name -> ignore (Lsdb.Database.exclude db name)
+  | Include_rule name -> ignore (Lsdb.Database.include_rule db name)
+
+let replay path db =
+  let ops = read_all path in
+  List.iter (apply db) ops;
+  List.length ops
+
+let op_of_insert db fact =
+  let s, r, t = Lsdb.Fact.names (Lsdb.Database.symtab db) fact in
+  Insert (s, r, t)
+
+let op_of_remove db fact =
+  let s, r, t = Lsdb.Fact.names (Lsdb.Database.symtab db) fact in
+  Remove (s, r, t)

@@ -1,0 +1,50 @@
+(** The append-only operation log: every database mutation as one framed,
+    checksummed record. Replaying a log onto a fresh database rebuilds the
+    state; names (not ids) are logged so logs survive re-interning. *)
+
+type op =
+  | Insert of string * string * string
+  | Remove of string * string * string
+  | Declare_class of string
+  | Declare_individual of string
+  | Set_limit of int
+  | Exclude_rule of string
+  | Include_rule of string
+
+val op_equal : op -> op -> bool
+val pp_op : Format.formatter -> op -> unit
+
+(** [encode op] / [decode payload] — one record. *)
+val encode : op -> string
+
+val decode : string -> op  (** raises {!Codec.Corrupt} *)
+
+(** {1 Files} *)
+
+type t
+
+(** Open (creating if missing) for appending. *)
+val open_ : string -> t
+
+val append : t -> op -> unit
+
+(** Flush buffered records to the OS. *)
+val sync : t -> unit
+
+val close : t -> unit
+
+(** Read every intact record of a log file ([[]] if absent); tolerates a
+    torn final record. *)
+val read_all : string -> op list
+
+(** Apply an operation to a database. *)
+val apply : Lsdb.Database.t -> op -> unit
+
+(** [replay path db] applies all records; returns how many. *)
+val replay : string -> Lsdb.Database.t -> int
+
+(** Derive the op that records a mutation, for callers wrapping
+    {!Lsdb.Database}. *)
+val op_of_insert : Lsdb.Database.t -> Lsdb.Fact.t -> op
+
+val op_of_remove : Lsdb.Database.t -> Lsdb.Fact.t -> op

@@ -1,0 +1,126 @@
+let page_size = 4096
+
+module Int_tbl = Hashtbl.Make (Int)
+
+type entry = { data : bytes; mutable last_use : int }
+
+type t = {
+  fd : Unix.file_descr;
+  cache : entry Int_tbl.t;
+  dirty : unit Int_tbl.t;
+  mutable pages : int;
+  mutable clock : int;
+  capacity : int;  (* max cached pages *)
+}
+
+let open_ ?(cache_capacity = 1024) path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let len = (Unix.fstat fd).Unix.st_size in
+  if len mod page_size <> 0 then begin
+    Unix.close fd;
+    invalid_arg (Printf.sprintf "Pager.open_: %s is not page-aligned" path)
+  end;
+  if cache_capacity < 8 then invalid_arg "Pager.open_: cache_capacity must be >= 8";
+  {
+    fd;
+    cache = Int_tbl.create 64;
+    dirty = Int_tbl.create 16;
+    pages = len / page_size;
+    clock = 0;
+    capacity = cache_capacity;
+  }
+
+let page_count t = t.pages
+
+let check_page t page =
+  if page < 0 || page >= t.pages then
+    invalid_arg (Printf.sprintf "Pager: page %d out of range (%d pages)" page t.pages)
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let write_out t page data =
+  ignore (Unix.lseek t.fd (page * page_size) Unix.SEEK_SET);
+  let rec go off =
+    if off < page_size then
+      let n = Unix.write t.fd data off (page_size - off) in
+      go (off + n)
+  in
+  go 0
+
+let flush_dirty t =
+  Int_tbl.iter
+    (fun page () ->
+      match Int_tbl.find_opt t.cache page with
+      | None -> ()
+      | Some entry -> write_out t page entry.data)
+    t.dirty;
+  Int_tbl.reset t.dirty
+
+(* Batch eviction: when the cache overflows, flush everything dirty and
+   drop the least-recently-used half. Writers never lose data — eviction
+   only removes clean entries. *)
+let maybe_evict t =
+  if Int_tbl.length t.cache > t.capacity then begin
+    flush_dirty t;
+    let entries =
+      Int_tbl.fold (fun page entry acc -> (entry.last_use, page) :: acc) t.cache []
+    in
+    let sorted = List.sort compare entries in
+    let to_drop = List.length sorted / 2 in
+    List.iteri
+      (fun i (_, page) -> if i < to_drop then Int_tbl.remove t.cache page)
+      sorted
+  end
+
+let cache_put t page data =
+  Int_tbl.replace t.cache page { data; last_use = tick t };
+  maybe_evict t
+
+let alloc t =
+  let page = t.pages in
+  t.pages <- t.pages + 1;
+  cache_put t page (Bytes.make page_size '\x00');
+  Int_tbl.replace t.dirty page ();
+  page
+
+let read t page =
+  check_page t page;
+  match Int_tbl.find_opt t.cache page with
+  | Some entry ->
+      entry.last_use <- tick t;
+      Bytes.copy entry.data
+  | None ->
+      let data = Bytes.create page_size in
+      ignore (Unix.lseek t.fd (page * page_size) Unix.SEEK_SET);
+      let rec go off =
+        if off < page_size then
+          let n = Unix.read t.fd data off (page_size - off) in
+          if n = 0 then
+            (* Allocated but never flushed: reads as zeros. *)
+            Bytes.fill data off (page_size - off) '\x00'
+          else go (off + n)
+      in
+      go 0;
+      cache_put t page data;
+      Bytes.copy data
+
+let write t page data =
+  check_page t page;
+  if Bytes.length data <> page_size then
+    invalid_arg "Pager.write: page must be exactly page_size bytes";
+  Int_tbl.replace t.cache page { data = Bytes.copy data; last_use = tick t };
+  Int_tbl.replace t.dirty page ();
+  maybe_evict t
+
+let sync t =
+  flush_dirty t;
+  Unix.fsync t.fd
+
+let close t =
+  sync t;
+  Unix.close t.fd
+
+let dirty_count t = Int_tbl.length t.dirty
+let cached_count t = Int_tbl.length t.cache

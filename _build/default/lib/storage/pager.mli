@@ -1,0 +1,33 @@
+(** A paged file: fixed-size pages addressed by id, with a bounded
+    write-back cache (LRU batch eviction; dirty pages are flushed before
+    being dropped). The substrate under {!Heap_file}. *)
+
+type t
+
+val page_size : int  (** 4096 bytes *)
+
+(** Open or create. [cache_capacity] is the maximal number of cached
+    pages (default 1024 ≈ 4 MiB; minimum 8). *)
+val open_ : ?cache_capacity:int -> string -> t
+
+val page_count : t -> int
+
+(** Allocate a zeroed page at the end; returns its id. *)
+val alloc : t -> int
+
+(** A copy of the page's bytes. *)
+val read : t -> int -> bytes
+
+(** Replace a page (must be exactly [page_size] bytes). *)
+val write : t -> int -> bytes -> unit
+
+(** Flush dirty pages and the OS buffers. *)
+val sync : t -> unit
+
+val close : t -> unit
+
+(** Pages currently dirty (for tests). *)
+val dirty_count : t -> int
+
+(** Pages currently cached (for tests). *)
+val cached_count : t -> int

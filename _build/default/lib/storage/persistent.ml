@@ -1,0 +1,82 @@
+type t = {
+  dir : string;
+  db : Lsdb.Database.t;
+  mutable log : Log.t;
+  mutable log_length : int;
+}
+
+let snapshot_file dir = Filename.concat dir "snapshot.lsdb"
+let log_file dir = Filename.concat dir "log.lsdb"
+
+let open_dir dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Persistent.open_dir: %s is not a directory" dir);
+  let db =
+    if Sys.file_exists (snapshot_file dir) then Snapshot.load (snapshot_file dir)
+    else Lsdb.Database.create ()
+  in
+  let replayed = Log.replay (log_file dir) db in
+  let log = Log.open_ (log_file dir) in
+  { dir; db; log; log_length = replayed }
+
+let database t = t.db
+
+let record t op =
+  Log.append t.log op;
+  t.log_length <- t.log_length + 1
+
+let insert t fact =
+  let added = Lsdb.Database.insert t.db fact in
+  if added then record t (Log.op_of_insert t.db fact);
+  added
+
+let insert_names t s r tgt =
+  insert t (Lsdb.Fact.of_names (Lsdb.Database.symtab t.db) s r tgt)
+
+let remove t fact =
+  let op = Log.op_of_remove t.db fact in
+  let removed = Lsdb.Database.remove t.db fact in
+  if removed then record t op;
+  removed
+
+let declare_class_relationship t e =
+  Lsdb.Database.declare_class_relationship t.db e;
+  record t (Log.Declare_class (Lsdb.Database.entity_name t.db e))
+
+let declare_individual_relationship t e =
+  Lsdb.Database.declare_individual_relationship t.db e;
+  record t (Log.Declare_individual (Lsdb.Database.entity_name t.db e))
+
+let set_limit t n =
+  Lsdb.Database.set_limit t.db n;
+  record t (Log.Set_limit n)
+
+let exclude t name =
+  let ok = Lsdb.Database.exclude t.db name in
+  if ok then record t (Log.Exclude_rule name);
+  ok
+
+let include_rule t name =
+  let ok = Lsdb.Database.include_rule t.db name in
+  if ok then record t (Log.Include_rule name);
+  ok
+
+let sync t = Log.sync t.log
+
+let compact t =
+  Log.close t.log;
+  Snapshot.save t.db (snapshot_file t.dir);
+  (* Truncate by recreating. *)
+  let oc = open_out_bin (log_file t.dir) in
+  close_out oc;
+  t.log <- Log.open_ (log_file t.dir);
+  t.log_length <- 0
+
+let close t =
+  Log.sync t.log;
+  Log.close t.log
+
+let log_length t = t.log_length
+let snapshot_path t = snapshot_file t.dir
+let log_path t = log_file t.dir

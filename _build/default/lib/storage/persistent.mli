@@ -1,0 +1,41 @@
+(** A durable loosely structured database: a directory holding a binary
+    snapshot plus an append-only operation log. Opening replays
+    [snapshot ∥ log]; {!compact} folds the log into a fresh snapshot.
+    All mutators mirror {!Lsdb.Database} and log before returning. *)
+
+type t
+
+(** [open_dir dir] — create the directory if needed, load snapshot if
+    present, replay the log. *)
+val open_dir : string -> t
+
+(** The in-memory database (query/browse freely; do not mutate directly —
+    unlogged mutations are lost at the next open). *)
+val database : t -> Lsdb.Database.t
+
+(** {1 Logged mutations} *)
+
+val insert : t -> Lsdb.Fact.t -> bool
+val insert_names : t -> string -> string -> string -> bool
+val remove : t -> Lsdb.Fact.t -> bool
+val declare_class_relationship : t -> Lsdb.Entity.t -> unit
+val declare_individual_relationship : t -> Lsdb.Entity.t -> unit
+val set_limit : t -> int -> unit
+val exclude : t -> string -> bool
+val include_rule : t -> string -> bool
+
+(** {1 Durability} *)
+
+(** Flush the log. *)
+val sync : t -> unit
+
+(** Write a snapshot of the current state and truncate the log. *)
+val compact : t -> unit
+
+val close : t -> unit
+
+(** Number of log records since the last compaction. *)
+val log_length : t -> int
+
+val snapshot_path : t -> string
+val log_path : t -> string

@@ -1,0 +1,133 @@
+let magic = "LSDB\x01"
+
+exception Corrupt of string
+
+let encode db =
+  let open Lsdb in
+  let symtab = Database.symtab db in
+  let w = Codec.writer ~size_hint:4096 () in
+  Codec.write_raw w magic;
+  (* Dictionary: map every entity id used below to a dense index. The
+     specials are implicit (they exist in every database), so only user
+     entities are written. *)
+  let dict = Hashtbl.create 256 in
+  let names = ref [] in
+  let count = ref 0 in
+  let index_of e =
+    if Entity.is_special e then e
+    else
+      match Hashtbl.find_opt dict e with
+      | Some i -> i
+      | None ->
+          let i = Entity.special_count + !count in
+          incr count;
+          Hashtbl.add dict e i;
+          names := Symtab.name symtab e :: !names;
+          i
+  in
+  let axioms = Fact.Set.of_list Database.axiom_facts in
+  let facts =
+    List.filter (fun fact -> not (Fact.Set.mem fact axioms)) (Database.facts db)
+  in
+  let encoded_facts =
+    List.map
+      (fun (fact : Fact.t) -> (index_of fact.s, index_of fact.r, index_of fact.t))
+      facts
+  in
+  let declarations =
+    List.map
+      (fun (e, is_class) -> (index_of e, is_class))
+      (Relclass.declarations (Database.relclass db))
+  in
+  let disabled =
+    List.filter_map
+      (fun ((rule : Rule.t), enabled) -> if enabled then None else Some rule.name)
+      (Database.rules db)
+  in
+  Codec.write_varint w (List.length !names);
+  List.iter (Codec.write_string w) (List.rev !names);
+  Codec.write_varint w (Database.limit db);
+  Codec.write_varint w (List.length declarations);
+  List.iter
+    (fun (i, is_class) ->
+      Codec.write_varint w i;
+      Codec.write_byte w (if is_class then 1 else 0))
+    declarations;
+  Codec.write_varint w (List.length disabled);
+  List.iter (Codec.write_string w) disabled;
+  Codec.write_varint w (List.length encoded_facts);
+  List.iter
+    (fun (s, r, t) ->
+      Codec.write_varint w s;
+      Codec.write_varint w r;
+      Codec.write_varint w t)
+    encoded_facts;
+  let body = Codec.contents w in
+  let framed = Codec.writer ~size_hint:(String.length body + 8) () in
+  Codec.write_raw framed body;
+  Codec.write_raw framed (Printf.sprintf "%08lx" (Codec.crc32 body));
+  Codec.contents framed
+
+let decode data =
+  let open Lsdb in
+  if String.length data < String.length magic + 8 then raise (Corrupt "truncated snapshot");
+  let body_len = String.length data - 8 in
+  let body = String.sub data 0 body_len in
+  let stored = String.sub data body_len 8 in
+  if not (String.equal stored (Printf.sprintf "%08lx" (Codec.crc32 body))) then
+    raise (Corrupt "snapshot checksum mismatch");
+  if not (String.equal (String.sub body 0 (String.length magic)) magic) then
+    raise (Corrupt "bad snapshot magic");
+  let r = Codec.reader ~pos:(String.length magic) body in
+  let wrap f = try f () with Codec.Corrupt msg -> raise (Corrupt msg) in
+  wrap (fun () ->
+      let db = Database.create () in
+      let name_count = Codec.read_varint r in
+      let ids = Array.make name_count 0 in
+      for i = 0 to name_count - 1 do
+        ids.(i) <- Database.entity db (Codec.read_string r)
+      done;
+      let entity_of i =
+        if i < Entity.special_count then i
+        else begin
+          let idx = i - Entity.special_count in
+          if idx >= name_count then raise (Corrupt "entity index out of range");
+          ids.(idx)
+        end
+      in
+      let limit = Codec.read_varint r in
+      if limit >= 1 then Database.set_limit db limit;
+      let decl_count = Codec.read_varint r in
+      for _ = 1 to decl_count do
+        let e = entity_of (Codec.read_varint r) in
+        if Codec.read_byte r = 1 then Database.declare_class_relationship db e
+        else Database.declare_individual_relationship db e
+      done;
+      let disabled_count = Codec.read_varint r in
+      for _ = 1 to disabled_count do
+        ignore (Database.exclude db (Codec.read_string r))
+      done;
+      let fact_count = Codec.read_varint r in
+      for _ = 1 to fact_count do
+        let s = entity_of (Codec.read_varint r) in
+        let rel = entity_of (Codec.read_varint r) in
+        let t = entity_of (Codec.read_varint r) in
+        ignore (Database.insert db (Fact.make s rel t))
+      done;
+      if not (Codec.at_end r) then raise (Corrupt "trailing bytes in snapshot");
+      db)
+
+let save db path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (encode db))
+
+let load path =
+  let ic = open_in_bin path in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  decode data

@@ -1,0 +1,19 @@
+(** Binary snapshots: a compact full dump of a database's base state
+    (name dictionary, fact triples over dictionary ids, relationship
+    declarations, composition limit, disabled rules). Loading a snapshot
+    is O(data) with no log replay — the fast-restart half of experiment
+    B6. User-defined rules are not captured (they live in code or in
+    {!Lsdb.Fact_file} form); builtin rule enablement is. *)
+
+val magic : string
+
+(** Serialize the base state. *)
+val encode : Lsdb.Database.t -> string
+
+exception Corrupt of string
+
+(** Rebuild a fresh database from a snapshot. *)
+val decode : string -> Lsdb.Database.t
+
+val save : Lsdb.Database.t -> string -> unit
+val load : string -> Lsdb.Database.t

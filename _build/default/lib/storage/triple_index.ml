@@ -1,0 +1,64 @@
+open Lsdb
+
+type t = { spo : Bptree.t; pos : Bptree.t; osp : Bptree.t }
+
+let create ?branching () =
+  {
+    spo = Bptree.create ?branching ();
+    pos = Bptree.create ?branching ();
+    osp = Bptree.create ?branching ();
+  }
+
+let keys (fact : Fact.t) =
+  ((fact.s, fact.r, fact.t), (fact.r, fact.t, fact.s), (fact.t, fact.s, fact.r))
+
+let add t fact =
+  let spo, pos, osp = keys fact in
+  let added = Bptree.insert t.spo spo in
+  if added then begin
+    ignore (Bptree.insert t.pos pos);
+    ignore (Bptree.insert t.osp osp)
+  end;
+  added
+
+let remove t fact =
+  let spo, pos, osp = keys fact in
+  let removed = Bptree.delete t.spo spo in
+  if removed then begin
+    ignore (Bptree.delete t.pos pos);
+    ignore (Bptree.delete t.osp osp)
+  end;
+  removed
+
+let mem t fact =
+  let spo, _, _ = keys fact in
+  Bptree.mem t.spo spo
+
+let cardinal t = Bptree.cardinal t.spo
+
+let iter f t = Bptree.iter (fun (s, r, tgt) -> f (Fact.make s r tgt)) t.spo
+
+let match_pattern t (pat : Store.pattern) f =
+  match (pat.s, pat.r, pat.t) with
+  | Some s, Some r, Some tgt ->
+      let fact = Fact.make s r tgt in
+      if mem t fact then f fact
+  | Some s, Some r, None -> Bptree.iter_prefix2 t.spo s r (fun (s, r, tgt) -> f (Fact.make s r tgt))
+  | Some s, None, None -> Bptree.iter_prefix1 t.spo s (fun (s, r, tgt) -> f (Fact.make s r tgt))
+  | None, Some r, Some tgt ->
+      Bptree.iter_prefix2 t.pos r tgt (fun (r, tgt, s) -> f (Fact.make s r tgt))
+  | None, Some r, None -> Bptree.iter_prefix1 t.pos r (fun (r, tgt, s) -> f (Fact.make s r tgt))
+  | Some s, None, Some tgt ->
+      Bptree.iter_prefix2 t.osp tgt s (fun (tgt, s, r) -> f (Fact.make s r tgt))
+  | None, None, Some tgt -> Bptree.iter_prefix1 t.osp tgt (fun (tgt, s, r) -> f (Fact.make s r tgt))
+  | None, None, None -> iter f t
+
+let match_list t pat =
+  let acc = ref [] in
+  match_pattern t pat (fun fact -> acc := fact :: !acc);
+  !acc
+
+let of_database db =
+  let t = create () in
+  Store.iter (fun fact -> ignore (add t fact)) (Database.store db);
+  t

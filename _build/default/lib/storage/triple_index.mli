@@ -1,0 +1,23 @@
+(** The ordered storage strategy: three B+trees holding each fact in SPO,
+    POS and OSP key order, so every bound-position pattern is a prefix or
+    point scan. Drop-in alternative to the hash-indexed {!Lsdb.Store} for
+    experiment B2/B6 comparisons. *)
+
+type t
+
+val create : ?branching:int -> unit -> t
+
+val add : t -> Lsdb.Fact.t -> bool
+val remove : t -> Lsdb.Fact.t -> bool
+val mem : t -> Lsdb.Fact.t -> bool
+val cardinal : t -> int
+
+val iter : (Lsdb.Fact.t -> unit) -> t -> unit
+
+(** Same contract as [Lsdb.Store.match_pattern]. *)
+val match_pattern : t -> Lsdb.Store.pattern -> (Lsdb.Fact.t -> unit) -> unit
+
+val match_list : t -> Lsdb.Store.pattern -> Lsdb.Fact.t list
+
+(** Load every base fact of a database. *)
+val of_database : Lsdb.Database.t -> t

@@ -1,0 +1,1 @@
+lib/workload/citation_gen.ml: Array Hashtbl List Lsdb Option Printf Rng Zipf

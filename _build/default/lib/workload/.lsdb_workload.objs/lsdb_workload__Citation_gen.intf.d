@@ -1,0 +1,1 @@
+lib/workload/citation_gen.mli: Lsdb Rng

@@ -1,0 +1,1 @@
+lib/workload/org_gen.ml: Array Hashtbl List Lsdb Lsdb_relational Option Printf Rng Zipf

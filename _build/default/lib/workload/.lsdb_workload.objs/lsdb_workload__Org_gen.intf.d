@@ -1,0 +1,1 @@
+lib/workload/org_gen.mli: Lsdb Lsdb_relational Rng

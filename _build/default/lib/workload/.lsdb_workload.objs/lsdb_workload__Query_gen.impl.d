@@ -1,0 +1,1 @@
+lib/workload/query_gen.ml: Bytes Database Fact List Lsdb Printf Query Rng Store String Template

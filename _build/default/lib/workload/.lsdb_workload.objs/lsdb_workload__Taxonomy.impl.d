@@ -1,0 +1,1 @@
+lib/workload/taxonomy.ml: Array List Lsdb Printf Rng

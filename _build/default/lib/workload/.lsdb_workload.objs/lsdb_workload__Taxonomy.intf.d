@@ -1,0 +1,1 @@
+lib/workload/taxonomy.mli: Lsdb Rng

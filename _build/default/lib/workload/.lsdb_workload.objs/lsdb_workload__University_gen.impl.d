@@ -1,0 +1,1 @@
+lib/workload/university_gen.ml: Array List Lsdb Printf Rng

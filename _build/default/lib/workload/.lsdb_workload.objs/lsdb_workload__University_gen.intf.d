@@ -1,0 +1,1 @@
+lib/workload/university_gen.mli: Lsdb Rng

@@ -1,0 +1,78 @@
+type params = {
+  books : int;
+  authors : int;
+  subjects : int;
+  citations_per_book : int;
+  skew : float;
+}
+
+let default_params =
+  { books = 2000; authors = 400; subjects = 25; citations_per_book = 6; skew = 1.0 }
+
+type t = {
+  params : params;
+  book_names : string array;
+  author_names : string array;
+  facts : (string * string * string) list;
+}
+
+let generate ?(params = default_params) rng =
+  let book_names = Array.init params.books (Printf.sprintf "BOOK-%05d") in
+  let author_names = Array.init params.authors (Printf.sprintf "AUTHOR-%04d") in
+  let subject_names = Array.init params.subjects (Printf.sprintf "SUBJECT-%02d") in
+  let zipf = Zipf.create ~n:params.books ~s:params.skew in
+  let facts = ref [] in
+  let add s r t = facts := (s, r, t) :: !facts in
+  add "BOOK" "isa" "PUBLICATION";
+  add "AUTHOR" "isa" "PERSON";
+  add "CITES" "isa" "REFERENCES";
+  add "WROTE" "inv" "AUTHORED-BY";
+  Array.iter (fun subject -> add subject "isa" "TOPIC") subject_names;
+  Array.iter (fun author -> add author "in" "AUTHOR") author_names;
+  Array.iteri
+    (fun i book ->
+      add book "in" "BOOK";
+      add book "ABOUT" subject_names.(Rng.int rng params.subjects);
+      add (Rng.choose_array rng author_names) "WROTE" book;
+      for _ = 1 to params.citations_per_book do
+        (* Zipf-skewed: the classics accumulate citations. *)
+        let target = book_names.(Zipf.sample zipf rng) in
+        if target <> book then add book "CITES" target
+      done;
+      ignore i)
+    book_names;
+  { params; book_names; author_names; facts = List.rev !facts }
+
+let to_database t =
+  let db = Lsdb.Database.create () in
+  List.iter (fun (s, r, tgt) -> ignore (Lsdb.Database.insert_names db s r tgt)) t.facts;
+  db
+
+let fact_count t = List.length t.facts
+
+let browsing_walk t rng ~hops =
+  (* Walk the fact graph the way a §4.1 browser would: from a random
+     book, repeatedly jump to some entity appearing in a neighboring
+     fact. The walk is over the generated facts (no database needed), so
+     benchmarks can replay the identical trail against any store. *)
+  let adjacency = Hashtbl.create 1024 in
+  List.iter
+    (fun (s, _, tgt) ->
+      let push a b =
+        Hashtbl.replace adjacency a
+          (b :: Option.value ~default:[] (Hashtbl.find_opt adjacency a))
+      in
+      push s tgt;
+      push tgt s)
+    t.facts;
+  let start = Rng.choose_array rng t.book_names in
+  let rec go current remaining acc =
+    if remaining = 0 then List.rev acc
+    else
+      match Hashtbl.find_opt adjacency current with
+      | Some (_ :: _ as neighbors) ->
+          let next = Rng.choose rng neighbors in
+          go next (remaining - 1) (next :: acc)
+      | _ -> List.rev acc
+  in
+  go start hops [ start ]

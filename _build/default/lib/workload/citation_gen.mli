@@ -1,0 +1,30 @@
+(** The bibliography domain at scale: books, authors, subjects and a
+    Zipf-skewed citation graph (a few classics gather most citations —
+    the §2.7 book database, grown to benchmark size). Drives the
+    interactive-browsing experiment B12: neighborhood hops, try(e)
+    lookups and association queries over a heap nobody organized. *)
+
+type params = {
+  books : int;
+  authors : int;
+  subjects : int;
+  citations_per_book : int;
+  skew : float;  (** Zipf exponent for citation targets *)
+}
+
+val default_params : params
+
+type t = {
+  params : params;
+  book_names : string array;
+  author_names : string array;
+  facts : (string * string * string) list;
+}
+
+val generate : ?params:params -> Rng.t -> t
+val to_database : t -> Lsdb.Database.t
+val fact_count : t -> int
+
+(** A random browsing step sequence: starting entity plus [hops] random
+    neighbors to visit (deterministic in the rng). *)
+val browsing_walk : t -> Rng.t -> hops:int -> string list

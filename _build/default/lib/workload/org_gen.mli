@@ -1,0 +1,35 @@
+(** The organization domain at scale: employees, departments, managers and
+    salaries — the paper's running example, generated to any size, both as
+    a loosely structured heap and as the equivalent relational schema
+    (EMP(name, dept, salary, manager)). The pair drives the
+    organization-vs-retrieval trade-off experiments B1/B2/B5/B7. *)
+
+type params = {
+  employees : int;
+  departments : int;
+  salary_min : int;
+  salary_max : int;
+  skew : float;  (** Zipf exponent for department popularity *)
+}
+
+val default_params : params
+
+type t = {
+  params : params;
+  employee_names : string array;
+  department_names : string array;
+  facts : (string * string * string) list;
+}
+
+val generate : ?params:params -> Rng.t -> t
+
+(** A fresh loosely structured database holding the generated facts (plus
+    the EMPLOYEE/DEPARTMENT class scaffolding and salary hierarchy). *)
+val to_database : t -> Lsdb.Database.t
+
+(** The same information as a structured catalog:
+    [EMP(name, dept, salary, manager)] and [DEPT(name, head)]. *)
+val to_catalog : t -> Lsdb_relational.Catalog.t
+
+(** Fact count (for sweep labels). *)
+val fact_count : t -> int

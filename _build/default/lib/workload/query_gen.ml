@@ -1,0 +1,72 @@
+open Lsdb
+
+let random_fact db rng =
+  let facts = Database.facts db in
+  if facts = [] then invalid_arg "Query_gen.random_fact: empty database";
+  Rng.choose rng facts
+
+let template ?(var_prob = 1.0 /. 3.0) db rng =
+  let fact = random_fact db rng in
+  let fresh = ref 0 in
+  let term e =
+    if Rng.float rng < var_prob then begin
+      incr fresh;
+      Template.Var (Printf.sprintf "v%d" !fresh)
+    end
+    else Template.Ent e
+  in
+  Template.make (term (Fact.source fact)) (term (Fact.relationship fact))
+    (term (Fact.target fact))
+
+let chain_query db rng ~length =
+  if length < 1 then invalid_arg "Query_gen.chain_query: length must be >= 1";
+  let store = Database.store db in
+  let start = random_fact db rng in
+  let atoms = ref [ Template.make (Template.Ent (Fact.source start))
+                      (Template.Ent (Fact.relationship start))
+                      (Template.Var "x1") ] in
+  let current = ref (Fact.target start) in
+  (try
+     for i = 2 to length do
+       let nexts = Store.match_list store (Store.pattern ~s:!current ()) in
+       match nexts with
+       | [] -> raise Exit
+       | _ ->
+           let fact = Rng.choose rng nexts in
+           atoms :=
+             Template.make
+               (Template.Var (Printf.sprintf "x%d" (i - 1)))
+               (Template.Ent (Fact.relationship fact))
+               (Template.Var (Printf.sprintf "x%d" i))
+             :: !atoms;
+           current := Fact.target fact
+     done
+   with Exit -> ());
+  Query.conj (List.rev_map Query.atom !atoms)
+
+let class_query db ~class_ ~rel =
+  let e = Database.entity db in
+  Query.atom
+    (Template.make (Template.Ent (e class_)) (Template.Ent (e rel)) (Template.Var "z"))
+
+let misspell rng name =
+  let n = String.length name in
+  if n < 2 then name ^ "X"
+  else
+    match Rng.int rng 3 with
+    | 0 ->
+        (* drop a character *)
+        let i = Rng.int rng n in
+        String.sub name 0 i ^ String.sub name (i + 1) (n - i - 1)
+    | 1 ->
+        (* duplicate a character *)
+        let i = Rng.int rng n in
+        String.sub name 0 (i + 1) ^ String.sub name i (n - i)
+    | _ ->
+        (* swap two adjacent characters *)
+        let i = Rng.int rng (n - 1) in
+        let b = Bytes.of_string name in
+        let c = Bytes.get b i in
+        Bytes.set b i (Bytes.get b (i + 1));
+        Bytes.set b (i + 1) c;
+        Bytes.to_string b

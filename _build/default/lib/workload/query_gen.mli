@@ -1,0 +1,26 @@
+(** Query workloads: random template and conjunctive queries over a
+    database (drawn from its actual facts, so a tunable fraction is
+    satisfiable), plus the misspelling injector for the probing
+    experiments. *)
+
+(** A random stored fact. *)
+val random_fact : Lsdb.Database.t -> Rng.t -> Lsdb.Fact.t
+
+(** [template db rng] — a template derived from a stored fact with each
+    position independently turned into a variable with probability
+    [var_prob] (default 1/3). *)
+val template : ?var_prob:float -> Lsdb.Database.t -> Rng.t -> Lsdb.Template.t
+
+(** [chain_query db rng ~length] — a conjunctive path query
+    [(c0, r1, ?x1) ∧ (?x1, r2, ?x2) ∧ …] following [length] stored edges
+    from a random start, so it is satisfiable by construction. *)
+val chain_query : Lsdb.Database.t -> Rng.t -> length:int -> Lsdb.Query.t
+
+(** [overqualified db rng taxonomy_leaf ~rel] — a query of the §5.2 shape
+    [(class, rel, ?z)] using a hierarchy node one level too deep, built to
+    fail and retract. *)
+val class_query : Lsdb.Database.t -> class_:string -> rel:string -> Lsdb.Query.t
+
+(** [misspell rng name] — damage a name (drop/duplicate/swap one
+    character) so it no longer matches. *)
+val misspell : Rng.t -> string -> string

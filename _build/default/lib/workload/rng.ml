@@ -1,0 +1,41 @@
+(* SplitMix64 (Steele, Lea, Flood 2014), on OCaml's 63-bit ints. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits t mod bound
+
+let float t = Int64.to_float (Int64.shift_right_logical (next t) 11) /. 9007199254740992.0
+let bool t = Int64.logand (next t) 1L = 1L
+
+let choose t = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | list -> List.nth list (int t (List.length list))
+
+let choose_array t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose_array: empty array";
+  arr.(int t (Array.length arr))
+
+let shuffle t list =
+  let arr = Array.of_list list in
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let split t = { state = next t }

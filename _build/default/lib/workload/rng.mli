@@ -1,0 +1,28 @@
+(** Deterministic SplitMix64 pseudo-random numbers: every workload is
+    reproducible from its seed, so benchmark runs and property tests can
+    be replayed exactly. *)
+
+type t
+
+val create : int -> t
+
+(** Uniform in [0, bound). *)
+val int : t -> int -> int
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** Pick one element. Raises on empty list. *)
+val choose : t -> 'a list -> 'a
+
+val choose_array : t -> 'a array -> 'a
+
+(** In-place Fisher–Yates shuffle of a copy. *)
+val shuffle : t -> 'a list -> 'a list
+
+(** Raw 62-bit output (for splitting into substreams). *)
+val bits : t -> int
+
+val split : t -> t

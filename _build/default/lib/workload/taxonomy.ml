@@ -1,0 +1,52 @@
+type t = {
+  root : string;
+  levels : string list array;
+  leaves : string list;
+  facts : (string * string * string) list;
+}
+
+let generate ?(cross_links = 0) ~prefix ~depth ~fanout rng =
+  if depth < 1 then invalid_arg "Taxonomy.generate: depth must be >= 1";
+  if fanout < 1 then invalid_arg "Taxonomy.generate: fanout must be >= 1";
+  let root = Printf.sprintf "%s-0-0" prefix in
+  let levels = Array.make (depth + 1) [] in
+  levels.(0) <- [ root ];
+  let facts = ref [] in
+  for level = 1 to depth do
+    let parents = Array.of_list levels.(level - 1) in
+    let nodes = ref [] in
+    Array.iteri
+      (fun parent_idx parent ->
+        for child = 0 to fanout - 1 do
+          let node =
+            Printf.sprintf "%s-%d-%d" prefix level ((parent_idx * fanout) + child)
+          in
+          nodes := node :: !nodes;
+          facts := (node, "isa", parent) :: !facts
+        done)
+      parents;
+    levels.(level) <- List.rev !nodes
+  done;
+  (* Cross links: an extra minimal-generalization edge from a random deep
+     node to a random node at least two levels higher. *)
+  for _ = 1 to cross_links do
+    if depth >= 2 then begin
+      let child_level = 2 + Rng.int rng (depth - 1) in
+      let ancestor_level = Rng.int rng (child_level - 1) in
+      let child = Rng.choose rng levels.(child_level) in
+      let ancestor = Rng.choose rng levels.(ancestor_level) in
+      facts := (child, "isa", ancestor) :: !facts
+    end
+  done;
+  { root; levels; leaves = levels.(depth); facts = List.rev !facts }
+
+let insert db t =
+  List.iter (fun (s, r, tgt) -> ignore (Lsdb.Database.insert_names db s r tgt)) t.facts
+
+let node_count t = Array.fold_left (fun acc level -> acc + List.length level) 0 t.levels
+
+let random_node t rng =
+  let level = Rng.int rng (Array.length t.levels) in
+  Rng.choose rng t.levels.(level)
+
+let random_leaf t rng = Rng.choose rng t.leaves

@@ -1,0 +1,28 @@
+(** Synthetic generalization hierarchies: balanced trees (optionally with
+    extra cross links, making a DAG) of [⊑] facts, the backbone of the
+    retraction experiments (B4) — wave cost depends directly on depth and
+    fanout. *)
+
+type t = {
+  root : string;
+  levels : string list array;  (** level 0 = root *)
+  leaves : string list;
+  facts : (string * string * string) list;  (** the ⊑ facts generated *)
+}
+
+(** [generate ~prefix ~depth ~fanout ?cross_links rng] — a tree of
+    [depth] levels below the root, each node with [fanout] children;
+    [cross_links] extra random child→ancestor edges (default 0). Node
+    names are ["<prefix>-<level>-<index>"]. *)
+val generate :
+  ?cross_links:int -> prefix:string -> depth:int -> fanout:int -> Rng.t -> t
+
+(** Insert the taxonomy's facts into a database. *)
+val insert : Lsdb.Database.t -> t -> unit
+
+val node_count : t -> int
+
+(** A uniformly random node. *)
+val random_node : t -> Rng.t -> string
+
+val random_leaf : t -> Rng.t -> string

@@ -1,0 +1,65 @@
+type params = {
+  students : int;
+  courses : int;
+  instructors : int;
+  enrollments_per_student : int;
+}
+
+let default_params =
+  { students = 200; courses = 30; instructors = 15; enrollments_per_student = 4 }
+
+type t = {
+  params : params;
+  student_names : string array;
+  course_names : string array;
+  instructor_names : string array;
+  facts : (string * string * string) list;
+}
+
+let grades = [| "A"; "B"; "C"; "D"; "F" |]
+
+let generate ?(params = default_params) rng =
+  let student_names = Array.init params.students (Printf.sprintf "STU-%04d") in
+  let course_names = Array.init params.courses (Printf.sprintf "CRS-%03d") in
+  let instructor_names = Array.init params.instructors (Printf.sprintf "PROF-%02d") in
+  let facts = ref [] in
+  let add s r t = facts := (s, r, t) :: !facts in
+  add "FRESHMAN" "isa" "STUDENT";
+  add "STUDENT" "isa" "PERSON";
+  add "INSTRUCTOR" "isa" "PERSON";
+  add "TEACHES" "inv" "TAUGHT-BY";
+  add "ENROLL-STUDENT" "inv" "ENROLLED-VIA";
+  Array.iter (fun c -> add c "in" "COURSE") course_names;
+  Array.iter
+    (fun i ->
+      add i "in" "INSTRUCTOR";
+      ignore i)
+    instructor_names;
+  Array.iter
+    (fun c -> add c "TAUGHT-BY" (Rng.choose_array rng instructor_names))
+    course_names;
+  let enrollment = ref 0 in
+  Array.iteri
+    (fun idx stu ->
+      add stu "in" (if idx mod 4 = 0 then "FRESHMAN" else "STUDENT");
+      for _ = 1 to params.enrollments_per_student do
+        incr enrollment;
+        let e = Printf.sprintf "E%05d" !enrollment in
+        let course = Rng.choose_array rng course_names in
+        add e "in" "ENROLLMENT";
+        add e "ENROLL-STUDENT" stu;
+        add e "ENROLL-COURSE" course;
+        add e "ENROLL-GRADE" grades.(Rng.int rng (Array.length grades));
+        (* The direct edge, so composition can bridge student to
+           instructor in two hops. *)
+        add stu "ENROLLED-IN" course
+      done)
+    student_names;
+  { params; student_names; course_names; instructor_names; facts = List.rev !facts }
+
+let to_database t =
+  let db = Lsdb.Database.create () in
+  List.iter (fun (s, r, tgt) -> ignore (Lsdb.Database.insert_names db s r tgt)) t.facts;
+  db
+
+let fact_count t = List.length t.facts

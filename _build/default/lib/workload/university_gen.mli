@@ -1,0 +1,26 @@
+(** The university domain: students, courses, instructors and reified
+    enrollments — the §2.6 pattern where the ternary fact "Tom got an A in
+    CS100" becomes three binary facts through a fresh enrollment entity
+    [E123]. Exercises reification, inversion (TEACHES/TAUGHT-BY) and
+    composition (student —ENROLL— course —TAUGHT-BY— instructor). *)
+
+type params = {
+  students : int;
+  courses : int;
+  instructors : int;
+  enrollments_per_student : int;
+}
+
+val default_params : params
+
+type t = {
+  params : params;
+  student_names : string array;
+  course_names : string array;
+  instructor_names : string array;
+  facts : (string * string * string) list;
+}
+
+val generate : ?params:params -> Rng.t -> t
+val to_database : t -> Lsdb.Database.t
+val fact_count : t -> int

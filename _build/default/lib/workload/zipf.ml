@@ -1,0 +1,31 @@
+type t = { cumulative : float array }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cumulative = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cumulative.(i) <- !acc)
+    weights;
+  cumulative.(n - 1) <- 1.0;
+  { cumulative }
+
+let n t = Array.length t.cumulative
+
+let sample t rng =
+  let u = Rng.float rng in
+  (* First index with cumulative >= u. *)
+  let lo = ref 0 and hi = ref (Array.length t.cumulative - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cumulative.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let mass t rank =
+  if rank = 0 then t.cumulative.(0)
+  else t.cumulative.(rank) -. t.cumulative.(rank - 1)

@@ -1,0 +1,17 @@
+(** Zipf-distributed sampling over ranks 0..n-1: real browsing workloads
+    concentrate on popular entities, and the skew is what separates the
+    indexed store from a scan in experiment B2. *)
+
+type t
+
+(** [create ~n ~s] — [n] ranks with exponent [s] (s = 0 is uniform;
+    s ≈ 1 is the classical distribution). *)
+val create : n:int -> s:float -> t
+
+(** Sample a rank. *)
+val sample : t -> Rng.t -> int
+
+val n : t -> int
+
+(** Probability of a rank (for tests). *)
+val mass : t -> int -> float

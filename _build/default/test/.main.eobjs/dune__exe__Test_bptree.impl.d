@@ -1,0 +1,1 @@
+test/test_bptree.ml: Alcotest Bptree Hashtbl List Lsdb_storage Lsdb_workload QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_bridge.ml: Alcotest Bridge Catalog Database Lsdb Lsdb_relational Paper_examples Relation Schema Testutil

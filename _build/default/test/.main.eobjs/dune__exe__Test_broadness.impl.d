@@ -1,0 +1,1 @@
+test/test_broadness.ml: Alcotest Broadness Database Entity List Lsdb Lsdb_workload Testutil

@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Array Catalog List Lsdb_relational Relalg Relation Schema Testutil

@@ -1,0 +1,1 @@
+test/test_closure.ml: Alcotest Closure Database Entity Fact List Lsdb Paper_examples Rule Seq Template Testutil

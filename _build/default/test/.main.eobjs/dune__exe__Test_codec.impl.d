@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Buffer Bytes Codec Filename Fun Int32 List Lsdb_storage QCheck String Sys Testutil

@@ -1,0 +1,1 @@
+test/test_composition.ml: Alcotest Composition Database Fact List Lsdb Lsdb_workload Printf Store Testutil

@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Atom Engine Guard Index List Lsdb_datalog Rule Term Testutil Triple

@@ -1,0 +1,1 @@
+test/test_definitions.ml: Alcotest Database Definitions Eval List Lsdb Paper_examples String Testutil

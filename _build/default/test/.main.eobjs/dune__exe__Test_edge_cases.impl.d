@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Composition Database Eval Federation Integrity List Lsdb Match_layer Navigation Paper_examples Printf Probing Query_parser String Testutil

@@ -1,0 +1,1 @@
+test/test_entity.ml: Alcotest Array Entity List Lsdb Printf Testutil

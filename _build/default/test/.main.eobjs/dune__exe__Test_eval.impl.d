@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Eval List Lsdb Paper_examples Testutil

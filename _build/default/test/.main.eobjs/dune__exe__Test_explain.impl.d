@@ -1,0 +1,1 @@
+test/test_explain.ml: Alcotest Database Entity Explain Fact List Lsdb String Testutil

@@ -1,0 +1,1 @@
+test/test_fact_file.ml: Alcotest Database Fact Fact_file Filename Fun List Lsdb Paper_examples Printf String Sys Testutil

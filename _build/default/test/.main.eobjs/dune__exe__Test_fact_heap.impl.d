@@ -1,0 +1,1 @@
+test/test_fact_heap.ml: Alcotest Fact_heap Filename Fun Lsdb Lsdb_storage Printf Sys Testutil

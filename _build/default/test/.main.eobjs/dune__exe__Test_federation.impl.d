@@ -1,0 +1,1 @@
+test/test_federation.ml: Alcotest Database Entity Fact Federation List Lsdb Rule Template Testutil

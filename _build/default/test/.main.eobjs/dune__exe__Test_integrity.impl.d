@@ -1,0 +1,1 @@
+test/test_integrity.ml: Alcotest Database Entity Fact Integrity List Lsdb Paper_examples Rule String Template Testutil

@@ -1,0 +1,1 @@
+test/test_match_layer.ml: Alcotest Database Entity Fact List Lsdb Match_layer Store Testutil

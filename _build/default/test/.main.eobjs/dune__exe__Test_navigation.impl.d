@@ -1,0 +1,1 @@
+test/test_navigation.ml: Alcotest Database Entity List Lsdb Navigation Option Paper_examples Query_parser String Template Testutil

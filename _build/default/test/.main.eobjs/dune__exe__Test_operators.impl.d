@@ -1,0 +1,1 @@
+test/test_operators.ml: Alcotest Database List Lsdb Match_layer Operators Paper_examples Store String Testutil

@@ -1,0 +1,1 @@
+test/test_pager_heap.ml: Alcotest Bytes Char Filename Fun Hashtbl Heap_file List Lsdb_storage Pager Printf QCheck String Sys Testutil

@@ -1,0 +1,1 @@
+test/test_paper.ml: Alcotest Broadness Database List Lsdb Navigation Operators Paper_examples Probing Query Query_parser Retraction String Testutil View

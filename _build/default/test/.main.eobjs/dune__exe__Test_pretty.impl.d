@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest List Lsdb String Testutil

@@ -1,0 +1,1 @@
+test/test_probing.ml: Alcotest List Lsdb Paper_examples Probing Query_parser Retraction String Testutil

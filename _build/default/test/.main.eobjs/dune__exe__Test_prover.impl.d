@@ -1,0 +1,1 @@
+test/test_prover.ml: Alcotest Array Closure Database Fact List Lsdb Paper_examples Printf Prover QCheck Query_parser String Testutil Virtual_facts

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Database List Lsdb Query String Template Testutil

@@ -1,0 +1,1 @@
+test/test_query_parser.ml: Alcotest Database Entity List Lsdb Printf Query Query_parser Template Testutil

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array List Lsdb_relational QCheck Relalg Relation Schema Testutil

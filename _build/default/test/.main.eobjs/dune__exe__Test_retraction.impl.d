@@ -1,0 +1,1 @@
+test/test_retraction.ml: Alcotest Array Broadness Database Entity Eval List Lsdb Paper_examples Query Retraction String Template Testutil

@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Database List Lsdb Lsdb_shell Paper_examples Probing Query_parser Search String Testutil

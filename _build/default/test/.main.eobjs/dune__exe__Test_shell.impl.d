@@ -1,0 +1,1 @@
+test/test_shell.ml: Alcotest Filename Fun List Lsdb Lsdb_shell String Sys Testutil

@@ -1,0 +1,1 @@
+test/test_soundness.ml: Alcotest Atom Closure Composition Database Engine Entity Eval Explain Fact List Lsdb Lsdb_datalog Lsdb_workload Paper_examples Probing Rule String Term Testutil Triple View

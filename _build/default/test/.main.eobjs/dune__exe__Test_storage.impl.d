@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Bytes Database Filename Fun List Log Lsdb Lsdb_storage Paper_examples Persistent Printf Snapshot String Sys Testutil

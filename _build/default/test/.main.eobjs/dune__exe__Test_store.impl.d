@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Fact Hashtbl List Lsdb QCheck Store Testutil

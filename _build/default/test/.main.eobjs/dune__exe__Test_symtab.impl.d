@@ -1,0 +1,1 @@
+test/test_symtab.ml: Alcotest Entity List Lsdb Symtab Testutil

@@ -1,0 +1,1 @@
+test/test_template.ml: Alcotest Database Fact Lsdb Template Testutil

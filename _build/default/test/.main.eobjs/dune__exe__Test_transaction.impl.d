@@ -1,0 +1,1 @@
+test/test_transaction.ml: Alcotest Database Integrity List Lsdb Testutil Transaction

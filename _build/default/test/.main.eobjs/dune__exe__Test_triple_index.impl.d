@@ -1,0 +1,1 @@
+test/test_triple_index.ml: Alcotest Database Fact List Lsdb Lsdb_storage Paper_examples QCheck Store Testutil Triple_index

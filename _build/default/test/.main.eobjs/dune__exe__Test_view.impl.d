@@ -1,0 +1,1 @@
+test/test_view.ml: Alcotest Database List Lsdb Operators Paper_examples String Testutil View

@@ -1,0 +1,1 @@
+test/test_virtual_facts.ml: Alcotest Entity List Lsdb Store Symtab Testutil Virtual_facts

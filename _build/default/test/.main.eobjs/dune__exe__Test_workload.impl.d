@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Citation_gen Fun List Lsdb Lsdb_relational Lsdb_workload Org_gen Printf Query_gen Rng Taxonomy Testutil University_gen Zipf

@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Database Eval Fact List Lsdb QCheck QCheck_alcotest Query_parser String

@@ -1,0 +1,101 @@
+open Lsdb_storage
+open Testutil
+
+let key i = (i / 25, i / 5 mod 5, i mod 5)
+
+let tests =
+  [
+    test "insert/mem/delete round trip" (fun () ->
+        let t = Bptree.create ~branching:2 () in
+        Alcotest.(check bool) "insert" true (Bptree.insert t (1, 2, 3));
+        Alcotest.(check bool) "duplicate" false (Bptree.insert t (1, 2, 3));
+        Alcotest.(check bool) "mem" true (Bptree.mem t (1, 2, 3));
+        Alcotest.(check bool) "delete" true (Bptree.delete t (1, 2, 3));
+        Alcotest.(check bool) "gone" false (Bptree.mem t (1, 2, 3));
+        Alcotest.(check bool) "delete twice" false (Bptree.delete t (1, 2, 3)));
+    test "iteration is sorted" (fun () ->
+        let t = Bptree.create ~branching:2 () in
+        let keys = List.init 500 key in
+        let shuffled = Lsdb_workload.Rng.shuffle (Lsdb_workload.Rng.create 3) keys in
+        List.iter (fun k -> ignore (Bptree.insert t k)) shuffled;
+        let sorted = List.sort_uniq compare keys in
+        Alcotest.(check bool) "sorted output" true (Bptree.to_list t = sorted);
+        Bptree.check_invariants t);
+    test "splits grow the tree height" (fun () ->
+        let t = Bptree.create ~branching:2 () in
+        for i = 0 to 999 do
+          ignore (Bptree.insert t (i, i, i))
+        done;
+        Alcotest.(check bool) "height grew" true (Bptree.height t > 2);
+        Alcotest.(check int) "cardinal" 1000 (Bptree.cardinal t);
+        Bptree.check_invariants t);
+    test "range queries are half-open" (fun () ->
+        let t = Bptree.create ~branching:4 () in
+        for i = 0 to 99 do
+          ignore (Bptree.insert t (i, 0, 0))
+        done;
+        let collect lo hi =
+          let acc = ref [] in
+          Bptree.iter_range t ~lo ~hi (fun k -> acc := k :: !acc);
+          List.rev !acc
+        in
+        Alcotest.(check int) "[10,20)" 10 (List.length (collect (10, 0, 0) (20, 0, 0)));
+        Alcotest.(check int) "empty range" 0 (List.length (collect (20, 0, 0) (10, 0, 0)));
+        Alcotest.(check bool) "lower inclusive" true
+          (List.mem (10, 0, 0) (collect (10, 0, 0) (20, 0, 0)));
+        Alcotest.(check bool) "upper exclusive" false
+          (List.mem (20, 0, 0) (collect (10, 0, 0) (20, 0, 0))));
+    test "prefix scans" (fun () ->
+        let t = Bptree.create ~branching:4 () in
+        List.iter
+          (fun k -> ignore (Bptree.insert t k))
+          [ (1, 1, 1); (1, 1, 2); (1, 2, 1); (2, 1, 1); (2, 2, 2) ];
+        let count1 a =
+          let n = ref 0 in
+          Bptree.iter_prefix1 t a (fun _ -> incr n);
+          !n
+        in
+        let count2 a b =
+          let n = ref 0 in
+          Bptree.iter_prefix2 t a b (fun _ -> incr n);
+          !n
+        in
+        Alcotest.(check int) "prefix 1" 3 (count1 1);
+        Alcotest.(check int) "prefix 2" 2 (count1 2);
+        Alcotest.(check int) "prefix (1,1)" 2 (count2 1 1);
+        Alcotest.(check int) "prefix (1,2)" 1 (count2 1 2);
+        Alcotest.(check int) "prefix (3,*) empty" 0 (count1 3));
+    test "negative components order correctly" (fun () ->
+        let t = Bptree.create ~branching:2 () in
+        List.iter
+          (fun k -> ignore (Bptree.insert t k))
+          [ (-5, 0, 0); (0, -1, 2); (0, 0, 0); (3, -7, 1) ];
+        Alcotest.(check bool) "sorted" true
+          (Bptree.to_list t = [ (-5, 0, 0); (0, -1, 2); (0, 0, 0); (3, -7, 1) ]);
+        Bptree.check_invariants t);
+    qcheck ~count:100 "bptree agrees with a set model under random ops"
+      QCheck.(
+        pair (int_range 2 6)
+          (list (pair bool (triple (int_bound 8) (int_bound 8) (int_bound 8)))))
+      (fun (branching, ops) ->
+        let t = Bptree.create ~branching () in
+        let model = Hashtbl.create 32 in
+        List.iter
+          (fun (is_add, k) ->
+            if is_add then begin
+              let added = Bptree.insert t k in
+              let fresh = not (Hashtbl.mem model k) in
+              Hashtbl.replace model k ();
+              if added <> fresh then QCheck.Test.fail_report "insert disagrees"
+            end
+            else begin
+              let removed = Bptree.delete t k in
+              let present = Hashtbl.mem model k in
+              Hashtbl.remove model k;
+              if removed <> present then QCheck.Test.fail_report "delete disagrees"
+            end)
+          ops;
+        Bptree.check_invariants t;
+        let expected = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) model []) in
+        Bptree.to_list t = expected);
+  ]

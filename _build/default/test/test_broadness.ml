@@ -1,0 +1,97 @@
+open Lsdb
+open Testutil
+
+(* A diamond with a long side chain:
+       TOP0
+      /    \
+   MID-A  MID-B
+      \    /
+       LOW        and  LOW ⊑ DEEP? no: DEEP ⊑ LOW. *)
+let diamond () =
+  db_of
+    [
+      ("MID-A", "isa", "TOP0");
+      ("MID-B", "isa", "TOP0");
+      ("LOW", "isa", "MID-A");
+      ("LOW", "isa", "MID-B");
+      ("DEEP", "isa", "LOW");
+    ]
+
+let tests =
+  [
+    test "generalizations are transitively closed" (fun () ->
+        let db = diamond () in
+        let b = Broadness.compute db in
+        Alcotest.(check (list string)) "ups of DEEP"
+          [ "LOW"; "MID-A"; "MID-B"; "TOP0" ]
+          (names db (Broadness.generalizations b (Database.entity db "DEEP"))));
+    test "minimal generalizations are the covers, not all ancestors" (fun () ->
+        let db = diamond () in
+        let b = Broadness.compute db in
+        Alcotest.(check (list string)) "covers of LOW" [ "MID-A"; "MID-B" ]
+          (names db (Broadness.minimal_generalizations b (Database.entity db "LOW")));
+        Alcotest.(check (list string)) "covers of DEEP" [ "LOW" ]
+          (names db (Broadness.minimal_generalizations b (Database.entity db "DEEP"))));
+    test "minimal specializations are the down-covers" (fun () ->
+        let db = diamond () in
+        let b = Broadness.compute db in
+        Alcotest.(check (list string)) "down-covers of TOP0" [ "MID-A"; "MID-B" ]
+          (names db (Broadness.minimal_specializations b (Database.entity db "TOP0"))));
+    test "entities outside the hierarchy fall back to Δ and ∇" (fun () ->
+        let db = db_of [ ("LONER", "LIKES", "SOMETHING") ] in
+        let b = Broadness.compute db in
+        Alcotest.(check (list int)) "Δ up" [ Entity.top ]
+          (Broadness.minimal_generalizations b (Database.entity db "LONER"));
+        Alcotest.(check (list int)) "∇ down" [ Entity.bottom ]
+          (Broadness.minimal_specializations b (Database.entity db "LONER")));
+    test "Δ and ∇ themselves have no further extremes" (fun () ->
+        let db = diamond () in
+        let b = Broadness.compute db in
+        Alcotest.(check (list int)) "Δ" [] (Broadness.minimal_generalizations b Entity.top);
+        Alcotest.(check (list int)) "∇" [] (Broadness.minimal_specializations b Entity.bottom));
+    test "synonyms cover each other without blocking real covers" (fun () ->
+        let db =
+          db_of [ ("CAR", "syn", "AUTO"); ("CAR", "isa", "VEHICLE") ]
+        in
+        let b = Broadness.compute db in
+        let covers = names db (Broadness.minimal_generalizations b (Database.entity db "CAR")) in
+        Alcotest.(check bool) "auto is minimal" true (List.mem "AUTO" covers);
+        Alcotest.(check bool) "vehicle not blocked by the synonym" true
+          (List.mem "VEHICLE" covers));
+    test "is_generalization includes Δ and strict ancestors only" (fun () ->
+        let db = diamond () in
+        let b = Broadness.compute db in
+        let e = Database.entity db in
+        Alcotest.(check bool) "strict" true
+          (Broadness.is_generalization b ~of_:(e "DEEP") (e "TOP0"));
+        Alcotest.(check bool) "Δ always" true
+          (Broadness.is_generalization b ~of_:(e "DEEP") Entity.top);
+        Alcotest.(check bool) "not downward" false
+          (Broadness.is_generalization b ~of_:(e "TOP0") (e "DEEP")));
+    test "height measures the longest chain" (fun () ->
+        let db = diamond () in
+        let b = Broadness.compute db in
+        Alcotest.(check int) "DEEP height" 3 (Broadness.height b (Database.entity db "DEEP"));
+        Alcotest.(check int) "TOP0 height" 0 (Broadness.height b (Database.entity db "TOP0")));
+    test "height terminates on synonym cycles" (fun () ->
+        let db = db_of [ ("A", "syn", "B"); ("A", "isa", "C") ] in
+        let b = Broadness.compute db in
+        Alcotest.(check bool) "finite" true
+          (Broadness.height b (Database.entity db "A") <= 3));
+    test "taxonomy covers agree with the generator's structure" (fun () ->
+        let rng = Lsdb_workload.Rng.create 7 in
+        let taxonomy =
+          Lsdb_workload.Taxonomy.generate ~prefix:"T" ~depth:3 ~fanout:2 rng
+        in
+        let db = Database.create () in
+        Lsdb_workload.Taxonomy.insert db taxonomy;
+        let b = Broadness.compute db in
+        (* Every leaf's minimal generalization is its unique tree parent. *)
+        List.iter
+          (fun leaf ->
+            let covers =
+              Broadness.minimal_generalizations b (Database.entity db leaf)
+            in
+            Alcotest.(check int) (leaf ^ " has one parent") 1 (List.length covers))
+          taxonomy.Lsdb_workload.Taxonomy.leaves);
+  ]

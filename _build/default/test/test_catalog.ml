@@ -1,0 +1,80 @@
+open Lsdb_relational
+open Testutil
+
+let catalog_with_emp () =
+  let catalog = Catalog.create () in
+  let emp =
+    Catalog.create_relation catalog
+      (Schema.make ~name:"EMP" ~attributes:[ "name"; "dept"; "salary" ])
+  in
+  List.iter
+    (fun t -> ignore (Relation.insert emp t))
+    [
+      [| "JOHN"; "SHIPPING"; "26000" |];
+      [| "TOM"; "ACCOUNTING"; "27000" |];
+      [| "MARY"; "RECEIVING"; "25000" |];
+    ];
+  catalog
+
+let tests =
+  [
+    test "create/find/drop relations" (fun () ->
+        let catalog = catalog_with_emp () in
+        Alcotest.(check (list string)) "names" [ "EMP" ] (Catalog.relation_names catalog);
+        Alcotest.(check bool) "duplicate create rejected" true
+          (try
+             ignore
+               (Catalog.create_relation catalog
+                  (Schema.make ~name:"EMP" ~attributes:[ "x" ]));
+             false
+           with Catalog.Already_exists _ -> true);
+        Catalog.drop_relation catalog "EMP";
+        Alcotest.(check bool) "gone" true (Catalog.find catalog "EMP" = None);
+        Alcotest.(check bool) "drop missing raises" true
+          (try
+             Catalog.drop_relation catalog "EMP";
+             false
+           with Catalog.No_such_relation _ -> true));
+    test "B7: add_attribute rewrites every tuple" (fun () ->
+        let catalog = catalog_with_emp () in
+        let rewritten =
+          Catalog.add_attribute catalog ~relation:"EMP" ~attr:"phone" ~default:"N/A"
+        in
+        Alcotest.(check int) "3 tuples rewritten" 3 rewritten;
+        let emp = Catalog.relation catalog "EMP" in
+        Alcotest.(check int) "arity grew" 4 (Schema.arity (Relation.schema emp));
+        Relation.iter
+          (fun t -> Alcotest.(check string) "default filled" "N/A" t.(3))
+          emp);
+    test "B7: drop_attribute rewrites every tuple" (fun () ->
+        let catalog = catalog_with_emp () in
+        let rewritten = Catalog.drop_attribute catalog ~relation:"EMP" ~attr:"salary" in
+        Alcotest.(check int) "3 rewritten" 3 rewritten;
+        Alcotest.(check int) "arity shrank" 2
+          (Schema.arity (Relation.schema (Catalog.relation catalog "EMP"))));
+    test "B7: rename_attribute preserves data" (fun () ->
+        let catalog = catalog_with_emp () in
+        ignore (Catalog.rename_attribute catalog ~relation:"EMP" ~from:"dept" ~to_:"department");
+        let emp = Catalog.relation catalog "EMP" in
+        Alcotest.(check int) "lookups via new name" 1
+          (List.length (Relation.lookup emp ~attr:"department" ~value:"SHIPPING")));
+    test "B7: split_relation produces joinable halves" (fun () ->
+        let catalog = catalog_with_emp () in
+        let rewritten =
+          Catalog.split_relation catalog ~relation:"EMP" ~key:"name"
+            ~attrs:[ "dept" ] ~into:("EMP_DEPT", "EMP_PAY")
+        in
+        Alcotest.(check int) "6 writes (3 rows x 2 halves)" 6 rewritten;
+        Alcotest.(check bool) "original dropped" true (Catalog.find catalog "EMP" = None);
+        let left = Catalog.relation catalog "EMP_DEPT" in
+        let right = Catalog.relation catalog "EMP_PAY" in
+        let rejoined = Relalg.natural_join left right in
+        Alcotest.(check int) "join restores rows" 3 (Relation.cardinal rejoined));
+    test "total_tuples sums across relations" (fun () ->
+        let catalog = catalog_with_emp () in
+        ignore
+          (Catalog.create_relation catalog
+             (Schema.make ~name:"DEPT" ~attributes:[ "name" ]));
+        ignore (Relation.insert (Catalog.relation catalog "DEPT") [| "SHIPPING" |]);
+        Alcotest.(check int) "4 total" 4 (Catalog.total_tuples catalog));
+  ]

@@ -1,0 +1,123 @@
+open Lsdb_storage
+open Testutil
+
+let tests =
+  [
+    test "varint round-trips boundary values" (fun () ->
+        List.iter
+          (fun n ->
+            let w = Codec.writer () in
+            Codec.write_varint w n;
+            let r = Codec.reader (Codec.contents w) in
+            Alcotest.(check int) (string_of_int n) n (Codec.read_varint r);
+            Alcotest.(check bool) "consumed" true (Codec.at_end r))
+          [ 0; 1; 127; 128; 16383; 16384; 1 lsl 30; max_int / 2 ]);
+    test "varint rejects negatives" (fun () ->
+        let w = Codec.writer () in
+        Alcotest.(check bool) "raises" true
+          (try
+             Codec.write_varint w (-1);
+             false
+           with Invalid_argument _ -> true));
+    test "strings round-trip including embedded NUL and UTF-8" (fun () ->
+        List.iter
+          (fun s ->
+            let w = Codec.writer () in
+            Codec.write_string w s;
+            Alcotest.(check string) "round-trip" s (Codec.read_string (Codec.reader (Codec.contents w))))
+          [ ""; "hello"; "a\x00b"; "⊑∈≈"; String.make 5000 'x' ]);
+    test "truncated input raises Corrupt" (fun () ->
+        let w = Codec.writer () in
+        Codec.write_string w "hello";
+        let data = Codec.contents w in
+        let truncated = String.sub data 0 (String.length data - 2) in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Codec.read_string (Codec.reader truncated));
+             false
+           with Codec.Corrupt _ -> true));
+    test "crc32 matches the IEEE reference vector" (fun () ->
+        (* CRC-32("123456789") = 0xCBF43926 *)
+        Alcotest.(check int32) "check vector" 0xCBF43926l (Codec.crc32 "123456789"));
+    test "crc32 detects corruption" (fun () ->
+        let a = Codec.crc32 "hello world" in
+        let b = Codec.crc32 "hello worle" in
+        Alcotest.(check bool) "different" true (not (Int32.equal a b)));
+    test "frames round-trip through a channel" (fun () ->
+        let path = Filename.temp_file "codec" ".bin" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let oc = open_out_bin path in
+            List.iter (Codec.write_frame oc) [ "one"; "two"; "three" ];
+            close_out oc;
+            let ic = open_in_bin path in
+            let data = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            let rec read pos acc =
+              match Codec.read_frame data ~pos with
+              | Some (payload, next) -> read next (payload :: acc)
+              | None -> List.rev acc
+            in
+            Alcotest.(check (list string)) "frames" [ "one"; "two"; "three" ] (read 0 [])));
+    test "a torn final frame reads as clean end" (fun () ->
+        let buf = Buffer.create 64 in
+        let oc_path = Filename.temp_file "codec" ".bin" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove oc_path)
+          (fun () ->
+            let oc = open_out_bin oc_path in
+            Codec.write_frame oc "complete";
+            Codec.write_frame oc "torn-record";
+            close_out oc;
+            let ic = open_in_bin oc_path in
+            let data = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            (* Drop the last 3 bytes: the second frame is torn. *)
+            Buffer.add_string buf (String.sub data 0 (String.length data - 3));
+            let data = Buffer.contents buf in
+            match Codec.read_frame data ~pos:0 with
+            | Some (payload, next) ->
+                Alcotest.(check string) "first intact" "complete" payload;
+                Alcotest.(check bool) "second torn -> None" true
+                  (Codec.read_frame data ~pos:next = None)
+            | None -> Alcotest.fail "first frame should read"));
+    test "mid-stream corruption raises" (fun () ->
+        let path = Filename.temp_file "codec" ".bin" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let oc = open_out_bin path in
+            Codec.write_frame oc "first";
+            Codec.write_frame oc "second";
+            close_out oc;
+            let ic = open_in_bin path in
+            let data = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+            close_in ic;
+            (* Flip a payload byte of the first frame. *)
+            Bytes.set data 2 'X';
+            Alcotest.(check bool) "raises" true
+              (try
+                 ignore (Codec.read_frame (Bytes.to_string data) ~pos:0);
+                 false
+               with Codec.Corrupt _ -> true)));
+    qcheck "frame encode/decode round-trips arbitrary payloads"
+      QCheck.(small_list string)
+      (fun payloads ->
+        let path = Filename.temp_file "codecq" ".bin" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let oc = open_out_bin path in
+            List.iter (Codec.write_frame oc) payloads;
+            close_out oc;
+            let ic = open_in_bin path in
+            let data = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            let rec read pos acc =
+              match Codec.read_frame data ~pos with
+              | Some (payload, next) -> read next (payload :: acc)
+              | None -> List.rev acc
+            in
+            read 0 [] = payloads));
+  ]

@@ -1,0 +1,146 @@
+open Lsdb
+open Testutil
+
+(* TOM —ENROLLED-IN→ CS100 —TAUGHT-BY→ HARRY, the §3.7 example. *)
+let enrollment_db ?(limit = 2) () =
+  let db =
+    db_of [ ("TOM", "ENROLLED-IN", "CS100"); ("CS100", "TAUGHT-BY", "HARRY") ]
+  in
+  Database.set_limit db limit;
+  db
+
+let tests =
+  [
+    test "compose_name and decompose round-trip" (fun () ->
+        let db = enrollment_db () in
+        let e = Database.entity db in
+        let chain = [ e "ENROLLED-IN"; e "TAUGHT-BY" ] in
+        let composed = Composition.compose_name (Database.symtab db) chain in
+        Alcotest.(check string) "name" "ENROLLED-IN·TAUGHT-BY"
+          (Database.entity_name db composed);
+        Alcotest.(check bool) "is composed" true
+          (Composition.is_composed (Database.symtab db) composed);
+        Alcotest.(check bool) "round-trip" true
+          (Composition.decompose (Database.symtab db) composed = Some chain));
+    test "§3.7 composition implies the indirect relationship" (fun () ->
+        let db = enrollment_db () in
+        let e = Database.entity db in
+        let paths = Composition.paths db ~src:(e "TOM") ~tgt:(e "HARRY") in
+        Alcotest.(check int) "one path" 1 (List.length paths);
+        let path = List.hd paths in
+        Alcotest.(check (list string)) "chain"
+          [ "ENROLLED-IN"; "TAUGHT-BY" ]
+          (List.map (Database.entity_name db) path.Composition.chain));
+    test "limit 1 disables composition entirely" (fun () ->
+        let db = enrollment_db ~limit:1 () in
+        let e = Database.entity db in
+        Alcotest.(check int) "no paths" 0
+          (List.length (Composition.paths db ~src:(e "TOM") ~tgt:(e "HARRY"))));
+    test "limit bounds chain length exactly" (fun () ->
+        let db =
+          db_of [ ("A", "R1", "B"); ("B", "R2", "C"); ("C", "R3", "D") ]
+        in
+        let e = Database.entity db in
+        Database.set_limit db 2;
+        Alcotest.(check int) "depth-3 target unreachable at limit 2" 0
+          (List.length (Composition.paths db ~src:(e "A") ~tgt:(e "D")));
+        Database.set_limit db 3;
+        Alcotest.(check int) "reachable at limit 3" 1
+          (List.length (Composition.paths db ~src:(e "A") ~tgt:(e "D"))));
+    test "cyclic composition is excluded (source must differ from target)" (fun () ->
+        (* The paper's JOHN loves MARY loves JOHN example. *)
+        let db = db_of [ ("JOHN", "LOVES", "MARY"); ("MARY", "LOVES", "JOHN") ] in
+        Database.set_limit db 4;
+        let e = Database.entity db in
+        Alcotest.(check int) "no self paths" 0
+          (List.length (Composition.paths db ~src:(e "JOHN") ~tgt:(e "JOHN"))));
+    test "walk follows a chain forward" (fun () ->
+        let db = enrollment_db () in
+        let e = Database.entity db in
+        let targets =
+          Composition.walk db ~chain:[ e "ENROLLED-IN"; e "TAUGHT-BY" ] ~src:(e "TOM")
+        in
+        Alcotest.(check (list string)) "harry" [ "HARRY" ] (names db targets));
+    test "candidates answer bound composed relationships" (fun () ->
+        let db = enrollment_db () in
+        let e = Database.entity db in
+        let composed = Database.entity db "ENROLLED-IN·TAUGHT-BY" in
+        (* forward: (TOM, chain, ?) *)
+        let fwd = ref [] in
+        Composition.candidates db (Store.pattern ~s:(e "TOM") ~r:composed ()) (fun f ->
+            fwd := f :: !fwd);
+        Alcotest.(check int) "forward" 1 (List.length !fwd);
+        (* backward: (?, chain, HARRY) *)
+        let bwd = ref [] in
+        Composition.candidates db (Store.pattern ~r:composed ~t:(e "HARRY") ()) (fun f ->
+            bwd := f :: !bwd);
+        Alcotest.(check int) "backward" 1 (List.length !bwd);
+        Alcotest.(check string) "source" "TOM"
+          (Database.entity_name db (List.hd !bwd).Fact.s));
+    test "special relationships do not compose" (fun () ->
+        let db = db_of [ ("A", "in", "B"); ("B", "LEADS", "C") ] in
+        Database.set_limit db 2;
+        let e = Database.entity db in
+        Alcotest.(check int) "no path through ∈" 0
+          (List.length (Composition.paths db ~src:(e "A") ~tgt:(e "C"))));
+    test "composition follows inferred facts too" (fun () ->
+        let db =
+          db_of
+            [
+              ("JOHN", "in", "EMPLOYEE");
+              ("EMPLOYEE", "WORKS-FOR", "DEPARTMENT");
+              ("DEPARTMENT", "REPORTS-TO", "BOARD");
+            ]
+        in
+        Database.set_limit db 2;
+        let e = Database.entity db in
+        (* (JOHN, WORKS-FOR, DEPARTMENT) is inferred; the path uses it. *)
+        let paths = Composition.paths db ~src:(e "JOHN") ~tgt:(e "BOARD") in
+        Alcotest.(check bool) "path through inferred fact" true
+          (List.exists
+             (fun p ->
+               List.map (Database.entity_name db) p.Composition.chain
+               = [ "WORKS-FOR"; "REPORTS-TO" ])
+             paths));
+    test "count_compositions grows with the limit (B3 shape)" (fun () ->
+        let rng = Lsdb_workload.Rng.create 42 in
+        let uni =
+          Lsdb_workload.University_gen.generate
+            ~params:
+              {
+                Lsdb_workload.University_gen.students = 20;
+                courses = 5;
+                instructors = 3;
+                enrollments_per_student = 2;
+              }
+            rng
+        in
+        let db = Lsdb_workload.University_gen.to_database uni in
+        let counts =
+          List.map
+            (fun n ->
+              Database.set_limit db n;
+              Composition.count_compositions db)
+            [ 1; 2; 3 ]
+        in
+        match counts with
+        | [ c1; c2; c3 ] ->
+            Alcotest.(check int) "limit 1: none" 0 c1;
+            Alcotest.(check bool) "limit 2 > 0" true (c2 > 0);
+            Alcotest.(check bool) "monotone" true (c3 >= c2)
+        | _ -> assert false);
+    test "max_paths caps enumeration" (fun () ->
+        (* A dense bipartite graph with many parallel 2-chains. *)
+        let facts = ref [] in
+        for i = 0 to 9 do
+          facts := ("SRC", Printf.sprintf "R%d" i, "MID") :: !facts;
+          facts := ("MID", Printf.sprintf "S%d" i, "TGT") :: !facts
+        done;
+        let db = db_of !facts in
+        Database.set_limit db 2;
+        let e = Database.entity db in
+        let all = Composition.paths db ~src:(e "SRC") ~tgt:(e "TGT") in
+        Alcotest.(check int) "100 paths" 100 (List.length all);
+        let capped = Composition.paths ~max_paths:7 db ~src:(e "SRC") ~tgt:(e "TGT") in
+        Alcotest.(check int) "capped" 7 (List.length capped));
+  ]

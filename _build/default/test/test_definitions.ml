@@ -1,0 +1,86 @@
+open Lsdb
+open Testutil
+
+let tests =
+  [
+    test "define and invoke a parameterized operator" (fun () ->
+        let db = Paper_examples.payroll () in
+        let defs = Definitions.create () in
+        Definitions.define_text db defs
+          "salary_of(?who) := (?who, EARNS, ?s) & (?s, in, SALARY)";
+        let answer = Definitions.invoke_names db defs "salary_of" [ "JOHN" ] in
+        Alcotest.(check (list string)) "john's salary" [ "$26000" ]
+          (List.sort String.compare
+             (List.map List.hd (Eval.rows_named (Database.symtab db) answer)));
+        let answer = Definitions.invoke_names db defs "salary_of" [ "MARY" ] in
+        Alcotest.(check (list string)) "mary's salary" [ "$25000" ]
+          (List.sort String.compare
+             (List.map List.hd (Eval.rows_named (Database.symtab db) answer))));
+    test "the §6.1 try operator is definable" (fun () ->
+        let db = db_of [ ("A", "LIKES", "B"); ("C", "A", "D"); ("E", "R", "A") ] in
+        let defs = Definitions.create () in
+        Definitions.define_text db defs
+          "try(?e) := (?e, *, *) | (*, ?e, *) | (*, *, ?e)";
+        (* Each disjunct binds two stars; free vars differ per disjunct,
+           so invoke with the parameter bound and accept the union. *)
+        Alcotest.(check bool) "defined" true (Definitions.find defs "try" <> None));
+    test "zero-parameter operators behave like saved queries" (fun () ->
+        let db = Paper_examples.library () in
+        let defs = Definitions.create () in
+        Definitions.define_text db defs "books() := (?b, in, BOOK)";
+        let answer = Definitions.invoke db defs "books" [] in
+        Alcotest.(check int) "three books" 3 (List.length answer.Eval.rows));
+    test "arity is checked" (fun () ->
+        let db = Paper_examples.library () in
+        let defs = Definitions.create () in
+        Definitions.define_text db defs "authored(?p) := (?b, AUTHOR, ?p)";
+        Alcotest.(check bool) "wrong arity raises" true
+          (try
+             ignore (Definitions.invoke_names db defs "authored" [ "A"; "B" ]);
+             false
+           with Definitions.Error _ -> true));
+    test "parameters must be free variables of the body" (fun () ->
+        let db = Paper_examples.library () in
+        let defs = Definitions.create () in
+        Alcotest.(check bool) "raises" true
+          (try
+             Definitions.define_text db defs "bad(?zz) := (?b, in, BOOK)";
+             false
+           with Definitions.Error _ -> true));
+    test "duplicate parameters are rejected" (fun () ->
+        let db = Paper_examples.library () in
+        let defs = Definitions.create () in
+        Alcotest.(check bool) "raises" true
+          (try
+             Definitions.define_text db defs "bad(?b, ?b) := (?b, in, BOOK)";
+             false
+           with Definitions.Error _ -> true));
+    test "unknown operator and removal" (fun () ->
+        let db = Paper_examples.library () in
+        let defs = Definitions.create () in
+        Definitions.define_text db defs "books() := (?b, in, BOOK)";
+        Alcotest.(check bool) "remove" true (Definitions.remove defs "books");
+        Alcotest.(check bool) "gone" false (Definitions.remove defs "books");
+        Alcotest.(check bool) "invoke unknown raises" true
+          (try
+             ignore (Definitions.invoke db defs "books" []);
+             false
+           with Definitions.Error _ -> true));
+    test "list and show" (fun () ->
+        let db = Paper_examples.library () in
+        let defs = Definitions.create () in
+        Definitions.define_text db defs "books() := (?b, in, BOOK)";
+        Definitions.define_text db defs "authored(?p) := (?b, AUTHOR, ?p)";
+        Alcotest.(check (list (pair string (list string)))) "listing"
+          [ ("authored", [ "p" ]); ("books", []) ]
+          (Definitions.list defs);
+        Alcotest.(check bool) "show mentions both" true
+          (String.length (Definitions.show (Database.symtab db) defs) > 20));
+    test "redefinition replaces" (fun () ->
+        let db = Paper_examples.library () in
+        let defs = Definitions.create () in
+        Definitions.define_text db defs "things() := (?b, in, BOOK)";
+        Definitions.define_text db defs "things() := (?b, in, PERSON)";
+        let answer = Definitions.invoke db defs "things" [] in
+        Alcotest.(check int) "two persons" 2 (List.length answer.Eval.rows));
+  ]

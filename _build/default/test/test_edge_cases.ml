@@ -1,0 +1,129 @@
+(* Edge cases across the public API surface. *)
+
+open Lsdb
+open Testutil
+
+let tests =
+  [
+    test "empty database: queries, navigation, probing, integrity" (fun () ->
+        let db = Database.create () in
+        (* Only the two axiom facts exist. *)
+        Alcotest.(check int) "axioms only" 2 (Database.base_cardinal db);
+        Alcotest.(check bool) "valid" true (Integrity.is_valid db);
+        let nbhd = Navigation.neighborhood db (Database.entity db "GHOST") in
+        Alcotest.(check int) "no sources" 0 (List.length nbhd.Navigation.as_source);
+        match Probing.probe db (q db "(GHOST, HAUNTS, ?x)") with
+        | Probing.Exhausted { unknown_entities; _ } ->
+            Alcotest.(check bool) "ghost unknown" true
+              (List.mem (Database.entity db "GHOST") unknown_entities)
+        | _ -> Alcotest.fail "expected Exhausted");
+    test "self-loop facts are fine" (fun () ->
+        let db = db_of [ ("NARCISSUS", "LOVES", "NARCISSUS") ] in
+        check_holds db "self-loop" ("NARCISSUS", "LOVES", "NARCISSUS");
+        check_answers db "query" "(?x, LOVES, ?x)" [ "NARCISSUS" ]);
+    test "deep synonym chains stay quadratic, not divergent" (fun () ->
+        let chain =
+          List.init 12 (fun i -> (Printf.sprintf "N%d" i, "syn", Printf.sprintf "N%d" (i + 1)))
+        in
+        let db = db_of (chain @ [ ("N0", "OWNS", "THING") ]) in
+        check_holds db "propagated to the end" ("N12", "OWNS", "THING");
+        check_holds db "syn closed" ("N0", "syn", "N12"));
+    test "the paper's replication/inconsistency examples are storable (§2.6)"
+      (fun () ->
+        (* (JOHN, EARN, $25000), (JOHN, EARN, $40000), (JOHN, INCOME, $40000):
+           the paper explicitly permits these. *)
+        let db =
+          db_of
+            [
+              ("JOHN", "EARN", "$25000");
+              ("JOHN", "EARN", "$40000");
+              ("JOHN", "INCOME", "$40000");
+              ("MARY", "MAJOR", "MATH");
+              ("MARY", "ASSISTANT", "MATH");
+            ]
+        in
+        Alcotest.(check bool) "no contradiction without ⊥ facts" true
+          (Integrity.is_valid db);
+        check_answers db "both salaries" "(JOHN, EARN, ?s)" [ "$25000"; "$40000" ]);
+    test "stored numeric comparator facts that lie are violations" (fun () ->
+        let db = db_of [ ("7", "<", "5") ] in
+        let violations = Integrity.violations db in
+        Alcotest.(check bool) "math violation" true
+          (List.exists (fun v -> v.Integrity.conflict = Integrity.Math) violations));
+    test "reflexive generalization facts stored by the user are harmless" (fun () ->
+        let db = db_of [ ("A", "isa", "A"); ("A", "isa", "B") ] in
+        check_holds db "still works" ("A", "isa", "B");
+        Alcotest.(check bool) "valid" true (Integrity.is_valid db));
+    test "entity names with spaces and unicode round-trip everywhere" (fun () ->
+        let db = Database.create () in
+        ignore (Database.insert_names db "VAN GOGH" "PAINTED" "STARRY NIGHT ☆");
+        let answer =
+          Eval.eval db (q db "(\"VAN GOGH\", PAINTED, ?w)")
+        in
+        Alcotest.(check (list (list string))) "quoted query finds it"
+          [ [ "STARRY NIGHT ☆" ] ]
+          (Eval.rows_named (Database.symtab db) answer));
+    test "limit can be raised and lowered repeatedly" (fun () ->
+        let db = db_of [ ("A", "R1", "B"); ("B", "R2", "C"); ("C", "R3", "D") ] in
+        let e = Database.entity db in
+        List.iter
+          (fun (n, expected) ->
+            Database.set_limit db n;
+            Alcotest.(check int)
+              (Printf.sprintf "paths at limit %d" n)
+              expected
+              (List.length (Composition.paths db ~src:(e "A") ~tgt:(e "D"))))
+          [ (1, 0); (3, 1); (2, 0); (4, 1); (1, 0) ]);
+    test "removal after incremental extension recomputes correctly" (fun () ->
+        let db = db_of [ ("EMPLOYEE", "EARNS", "SALARY") ] in
+        ignore (Database.closure db);
+        ignore (Database.insert_names db "A" "in" "EMPLOYEE");
+        ignore (Database.insert_names db "B" "in" "EMPLOYEE");
+        check_holds db "b earns" ("B", "EARNS", "SALARY");
+        ignore (Database.remove_names db "B" "in" "EMPLOYEE");
+        check_not_holds db "b no longer earns" ("B", "EARNS", "SALARY");
+        check_holds db "a still earns" ("A", "EARNS", "SALARY"));
+    test "insert after remove of the same fact round-trips" (fun () ->
+        let db = db_of [ ("A", "R", "B") ] in
+        ignore (Database.closure db);
+        ignore (Database.remove_names db "A" "R" "B");
+        ignore (Database.insert_names db "A" "R" "B");
+        check_holds db "present" ("A", "R", "B"));
+    test "two-variable template over an empty relation renders" (fun () ->
+        let db = db_of [ ("A", "R", "B") ] in
+        let tpl = Query_parser.parse_template db "(?x, NOTHING, ?y)" in
+        let rendered = Navigation.render_template db tpl in
+        Alcotest.(check bool) "renders" true (String.length rendered > 0));
+    test "probing a query that is already a proposition" (fun () ->
+        let db = Paper_examples.campus () in
+        (match Probing.probe db (q db "(SUE, ENJOYS, OPERA)") with
+        | Probing.Answered _ -> ()
+        | _ -> Alcotest.fail "true proposition should answer");
+        match Probing.probe db (q db "(SUE, ENJOYS, SKIING)") with
+        | Probing.Answered _ -> Alcotest.fail "false proposition should retract"
+        | Probing.Retracted _ | Probing.Exhausted _ -> ());
+    test "federation of a database with itself adds nothing (idempotent merge)"
+      (fun () ->
+        let a = Paper_examples.campus () in
+        let b = Paper_examples.campus () in
+        let fed = Federation.create [ ("a", a); ("b", b) ] in
+        let merged = Federation.database fed in
+        Alcotest.(check int) "same base cardinality"
+          (Database.base_cardinal a)
+          (Database.base_cardinal merged);
+        Alcotest.(check int) "everything shared"
+          (Database.base_cardinal a)
+          (List.length (Federation.shared_facts fed)));
+    test "query with only star variables matches the whole closure" (fun () ->
+        let db = db_of [ ("A", "R", "B") ] in
+        let answer = Eval.eval ~opts:Match_layer.plain_opts db (q db "(*, *, *)") in
+        (* Base facts + axioms + derived (inverse pair of the ↔ axiom). *)
+        Alcotest.(check bool) "at least the base facts" true
+          (List.length answer.Eval.rows >= Database.base_cardinal db));
+    test "comparator queries between non-numbers fall back to stored facts"
+      (fun () ->
+        let db = db_of [ ("CHEAP", "<", "EXPENSIVE") ] in
+        check_proposition db "stored non-numeric comparison holds"
+          "(CHEAP, lt, EXPENSIVE)" true;
+        check_proposition db "unstored one does not" "(EXPENSIVE, lt, CHEAP)" false);
+  ]

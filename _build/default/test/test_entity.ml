@@ -1,0 +1,48 @@
+open Lsdb
+open Testutil
+
+let tests =
+  [
+    test "special ids are dense and ordered" (fun () ->
+        Alcotest.(check int) "count" (Array.length Entity.special_names) Entity.special_count;
+        List.iteri
+          (fun i e -> Alcotest.(check int) (Printf.sprintf "id %d" i) i e)
+          [
+            Entity.gen; Entity.member; Entity.syn; Entity.inv; Entity.contra;
+            Entity.top; Entity.bottom; Entity.lt; Entity.gt; Entity.eq;
+            Entity.neq; Entity.le; Entity.ge;
+          ]);
+    test "comparator classification" (fun () ->
+        List.iter
+          (fun e -> Alcotest.(check bool) "is comparator" true (Entity.is_comparator e))
+          [ Entity.lt; Entity.gt; Entity.eq; Entity.neq; Entity.le; Entity.ge ];
+        List.iter
+          (fun e -> Alcotest.(check bool) "not comparator" false (Entity.is_comparator e))
+          [ Entity.gen; Entity.member; Entity.top; Entity.bottom; 99 ]);
+    test "converse pairs" (fun () ->
+        Alcotest.(check int) "lt<->gt" Entity.gt (Entity.converse_comparator Entity.lt);
+        Alcotest.(check int) "gt<->lt" Entity.lt (Entity.converse_comparator Entity.gt);
+        Alcotest.(check int) "le<->ge" Entity.ge (Entity.converse_comparator Entity.le);
+        Alcotest.(check int) "eq self" Entity.eq (Entity.converse_comparator Entity.eq);
+        Alcotest.(check int) "neq self" Entity.neq (Entity.converse_comparator Entity.neq));
+    test "comparator_holds implements the mathematics" (fun () ->
+        let checks =
+          [
+            (Entity.lt, 1.0, 2.0, true);
+            (Entity.lt, 2.0, 1.0, false);
+            (Entity.gt, 25000.0, 20000.0, true);
+            (Entity.eq, 3.0, 3.0, true);
+            (Entity.neq, 3.0, 3.0, false);
+            (Entity.le, 3.0, 3.0, true);
+            (Entity.ge, 2.0, 3.0, false);
+          ]
+        in
+        List.iter
+          (fun (cmp, a, b, expected) ->
+            Alcotest.(check bool) "cmp" expected (Entity.comparator_holds cmp a b))
+          checks);
+    test "is_special boundary" (fun () ->
+        Alcotest.(check bool) "last special" true (Entity.is_special (Entity.special_count - 1));
+        Alcotest.(check bool) "first user" false (Entity.is_special Entity.special_count);
+        Alcotest.(check bool) "negative" false (Entity.is_special (-1)));
+  ]

@@ -1,0 +1,57 @@
+open Lsdb
+open Testutil
+
+let tests =
+  [
+    test "stored facts explain as Stored" (fun () ->
+        let db = db_of [ ("A", "R", "B") ] in
+        Alcotest.(check bool) "stored" true
+          (Explain.source_of db (fact db ("A", "R", "B")) = Explain.Stored));
+    test "derived facts explain with their rule and premises" (fun () ->
+        let db = db_of [ ("JOHN", "in", "EMPLOYEE"); ("EMPLOYEE", "EARNS", "SALARY") ] in
+        let tree = Explain.explain db (fact db ("JOHN", "EARNS", "SALARY")) in
+        (match tree.Explain.source with
+        | Explain.Derived "mem-source" -> ()
+        | _ -> Alcotest.fail "expected Derived mem-source");
+        Alcotest.(check int) "two premises" 2 (List.length tree.Explain.premises);
+        List.iter
+          (fun premise ->
+            Alcotest.(check bool) "premises stored" true
+              (premise.Explain.source = Explain.Stored))
+          tree.Explain.premises);
+    test "virtual facts explain as Virtual" (fun () ->
+        let db = db_of [ ("JOHN", "EARNS", "$25000") ] in
+        let e = Database.entity db in
+        Alcotest.(check bool) "math" true
+          (Explain.source_of db (Fact.make (e "$25000") Entity.gt (e "20000"))
+          = Explain.Virtual);
+        Alcotest.(check bool) "hierarchy" true
+          (Explain.source_of db (Fact.make (e "JOHN") Entity.gen Entity.top)
+          = Explain.Virtual));
+    test "composition facts explain as Composed" (fun () ->
+        let db = db_of [ ("A", "R1", "B"); ("B", "R2", "C") ] in
+        Database.set_limit db 2;
+        let e = Database.entity db in
+        let composed = Database.entity db "R1·R2" in
+        Alcotest.(check bool) "composed" true
+          (Explain.source_of db (Fact.make (e "A") composed (e "C")) = Explain.Composed));
+    test "absent facts explain as Unknown" (fun () ->
+        let db = db_of [ ("A", "R", "B") ] in
+        Alcotest.(check bool) "unknown" true
+          (Explain.source_of db (fact db ("B", "R", "A")) = Explain.Unknown));
+    test "deep derivations render as an indented tree" (fun () ->
+        let db =
+          db_of
+            [
+              ("JOHN", "in", "EMPLOYEE");
+              ("EMPLOYEE", "EARNS", "SALARY");
+              ("SALARY", "isa", "COMPENSATION");
+            ]
+        in
+        let tree = Explain.explain db (fact db ("JOHN", "EARNS", "COMPENSATION")) in
+        let rendered = Explain.render db tree in
+        let lines = String.split_on_char '\n' rendered in
+        Alcotest.(check bool) "multi-line" true (List.length lines >= 3);
+        Alcotest.(check bool) "root unindented" true
+          (String.length (List.hd lines) > 0 && (List.hd lines).[0] = '('));
+  ]

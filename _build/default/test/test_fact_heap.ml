@@ -1,0 +1,69 @@
+open Lsdb_storage
+open Testutil
+
+let with_temp_file f =
+  let path = Filename.temp_file "lsdb_factheap" ".pages" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let tests =
+  [
+    test "insert/mem/delete round trip" (fun () ->
+        with_temp_file (fun path ->
+            let heap = Fact_heap.open_ path in
+            Alcotest.(check bool) "insert" true (Fact_heap.insert heap ("A", "R", "B"));
+            Alcotest.(check bool) "dup" false (Fact_heap.insert heap ("A", "R", "B"));
+            Alcotest.(check bool) "mem" true (Fact_heap.mem heap ("A", "R", "B"));
+            Alcotest.(check bool) "delete" true (Fact_heap.delete heap ("A", "R", "B"));
+            Alcotest.(check bool) "gone" false (Fact_heap.mem heap ("A", "R", "B"));
+            Fact_heap.close heap));
+    test "facts survive reopen, deletions included" (fun () ->
+        with_temp_file (fun path ->
+            let heap = Fact_heap.open_ path in
+            ignore (Fact_heap.insert heap ("JOHN", "LIKES", "FELIX"));
+            ignore (Fact_heap.insert heap ("JOHN", "EARNS", "$25000"));
+            ignore (Fact_heap.insert heap ("DOOMED", "R", "X"));
+            ignore (Fact_heap.delete heap ("DOOMED", "R", "X"));
+            Fact_heap.close heap;
+            let heap2 = Fact_heap.open_ path in
+            Alcotest.(check int) "two facts" 2 (Fact_heap.cardinal heap2);
+            Alcotest.(check bool) "survivor" true
+              (Fact_heap.mem heap2 ("JOHN", "LIKES", "FELIX"));
+            Alcotest.(check bool) "deleted stays deleted" false
+              (Fact_heap.mem heap2 ("DOOMED", "R", "X"));
+            Fact_heap.close heap2));
+    test "round-trips a whole database with inference intact" (fun () ->
+        with_temp_file (fun path ->
+            let db = Lsdb.Paper_examples.organization () in
+            let heap = Fact_heap.open_ path in
+            let added = Fact_heap.add_database heap db in
+            Alcotest.(check int) "all base facts" (Lsdb.Database.base_cardinal db) added;
+            Fact_heap.close heap;
+            let heap2 = Fact_heap.open_ path in
+            let db2 = Fact_heap.to_database heap2 in
+            Fact_heap.close heap2;
+            check_holds db2 "inference after disk round trip"
+              ("MANAGER", "WORKS-FOR", "DEPARTMENT")));
+    test "unicode and decorated names encode safely" (fun () ->
+        with_temp_file (fun path ->
+            let heap = Fact_heap.open_ path in
+            ignore (Fact_heap.insert heap ("PC#9-WAM", "⊑", "$25,000"));
+            Fact_heap.close heap;
+            let heap2 = Fact_heap.open_ path in
+            Alcotest.(check bool) "intact" true
+              (Fact_heap.mem heap2 ("PC#9-WAM", "⊑", "$25,000"));
+            Fact_heap.close heap2));
+    test "scales across pages" (fun () ->
+        with_temp_file (fun path ->
+            let heap = Fact_heap.open_ path in
+            for i = 0 to 999 do
+              ignore
+                (Fact_heap.insert heap
+                   (Printf.sprintf "ENTITY-%04d" i, "RELATES-TO", "HUB"))
+            done;
+            Alcotest.(check int) "cardinal" 1000 (Fact_heap.cardinal heap);
+            Alcotest.(check bool) "multiple pages" true (Fact_heap.pages heap > 1);
+            Fact_heap.close heap;
+            let heap2 = Fact_heap.open_ path in
+            Alcotest.(check int) "reopened" 1000 (Fact_heap.cardinal heap2);
+            Fact_heap.close heap2));
+  ]

@@ -1,0 +1,101 @@
+open Lsdb
+open Testutil
+
+let two_members () =
+  let hr =
+    db_of
+      [
+        ("JOHN", "in", "EMPLOYEE");
+        ("JOHN", "EARNS", "$25000");
+        ("EMPLOYEE", "isa", "PERSON");
+      ]
+  in
+  let crm =
+    db_of
+      [
+        ("JOHNNY", "in", "CUSTOMER");
+        ("JOHNNY", "BOUGHT", "WIDGET");
+        ("CUSTOMER", "isa", "PERSON");
+      ]
+  in
+  (hr, crm)
+
+let tests =
+  [
+    test "members merge by name with no schema integration" (fun () ->
+        let hr, crm = two_members () in
+        let fed = Federation.create [ ("hr", hr); ("crm", crm) ] in
+        let db = Federation.database fed in
+        check_holds db "hr fact" ("JOHN", "EARNS", "$25000");
+        check_holds db "crm fact" ("JOHNNY", "BOUGHT", "WIDGET");
+        Alcotest.(check (list string)) "members" [ "hr"; "crm" ] (Federation.members fed));
+    test "entity ids are re-interned consistently" (fun () ->
+        (* PERSON appears in both members with different local ids; the
+           merged view must fuse them. *)
+        let hr, crm = two_members () in
+        let fed = Federation.create [ ("hr", hr); ("crm", crm) ] in
+        let db = Federation.database fed in
+        (* Stored: CUSTOMER, EMPLOYEE. Virtual: PERSON (reflexive; the ∇
+           extreme is checkable but never enumerated as a binding).
+           Inferred via the paper's literal §3.2 rule (mem-source with
+           r = ⊑): JOHN and JOHNNY. *)
+        check_answers db "both kinds of person" "(?x, isa, PERSON)"
+          [ "CUSTOMER"; "EMPLOYEE"; "JOHN"; "JOHNNY"; "PERSON" ]);
+    test "synonym bridges consolidate entities across members (§3.3)" (fun () ->
+        let hr, crm = two_members () in
+        let fed = Federation.create [ ("hr", hr); ("crm", crm) ] in
+        Federation.add_bridge fed "JOHN" "JOHNNY";
+        let db = Federation.database fed in
+        (* John's purchase is now visible under his HR name. *)
+        check_holds db "bridged fact" ("JOHN", "BOUGHT", "WIDGET");
+        check_holds db "and conversely" ("JOHNNY", "EARNS", "$25000"));
+    test "origins attribute base facts to members" (fun () ->
+        let hr, crm = two_members () in
+        let fed = Federation.create [ ("hr", hr); ("crm", crm) ] in
+        let db = Federation.database fed in
+        Alcotest.(check (list string)) "hr origin" [ "hr" ]
+          (Federation.origins fed (fact db ("JOHN", "EARNS", "$25000")));
+        Alcotest.(check (list string)) "bridge has no member origin" []
+          (Federation.origins fed (fact db ("JOHN", "syn", "JOHNNY"))));
+    test "shared facts are discovered" (fun () ->
+        let a = db_of [ ("X", "R", "Y"); ("ONLY-A", "R", "Y") ] in
+        let b = db_of [ ("X", "R", "Y"); ("ONLY-B", "R", "Y") ] in
+        let fed = Federation.create [ ("a", a); ("b", b) ] in
+        let shared = Federation.shared_facts fed in
+        (* (X,R,Y) plus the two axiom facts every member carries. *)
+        let db = Federation.database fed in
+        let non_axiom =
+          List.filter
+            (fun f -> not (List.exists (Fact.equal f) Database.axiom_facts))
+            shared
+        in
+        Alcotest.(check int) "one genuinely shared" 1 (List.length non_axiom);
+        Alcotest.(check bool) "it is (X,R,Y)" true
+          (Fact.equal (List.hd non_axiom) (fact db ("X", "R", "Y"))));
+    test "member class declarations carry over" (fun () ->
+        let member = db_of [ ("TEAM", "SIZE", "5") ] in
+        Database.declare_class_relationship member (Database.entity member "SIZE");
+        let fed = Federation.create [ ("m", member) ] in
+        let db = Federation.database fed in
+        Alcotest.(check bool) "SIZE is class" true
+          (Database.is_class_relationship db (Database.entity db "SIZE")));
+    test "member rules carry over with remapped entities" (fun () ->
+        let member = db_of [ ("REX", "in", "DOG") ] in
+        let rule =
+          Rule.make ~name:"dogs-bark"
+            ~body:
+              [ Template.make (Template.Var "x") (Template.Ent Entity.member)
+                  (Template.Ent (Database.entity member "DOG")) ]
+            ~heads:
+              [ Template.make (Template.Var "x")
+                  (Template.Ent (Database.entity member "CAN"))
+                  (Template.Ent (Database.entity member "BARK")) ]
+            ()
+        in
+        Database.add_rule member rule;
+        (* Pad the federation with another member first so ids shift. *)
+        let other = db_of [ ("PAD1", "PADS", "PAD2"); ("PAD3", "PADS", "PAD4") ] in
+        let fed = Federation.create [ ("other", other); ("m", member) ] in
+        let db = Federation.database fed in
+        check_holds db "rule fired in merged view" ("REX", "CAN", "BARK"));
+  ]

@@ -1,0 +1,80 @@
+open Lsdb
+open Testutil
+
+let tests =
+  [
+    test "closure facts are matched" (fun () ->
+        let db = db_of [ ("JOHN", "in", "EMPLOYEE"); ("EMPLOYEE", "EARNS", "SALARY") ] in
+        let e = Database.entity db in
+        Alcotest.(check bool) "derived visible" true
+          (Match_layer.exists db (Store.pattern ~s:(e "JOHN") ~r:(e "EARNS") ())));
+    test "comparator patterns answered by the oracle" (fun () ->
+        let db = db_of [ ("JOHN", "EARNS", "$25000") ] in
+        let e = Database.entity db in
+        Alcotest.(check bool) "25000 > 20000" true
+          (Match_layer.holds db (Fact.make (e "$25000") Entity.gt (e "20000"))));
+    test "stored facts under oracle authority are suppressed (no double emission)"
+      (fun () ->
+        let db = db_of [ ("5", "<", "7") ] in
+        let e = Database.entity db in
+        Alcotest.(check int) "emitted once" 1
+          (Match_layer.count db (Store.pattern ~s:(e "5") ~r:Entity.lt ~t:(e "7") ())));
+    test "Δ in relationship position is a wildcard (§5.2 retraction query)" (fun () ->
+        let db = db_of [ ("CINEMA", "COSTS", "CHEAP"); ("CINEMA", "NEAR", "CAMPUS") ] in
+        let e = Database.entity db in
+        let matches =
+          Match_layer.match_list db (Store.pattern ~s:(e "CINEMA") ~r:Entity.top ())
+        in
+        Alcotest.(check int) "both facts, relabelled" 2 (List.length matches);
+        List.iter
+          (fun (f : Fact.t) ->
+            Alcotest.(check int) "relationship is Δ" Entity.top f.Fact.r)
+          matches);
+    test "Δ in target position is a wildcard" (fun () ->
+        let db = db_of [ ("JOHN", "LOVES", "MARY") ] in
+        let e = Database.entity db in
+        Alcotest.(check bool) "john loves anything" true
+          (Match_layer.holds db (Fact.make (e "JOHN") (e "LOVES") Entity.top)));
+    test "Δ in source position matches nothing (the paper's failing (Δ,LOVES,x))"
+      (fun () ->
+        let db = db_of [ ("JOHN", "LOVES", "MARY") ] in
+        let e = Database.entity db in
+        Alcotest.(check bool) "fails" false
+          (Match_layer.exists db (Store.pattern ~s:Entity.top ~r:(e "LOVES") ())));
+    test "∇ in source position inherits everything" (fun () ->
+        let db = db_of [ ("JOHN", "LOVES", "MARY") ] in
+        let e = Database.entity db in
+        Alcotest.(check bool) "∇ loves mary" true
+          (Match_layer.holds db (Fact.make Entity.bottom (e "LOVES") (e "MARY"))));
+    test "nav_opts hide virtual facts but keep composition" (fun () ->
+        let db = db_of [ ("A", "R1", "B"); ("B", "R2", "C") ] in
+        Database.set_limit db 2;
+        let e = Database.entity db in
+        let nav = Match_layer.nav_opts in
+        (* No reflexive ⊑ noise. *)
+        Alcotest.(check int) "no hierarchy" 0
+          (Match_layer.count ~opts:nav db
+             (Store.pattern ~s:(e "A") ~r:Entity.gen ()));
+        (* Composition present. *)
+        Alcotest.(check bool) "composed path" true
+          (Match_layer.exists ~opts:nav db (Store.pattern ~s:(e "A") ~t:(e "C") ())));
+    test "plain_opts see exactly the closure" (fun () ->
+        let db = db_of [ ("A", "R1", "B") ] in
+        let e = Database.entity db in
+        Alcotest.(check bool) "fact" true
+          (Match_layer.holds ~opts:Match_layer.plain_opts db
+             (Fact.make (e "A") (e "R1") (e "B")));
+        Alcotest.(check bool) "no virtual" false
+          (Match_layer.holds ~opts:Match_layer.plain_opts db
+             (Fact.make (e "A") Entity.gen Entity.top)));
+    test "composed relationship matched when limit allows" (fun () ->
+        let db = db_of [ ("A", "R1", "B"); ("B", "R2", "C") ] in
+        Database.set_limit db 2;
+        let e = Database.entity db in
+        let composed = Database.entity db "R1·R2" in
+        Alcotest.(check bool) "holds" true
+          (Match_layer.holds db (Fact.make (e "A") composed (e "C")));
+        Database.set_limit db 1;
+        Alcotest.(check bool) "not at limit 1" false
+          (Match_layer.holds db (Fact.make (e "A") composed (e "C"))));
+  ]

@@ -1,0 +1,149 @@
+open Lsdb
+open Testutil
+
+let tests =
+  [
+    test "EX1: John's neighborhood groups by relationship, classes first" (fun () ->
+        let db = Paper_examples.music () in
+        let nbhd = Navigation.neighborhood db (Database.entity db "JOHN") in
+        (match nbhd.Navigation.as_source with
+        | (first_rel, classes) :: _ ->
+            Alcotest.(check int) "∈ first" Entity.member first_rel;
+            Alcotest.(check bool) "john is a person" true
+              (List.mem (Database.entity db "PERSON") classes);
+            Alcotest.(check bool) "john is an employee" true
+              (List.mem (Database.entity db "EMPLOYEE") classes)
+        | [] -> Alcotest.fail "empty neighborhood");
+        let likes =
+          List.assoc_opt (Database.entity db "LIKES") nbhd.Navigation.as_source
+        in
+        (match likes with
+        | Some targets ->
+            List.iter
+              (fun name ->
+                Alcotest.(check bool) name true
+                  (List.mem (Database.entity db name) targets))
+              [ "CAT"; "FELIX"; "HEATHCLIFF"; "MOZART"; "MARY" ]
+        | None -> Alcotest.fail "no LIKES column");
+        let favorites =
+          List.assoc_opt (Database.entity db "FAVORITE-MUSIC") nbhd.Navigation.as_source
+        in
+        match favorites with
+        | Some targets -> Alcotest.(check bool) "PC#9-WAM" true
+            (List.mem (Database.entity db "PC#9-WAM") targets)
+        | None -> Alcotest.fail "no FAVORITE-MUSIC column");
+    test "EX1: PC#9-WAM neighborhood shows inverse-derived FAVORITE-OF" (fun () ->
+        let db = Paper_examples.music () in
+        let nbhd = Navigation.neighborhood db (Database.entity db "PC#9-WAM") in
+        let favorite_of =
+          List.assoc_opt (Database.entity db "FAVORITE-OF") nbhd.Navigation.as_source
+        in
+        match favorite_of with
+        | Some holders ->
+            Alcotest.(check bool) "john" true
+              (List.mem (Database.entity db "JOHN") holders);
+            Alcotest.(check bool) "leopold" true
+              (List.mem (Database.entity db "LEOPOLD") holders)
+        | None -> Alcotest.fail "no FAVORITE-OF column");
+    test "EX1: Leopold-to-Mozart associations include the composed path" (fun () ->
+        let db = Paper_examples.music () in
+        let e = Database.entity db in
+        let rels =
+          Navigation.associations db ~src:(e "LEOPOLD") ~tgt:(e "MOZART")
+          |> List.map (Database.entity_name db)
+        in
+        Alcotest.(check bool) "father-of" true (List.mem "FATHER-OF" rels);
+        Alcotest.(check bool) "favorite-music path" true
+          (List.mem "FAVORITE-MUSIC·COMPOSED-BY" rels));
+    test "§6.1 try(e) collects facts in every position" (fun () ->
+        let db = db_of [ ("A", "LIKES", "B"); ("C", "A", "D"); ("E", "LIKES", "A") ] in
+        let facts = Navigation.try_entity db (Database.entity db "A") in
+        Alcotest.(check int) "three facts" 3 (List.length facts));
+    test "try on entity with no facts" (fun () ->
+        let db = db_of [ ("A", "R", "B") ] in
+        let lonely = Database.entity db "LONELY" in
+        Alcotest.(check int) "none" 0 (List.length (Navigation.try_entity db lonely)));
+    test "star templates" (fun () ->
+        let db = db_of [ ("A", "R", "B") ] in
+        let tpl = Navigation.star_template db ("A", "*", "*") in
+        Alcotest.(check int) "two vars" 2 (List.length (Template.vars tpl));
+        let tpl2 = Navigation.star_template db ("A", "?r", "B") in
+        Alcotest.(check (list string)) "named var" [ "r" ] (Template.vars tpl2));
+    test "sessions track history and step back" (fun () ->
+        let db = Paper_examples.music () in
+        let e = Database.entity db in
+        let session = Navigation.start db in
+        Alcotest.(check bool) "no current" true (Navigation.current session = None);
+        ignore (Navigation.visit session (e "JOHN"));
+        ignore (Navigation.visit session (e "PC#9-WAM"));
+        ignore (Navigation.visit session (e "MOZART"));
+        Alcotest.(check bool) "current is mozart" true
+          (Navigation.current session = Some (e "MOZART"));
+        Alcotest.(check int) "history length" 3 (List.length (Navigation.history session));
+        Alcotest.(check bool) "back to pc9" true
+          (Navigation.back session = Some (e "PC#9-WAM"));
+        Alcotest.(check bool) "back to john" true
+          (Navigation.back session = Some (e "JOHN"));
+        Alcotest.(check bool) "back at start" true (Navigation.back session = None));
+    test "as_relationship lists facts using the entity as relationship" (fun () ->
+        let db = db_of [ ("A", "LIKES", "B"); ("C", "LIKES", "D") ] in
+        let nbhd = Navigation.neighborhood db (Database.entity db "LIKES") in
+        Alcotest.(check int) "two uses" 2 (List.length nbhd.Navigation.as_relationship));
+    test "derived:false shows exactly the paper's printed cells" (fun () ->
+        let db = Paper_examples.music () in
+        let nbhd =
+          Navigation.neighborhood ~derived:false db (Database.entity db "JOHN")
+        in
+        let likes =
+          Option.value ~default:[]
+            (List.assoc_opt (Database.entity db "LIKES") nbhd.Navigation.as_source)
+          |> names db
+        in
+        (* Stored facts only: no inferred PERSON/PET rows. *)
+        Alcotest.(check (list string)) "exact LIKES column"
+          [ "CAT"; "FELIX"; "HEATHCLIFF"; "MARY"; "MOZART" ]
+          likes);
+    test "render_template: one free variable gives a column" (fun () ->
+        let db = Paper_examples.payroll () in
+        let tpl = Query_parser.parse_template db "(JOHN, WORKS-FOR, ?d)" in
+        let rendered = Navigation.render_template db tpl in
+        Alcotest.(check bool) "mentions SHIPPING" true
+          (let nh = String.length rendered in
+           let rec go i = i + 8 <= nh && (String.sub rendered i 8 = "SHIPPING" || go (i + 1)) in
+           go 0));
+    test "render_template: two free variables give a grouped 2D table" (fun () ->
+        let db = db_of [ ("A", "R", "X"); ("A", "R", "Y"); ("B", "R", "Z") ] in
+        let tpl = Query_parser.parse_template db "(?s, R, ?t)" in
+        let rendered = Navigation.render_template db tpl in
+        let contains needle =
+          let nh = String.length rendered and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub rendered i nn = needle || go (i + 1)) in
+          go 0
+        in
+        (* A's partners are grouped into one non-1NF cell. *)
+        Alcotest.(check bool) "grouped cell" true (contains "X, Y");
+        Alcotest.(check bool) "B row" true (contains "Z"));
+    test "render_template: propositions render a truth value" (fun () ->
+        let db = db_of [ ("A", "R", "X") ] in
+        let yes = Query_parser.parse_template db "(A, R, X)" in
+        let no = Query_parser.parse_template db "(X, R, A)" in
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "true" true (contains (Navigation.render_template db yes) "true");
+        Alcotest.(check bool) "false" true (contains (Navigation.render_template db no) "false"));
+    test "rendered tables contain the §4.1 headers" (fun () ->
+        let db = Paper_examples.music () in
+        let table = Navigation.render_source_table db (Database.entity db "JOHN") in
+        List.iter
+          (fun needle ->
+            let contains =
+              let nh = String.length table and nn = String.length needle in
+              let rec go i = i + nn <= nh && (String.sub table i nn = needle || go (i + 1)) in
+              go 0
+            in
+            Alcotest.(check bool) needle true contains)
+          [ "JOHN"; "LIKES"; "WORKS-FOR"; "FAVORITE-MUSIC"; "FELIX"; "SHIPPING" ]);
+  ]

@@ -1,0 +1,48 @@
+open Lsdb
+open Testutil
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let tests =
+  [
+    test "try returns facts in all three positions" (fun () ->
+        let db = Paper_examples.music () in
+        match Operators.try_ db "MOZART" with
+        | Some facts ->
+            Alcotest.(check bool) "several facts" true (List.length facts >= 2)
+        | None -> Alcotest.fail "MOZART should exist");
+    test "try on an unknown name reports it" (fun () ->
+        let db = Paper_examples.music () in
+        Alcotest.(check bool) "None" true (Operators.try_ db "NO-SUCH" = None);
+        Alcotest.(check bool) "message" true
+          (contains (Operators.try_render db "NO-SUCH") "no such database entity"));
+    test "include/exclude toggle inference (§6.1)" (fun () ->
+        let db = db_of [ ("A", "R1", "B"); ("B", "R2", "C") ] in
+        Operators.limit db 2;
+        let e = Database.entity db in
+        Alcotest.(check bool) "composition on" true
+          (Match_layer.exists db (Store.pattern ~s:(e "A") ~t:(e "C") ()));
+        Operators.limit db 1;
+        Alcotest.(check bool) "composition off" false
+          (Match_layer.exists db
+             (Store.pattern ~s:(e "A") ~r:(Database.entity db "R1·R2") ~t:(e "C") ())));
+    test "exclude of unknown rule returns false" (fun () ->
+        let db = db_of [] in
+        Alcotest.(check bool) "false" false (Operators.exclude db "no-such-rule"));
+    test "show_rules lists builtins with enabled markers" (fun () ->
+        let db = db_of [] in
+        ignore (Operators.exclude db "syn-rel");
+        let listing = Operators.show_rules db in
+        Alcotest.(check bool) "mentions gen-source" true (contains listing "gen-source");
+        Alcotest.(check bool) "disabled marker" true (contains listing "[ ]"));
+    test "limit validates its argument" (fun () ->
+        let db = db_of [] in
+        Alcotest.(check bool) "rejects 0" true
+          (try
+             Operators.limit db 0;
+             false
+           with Invalid_argument _ -> true));
+  ]

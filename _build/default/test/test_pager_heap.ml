@@ -1,0 +1,187 @@
+open Lsdb_storage
+open Testutil
+
+let with_temp_file f =
+  let path = Filename.temp_file "lsdb_pager" ".pages" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let tests =
+  [
+    test "pager allocates, writes and reads back pages" (fun () ->
+        with_temp_file (fun path ->
+            let pager = Pager.open_ path in
+            let p0 = Pager.alloc pager in
+            let p1 = Pager.alloc pager in
+            Alcotest.(check int) "sequential ids" 0 p0;
+            Alcotest.(check int) "sequential ids" 1 p1;
+            let data = Bytes.make Pager.page_size 'A' in
+            Pager.write pager p1 data;
+            Alcotest.(check bytes) "read back" data (Pager.read pager p1);
+            Pager.close pager));
+    test "pages persist across close/reopen" (fun () ->
+        with_temp_file (fun path ->
+            let pager = Pager.open_ path in
+            let p = Pager.alloc pager in
+            let data = Bytes.make Pager.page_size 'Z' in
+            Pager.write pager p data;
+            Pager.close pager;
+            let pager2 = Pager.open_ path in
+            Alcotest.(check int) "page count" 1 (Pager.page_count pager2);
+            Alcotest.(check bytes) "contents" data (Pager.read pager2 p);
+            Pager.close pager2));
+    test "pager validates page bounds and sizes" (fun () ->
+        with_temp_file (fun path ->
+            let pager = Pager.open_ path in
+            Alcotest.(check bool) "read out of range" true
+              (try
+                 ignore (Pager.read pager 5);
+                 false
+               with Invalid_argument _ -> true);
+            let p = Pager.alloc pager in
+            Alcotest.(check bool) "short write rejected" true
+              (try
+                 Pager.write pager p (Bytes.create 10);
+                 false
+               with Invalid_argument _ -> true);
+            Pager.close pager));
+    test "sync clears the dirty set" (fun () ->
+        with_temp_file (fun path ->
+            let pager = Pager.open_ path in
+            ignore (Pager.alloc pager);
+            Alcotest.(check bool) "dirty after alloc" true (Pager.dirty_count pager > 0);
+            Pager.sync pager;
+            Alcotest.(check int) "clean after sync" 0 (Pager.dirty_count pager);
+            Pager.close pager));
+    test "cache eviction bounds memory and loses no data" (fun () ->
+        with_temp_file (fun path ->
+            let pager = Pager.open_ ~cache_capacity:8 path in
+            let pages =
+              List.init 64 (fun i ->
+                  let p = Pager.alloc pager in
+                  let data = Bytes.make Pager.page_size (Char.chr (65 + (i mod 26))) in
+                  Pager.write pager p data;
+                  (p, data))
+            in
+            Alcotest.(check bool) "cache bounded" true (Pager.cached_count pager <= 8);
+            (* Every page reads back correctly despite evictions. *)
+            List.iter
+              (fun (p, data) ->
+                Alcotest.(check bytes) (Printf.sprintf "page %d" p) data
+                  (Pager.read pager p))
+              pages;
+            Pager.close pager;
+            let pager2 = Pager.open_ path in
+            List.iter
+              (fun (p, data) ->
+                Alcotest.(check bytes) "after reopen" data (Pager.read pager2 p))
+              pages;
+            Pager.close pager2));
+    test "heap file insert/get/delete" (fun () ->
+        with_temp_file (fun path ->
+            let pager = Pager.open_ path in
+            let heap = Heap_file.create pager in
+            let r1 = Heap_file.insert heap "first record" in
+            let r2 = Heap_file.insert heap "second record" in
+            Alcotest.(check (option string)) "get r1" (Some "first record")
+              (Heap_file.get heap r1);
+            Alcotest.(check (option string)) "get r2" (Some "second record")
+              (Heap_file.get heap r2);
+            Alcotest.(check bool) "delete r1" true (Heap_file.delete heap r1);
+            Alcotest.(check (option string)) "r1 gone" None (Heap_file.get heap r1);
+            Alcotest.(check bool) "delete twice" false (Heap_file.delete heap r1);
+            Alcotest.(check (option string)) "r2 intact" (Some "second record")
+              (Heap_file.get heap r2);
+            Pager.close pager));
+    test "tombstoned slots are reused" (fun () ->
+        with_temp_file (fun path ->
+            let pager = Pager.open_ path in
+            let heap = Heap_file.create pager in
+            let r1 = Heap_file.insert heap "victim" in
+            ignore (Heap_file.delete heap r1);
+            let r2 = Heap_file.insert heap "replacement" in
+            Alcotest.(check bool) "same slot reused" true (Heap_file.rid_equal r1 r2);
+            Pager.close pager));
+    test "records spill across pages and iter sees all of them" (fun () ->
+        with_temp_file (fun path ->
+            let pager = Pager.open_ path in
+            let heap = Heap_file.create pager in
+            let n = 200 in
+            let payload i = Printf.sprintf "record-%04d-%s" i (String.make 100 'x') in
+            let rids = List.init n (fun i -> (i, Heap_file.insert heap (payload i))) in
+            Alcotest.(check bool) "multiple pages" true (Pager.page_count pager > 1);
+            Alcotest.(check int) "count" n (Heap_file.count heap);
+            List.iter
+              (fun (i, rid) ->
+                Alcotest.(check (option string)) "readable" (Some (payload i))
+                  (Heap_file.get heap rid))
+              rids;
+            let seen = ref 0 in
+            Heap_file.iter (fun _ _ -> incr seen) heap;
+            Alcotest.(check int) "iter total" n !seen;
+            Pager.close pager));
+    test "heap survives reopen" (fun () ->
+        with_temp_file (fun path ->
+            let pager = Pager.open_ path in
+            let heap = Heap_file.create pager in
+            let rid = Heap_file.insert heap "durable" in
+            Pager.close pager;
+            let pager2 = Pager.open_ path in
+            let heap2 = Heap_file.create pager2 in
+            Alcotest.(check (option string)) "read after reopen" (Some "durable")
+              (Heap_file.get heap2 rid);
+            Pager.close pager2));
+    test "oversized records are rejected" (fun () ->
+        with_temp_file (fun path ->
+            let pager = Pager.open_ path in
+            let heap = Heap_file.create pager in
+            Alcotest.(check bool) "raises" true
+              (try
+                 ignore (Heap_file.insert heap (String.make (Heap_file.max_record + 1) 'x'));
+                 false
+               with Invalid_argument _ -> true);
+            Pager.close pager));
+      qcheck ~count:40 "heap file agrees with a map model under random ops"
+      QCheck.(list (pair bool small_string))
+      (fun ops ->
+        let path = Filename.temp_file "lsdb_heapq" ".pages" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let pager = Pager.open_ ~cache_capacity:8 path in
+            let heap = Heap_file.create pager in
+            let model = Hashtbl.create 16 in
+            let rids = ref [] in
+            List.iter
+              (fun (is_insert, payload) ->
+                if is_insert && payload <> "" then begin
+                  let rid = Heap_file.insert heap payload in
+                  Hashtbl.replace model rid payload;
+                  rids := rid :: !rids
+                end
+                else
+                  match !rids with
+                  | [] -> ()
+                  | rid :: rest ->
+                      rids := rest;
+                      let was_present = Hashtbl.mem model rid in
+                      let removed = Heap_file.delete heap rid in
+                      Hashtbl.remove model rid;
+                      if removed <> was_present then
+                        QCheck.Test.fail_report "delete disagrees")
+              ops;
+            let ok = ref (Heap_file.count heap = Hashtbl.length model) in
+            Hashtbl.iter
+              (fun rid payload ->
+                if Heap_file.get heap rid <> Some payload then ok := false)
+              model;
+            (* Survives close/reopen. *)
+            Pager.close pager;
+            let pager2 = Pager.open_ path in
+            let heap2 = Heap_file.create pager2 in
+            Hashtbl.iter
+              (fun rid payload ->
+                if Heap_file.get heap2 rid <> Some payload then ok := false)
+              model;
+            Pager.close pager2;
+            !ok));
+  ]

@@ -1,0 +1,55 @@
+open Testutil
+
+let lines s = String.split_on_char '\n' (String.trim s)
+
+let all_same_width rendered =
+  match lines rendered with
+  | [] -> true
+  | first :: rest ->
+      let w = Lsdb.Pretty.display_width first in
+      List.for_all (fun line -> Lsdb.Pretty.display_width line = w) rest
+
+let tests =
+  [
+    test "display_width counts code points, not bytes" (fun () ->
+        Alcotest.(check int) "ascii" 4 (Lsdb.Pretty.display_width "JOHN");
+        Alcotest.(check int) "gen symbol" 1 (Lsdb.Pretty.display_width "⊑");
+        Alcotest.(check int) "mixed" 3 (Lsdb.Pretty.display_width "A·B"));
+    test "grid renders rectangular output" (fun () ->
+        let rendered =
+          Lsdb.Pretty.grid ~headers:[ "A"; "LONG-HEADER" ]
+            [ [ "x"; "y" ]; [ "long-value"; "z" ] ]
+        in
+        Alcotest.(check bool) "rectangular" true (all_same_width rendered));
+    test "grid pads short rows" (fun () ->
+        let rendered = Lsdb.Pretty.grid ~headers:[ "A"; "B"; "C" ] [ [ "x" ] ] in
+        Alcotest.(check bool) "rectangular" true (all_same_width rendered));
+    test "columns table with ragged heights is rectangular" (fun () ->
+        let rendered =
+          Lsdb.Pretty.columns ~title:"T"
+            [ ("∈", [ "PERSON"; "EMPLOYEE"; "PET-OWNER" ]); ("LIKES", [ "FELIX" ]) ]
+        in
+        Alcotest.(check bool) "rectangular" true (all_same_width rendered));
+    test "columns with unicode headers align" (fun () ->
+        let rendered =
+          Lsdb.Pretty.columns ~title:"JOHN, *, *" [ ("⊑", [ "PERSON" ]); ("∈", [] ) ]
+        in
+        Alcotest.(check bool) "rectangular" true (all_same_width rendered));
+    test "empty columns table" (fun () ->
+        let rendered = Lsdb.Pretty.columns ~title:"EMPTY" [] in
+        Alcotest.(check bool) "mentions title" true
+          (String.length rendered > 0));
+    test "column is a one-header grid" (fun () ->
+        let rendered = Lsdb.Pretty.column ~title:"H" [ "a"; "bb" ] in
+        let ls = lines rendered in
+        Alcotest.(check int) "6 lines" 6 (List.length ls));
+    test "facts and cell rendering" (fun () ->
+        let db = db_of [ ("A", "R", "B"); ("C", "R", "D") ] in
+        let symtab = Lsdb.Database.symtab db in
+        let f1 = fact db ("A", "R", "B") in
+        Alcotest.(check string) "fact" "(A, R, B)" (Lsdb.Fact.to_string symtab f1);
+        Alcotest.(check string) "cell"
+          "A, C"
+          (Lsdb.Pretty.cell symtab
+             [ Lsdb.Database.entity db "A"; Lsdb.Database.entity db "C" ]));
+  ]

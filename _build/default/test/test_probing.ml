@@ -1,0 +1,126 @@
+open Lsdb
+open Testutil
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let tests =
+  [
+    test "successful queries probe to Answered" (fun () ->
+        let db = Paper_examples.campus () in
+        match Probing.probe db (q db "(SUE, ENJOYS, OPERA)") with
+        | Probing.Answered _ -> ()
+        | _ -> Alcotest.fail "expected Answered");
+    test "EX3: the §5.2 menu — FRESHMAN and CHEAP succeed in wave 1" (fun () ->
+        let db = Paper_examples.campus () in
+        let query = q db "(STUDENT, LOVE, ?z) & (?z, COSTS, FREE)" in
+        match Probing.probe db query with
+        | Probing.Retracted { wave; successes; attempted; critical } ->
+            Alcotest.(check int) "wave 1" 1 wave;
+            Alcotest.(check int) "four attempted" 4 attempted;
+            Alcotest.(check bool) "not critical" false critical;
+            let descriptions =
+              successes
+              |> List.concat_map (fun s -> s.Probing.steps)
+              |> List.map (Retraction.describe db)
+              |> List.sort String.compare
+            in
+            Alcotest.(check (list string)) "menu entries"
+              [
+                "CHEAP instead of FREE (target)";
+                "FRESHMAN instead of STUDENT (source)";
+              ]
+              descriptions
+        | _ -> Alcotest.fail "expected Retracted");
+    test "EX3: the rendered menu matches the paper's dialogue" (fun () ->
+        let db = Paper_examples.campus () in
+        let query = q db "(STUDENT, LOVE, ?z) & (?z, COSTS, FREE)" in
+        let menu = Probing.render_menu db query (Probing.probe db query) in
+        Alcotest.(check bool) "failed banner" true (contains menu "Query failed. Retrying");
+        Alcotest.(check bool) "freshman entry" true
+          (contains menu "FRESHMAN instead of STUDENT");
+        Alcotest.(check bool) "cheap entry" true (contains menu "CHEAP instead of FREE");
+        Alcotest.(check bool) "select prompt" true (contains menu "You may select"));
+    test "EX7: misspellings diagnose as no-such-entities" (fun () ->
+        let db = Paper_examples.campus () in
+        let query, unknowns =
+          Query_parser.parse_with_unknowns db "(JOHM, LOVES, ?x)"
+        in
+        Alcotest.(check (list string)) "parser flags it" [ "JOHM" ] unknowns;
+        match Probing.probe db query with
+        | Probing.Exhausted { unknown_entities; _ } ->
+            Alcotest.(check (list string)) "diagnosis" [ "JOHM" ]
+              (names db unknown_entities)
+        | _ -> Alcotest.fail "expected Exhausted");
+    test "critical failure: every broader query succeeds" (fun () ->
+        (* Q = (A, LOVES, z) ∧ (z, COSTS, FREE) where LOVES ⊑ LIKES is the
+           only broadening of atom 1 and FREE ⊑ CHEAP of atom 2, and both
+           broader queries succeed while Q fails. *)
+        let db =
+          db_of
+            [
+              ("LOVES", "isa", "LIKES");
+              ("FREE", "isa", "CHEAP");
+              ("A", "LIKES", "GIG");
+              ("GIG", "COSTS", "FREE");
+              ("A", "LOVES", "SHOW");
+              ("SHOW", "COSTS", "CHEAP");
+              ("SHOW", "ADMISSION", "FREE");
+            ]
+        in
+        (* Broadenings: LIKES for LOVES (succeeds via GIG), CHEAP for FREE
+           (succeeds via SHOW), COSTS→Δ (GIG is related to FREE, so it
+           succeeds too). All succeed ⇒ critical. *)
+        let query = q db "(A, LOVES, ?z) & (?z, COSTS, FREE)" in
+        match Probing.probe db query with
+        | Probing.Retracted { critical; successes; attempted; _ } ->
+            Alcotest.(check int) "three attempted" 3 attempted;
+            Alcotest.(check int) "three successes" 3 (List.length successes);
+            Alcotest.(check bool) "critical" true critical
+        | _ -> Alcotest.fail "expected Retracted");
+    test "second-wave success chains two substitutions" (fun () ->
+        (* Relationship chain H2 ⊑ H1 ⊑ H0 with data at the general end:
+           (A, H2, ?z) needs two upward steps to reach (A, H0, ?z). *)
+        let db =
+          db_of
+            [ ("H2", "isa", "H1"); ("H1", "isa", "H0"); ("A", "H0", "THING") ]
+        in
+        let query = q db "(A, H2, ?z)" in
+        match Probing.probe db query with
+        | Probing.Retracted { wave; successes; _ } ->
+            Alcotest.(check int) "wave 2" 2 wave;
+            let steps = (List.hd successes).Probing.steps in
+            Alcotest.(check int) "two steps" 2 (List.length steps)
+        | _ -> Alcotest.fail "expected Retracted at wave 2");
+    test "exhaustion reports attempts and waves" (fun () ->
+        let db = db_of [ ("A", "R", "B") ] in
+        (* No hierarchy at all: (X, R, ?z) has no broader queries other
+           than R→Δ, which fails too ((X,Δ,?z) matches nothing since X
+           sources nothing). *)
+        let query = q db "(X, R, ?z)" in
+        match Probing.probe db query with
+        | Probing.Exhausted { attempted; unknown_entities; _ } ->
+            Alcotest.(check bool) "attempted some" true (attempted >= 1);
+            Alcotest.(check (list string)) "X unknown" [ "X" ] (names db unknown_entities)
+        | _ -> Alcotest.fail "expected Exhausted");
+    test "max_waves bounds the search" (fun () ->
+        let db =
+          db_of
+            [
+              ("H3", "isa", "H2");
+              ("H2", "isa", "H1");
+              ("H1", "isa", "H0");
+              ("A", "H0", "X");
+            ]
+        in
+        let query = q db "(A, H3, ?z)" in
+        (match Probing.probe ~max_waves:1 db query with
+        | Probing.Exhausted _ -> ()
+        | _ -> Alcotest.fail "expected Exhausted at max_waves 1");
+        match Probing.probe ~max_waves:5 db query with
+        | Probing.Retracted { wave = 3; _ } -> ()
+        | Probing.Retracted { wave; _ } -> Alcotest.failf "expected wave 3, got %d" wave
+        | _ -> Alcotest.fail "expected Retracted");
+  ]

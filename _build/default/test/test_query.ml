@@ -1,0 +1,83 @@
+open Lsdb
+open Testutil
+
+let tpl a b c = Template.make a b c
+let v n = Template.Var n
+let atom a b c = Query.atom (tpl a b c)
+
+let tests =
+  [
+    test "free variables respect quantifier scope" (fun () ->
+        let q =
+          Query.And
+            ( Query.Exists ("x", atom (v "x") (v "r") (v "y")),
+              atom (v "x") (v "r") (v "z") )
+        in
+        (* The outer x is free (the ∃ binds only its own scope). *)
+        Alcotest.(check (list string)) "free vars" [ "r"; "y"; "x"; "z" ]
+          (Query.free_vars q));
+    test "propositions have no free variables" (fun () ->
+        let db = db_of [ ("JOHN", "LIKES", "FELIX") ] in
+        let q = q db "(JOHN, LIKES, FELIX) & (FELIX, LIKES, JOHN)" in
+        Alcotest.(check bool) "proposition" true (Query.is_proposition q));
+    test "atoms in left-to-right order" (fun () ->
+        let q =
+          Query.conj [ atom (v "a") (v "b") (v "c"); atom (v "d") (v "e") (v "f") ]
+        in
+        Alcotest.(check int) "two atoms" 2 (List.length (Query.atoms q)));
+    test "replace_atom substitutes at the right index" (fun () ->
+        let a1 = tpl (v "a") (v "b") (v "c") in
+        let a2 = tpl (v "d") (v "e") (v "f") in
+        let fresh = tpl (v "x") (v "y") (v "z") in
+        let q = Query.conj [ Query.atom a1; Query.atom a2 ] in
+        match Query.replace_atom q ~index:1 ~by:(Some fresh) with
+        | Some q' ->
+            Alcotest.(check bool) "second replaced" true
+              (Template.equal (List.nth (Query.atoms q') 1) fresh);
+            Alcotest.(check bool) "first untouched" true
+              (Template.equal (List.nth (Query.atoms q') 0) a1)
+        | None -> Alcotest.fail "query vanished");
+    test "replace_atom deletion collapses conjunctions" (fun () ->
+        let a1 = tpl (v "a") (v "b") (v "c") in
+        let a2 = tpl (v "d") (v "e") (v "f") in
+        let q = Query.conj [ Query.atom a1; Query.atom a2 ] in
+        (match Query.replace_atom q ~index:0 ~by:None with
+        | Some (Query.Atom kept) -> Alcotest.(check bool) "kept second" true (Template.equal kept a2)
+        | _ -> Alcotest.fail "expected single atom");
+        (* Deleting the only atom dissolves the query. *)
+        Alcotest.(check bool) "dissolved" true
+          (Query.replace_atom (Query.atom a1) ~index:0 ~by:None = None));
+    test "replace_atom out of range raises" (fun () ->
+        let q = atom (v "a") (v "b") (v "c") in
+        Alcotest.check_raises "index 5"
+          (Invalid_argument "Query.replace_atom: no atom at index 5") (fun () ->
+            ignore (Query.replace_atom q ~index:5 ~by:None)));
+    test "constants report atom index and position" (fun () ->
+        let db = db_of [] in
+        let e = Database.entity db in
+        let q =
+          Query.conj
+            [
+              Query.atom (tpl (Template.Ent (e "A")) (v "r") (v "x"));
+              Query.atom (tpl (v "x") (Template.Ent (e "B")) (Template.Ent (e "C")));
+            ]
+        in
+        Alcotest.(check bool) "constants" true
+          (Query.constants q = [ (0, 0, e "A"); (1, 1, e "B"); (1, 2, e "C") ]));
+    test "unmatched_entities finds entities outside the closure" (fun () ->
+        let db = db_of [ ("JOHN", "LIKES", "FELIX") ] in
+        let q = q db "(JOHM, LIKES, ?x) & (JOHN, LIKES, ?x)" in
+        Alcotest.(check (list string)) "only the misspelling" [ "JOHM" ]
+          (names db (Query.unmatched_entities db q)));
+    test "pretty-printing uses the connective symbols" (fun () ->
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+          go 0
+        in
+        let db = db_of [ ("A", "R", "B") ] in
+        let parsed = q db "(A, R, ?x) & ((A, R, ?y) | (B, R, ?y))" in
+        let printed = Query.to_string (Database.symtab db) parsed in
+        Alcotest.(check bool) "contains ∧" true (contains printed "∧");
+        Alcotest.(check bool) "contains ∨" true (contains printed "∨"));
+  ]

@@ -1,0 +1,114 @@
+open Lsdb
+open Testutil
+
+let tests =
+  [
+    test "single template" (fun () ->
+        let db = db_of [] in
+        match q db "(JOHN, LIKES, ?x)" with
+        | Query.Atom tpl ->
+            Alcotest.(check (list string)) "one var" [ "x" ] (Template.vars tpl)
+        | _ -> Alcotest.fail "expected atom");
+    test "conjunction and disjunction with precedence (& binds tighter)" (fun () ->
+        let db = db_of [] in
+        match q db "(A, R, ?x) | (B, R, ?x) & (C, R, ?x)" with
+        | Query.Or (_, Query.And _) -> ()
+        | _ -> Alcotest.fail "expected Or(_, And _)");
+    test "parentheses override precedence" (fun () ->
+        let db = db_of [] in
+        match q db "((A, R, ?x) | (B, R, ?x)) & (C, R, ?x)" with
+        | Query.And (Query.Or _, _) -> ()
+        | _ -> Alcotest.fail "expected And(Or _, _)");
+    test "quantifiers with single and multiple variables" (fun () ->
+        let db = db_of [] in
+        (match q db "exists x . (?x, R, ?y)" with
+        | Query.Exists ("x", _) -> ()
+        | _ -> Alcotest.fail "expected Exists x");
+        match q db "forall x, y . (?x, R, ?y)" with
+        | Query.Forall ("x", Query.Forall ("y", _)) -> ()
+        | _ -> Alcotest.fail "expected nested Forall");
+    test "unicode connectives parse" (fun () ->
+        let db = db_of [] in
+        match q db "∃x . (?x, R, A) ∧ (?x, R, B)" with
+        | Query.Exists (_, Query.And _) -> ()
+        | _ -> Alcotest.fail "expected ∃(∧)");
+    test "stars become fresh distinct variables" (fun () ->
+        let db = db_of [] in
+        match q db "(JOHN, *, *)" with
+        | Query.Atom tpl ->
+            let vars = Template.distinct_vars tpl in
+            Alcotest.(check int) "two fresh vars" 2 (List.length vars)
+        | _ -> Alcotest.fail "expected atom");
+    test "quoted names allow delimiters" (fun () ->
+        let db = db_of [] in
+        match q db "(\"WAR, AND PIECES\", CITES, ?x)" with
+        | Query.Atom tpl -> (
+            match tpl.Template.src with
+            | Template.Ent e ->
+                Alcotest.(check string) "quoted name" "WAR, AND PIECES"
+                  (Database.entity_name db e)
+            | Template.Var _ -> Alcotest.fail "expected entity")
+        | _ -> Alcotest.fail "expected atom");
+    test "special aliases resolve to special entities" (fun () ->
+        let db = db_of [] in
+        match q db "(?x, in, EMPLOYEE)" with
+        | Query.Atom { Template.rel = Template.Ent e; _ } ->
+            Alcotest.(check int) "∈" Entity.member e
+        | _ -> Alcotest.fail "expected membership atom");
+    test "parse errors are reported" (fun () ->
+        let db = db_of [] in
+        let bad inputs =
+          List.iter
+            (fun input ->
+              Alcotest.(check bool) (Printf.sprintf "reject %S" input) true
+                (try
+                   ignore (q db input);
+                   false
+                 with Query_parser.Parse_error _ -> true))
+            inputs
+        in
+        bad
+          [
+            "";
+            "(A, B)";
+            "(A, B, C, D)";
+            "(A, B, C) &";
+            "(A, B, C) extra";
+            "exists . (A, B, C)";
+            "(A, B, C";
+            "\"unterminated";
+          ]);
+    test "parse_with_unknowns reports only new names" (fun () ->
+        let db = db_of [ ("JOHN", "LIKES", "FELIX") ] in
+        let _, unknowns =
+          Query_parser.parse_with_unknowns db "(JOHN, LIKEZ, ?x) & (?x, in, CAT)"
+        in
+        Alcotest.(check (list string)) "unknowns" [ "CAT"; "LIKEZ" ] unknowns);
+    test "parse_template accepts exactly one template" (fun () ->
+        let db = db_of [] in
+        let tpl = Query_parser.parse_template db "(JOHN, *, *)" in
+        Alcotest.(check int) "vars" 2 (List.length (Template.vars tpl));
+        Alcotest.(check bool) "rejects formulas" true
+          (try
+             ignore (Query_parser.parse_template db "(A, B, C) & (D, E, F)");
+             false
+           with Query_parser.Parse_error _ -> true));
+    test "round-trip: parse (print (parse q)) = parse q" (fun () ->
+        let db = db_of [] in
+        let inputs =
+          [
+            "(JOHN, LIKES, ?x)";
+            "(?x, in, BOOK) & (?x, CITES, ?x)";
+            "exists x . (?x, AUTHOR, ?y) & (?x, in, BOOK)";
+            "(A, R, ?x) | (B, R, ?x)";
+          ]
+        in
+        List.iter
+          (fun input ->
+            let first = q db input in
+            let printed = Query.to_string (Database.symtab db) first in
+            let second = q db printed in
+            Alcotest.(check bool) (Printf.sprintf "round-trip %s" input) true
+              (Query.equal first second))
+          inputs);
+  ]

@@ -1,0 +1,113 @@
+open Lsdb_relational
+open Testutil
+
+let emp_schema () = Schema.make ~name:"EMP" ~attributes:[ "name"; "dept"; "salary" ]
+
+let emp () =
+  let r = Relation.create (emp_schema ()) in
+  List.iter
+    (fun t -> ignore (Relation.insert r t))
+    [
+      [| "JOHN"; "SHIPPING"; "26000" |];
+      [| "TOM"; "ACCOUNTING"; "27000" |];
+      [| "MARY"; "RECEIVING"; "25000" |];
+      [| "SUE"; "SHIPPING"; "30000" |];
+    ];
+  r
+
+let dept () =
+  let r = Relation.create (Schema.make ~name:"DEPT" ~attributes:[ "dept"; "floor" ]) in
+  List.iter
+    (fun t -> ignore (Relation.insert r t))
+    [ [| "SHIPPING"; "1" |]; [| "ACCOUNTING"; "2" |] ];
+  r
+
+let tests =
+  [
+    test "schema validation" (fun () ->
+        Alcotest.(check bool) "duplicate attribute" true
+          (try
+             ignore (Schema.make ~name:"R" ~attributes:[ "a"; "a" ]);
+             false
+           with Schema.Bad_schema _ -> true);
+        Alcotest.(check bool) "empty attributes" true
+          (try
+             ignore (Schema.make ~name:"R" ~attributes:[]);
+             false
+           with Schema.Bad_schema _ -> true));
+    test "relations are sets with arity checking" (fun () ->
+        let r = emp () in
+        Alcotest.(check int) "cardinal" 4 (Relation.cardinal r);
+        Alcotest.(check bool) "duplicate rejected" false
+          (Relation.insert r [| "JOHN"; "SHIPPING"; "26000" |]);
+        Alcotest.(check bool) "arity enforced" true
+          (try
+             ignore (Relation.insert r [| "X" |]);
+             false
+           with Relation.Arity_mismatch _ -> true));
+    test "per-attribute index lookup" (fun () ->
+        let r = emp () in
+        Alcotest.(check int) "shipping workers" 2
+          (List.length (Relation.lookup r ~attr:"dept" ~value:"SHIPPING"));
+        Alcotest.(check int) "nobody" 0
+          (List.length (Relation.lookup r ~attr:"dept" ~value:"LEGAL")));
+    test "delete maintains indexes" (fun () ->
+        let r = emp () in
+        ignore (Relation.delete r [| "JOHN"; "SHIPPING"; "26000" |]);
+        Alcotest.(check int) "one left in shipping" 1
+          (List.length (Relation.lookup r ~attr:"dept" ~value:"SHIPPING")));
+    test "select and select_eq agree" (fun () ->
+        let r = emp () in
+        let a = Relalg.select r (fun rel t -> Relation.field rel t "dept" = "SHIPPING") in
+        let b = Relalg.select_eq r ~attr:"dept" ~value:"SHIPPING" in
+        Alcotest.(check int) "same size" (Relation.cardinal a) (Relation.cardinal b);
+        Alcotest.(check int) "two" 2 (Relation.cardinal a));
+    test "project eliminates duplicates" (fun () ->
+        let r = emp () in
+        let depts = Relalg.project r [ "dept" ] in
+        Alcotest.(check int) "three distinct departments" 3 (Relation.cardinal depts));
+    test "natural join" (fun () ->
+        let joined = Relalg.natural_join (emp ()) (dept ()) in
+        (* MARY's RECEIVING has no floor: dropped. *)
+        Alcotest.(check int) "three matches" 3 (Relation.cardinal joined);
+        Alcotest.(check (list string)) "schema"
+          [ "name"; "dept"; "salary"; "floor" ]
+          (Schema.attributes (Relation.schema joined)));
+    test "join with no shared attribute is rejected" (fun () ->
+        let other = Relation.create (Schema.make ~name:"X" ~attributes:[ "a" ]) in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Relalg.natural_join (emp ()) other);
+             false
+           with Relalg.Incompatible _ -> true));
+    test "union / difference / intersection" (fun () ->
+        let a = emp () in
+        let b = Relation.create (emp_schema ()) in
+        ignore (Relation.insert b [| "JOHN"; "SHIPPING"; "26000" |]);
+        ignore (Relation.insert b [| "NEW"; "LEGAL"; "40000" |]);
+        Alcotest.(check int) "union" 5 (Relation.cardinal (Relalg.union a b));
+        Alcotest.(check int) "difference" 3 (Relation.cardinal (Relalg.difference a b));
+        Alcotest.(check int) "intersection" 1 (Relation.cardinal (Relalg.intersection a b)));
+    test "rename" (fun () ->
+        let r = Relalg.rename (emp ()) ~from:"dept" ~to_:"department" in
+        Alcotest.(check bool) "renamed" true
+          (Schema.has_attribute (Relation.schema r) "department");
+        Alcotest.(check int) "tuples preserved" 4 (Relation.cardinal r));
+    (* Algebraic laws, property-checked on small random relations. *)
+    qcheck ~count:100 "σ distributes over ∪ and π after σ commutes on kept attrs"
+      QCheck.(list (pair (int_bound 4) (int_bound 4)))
+      (fun pairs ->
+        let schema = Schema.make ~name:"P" ~attributes:[ "a"; "b" ] in
+        let r = Relation.create schema and s = Relation.create schema in
+        List.iteri
+          (fun i (a, b) ->
+            let tuple = [| string_of_int a; string_of_int b |] in
+            if i mod 2 = 0 then ignore (Relation.insert r tuple)
+            else ignore (Relation.insert s tuple))
+          pairs;
+        let sel rel = Relalg.select_eq rel ~attr:"a" ~value:"1" in
+        let lhs = sel (Relalg.union r s) in
+        let rhs = Relalg.union (sel r) (sel s) in
+        let dump rel = List.sort compare (List.map Array.to_list (Relation.to_list rel)) in
+        dump lhs = dump rhs);
+  ]

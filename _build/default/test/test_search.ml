@@ -1,0 +1,81 @@
+open Lsdb
+open Testutil
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let tests =
+  [
+    test "edit_distance reference values" (fun () ->
+        List.iter
+          (fun (a, b, expected) ->
+            Alcotest.(check int) (a ^ "/" ^ b) expected (Search.edit_distance a b))
+          [
+            ("", "", 0);
+            ("A", "", 1);
+            ("", "ABC", 3);
+            ("JOHN", "JOHN", 0);
+            ("JOHM", "JOHN", 1);
+            ("JOHNN", "JOHN", 1);
+            ("KITTEN", "SITTING", 3);
+            ("FLAW", "LAWN", 2);
+          ]);
+    test "edit_distance is symmetric and satisfies the triangle inequality"
+      (fun () ->
+        let words = [ "STUDENT"; "STUDENTS"; "PRUDENT"; "OPERA"; "OPERAS"; "" ] in
+        List.iter
+          (fun a ->
+            List.iter
+              (fun b ->
+                Alcotest.(check int) "symmetric" (Search.edit_distance a b)
+                  (Search.edit_distance b a);
+                List.iter
+                  (fun c ->
+                    if
+                      Search.edit_distance a c
+                      > Search.edit_distance a b + Search.edit_distance b c
+                    then Alcotest.fail "triangle inequality violated")
+                  words)
+              words)
+          words);
+    test "substring search is case-insensitive and shortest-first" (fun () ->
+        let db = Paper_examples.music () in
+        let hits = Search.substring db "pc#" in
+        Alcotest.(check (list string)) "both concertos, shortest first"
+          [ "PC#9-WAM"; "PC#20-PIT" ]
+          (List.map (Database.entity_name db) hits);
+        Alcotest.(check int) "no hits" 0 (List.length (Search.substring db "zzzz")));
+    test "fuzzy finds near misses and excludes the exact name" (fun () ->
+        let db = Paper_examples.music () in
+        let hits = Search.fuzzy db "JOHM" in
+        Alcotest.(check bool) "john found" true
+          (List.mem "JOHN" (List.map (Database.entity_name db) hits));
+        let exact = Search.fuzzy db "JOHN" in
+        Alcotest.(check bool) "JOHN itself excluded" false
+          (List.mem "JOHN" (List.map (Database.entity_name db) exact)));
+    test "suggestions only propose entities with facts" (fun () ->
+        let db = Paper_examples.music () in
+        (* Intern a lonely near-miss entity with no facts. *)
+        ignore (Database.entity db "JOHX");
+        let suggested =
+          Search.suggestions db "JOHM" |> List.map (Database.entity_name db)
+        in
+        Alcotest.(check bool) "john suggested" true (List.mem "JOHN" suggested);
+        Alcotest.(check bool) "factless entity not suggested" false
+          (List.mem "JOHX" suggested));
+    test "probing renders a did-you-mean line (EX7 upgraded)" (fun () ->
+        let db = Paper_examples.music () in
+        let query = Query_parser.parse db "(JOHM, LIKES, ?x)" in
+        let menu = Probing.render_menu db query (Probing.probe db query) in
+        Alcotest.(check bool) "diagnosis" true
+          (contains menu "no such database entities: JOHM");
+        Alcotest.(check bool) "suggestion" true (contains menu "Did you mean JOHN?"));
+    test "shell find command" (fun () ->
+        let shell = Lsdb_shell.Shell.create (Paper_examples.music ()) in
+        let out = Lsdb_shell.Shell.execute shell "find MOZ" in
+        Alcotest.(check bool) "mozart" true (contains out "MOZART");
+        let out = Lsdb_shell.Shell.execute shell "find qqqq" in
+        Alcotest.(check bool) "no hit message" true (contains out "no entity name"));
+  ]

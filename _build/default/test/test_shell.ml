@@ -1,0 +1,160 @@
+open Testutil
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let shell_for demo =
+  Lsdb_shell.Shell.create ((List.assoc demo Lsdb_shell.Shell.demos) ())
+
+let tests =
+  [
+    test "help lists every command" (fun () ->
+        let shell = shell_for "music" in
+        let out = Lsdb_shell.Shell.execute shell "help" in
+        List.iter
+          (fun cmd -> Alcotest.(check bool) cmd true (contains out cmd))
+          [ "try"; "nav"; "probe"; "relation"; "define"; "limit"; "check" ]);
+    test "nav renders and records history; back walks it" (fun () ->
+        let shell = shell_for "music" in
+        let out = Lsdb_shell.Shell.execute shell "nav JOHN" in
+        Alcotest.(check bool) "table" true (contains out "FAVORITE-MUSIC");
+        ignore (Lsdb_shell.Shell.execute shell "nav PC#9-WAM");
+        let history = Lsdb_shell.Shell.execute shell "history" in
+        Alcotest.(check bool) "trail" true (contains history "JOHN → PC#9-WAM");
+        let back = Lsdb_shell.Shell.execute shell "back" in
+        Alcotest.(check bool) "back to john" true (contains back "JOHN, *, *"));
+    test "q evaluates queries" (fun () ->
+        let shell = shell_for "payroll" in
+        let out = Lsdb_shell.Shell.execute shell "q (JOHN, WORKS-FOR, ?d)" in
+        Alcotest.(check bool) "shipping" true (contains out "SHIPPING"));
+    test "probe renders the §5.2 menu with answers" (fun () ->
+        let shell = shell_for "campus" in
+        let out =
+          Lsdb_shell.Shell.execute shell "probe (STUDENT, LOVE, ?z) & (?z, COSTS, FREE)"
+        in
+        Alcotest.(check bool) "menu" true (contains out "FRESHMAN instead of STUDENT");
+        Alcotest.(check bool) "answers shown" true (contains out "FROSH-CONCERT"));
+    test "insert with integrity check, then remove" (fun () ->
+        let shell = shell_for "campus" in
+        Alcotest.(check bool) "inserted" true
+          (contains (Lsdb_shell.Shell.execute shell "insert (SUE, LOVES, SKIING)") "inserted");
+        Alcotest.(check bool) "duplicate" true
+          (contains (Lsdb_shell.Shell.execute shell "insert (SUE, LOVES, SKIING)") "already present");
+        Alcotest.(check bool) "removed" true
+          (contains (Lsdb_shell.Shell.execute shell "remove (SUE, LOVES, SKIING)") "removed"));
+    test "define / call / ops / undefine" (fun () ->
+        let shell = shell_for "payroll" in
+        Alcotest.(check bool) "defined" true
+          (contains
+             (Lsdb_shell.Shell.execute shell
+                "define dept(?who) := (?who, WORKS-FOR, ?d) & (?d, in, DEPARTMENT)")
+             "defined");
+        Alcotest.(check bool) "called" true
+          (contains (Lsdb_shell.Shell.execute shell "call dept MARY") "RECEIVING");
+        Alcotest.(check bool) "listed" true
+          (contains (Lsdb_shell.Shell.execute shell "ops") "dept(?who)");
+        Alcotest.(check bool) "removed" true
+          (contains (Lsdb_shell.Shell.execute shell "undefine dept") "removed"));
+    test "rules / exclude / include round trip" (fun () ->
+        let shell = shell_for "organization" in
+        Alcotest.(check bool) "disabled" true
+          (contains (Lsdb_shell.Shell.execute shell "exclude syn-rel") "disabled");
+        Alcotest.(check bool) "marker" true
+          (contains (Lsdb_shell.Shell.execute shell "rules") "[ ]");
+        Alcotest.(check bool) "enabled" true
+          (contains (Lsdb_shell.Shell.execute shell "include syn-rel") "enabled"));
+    test "check reports contradictions" (fun () ->
+        let shell = shell_for "organization" in
+        Alcotest.(check bool) "clean" true
+          (contains (Lsdb_shell.Shell.execute shell "check") "no contradictions");
+        ignore (Lsdb_shell.Shell.execute shell "insert (JOHN, LOVES, OPERA)");
+        (* HATES clashes with LOVES; bypass the checked insert through a
+           raw database mutation. *)
+        ignore
+          (Lsdb.Database.insert_names (Lsdb_shell.Shell.database shell) "JOHN" "HATES"
+             "OPERA");
+        Alcotest.(check bool) "violation" true
+          (contains (Lsdb_shell.Shell.execute shell "check") "contradicts"));
+    test "errors are reported, not raised" (fun () ->
+        let shell = shell_for "music" in
+        List.iter
+          (fun (cmd, needle) ->
+            Alcotest.(check bool) cmd true
+              (contains (Lsdb_shell.Shell.execute shell cmd) needle))
+          [
+            ("bogus", "unknown command");
+            ("nav NO-SUCH-ENTITY", "no such entity");
+            ("q (broken", "parse error");
+            ("limit zero", "positive integer");
+            ("call missing", "no operator");
+            ("load /no/such/file.lsdb", "/no/such/file.lsdb");
+          ]);
+    test "save and load round-trip through the shell" (fun () ->
+        let shell = shell_for "campus" in
+        let path = Filename.temp_file "lsdb_shell" ".lsdb" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            Alcotest.(check bool) "saved" true
+              (contains (Lsdb_shell.Shell.execute shell ("save " ^ path)) "saved");
+            let fresh = Lsdb_shell.Shell.create (Lsdb.Database.create ()) in
+            Alcotest.(check bool) "loaded" true
+              (contains (Lsdb_shell.Shell.execute fresh ("load " ^ path)) "loaded");
+            Alcotest.(check bool) "facts present" true
+              (contains (Lsdb_shell.Shell.execute fresh "q (FRESHMAN, isa, ?c)") "STUDENT")));
+    test "scripts execute line by line with echo" (fun () ->
+        let shell = shell_for "payroll" in
+        let out =
+          Lsdb_shell.Shell.run_script shell
+            "# a comment\nq (JOHN, EARNS, ?s)\n\nstats\n"
+        in
+        Alcotest.(check bool) "echoed" true (contains out "lsdb> q (JOHN, EARNS, ?s)");
+        Alcotest.(check bool) "answered" true (contains out "$26000");
+        Alcotest.(check bool) "stats ran" true (contains out "base facts"));
+    test "stats reflect the database" (fun () ->
+        let shell = shell_for "payroll" in
+        let out = Lsdb_shell.Shell.execute shell "stats" in
+        Alcotest.(check bool) "entities" true (contains out "entities:");
+        Alcotest.(check bool) "closure" true (contains out "closure:"));
+      test "t renders 1D and 2D template tables" (fun () ->
+        let shell = shell_for "payroll" in
+        let one = Lsdb_shell.Shell.execute shell "t (JOHN, WORKS-FOR, ?d)" in
+        Alcotest.(check bool) "column" true (contains one "SHIPPING");
+        let two = Lsdb_shell.Shell.execute shell "t (?who, WORKS-FOR, ?where)" in
+        Alcotest.(check bool) "grouped rows" true
+          (contains two "MARY" && contains two "RECEIVING"));
+    test "assoc shows composed paths under the current limit" (fun () ->
+        let shell = shell_for "music" in
+        let out = Lsdb_shell.Shell.execute shell "assoc LEOPOLD MOZART" in
+        Alcotest.(check bool) "composed path" true
+          (contains out "FAVORITE-MUSIC·COMPOSED-BY");
+        ignore (Lsdb_shell.Shell.execute shell "limit 1");
+        let out = Lsdb_shell.Shell.execute shell "assoc LEOPOLD MOZART" in
+        Alcotest.(check bool) "path gone at limit 1" false
+          (contains out "FAVORITE-MUSIC·COMPOSED-BY"));
+    test "script command runs a command file" (fun () ->
+        let shell = shell_for "payroll" in
+        let path = Filename.temp_file "lsdb_script" ".cmds" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            let oc = open_out path in
+            output_string oc "# comment\nq (TOM, EARNS, ?s)\nstats\n";
+            close_out oc;
+            let out = Lsdb_shell.Shell.execute shell ("script " ^ path) in
+            Alcotest.(check bool) "query ran" true (contains out "$27000");
+            Alcotest.(check bool) "stats ran" true (contains out "base facts")));
+    test "explain command renders provenance" (fun () ->
+        let shell = shell_for "organization" in
+        let out = Lsdb_shell.Shell.execute shell "explain (JOHN, IS-PAID-BY, SHIPPING)" in
+        Alcotest.(check bool) "rule named" true (contains out "gen-rel");
+        Alcotest.(check bool) "stored leaves" true (contains out "[stored]"));
+    test "relation command renders the §6.1 table" (fun () ->
+        let shell = shell_for "payroll" in
+        let out =
+          Lsdb_shell.Shell.execute shell "relation EMPLOYEE WORKS-FOR DEPARTMENT"
+        in
+        Alcotest.(check bool) "rows" true (contains out "ACCOUNTING"));
+  ]

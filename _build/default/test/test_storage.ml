@@ -1,0 +1,144 @@
+open Lsdb
+open Lsdb_storage
+open Testutil
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "lsdb_store" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm path =
+        if Sys.is_directory path then begin
+          Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+          Sys.rmdir path
+        end
+        else Sys.remove path
+      in
+      rm dir)
+    (fun () -> f dir)
+
+let tests =
+  [
+    test "log ops encode/decode round-trip" (fun () ->
+        List.iter
+          (fun op ->
+            Alcotest.(check bool) "round-trip" true
+              (Log.op_equal op (Log.decode (Log.encode op))))
+          [
+            Log.Insert ("JOHN", "LIKES", "FELIX");
+            Log.Remove ("A", "⊑", "Δ");
+            Log.Declare_class "TOTAL-NUMBER";
+            Log.Declare_individual "WORKS-FOR";
+            Log.Set_limit 4;
+            Log.Exclude_rule "syn-rel";
+            Log.Include_rule "syn-rel";
+          ]);
+    test "log replay rebuilds database state" (fun () ->
+        with_temp_dir (fun dir ->
+            let path = Filename.concat dir "ops.log" in
+            let log = Log.open_ path in
+            List.iter (Log.append log)
+              [
+                Log.Insert ("JOHN", "in", "EMPLOYEE");
+                Log.Insert ("EMPLOYEE", "EARNS", "SALARY");
+                Log.Insert ("JOHN", "LIKES", "FELIX");
+                Log.Remove ("JOHN", "LIKES", "FELIX");
+                Log.Declare_class "TOTAL-NUMBER";
+                Log.Set_limit 2;
+              ];
+            Log.close log;
+            let db = Database.create () in
+            let n = Log.replay path db in
+            Alcotest.(check int) "six ops" 6 n;
+            check_holds db "inserted" ("JOHN", "in", "EMPLOYEE");
+            Alcotest.(check bool) "removed" false
+              (Database.mem_base db (fact db ("JOHN", "LIKES", "FELIX")));
+            Alcotest.(check int) "limit" 2 (Database.limit db);
+            check_holds db "inference works after replay" ("JOHN", "EARNS", "SALARY")));
+    test "replay of a missing log is empty" (fun () ->
+        let db = Database.create () in
+        Alcotest.(check int) "zero" 0 (Log.replay "/nonexistent/path.log" db));
+    test "snapshot round-trips the full base state" (fun () ->
+        let db = Paper_examples.organization () in
+        Database.set_limit db 3;
+        ignore (Database.exclude db "syn-rel");
+        let db' = Snapshot.decode (Snapshot.encode db) in
+        Alcotest.(check int) "same base cardinality" (Database.base_cardinal db)
+          (Database.base_cardinal db');
+        check_holds db' "a stored fact" ("JOHN", "WORKS-FOR", "SHIPPING");
+        check_holds db' "an inferred fact" ("MANAGER", "WORKS-FOR", "DEPARTMENT");
+        Alcotest.(check int) "limit" 3 (Database.limit db');
+        Alcotest.(check bool) "exclusion" false (Database.rule_enabled db' "syn-rel");
+        Alcotest.(check bool) "class declaration" true
+          (Database.is_class_relationship db' (Database.entity db' "TOTAL-NUMBER")));
+    test "snapshot detects corruption" (fun () ->
+        let db = Paper_examples.campus () in
+        let data = Bytes.of_string (Snapshot.encode db) in
+        Bytes.set data (Bytes.length data / 2) '\xFF';
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Snapshot.decode (Bytes.to_string data));
+             false
+           with Snapshot.Corrupt _ -> true));
+    test "persistent database survives reopen" (fun () ->
+        with_temp_dir (fun dir ->
+            let p = Persistent.open_dir dir in
+            ignore (Persistent.insert_names p "JOHN" "in" "EMPLOYEE");
+            ignore (Persistent.insert_names p "EMPLOYEE" "EARNS" "SALARY");
+            Persistent.set_limit p 2;
+            Persistent.close p;
+            let p2 = Persistent.open_dir dir in
+            let db = Persistent.database p2 in
+            check_holds db "fact survived" ("JOHN", "in", "EMPLOYEE");
+            check_holds db "inference after reopen" ("JOHN", "EARNS", "SALARY");
+            Alcotest.(check int) "limit survived" 2 (Database.limit db);
+            Persistent.close p2));
+    test "compaction folds the log into the snapshot" (fun () ->
+        with_temp_dir (fun dir ->
+            let p = Persistent.open_dir dir in
+            for i = 1 to 20 do
+              ignore (Persistent.insert_names p (Printf.sprintf "E%d" i) "in" "THING")
+            done;
+            Alcotest.(check int) "log has records" 20 (Persistent.log_length p);
+            Persistent.compact p;
+            Alcotest.(check int) "log empty" 0 (Persistent.log_length p);
+            Persistent.close p;
+            let p2 = Persistent.open_dir dir in
+            Alcotest.(check int) "all facts restored" 22
+              (* 20 + 2 axiom facts *)
+              (Database.base_cardinal (Persistent.database p2));
+            Persistent.close p2));
+    test "removals are durable" (fun () ->
+        with_temp_dir (fun dir ->
+            let p = Persistent.open_dir dir in
+            ignore (Persistent.insert_names p "A" "R" "B");
+            let db = Persistent.database p in
+            ignore (Persistent.remove p (fact db ("A", "R", "B")));
+            Persistent.close p;
+            let p2 = Persistent.open_dir dir in
+            Alcotest.(check bool) "gone after reopen" false
+              (Database.mem_base (Persistent.database p2)
+                 (fact (Persistent.database p2) ("A", "R", "B")));
+            Persistent.close p2));
+    test "a torn trailing log record is tolerated" (fun () ->
+        with_temp_dir (fun dir ->
+            let p = Persistent.open_dir dir in
+            ignore (Persistent.insert_names p "A" "R" "B");
+            ignore (Persistent.insert_names p "C" "R" "D");
+            Persistent.close p;
+            (* Truncate the log mid-record. *)
+            let log_path = Persistent.log_path p in
+            let ic = open_in_bin log_path in
+            let data = really_input_string ic (in_channel_length ic) in
+            close_in ic;
+            let oc = open_out_bin log_path in
+            output_string oc (String.sub data 0 (String.length data - 3));
+            close_out oc;
+            let p2 = Persistent.open_dir dir in
+            let db = Persistent.database p2 in
+            check_holds db "first record intact" ("A", "R", "B");
+            Alcotest.(check bool) "torn record dropped" false
+              (Database.mem_base db (fact db ("C", "R", "D")));
+            Persistent.close p2));
+  ]

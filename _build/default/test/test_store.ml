@@ -1,0 +1,116 @@
+open Lsdb
+open Testutil
+
+let sample_store () =
+  let store = Store.create () in
+  let add s r t = ignore (Store.add store (Fact.make s r t)) in
+  add 100 1 200;
+  add 100 1 201;
+  add 100 2 200;
+  add 101 1 200;
+  add 102 3 300;
+  store
+
+let sorted_list store pat =
+  List.sort Fact.compare (Store.match_list store pat)
+
+let tests =
+  [
+    test "add/mem/remove round trip" (fun () ->
+        let store = Store.create () in
+        let f = Fact.make 1 2 3 in
+        Alcotest.(check bool) "add new" true (Store.add store f);
+        Alcotest.(check bool) "add dup" false (Store.add store f);
+        Alcotest.(check bool) "mem" true (Store.mem store f);
+        Alcotest.(check int) "cardinal" 1 (Store.cardinal store);
+        Alcotest.(check bool) "remove" true (Store.remove store f);
+        Alcotest.(check bool) "remove again" false (Store.remove store f);
+        Alcotest.(check bool) "gone" false (Store.mem store f);
+        Alcotest.(check int) "empty" 0 (Store.cardinal store));
+    test "every pattern shape answers correctly" (fun () ->
+        let store = sample_store () in
+        let count pat = Store.count_matches store pat in
+        Alcotest.(check int) "(s,r,t)" 1 (count (Store.pattern ~s:100 ~r:1 ~t:200 ()));
+        Alcotest.(check int) "(s,r,?)" 2 (count (Store.pattern ~s:100 ~r:1 ()));
+        Alcotest.(check int) "(s,?,t)" 2 (count (Store.pattern ~s:100 ~t:200 ()));
+        Alcotest.(check int) "(?,r,t)" 2 (count (Store.pattern ~r:1 ~t:200 ()));
+        Alcotest.(check int) "(s,?,?)" 3 (count (Store.pattern ~s:100 ()));
+        Alcotest.(check int) "(?,r,?)" 3 (count (Store.pattern ~r:1 ()));
+        Alcotest.(check int) "(?,?,t)" 3 (count (Store.pattern ~t:200 ()));
+        Alcotest.(check int) "(?,?,?)" 5 (count (Store.pattern ())));
+    test "match_scan agrees with match_pattern on every shape" (fun () ->
+        let store = sample_store () in
+        let patterns =
+          [
+            Store.pattern ~s:100 ~r:1 ~t:200 ();
+            Store.pattern ~s:100 ~r:1 ();
+            Store.pattern ~s:100 ~t:200 ();
+            Store.pattern ~r:1 ~t:200 ();
+            Store.pattern ~s:100 ();
+            Store.pattern ~r:1 ();
+            Store.pattern ~t:200 ();
+            Store.pattern ();
+            Store.pattern ~s:999 ();
+          ]
+        in
+        List.iter
+          (fun pat ->
+            let scanned = ref [] in
+            Store.match_scan store pat (fun f -> scanned := f :: !scanned);
+            Alcotest.(check int)
+              "same cardinality"
+              (List.length (Store.match_list store pat))
+              (List.length !scanned);
+            Alcotest.(check bool)
+              "same set" true
+              (List.sort Fact.compare !scanned = sorted_list store pat))
+          patterns);
+    test "removal updates all indexes" (fun () ->
+        let store = sample_store () in
+        ignore (Store.remove store (Fact.make 100 1 200));
+        Alcotest.(check int) "(s,r,?)" 1 (Store.count_matches store (Store.pattern ~s:100 ~r:1 ()));
+        Alcotest.(check int) "(?,?,t)" 2 (Store.count_matches store (Store.pattern ~t:200 ()));
+        Alcotest.(check int) "(s,?,?)" 2 (Store.count_matches store (Store.pattern ~s:100 ())));
+    test "active_entities tracks refcounts through deletion" (fun () ->
+        let store = Store.create () in
+        ignore (Store.add store (Fact.make 1 2 3));
+        ignore (Store.add store (Fact.make 1 2 4));
+        let actives () = List.sort compare (List.of_seq (Store.active_entities store)) in
+        Alcotest.(check (list int)) "all present" [ 1; 2; 3; 4 ] (actives ());
+        ignore (Store.remove store (Fact.make 1 2 4));
+        Alcotest.(check (list int)) "4 gone" [ 1; 2; 3 ] (actives ());
+        ignore (Store.remove store (Fact.make 1 2 3));
+        Alcotest.(check (list int)) "empty" [] (actives ()));
+    test "clear and copy" (fun () ->
+        let store = sample_store () in
+        let copy = Store.copy store in
+        Store.clear store;
+        Alcotest.(check int) "cleared" 0 (Store.cardinal store);
+        Alcotest.(check int) "copy unaffected" 5 (Store.cardinal copy));
+    (* Model-based property: a Store behaves like a set of triples. *)
+    qcheck "store agrees with a set model"
+      QCheck.(
+        list
+          (pair (pair (int_bound 5) (int_bound 5)) (pair (int_bound 5) bool)))
+      (fun ops ->
+        let store = Store.create () in
+        let model = Hashtbl.create 16 in
+        List.iter
+          (fun ((a, b), (c, is_add)) ->
+            let f = Fact.make a b c in
+            if is_add then begin
+              let added = Store.add store f in
+              let fresh = not (Hashtbl.mem model f) in
+              Hashtbl.replace model f ();
+              if added <> fresh then QCheck.Test.fail_report "add disagrees"
+            end
+            else begin
+              let removed = Store.remove store f in
+              let present = Hashtbl.mem model f in
+              Hashtbl.remove model f;
+              if removed <> present then QCheck.Test.fail_report "remove disagrees"
+            end)
+          ops;
+        Store.cardinal store = Hashtbl.length model
+        && Hashtbl.fold (fun f () acc -> acc && Store.mem store f) model true);
+  ]

@@ -1,0 +1,69 @@
+open Lsdb
+open Testutil
+
+let tests =
+  [
+    test "specials are pre-interned at fixed ids" (fun () ->
+        let t = Symtab.create () in
+        Alcotest.(check string) "gen name" "⊑" (Symtab.name t Entity.gen);
+        Alcotest.(check (option int)) "isa alias" (Some Entity.gen) (Symtab.find t "isa");
+        Alcotest.(check (option int)) "in alias" (Some Entity.member) (Symtab.find t "in");
+        Alcotest.(check (option int)) "lt alias" (Some Entity.lt) (Symtab.find t "lt");
+        Alcotest.(check int) "cardinal" Entity.special_count (Symtab.cardinal t));
+    test "intern is idempotent and distinct per name" (fun () ->
+        let t = Symtab.create () in
+        let a = Symtab.intern t "ALPHA" in
+        let b = Symtab.intern t "BETA" in
+        Alcotest.(check bool) "distinct" true (a <> b);
+        Alcotest.(check int) "idempotent" a (Symtab.intern t "ALPHA");
+        Alcotest.(check string) "name round-trip" "ALPHA" (Symtab.name t a));
+    test "numeric parsing covers the paper's decorated forms" (fun () ->
+        let t = Symtab.create () in
+        let cases =
+          [
+            ("$25000", Some 25000.0);
+            ("25000", Some 25000.0);
+            ("1,500", Some 1500.0);
+            ("$1,500.5", Some 1500.5);
+            ("-3", Some (-3.0));
+            ("2.6", Some 2.6);
+            ("PC#9-WAM", None);
+            ("JOHN", None);
+            ("", None);
+            ("$", None);
+          ]
+        in
+        List.iter
+          (fun (name, expected) ->
+            let id = Symtab.intern t name in
+            Alcotest.(check (option (float 1e-9))) name expected (Symtab.numeric_value t id))
+          cases);
+    test "aliases resolve and conflicts are rejected" (fun () ->
+        let t = Symtab.create () in
+        let a = Symtab.intern t "SALARY" in
+        Symtab.alias t "WAGES" a;
+        Alcotest.(check (option int)) "alias resolves" (Some a) (Symtab.find t "WAGES");
+        let b = Symtab.intern t "OTHER" in
+        Alcotest.check_raises "conflict" (Invalid_argument "Symtab.alias: \"WAGES\" already names entity 13")
+          (fun () -> Symtab.alias t "WAGES" b));
+    test "iter_user skips specials" (fun () ->
+        let t = Symtab.create () in
+        ignore (Symtab.intern t "A");
+        ignore (Symtab.intern t "B");
+        let seen = ref [] in
+        Symtab.iter_user (fun id -> seen := Symtab.name t id :: !seen) t;
+        Alcotest.(check (list string)) "user entities" [ "B"; "A" ] !seen);
+    test "iter_numeric finds exactly the numbers" (fun () ->
+        let t = Symtab.create () in
+        ignore (Symtab.intern t "JOHN");
+        ignore (Symtab.intern t "$100");
+        ignore (Symtab.intern t "42");
+        let count = ref 0 in
+        Symtab.iter_numeric (fun _ -> incr count) t;
+        Alcotest.(check int) "two numerics" 2 !count);
+    test "unknown id raises" (fun () ->
+        let t = Symtab.create () in
+        Alcotest.check_raises "out of range"
+          (Invalid_argument "Symtab.name: unknown entity id 9999") (fun () ->
+            ignore (Symtab.name t 9999)));
+  ]

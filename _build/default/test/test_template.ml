@@ -1,0 +1,65 @@
+open Lsdb
+open Testutil
+
+let v = Template.Var "x"
+let w = Template.Var "y"
+
+let tests =
+  [
+    test "vars and distinct_vars" (fun () ->
+        let tpl = Template.make v (Template.Var "x") w in
+        Alcotest.(check (list string)) "vars" [ "x"; "x"; "y" ] (Template.vars tpl);
+        Alcotest.(check (list string)) "distinct" [ "x"; "y" ] (Template.distinct_vars tpl));
+    test "ground templates convert to facts" (fun () ->
+        let tpl = Template.make (Template.Ent 1) (Template.Ent 2) (Template.Ent 3) in
+        Alcotest.(check bool) "ground" true (Template.is_ground tpl);
+        Alcotest.(check bool) "fact" true (Template.to_fact tpl = Some (Fact.make 1 2 3));
+        let open_tpl = Template.make v (Template.Ent 2) (Template.Ent 3) in
+        Alcotest.(check bool) "open" false (Template.is_ground open_tpl);
+        Alcotest.(check bool) "no fact" true (Template.to_fact open_tpl = None));
+    test "matches binds variables consistently" (fun () ->
+        (* (x, CITES, x) must only match self-citations — the §2.7 example. *)
+        let self = Template.make v (Template.Ent 9) v in
+        Alcotest.(check bool) "self-citation" true
+          (Template.matches self (Fact.make 4 9 4) = Some [ ("x", 4) ]);
+        Alcotest.(check bool) "not self" true
+          (Template.matches self (Fact.make 4 9 5) = None);
+        Alcotest.(check bool) "wrong relationship" true
+          (Template.matches self (Fact.make 4 8 4) = None));
+    test "matches returns bindings in position order" (fun () ->
+        let tpl = Template.make v (Template.Ent 1) w in
+        Alcotest.(check bool) "bindings" true
+          (Template.matches tpl (Fact.make 7 1 8) = Some [ ("x", 7); ("y", 8) ]));
+    test "subst replaces only bound variables" (fun () ->
+        let tpl = Template.make v (Template.Ent 1) w in
+        let env = function "x" -> Some 42 | _ -> None in
+        let tpl' = Template.subst env tpl in
+        Alcotest.(check bool) "x bound" true (tpl'.Template.src = Template.Ent 42);
+        Alcotest.(check bool) "y untouched" true (tpl'.Template.tgt = Template.Var "y"));
+    test "constants and replace_at" (fun () ->
+        let tpl = Template.make (Template.Ent 5) v (Template.Ent 6) in
+        Alcotest.(check bool) "constants" true
+          (Template.constants tpl = [ (0, 5); (2, 6) ]);
+        let tpl' = Template.replace_at tpl ~pos:2 ~by:7 in
+        Alcotest.(check bool) "replaced" true (Template.constants tpl' = [ (0, 5); (2, 7) ]);
+        Alcotest.check_raises "bad position"
+          (Invalid_argument "Template.replace_at: position must be 0, 1 or 2") (fun () ->
+            ignore (Template.replace_at tpl ~pos:3 ~by:7)));
+    test "pp prints entities by name and variables with ?" (fun () ->
+        let db = db_of [ ("JOHN", "LIKES", "FELIX") ] in
+        let symtab = Database.symtab db in
+        let tpl =
+          Template.make
+            (Template.Ent (Database.entity db "JOHN"))
+            (Template.Var "r")
+            (Template.Ent (Database.entity db "FELIX"))
+        in
+        Alcotest.(check string) "printed" "(JOHN, ?r, FELIX)" (Template.to_string symtab tpl));
+    test "equality and comparison are structural" (fun () ->
+        let a = Template.make v (Template.Ent 1) w in
+        let b = Template.make v (Template.Ent 1) w in
+        let c = Template.make v (Template.Ent 2) w in
+        Alcotest.(check bool) "equal" true (Template.equal a b);
+        Alcotest.(check bool) "not equal" false (Template.equal a c);
+        Alcotest.(check bool) "ordered" true (Template.compare a c <> 0));
+  ]

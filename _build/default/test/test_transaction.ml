@@ -1,0 +1,69 @@
+open Lsdb
+open Testutil
+
+let tests =
+  [
+    test "atomically commits when the closure stays consistent" (fun () ->
+        let db = db_of [ ("LOVES", "contra", "HATES") ] in
+        let result =
+          Transaction.atomically db (fun txn ->
+              ignore (Transaction.insert_names txn "SUE" "LOVES" "OPERA");
+              ignore (Transaction.insert_names txn "SUE" "LOVES" "BALLET");
+              42)
+        in
+        Alcotest.(check bool) "committed" true (result = Ok 42);
+        check_holds db "fact present" ("SUE", "LOVES", "OPERA"));
+    test "a violating batch rolls back entirely" (fun () ->
+        let db = db_of [ ("LOVES", "contra", "HATES"); ("SUE", "LOVES", "OPERA") ] in
+        let before = Database.base_cardinal db in
+        let result =
+          Transaction.atomically db (fun txn ->
+              ignore (Transaction.insert_names txn "SUE" "ADORES" "BALLET");
+              ignore (Transaction.insert_names txn "SUE" "HATES" "OPERA"))
+        in
+        (match result with
+        | Error violations -> Alcotest.(check bool) "reported" true (violations <> [])
+        | Ok _ -> Alcotest.fail "expected Error");
+        Alcotest.(check int) "nothing survived" before (Database.base_cardinal db);
+        check_not_holds db "harmless co-batched fact also rolled back"
+          ("SUE", "ADORES", "BALLET"));
+    test "exceptions roll back and re-raise" (fun () ->
+        let db = db_of [ ("A", "R", "B") ] in
+        let before = Database.base_cardinal db in
+        (try
+           ignore
+             (Transaction.atomically db (fun txn ->
+                  ignore (Transaction.insert_names txn "X" "R" "Y");
+                  failwith "boom"))
+         with Failure msg -> Alcotest.(check string) "re-raised" "boom" msg);
+        Alcotest.(check int) "rolled back" before (Database.base_cardinal db));
+    test "rollback restores removed facts" (fun () ->
+        let db = db_of [ ("A", "R", "B"); ("C", "R", "D") ] in
+        let txn = Transaction.start db in
+        ignore (Transaction.remove txn (fact db ("A", "R", "B")));
+        ignore (Transaction.insert_names txn "E" "R" "F");
+        Alcotest.(check int) "journal length" 2 (List.length (Transaction.journal txn));
+        Transaction.rollback txn;
+        check_holds db "removed fact restored" ("A", "R", "B");
+        Alcotest.(check bool) "inserted fact gone" false
+          (Database.mem_base db (fact db ("E", "R", "F")));
+        (* Idempotent. *)
+        Transaction.rollback txn;
+        check_holds db "still restored" ("A", "R", "B"));
+    test "pre-existing facts are not rolled back (no-op mutations)" (fun () ->
+        let db = db_of [ ("A", "R", "B") ] in
+        let txn = Transaction.start db in
+        (* Inserting an existing fact records nothing. *)
+        Alcotest.(check bool) "not added" false
+          (Transaction.insert txn (fact db ("A", "R", "B")));
+        Transaction.rollback txn;
+        check_holds db "survives rollback" ("A", "R", "B"));
+    test "check:false commits even through violations" (fun () ->
+        let db = db_of [ ("LOVES", "contra", "HATES"); ("SUE", "LOVES", "OPERA") ] in
+        let result =
+          Transaction.atomically ~check:false db (fun txn ->
+              ignore (Transaction.insert_names txn "SUE" "HATES" "OPERA"))
+        in
+        Alcotest.(check bool) "committed" true (result = Ok ());
+        Alcotest.(check bool) "now invalid" false (Integrity.is_valid db));
+  ]

@@ -1,0 +1,78 @@
+open Lsdb
+open Lsdb_storage
+open Testutil
+
+let patterns db =
+  let e = Database.entity db in
+  [
+    Store.pattern ~s:(e "JOHN") ();
+    Store.pattern ~r:(e "WORKS-FOR") ();
+    Store.pattern ~t:(e "SHIPPING") ();
+    Store.pattern ~s:(e "JOHN") ~r:(e "EARNS") ();
+    Store.pattern ~s:(e "JOHN") ~t:(e "SHIPPING") ();
+    Store.pattern ~r:(e "in") ~t:(e "EMPLOYEE") ();
+    Store.pattern ~s:(e "JOHN") ~r:(e "WORKS-FOR") ~t:(e "SHIPPING") ();
+    Store.pattern ();
+  ]
+
+let tests =
+  [
+    test "triple index agrees with the hash store on every pattern shape" (fun () ->
+        let db = Paper_examples.organization () in
+        let idx = Triple_index.of_database db in
+        let store = Database.store db in
+        List.iter
+          (fun pat ->
+            let a = List.sort Fact.compare (Triple_index.match_list idx pat) in
+            let b = List.sort Fact.compare (Store.match_list store pat) in
+            Alcotest.(check bool) "same answers" true (a = b))
+          (patterns db));
+    test "add/remove keep the three trees consistent" (fun () ->
+        let idx = Triple_index.create () in
+        let f1 = Fact.make 1 2 3 in
+        let f2 = Fact.make 4 2 3 in
+        Alcotest.(check bool) "add" true (Triple_index.add idx f1);
+        Alcotest.(check bool) "dup" false (Triple_index.add idx f1);
+        ignore (Triple_index.add idx f2);
+        Alcotest.(check int) "cardinal" 2 (Triple_index.cardinal idx);
+        (* POS order query after removal. *)
+        Alcotest.(check bool) "remove" true (Triple_index.remove idx f1);
+        let remaining = Triple_index.match_list idx (Store.pattern ~r:2 ~t:3 ()) in
+        Alcotest.(check bool) "only f2" true (remaining = [ f2 ]));
+    qcheck ~count:100 "triple index equals hash store under random workloads"
+      QCheck.(
+        list (pair bool (triple (int_bound 6) (int_bound 6) (int_bound 6))))
+      (fun ops ->
+        let idx = Triple_index.create ~branching:2 () in
+        let store = Store.create () in
+        List.iter
+          (fun (is_add, (s, r, t)) ->
+            let f = Fact.make s r t in
+            if is_add then begin
+              let a = Triple_index.add idx f and b = Store.add store f in
+              if a <> b then QCheck.Test.fail_report "add disagrees"
+            end
+            else begin
+              let a = Triple_index.remove idx f and b = Store.remove store f in
+              if a <> b then QCheck.Test.fail_report "remove disagrees"
+            end)
+          ops;
+        (* Every pattern over a small universe agrees. *)
+        let shapes =
+          [
+            Store.pattern ();
+            Store.pattern ~s:3 ();
+            Store.pattern ~r:3 ();
+            Store.pattern ~t:3 ();
+            Store.pattern ~s:3 ~r:3 ();
+            Store.pattern ~s:3 ~t:3 ();
+            Store.pattern ~r:3 ~t:3 ();
+            Store.pattern ~s:3 ~r:3 ~t:3 ();
+          ]
+        in
+        List.for_all
+          (fun pat ->
+            List.sort Fact.compare (Triple_index.match_list idx pat)
+            = List.sort Fact.compare (Store.match_list store pat))
+          shapes);
+  ]

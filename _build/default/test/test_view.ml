@@ -1,0 +1,81 @@
+open Lsdb
+open Testutil
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let tests =
+  [
+    test "EX4: the §6.1 employee relation" (fun () ->
+        let db = Paper_examples.payroll () in
+        let view =
+          Operators.relation db "EMPLOYEE"
+            [ ("WORKS-FOR", "DEPARTMENT"); ("EARNS", "SALARY") ]
+        in
+        Alcotest.(check (list string)) "headers"
+          [ "EMPLOYEE"; "WORKS-FOR DEPARTMENT"; "EARNS SALARY" ]
+          view.View.headers;
+        Alcotest.(check int) "three rows" 3 (View.row_count view);
+        let rows = View.rows_named db view in
+        Alcotest.(check bool) "john row" true
+          (List.mem [ "JOHN"; "SHIPPING"; "$26000" ] rows);
+        Alcotest.(check bool) "tom row" true
+          (List.mem [ "TOM"; "ACCOUNTING"; "$27000" ] rows);
+        Alcotest.(check bool) "mary row" true
+          (List.mem [ "MARY"; "RECEIVING"; "$25000" ] rows));
+    test "EX4: rendered table matches the paper's cells" (fun () ->
+        let db = Paper_examples.payroll () in
+        let view =
+          Operators.relation db "EMPLOYEE"
+            [ ("WORKS-FOR", "DEPARTMENT"); ("EARNS", "SALARY") ]
+        in
+        let table = View.render db view in
+        List.iter
+          (fun cell -> Alcotest.(check bool) cell true (contains table cell))
+          [ "JOHN"; "SHIPPING"; "$26000"; "TOM"; "ACCOUNTING"; "$27000";
+            "MARY"; "RECEIVING"; "$25000" ]);
+    test "non-1NF cells hold multiple entities" (fun () ->
+        let db = Paper_examples.payroll () in
+        (* Give JOHN a second department. *)
+        ignore (Database.insert_names db "JOHN" "WORKS-FOR" "ACCOUNTING");
+        let view =
+          Operators.relation db "EMPLOYEE" [ ("WORKS-FOR", "DEPARTMENT") ]
+        in
+        let john_row =
+          List.find
+            (fun row -> match row with [ y ] :: _ -> y = Database.entity db "JOHN" | _ -> false)
+            view.View.rows
+        in
+        match john_row with
+        | [ _; depts ] -> Alcotest.(check int) "two departments" 2 (List.length depts)
+        | _ -> Alcotest.fail "unexpected row shape");
+    test "instances with no matching facts get empty cells" (fun () ->
+        let db = db_of [ ("X", "in", "THING") ] in
+        let view = Operators.relation db "THING" [ ("COLOR", "HUE") ] in
+        match view.View.rows with
+        | [ [ _; [] ] ] -> ()
+        | _ -> Alcotest.fail "expected one row with an empty cell");
+    test "views see inferred facts" (fun () ->
+        let db =
+          db_of
+            [
+              ("REX", "in", "DOG");
+              ("DOG", "isa", "ANIMAL");
+              ("REX", "EATS", "KIBBLE");
+              ("KIBBLE", "in", "FOOD");
+            ]
+        in
+        (* REX ∈ ANIMAL is inferred (mem-up); the ANIMAL view includes it. *)
+        let view = Operators.relation db "ANIMAL" [ ("EATS", "FOOD") ] in
+        Alcotest.(check int) "one row" 1 (View.row_count view);
+        Alcotest.(check bool) "rex eats kibble" true
+          (View.rows_named db view = [ [ "REX"; "KIBBLE" ] ]));
+    test "functional view: apply" (fun () ->
+        let db = Paper_examples.payroll () in
+        let e = Database.entity db in
+        (* $26000 is stored; SALARY is inferred via membership (§3.2). *)
+        Alcotest.(check (list string)) "john's salary" [ "$26000"; "SALARY" ]
+          (names db (View.apply db ~rel:(e "EARNS") (e "JOHN"))));
+  ]

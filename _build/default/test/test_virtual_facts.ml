@@ -1,0 +1,76 @@
+open Lsdb
+open Testutil
+
+let symtab_with names =
+  let t = Symtab.create () in
+  let ids = List.map (fun n -> (n, Symtab.intern t n)) names in
+  (t, fun n -> List.assoc n ids)
+
+let tests =
+  [
+    test "§3.6 numeric comparisons are decided" (fun () ->
+        let t, e = symtab_with [ "$25000"; "20000"; "2.6"; "2" ] in
+        Alcotest.(check (option bool)) "25000 > 20000" (Some true)
+          (Virtual_facts.holds t (e "$25000") Entity.gt (e "20000"));
+        Alcotest.(check (option bool)) "2 < 2.6" (Some true)
+          (Virtual_facts.holds t (e "2") Entity.lt (e "2.6"));
+        Alcotest.(check (option bool)) "25000 < 20000 is false" (Some false)
+          (Virtual_facts.holds t (e "$25000") Entity.lt (e "20000")));
+    test "equality is decided for every pair, numeric by value" (fun () ->
+        let t, e = symtab_with [ "JOHN"; "MARY"; "$25000"; "25000" ] in
+        Alcotest.(check (option bool)) "john = john" (Some true)
+          (Virtual_facts.holds t (e "JOHN") Entity.eq (e "JOHN"));
+        Alcotest.(check (option bool)) "john ≠ mary" (Some true)
+          (Virtual_facts.holds t (e "JOHN") Entity.neq (e "MARY"));
+        Alcotest.(check (option bool)) "$25000 = 25000 by value" (Some true)
+          (Virtual_facts.holds t (e "$25000") Entity.eq (e "25000")));
+    test "ordering comparators have no authority over non-numbers" (fun () ->
+        let t, e = symtab_with [ "CHEAP"; "EXPENSIVE" ] in
+        Alcotest.(check (option bool)) "undecided" None
+          (Virtual_facts.holds t (e "CHEAP") Entity.lt (e "EXPENSIVE")));
+    test "§2.3 hierarchy extent: reflexivity, Δ, ∇" (fun () ->
+        let t, e = symtab_with [ "JOHN" ] in
+        let john = e "JOHN" in
+        Alcotest.(check (option bool)) "reflexive" (Some true)
+          (Virtual_facts.holds t john Entity.gen john);
+        Alcotest.(check (option bool)) "john ⊑ Δ" (Some true)
+          (Virtual_facts.holds t john Entity.gen Entity.top);
+        Alcotest.(check (option bool)) "∇ ⊑ john" (Some true)
+          (Virtual_facts.holds t Entity.bottom Entity.gen john);
+        Alcotest.(check (option bool)) "stored hierarchy undecided" None
+          (Virtual_facts.holds t john Entity.gen Entity.bottom));
+    test "candidates enumerate over the active domain" (fun () ->
+        let t, e = symtab_with [ "10"; "20"; "30"; "JOHN" ] in
+        let domain () = List.to_seq [ e "10"; e "20"; e "30"; e "JOHN" ] in
+        let collect pat =
+          let acc = ref [] in
+          Virtual_facts.candidates t ~domain pat (fun f -> acc := f :: !acc);
+          !acc
+        in
+        (* (20, >, ?) over the domain: 20 > 10 only. *)
+        let gt = collect (Store.pattern ~s:(e "20") ~r:Entity.gt ()) in
+        Alcotest.(check int) "one greater" 1 (List.length gt);
+        (* (?, <, 30): 10 and 20. *)
+        let lt = collect (Store.pattern ~r:Entity.lt ~t:(e "30") ()) in
+        Alcotest.(check int) "two smaller" 2 (List.length lt);
+        (* (JOHN, ⊑, ?): only the reflexive fact — the extremes are
+           checkable, never enumerable as fresh bindings. *)
+        let gen = collect (Store.pattern ~s:(e "JOHN") ~r:Entity.gen ()) in
+        Alcotest.(check int) "reflexive only" 1 (List.length gen);
+        Alcotest.(check (option bool)) "Δ still checkable" (Some true)
+          (Virtual_facts.holds t (e "JOHN") Entity.gen Entity.top));
+    test "neq enumeration excludes only the entity itself" (fun () ->
+        let t, e = symtab_with [ "A"; "B"; "C" ] in
+        let domain () = List.to_seq [ e "A"; e "B"; e "C" ] in
+        let acc = ref 0 in
+        Virtual_facts.candidates t ~domain
+          (Store.pattern ~s:(e "A") ~r:Entity.neq ())
+          (fun _ -> incr acc);
+        Alcotest.(check int) "two others" 2 !acc);
+    test "decides agrees with holds" (fun () ->
+        let t, e = symtab_with [ "10"; "JOHN" ] in
+        Alcotest.(check bool) "numeric decided" true
+          (Virtual_facts.decides t (e "10") Entity.lt (e "10"));
+        Alcotest.(check bool) "ordinary fact not decided" false
+          (Virtual_facts.decides t (e "JOHN") (e "10") (e "JOHN")));
+  ]

@@ -1,0 +1,169 @@
+open Lsdb_workload
+open Testutil
+
+let tests =
+  [
+    test "rng is deterministic per seed" (fun () ->
+        let a = Rng.create 42 and b = Rng.create 42 in
+        let run rng = List.init 20 (fun _ -> Rng.int rng 1000) in
+        Alcotest.(check (list int)) "same stream" (run a) (run b);
+        let c = Rng.create 43 in
+        Alcotest.(check bool) "different seed differs" true (run (Rng.create 42) <> run c));
+    test "rng bounds are respected" (fun () ->
+        let rng = Rng.create 1 in
+        for _ = 1 to 1000 do
+          let v = Rng.int rng 7 in
+          if v < 0 || v >= 7 then Alcotest.fail "out of bounds"
+        done;
+        for _ = 1 to 1000 do
+          let f = Rng.float rng in
+          if f < 0.0 || f >= 1.0 then Alcotest.fail "float out of bounds"
+        done);
+    test "shuffle permutes" (fun () ->
+        let rng = Rng.create 5 in
+        let original = List.init 50 Fun.id in
+        let shuffled = Rng.shuffle rng original in
+        Alcotest.(check (list int)) "same multiset" original (List.sort compare shuffled);
+        Alcotest.(check bool) "actually moved" true (shuffled <> original));
+    test "zipf masses sum to one and are monotone" (fun () ->
+        let z = Zipf.create ~n:50 ~s:1.0 in
+        let total = ref 0.0 in
+        for rank = 0 to 49 do
+          total := !total +. Zipf.mass z rank
+        done;
+        Alcotest.(check (float 1e-9)) "sums to 1" 1.0 !total;
+        for rank = 1 to 49 do
+          if Zipf.mass z rank > Zipf.mass z (rank - 1) +. 1e-12 then
+            Alcotest.fail "mass not monotone"
+        done);
+    test "zipf sampling is skewed toward low ranks" (fun () ->
+        let z = Zipf.create ~n:100 ~s:1.2 in
+        let rng = Rng.create 9 in
+        let low = ref 0 in
+        let samples = 5000 in
+        for _ = 1 to samples do
+          if Zipf.sample z rng < 10 then incr low
+        done;
+        (* With s=1.2, the top 10 ranks carry well over a third. *)
+        Alcotest.(check bool) "skewed" true (!low > samples / 3));
+    test "uniform zipf (s=0) is roughly flat" (fun () ->
+        let z = Zipf.create ~n:10 ~s:0.0 in
+        Alcotest.(check (float 1e-9)) "flat" 0.1 (Zipf.mass z 3));
+    test "taxonomy has the right shape" (fun () ->
+        let rng = Rng.create 2 in
+        let t = Taxonomy.generate ~prefix:"X" ~depth:3 ~fanout:3 rng in
+        Alcotest.(check int) "node count" (1 + 3 + 9 + 27) (Taxonomy.node_count t);
+        Alcotest.(check int) "leaves" 27 (List.length t.Taxonomy.leaves);
+        Alcotest.(check int) "fact count" (3 + 9 + 27) (List.length t.Taxonomy.facts));
+    test "taxonomy cross links stay acyclic (child to ancestor level)" (fun () ->
+        let rng = Rng.create 3 in
+        let t = Taxonomy.generate ~cross_links:10 ~prefix:"X" ~depth:4 ~fanout:2 rng in
+        let db = Lsdb.Database.create () in
+        Taxonomy.insert db t;
+        (* The closure terminates and the hierarchy has no synonym pairs
+           (a cycle would create mutual ⊑ and thus ≈ facts). *)
+        let closure = Lsdb.Database.closure db in
+        let syn_count =
+          Lsdb.Closure.count_matches closure (Lsdb.Store.pattern ~r:Lsdb.Entity.syn ())
+        in
+        Alcotest.(check int) "no synonyms" 0 syn_count);
+    test "org generator scales and mirrors relationally" (fun () ->
+        let rng = Rng.create 11 in
+        let org =
+          Org_gen.generate
+            ~params:
+              { Org_gen.employees = 50; departments = 5; salary_min = 100;
+                salary_max = 200; skew = 0.5 }
+            rng
+        in
+        let db = Org_gen.to_database org in
+        Alcotest.(check bool) "facts loaded" true (Lsdb.Database.base_cardinal db > 150);
+        let catalog = Org_gen.to_catalog org in
+        let emp = Lsdb_relational.Catalog.relation catalog "EMP" in
+        Alcotest.(check int) "one row per employee" 50
+          (Lsdb_relational.Relation.cardinal emp);
+        (* Spot-check agreement: every EMP row's dept matches a WORKS-FOR fact. *)
+        Lsdb_relational.Relation.iter
+          (fun tuple ->
+            check_holds db "row agrees with heap" (tuple.(0), "WORKS-FOR", tuple.(1)))
+          emp);
+    test "university generator reifies enrollments" (fun () ->
+        let rng = Rng.create 13 in
+        let uni =
+          University_gen.generate
+            ~params:
+              { University_gen.students = 10; courses = 3; instructors = 2;
+                enrollments_per_student = 2 }
+            rng
+        in
+        let db = University_gen.to_database uni in
+        let enrollments = answers db "(?e, in, ENROLLMENT)" in
+        Alcotest.(check int) "20 enrollments" 20 (List.length enrollments);
+        (* Each enrollment has student, course and grade facts. *)
+        let complete = answers db "exists s, c, g . (?e, ENROLL-STUDENT, ?s) & (?e, ENROLL-COURSE, ?c) & (?e, ENROLL-GRADE, ?g)" in
+        Alcotest.(check int) "all complete" 20 (List.length complete));
+    test "chain queries are satisfiable by construction" (fun () ->
+        let rng = Rng.create 17 in
+        let org = Org_gen.generate ~params:{ Org_gen.default_params with Org_gen.employees = 30 } rng in
+        let db = Org_gen.to_database org in
+        for _ = 1 to 10 do
+          let query = Query_gen.chain_query db rng ~length:2 in
+          if not (Lsdb.Eval.holds db query) then
+            Alcotest.failf "chain query failed: %s"
+              (Lsdb.Query.to_string (Lsdb.Database.symtab db) query)
+        done);
+    test "misspell always changes the name" (fun () ->
+        let rng = Rng.create 19 in
+        for _ = 1 to 200 do
+          let name = "QUARTERBACK" in
+          if Query_gen.misspell rng name = name then Alcotest.fail "unchanged"
+        done);
+    test "random templates match at least their source fact when ground" (fun () ->
+        let db = Lsdb.Paper_examples.organization () in
+        let rng = Rng.create 23 in
+        for _ = 1 to 50 do
+          let tpl = Query_gen.template ~var_prob:0.0 db rng in
+          match Lsdb.Template.to_fact tpl with
+          | Some f ->
+              if not (Lsdb.Database.mem db f) then Alcotest.fail "ground template not found"
+          | None -> Alcotest.fail "expected ground template"
+        done);
+      test "citation generator: zipf-skewed graph with walkable trails" (fun () ->
+        let rng = Rng.create 29 in
+        let lib =
+          Citation_gen.generate
+            ~params:
+              { Citation_gen.books = 100; authors = 20; subjects = 5;
+                citations_per_book = 4; skew = 1.0 }
+            rng
+        in
+        let db = Citation_gen.to_database lib in
+        (* Every book is a BOOK and has an author (inverse derivable). *)
+        Alcotest.(check int) "100 books" 100
+          (List.length (answers db "(?b, in, BOOK)"));
+        check_holds db "inversion scaffolding works"
+          (lib.Citation_gen.book_names.(0), "AUTHORED-BY",
+           (let a = answers db (Printf.sprintf "(?a, WROTE, %s)" lib.Citation_gen.book_names.(0)) in
+            List.hd a));
+        (* Walks stay within known entities and have the right length. *)
+        let walk = Citation_gen.browsing_walk lib rng ~hops:10 in
+        Alcotest.(check int) "11 stops" 11 (List.length walk);
+        List.iter
+          (fun stop ->
+            Alcotest.(check bool) stop true
+              (Lsdb.Database.find_entity db stop <> None))
+          walk);
+    test "closure rule_counts account for every derived fact" (fun () ->
+        let db = Lsdb.Paper_examples.organization () in
+        let closure = Lsdb.Database.closure db in
+        let counts = Lsdb.Closure.rule_counts closure in
+        let total = List.fold_left (fun acc (_, n) -> acc + n) 0 counts in
+        Alcotest.(check int) "sums to derived_count"
+          (Lsdb.Closure.derived_count closure) total;
+        Alcotest.(check bool) "descending" true
+          (let rec mono = function
+             | (_, a) :: ((_, b) :: _ as rest) -> a >= b && mono rest
+             | _ -> true
+           in
+           mono counts));
+  ]

@@ -1,0 +1,40 @@
+(* Shared helpers for the test suites. *)
+
+open Lsdb
+
+let db_of facts =
+  let db = Database.create () in
+  List.iter (fun (s, r, t) -> ignore (Database.insert_names db s r t)) facts;
+  db
+
+let fact db (s, r, t) =
+  Fact.make (Database.entity db s) (Database.entity db r) (Database.entity db t)
+
+(* Closure membership, names form. *)
+let holds db triple = Database.mem db (fact db triple)
+
+let check_holds db what triple = Alcotest.(check bool) what true (holds db triple)
+let check_not_holds db what triple = Alcotest.(check bool) what false (holds db triple)
+
+let q db text = Query_parser.parse db text
+
+(* One-variable query answer, as sorted names. *)
+let answers db text =
+  let answer = Eval.eval db (q db text) in
+  Eval.column answer
+  |> List.map (Database.entity_name db)
+  |> List.sort String.compare
+
+let check_answers db what text expected =
+  Alcotest.(check (list string)) what (List.sort String.compare expected) (answers db text)
+
+let check_proposition db what text expected =
+  Alcotest.(check bool) what expected (Eval.holds db (q db text))
+
+let names db entities =
+  List.map (Database.entity_name db) entities |> List.sort String.compare
+
+let test name f = Alcotest.test_case name `Quick f
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
