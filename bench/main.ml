@@ -12,6 +12,42 @@ open Lsdb
 let quick = ref false
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results                                            *)
+
+(* Every headline number printed in a pretty table is also recorded here
+   and dumped as JSON (default BENCH_PR1.json, override with --json FILE)
+   so regressions can be tracked without parsing tables. *)
+let json_path = ref "BENCH_PR1.json"
+let json_rows : (string * float * string) list ref = ref []
+let record id value unit_ = json_rows := (id, value, unit_) :: !json_rows
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json () =
+  let rows = List.rev !json_rows in
+  let oc = open_out !json_path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (id, value, unit_) ->
+      Printf.fprintf oc "  {\"id\": \"%s\", \"value\": %.6g, \"unit\": \"%s\"}%s\n"
+        (json_escape id) value (json_escape unit_)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "\nwrote %d measurement(s) to %s\n" (List.length rows) !json_path
+
+(* ------------------------------------------------------------------ *)
 (* Small measurement helpers                                           *)
 
 let time_ms f =
@@ -180,6 +216,7 @@ let b1 () =
         in
         let db = Lsdb_workload.Org_gen.to_database org in
         let closure, ms = time_ms (fun () -> Database.closure db) in
+        record (Printf.sprintf "b1/closure_ms/employees=%d" employees) ms "ms";
         [
           string_of_int employees;
           string_of_int (Closure.base_cardinal closure);
@@ -228,6 +265,12 @@ let b2 () =
             ]
         in
         let find name = List.assoc name results in
+        List.iter
+          (fun (name, ns) ->
+            record
+              (Printf.sprintf "b2/%s_ns/facts=%d" name (Store.cardinal store))
+              ns "ns")
+          results;
         [
           string_of_int (Store.cardinal store);
           ns_pretty (find "hash-index");
@@ -324,6 +367,7 @@ let b4 () =
         let outcome, ms =
           time_ms (fun () -> Probing.probe ~max_waves:(depth + 2) db query)
         in
+        record (Printf.sprintf "b4/probe_ms/depth=%d,fanout=%d" depth fanout) ms "ms";
         let wave, attempted =
           match outcome with
           | Probing.Retracted { wave; attempted; _ } -> (wave, attempted)
@@ -387,6 +431,9 @@ let b5 () =
       ]
   in
   let find name = List.assoc name micro in
+  record "b5/lsdb_build_ms" lsdb_build_ms "ms";
+  record "b5/closure_ms" closure_ms "ms";
+  List.iter (fun (name, ns) -> record (Printf.sprintf "b5/%s_ns" name) ns "ns") micro;
   table
     [ "metric"; "LSDB (heap of facts)"; "relational (schema-first)" ]
     [
@@ -593,6 +640,8 @@ let b9 () =
             ignore (Database.closure db2))
           (fresh_facts db2))
   in
+  record "b9/incremental_ms" incr_ms "ms";
+  record "b9/recompute_ms" full_ms "ms";
   table
     [ "strategy"; "inserts"; "total ms"; "ms/insert"; "speedup" ]
     [
@@ -640,6 +689,8 @@ let b10 () =
     List.sort compare (List.map Array.to_list a)
     = List.sort compare (List.map Array.to_list b)
   in
+  record "b10/reordered_ms" reordered_ms "ms";
+  record "b10/written_order_ms" written_ms "ms";
   table
     [ "strategy"; "ms/query"; "same answers" ]
     [
@@ -742,6 +793,9 @@ let b12 () =
         let assoc_ms =
           measure_ms ~runs:5 (fun () -> ignore (Navigation.associations db ~src:a ~tgt:b))
         in
+        record (Printf.sprintf "b12/hop_ms/books=%d" books) per_hop "ms";
+        record (Printf.sprintf "b12/try_hub_ms/books=%d" books) try_ms "ms";
+        record (Printf.sprintf "b12/assoc_ms/books=%d" books) assoc_ms "ms";
         [
           string_of_int (Database.base_cardinal db);
           string_of_int (Closure.cardinal (Database.closure db));
@@ -754,6 +808,136 @@ let b12 () =
   table
     [ "base facts"; "closure"; "ms/neighborhood hop"; "try(hub) ms"; "assoc (limit 2) ms" ]
     rows
+
+(* B13 — multicore scaling                                               *)
+
+let b13 () =
+  section "B13 — multicore scaling: parallel retraction waves and closure rounds";
+  Printf.printf "host: %d core(s) recommended by the runtime\n"
+    (Domain.recommended_domain_count ());
+  (* Probe workload: a relationship taxonomy and a goal taxonomy, with
+     enough facts under every (broadened) query that each candidate costs
+     ~M index probes before failing. The probe explores every wave and
+     ends Exhausted, so the whole search is failed conjunctive queries —
+     the §5.2 worst case the parallel waves are for. *)
+  let m = if !quick then 200 else 600 in
+  let build () =
+    let r = rng () in
+    let rel_tax = Lsdb_workload.Taxonomy.generate ~prefix:"REL" ~depth:3 ~fanout:3 r in
+    let goal_tax = Lsdb_workload.Taxonomy.generate ~prefix:"GOAL" ~depth:3 ~fanout:2 r in
+    let db = Database.create () in
+    Lsdb_workload.Taxonomy.insert db rel_tax;
+    Lsdb_workload.Taxonomy.insert db goal_tax;
+    let leaf_rel = List.hd rel_tax.Lsdb_workload.Taxonomy.leaves in
+    let leaf_goal = List.hd goal_tax.Lsdb_workload.Taxonomy.leaves in
+    (* M facts under the first conjunct and M under the second, joining on
+       disjoint entities: both conjuncts enumerate, the join always
+       fails. Generalization propagates both fact sets up the taxonomies,
+       so every broadened query is just as expensive. *)
+    for j = 0 to m - 1 do
+      ignore
+        (Database.insert_names db (Printf.sprintf "SRC-%04d" j) leaf_rel
+           (Printf.sprintf "ITM-%04d" j));
+      ignore
+        (Database.insert_names db (Printf.sprintf "NDL-%04d" j) "NEEDLE" leaf_goal)
+    done;
+    let query =
+      Query_parser.parse db
+        (Printf.sprintf "(?x, %s, ?y) & (?y, NEEDLE, %s)" leaf_rel leaf_goal)
+    in
+    ignore (Database.closure db);
+    (db, query)
+  in
+  let db, query = build () in
+  let outcome_sig outcome =
+    match outcome with
+    | Probing.Answered a -> Printf.sprintf "answered/%d" (List.length a.Eval.rows)
+    | Probing.Retracted { wave; successes; attempted; critical } ->
+        Printf.sprintf "retracted/w%d/s%d/a%d/c%b" wave (List.length successes)
+          attempted critical
+    | Probing.Exhausted { waves; attempted; unknown_entities } ->
+        Printf.sprintf "exhausted/w%d/a%d/u%d" waves attempted
+          (List.length unknown_entities)
+  in
+  let baseline = Probing.probe ~max_waves:6 db query in
+  let probe_rows = ref [] in
+  let seq_ms = ref 0.0 in
+  List.iter
+    (fun domains ->
+      let pool =
+        if domains <= 1 then None
+        else Some (Lsdb_exec.Pool.create ~domains)
+      in
+      let run () = Probing.probe ~max_waves:6 ?pool db query in
+      let outcome = run () in
+      let identical = outcome = baseline in
+      let ms = measure_ms ~runs:3 run in
+      Option.iter Lsdb_exec.Pool.shutdown pool;
+      if domains <= 1 then seq_ms := ms;
+      record (Printf.sprintf "b13/probe_ms/domains=%d" domains) ms "ms";
+      probe_rows :=
+        [
+          string_of_int domains;
+          outcome_sig outcome;
+          (if identical then "✓" else "✗ DIFFERS");
+          Printf.sprintf "%.1f" ms;
+          Printf.sprintf "%.2fx" (!seq_ms /. ms);
+        ]
+        :: !probe_rows)
+    [ 1; 2; 4 ];
+  Printf.printf "\nprobe: %s (%d facts in closure)\n"
+    (outcome_sig baseline)
+    (Closure.cardinal (Database.closure db));
+  table
+    [ "domains"; "outcome"; "same as seq"; "ms/probe"; "speedup" ]
+    (List.rev !probe_rows);
+  (* Closure workload: full recomputation of the org-workload closure,
+     rounds sharded across the pool. *)
+  let employees = if !quick then 1000 else 4000 in
+  let org =
+    Lsdb_workload.Org_gen.generate
+      ~params:{ Lsdb_workload.Org_gen.default_params with employees }
+      (rng ())
+  in
+  let base = Lsdb_workload.Org_gen.to_database org in
+  let base_closure = Database.closure base in
+  let reference = (Closure.cardinal base_closure, Closure.derived_count base_closure) in
+  let closure_rows = ref [] in
+  let seq_closure_ms = ref 0.0 in
+  List.iter
+    (fun domains ->
+      let pool =
+        if domains <= 1 then None
+        else Some (Lsdb_exec.Pool.create ~domains)
+      in
+      let db = Lsdb_workload.Org_gen.to_database org in
+      Database.set_pool db pool;
+      let run () =
+        Database.invalidate db;
+        Database.closure db
+      in
+      let closure = run () in
+      let identical =
+        (Closure.cardinal closure, Closure.derived_count closure) = reference
+      in
+      let ms = measure_ms ~runs:3 (fun () -> ignore (run ())) in
+      Option.iter Lsdb_exec.Pool.shutdown pool;
+      if domains <= 1 then seq_closure_ms := ms;
+      record (Printf.sprintf "b13/closure_ms/domains=%d" domains) ms "ms";
+      closure_rows :=
+        [
+          string_of_int domains;
+          string_of_int (Closure.cardinal closure);
+          (if identical then "✓" else "✗ DIFFERS");
+          Printf.sprintf "%.1f" ms;
+          Printf.sprintf "%.2fx" (!seq_closure_ms /. ms);
+        ]
+        :: !closure_rows)
+    [ 1; 2; 4 ];
+  Printf.printf "\nclosure recompute (%d employees):\n" employees;
+  table
+    [ "domains"; "closure"; "same as seq"; "ms/recompute"; "speedup" ]
+    (List.rev !closure_rows)
 
 (* Bechamel micro-op reference table                                     *)
 
@@ -809,6 +993,7 @@ let micro () =
                   (Retraction.retraction_set campus campus_broadness campus_query) );
       ]
   in
+  List.iter (fun (n, ns) -> record (Printf.sprintf "micro/%s_ns" n) ns "ns") results;
   table [ "operation"; "cost" ] (List.map (fun (n, ns) -> [ n; ns_pretty ns ]) results)
 
 (* ------------------------------------------------------------------ *)
@@ -819,21 +1004,25 @@ let experiments =
     ("ex6", ex6); ("ex7", ex7);
     ("b1", b1); ("b2", b2); ("b3", b3); ("b4", b4); ("b5", b5); ("b6", b6);
     ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10); ("b11", b11); ("b12", b12);
-    ("micro", micro);
+    ("b13", b13); ("micro", micro);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--quick" then begin
-          quick := true;
-          false
-        end
-        else true)
-      args
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+        quick := true;
+        parse acc rest
+    | "--json" :: path :: rest ->
+        json_path := path;
+        parse acc rest
+    | "--json" :: [] ->
+        prerr_endline "--json requires a file argument";
+        exit 2
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] args in
   let selected =
     match args with
     | [] -> experiments
@@ -849,4 +1038,5 @@ let () =
           names
   in
   Printf.printf "lsdb experiment harness%s\n" (if !quick then " (quick mode)" else "");
-  List.iter (fun (_, fn) -> fn ()) selected
+  List.iter (fun (_, fn) -> fn ()) selected;
+  write_json ()

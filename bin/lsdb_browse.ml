@@ -24,11 +24,20 @@ let repl shell =
   in
   loop ()
 
-let drive db command =
+let drive ?domains db command =
+  let pool =
+    match domains with
+    | Some n when n > 1 ->
+        let pool = Lsdb_exec.Pool.create ~domains:n in
+        Database.set_pool db (Some pool);
+        Some pool
+    | _ -> None
+  in
   let shell = Lsdb_shell.Shell.create db in
-  match command with
+  (match command with
   | Some cmd -> print_string (Lsdb_shell.Shell.execute shell cmd)
-  | None -> repl shell
+  | None -> repl shell);
+  Option.iter Lsdb_exec.Pool.shutdown pool
 
 open Cmdliner
 
@@ -51,12 +60,19 @@ let command_line =
   let doc = "Execute one command instead of starting the REPL." in
   Arg.(value & opt (some string) None & info [ "c"; "command" ] ~docv:"CMD" ~doc)
 
-let main file demo dir command =
+let domains =
+  let doc =
+    "Evaluate closure rounds and retraction waves across $(docv) domains \
+     (1 = sequential). Results are identical either way."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
+let main file demo dir command domains =
   match (demo, dir) with
   | Some name, _ -> (
       match List.assoc_opt name Lsdb_shell.Shell.demos with
       | Some build ->
-          drive (build ()) command;
+          drive ~domains (build ()) command;
           0
       | None ->
           Printf.eprintf "unknown demo %S (known: %s)\n" name
@@ -64,7 +80,7 @@ let main file demo dir command =
           1)
   | None, Some dir ->
       let p = Lsdb_storage.Persistent.open_dir dir in
-      drive (Lsdb_storage.Persistent.database p) command;
+      drive ~domains (Lsdb_storage.Persistent.database p) command;
       Lsdb_storage.Persistent.close p;
       0
   | None, None -> (
@@ -76,7 +92,7 @@ let main file demo dir command =
       with
       | Ok n ->
           if n > 0 then Printf.printf "loaded %d facts from %s\n" n (Option.get file);
-          drive db command;
+          drive ~domains db command;
           0
       | Error (Fact_file.Syntax_error { line; message }) ->
           Printf.eprintf "%s:%d: %s\n" (Option.get file) line message;
@@ -88,6 +104,6 @@ let main file demo dir command =
 let cmd =
   let doc = "browse a loosely structured database (Motro, SIGMOD 1984)" in
   let info = Cmd.info "lsdb-browse" ~version:"1.0.0" ~doc in
-  Cmd.v info Term.(const main $ file $ demo $ persistent_dir $ command_line)
+  Cmd.v info Term.(const main $ file $ demo $ persistent_dir $ command_line $ domains)
 
 let () = exit (Cmd.eval' cmd)

@@ -30,6 +30,44 @@ let compute db =
       end);
   { ups; downs; up_sets }
 
+(* The hierarchy view is invariant until the fact set or rules change, so
+   probing memoizes it per (database, generation). Weak keys let
+   discarded databases (tests, workload sweeps create thousands) drop
+   their entries; the mutex keeps the cache coherent when probes run
+   concurrently with other databases' lookups. *)
+module Db_cache = Ephemeron.K1.Make (struct
+  type nonrec t = Database.t
+
+  let equal = ( == )
+  let hash = Database.uid
+end)
+
+type cache_cell = { generation : int; broadness : t }
+
+let cache : cache_cell Db_cache.t = Db_cache.create 16
+let cache_lock = Mutex.create ()
+
+let of_db db =
+  let generation = Database.generation db in
+  Mutex.lock cache_lock;
+  let hit =
+    match Db_cache.find_opt cache db with
+    | Some { generation = g; broadness } when g = generation -> Some broadness
+    | _ -> None
+  in
+  Mutex.unlock cache_lock;
+  match hit with
+  | Some broadness -> broadness
+  | None ->
+      (* [compute] may fold pending inserts into the closure; the
+         generation read above already reflects those inserts (it is
+         bumped at insert time), so the entry stays valid. *)
+      let broadness = compute db in
+      Mutex.lock cache_lock;
+      Db_cache.replace cache db { generation; broadness };
+      Mutex.unlock cache_lock;
+      broadness
+
 let generalizations t e = Option.value ~default:[] (Int_tbl.find_opt t.ups e)
 let specializations t e = Option.value ~default:[] (Int_tbl.find_opt t.downs e)
 

@@ -15,6 +15,13 @@ type t
 (** Snapshot of the database's current closure. *)
 val compute : Database.t -> t
 
+(** Like {!compute}, but memoized per database {!Database.generation}: as
+    long as the database has not been mutated, repeated calls (every
+    {!Probing.probe}, every retraction wave) return the same structure
+    without rescanning the closure. Entries are dropped when the database
+    itself is collected. *)
+val of_db : Database.t -> t
+
 (** All strict generalizations [e'] with [(e,⊑,e')] in the closure. *)
 val generalizations : t -> Entity.t -> Entity.t list
 

@@ -16,13 +16,13 @@ type t = {
 
 exception Diverged = D.Engine.Diverged
 
-let compute ?(max_facts = 2_000_000) ?(staged_rules = []) ~rules store =
+let compute ?(max_facts = 2_000_000) ?pool ?(staged_rules = []) ~rules store =
   let staged, result =
     match staged_rules with
-    | [] -> (None, D.Engine.closure ~max_facts rules (Store.to_seq store))
+    | [] -> (None, D.Engine.closure ~max_facts ?pool rules (Store.to_seq store))
     | _ ->
-        let stage = D.Engine.closure ~max_facts staged_rules (Store.to_seq store) in
-        let result = D.Engine.closure ~max_facts rules (D.Index.to_seq stage.index) in
+        let stage = D.Engine.closure ~max_facts ?pool staged_rules (Store.to_seq store) in
+        let result = D.Engine.closure ~max_facts ?pool rules (D.Index.to_seq stage.index) in
         (* The stage's derived facts are base facts to the main run;
            restore their provenance and derivation order. *)
         D.Triple.Tbl.iter
@@ -59,15 +59,17 @@ let push_derived t added =
     t.derived_total <- t.derived_total + List.length derived
   end
 
-let extend ?(max_facts = 2_000_000) t facts =
+let extend ?(max_facts = 2_000_000) ?pool t facts =
   let triples = List.to_seq facts in
   (match t.staged with
   | None ->
-      let result, added = D.Engine.extend ~max_facts t.rules t.result triples in
+      let result, added = D.Engine.extend ~max_facts ?pool t.rules t.result triples in
       t.result <- result;
       push_derived t added
   | Some stage ->
-      let stage, stage_added = D.Engine.extend ~max_facts t.staged_rules stage triples in
+      let stage, stage_added =
+        D.Engine.extend ~max_facts ?pool t.staged_rules stage triples
+      in
       t.staged <- Some stage;
       (* Stage provenance for the newly inverted facts carries over. *)
       List.iter
@@ -78,7 +80,7 @@ let extend ?(max_facts = 2_000_000) t facts =
           | _ -> ())
         stage_added;
       let result, added =
-        D.Engine.extend ~max_facts t.rules t.result (List.to_seq stage_added)
+        D.Engine.extend ~max_facts ?pool t.rules t.result (List.to_seq stage_added)
       in
       t.result <- result;
       push_derived t added);
@@ -133,19 +135,22 @@ let exists_match t pat =
     false
   with Found -> true
 
-let active_entities t =
-  let table =
-    match t.actives with
-    | Some table -> table
-    | None ->
-        let table = Hashtbl.create 256 in
-        D.Index.iter
-          (fun (triple : D.Triple.t) ->
-            Hashtbl.replace table triple.s ();
-            Hashtbl.replace table triple.r ();
-            Hashtbl.replace table triple.t ())
-          t.result.index;
-        t.actives <- Some table;
-        table
-  in
-  Hashtbl.to_seq_keys table
+(* The [actives] cache mutates under read; concurrent readers (parallel
+   retraction waves) must force it from a single domain first — see
+   [prepare_readers]. *)
+let force_actives t =
+  match t.actives with
+  | Some table -> table
+  | None ->
+      let table = Hashtbl.create 256 in
+      D.Index.iter
+        (fun (triple : D.Triple.t) ->
+          Hashtbl.replace table triple.s ();
+          Hashtbl.replace table triple.r ();
+          Hashtbl.replace table triple.t ())
+        t.result.index;
+      t.actives <- Some table;
+      table
+
+let prepare_readers t = ignore (force_actives t)
+let active_entities t = Hashtbl.to_seq_keys (force_actives t)

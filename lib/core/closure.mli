@@ -25,6 +25,7 @@ exception Diverged of int
     actually executed (see DESIGN.md). *)
 val compute :
   ?max_facts:int ->
+  ?pool:Lsdb_exec.Pool.t ->
   ?staged_rules:Lsdb_datalog.Rule.t list ->
   rules:Lsdb_datalog.Rule.t list ->
   Store.t ->
@@ -35,8 +36,12 @@ val compute :
     from the new triples (through the same strata as [compute]), reusing
     everything already derived. The closure is updated in place and also
     returned. Deletions cannot be handled incrementally (derived facts
-    would need support counting); callers recompute for those. *)
-val extend : ?max_facts:int -> t -> Fact.t list -> t
+    would need support counting); callers recompute for those.
+
+    With [?pool] (here and in {!compute}), each semi-naive round is
+    sharded across the pool's domains; results are byte-identical to the
+    sequential path for any pool size. *)
+val extend : ?max_facts:int -> ?pool:Lsdb_exec.Pool.t -> t -> Fact.t list -> t
 
 val mem : t -> Fact.t -> bool
 val cardinal : t -> int
@@ -72,3 +77,9 @@ val exists_match : t -> Store.pattern -> bool
 
 (** Entities appearing in some closure fact. *)
 val active_entities : t -> Entity.t Seq.t
+
+(** Force the lazily built caches ({!active_entities}' table) so that the
+    closure can afterwards be read concurrently from several domains
+    without racing a cache fill. Must be called from a single domain,
+    before the fan-out, with no interleaved mutation. *)
+val prepare_readers : t -> unit

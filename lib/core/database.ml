@@ -1,4 +1,5 @@
 type t = {
+  uid : int;  (* unique per database; hash key for external caches *)
   symtab : Symtab.t;
   store : Store.t;
   relclass : Relclass.t;
@@ -9,6 +10,8 @@ type t = {
   mutable pending : Fact.t list;  (* inserts not yet folded into the cache *)
   mutable computations : int;
   mutable extensions : int;
+  mutable generation : int;  (* bumped whenever facts/rules/classes change *)
+  mutable pool : Lsdb_exec.Pool.t option;  (* domains for closure rounds & probing *)
 }
 
 exception Diverged of int
@@ -19,9 +22,12 @@ let axiom_facts =
     Fact.make Entity.contra Entity.inv Entity.contra;  (* ⊥ is its own inverse (§3.5) *)
   ]
 
+let next_uid = Atomic.make 0
+
 let create ?(max_facts = 2_000_000) () =
   let t =
     {
+      uid = Atomic.fetch_and_add next_uid 1;
       symtab = Symtab.create ();
       store = Store.create ();
       relclass = Relclass.create ();
@@ -32,6 +38,8 @@ let create ?(max_facts = 2_000_000) () =
       pending = [];
       computations = 0;
       extensions = 0;
+      generation = 0;
+      pool = None;
     }
   in
   List.iter (fun fact -> ignore (Store.add t.store fact)) axiom_facts;
@@ -43,7 +51,13 @@ let relclass t = t.relclass
 
 let invalidate t =
   t.closure_cache <- None;
-  t.pending <- []
+  t.pending <- [];
+  t.generation <- t.generation + 1
+
+let uid t = t.uid
+let generation t = t.generation
+let set_pool t pool = t.pool <- pool
+let pool t = t.pool
 
 let entity t name = Symtab.intern t.symtab name
 let find_entity t name = Symtab.find t.symtab name
@@ -64,7 +78,10 @@ let insert t fact =
   let added = Store.add t.store fact in
   (* Insertions extend the cached closure incrementally on next access;
      everything else (removal, rule/class changes) invalidates it. *)
-  if added && t.closure_cache <> None then t.pending <- fact :: t.pending;
+  if added then begin
+    t.generation <- t.generation + 1;
+    if t.closure_cache <> None then t.pending <- fact :: t.pending
+  end;
   added
 
 let insert_names t s r tgt = insert t (Fact.of_names t.symtab s r tgt)
@@ -132,7 +149,7 @@ let closure t =
       let facts = List.rev t.pending in
       t.pending <- [];
       t.extensions <- t.extensions + 1;
-      (try ignore (Closure.extend ~max_facts:t.max_facts closure facts)
+      (try ignore (Closure.extend ~max_facts:t.max_facts ?pool:t.pool closure facts)
        with Closure.Diverged n -> raise (Diverged n));
       closure
   | None ->
@@ -147,13 +164,18 @@ let closure t =
       let compile = List.map (Rule.compile ~is_class) in
       let closure =
         try
-          Closure.compute ~max_facts:t.max_facts ~staged_rules:(compile staged)
-            ~rules:(compile main) t.store
+          Closure.compute ~max_facts:t.max_facts ?pool:t.pool
+            ~staged_rules:(compile staged) ~rules:(compile main) t.store
         with Closure.Diverged n -> raise (Diverged n)
       in
       t.closure_cache <- Some closure;
       t.computations <- t.computations + 1;
       closure
+
+(* Force the closure (folding any pending inserts) and its lazy caches so
+   that subsequent evaluation is mutation-free and can fan out across
+   domains. *)
+let prepare_readers t = Closure.prepare_readers (closure t)
 
 let mem t fact = Closure.mem (closure t) fact
 let closure_computations t = t.computations
@@ -163,6 +185,7 @@ let facts t = Store.to_list t.store
 let copy t =
   let fresh =
     {
+      uid = Atomic.fetch_and_add next_uid 1;
       symtab = Symtab.create ();
       store = Store.create ();
       relclass = Relclass.copy t.relclass;
@@ -173,6 +196,8 @@ let copy t =
       pending = [];
       computations = 0;
       extensions = 0;
+      generation = 0;
+      pool = t.pool;
     }
   in
   (* Re-intern names so the copy owns its symbol table; ids are preserved

@@ -22,6 +22,33 @@ val symtab : t -> Symtab.t
 val store : t -> Store.t
 val relclass : t -> Relclass.t
 
+(** A process-unique id for this database — a stable hash key for
+    external per-database caches (see {!Broadness.of_db}). *)
+val uid : t -> int
+
+(** Monotone mutation counter: bumped by every change to the fact set,
+    rules or classifications. Anything derived purely from the database
+    contents (closure, broadness) is valid as long as the generation it
+    was computed at is still current. *)
+val generation : t -> int
+
+(** {1 Multicore execution} *)
+
+(** [set_pool t (Some pool)] makes closure computation shard its
+    semi-naive rounds across [pool]'s domains, and makes
+    [Probing.probe] evaluate retraction waves in parallel by default.
+    Results are byte-identical to the sequential path. The database does
+    not own the pool: callers shut it down. *)
+val set_pool : t -> Lsdb_exec.Pool.t option -> unit
+
+val pool : t -> Lsdb_exec.Pool.t option
+
+(** Force the closure (folding pending inserts) and its lazy caches so
+    that evaluation afterwards is mutation-free: required from a single
+    domain before fanning read-only query evaluation out across domains.
+    [Probing.probe] calls this itself before parallel waves. *)
+val prepare_readers : t -> unit
+
 (** {1 Entities} *)
 
 (** Intern (or look up) an entity by name. *)

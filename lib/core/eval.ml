@@ -157,15 +157,21 @@ let eval ?(opts = Match_layer.eval_opts) ?(reorder = true) db q =
     | [] -> k ()
     | first :: rest when not reorder -> sat first (fun () -> sat_conj rest k)
     | _ ->
+        (* Carry each candidate's cost through the fold: [cost] probes the
+           index and is too expensive to recompute for the running best at
+           every comparison. Strict [<] keeps the first minimum, as
+           before. *)
         let best =
           List.fold_left
             (fun acc q ->
               match acc with
-              | None -> Some q
-              | Some current -> if cost env q < cost env current then Some q else acc)
+              | None -> Some (cost env q, q)
+              | Some (best_cost, _) ->
+                  let c = cost env q in
+                  if c < best_cost then Some (c, q) else acc)
             None pending
         in
-        let chosen = Option.get best in
+        let _, chosen = Option.get best in
         let rest = List.filter (fun q -> q != chosen) pending in
         sat chosen (fun () -> sat_conj rest k)
   in

@@ -1,3 +1,5 @@
+module Pool = Lsdb_exec.Pool
+
 type success = {
   query : Query.t;
   steps : Retraction.step list;
@@ -20,11 +22,32 @@ type outcome =
 
 type pending = { query : Query.t; steps_rev : Retraction.step list }
 
-let probe ?policy ?(max_waves = 8) ?(max_wave_width = 512) ?opts db q =
+let probe ?policy ?(max_waves = 8) ?(max_wave_width = 512) ?opts ?pool db q =
+  let pool = match pool with Some _ as p -> p | None -> Database.pool db in
+  let parallel =
+    match pool with Some p when Pool.size p > 1 -> Some p | _ -> None
+  in
+  (* Wave evaluation is read-only, so one candidate query per pool lane is
+     safe once the closure and its lazy caches are forced up front. Results
+     are merged in candidate order, so the outcome is identical to the
+     sequential partition. *)
+  if parallel <> None then Database.prepare_readers db;
+  let evaluate_wave candidates =
+    let classify { query; steps_rev } =
+      let answer = Eval.eval ?opts db query in
+      if answer.rows <> [] then
+        Either.Left { query; steps = List.rev steps_rev; answer }
+      else Either.Right { query; steps_rev }
+    in
+    match parallel with
+    | Some p when List.compare_length_with candidates 1 > 0 ->
+        List.partition_map Fun.id (Pool.map p classify candidates)
+    | _ -> List.partition_map classify candidates
+  in
   let answer = Eval.eval ?opts db q in
   if answer.rows <> [] then Answered answer
   else begin
-    let broadness = Broadness.compute db in
+    let broadness = Broadness.of_db db in
     let seen = Hashtbl.create 64 in
     Hashtbl.add seen q ();
     let total_attempted = ref 0 in
@@ -57,15 +80,7 @@ let probe ?policy ?(max_waves = 8) ?(max_wave_width = 512) ?opts db q =
         let candidates = List.rev !next in
         let attempted = List.length candidates in
         total_attempted := !total_attempted + attempted;
-        let successes, failures =
-          List.partition_map
-            (fun { query; steps_rev } ->
-              let answer = Eval.eval ?opts db query in
-              if answer.rows <> [] then
-                Left { query; steps = List.rev steps_rev; answer }
-              else Right { query; steps_rev })
-            candidates
-        in
+        let successes, failures = evaluate_wave candidates in
         if successes <> [] then
           Retracted
             {

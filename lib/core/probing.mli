@@ -34,12 +34,18 @@ type outcome =
     }
 
 (** [probe db q] — evaluate and retract automatically. [max_waves]
-    defaults to 8; [max_wave_width] (default 512) caps each wave. *)
+    defaults to 8; [max_wave_width] (default 512) caps each wave.
+
+    [pool] (defaulting to {!Database.pool}[ db]) evaluates each wave's
+    candidate queries across the pool's domains; results are merged back
+    in candidate order, so the outcome — successes, their order, wave
+    numbers, criticality — is identical to the sequential path. *)
 val probe :
   ?policy:Retraction.policy ->
   ?max_waves:int ->
   ?max_wave_width:int ->
   ?opts:Match_layer.opts ->
+  ?pool:Lsdb_exec.Pool.t ->
   Database.t ->
   Query.t ->
   outcome

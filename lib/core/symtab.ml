@@ -1,8 +1,17 @@
+(* The symbol table is read from several domains at once during parallel
+   query evaluation, and composition may intern new composed names
+   mid-evaluation (Composition.compose_name). Lookups and interning are
+   serialized by [lock]; the id->name/numeric arrays are published through
+   [Atomic.t] so that readers acquiring the array also see the blitted
+   contents after a grow, and [next] is the release point for freshly
+   added ids. *)
+
 type t = {
-  mutable names : string array;  (* id -> canonical name *)
-  mutable numeric : float array;  (* id -> value, nan when not numeric *)
-  table : (string, int) Hashtbl.t;
-  mutable next : int;
+  names : string array Atomic.t;  (* id -> canonical name *)
+  numeric : float array Atomic.t;  (* id -> value, nan when not numeric *)
+  table : (string, int) Hashtbl.t;  (* guarded by [lock] *)
+  next : int Atomic.t;
+  lock : Mutex.t;
 }
 
 let parse_numeric s =
@@ -22,34 +31,41 @@ let parse_numeric s =
       done;
       if not !ok then None else float_of_string_opt (Buffer.contents buf)
 
-let grow t =
-  let cap = Array.length t.names in
-  if t.next >= cap then begin
+(* Callers hold [lock]. *)
+let grow t id =
+  let names = Atomic.get t.names in
+  let cap = Array.length names in
+  if id >= cap then begin
     let cap' = max 16 (cap * 2) in
-    let names = Array.make cap' "" in
-    Array.blit t.names 0 names 0 cap;
-    t.names <- names;
-    let numeric = Array.make cap' nan in
-    Array.blit t.numeric 0 numeric 0 cap;
-    t.numeric <- numeric
+    let names' = Array.make cap' "" in
+    Array.blit names 0 names' 0 cap;
+    let numeric' = Array.make cap' nan in
+    Array.blit (Atomic.get t.numeric) 0 numeric' 0 cap;
+    (* Publish fully initialized arrays; readers never see a partial blit. *)
+    Atomic.set t.names names';
+    Atomic.set t.numeric numeric'
   end
 
+(* Callers hold [lock]. *)
 let raw_add t name =
-  grow t;
-  let id = t.next in
-  t.names.(id) <- name;
-  t.numeric.(id) <- (match parse_numeric name with Some v -> v | None -> nan);
+  let id = Atomic.get t.next in
+  grow t id;
+  (Atomic.get t.names).(id) <- name;
+  (Atomic.get t.numeric).(id) <-
+    (match parse_numeric name with Some v -> v | None -> nan);
   Hashtbl.replace t.table name id;
-  t.next <- id + 1;
+  (* The release store making the new id visible to other domains. *)
+  Atomic.set t.next (id + 1);
   id
 
 let create () =
   let t =
     {
-      names = Array.make 64 "";
-      numeric = Array.make 64 nan;
+      names = Atomic.make (Array.make 64 "");
+      numeric = Atomic.make (Array.make 64 nan);
       table = Hashtbl.create 64;
-      next = 0;
+      next = Atomic.make 0;
+      lock = Mutex.create ();
     }
   in
   Array.iteri
@@ -57,47 +73,67 @@ let create () =
       let id = raw_add t canonical in
       assert (id = expected);
       (* Specials are relationship names, never numbers. *)
-      t.numeric.(id) <- nan;
+      (Atomic.get t.numeric).(id) <- nan;
       List.iter (fun a -> Hashtbl.replace t.table a id) aliases)
     Entity.special_names;
   t
 
-let find t name = Hashtbl.find_opt t.table name
-let mem t name = Hashtbl.mem t.table name
+let with_lock t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+      Mutex.unlock t.lock;
+      v
+  | exception e ->
+      Mutex.unlock t.lock;
+      raise e
+
+let find t name = with_lock t (fun () -> Hashtbl.find_opt t.table name)
+let mem t name = with_lock t (fun () -> Hashtbl.mem t.table name)
 
 let intern t name =
-  match Hashtbl.find_opt t.table name with Some id -> id | None -> raw_add t name
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table name with
+      | Some id -> id
+      | None -> raw_add t name)
 
 let name t id =
-  if id < 0 || id >= t.next then
+  if id < 0 || id >= Atomic.get t.next then
     invalid_arg (Printf.sprintf "Symtab.name: unknown entity id %d" id)
-  else t.names.(id)
+  else (Atomic.get t.names).(id)
 
 let alias t alias_name id =
-  if id < 0 || id >= t.next then
-    invalid_arg (Printf.sprintf "Symtab.alias: unknown entity id %d" id);
-  match Hashtbl.find_opt t.table alias_name with
-  | Some existing when existing <> id ->
-      invalid_arg
-        (Printf.sprintf "Symtab.alias: %S already names entity %d" alias_name existing)
-  | Some _ -> ()
-  | None -> Hashtbl.add t.table alias_name id
+  with_lock t (fun () ->
+      if id < 0 || id >= Atomic.get t.next then
+        invalid_arg (Printf.sprintf "Symtab.alias: unknown entity id %d" id);
+      match Hashtbl.find_opt t.table alias_name with
+      | Some existing when existing <> id ->
+          invalid_arg
+            (Printf.sprintf "Symtab.alias: %S already names entity %d" alias_name
+               existing)
+      | Some _ -> ()
+      | None -> Hashtbl.add t.table alias_name id)
 
-let cardinal t = t.next
-let numeric_value t id = if Float.is_nan t.numeric.(id) then None else Some t.numeric.(id)
-let is_numeric t id = not (Float.is_nan t.numeric.(id))
+let cardinal t = Atomic.get t.next
+
+let numeric_value t id =
+  let v = (Atomic.get t.numeric).(id) in
+  if Float.is_nan v then None else Some v
+
+let is_numeric t id = not (Float.is_nan (Atomic.get t.numeric).(id))
 
 let iter f t =
-  for id = 0 to t.next - 1 do
+  for id = 0 to Atomic.get t.next - 1 do
     f id
   done
 
 let iter_user f t =
-  for id = Entity.special_count to t.next - 1 do
+  for id = Entity.special_count to Atomic.get t.next - 1 do
     f id
   done
 
 let iter_numeric f t =
-  for id = 0 to t.next - 1 do
-    if not (Float.is_nan t.numeric.(id)) then f id
+  let numeric = Atomic.get t.numeric in
+  for id = 0 to Atomic.get t.next - 1 do
+    if not (Float.is_nan numeric.(id)) then f id
   done

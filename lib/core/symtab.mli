@@ -4,7 +4,11 @@
     ids (canonical names and ASCII aliases both resolve). Numeric entities
     — names that denote numbers, optionally decorated like ["$25000"] or
     ["1,500"] — have their value parsed once at interning time so the
-    virtual-fact oracle (§3.6) can compare them without re-parsing. *)
+    virtual-fact oracle (§3.6) can compare them without re-parsing.
+
+    The table is domain-safe: lookups and interning are serialized, and
+    id → name/value reads may run concurrently with interning (parallel
+    query evaluation interns composed relationship names on the fly). *)
 
 type t
 

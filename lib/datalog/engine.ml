@@ -1,3 +1,5 @@
+module Pool = Lsdb_exec.Pool
+
 type provenance = { rule : string; premises : Triple.t list }
 
 type result = {
@@ -22,92 +24,156 @@ let atom_pattern binding (atom : Atom.t) =
     Term.subst binding atom.r,
     Term.subst binding atom.t )
 
-(* Semi-naive body evaluation: for each position [k], match atom [k]
-   against [delta] and every other atom against [full], so that every
-   produced binding uses at least one new premise. The delta atom is
-   matched {e first} — the delta is the smallest relation by far, and
-   leading with it binds variables that make the remaining full-index
-   probes selective (leading with an unconstrained atom would scan the
-   whole index once per rule per round). [emit binding premises] is
+(* Semi-naive body evaluation: every produced binding uses at least one
+   premise from [delta]; the remaining atoms are matched against [full].
+   [delta] is an {e ordered array} and is iterated outermost, each triple
+   tried at every body position — so the emission order depends only on
+   the delta order and on [full], never on how the delta happens to be
+   sharded across domains (the parallel rounds rely on exactly this).
+   Leading with the delta triple also binds variables that make the
+   remaining full-index probes selective. [emit binding premises] is
    called for each complete match, premises in body order. *)
 let eval_rule (rule : Rule.t) ~full ~delta ~emit =
   let binding = Array.make (max rule.nvars 1) (-1) in
   let body = Array.of_list rule.body in
   let n = Array.length body in
   let premises = Array.make n (Triple.make (-1) (-1) (-1)) in
-  for k = 0 to n - 1 do
-    let order = k :: List.filter (fun i -> i <> k) (List.init n Fun.id) in
-    let rec go = function
-      | [] ->
-          if guards_ok binding rule.guards then emit binding (Array.to_list premises)
-      | i :: rest ->
-          let atom = body.(i) in
-          let s, r, tgt = atom_pattern binding atom in
-          let source = if i = k then delta else full in
-          Index.candidates source ~s ~r ~tgt (fun triple ->
-              match Atom.match_against binding atom triple with
+  let rest_of = Array.init n (fun k -> List.filter (fun i -> i <> k) (List.init n Fun.id)) in
+  let rec go = function
+    | [] ->
+        if guards_ok binding rule.guards then emit binding (Array.to_list premises)
+    | i :: rest ->
+        let atom = body.(i) in
+        let s, r, tgt = atom_pattern binding atom in
+        Index.candidates full ~s ~r ~tgt (fun triple ->
+            match Atom.match_against binding atom triple with
+            | None -> ()
+            | Some newly ->
+                premises.(i) <- triple;
+                if guards_ok binding rule.guards then go rest;
+                List.iter (fun v -> binding.(v) <- -1) newly)
+  in
+  Array.iter
+    (fun dtriple ->
+      for k = 0 to n - 1 do
+        match Atom.match_against binding body.(k) dtriple with
+        | None -> ()
+        | Some newly ->
+            premises.(k) <- dtriple;
+            if guards_ok binding rule.guards then go rest_of.(k);
+            List.iter (fun v -> binding.(v) <- -1) newly
+      done)
+    delta
+
+(* One semi-naive round over a frozen [full]: evaluate every rule against
+   one delta shard, buffering (head, premises) emissions per rule. The
+   index is not mutated here, so shards can run on separate domains; a
+   local seen-table bounds the buffers (keeping the first emission in the
+   shard's rule-major stream, which is also the one the deterministic
+   barrier merge would keep). *)
+let round_shard rules ~full shard =
+  let seen = Triple.Tbl.create 64 in
+  let buffers = Array.make (Array.length rules) [] in
+  Array.iteri
+    (fun ri (rule : Rule.t) ->
+      eval_rule rule ~full ~delta:shard ~emit:(fun binding premises ->
+          List.iter
+            (fun head ->
+              match Atom.instantiate binding head with
               | None -> ()
-              | Some newly ->
-                  premises.(i) <- triple;
-                  if guards_ok binding rule.guards then go rest;
-                  List.iter (fun v -> binding.(v) <- -1) newly)
-    in
-    go order
-  done
+              | Some triple ->
+                  if (not (Index.mem full triple)) && not (Triple.Tbl.mem seen triple)
+                  then begin
+                    Triple.Tbl.add seen triple ();
+                    buffers.(ri) <- (triple, premises) :: buffers.(ri)
+                  end)
+            rule.heads))
+    rules;
+  Array.map List.rev buffers
+
+(* Split [delta] into contiguous shards, preserving order. *)
+let shards_of nshards delta =
+  let len = Array.length delta in
+  let per = (len + nshards - 1) / nshards in
+  Array.init nshards (fun i ->
+      let lo = i * per in
+      let hi = min len (lo + per) in
+      Array.sub delta lo (max 0 (hi - lo)))
 
 (* The shared semi-naive driver: iterate rules from [initial] as the
-   first delta against [full], adding consequences to [full] and
-   recording provenance, until no new triples appear. Returns the derived
-   triples (in order) and the number of rounds. *)
-let fixpoint ~max_facts rules ~full ~provenance initial =
+   first delta, adding the consequences to [full] and recording
+   provenance at a single-threaded barrier after each round, until no new
+   triples appear. Rounds see [full] as of the round start (whether run
+   on one domain or many), so for a fixed input the derived order,
+   round count and provenance are identical for every [pool]/shard
+   configuration. Returns the derived triples (in order) and the number
+   of rounds. *)
+let fixpoint ?pool ~max_facts rules ~full ~provenance initial =
+  let rules = Array.of_list rules in
   let derived_rev = ref [] in
-  let delta = ref initial in
+  let delta = ref (Array.of_list initial) in
   let rounds = ref 0 in
-  while !delta <> [] do
+  while Array.length !delta > 0 do
     incr rounds;
-    let delta_index = Index.create ~size_hint:(List.length !delta) () in
-    List.iter (fun triple -> ignore (Index.add delta_index triple)) !delta;
-    let next = ref [] in
-    List.iter
-      (fun (rule : Rule.t) ->
-        eval_rule rule ~full ~delta:delta_index ~emit:(fun binding premises ->
+    let shard_results =
+      match pool with
+      | Some pool when Array.length !delta > 1 && Pool.size pool > 1 ->
+          (* At least ~32 delta triples per shard: below that the join
+             work cannot amortize the fan-out. *)
+          let nshards =
+            min (Pool.size pool) (max 1 ((Array.length !delta + 31) / 32))
+          in
+          if nshards = 1 then [| round_shard rules ~full !delta |]
+          else
+            Pool.map_array pool (round_shard rules ~full) (shards_of nshards !delta)
+      | _ -> [| round_shard rules ~full !delta |]
+    in
+    (* Barrier: merge rule-major then shard-major — the same stream a
+       single shard would emit — deduplicate against the index, extend
+       it, and record provenance, all single-threaded. *)
+    let next_rev = ref [] in
+    Array.iteri
+      (fun ri (rule : Rule.t) ->
+        Array.iter
+          (fun buffers ->
             List.iter
-              (fun head ->
-                match Atom.instantiate binding head with
-                | None -> ()
-                | Some triple ->
-                    if Index.add full triple then begin
-                      if Index.cardinal full > max_facts then
-                        raise (Diverged (Index.cardinal full));
-                      next := triple :: !next;
-                      derived_rev := triple :: !derived_rev;
-                      Triple.Tbl.replace provenance triple
-                        { rule = rule.name; premises }
-                    end)
-              rule.heads))
+              (fun (triple, premises) ->
+                if Index.add full triple then begin
+                  if Index.cardinal full > max_facts then
+                    raise (Diverged (Index.cardinal full));
+                  next_rev := triple :: !next_rev;
+                  derived_rev := triple :: !derived_rev;
+                  Triple.Tbl.replace provenance triple
+                    { rule = rule.name; premises }
+                end)
+              buffers.(ri))
+          shard_results)
       rules;
-    delta := !next
+    delta := Array.of_list (List.rev !next_rev)
   done;
   (List.rev !derived_rev, !rounds)
 
-let closure ?(max_facts = 10_000_000) rules base =
+let closure ?(max_facts = 10_000_000) ?pool rules base =
   let full = Index.create () in
   let provenance = Triple.Tbl.create 256 in
   let initial = ref [] in
   Seq.iter
     (fun triple -> if Index.add full triple then initial := triple :: !initial)
     base;
-  let derived, rounds = fixpoint ~max_facts rules ~full ~provenance !initial in
+  let derived, rounds =
+    fixpoint ?pool ~max_facts rules ~full ~provenance (List.rev !initial)
+  in
   { index = full; derived; provenance; rounds }
 
-let extend ?(max_facts = 10_000_000) rules result extra =
+let extend ?(max_facts = 10_000_000) ?pool rules result extra =
   let fresh = ref [] in
   Seq.iter
     (fun triple -> if Index.add result.index triple then fresh := triple :: !fresh)
     extra;
   let fresh = List.rev !fresh in
   let derived, rounds =
-    fixpoint ~max_facts rules ~full:result.index ~provenance:result.provenance fresh
+    fixpoint ?pool ~max_facts rules ~full:result.index ~provenance:result.provenance
+      fresh
   in
   (* [derived] is deliberately NOT concatenated onto [result.derived]:
      that would make each extension O(closure size). Callers that track
@@ -116,9 +182,10 @@ let extend ?(max_facts = 10_000_000) rules result extra =
 
 let step rules index =
   let out = ref [] in
+  let delta = Array.of_seq (Index.to_seq index) in
   List.iter
     (fun (rule : Rule.t) ->
-      eval_rule rule ~full:index ~delta:index ~emit:(fun binding _premises ->
+      eval_rule rule ~full:index ~delta ~emit:(fun binding _premises ->
           List.iter
             (fun head ->
               match Atom.instantiate binding head with

@@ -2,7 +2,15 @@
 
     Computes the closure of a set of ground triples under a set of
     conjunctive rules (§2.6 of the paper), recording for every derived
-    triple one derivation (rule name + premises) for explanation. *)
+    triple one derivation (rule name + premises) for explanation.
+
+    Rounds use a barrier discipline: every rule application in a round
+    reads the index as of the round start, and the round's consequences
+    are merged in deterministically (rule order, then delta order) at a
+    single-threaded barrier. A round's delta can therefore be sharded
+    across the domains of an [Lsdb_exec.Pool] — pass [?pool] to
+    {!closure}/{!extend} — and the result (index, derived order, rounds,
+    provenance) is byte-identical for every pool size, including none. *)
 
 type provenance = { rule : string; premises : Triple.t list }
 
@@ -18,9 +26,11 @@ exception Diverged of int
     safety valve for rule sets that generate unboundedly, which the paper
     notes is possible with unrestricted composition. *)
 
-(** [closure ?max_facts rules base] computes the closure of [base] under
-    [rules]. Duplicate base triples are collapsed. *)
-val closure : ?max_facts:int -> Rule.t list -> Triple.t Seq.t -> result
+(** [closure ?max_facts ?pool rules base] computes the closure of [base]
+    under [rules]. Duplicate base triples are collapsed. With [?pool],
+    each round's delta is evaluated across the pool's domains. *)
+val closure :
+  ?max_facts:int -> ?pool:Lsdb_exec.Pool.t -> Rule.t list -> Triple.t Seq.t -> result
 
 (** [extend ?max_facts rules result extra] incrementally maintains a
     closure under insertions: the [extra] base triples are added and the
@@ -33,6 +43,7 @@ val closure : ?max_facts:int -> Rule.t list -> Triple.t Seq.t -> result
     to the next stratum. *)
 val extend :
   ?max_facts:int ->
+  ?pool:Lsdb_exec.Pool.t ->
   Rule.t list ->
   result ->
   Triple.t Seq.t ->

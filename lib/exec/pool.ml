@@ -1,0 +1,121 @@
+type t = {
+  size : int;
+  mutex : Mutex.t;  (* guards [jobs] and [stopped] *)
+  nonempty : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_domains () = Domain.recommended_domain_count ()
+
+let worker_loop t () =
+  let rec run () =
+    Mutex.lock t.mutex;
+    let rec next () =
+      if t.stopped then None
+      else if Queue.is_empty t.jobs then begin
+        Condition.wait t.nonempty t.mutex;
+        next ()
+      end
+      else Some (Queue.pop t.jobs)
+    in
+    let job = next () in
+    Mutex.unlock t.mutex;
+    match job with
+    | None -> ()
+    | Some job ->
+        (* Jobs are wrappers built by [map_array] and never raise; the
+           guard keeps a misbehaving job from killing the worker. *)
+        (try job () with _ -> ());
+        run ()
+  in
+  run ()
+
+let create ~domains =
+  let size = max 1 domains in
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      jobs = Queue.create ();
+      stopped = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let size t = t.size
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let workers = t.workers in
+  t.stopped <- true;
+  t.workers <- [];
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join workers
+
+let map_array t f input =
+  if t.stopped then invalid_arg "Pool.map: pool is shut down";
+  let n = Array.length input in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let completed = Atomic.make 0 in
+    let finished = Mutex.create () in
+    let all_done = Condition.create () in
+    (* Every lane (workers and the caller) claims indices from the shared
+       cursor until the input is exhausted. Results and errors land at
+       their input index, so scheduling cannot perturb the output. *)
+    let lane () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          (match f input.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+          if 1 + Atomic.fetch_and_add completed 1 = n then begin
+            Mutex.lock finished;
+            Condition.broadcast all_done;
+            Mutex.unlock finished
+          end;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = min (t.size - 1) (n - 1) in
+    if helpers > 0 then begin
+      Mutex.lock t.mutex;
+      for _ = 1 to helpers do
+        Queue.push lane t.jobs
+      done;
+      Condition.broadcast t.nonempty;
+      Mutex.unlock t.mutex
+    end;
+    lane ();
+    Mutex.lock finished;
+    while Atomic.get completed < n do
+      Condition.wait all_done finished
+    done;
+    Mutex.unlock finished;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      errors;
+    Array.map
+      (function
+        | Some v -> v
+        | None -> assert false (* every index completed without error *))
+      results
+  end
+
+let map t f xs = Array.to_list (map_array t f (Array.of_list xs))
+
+let fold t ~f ~combine ~init xs = List.fold_left combine init (map t f xs)
