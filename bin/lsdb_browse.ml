@@ -24,7 +24,7 @@ let repl shell =
   in
   loop ()
 
-let drive ?domains db command =
+let drive ?domains ?journal db command =
   let pool =
     match domains with
     | Some n when n > 1 ->
@@ -33,7 +33,7 @@ let drive ?domains db command =
         Some pool
     | _ -> None
   in
-  let shell = Lsdb_shell.Shell.create db in
+  let shell = Lsdb_shell.Shell.create ?journal db in
   (match command with
   | Some cmd -> print_string (Lsdb_shell.Shell.execute shell cmd)
   | None -> repl shell);
@@ -67,7 +67,15 @@ let domains =
   in
   Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
 
-let main file demo dir command domains =
+let salvage =
+  let doc =
+    "Open the durable directory in salvage mode: truncate a torn log tail, \
+     skip corrupt records, keep everything that still parses, and print a \
+     recovery report. Without this flag corruption is a fatal error."
+  in
+  Arg.(value & flag & info [ "salvage" ] ~doc)
+
+let main file demo dir command domains salvage =
   match (demo, dir) with
   | Some name, _ -> (
       match List.assoc_opt name Lsdb_shell.Shell.demos with
@@ -78,11 +86,37 @@ let main file demo dir command domains =
           Printf.eprintf "unknown demo %S (known: %s)\n" name
             (String.concat ", " (List.map fst Lsdb_shell.Shell.demos));
           1)
-  | None, Some dir ->
-      let p = Lsdb_storage.Persistent.open_dir dir in
-      drive ~domains (Lsdb_storage.Persistent.database p) command;
-      Lsdb_storage.Persistent.close p;
-      0
+  | None, Some dir -> (
+      let recovery = if salvage then `Salvage else `Strict in
+      match Lsdb_storage.Persistent.open_dir ~recovery dir with
+      | exception Failure msg ->
+          Printf.eprintf "%s\n" msg;
+          1
+      | p ->
+          let report = Lsdb_storage.Persistent.recovery_report p in
+          if not (Lsdb_storage.Recovery_report.is_clean report) then
+            print_endline (Lsdb_storage.Recovery_report.to_string report);
+          let db = Lsdb_storage.Persistent.database p in
+          (* Shell commands mutate [db] directly; journal each successful
+             mutation so it survives in the operation log. *)
+          let journal mutation =
+            let open Lsdb_storage in
+            let names f = Fact.names (Database.symtab db) f in
+            Persistent.journal p
+              (match mutation with
+              | Lsdb_shell.Shell.Inserted f ->
+                  let s, r, t = names f in
+                  Log.Insert (s, r, t)
+              | Lsdb_shell.Shell.Removed f ->
+                  let s, r, t = names f in
+                  Log.Remove (s, r, t)
+              | Lsdb_shell.Shell.Rule_included name -> Log.Include_rule name
+              | Lsdb_shell.Shell.Rule_excluded name -> Log.Exclude_rule name
+              | Lsdb_shell.Shell.Limit_set n -> Log.Set_limit n)
+          in
+          drive ~domains ~journal db command;
+          Lsdb_storage.Persistent.close p;
+          0)
   | None, None -> (
       let db = Database.create () in
       match
@@ -104,6 +138,8 @@ let main file demo dir command domains =
 let cmd =
   let doc = "browse a loosely structured database (Motro, SIGMOD 1984)" in
   let info = Cmd.info "lsdb-browse" ~version:"1.0.0" ~doc in
-  Cmd.v info Term.(const main $ file $ demo $ persistent_dir $ command_line $ domains)
+  Cmd.v info
+    Term.(
+      const main $ file $ demo $ persistent_dir $ command_line $ domains $ salvage)
 
 let () = exit (Cmd.eval' cmd)

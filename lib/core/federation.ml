@@ -15,11 +15,14 @@ let create members =
           let s, r, tgt = Fact.names member_symtab fact in
           let merged_fact = Fact.of_names (Database.symtab merged) s r tgt in
           ignore (Database.insert merged merged_fact);
-          let existing =
-            Option.value ~default:[] (Fact.Tbl.find_opt origin_table merged_fact)
-          in
-          if not (List.mem member_name existing) then
-            Fact.Tbl.replace origin_table merged_fact (member_name :: existing))
+          (* Members are merged one at a time, so a duplicate sighting of
+             this fact within the current member always has this member
+             at the head — an O(1) check, not a List.mem scan. *)
+          match Fact.Tbl.find_opt origin_table merged_fact with
+          | Some (m :: _) when String.equal m member_name -> ()
+          | existing ->
+              Fact.Tbl.replace origin_table merged_fact
+                (member_name :: Option.value ~default:[] existing))
         (Database.store member_db);
       (* Carry over class declarations and non-builtin rules. *)
       List.iter
@@ -51,5 +54,6 @@ let add_bridge t a b =
 
 let shared_facts t =
   Fact.Tbl.fold
-    (fun fact origin_list acc -> if List.length origin_list >= 2 then fact :: acc else acc)
+    (fun fact origin_list acc ->
+      match origin_list with _ :: _ :: _ -> fact :: acc | _ -> acc)
     t.origin_table []

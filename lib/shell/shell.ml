@@ -1,12 +1,21 @@
 open Lsdb
 
+type mutation =
+  | Inserted of Fact.t
+  | Removed of Fact.t
+  | Rule_included of string
+  | Rule_excluded of string
+  | Limit_set of int
+
 type t = {
   db : Database.t;
   session : Navigation.session;
   defs : Definitions.t;
+  journal : mutation -> unit;
 }
 
-let create db = { db; session = Navigation.start db; defs = Definitions.create () }
+let create ?(journal = fun _ -> ()) db =
+  { db; session = Navigation.start db; defs = Definitions.create (); journal }
 let database t = t.db
 
 let demos =
@@ -179,7 +188,9 @@ and run t out words =
           match parse_fact out db (rest_text ()) with
           | Some fact -> (
               match Integrity.insert_checked db fact with
-              | Ok true -> say "inserted"
+              | Ok true ->
+                  t.journal (Inserted fact);
+                  say "inserted"
               | Ok false -> say "already present"
               | Error violations ->
                   say "rejected:";
@@ -188,17 +199,30 @@ and run t out words =
       | "remove", _ :: _ -> (
           match parse_fact out db (rest_text ()) with
           | Some fact ->
-              say "%s" (if Database.remove db fact then "removed" else "not a base fact")
+              if Database.remove db fact then begin
+                t.journal (Removed fact);
+                say "removed"
+              end
+              else say "not a base fact"
           | None -> ())
       | "rules", _ -> say "%s" (Operators.show_rules db)
       | "include", [ name ] ->
-          say "%s" (if Operators.include_rule db name then "enabled" else "no such rule")
+          if Operators.include_rule db name then begin
+            t.journal (Rule_included name);
+            say "enabled"
+          end
+          else say "no such rule"
       | "exclude", [ name ] ->
-          say "%s" (if Operators.exclude db name then "disabled" else "no such rule")
+          if Operators.exclude db name then begin
+            t.journal (Rule_excluded name);
+            say "disabled"
+          end
+          else say "no such rule"
       | "limit", [ n ] -> (
           match int_of_string_opt n with
           | Some n when n >= 1 ->
               Operators.limit db n;
+              t.journal (Limit_set n);
               say "composition limit = %d" n
           | _ -> say "limit needs a positive integer")
       | "check", _ -> (

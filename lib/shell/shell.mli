@@ -10,7 +10,18 @@
 
 type t
 
-val create : Lsdb.Database.t -> t
+(** A successful base mutation, reported to [journal] just after it was
+    applied to the database. A persistent backend uses this to log shell
+    mutations (see [Persistent.journal]); the default journal ignores
+    them. The [load] command's bulk fact loads are not journalled. *)
+type mutation =
+  | Inserted of Lsdb.Fact.t
+  | Removed of Lsdb.Fact.t
+  | Rule_included of string
+  | Rule_excluded of string
+  | Limit_set of int
+
+val create : ?journal:(mutation -> unit) -> Lsdb.Database.t -> t
 val database : t -> Lsdb.Database.t
 
 (** Execute one command line; returns the output text (possibly empty,

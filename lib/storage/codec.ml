@@ -90,26 +90,35 @@ let int32_of_le32 s pos =
        (Int32.shift_left (byte 1) 8)
        (Int32.logor (Int32.shift_left (byte 2) 16) (Int32.shift_left (byte 3) 24)))
 
-let write_frame oc payload =
-  let header = writer ~size_hint:8 () in
-  write_varint header (String.length payload);
-  output_string oc (contents header);
-  output_string oc payload;
-  output_string oc (le32_of_int32 (crc32 payload))
+let frame payload =
+  let w = writer ~size_hint:(String.length payload + 8) () in
+  write_varint w (String.length payload);
+  write_raw w payload;
+  write_raw w (le32_of_int32 (crc32 payload));
+  contents w
 
-let read_frame data ~pos =
-  if pos >= String.length data then None
+let write_frame oc payload = output_string oc (frame payload)
+
+let parse_frame data ~pos =
+  if pos >= String.length data then `End
   else
     let r = reader ~pos data in
     match read_varint r with
-    | exception Corrupt _ -> None (* torn length prefix at the tail *)
+    | exception Corrupt _ -> `Torn (* unparseable length prefix *)
     | len ->
         let body_start = r.pos in
-        if body_start + len + 4 > String.length data then None (* torn frame *)
+        if len < 0 || body_start + len + 4 > String.length data then `Torn
         else
           let payload = String.sub data body_start len in
           let stored = int32_of_le32 data (body_start + len) in
-          if Int32.equal stored (crc32 payload) then Some (payload, body_start + len + 4)
-          else if body_start + len + 4 = String.length data then None
-            (* corrupt final frame: treat as torn *)
-          else raise (Corrupt "frame checksum mismatch")
+          if Int32.equal stored (crc32 payload) then
+            `Frame (payload, body_start + len + 4)
+          else `Bad_crc (body_start + len + 4)
+
+let read_frame data ~pos =
+  match parse_frame data ~pos with
+  | `End | `Torn -> None
+  | `Frame (payload, next) -> Some (payload, next)
+  | `Bad_crc next ->
+      if next = String.length data then None (* corrupt final frame: torn *)
+      else raise (Corrupt "frame checksum mismatch")

@@ -43,9 +43,22 @@ val crc32 : ?pos:int -> ?len:int -> string -> int32
     Frames survive partial trailing writes: a torn final frame is detected
     and reported as the clean end of the stream. *)
 
+val frame : string -> string
+(** The framed bytes of one payload, for callers that buffer writes
+    themselves (the VFS-backed log). *)
+
 val write_frame : out_channel -> string -> unit
 
 (** [read_frame buffer ~pos] returns [Some (payload, next_pos)], [None] at
     a clean end (end of buffer or torn final frame), and raises [Corrupt]
     on a checksum mismatch in a non-final position. *)
 val read_frame : string -> pos:int -> (string * int) option
+
+(** The primitive under {!read_frame}, for salvage scanners that must
+    keep going past damage: [`Bad_crc next] is a well-delimited frame
+    whose checksum fails (skippable as a unit), [`Torn] means no frame
+    parses at [pos] (rescan byte-by-byte), [`End] is a clean end. *)
+val parse_frame :
+  string ->
+  pos:int ->
+  [ `Frame of string * int | `Bad_crc of int | `Torn | `End ]

@@ -65,35 +65,166 @@ let decode payload =
   if not (Codec.at_end r) then raise (Codec.Corrupt "trailing bytes in log record");
   op
 
-type t = { oc : out_channel; path : string }
+(* A header frame (tag 0) stamps the log with the epoch of the snapshot
+   it extends; the reopen protocol ignores logs whose epoch predates the
+   snapshot's (they were already folded in by a compaction that crashed
+   before resetting the log). Headerless logs predate epochs and are
+   always replayed. *)
+let encode_header epoch =
+  let w = Codec.writer ~size_hint:8 () in
+  Codec.write_byte w 0;
+  Codec.write_varint w epoch;
+  Codec.contents w
 
-let open_ path =
-  let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
-  { oc; path }
+type record = Header of int | Op of op
 
-let append t op = Codec.write_frame t.oc (encode op)
-let sync t = flush t.oc
-let close t = close_out t.oc
+let decode_record payload =
+  if String.length payload > 0 && payload.[0] = '\x00' then begin
+    let r = Codec.reader ~pos:1 payload in
+    let epoch = Codec.read_varint r in
+    if not (Codec.at_end r) then raise (Codec.Corrupt "trailing bytes in log header");
+    Header epoch
+  end
+  else Op (decode payload)
 
-let read_file path =
-  if not (Sys.file_exists path) then None
-  else begin
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> Some (really_input_string ic (in_channel_length ic)))
+(* ------------------------------------------------------------------ *)
+(* Appending                                                           *)
+
+(* Appends are buffered here (not in an out_channel) so that every byte
+   reaching the file goes through one instrumented Vfs.write, and sync
+   is a real fsync — a flush alone leaves the data in the OS cache,
+   where a power cut still eats it. *)
+
+let flush_threshold = 32 * 1024
+
+type t = { vfs : Vfs.t; file : Vfs.file; buf : Buffer.t }
+
+let flush t =
+  if Buffer.length t.buf > 0 then begin
+    Vfs.write ~site:"log.write" t.file (Buffer.contents t.buf);
+    Buffer.clear t.buf
   end
 
-let read_all path =
-  match read_file path with
-  | None -> []
-  | Some data ->
-      let rec go pos acc =
-        match Codec.read_frame data ~pos with
-        | Some (payload, next) -> go next (decode payload :: acc)
-        | None -> List.rev acc
-      in
-      go 0 []
+let open_ ?(vfs = Vfs.real) ?epoch path =
+  let file = Vfs.open_append vfs path in
+  let t = { vfs; file; buf = Buffer.create 1024 } in
+  (match epoch with
+  | Some e when Vfs.size file = 0 ->
+      Buffer.add_string t.buf (Codec.frame (encode_header e));
+      flush t
+  | _ -> ());
+  t
+
+let append t op =
+  Buffer.add_string t.buf (Codec.frame (encode op));
+  if Buffer.length t.buf >= flush_threshold then flush t
+
+let sync t =
+  flush t;
+  Vfs.fsync ~site:"log.fsync" t.file
+
+let close t =
+  flush t;
+  Vfs.close t.file
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+
+type read_result = {
+  header_epoch : int option;
+  ops : op list;
+  frames_read : int;
+  frames_skipped : int;
+  bytes_truncated : int;
+}
+
+let empty_result =
+  { header_epoch = None; ops = []; frames_read = 0; frames_skipped = 0;
+    bytes_truncated = 0 }
+
+let classify_frame ~first payload (header, ops, nread, nskip) =
+  match decode_record payload with
+  | Header e when first -> (Some e, ops, nread, nskip)
+  | Header _ -> (header, ops, nread, nskip + 1) (* misplaced header *)
+  | Op op -> (header, op :: ops, nread + 1, nskip)
+  | exception Codec.Corrupt _ -> (header, ops, nread, nskip + 1)
+
+let strict_scan data =
+  let len = String.length data in
+  let rec go pos first (header, ops, nread, _) =
+    match Codec.read_frame data ~pos with
+    | None ->
+        {
+          header_epoch = header;
+          ops = List.rev ops;
+          frames_read = nread;
+          frames_skipped = 0;
+          bytes_truncated = len - pos;
+        }
+    | Some (payload, next) ->
+        (* In strict mode an undecodable record is corruption, period. *)
+        let acc =
+          match decode_record payload with
+          | Header e when first -> (Some e, ops, nread, 0)
+          | Header _ -> raise (Codec.Corrupt "misplaced log header frame")
+          | Op op -> (header, op :: ops, nread + 1, 0)
+        in
+        go next false acc
+  in
+  go 0 true (None, [], 0, 0)
+
+(* Salvage: walk the file keeping everything that still parses. A
+   well-delimited frame with a bad checksum is dropped as a unit; where
+   no frame parses at all we rescan byte by byte until one does (a
+   maximal garbage run counts as one skipped frame). A garbage run that
+   reaches the end of the file is a torn tail, not a skipped frame. *)
+let salvage_scan data =
+  let len = String.length data in
+  let acc = ref (None, [], 0, 0) in
+  let pos = ref 0 in
+  let first = ref true in
+  let run_start = ref (-1) in
+  let end_run () =
+    if !run_start >= 0 then begin
+      let header, ops, nread, nskip = !acc in
+      acc := (header, ops, nread, nskip + 1);
+      run_start := -1
+    end
+  in
+  while !pos < len do
+    match Codec.parse_frame data ~pos:!pos with
+    | `Frame (payload, next) ->
+        end_run ();
+        acc := classify_frame ~first:!first payload !acc;
+        first := false;
+        pos := next
+    | `Bad_crc next ->
+        end_run ();
+        let header, ops, nread, nskip = !acc in
+        acc := (header, ops, nread, nskip + 1);
+        first := false;
+        pos := next
+    | `Torn | `End ->
+        if !run_start < 0 then run_start := !pos;
+        incr pos
+  done;
+  let truncated = if !run_start >= 0 then len - !run_start else 0 in
+  let header, ops, nread, nskip = !acc in
+  {
+    header_epoch = header;
+    ops = List.rev ops;
+    frames_read = nread;
+    frames_skipped = nskip;
+    bytes_truncated = truncated;
+  }
+
+let read_log ?(vfs = Vfs.real) ~mode path =
+  match Vfs.read_file vfs path with
+  | None -> empty_result
+  | Some data -> (
+      match mode with `Strict -> strict_scan data | `Salvage -> salvage_scan data)
+
+let read_all ?vfs path = (read_log ?vfs ~mode:`Strict path).ops
 
 let apply db = function
   | Insert (s, r, t) -> ignore (Lsdb.Database.insert_names db s r t)
@@ -106,10 +237,26 @@ let apply db = function
   | Exclude_rule name -> ignore (Lsdb.Database.exclude db name)
   | Include_rule name -> ignore (Lsdb.Database.include_rule db name)
 
-let replay path db =
-  let ops = read_all path in
+let replay ?vfs path db =
+  let ops = read_all ?vfs path in
   List.iter (apply db) ops;
   List.length ops
+
+(* Atomically replace [path] with a clean log holding [header ∥ ops]:
+   written to a sibling .tmp, fsynced, renamed into place, directory
+   fsynced. Used by compaction (to reset the log under a new epoch) and
+   by recovery (to clear torn or corrupt regions). *)
+let write_fresh ?(vfs = Vfs.real) ~epoch ~ops path =
+  let tmp = path ^ ".tmp" in
+  let w = Codec.writer ~size_hint:4096 () in
+  Codec.write_raw w (Codec.frame (encode_header epoch));
+  List.iter (fun op -> Codec.write_raw w (Codec.frame (encode op))) ops;
+  let file = Vfs.open_trunc vfs tmp in
+  Vfs.write ~site:"logtrunc.write" file (Codec.contents w);
+  Vfs.fsync ~site:"logtrunc.fsync" file;
+  Vfs.close file;
+  Vfs.rename ~site:"logtrunc.rename" vfs tmp path;
+  Vfs.fsync_dir ~site:"dir.fsync" vfs (Filename.dirname path)
 
 let op_of_insert db fact =
   let s, r, t = Lsdb.Fact.names (Lsdb.Database.symtab db) fact in

@@ -1,6 +1,12 @@
 (** The append-only operation log: every database mutation as one framed,
     checksummed record. Replaying a log onto a fresh database rebuilds the
-    state; names (not ids) are logged so logs survive re-interning. *)
+    state; names (not ids) are logged so logs survive re-interning.
+
+    A log may begin with a {e header frame} stamping the epoch of the
+    snapshot it extends (see {!Persistent.compact}); headerless logs are
+    legacy and always replayed. All file I/O goes through a {!Vfs.t}
+    (instrumented sites ["log.write"], ["log.fsync"], ["logtrunc.*"]),
+    and {!sync} is a real [fsync], not a buffer flush. *)
 
 type op =
   | Insert of string * string * string
@@ -19,29 +25,59 @@ val encode : op -> string
 
 val decode : string -> op  (** raises {!Codec.Corrupt} *)
 
-(** {1 Files} *)
+(** A decoded frame payload: an operation, or the epoch header. *)
+type record = Header of int | Op of op
+
+val decode_record : string -> record  (** raises {!Codec.Corrupt} *)
+
+val encode_header : int -> string
+
+(** {1 Appending} *)
 
 type t
 
-(** Open (creating if missing) for appending. *)
-val open_ : string -> t
+(** Open (creating if missing) for appending. If [epoch] is given and
+    the file is empty, an epoch header frame is written first. *)
+val open_ : ?vfs:Vfs.t -> ?epoch:int -> string -> t
 
 val append : t -> op -> unit
 
-(** Flush buffered records to the OS. *)
+(** Flush buffered records and [fsync] the file: when this returns
+    without raising, every appended record is durable. *)
 val sync : t -> unit
 
 val close : t -> unit
 
-(** Read every intact record of a log file ([[]] if absent); tolerates a
+(** {1 Reading} *)
+
+type read_result = {
+  header_epoch : int option;  (** [None]: headerless legacy log *)
+  ops : op list;
+  frames_read : int;  (** intact operation frames *)
+  frames_skipped : int;  (** corrupt frames dropped (salvage only) *)
+  bytes_truncated : int;  (** torn tail discarded *)
+}
+
+(** Read a log file ([{empty} …] if absent). [`Strict] raises
+    {!Codec.Corrupt} on any mid-file damage (a torn {e tail} is always
+    tolerated — that is the normal shape of a crash); [`Salvage] keeps
+    every record that still parses, counting what it dropped. *)
+val read_log : ?vfs:Vfs.t -> mode:[ `Strict | `Salvage ] -> string -> read_result
+
+(** Strict read of every intact record ([[]] if absent); tolerates a
     torn final record. *)
-val read_all : string -> op list
+val read_all : ?vfs:Vfs.t -> string -> op list
 
 (** Apply an operation to a database. *)
 val apply : Lsdb.Database.t -> op -> unit
 
 (** [replay path db] applies all records; returns how many. *)
-val replay : string -> Lsdb.Database.t -> int
+val replay : ?vfs:Vfs.t -> string -> Lsdb.Database.t -> int
+
+(** Atomically replace [path] with a clean log holding exactly
+    [header epoch ∥ ops]: sibling [.tmp], fsync, rename, directory
+    fsync. Crash-safe at every step. *)
+val write_fresh : ?vfs:Vfs.t -> epoch:int -> ops:op list -> string -> unit
 
 (** Derive the op that records a mutation, for callers wrapping
     {!Lsdb.Database}. *)

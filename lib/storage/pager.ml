@@ -5,7 +5,7 @@ module Int_tbl = Hashtbl.Make (Int)
 type entry = { data : bytes; mutable last_use : int }
 
 type t = {
-  fd : Unix.file_descr;
+  file : Vfs.file;
   cache : entry Int_tbl.t;
   dirty : unit Int_tbl.t;
   mutable pages : int;
@@ -13,16 +13,16 @@ type t = {
   capacity : int;  (* max cached pages *)
 }
 
-let open_ ?(cache_capacity = 1024) path =
-  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
-  let len = (Unix.fstat fd).Unix.st_size in
+let open_ ?(vfs = Vfs.real) ?(cache_capacity = 1024) path =
+  let file = Vfs.open_rw vfs path in
+  let len = Vfs.size file in
   if len mod page_size <> 0 then begin
-    Unix.close fd;
+    Vfs.close file;
     invalid_arg (Printf.sprintf "Pager.open_: %s is not page-aligned" path)
   end;
   if cache_capacity < 8 then invalid_arg "Pager.open_: cache_capacity must be >= 8";
   {
-    fd;
+    file;
     cache = Int_tbl.create 64;
     dirty = Int_tbl.create 16;
     pages = len / page_size;
@@ -41,13 +41,7 @@ let tick t =
   t.clock
 
 let write_out t page data =
-  ignore (Unix.lseek t.fd (page * page_size) Unix.SEEK_SET);
-  let rec go off =
-    if off < page_size then
-      let n = Unix.write t.fd data off (page_size - off) in
-      go (off + n)
-  in
-  go 0
+  Vfs.pwrite ~site:"pager.write" t.file ~off:(page * page_size) data
 
 let flush_dirty t =
   Int_tbl.iter
@@ -93,16 +87,9 @@ let read t page =
       Bytes.copy entry.data
   | None ->
       let data = Bytes.create page_size in
-      ignore (Unix.lseek t.fd (page * page_size) Unix.SEEK_SET);
-      let rec go off =
-        if off < page_size then
-          let n = Unix.read t.fd data off (page_size - off) in
-          if n = 0 then
-            (* Allocated but never flushed: reads as zeros. *)
-            Bytes.fill data off (page_size - off) '\x00'
-          else go (off + n)
-      in
-      go 0;
+      let n = Vfs.pread t.file ~off:(page * page_size) data in
+      (* Allocated but never flushed: reads as zeros. *)
+      if n < page_size then Bytes.fill data n (page_size - n) '\x00';
       cache_put t page data;
       Bytes.copy data
 
@@ -116,11 +103,11 @@ let write t page data =
 
 let sync t =
   flush_dirty t;
-  Unix.fsync t.fd
+  Vfs.fsync ~site:"pager.fsync" t.file
 
 let close t =
   sync t;
-  Unix.close t.fd
+  Vfs.close t.file
 
 let dirty_count t = Int_tbl.length t.dirty
 let cached_count t = Int_tbl.length t.cache

@@ -1,6 +1,8 @@
 (** A paged file: fixed-size pages addressed by id, with a bounded
     write-back cache (LRU batch eviction; dirty pages are flushed before
-    being dropped). The substrate under {!Heap_file}. *)
+    being dropped). The substrate under {!Heap_file}. All I/O goes
+    through a {!Vfs.t} (sites ["pager.write"], ["pager.fsync"]), and
+    {!sync} really fsyncs. *)
 
 type t
 
@@ -8,7 +10,7 @@ val page_size : int  (** 4096 bytes *)
 
 (** Open or create. [cache_capacity] is the maximal number of cached
     pages (default 1024 ≈ 4 MiB; minimum 8). *)
-val open_ : ?cache_capacity:int -> string -> t
+val open_ : ?vfs:Vfs.t -> ?cache_capacity:int -> string -> t
 
 val page_count : t -> int
 

@@ -1,19 +1,62 @@
 (** A durable loosely structured database: a directory holding a binary
     snapshot plus an append-only operation log. Opening replays
     [snapshot ∥ log]; {!compact} folds the log into a fresh snapshot.
-    All mutators mirror {!Lsdb.Database} and log before returning. *)
+    All mutators mirror {!Lsdb.Database} and log before returning.
+
+    Crash safety: {!sync} really fsyncs (an op acked before a successful
+    [sync] survives any crash), {!compact} is atomic at every step
+    (snapshot written aside, verified, renamed into place, directory
+    fsynced, log reset under a bumped epoch — an interrupted compaction
+    reopens to exactly-once application), and {!open_dir} can salvage a
+    torn or corrupt store instead of failing. All I/O flows through a
+    {!Vfs.t}, so every one of those claims is tested by fault
+    injection (see [test/test_crash.ml] and the crash-torture driver). *)
 
 type t
 
-(** [open_dir dir] — create the directory if needed, load snapshot if
-    present, replay the log. *)
-val open_dir : string -> t
+(** [Always]: every logged mutation is flushed and fsynced before the
+    mutator returns — maximal durability, one fsync per op.
+    [On_demand] (default): records are buffered until {!sync},
+    {!compact} or {!close} — the throughput choice; a crash may lose
+    operations acked since the last sync, but never synced ones. *)
+type sync_mode = Always | On_demand
+
+(** [open_dir dir] — create the directory if needed, load the snapshot
+    if present, reconcile epochs, replay the log.
+
+    [recovery] (default [`Strict]): [`Strict] raises [Failure] with a
+    descriptive message (naming the path, what is corrupt, and the
+    salvage escape hatch) on any mid-file damage; [`Salvage] keeps every
+    record that still parses — truncating a torn tail, skipping corrupt
+    frames, abandoning an undecodable snapshot — and repairs the files
+    so the next open is clean. Either way {!recovery_report} says what
+    happened. A torn {e tail} on the log (the normal shape of a crash)
+    is tolerated even by [`Strict]. *)
+val open_dir :
+  ?vfs:Vfs.t ->
+  ?recovery:[ `Strict | `Salvage ] ->
+  ?sync_mode:sync_mode ->
+  string ->
+  t
 
 (** The in-memory database (query/browse freely; do not mutate directly —
     unlogged mutations are lost at the next open). *)
 val database : t -> Lsdb.Database.t
 
+(** What {!open_dir} found and repaired. *)
+val recovery_report : t -> Recovery_report.t
+
+val sync_mode : t -> sync_mode
+
+(** Compaction epoch of the current snapshot (0 until first compact). *)
+val epoch : t -> int
+
 (** {1 Logged mutations} *)
+
+(** Append [op] to the log {e without} applying it to {!database} — for
+    callers (e.g. the shell) that have already mutated {!database}
+    directly and only need the mutation made durable. *)
+val journal : t -> Log.op -> unit
 
 val insert : t -> Lsdb.Fact.t -> bool
 val insert_names : t -> string -> string -> string -> bool
@@ -26,10 +69,13 @@ val include_rule : t -> string -> bool
 
 (** {1 Durability} *)
 
-(** Flush the log. *)
+(** Flush and fsync the log: on return, every acked op is durable. *)
 val sync : t -> unit
 
-(** Write a snapshot of the current state and truncate the log. *)
+(** Fold the log into a fresh snapshot under a bumped epoch; atomic
+    against crashes at any point (see the protocol comment in the
+    implementation). On failure after the snapshot has advanced, the
+    store refuses further mutations until reopened. *)
 val compact : t -> unit
 
 val close : t -> unit

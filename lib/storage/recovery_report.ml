@@ -1,0 +1,59 @@
+type epoch_decision = Fresh | Applied | Ignored_stale | Replayed_future
+
+type t = {
+  mode : [ `Strict | `Salvage ];
+  snapshot_epoch : int;
+  log_epoch : int option;
+  epoch_decision : epoch_decision;
+  snapshot_unreadable : bool;
+  frames_read : int;
+  ops_applied : int;
+  frames_skipped : int;
+  bytes_truncated : int;
+  tmp_removed : bool;
+  log_rewritten : bool;
+}
+
+let clean ~mode ~snapshot_epoch =
+  {
+    mode;
+    snapshot_epoch;
+    log_epoch = None;
+    epoch_decision = Fresh;
+    snapshot_unreadable = false;
+    frames_read = 0;
+    ops_applied = 0;
+    frames_skipped = 0;
+    bytes_truncated = 0;
+    tmp_removed = false;
+    log_rewritten = false;
+  }
+
+let is_clean t =
+  (not t.snapshot_unreadable)
+  && t.frames_skipped = 0 && t.bytes_truncated = 0 && (not t.tmp_removed)
+  && match t.epoch_decision with
+     | Fresh | Applied -> true
+     | Ignored_stale | Replayed_future -> false
+
+let decision_string = function
+  | Fresh -> "fresh (nothing to reconcile)"
+  | Applied -> "applied (log epoch matches snapshot)"
+  | Ignored_stale -> "ignored stale log (already folded into snapshot)"
+  | Replayed_future -> "replayed future-epoch log (best effort)"
+
+let pp ppf t =
+  let mode = match t.mode with `Strict -> "strict" | `Salvage -> "salvage" in
+  Format.fprintf ppf "@[<v>recovery (%s): %s@," mode
+    (if is_clean t then "clean" else "repaired");
+  Format.fprintf ppf "  snapshot epoch %d%s, log epoch %s@," t.snapshot_epoch
+    (if t.snapshot_unreadable then " (snapshot unreadable, abandoned)" else "")
+    (match t.log_epoch with Some e -> string_of_int e | None -> "none");
+  Format.fprintf ppf "  epoch decision: %s@," (decision_string t.epoch_decision);
+  Format.fprintf ppf "  frames: %d read, %d skipped; %d op(s) applied@,"
+    t.frames_read t.frames_skipped t.ops_applied;
+  Format.fprintf ppf "  torn tail: %d byte(s) truncated%s%s@]" t.bytes_truncated
+    (if t.tmp_removed then "; leftover snapshot.tmp removed" else "")
+    (if t.log_rewritten then "; log rewritten clean" else "")
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,45 @@
+(** What {!Persistent.open_dir} found and decided while bringing a
+    database directory back up. A clean open yields a report with all
+    counters zero; after a crash (or worse), the report says exactly
+    which bytes were sacrificed and why the log was or wasn't applied. *)
+
+type epoch_decision =
+  | Fresh  (** no snapshot and no log header: nothing to reconcile *)
+  | Applied  (** log epoch matched the snapshot (or legacy, headerless log) *)
+  | Ignored_stale
+      (** the log's epoch predates the snapshot: a crash interrupted
+          compaction after the snapshot rename but before the log was
+          reset — its operations are already folded into the snapshot
+          and were NOT replayed (exactly-once) *)
+  | Replayed_future
+      (** salvage only: the log claims a later epoch than the snapshot
+          (lost snapshot rename); its operations were replayed as a
+          best effort *)
+
+type t = {
+  mode : [ `Strict | `Salvage ];
+  snapshot_epoch : int;
+  log_epoch : int option;  (** [None]: headerless (legacy) or absent log *)
+  epoch_decision : epoch_decision;
+  snapshot_unreadable : bool;
+      (** salvage only: the snapshot failed to decode and was abandoned;
+          recovery started from an empty database *)
+  frames_read : int;  (** intact log frames decoded (header excluded) *)
+  ops_applied : int;  (** operations actually replayed into the database *)
+  frames_skipped : int;  (** corrupt mid-log frames dropped (salvage) *)
+  bytes_truncated : int;  (** torn tail bytes discarded *)
+  tmp_removed : bool;  (** a leftover [snapshot.lsdb.tmp] was deleted *)
+  log_rewritten : bool;
+      (** the log file was rewritten from its surviving operations to
+          clear torn/corrupt regions or a stale epoch *)
+}
+
+val clean : mode:[ `Strict | `Salvage ] -> snapshot_epoch:int -> t
+(** All-zero report for the given mode/epoch. *)
+
+val is_clean : t -> bool
+(** True when recovery had nothing to repair: no skipped frames, no
+    truncated bytes, no stale log, no abandoned snapshot. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,12 +1,13 @@
-let magic = "LSDB\x01"
+let magic = "LSDB\x02"
 
 exception Corrupt of string
 
-let encode db =
+let encode ?(epoch = 0) db =
   let open Lsdb in
   let symtab = Database.symtab db in
   let w = Codec.writer ~size_hint:4096 () in
   Codec.write_raw w magic;
+  Codec.write_varint w epoch;
   (* Dictionary: map every entity id used below to a dense index. The
      specials are implicit (they exist in every database), so only user
      entities are written. *)
@@ -68,7 +69,7 @@ let encode db =
   Codec.write_raw framed (Printf.sprintf "%08lx" (Codec.crc32 body));
   Codec.contents framed
 
-let decode data =
+let decode_full data =
   let open Lsdb in
   if String.length data < String.length magic + 8 then raise (Corrupt "truncated snapshot");
   let body_len = String.length data - 8 in
@@ -81,6 +82,7 @@ let decode data =
   let r = Codec.reader ~pos:(String.length magic) body in
   let wrap f = try f () with Codec.Corrupt msg -> raise (Corrupt msg) in
   wrap (fun () ->
+      let epoch = Codec.read_varint r in
       let db = Database.create () in
       let name_count = Codec.read_varint r in
       let ids = Array.make name_count 0 in
@@ -115,19 +117,22 @@ let decode data =
         ignore (Database.insert db (Fact.make s rel t))
       done;
       if not (Codec.at_end r) then raise (Corrupt "trailing bytes in snapshot");
-      db)
+      (epoch, db))
 
-let save db path =
-  let oc = open_out_bin path in
+let decode data = snd (decode_full data)
+
+(* [save] is a plain durable write (write ∥ fsync). It is NOT atomic
+   against a crash mid-write — callers that overwrite a live snapshot
+   must write to a sibling file and rename; see Persistent.compact. *)
+let save ?(vfs = Vfs.real) ?epoch db path =
+  let file = Vfs.open_trunc vfs path in
   Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (encode db))
+    ~finally:(fun () -> Vfs.close file)
+    (fun () ->
+      Vfs.write ~site:"snapshot.write" file (encode ?epoch db);
+      Vfs.fsync ~site:"snapshot.fsync" file)
 
-let load path =
-  let ic = open_in_bin path in
-  let data =
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  decode data
+let load ?(vfs = Vfs.real) path =
+  match Vfs.read_file vfs path with
+  | None -> raise (Corrupt (Printf.sprintf "snapshot %s does not exist" path))
+  | Some data -> decode data

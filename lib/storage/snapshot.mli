@@ -7,13 +7,22 @@
 
 val magic : string
 
-(** Serialize the base state. *)
-val encode : Lsdb.Database.t -> string
+(** Serialize the base state. The [epoch] (default 0) is stamped in the
+    header; compaction bumps it so reopen can tell a stale log from a
+    current one (see {!Persistent.compact}). *)
+val encode : ?epoch:int -> Lsdb.Database.t -> string
 
 exception Corrupt of string
 
 (** Rebuild a fresh database from a snapshot. *)
 val decode : string -> Lsdb.Database.t
 
-val save : Lsdb.Database.t -> string -> unit
-val load : string -> Lsdb.Database.t
+(** Like {!decode}, also returning the header epoch. *)
+val decode_full : string -> int * Lsdb.Database.t
+
+(** Durable write (write + fsync), via the given {!Vfs.t} — but not
+    atomic: callers replacing a live snapshot must write a sibling file
+    and rename it into place. *)
+val save : ?vfs:Vfs.t -> ?epoch:int -> Lsdb.Database.t -> string -> unit
+
+val load : ?vfs:Vfs.t -> string -> Lsdb.Database.t

@@ -1,0 +1,571 @@
+(* Crash-safety tests: the faulty VFS durability model, the epoch
+   protocol around compaction, each failpoint kind, and a seeded
+   property test that injects a random crash into a random workload.
+   The exhaustive enumeration lives in test/torture/crash_torture.ml;
+   this suite keeps a representative sample inside `dune runtest`. *)
+
+open Lsdb
+open Lsdb_storage
+open Testutil
+
+let contains msg sub =
+  let n = String.length msg and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Workload driver: run a script of steps against a Persistent store on
+   a faulty VFS, tracking the oracle — which ops were acked (logged),
+   which op was mid-write when the world ended, and how many were known
+   durable (acked before the last successful sync). *)
+
+type step =
+  | Ins of string * string * string
+  | Rem of string * string * string
+  | Decl_class of string
+  | Decl_indiv of string
+  | Limit of int
+  | Sync
+  | Compact
+
+type outcome = Completed | Died
+
+type run = {
+  acked : Log.op list;  (* ops that reached the log, oldest first *)
+  maybe : int;  (* trailing ops of [acked] that were mid-write at death *)
+  synced : int;  (* prefix of [acked] known durable *)
+  outcome : outcome;
+  crashed_in_compact : bool;
+}
+
+let run_script vfs dir ?(sync_mode = Persistent.On_demand) steps =
+  let acked = ref [] and n = ref 0 in
+  let synced = ref 0 in
+  let maybe = ref 0 in
+  let in_compact = ref false in
+  let ack op =
+    acked := op :: !acked;
+    incr n;
+    if sync_mode = Persistent.Always then synced := !n
+  in
+  let attempt op f =
+    (* If the step dies mid-operation, the op may or may not have
+       reached disk: record it as a "maybe" tail element. *)
+    match f () with
+    | true -> ack op
+    | false -> ()
+    | exception e ->
+        acked := op :: !acked;
+        incr n;
+        maybe := 1;
+        raise e
+  in
+  let run () =
+    let p = Persistent.open_dir ~vfs ~sync_mode dir in
+    let db = Persistent.database p in
+    List.iter
+      (fun step ->
+        match step with
+        | Ins (s, r, t) ->
+            attempt (Log.Insert (s, r, t)) (fun () -> Persistent.insert_names p s r t)
+        | Rem (s, r, t) ->
+            attempt (Log.Remove (s, r, t)) (fun () ->
+                Persistent.remove p (Fact.of_names (Database.symtab db) s r t))
+        | Decl_class name ->
+            attempt (Log.Declare_class name) (fun () ->
+                Persistent.declare_class_relationship p (Database.entity db name);
+                true)
+        | Decl_indiv name ->
+            attempt (Log.Declare_individual name) (fun () ->
+                Persistent.declare_individual_relationship p (Database.entity db name);
+                true)
+        | Limit k ->
+            attempt (Log.Set_limit k) (fun () ->
+                Persistent.set_limit p k;
+                true)
+        | Sync ->
+            Persistent.sync p;
+            synced := !n
+        | Compact ->
+            in_compact := true;
+            Persistent.compact p;
+            in_compact := false;
+            synced := !n)
+      steps;
+    Persistent.sync p;
+    synced := !n;
+    Persistent.close p
+  in
+  let outcome =
+    match run () with
+    | () -> Completed
+    | exception Vfs.Crashed _ -> Died
+    | exception Vfs.Fault _ -> Died
+  in
+  {
+    acked = List.rev !acked;
+    maybe = !maybe;
+    synced = !synced;
+    outcome;
+    crashed_in_compact = !in_compact;
+  }
+
+(* The recovered state must equal a rebuild of some prefix of the acked
+   ops — at least everything known durable, at most everything acked
+   (a mid-write "maybe" op is allowed but not required to survive). *)
+
+let take k list = List.filteri (fun i _ -> i < k) list
+
+let rebuild ops =
+  let db = Database.create () in
+  List.iter (Log.apply db) ops;
+  db
+
+let signature db =
+  let symtab = Database.symtab db in
+  ( List.sort compare (List.map (Fact.names symtab) (Database.facts db)),
+    Database.limit db )
+
+let matching_prefix ?min_k run recovered =
+  let n = List.length run.acked in
+  let min_k = max 0 (Option.value ~default:run.synced min_k) in
+  let sig_rec = signature recovered in
+  let rec go k =
+    if k < min_k then None
+    else if signature (rebuild (take k run.acked)) = sig_rec then Some k
+    else go (k - 1)
+  in
+  go n
+
+let check_recovered ?min_k what run recovered =
+  match matching_prefix ?min_k run recovered with
+  | Some _ -> ()
+  | None ->
+      Alcotest.failf
+        "%s: recovered state is not a durable prefix (%d acked, %d synced)" what
+        (List.length run.acked) run.synced
+
+let dir = "/db"
+
+let script =
+  [
+    Ins ("JOHN", "in", "EMPLOYEE");
+    Ins ("EMPLOYEE", "EARNS", "SALARY");
+    Decl_class "TOTAL-NUMBER";
+    Ins ("MARY", "in", "EMPLOYEE");
+    Sync;
+    Ins ("JOHN", "LIKES", "FELIX");
+    Rem ("JOHN", "LIKES", "FELIX");
+    Limit 3;
+    Compact;
+    Ins ("FELIX", "in", "CAT");
+    Decl_indiv "WORKS-FOR";
+    Sync;
+    Rem ("MARY", "in", "EMPLOYEE");
+    Ins ("SHIPPING", "in", "DEPARTMENT");
+    Compact;
+    Ins ("MARY", "WORKS-FOR", "SHIPPING");
+  ]
+
+let reopen ?(recovery = `Strict) vfs = Persistent.open_dir ~vfs ~recovery dir
+
+(* ------------------------------------------------------------------ *)
+
+let vfs_tests =
+  [
+    test "unsynced bytes die in a crash; synced bytes survive" (fun () ->
+        let vfs = Vfs.faulty () in
+        Vfs.mkdir vfs "/d";
+        let f = Vfs.open_append vfs "/d/a" in
+        Vfs.write f "durable";
+        Vfs.fsync f;
+        Vfs.write f " volatile";
+        Vfs.close f;
+        Alcotest.(check (option string))
+          "live sees all" (Some "durable volatile")
+          (Vfs.read_file vfs "/d/a");
+        Vfs.simulate_crash vfs;
+        Alcotest.(check (option string))
+          "only synced survives" (Some "durable")
+          (Vfs.read_file vfs "/d/a"));
+    test "a never-synced file does not survive a crash" (fun () ->
+        let vfs = Vfs.faulty () in
+        Vfs.mkdir vfs "/d";
+        let f = Vfs.open_append vfs "/d/ghost" in
+        Vfs.write f "bytes";
+        Vfs.close f;
+        Vfs.simulate_crash vfs;
+        Alcotest.(check bool) "gone" false (Vfs.file_exists vfs "/d/ghost"));
+    test "rename is volatile until the directory is fsynced" (fun () ->
+        let vfs = Vfs.faulty () in
+        Vfs.mkdir vfs "/d";
+        let put name data =
+          let f = Vfs.open_trunc vfs name in
+          Vfs.write f data;
+          Vfs.fsync f;
+          Vfs.close f
+        in
+        put "/d/target" "old";
+        put "/d/tmp" "new";
+        Vfs.rename vfs "/d/tmp" "/d/target";
+        Vfs.simulate_crash vfs;
+        Alcotest.(check (option string))
+          "rename rolled back" (Some "old")
+          (Vfs.read_file vfs "/d/target");
+        Alcotest.(check (option string))
+          "tmp reappears" (Some "new")
+          (Vfs.read_file vfs "/d/tmp");
+        (* Same dance, now with the directory fsync. *)
+        Vfs.rename vfs "/d/tmp" "/d/target";
+        Vfs.fsync_dir vfs "/d";
+        Vfs.simulate_crash vfs;
+        Alcotest.(check (option string))
+          "rename stuck" (Some "new")
+          (Vfs.read_file vfs "/d/target");
+        Alcotest.(check bool) "tmp gone" false (Vfs.file_exists vfs "/d/tmp"));
+    test "torn write persists exactly the torn prefix" (fun () ->
+        let vfs = Vfs.faulty () in
+        Vfs.mkdir vfs "/d";
+        let f = Vfs.open_append vfs "/d/a" in
+        Vfs.write ~site:"w" f "base-";
+        Vfs.fsync ~site:"s" f;
+        Vfs.arm vfs ~site:"w" (Vfs.Torn_write 3);
+        Alcotest.(check bool) "crashes mid-write" true
+          (try
+             Vfs.write ~site:"w" f "0123456789";
+             false
+           with Vfs.Crashed _ -> true);
+        Vfs.simulate_crash vfs;
+        Alcotest.(check (option string))
+          "prefix on disk" (Some "base-012")
+          (Vfs.read_file vfs "/d/a"));
+    test "lying fsync drops bytes at the crash" (fun () ->
+        let vfs = Vfs.faulty () in
+        Vfs.mkdir vfs "/d";
+        let f = Vfs.open_append vfs "/d/a" in
+        Vfs.write ~site:"w" f "one";
+        Vfs.fsync ~site:"s" f;
+        Vfs.arm vfs ~site:"s" Vfs.Fsync_lies;
+        Vfs.write ~site:"w" f "-two";
+        Vfs.fsync ~site:"s" f;
+        (* lied: reported success *)
+        Vfs.simulate_crash vfs;
+        Alcotest.(check (option string))
+          "lied-about bytes gone" (Some "one")
+          (Vfs.read_file vfs "/d/a"));
+    test "ENOSPC raises Fault and writes nothing" (fun () ->
+        let vfs = Vfs.faulty () in
+        Vfs.mkdir vfs "/d";
+        let f = Vfs.open_append vfs "/d/a" in
+        Vfs.arm vfs ~site:"w" Vfs.No_space;
+        Alcotest.(check bool) "raises Fault" true
+          (try
+             Vfs.write ~site:"w" f "data";
+             false
+           with Vfs.Fault _ -> true);
+        Vfs.write ~site:"w" f "later";
+        Alcotest.(check (option string))
+          "nothing from the failed write" (Some "later")
+          (Vfs.read_file vfs "/d/a"));
+    test "armed fault waits for the nth hit" (fun () ->
+        let vfs = Vfs.faulty () in
+        Vfs.mkdir vfs "/d";
+        let f = Vfs.open_append vfs "/d/a" in
+        Vfs.arm vfs ~site:"w" ~after:2 Vfs.No_space;
+        Vfs.write ~site:"w" f "a";
+        Vfs.write ~site:"w" f "b";
+        Alcotest.(check bool) "third hit fires" true
+          (try
+             Vfs.write ~site:"w" f "c";
+             false
+           with Vfs.Fault _ -> true);
+        Alcotest.(check (list (pair string int)))
+          "hits counted"
+          [ ("w", 3) ]
+          (Vfs.site_hits vfs));
+  ]
+
+let epoch_tests =
+  [
+    test "compact bumps the epoch and reopen agrees" (fun () ->
+        let vfs = Vfs.faulty () in
+        let r1 = run_script vfs dir script in
+        Alcotest.(check bool) "workload completed" true (r1.outcome = Completed);
+        let p = reopen vfs in
+        Alcotest.(check int) "epoch after two compactions" 2 (Persistent.epoch p);
+        Alcotest.(check bool) "clean report" true
+          (Recovery_report.is_clean (Persistent.recovery_report p));
+        check_recovered "clean reopen" r1 (Persistent.database p);
+        Persistent.close p);
+    test "crash between snapshot rename and log reset: stale log ignored"
+      (fun () ->
+        let vfs = Vfs.faulty () in
+        (* logtrunc.rename first fires inside the first Compact's log
+           reset — at that point the new snapshot is already durable. *)
+        Vfs.arm vfs ~site:"logtrunc.rename" Vfs.Crash;
+        let r = run_script vfs dir script in
+        Alcotest.(check bool) "died in compact" true
+          (r.crashed_in_compact && r.outcome = Died);
+        Vfs.simulate_crash vfs;
+        let p = reopen vfs in
+        let report = Persistent.recovery_report p in
+        Alcotest.(check bool) "stale log ignored" true
+          (report.Recovery_report.epoch_decision = Recovery_report.Ignored_stale);
+        Alcotest.(check int) "no op replayed twice" 0
+          report.Recovery_report.ops_applied;
+        (* Nothing is lost either: compaction folded every acked op in. *)
+        check_recovered
+          ~min_k:(List.length r.acked)
+          "exactly-once" r (Persistent.database p);
+        Persistent.close p);
+    test "crash before snapshot rename: old state + full log replayed" (fun () ->
+        let vfs = Vfs.faulty () in
+        Vfs.arm vfs ~site:"snapshot.rename" Vfs.Crash;
+        let r = run_script vfs dir script in
+        Alcotest.(check bool) "died in compact" true r.crashed_in_compact;
+        Vfs.simulate_crash vfs;
+        let p = reopen vfs in
+        let report = Persistent.recovery_report p in
+        Alcotest.(check bool) "log applied" true
+          (report.Recovery_report.epoch_decision = Recovery_report.Applied);
+        check_recovered
+          ~min_k:(List.length r.acked)
+          "nothing lost" r (Persistent.database p);
+        Persistent.close p);
+    test "a compaction that dies writing its snapshot leaves no tmp" (fun () ->
+        let vfs = Vfs.faulty () in
+        Vfs.arm vfs ~site:"snapshot.fsync" Vfs.Crash;
+        let r = run_script vfs dir script in
+        Alcotest.(check bool) "died in compact" true r.crashed_in_compact;
+        Vfs.simulate_crash vfs;
+        let p = reopen vfs in
+        Alcotest.(check bool) "no leftover tmp" false
+          (Vfs.file_exists vfs (Filename.concat dir "snapshot.lsdb.tmp"));
+        check_recovered
+          ~min_k:(List.length r.acked)
+          "nothing lost" r (Persistent.database p);
+        Persistent.close p);
+  ]
+
+let failpoint_tests =
+  [
+    test "torn log write: synced ops survive, torn tail truncated" (fun () ->
+        let vfs = Vfs.faulty () in
+        (* With sync_mode Always the log is flushed once per record; the
+           header frame is flush #1, so flush #4 carries the third op. *)
+        Vfs.arm vfs ~site:"log.write" ~after:3 (Vfs.Torn_write 2);
+        let r = run_script vfs dir ~sync_mode:Persistent.Always script in
+        Alcotest.(check bool) "died" true (r.outcome = Died);
+        Vfs.simulate_crash vfs;
+        let p = reopen vfs in
+        let report = Persistent.recovery_report p in
+        Alcotest.(check bool) "tail truncated and rewritten" true
+          (report.Recovery_report.bytes_truncated > 0
+          && report.Recovery_report.log_rewritten);
+        check_recovered "synced prefix survives" r (Persistent.database p);
+        Persistent.close p;
+        (* The rewrite cleared the tear: the next open is pristine. *)
+        let p2 = reopen vfs in
+        Alcotest.(check bool) "second open clean" true
+          (Recovery_report.is_clean (Persistent.recovery_report p2));
+        Persistent.close p2);
+    test "fsync that raises surfaces as Vfs.Fault, store stays usable" (fun () ->
+        let vfs = Vfs.faulty () in
+        let p = Persistent.open_dir ~vfs dir in
+        ignore (Persistent.insert_names p "A" "R" "B");
+        Vfs.arm vfs ~site:"log.fsync" Vfs.Fsync_raises;
+        Alcotest.(check bool) "sync raises" true
+          (try
+             Persistent.sync p;
+             false
+           with Vfs.Fault _ -> true);
+        (* The bytes are still in the live file; a retried sync lands them. *)
+        Persistent.sync p;
+        Persistent.close p;
+        Vfs.simulate_crash vfs;
+        let p2 = reopen vfs in
+        check_holds (Persistent.database p2) "op survived the retry" ("A", "R", "B");
+        Persistent.close p2);
+    test "lying fsync: loss is bounded to a clean prefix" (fun () ->
+        let vfs = Vfs.faulty () in
+        Vfs.arm vfs ~site:"log.fsync" ~after:1 Vfs.Fsync_lies;
+        let r = run_script vfs dir script in
+        Vfs.simulate_crash vfs;
+        let p = reopen vfs in
+        (* The sync lied, so the durable prefix may be shorter than the
+           oracle believes — but it must still be a prefix. *)
+        check_recovered ~min_k:0 "still a prefix" r (Persistent.database p);
+        Persistent.close p);
+    test "bit flip mid-log: strict refuses with advice, salvage skips the frame"
+      (fun () ->
+        let vfs = Vfs.faulty () in
+        let r =
+          run_script vfs dir
+            [
+              Ins ("A", "R", "B");
+              Ins ("C", "R", "D");
+              Ins ("E", "R", "F");
+              Ins ("G", "R", "H");
+              Sync;
+            ]
+        in
+        Alcotest.(check bool) "completed" true (r.outcome = Completed);
+        (* Flip a bit in the middle of the log: inside an op frame, well
+           past the header frame at the file's start. *)
+        let log_path = Filename.concat dir "log.lsdb" in
+        let data = Option.get (Vfs.read_file vfs log_path) in
+        Vfs.corrupt_durable vfs log_path ~byte:(String.length data / 2);
+        (match reopen vfs with
+        | exception Failure msg ->
+            Alcotest.(check bool) "names the dir" true (contains msg dir);
+            Alcotest.(check bool) "suggests salvage" true (contains msg "Salvage")
+        | p ->
+            Persistent.close p;
+            Alcotest.fail "strict open should refuse a corrupt mid-frame");
+        let p = reopen ~recovery:`Salvage vfs in
+        let report = Persistent.recovery_report p in
+        Alcotest.(check bool) "frame(s) skipped" true
+          (report.Recovery_report.frames_skipped >= 1);
+        Alcotest.(check bool) "log rewritten clean" true
+          report.Recovery_report.log_rewritten;
+        (* The corruption hit one middle frame; its neighbours survive. *)
+        check_holds (Persistent.database p) "first op kept" ("A", "R", "B");
+        check_holds (Persistent.database p) "last op kept" ("G", "R", "H");
+        Persistent.close p;
+        let p2 = reopen vfs in
+        Alcotest.(check bool) "strict open clean after salvage" true
+          (Recovery_report.is_clean (Persistent.recovery_report p2));
+        Persistent.close p2);
+    test "corrupt snapshot: strict refuses, salvage falls back to the log"
+      (fun () ->
+        let vfs = Vfs.faulty () in
+        let r =
+          run_script vfs dir
+            [ Ins ("A", "R", "B"); Compact; Ins ("C", "R", "D"); Sync ]
+        in
+        Alcotest.(check bool) "completed" true (r.outcome = Completed);
+        Vfs.corrupt_durable vfs (Filename.concat dir "snapshot.lsdb") ~byte:20;
+        (match reopen vfs with
+        | exception Failure msg ->
+            Alcotest.(check bool) "suggests salvage" true (contains msg "Salvage")
+        | p ->
+            Persistent.close p;
+            Alcotest.fail "strict open should refuse a corrupt snapshot");
+        let p = reopen ~recovery:`Salvage vfs in
+        let report = Persistent.recovery_report p in
+        Alcotest.(check bool) "snapshot abandoned" true
+          report.Recovery_report.snapshot_unreadable;
+        (* Only the post-compaction log survives: C-R-D but not A-R-B. *)
+        check_holds (Persistent.database p) "log op kept" ("C", "R", "D");
+        check_not_holds (Persistent.database p) "snapshot-only op lost"
+          ("A", "R", "B");
+        Persistent.close p;
+        let p2 = reopen vfs in
+        Alcotest.(check bool) "strict open clean after salvage" true
+          (Recovery_report.is_clean (Persistent.recovery_report p2));
+        Persistent.close p2);
+    test "shell mutations reach the log through the journal" (fun () ->
+        let vfs = Vfs.faulty () in
+        let p = Persistent.open_dir ~vfs dir in
+        let db = Persistent.database p in
+        let journal mutation =
+          let names f = Fact.names (Database.symtab db) f in
+          Persistent.journal p
+            (match mutation with
+            | Lsdb_shell.Shell.Inserted f ->
+                let s, r, t = names f in
+                Log.Insert (s, r, t)
+            | Lsdb_shell.Shell.Removed f ->
+                let s, r, t = names f in
+                Log.Remove (s, r, t)
+            | Lsdb_shell.Shell.Rule_included name -> Log.Include_rule name
+            | Lsdb_shell.Shell.Rule_excluded name -> Log.Exclude_rule name
+            | Lsdb_shell.Shell.Limit_set n -> Log.Set_limit n)
+        in
+        let shell = Lsdb_shell.Shell.create ~journal db in
+        ignore (Lsdb_shell.Shell.execute shell "insert (JOHN, in, EMPLOYEE)");
+        ignore (Lsdb_shell.Shell.execute shell "insert (MARY, in, EMPLOYEE)");
+        ignore (Lsdb_shell.Shell.execute shell "remove (MARY, in, EMPLOYEE)");
+        ignore (Lsdb_shell.Shell.execute shell "limit 2");
+        Persistent.close p;
+        Vfs.simulate_crash vfs;
+        let p2 = reopen vfs in
+        let db2 = Persistent.database p2 in
+        check_holds db2 "shell insert durable" ("JOHN", "in", "EMPLOYEE");
+        check_not_holds db2 "shell remove durable" ("MARY", "in", "EMPLOYEE");
+        Alcotest.(check int) "shell limit durable" 2 (Database.limit db2);
+        Persistent.close p2);
+    test "sync_mode Always makes every acked op durable" (fun () ->
+        let vfs = Vfs.faulty () in
+        let p = Persistent.open_dir ~vfs ~sync_mode:Persistent.Always dir in
+        Alcotest.(check bool) "mode exposed" true
+          (Persistent.sync_mode p = Persistent.Always);
+        ignore (Persistent.insert_names p "A" "R" "B");
+        ignore (Persistent.insert_names p "C" "R" "D");
+        (* No explicit sync, then the world ends. *)
+        Vfs.simulate_crash vfs;
+        let p2 = reopen vfs in
+        check_holds (Persistent.database p2) "first op durable" ("A", "R", "B");
+        check_holds (Persistent.database p2) "second op durable" ("C", "R", "D");
+        Persistent.close p2);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Property test: random workload, random crash point. *)
+
+let random_step rng =
+  let e = [| "A"; "B"; "C"; "D"; "E"; "F" |] in
+  let r = [| "R"; "S"; "in" |] in
+  let pick = Lsdb_workload.Rng.choose_array rng in
+  match Lsdb_workload.Rng.int rng 10 with
+  | 0 | 1 | 2 | 3 -> Ins (pick e, pick r, pick e)
+  | 4 -> Rem (pick e, pick r, pick e)
+  | 5 -> Decl_class (pick e)
+  | 6 -> Limit (1 + Lsdb_workload.Rng.int rng 4)
+  | 7 -> Sync
+  | 8 -> Compact
+  | _ -> Ins ("HUB", "in", "THING")
+
+let property_tests =
+  [
+    test "random workloads survive random crash points (seeded)" (fun () ->
+        let rng = Lsdb_workload.Rng.create 0xC0FFEE in
+        for _iter = 1 to 40 do
+          let steps =
+            List.init
+              (5 + Lsdb_workload.Rng.int rng 20)
+              (fun _ -> random_step rng)
+          in
+          (* Rehearse fault-free to learn the crash surface. *)
+          let rehearsal = Vfs.faulty () in
+          let r0 = run_script rehearsal dir steps in
+          Alcotest.(check bool) "rehearsal completes" true (r0.outcome = Completed);
+          let site, hits = Lsdb_workload.Rng.choose rng (Vfs.site_hits rehearsal) in
+          let after = Lsdb_workload.Rng.int rng hits in
+          let vfs = Vfs.faulty () in
+          Vfs.arm vfs ~site ~after Vfs.Crash;
+          let r = run_script vfs dir steps in
+          Vfs.simulate_crash vfs;
+          let p = reopen vfs in
+          (* Invariant 1: the recovered state is a rebuild of a prefix no
+             shorter than the synced one (a mid-write op may ride along). *)
+          check_recovered
+            (Printf.sprintf "crash at %s+%d" site after)
+            r (Persistent.database p);
+          (* Invariant 2: a stale log is never replayed (exactly-once). *)
+          let report = Persistent.recovery_report p in
+          if report.Recovery_report.epoch_decision = Recovery_report.Ignored_stale
+          then
+            Alcotest.(check int) "stale log never replayed" 0
+              report.Recovery_report.ops_applied;
+          Persistent.close p;
+          (* Invariant 3: recovery repaired the files — reopening again
+             is clean and reaches the same state. *)
+          let p2 = reopen vfs in
+          Alcotest.(check bool) "second open clean" true
+            (Recovery_report.is_clean (Persistent.recovery_report p2));
+          Persistent.close p2
+        done);
+  ]
+
+let tests = vfs_tests @ epoch_tests @ failpoint_tests @ property_tests

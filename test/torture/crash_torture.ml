@@ -1,0 +1,244 @@
+(* Crash-torture driver: enumerate every failpoint of a scripted
+   workload and check the recovery invariants after each one.
+
+   A fault-free rehearsal counts how often each VFS site fires; the
+   driver then re-runs the workload once per (site, hit index,
+   applicable fault kind), simulates a crash, reopens the store and
+   asserts, according to how honest the injected fault was:
+
+   - honest faults (Crash, Torn_write, Fsync_raises, No_space): the
+     recovered database equals a replay of some prefix of the acked
+     operations, no shorter than the synced prefix — every op acked
+     before a successful sync survives, and an op in flight at the
+     crash may but need not;
+   - lying faults (Fsync_lies, Short_write, Bit_flip): strict recovery
+     may refuse, but salvage must succeed;
+   - always: a stale-epoch log is never replayed (ops_applied = 0 when
+     the epoch decision is Ignored_stale — exactly-once compaction),
+     and a second open after recovery is clean and reaches the same
+     state (recovery physically repaired the files).
+
+   Exit status 0 when every case holds, 1 otherwise. *)
+
+open Lsdb
+open Lsdb_storage
+
+let failures = ref 0
+let cases = ref 0
+
+let failf case fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.printf "FAIL %-40s %s\n%!" case msg)
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Workload and oracle (mirrors test/test_crash.ml)                    *)
+
+type step =
+  | Ins of string * string * string
+  | Rem of string * string * string
+  | Decl of string
+  | Limit of int
+  | Sync
+  | Compact
+
+type run = { acked : Log.op list; synced : int; died : bool }
+
+let script =
+  [
+    Ins ("JOHN", "in", "EMPLOYEE");
+    Ins ("EMPLOYEE", "EARNS", "SALARY");
+    Decl "TOTAL-NUMBER";
+    Ins ("MARY", "in", "EMPLOYEE");
+    Sync;
+    Ins ("JOHN", "LIKES", "FELIX");
+    Rem ("JOHN", "LIKES", "FELIX");
+    Limit 3;
+    Compact;
+    Ins ("FELIX", "in", "CAT");
+    Sync;
+    Rem ("MARY", "in", "EMPLOYEE");
+    Ins ("SHIPPING", "in", "DEPARTMENT");
+    Compact;
+    Ins ("MARY", "WORKS-FOR", "SHIPPING");
+  ]
+
+let dir = "/db"
+
+let run_script vfs =
+  let acked = ref [] and n = ref 0 and synced = ref 0 in
+  let ack op =
+    acked := op :: !acked;
+    incr n
+  in
+  let attempt op f =
+    match f () with
+    | true -> ack op
+    | false -> ()
+    | exception e ->
+        ack op;
+        (* mid-write: may or may not have landed *)
+        raise e
+  in
+  let go () =
+    let p = Persistent.open_dir ~vfs dir in
+    let db = Persistent.database p in
+    List.iter
+      (fun step ->
+        match step with
+        | Ins (s, r, t) ->
+            attempt (Log.Insert (s, r, t)) (fun () -> Persistent.insert_names p s r t)
+        | Rem (s, r, t) ->
+            attempt (Log.Remove (s, r, t)) (fun () ->
+                Persistent.remove p (Fact.of_names (Database.symtab db) s r t))
+        | Decl name ->
+            attempt (Log.Declare_class name) (fun () ->
+                Persistent.declare_class_relationship p (Database.entity db name);
+                true)
+        | Limit k ->
+            attempt (Log.Set_limit k) (fun () ->
+                Persistent.set_limit p k;
+                true)
+        | Sync ->
+            Persistent.sync p;
+            synced := !n
+        | Compact ->
+            Persistent.compact p;
+            synced := !n)
+      script;
+    Persistent.sync p;
+    synced := !n;
+    Persistent.close p
+  in
+  let died =
+    match go () with
+    | () -> false
+    | exception Vfs.Crashed _ -> true
+    | exception Vfs.Fault _ -> true
+    | exception Failure _ -> true
+    (* aborted compaction / poisoned store: the process gives up *)
+  in
+  { acked = List.rev !acked; synced = !synced; died }
+
+let take k list = List.filteri (fun i _ -> i < k) list
+
+let rebuild ops =
+  let db = Database.create () in
+  List.iter (Log.apply db) ops;
+  db
+
+let signature db =
+  let symtab = Database.symtab db in
+  ( List.sort compare (List.map (Fact.names symtab) (Database.facts db)),
+    Database.limit db )
+
+let matching_prefix run recovered =
+  let sig_rec = signature recovered in
+  let rec go k =
+    if k < run.synced then None
+    else if signature (rebuild (take k run.acked)) = sig_rec then Some k
+    else go (k - 1)
+  in
+  go (List.length run.acked)
+
+(* ------------------------------------------------------------------ *)
+(* Fault matrix                                                        *)
+
+let ends_with suffix s =
+  let n = String.length s and m = String.length suffix in
+  n >= m && String.sub s (n - m) m = suffix
+
+let faults_for site =
+  if ends_with ".write" site then
+    [
+      ("crash", Vfs.Crash, `Honest);
+      ("torn3", Vfs.Torn_write 3, `Honest);
+      ("enospc", Vfs.No_space, `Honest);
+      ("short2", Vfs.Short_write 2, `Liar);
+      ("bitflip9", Vfs.Bit_flip 9, `Liar);
+    ]
+  else if ends_with ".rename" site then [ ("crash", Vfs.Crash, `Honest) ]
+  else
+    (* fsync and dir.fsync sites *)
+    [
+      ("crash", Vfs.Crash, `Honest);
+      ("eio", Vfs.Fsync_raises, `Honest);
+      ("lies", Vfs.Fsync_lies, `Liar);
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let torture site after (fault_name, fault, honesty) =
+  let case = Printf.sprintf "%s+%d/%s" site after fault_name in
+  incr cases;
+  let vfs = Vfs.faulty () in
+  Vfs.arm vfs ~site ~after fault;
+  let r = run_script vfs in
+  Vfs.simulate_crash vfs;
+  let recover () =
+    match Persistent.open_dir ~vfs dir with
+    | p -> Some (`Strict, p)
+    | exception Failure _ -> (
+        match honesty with
+        | `Honest -> None (* strict must cope with honest failures *)
+        | `Liar -> (
+            match Persistent.open_dir ~vfs ~recovery:`Salvage dir with
+            | p -> Some (`Salvage, p)
+            | exception Failure _ -> None))
+  in
+  match recover () with
+  | None -> failf case "recovery failed (died=%b)" r.died
+  | Some (mode, p) ->
+      let db = Persistent.database p in
+      let report = Persistent.recovery_report p in
+      (* Exactly-once: a stale log is never replayed. *)
+      if
+        report.Recovery_report.epoch_decision = Recovery_report.Ignored_stale
+        && report.Recovery_report.ops_applied <> 0
+      then failf case "stale log replayed %d op(s)" report.Recovery_report.ops_applied;
+      (* Durability: honest faults leave a durable prefix. *)
+      (match honesty with
+      | `Honest -> (
+          match matching_prefix r db with
+          | Some _ -> ()
+          | None ->
+              failf case "not a prefix ≥ synced (%d acked, %d synced, died=%b)"
+                (List.length r.acked) r.synced r.died)
+      | `Liar -> ());
+      let sig1 = signature db in
+      Persistent.close p;
+      (* Self-healing: recovery repaired the files, so a second strict
+         open is clean and reaches the same state. *)
+      (match Persistent.open_dir ~vfs dir with
+      | exception Failure msg -> failf case "second open refused: %s" msg
+      | p2 ->
+          let rep2 = Persistent.recovery_report p2 in
+          if not (Recovery_report.is_clean rep2) then
+            failf case "second open not clean (mode %s): %s"
+              (match mode with `Strict -> "strict" | `Salvage -> "salvage")
+              (Recovery_report.to_string rep2);
+          if signature (Persistent.database p2) <> sig1 then
+            failf case "state changed between reopens";
+          Persistent.close p2)
+
+let () =
+  (* Rehearse fault-free to learn the crash surface. *)
+  let rehearsal = Vfs.faulty () in
+  let r0 = run_script rehearsal in
+  if r0.died then begin
+    Printf.printf "FATAL: fault-free rehearsal died\n";
+    exit 1
+  end;
+  let sites = List.sort compare (Vfs.site_hits rehearsal) in
+  Printf.printf "crash-torture: %d site(s) over %d-step workload\n%!"
+    (List.length sites) (List.length script);
+  List.iter
+    (fun (site, hits) ->
+      for after = 0 to hits - 1 do
+        List.iter (torture site after) (faults_for site)
+      done)
+    sites;
+  Printf.printf "crash-torture: %d case(s), %d failure(s)\n%!" !cases !failures;
+  exit (if !failures = 0 then 0 else 1)
