@@ -15,11 +15,39 @@ let quick = ref false
 (* Machine-readable results                                            *)
 
 (* Every headline number printed in a pretty table is also recorded here
-   and dumped as JSON (default BENCH_PR2.json, override with --json FILE)
-   so regressions can be tracked without parsing tables. *)
-let json_path = ref "BENCH_PR2.json"
+   and dumped as JSON (default BENCH_PR3.json, override with --json FILE)
+   so regressions can be tracked without parsing tables. Writing merges
+   into an existing file: rows measured this run replace same-id rows,
+   rows from experiments not re-run are preserved, so partial runs
+   (`bench b15`) refresh their slice of the file instead of erasing the
+   rest. *)
+let json_path = ref "BENCH_PR3.json"
 let json_rows : (string * float * string) list ref = ref []
 let record id value unit_ = json_rows := (id, value, unit_) :: !json_rows
+
+(* Parse back the exact row format [write_json] emits (one object per
+   line); anything else — brackets, hand-edits we can't read — is
+   ignored rather than fatal, and will be dropped on rewrite. *)
+let read_json_rows path =
+  if not (Sys.file_exists path) then []
+  else
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rows = ref [] in
+        (try
+           while true do
+             let line = input_line ic in
+             match
+               Scanf.sscanf line " {\"id\": %S, \"value\": %f, \"unit\": %S"
+                 (fun id value unit_ -> (id, value, unit_))
+             with
+             | row -> rows := row :: !rows
+             | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> ()
+           done
+         with End_of_file -> ());
+        List.rev !rows)
 
 let json_escape s =
   let buf = Buffer.create (String.length s) in
@@ -34,7 +62,13 @@ let json_escape s =
   Buffer.contents buf
 
 let write_json () =
-  let rows = List.rev !json_rows in
+  let fresh = List.rev !json_rows in
+  let kept =
+    List.filter
+      (fun (id, _, _) -> not (List.exists (fun (id', _, _) -> id = id') fresh))
+      (read_json_rows !json_path)
+  in
+  let rows = kept @ fresh in
   let oc = open_out !json_path in
   output_string oc "[\n";
   List.iteri
@@ -1013,6 +1047,155 @@ let b14 () =
       [ "salvage (9 flips + torn tail)"; Printf.sprintf "%.1f ms (%.0f kops/s)" salvage_ms (float_of_int n_ops /. salvage_ms) ];
     ]
 
+(* B15 — incremental retraction (delete/rederive)                        *)
+
+(* B15 doubles as the CI smoke check: any divergence between the
+   incrementally maintained closure and a from-scratch recompute flips
+   this counter, and the process exits nonzero after the JSON dump. *)
+let equivalence_failures = ref 0
+
+let b15 () =
+  section "B15 — incremental retraction: delete/rederive vs. invalidate-and-recompute";
+  (* Everything observable about a closure. Databases compared here are
+     built from the same generated workload, so interned ids line up and
+     raw facts are comparable directly. *)
+  let signature db =
+    let closure = Database.closure db in
+    let dump =
+      Closure.to_seq closure
+      |> Seq.map (fun f -> (f, Closure.is_derived closure f))
+      |> List.of_seq |> List.sort compare
+    in
+    ( dump,
+      Closure.cardinal closure,
+      Closure.derived_count closure,
+      Closure.base_cardinal closure )
+  in
+  let check what ok =
+    if not ok then begin
+      incr equivalence_failures;
+      Printf.printf "  ✗ EQUIVALENCE FAILURE: %s\n" what
+    end
+  in
+  (* --- part 1: one retraction against a large closure ---------------- *)
+  let employees = if !quick then 600 else 8000 in
+  let org =
+    Lsdb_workload.Org_gen.generate
+      ~params:{ Lsdb_workload.Org_gen.default_params with employees }
+      (rng ())
+  in
+  let db = Lsdb_workload.Org_gen.to_database org in
+  let closure_size = Closure.cardinal (Database.closure db) in
+  (* The victim: one employee's membership — the §3 rules hang a cone of
+     derived works-for/earns/is-paid-by facts off it. *)
+  let victim = Fact.of_names (Database.symtab db) "EMP-0042" "in" "EMPLOYEE" in
+  (* Correctness first: the incrementally retracted closure must be
+     byte-identical to a from-scratch recompute of the same state. *)
+  ignore (Database.remove db victim);
+  ignore (Database.closure db);
+  let reference = Database.copy db in
+  Database.invalidate reference;
+  check "single-fact retraction vs. recompute" (signature db = signature reference);
+  ignore (Database.insert db victim);
+  ignore (Database.closure db);
+  (* Timed: retract+closure, restored (untimed) between samples. *)
+  let median samples = List.nth (List.sort compare samples) (List.length samples / 2) in
+  let retract_and_restore prepare =
+    let _, ms =
+      time_ms (fun () ->
+          ignore (Database.remove db victim);
+          prepare ();
+          ignore (Database.closure db))
+    in
+    ignore (Database.insert db victim);
+    ignore (Database.closure db);
+    ms
+  in
+  let incr_ms = median (List.init 5 (fun _ -> retract_and_restore (fun () -> ()))) in
+  let full_ms =
+    median (List.init 3 (fun _ -> retract_and_restore (fun () -> Database.invalidate db)))
+  in
+  record "b15/closure_facts" (float_of_int closure_size) "facts";
+  record "b15/retract_incremental_ms" incr_ms "ms";
+  record "b15/retract_recompute_ms" full_ms "ms";
+  record "b15/retract_speedup" (full_ms /. incr_ms) "x";
+  Printf.printf "single-fact retraction, %d-fact closure:\n" closure_size;
+  table
+    [ "strategy"; "ms/retraction"; "speedup" ]
+    [
+      [ "incremental (delete/rederive)"; Printf.sprintf "%.2f" incr_ms;
+        Printf.sprintf "%.0fx" (full_ms /. incr_ms) ];
+      [ "invalidate and recompute"; Printf.sprintf "%.1f" full_ms; "1x" ];
+    ];
+  (* --- part 2: mixed insert/retract browsing workload, 1–8 domains --- *)
+  let employees = if !quick then 300 else 2000 in
+  let steps = if !quick then 30 else 90 in
+  let org =
+    Lsdb_workload.Org_gen.generate
+      ~params:{ Lsdb_workload.Org_gen.default_params with employees }
+      (rng ())
+  in
+  (* A deterministic browsing session: two inserts of fresh employees,
+     then a retraction of an original one, repeated. Both strategies and
+     every pool size replay the identical op list. *)
+  let ops =
+    List.init steps (fun i ->
+        if i mod 3 = 2 then `Remove (Printf.sprintf "EMP-%04d" i, "in", "EMPLOYEE")
+        else `Insert (Printf.sprintf "NEW-%04d" i, "in", "EMPLOYEE"))
+  in
+  let apply ~incremental db =
+    List.iter
+      (fun op ->
+        (match op with
+        | `Insert (s, r, t) -> ignore (Database.insert_names db s r t)
+        | `Remove (s, r, t) -> ignore (Database.remove_names db s r t));
+        if not incremental then Database.invalidate db;
+        ignore (Database.closure db))
+      ops
+  in
+  let make () =
+    let db = Lsdb_workload.Org_gen.to_database org in
+    ignore (Database.closure db);
+    db
+  in
+  let db_full = make () in
+  let _, mixed_full_ms = time_ms (fun () -> apply ~incremental:false db_full) in
+  let reference = signature db_full in
+  record "b15/mixed_recompute_ms" mixed_full_ms "ms";
+  let rows = ref [] in
+  let seq_ms = ref 0.0 in
+  List.iter
+    (fun domains ->
+      let pool = if domains <= 1 then None else Some (Lsdb_exec.Pool.create ~domains) in
+      let db = make () in
+      Database.set_pool db pool;
+      let _, ms = time_ms (fun () -> apply ~incremental:true db) in
+      let identical = signature db = reference in
+      check
+        (Printf.sprintf "mixed workload at %d domain(s) vs. recompute" domains)
+        identical;
+      Option.iter Lsdb_exec.Pool.shutdown pool;
+      if domains <= 1 then seq_ms := ms;
+      record (Printf.sprintf "b15/mixed_incremental_ms/domains=%d" domains) ms "ms";
+      rows :=
+        [
+          string_of_int domains;
+          Printf.sprintf "%.1f" ms;
+          Printf.sprintf "%.3f" (ms /. float_of_int steps);
+          Printf.sprintf "%.1fx" (mixed_full_ms /. ms);
+          (if identical then "✓" else "✗ DIFFERS");
+        ]
+        :: !rows)
+    [ 1; 2; 4; 8 ];
+  Printf.printf "\nmixed workload: %d ops (2 inserts : 1 retraction), %d employees\n"
+    steps employees;
+  Printf.printf "recompute-per-op baseline: %.1f ms (%.1f ms/op)\n" mixed_full_ms
+    (mixed_full_ms /. float_of_int steps);
+  table
+    [ "domains"; "total ms"; "ms/op"; "vs. recompute"; "same closure" ]
+    (List.rev !rows);
+  ignore !seq_ms
+
 (* Bechamel micro-op reference table                                     *)
 
 let micro () =
@@ -1078,7 +1261,7 @@ let experiments =
     ("ex6", ex6); ("ex7", ex7);
     ("b1", b1); ("b2", b2); ("b3", b3); ("b4", b4); ("b5", b5); ("b6", b6);
     ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10); ("b11", b11); ("b12", b12);
-    ("b13", b13); ("b14", b14); ("micro", micro);
+    ("b13", b13); ("b14", b14); ("b15", b15); ("micro", micro);
   ]
 
 let () =
@@ -1113,4 +1296,9 @@ let () =
   in
   Printf.printf "lsdb experiment harness%s\n" (if !quick then " (quick mode)" else "");
   List.iter (fun (_, fn) -> fn ()) selected;
-  write_json ()
+  write_json ();
+  if !equivalence_failures > 0 then begin
+    Printf.eprintf "FAIL: %d incremental/recompute equivalence mismatch(es)\n"
+      !equivalence_failures;
+    exit 1
+  end

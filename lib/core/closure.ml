@@ -3,15 +3,19 @@ module D = Lsdb_datalog
 type t = {
   mutable staged : D.Engine.result option;  (* stratum 1 (inversion) *)
   mutable result : D.Engine.result;  (* the full closure *)
-  staged_rules : D.Rule.t list;
-  rules : D.Rule.t list;
+  mutable staged_rules : D.Rule.t list;
+  mutable rules : D.Rule.t list;
   mutable base_cardinal : int;
   mutable actives : (int, unit) Hashtbl.t option;
   (* Derived facts in derivation order, newest segment first: extensions
      push a segment instead of concatenating (which would be O(closure)
-     per insert). *)
+     per insert). Deletion paths leave stale entries behind rather than
+     rewriting every segment — readers filter against the provenance
+     table, and the segments are compacted once stale entries outnumber
+     live ones. [derived_listed] counts listed entries, stale included;
+     the live count is the provenance table's length. *)
   mutable derived_segments : D.Triple.t list list;
-  mutable derived_total : int;
+  mutable derived_listed : int;
 }
 
 exception Diverged = D.Engine.Diverged
@@ -45,7 +49,7 @@ let compute ?(max_facts = 2_000_000) ?pool ?(staged_rules = []) ~rules store =
     base_cardinal = Store.cardinal store;
     actives = None;
     derived_segments = [ result.derived ];
-    derived_total = List.length result.derived;
+    derived_listed = List.length result.derived;
   }
 
 let push_derived t added =
@@ -56,10 +60,47 @@ let push_derived t added =
   in
   if derived <> [] then begin
     t.derived_segments <- derived :: t.derived_segments;
-    t.derived_total <- t.derived_total + List.length derived
+    t.derived_listed <- t.derived_listed + List.length derived
   end
 
+(* Rebuild the derivation-order record from the provenance table,
+   dropping stale entries. O(listed entries), so it must not run on every
+   deletion — see [compact_derived]. *)
+let refilter_derived t =
+  t.derived_segments <-
+    List.filter_map
+      (fun seg ->
+        match
+          List.filter (fun f -> D.Triple.Tbl.mem t.result.provenance f) seg
+        with
+        | [] -> None
+        | seg -> Some seg)
+      t.derived_segments;
+  t.derived_listed <-
+    List.fold_left (fun n seg -> n + List.length seg) 0 t.derived_segments
+
+(* Amortization: only rewrite the segments once stale entries dominate,
+   so a retraction's bookkeeping cost is proportional to what it deleted,
+   not to the closure's total derived count. *)
+let compact_derived t =
+  if t.derived_listed > (2 * D.Triple.Tbl.length t.result.provenance) + 1024 then
+    refilter_derived t
+
 let extend ?(max_facts = 2_000_000) ?pool t facts =
+  (* A fact asserted as base that the closure had already derived stops
+     being derived: a from-scratch recompute records no derivation for
+     base facts, and retraction must never delete a base fact just
+     because its former premises went away. *)
+  let demoted =
+    List.filter (fun f -> D.Triple.Tbl.mem t.result.provenance f) facts
+  in
+  List.iter
+    (fun f ->
+      D.Engine.forget_provenance t.result f;
+      match t.staged with
+      | Some stage -> D.Engine.forget_provenance stage f
+      | None -> ())
+    demoted;
   let triples = List.to_seq facts in
   (match t.staged with
   | None ->
@@ -76,7 +117,7 @@ let extend ?(max_facts = 2_000_000) ?pool t facts =
         (fun fact ->
           match D.Triple.Tbl.find_opt stage.provenance fact with
           | Some prov when not (D.Triple.Tbl.mem t.result.provenance fact) ->
-              D.Triple.Tbl.replace t.result.provenance fact prov
+              D.Engine.record_provenance t.result fact prov
           | _ -> ())
         stage_added;
       let result, added =
@@ -84,15 +125,103 @@ let extend ?(max_facts = 2_000_000) ?pool t facts =
       in
       t.result <- result;
       push_derived t added);
+  if demoted <> [] then compact_derived t;
   t.base_cardinal <- t.base_cardinal + List.length facts;
   t.actives <- None;
   t
 
+(* Incremental deletion: delete/rederive in each stratum, stage first.
+   Facts the stage stratum loses become the deletions of the main
+   stratum; restored stage facts get their fresh stage derivations
+   mirrored into the main provenance {e before} the main support walk, so
+   the main cone is never inflated by a stale inversion edge. *)
+let retract ?(max_facts = 2_000_000) ?pool t facts =
+  (match t.staged with
+  | None ->
+      let result, _ret = D.Engine.retract ~max_facts ?pool t.rules t.result facts in
+      t.result <- result
+  | Some stage ->
+      let stage, sret =
+        D.Engine.retract ~max_facts ?pool t.staged_rules stage facts
+      in
+      t.staged <- Some stage;
+      List.iter
+        (fun fact ->
+          match D.Triple.Tbl.find_opt stage.provenance fact with
+          | Some prov -> D.Engine.record_provenance t.result fact prov
+          | None -> ())
+        sret.restored;
+      let result, mret =
+        D.Engine.retract ~max_facts ?pool t.rules t.result sret.removed
+      in
+      t.result <- result;
+      (* Reconcile: anything the stage stratum kept is a base fact of the
+         main stratum and must remain in the closure — re-add it (with
+         its stage derivation) and close over it if the main retraction
+         dropped it through a stale support edge. *)
+      let missing =
+        List.filter
+          (fun f ->
+            D.Index.mem stage.index f && not (D.Index.mem t.result.index f))
+          mret.removed
+      in
+      if missing <> [] then begin
+        List.iter
+          (fun fact ->
+            match D.Triple.Tbl.find_opt stage.provenance fact with
+            | Some prov when not (D.Triple.Tbl.mem t.result.provenance fact) ->
+                D.Engine.record_provenance t.result fact prov
+            | _ -> ())
+          missing;
+        let result, added =
+          D.Engine.extend ~max_facts ?pool t.rules t.result (List.to_seq missing)
+        in
+        t.result <- result;
+        (* The retracted facts themselves are accounted for by the
+           [promoted] segment below — don't record them twice. *)
+        push_derived t
+          (List.filter
+             (fun f -> not (List.exists (D.Triple.equal f) facts))
+             added)
+      end);
+  t.base_cardinal <- t.base_cardinal - List.length facts;
+  t.actives <- None;
+  compact_derived t;
+  (* Retracted base facts that survived the rederivation are now derived
+     facts: they just gained a recorded derivation, and were never in the
+     derivation-order record while they were base. *)
+  let promoted =
+    List.filter (fun f -> D.Triple.Tbl.mem t.result.provenance f) facts
+  in
+  if promoted <> [] then begin
+    t.derived_segments <- promoted :: t.derived_segments;
+    t.derived_listed <- t.derived_listed + List.length promoted
+  end;
+  t
+
+let support_size t =
+  D.Engine.support_size t.result
+  + match t.staged with Some stage -> D.Engine.support_size stage | None -> 0
+
+(* Rule-set swap for the cheap rule-toggle paths: the caller has
+   established (via {!rule_counts} / {!closed_under}) that the closure's
+   content is already exactly what a recompute under the new rule set
+   would produce; only future extensions/retractions need the new set. *)
+let set_rules t ~staged_rules ~rules =
+  t.staged_rules <- staged_rules;
+  t.rules <- rules
+
+let closed_under t rules = D.Engine.step rules t.result.index = []
+
 let mem t fact = D.Index.mem t.result.index fact
 let cardinal t = D.Index.cardinal t.result.index
 let base_cardinal t = t.base_cardinal
-let derived t = List.concat (List.rev t.derived_segments)
-let derived_count t = t.derived_total
+let derived t =
+  List.concat_map
+    (List.filter (fun f -> D.Triple.Tbl.mem t.result.provenance f))
+    (List.rev t.derived_segments)
+
+let derived_count t = D.Triple.Tbl.length t.result.provenance
 let is_derived t fact = D.Triple.Tbl.mem t.result.provenance fact
 
 let provenance t fact =
@@ -154,3 +283,4 @@ let force_actives t =
 
 let prepare_readers t = ignore (force_actives t)
 let active_entities t = Hashtbl.to_seq_keys (force_actives t)
+let entity_active t entity = Hashtbl.mem (force_actives t) entity

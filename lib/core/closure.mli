@@ -35,13 +35,41 @@ val compute :
     under insertion of base [facts]: the semi-naive fixpoint continues
     from the new triples (through the same strata as [compute]), reusing
     everything already derived. The closure is updated in place and also
-    returned. Deletions cannot be handled incrementally (derived facts
-    would need support counting); callers recompute for those.
+    returned. A fact asserted as base that the closure had previously
+    derived is demoted to base (its recorded derivation is dropped), so
+    that derived-ness always matches a from-scratch recompute.
 
-    With [?pool] (here and in {!compute}), each semi-naive round is
-    sharded across the pool's domains; results are byte-identical to the
-    sequential path for any pool size. *)
+    With [?pool] (here and in {!compute}/{!retract}), each semi-naive
+    round is sharded across the pool's domains; results are
+    byte-identical to the sequential path for any pool size. *)
 val extend : ?max_facts:int -> ?pool:Lsdb_exec.Pool.t -> t -> Fact.t list -> t
+
+(** [retract ?max_facts closure facts] incrementally maintains the
+    closure under deletion of base [facts], via delete/rederive
+    ({!Lsdb_datalog.Engine.retract}) run per stratum: the stage stratum
+    is retracted first and the facts it loses become the deletions of the
+    main stratum. The resulting fact set (and which facts count as
+    derived) is identical to a from-scratch {!compute} over the surviving
+    store; a retracted base fact that is still derivable stays in the
+    closure, as a derived fact. *)
+val retract : ?max_facts:int -> ?pool:Lsdb_exec.Pool.t -> t -> Fact.t list -> t
+
+(** Total number of edges in the strata's support indexes (premise ↦
+    dependents); [0] until the first retraction forces them. *)
+val support_size : t -> int
+
+(** [set_rules t ~staged_rules ~rules] swaps the compiled rule set used
+    by future {!extend}/{!retract} calls. Only sound when the caller has
+    established that the closure's current content is what [compute]
+    under the new rule set would produce — e.g. a disabled rule with no
+    recorded derivations ({!rule_counts}), or an enabled rule the closure
+    is already {!closed_under}. *)
+val set_rules :
+  t -> staged_rules:Lsdb_datalog.Rule.t list -> rules:Lsdb_datalog.Rule.t list -> unit
+
+(** [closed_under t rules] — does one application round of [rules] over
+    the closure produce nothing new? *)
+val closed_under : t -> Lsdb_datalog.Rule.t list -> bool
 
 val mem : t -> Fact.t -> bool
 val cardinal : t -> int
@@ -77,6 +105,10 @@ val exists_match : t -> Store.pattern -> bool
 
 (** Entities appearing in some closure fact. *)
 val active_entities : t -> Entity.t Seq.t
+
+(** [entity_active t e] — does [e] appear in some closure fact? (Backed
+    by the same lazily built table as {!active_entities}.) *)
+val entity_active : t -> Entity.t -> bool
 
 (** Force the lazily built caches ({!active_entities}' table) so that the
     closure can afterwards be read concurrently from several domains

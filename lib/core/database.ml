@@ -1,3 +1,7 @@
+(* Mutations not yet folded into the cached closure, in arrival order.
+   Inserts extend, retracts delete/rederive; both are incremental. *)
+type op = Insert of Fact.t | Retract of Fact.t
+
 type t = {
   uid : int;  (* unique per database; hash key for external caches *)
   symtab : Symtab.t;
@@ -7,9 +11,10 @@ type t = {
   mutable composition_limit : int;
   max_facts : int;
   mutable closure_cache : Closure.t option;
-  mutable pending : Fact.t list;  (* inserts not yet folded into the cache *)
+  mutable pending : op list;  (* reversed: newest first *)
   mutable computations : int;
   mutable extensions : int;
+  mutable retractions : int;
   mutable generation : int;  (* bumped whenever facts/rules/classes change *)
   mutable pool : Lsdb_exec.Pool.t option;  (* domains for closure rounds & probing *)
 }
@@ -38,6 +43,7 @@ let create ?(max_facts = 2_000_000) () =
       pending = [];
       computations = 0;
       extensions = 0;
+      retractions = 0;
       generation = 0;
       pool = None;
     }
@@ -64,23 +70,17 @@ let find_entity t name = Symtab.find t.symtab name
 let entity_name t e = Symtab.name t.symtab e
 let entity_count t = Symtab.cardinal t.symtab
 
-let declare_class_relationship t e =
-  Relclass.declare_class t.relclass e;
-  invalidate t
-
-let declare_individual_relationship t e =
-  Relclass.declare_individual t.relclass e;
-  invalidate t
-
 let is_class_relationship t e = Relclass.is_class t.relclass e
 
 let insert t fact =
   let added = Store.add t.store fact in
-  (* Insertions extend the cached closure incrementally on next access;
-     everything else (removal, rule/class changes) invalidates it. *)
+  (* Insertions and removals both maintain the cached closure
+     incrementally on next access (semi-naive extension, delete/rederive
+     retraction); only rule/class changes that provably alter the
+     closure's content invalidate it. *)
   if added then begin
     t.generation <- t.generation + 1;
-    if t.closure_cache <> None then t.pending <- fact :: t.pending
+    if t.closure_cache <> None then t.pending <- Insert fact :: t.pending
   end;
   added
 
@@ -89,7 +89,10 @@ let insert_all t facts = List.iter (fun fact -> ignore (insert t fact)) facts
 
 let remove t fact =
   let removed = Store.remove t.store fact in
-  if removed then invalidate t;
+  if removed then begin
+    t.generation <- t.generation + 1;
+    if t.closure_cache <> None then t.pending <- Retract fact :: t.pending
+  end;
   removed
 
 let remove_names t s r tgt =
@@ -100,36 +103,6 @@ let remove_names t s r tgt =
 let mem_base t fact = Store.mem t.store fact
 let base_cardinal t = Store.cardinal t.store
 
-let add_rule t rule =
-  t.rules <-
-    List.filter (fun (existing, _) -> not (Rule.equal_name existing rule)) t.rules
-    @ [ (rule, true) ];
-  invalidate t
-
-let set_enabled t name enabled =
-  let found = ref false in
-  t.rules <-
-    List.map
-      (fun ((rule : Rule.t), current) ->
-        if String.equal rule.name name then begin
-          found := true;
-          if current <> enabled then invalidate t;
-          (rule, enabled)
-        end
-        else (rule, current))
-      t.rules;
-  !found
-
-let exclude t name = set_enabled t name false
-let include_rule t name = set_enabled t name true
-
-let remove_rule t name =
-  let before = List.length t.rules in
-  t.rules <- List.filter (fun ((rule : Rule.t), _) -> not (String.equal rule.name name)) t.rules;
-  let removed = List.length t.rules < before in
-  if removed then invalidate t;
-  removed
-
 let rule_enabled t name =
   List.exists (fun ((rule : Rule.t), enabled) -> enabled && String.equal rule.name name) t.rules
 
@@ -138,39 +111,197 @@ let enabled_rules t = List.filter_map (fun (rule, enabled) -> if enabled then So
 
 let set_limit t n =
   if n < 1 then invalid_arg "Database.set_limit: limit must be >= 1";
-  t.composition_limit <- n
+  if n <> t.composition_limit then begin
+    t.composition_limit <- n;
+    (* The limit changes query-visible composition results, so external
+       generation-keyed caches (broadness, answer cache) must miss. *)
+    t.generation <- t.generation + 1
+  end
 
 let limit t = t.composition_limit
+
+(* Compile the enabled rules against the current relationship
+   classification. Inversion is stratified: it applies to stored facts
+   only (see Closure.compute). *)
+let compiled_rules t =
+  let is_class = Relclass.is_class t.relclass in
+  let staged, main =
+    List.partition
+      (fun (rule : Rule.t) -> String.equal rule.name "inversion")
+      (enabled_rules t)
+  in
+  let compile = List.map (Rule.compile ~is_class) in
+  (compile staged, compile main)
+
+(* Fold the pending mutations into the cached closure, batching runs of
+   same-kind ops: consecutive inserts become one extension, consecutive
+   retracts one delete/rederive pass. Order across kinds is preserved —
+   an insert after a retract of the same fact must win, and vice versa. *)
+let flush_pending t closure =
+  let flush kind batch =
+    let facts = List.rev batch in
+    match kind with
+    | `Insert ->
+        t.extensions <- t.extensions + 1;
+        ignore (Closure.extend ~max_facts:t.max_facts ?pool:t.pool closure facts)
+    | `Retract ->
+        t.retractions <- t.retractions + 1;
+        ignore (Closure.retract ~max_facts:t.max_facts ?pool:t.pool closure facts)
+  in
+  let rec go kind batch = function
+    | [] -> if batch <> [] then flush kind batch
+    | Insert fact :: rest ->
+        if kind = `Insert then go `Insert (fact :: batch) rest
+        else begin
+          if batch <> [] then flush kind batch;
+          go `Insert [ fact ] rest
+        end
+    | Retract fact :: rest ->
+        if kind = `Retract then go `Retract (fact :: batch) rest
+        else begin
+          if batch <> [] then flush kind batch;
+          go `Retract [ fact ] rest
+        end
+  in
+  let ops = List.rev t.pending in
+  t.pending <- [];
+  go `Insert [] ops
 
 let closure t =
   match t.closure_cache with
   | Some closure when t.pending = [] -> closure
   | Some closure ->
-      let facts = List.rev t.pending in
-      t.pending <- [];
-      t.extensions <- t.extensions + 1;
-      (try ignore (Closure.extend ~max_facts:t.max_facts ?pool:t.pool closure facts)
-       with Closure.Diverged n -> raise (Diverged n));
+      (try flush_pending t closure
+       with Closure.Diverged n ->
+         (* The cache is part-way through the batch; discard it. *)
+         t.closure_cache <- None;
+         raise (Diverged n));
       closure
   | None ->
-      let is_class = Relclass.is_class t.relclass in
-      (* Inversion is stratified: it applies to stored facts only (see
-         Closure.compute). *)
-      let staged, main =
-        List.partition
-          (fun (rule : Rule.t) -> String.equal rule.name "inversion")
-          (enabled_rules t)
-      in
-      let compile = List.map (Rule.compile ~is_class) in
+      let staged_rules, rules = compiled_rules t in
       let closure =
         try
-          Closure.compute ~max_facts:t.max_facts ?pool:t.pool
-            ~staged_rules:(compile staged) ~rules:(compile main) t.store
+          Closure.compute ~max_facts:t.max_facts ?pool:t.pool ~staged_rules ~rules
+            t.store
         with Closure.Diverged n -> raise (Diverged n)
       in
       t.closure_cache <- Some closure;
       t.computations <- t.computations + 1;
       closure
+
+(* --- rule and classification changes -------------------------------- *)
+
+(* Rule toggles fall back to a full recompute only when the touched rule
+   provably matters to the closure's content; otherwise the cache is kept
+   and its compiled rule set swapped for future incremental maintenance.
+   Either way the generation is bumped: external caches key query results
+   on it, and composition/virtual layers can see the rule list. *)
+
+let drop_cache t =
+  t.closure_cache <- None;
+  t.pending <- []
+
+(* After disabling/removing the enabled rule [name]: the closure content
+   is unchanged iff no fact's recorded derivation uses [name] (each such
+   fact is then derivable without it, and recorded derivations are
+   well-founded). The flush inside [closure t] runs first, so the check
+   covers pending mutations too. *)
+let after_rule_disabled t name =
+  t.generation <- t.generation + 1;
+  match t.closure_cache with
+  | None -> ()
+  | Some _ -> (
+      match (try Some (closure t) with Diverged _ -> None) with
+      | Some c when not (List.mem_assoc name (Closure.rule_counts c)) ->
+          let staged_rules, rules = compiled_rules t in
+          Closure.set_rules c ~staged_rules ~rules
+      | _ -> drop_cache t)
+
+(* After enabling [rule]: the closure content is unchanged iff one
+   application round of the rule over it yields nothing new. Enabling
+   inversion always recomputes — it runs in its own stratum, and a cache
+   computed without a stage cannot grow one. *)
+let after_rule_enabled t (rule : Rule.t) =
+  t.generation <- t.generation + 1;
+  match t.closure_cache with
+  | None -> ()
+  | Some _ ->
+      if String.equal rule.name "inversion" then drop_cache t
+      else (
+        match (try Some (closure t) with Diverged _ -> None) with
+        | Some c
+          when Closure.closed_under c
+                 [ Rule.compile ~is_class:(Relclass.is_class t.relclass) rule ] ->
+            let staged_rules, rules = compiled_rules t in
+            Closure.set_rules c ~staged_rules ~rules
+        | _ -> drop_cache t)
+
+let add_rule t rule =
+  let replaced =
+    List.exists (fun (existing, _) -> Rule.equal_name existing rule) t.rules
+  in
+  t.rules <-
+    List.filter (fun (existing, _) -> not (Rule.equal_name existing rule)) t.rules
+    @ [ (rule, true) ];
+  if replaced then invalidate t else after_rule_enabled t rule
+
+let set_enabled t name enabled =
+  let found = ref false in
+  let toggled = ref None in
+  t.rules <-
+    List.map
+      (fun ((rule : Rule.t), current) ->
+        if String.equal rule.name name then begin
+          found := true;
+          if current <> enabled then toggled := Some rule;
+          (rule, enabled)
+        end
+        else (rule, current))
+      t.rules;
+  (match !toggled with
+  | Some rule -> if enabled then after_rule_enabled t rule else after_rule_disabled t name
+  | None -> ());
+  !found
+
+let exclude t name = set_enabled t name false
+let include_rule t name = set_enabled t name true
+
+let remove_rule t name =
+  let was_enabled = rule_enabled t name in
+  let before = List.length t.rules in
+  t.rules <-
+    List.filter (fun ((rule : Rule.t), _) -> not (String.equal rule.name name)) t.rules;
+  let removed = List.length t.rules < before in
+  (* Removing a disabled rule leaves the enabled set — hence every query
+     result — unchanged. *)
+  if removed && was_enabled then after_rule_disabled t name;
+  removed
+
+(* Reclassifying a relationship entity recompiles nothing (compiled
+   guards read the classification live) but can change which derivations
+   fire — though only for facts that mention the entity. If the entity is
+   inactive in the (flushed) closure, the closure's content cannot
+   change; declarations that restate the current classification change
+   nothing at all. *)
+let reclassify t e ~is_class_now ~declare =
+  if Relclass.is_class t.relclass e <> is_class_now then begin
+    (match t.closure_cache with
+    | None -> ()
+    | Some _ -> (
+        match (try Some (closure t) with Diverged _ -> None) with
+        | Some c when not (Closure.entity_active c e) -> ()
+        | _ -> drop_cache t));
+    declare ();
+    t.generation <- t.generation + 1
+  end
+
+let declare_class_relationship t e =
+  reclassify t e ~is_class_now:true ~declare:(fun () ->
+      Relclass.declare_class t.relclass e)
+
+let declare_individual_relationship t e =
+  reclassify t e ~is_class_now:false ~declare:(fun () ->
+      Relclass.declare_individual t.relclass e)
 
 (* Force the closure (folding any pending inserts) and its lazy caches so
    that subsequent evaluation is mutation-free and can fan out across
@@ -180,6 +311,11 @@ let prepare_readers t = Closure.prepare_readers (closure t)
 let mem t fact = Closure.mem (closure t) fact
 let closure_computations t = t.computations
 let closure_extensions t = t.extensions
+let closure_retractions t = t.retractions
+
+let support_size t =
+  match t.closure_cache with Some c -> Closure.support_size c | None -> 0
+
 let facts t = Store.to_list t.store
 
 let copy t =
@@ -196,6 +332,7 @@ let copy t =
       pending = [];
       computations = 0;
       extensions = 0;
+      retractions = 0;
       generation = 0;
       pool = t.pool;
     }

@@ -3,8 +3,11 @@
 
     The database owns the symbol table, the fact heap, the relationship
     classification, the rule set (builtins pre-included, §6.1
-    [include]/[exclude] supported) and a lazily maintained closure cache
-    that is invalidated by every mutation. Contradiction checking itself
+    [include]/[exclude] supported) and a lazily maintained closure cache.
+    Fact insertions and removals maintain the cache incrementally
+    (semi-naive extension, delete/rederive retraction); rule toggles and
+    reclassifications fall back to a recompute only when the change
+    provably affects the closure's content. Contradiction checking itself
     lives in {!Integrity} so that callers choose when to pay for it. *)
 
 type t
@@ -59,7 +62,10 @@ val entity_name : t -> Entity.t -> string
 val entity_count : t -> int
 
 (** Declare a relationship to be a class relationship (§2.2), e.g.
-    TOTAL-NUMBER. Invalidates the closure. *)
+    TOTAL-NUMBER. A declaration that changes the classification of an
+    entity active in the closure invalidates the cache; restating the
+    current classification, or reclassifying an entity the closure never
+    mentions, costs nothing. *)
 val declare_class_relationship : t -> Entity.t -> unit
 
 val declare_individual_relationship : t -> Entity.t -> unit
@@ -67,7 +73,8 @@ val is_class_relationship : t -> Entity.t -> bool
 
 (** {1 Facts} *)
 
-(** [insert t fact] — [true] iff new. Invalidates the closure. *)
+(** [insert t fact] — [true] iff new. The cached closure is extended
+    incrementally on next access. *)
 val insert : t -> Fact.t -> bool
 
 (** [insert_names t s r tgt] interns the names and inserts. *)
@@ -76,7 +83,9 @@ val insert_names : t -> string -> string -> string -> bool
 val insert_all : t -> Fact.t list -> unit
 
 (** [remove t fact] — [true] iff present (only base facts can be removed;
-    derived facts disappear when their premises do). *)
+    derived facts disappear when their premises do — incrementally, by
+    delete/rederive on next access; a removed base fact that is still
+    derivable stays in the closure as a derived fact). *)
 val remove : t -> Fact.t -> bool
 
 val remove_names : t -> string -> string -> string -> bool
@@ -89,11 +98,14 @@ val base_cardinal : t -> int
 (** {1 Rules} *)
 
 (** [add_rule t rule] registers (and enables) a rule; replaces any rule of
-    the same name. Invalidates the closure. *)
+    the same name. The closure cache survives when the rule provably adds
+    nothing (the closure is already closed under it); a replacement
+    always invalidates. *)
 val add_rule : t -> Rule.t -> unit
 
 (** [exclude t name] disables a rule without forgetting it (§6.1). [true]
-    iff the rule exists. *)
+    iff the rule exists. The closure cache survives when the rule
+    contributed no recorded derivation ({!Closure.rule_counts}). *)
 val exclude : t -> string -> bool
 
 (** [include_rule t name] re-enables a rule (§6.1). *)
@@ -132,13 +144,22 @@ val mem : t -> Fact.t -> bool
 val invalidate : t -> unit
 
 (** Number of full closure recomputations so far (for tests/benches).
-    Insertions do not trigger recomputation: the cached closure is
-    extended incrementally (semi-naive from the new facts); removals and
-    rule/classification changes invalidate it. *)
+    Neither insertions nor removals trigger recomputation: the cached
+    closure is maintained incrementally in both directions. Rule and
+    classification changes recompute only when they provably affect the
+    closure's content. *)
 val closure_computations : t -> int
 
 (** Number of incremental extensions applied to the cached closure. *)
 val closure_extensions : t -> int
+
+(** Number of incremental retractions (delete/rederive passes) applied to
+    the cached closure. *)
+val closure_retractions : t -> int
+
+(** Edges in the closure's support indexes (premise ↦ dependents); [0]
+    with no cache or before the first retraction builds them. *)
+val support_size : t -> int
 
 (** {1 Bulk access} *)
 

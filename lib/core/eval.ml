@@ -157,10 +157,11 @@ let eval ?(opts = Match_layer.eval_opts) ?(reorder = true) db q =
     | [] -> k ()
     | first :: rest when not reorder -> sat first (fun () -> sat_conj rest k)
     | _ ->
-        (* Carry each candidate's cost through the fold: [cost] probes the
-           index and is too expensive to recompute for the running best at
-           every comparison. Strict [<] keeps the first minimum, as
-           before. *)
+        (* Carry each candidate's cost through the fold so it is computed
+           once per conjunct, not recomputed for the running best at
+           every comparison ([cost] is a pure heuristic over the binding
+           environment — it never touches the index). Strict [<] keeps
+           the first minimum, as before. *)
         let best =
           List.fold_left
             (fun acc q ->

@@ -57,7 +57,7 @@ let extremity_rewrite (pat : Store.pattern) =
     in
     Some ({ Store.s; r; t }, relabel)
 
-let rec candidates ?(opts = eval_opts) db (pat : Store.pattern) emit =
+let rec enumerate ?(opts = eval_opts) db (pat : Store.pattern) emit =
   (* Hierarchy patterns (r = ⊑) belong to the oracle and are never
      rewritten; for other relationships the extremes relabel {e real}
      facts only — counting the trivially-true reflexive ⊑ among "related
@@ -67,7 +67,7 @@ let rec candidates ?(opts = eval_opts) db (pat : Store.pattern) emit =
   match (if opts.virtual_hierarchy && rewritable then extremity_rewrite pat else None) with
   | Some (rewritten, relabel) ->
       let seen = Fact.Tbl.create 16 in
-      candidates ~opts:{ opts with virtual_hierarchy = false } db rewritten (fun fact ->
+      enumerate ~opts:{ opts with virtual_hierarchy = false } db rewritten (fun fact ->
           let fact = relabel fact in
           if not (Fact.Tbl.mem seen fact) then begin
             Fact.Tbl.add seen fact ();
@@ -87,6 +87,101 @@ let rec candidates ?(opts = eval_opts) db (pat : Store.pattern) emit =
   in
   if wants_virtual then Virtual_facts.candidates symtab ~domain:(domain db) pat emit;
   if opts.composition then Composition.candidates db pat emit
+
+(* --- generation-keyed answer cache ---------------------------------- *)
+
+(* Navigation renders the same star-template neighborhoods over and over,
+   and composition enumeration makes each of those probes expensive.
+   Complete pattern answers are cached keyed by (database uid, opts,
+   pattern) and stamped with the database generation: every mutation that
+   can change an answer bumps the generation, so stale entries simply
+   miss and are overwritten. The cache is per-domain (DLS) — parallel
+   probing hits it without locking, at the cost of one warm-up per
+   domain — and bounded: FIFO eviction at [cache_capacity] entries, and
+   answers longer than [max_cached_rows] are never stored. Partial
+   enumerations (an [exists] probe aborting at the first match) never
+   reach the store step, so only complete answers are ever replayed. *)
+
+module Key = struct
+  type t = { uid : int; opts_bits : int; s : int; r : int; t : int }
+
+  let equal (a : t) (b : t) =
+    a.uid = b.uid && a.opts_bits = b.opts_bits && a.s = b.s && a.r = b.r
+    && a.t = b.t
+
+  let hash (k : t) = Hashtbl.hash k
+end
+
+module Key_tbl = Hashtbl.Make (Key)
+
+let cache_capacity = 512
+let max_cached_rows = 4096
+
+type cache = {
+  entries : (int * Fact.t list) Key_tbl.t;  (* generation, answer rows *)
+  order : Key.t Queue.t;  (* insertion order, for FIFO eviction *)
+}
+
+let cache_dls =
+  Domain.DLS.new_key (fun () ->
+      { entries = Key_tbl.create 64; order = Queue.create () })
+
+let cache_hits = Atomic.make 0
+let cache_misses = Atomic.make 0
+let cache_evictions = Atomic.make 0
+
+type cache_stats = { hits : int; misses : int; evictions : int; size : int }
+
+let cache_stats () =
+  let cache = Domain.DLS.get cache_dls in
+  {
+    hits = Atomic.get cache_hits;
+    misses = Atomic.get cache_misses;
+    evictions = Atomic.get cache_evictions;
+    size = Key_tbl.length cache.entries;
+  }
+
+let key_of db opts (pat : Store.pattern) =
+  let enc = function Some e -> e | None -> min_int in
+  let bit b n = if b then n else 0 in
+  {
+    Key.uid = Database.uid db;
+    opts_bits =
+      bit opts.virtual_math 1
+      lor bit opts.virtual_hierarchy 2
+      lor bit opts.composition 4;
+    s = enc pat.s;
+    r = enc pat.r;
+    t = enc pat.t;
+  }
+
+let cache_store cache key generation rows =
+  if not (Key_tbl.mem cache.entries key) then begin
+    Queue.push key cache.order;
+    if Queue.length cache.order > cache_capacity then begin
+      Key_tbl.remove cache.entries (Queue.pop cache.order);
+      Atomic.incr cache_evictions
+    end
+  end;
+  Key_tbl.replace cache.entries key (generation, rows)
+
+let candidates ?(opts = eval_opts) db pat emit =
+  let cache = Domain.DLS.get cache_dls in
+  let key = key_of db opts pat in
+  let generation = Database.generation db in
+  match Key_tbl.find_opt cache.entries key with
+  | Some (stamp, rows) when stamp = generation ->
+      Atomic.incr cache_hits;
+      List.iter emit rows
+  | _ ->
+      Atomic.incr cache_misses;
+      let rows = ref [] in
+      let n = ref 0 in
+      enumerate ~opts db pat (fun fact ->
+          incr n;
+          if !n <= max_cached_rows then rows := fact :: !rows;
+          emit fact);
+      if !n <= max_cached_rows then cache_store cache key generation (List.rev !rows)
 
 let match_list ?opts db pat =
   let acc = ref [] in

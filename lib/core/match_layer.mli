@@ -26,8 +26,22 @@ val plain_opts : opts
 (** [candidates db ?opts pattern emit] enumerates matching facts. Stored
     facts that fall under the oracle's authority (e.g. a stored reflexive
     generalization, or a stored numeric comparison) are suppressed in
-    favor of the oracle so nothing is emitted twice. *)
+    favor of the oracle so nothing is emitted twice.
+
+    Answers are served from a bounded per-domain cache keyed by
+    (database, opts, pattern) and stamped with {!Database.generation}:
+    repeated probes of the same neighborhood (star templates during
+    navigation) replay the stored answer — in the original emission
+    order — instead of re-enumerating closure, oracle and composition
+    views. Any database mutation bumps the generation and the entry
+    misses. *)
 val candidates : ?opts:opts -> Database.t -> Store.pattern -> (Fact.t -> unit) -> unit
+
+(** Counters for the answer cache. [hits]/[misses]/[evictions] are
+    process-wide; [size] is the calling domain's entry count. *)
+type cache_stats = { hits : int; misses : int; evictions : int; size : int }
+
+val cache_stats : unit -> cache_stats
 
 val match_list : ?opts:opts -> Database.t -> Store.pattern -> Fact.t list
 val count : ?opts:opts -> Database.t -> Store.pattern -> int

@@ -77,11 +77,12 @@ let associations ?(opts = Match_layer.nav_opts) db ~src ~tgt =
       end);
   List.rev !out
 
-let fresh_var =
-  let counter = ref 0 in
-  fun () ->
-    incr counter;
-    Printf.sprintf "*%d" !counter
+(* Process-wide: star templates can be parsed from several domains at
+   once (parallel rendering), so the counter must be atomic — a plain ref
+   loses increments under contention and hands two templates the same
+   variable. *)
+let fresh_counter = Atomic.make 0
+let fresh_var () = Printf.sprintf "*%d" (Atomic.fetch_and_add fresh_counter 1 + 1)
 
 let star_term db spec =
   if String.equal spec "*" then Template.Var (fresh_var ())

@@ -33,7 +33,11 @@ val associations :
 
 (** [star_template db spec] parses a navigation template of the form
     [(term, term, term)] where each term is an entity name, [*], or
-    [?var]; [*] becomes a fresh variable. Unknown entity names intern. *)
+    [?var]; [*] becomes a fresh variable. Unknown entity names intern.
+
+    Fresh variables are drawn from a process-wide atomic counter, so
+    templates parsed concurrently from several domains (parallel
+    rendering under [--domains N]) never share a variable name. *)
 val star_template : Database.t -> string * string * string -> Template.t
 
 (** Render the §4.1 one-entity table for the all-star template of [E]:

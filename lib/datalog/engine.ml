@@ -2,14 +2,89 @@ module Pool = Lsdb_exec.Pool
 
 type provenance = { rule : string; premises : Triple.t list }
 
+(* The support index inverts the provenance table: premise fact ↦ the set
+   of facts whose {e recorded} derivation uses it. Built lazily on the
+   first retraction, maintained incrementally afterwards. *)
+type support = {
+  deps : unit Triple.Tbl.t Triple.Tbl.t;
+  mutable edges : int;
+}
+
 type result = {
   index : Index.t;
   derived : Triple.t list;
   provenance : provenance Triple.Tbl.t;
   rounds : int;
+  mutable support : support option;
 }
 
 exception Diverged of int
+
+(* --- support-index maintenance ------------------------------------- *)
+
+let support_add support fact { premises; _ } =
+  List.iter
+    (fun premise ->
+      let cell =
+        match Triple.Tbl.find_opt support.deps premise with
+        | Some cell -> cell
+        | None ->
+            let cell = Triple.Tbl.create 4 in
+            Triple.Tbl.add support.deps premise cell;
+            cell
+      in
+      if not (Triple.Tbl.mem cell fact) then begin
+        Triple.Tbl.add cell fact ();
+        support.edges <- support.edges + 1
+      end)
+    premises
+
+let support_drop support fact { premises; _ } =
+  List.iter
+    (fun premise ->
+      match Triple.Tbl.find_opt support.deps premise with
+      | None -> ()
+      | Some cell ->
+          if Triple.Tbl.mem cell fact then begin
+            Triple.Tbl.remove cell fact;
+            support.edges <- support.edges - 1;
+            if Triple.Tbl.length cell = 0 then Triple.Tbl.remove support.deps premise
+          end)
+    premises
+
+(* [record_provenance] and [forget_provenance] are the only writes to the
+   provenance table once a result exists: they keep the support index (if
+   built) in sync with the recorded derivations. *)
+let record_provenance result fact prov =
+  (match result.support with
+  | Some support -> (
+      (match Triple.Tbl.find_opt result.provenance fact with
+      | Some old -> support_drop support fact old
+      | None -> ());
+      support_add support fact prov)
+  | None -> ());
+  Triple.Tbl.replace result.provenance fact prov
+
+let forget_provenance result fact =
+  match Triple.Tbl.find_opt result.provenance fact with
+  | None -> ()
+  | Some old ->
+      (match result.support with
+      | Some support -> support_drop support fact old
+      | None -> ());
+      Triple.Tbl.remove result.provenance fact
+
+let force_support result =
+  match result.support with
+  | Some support -> support
+  | None ->
+      let support = { deps = Triple.Tbl.create 256; edges = 0 } in
+      Triple.Tbl.iter (fun fact prov -> support_add support fact prov) result.provenance;
+      result.support <- Some support;
+      support
+
+let support_size result =
+  match result.support with Some { edges; _ } -> edges | None -> 0
 
 (* Check every guard that is fully bound; fail fast on the first violated
    one. Guards whose variables are still unbound are deferred to a later
@@ -102,13 +177,14 @@ let shards_of nshards delta =
 
 (* The shared semi-naive driver: iterate rules from [initial] as the
    first delta, adding the consequences to [full] and recording
-   provenance at a single-threaded barrier after each round, until no new
-   triples appear. Rounds see [full] as of the round start (whether run
-   on one domain or many), so for a fixed input the derived order,
+   provenance (via [record], which also maintains the support index when
+   one is built) at a single-threaded barrier after each round, until no
+   new triples appear. Rounds see [full] as of the round start (whether
+   run on one domain or many), so for a fixed input the derived order,
    round count and provenance are identical for every [pool]/shard
    configuration. Returns the derived triples (in order) and the number
    of rounds. *)
-let fixpoint ?pool ~max_facts rules ~full ~provenance initial =
+let fixpoint ?pool ~max_facts rules ~full ~record initial =
   let rules = Array.of_list rules in
   let derived_rev = ref [] in
   let delta = ref (Array.of_list initial) in
@@ -143,8 +219,7 @@ let fixpoint ?pool ~max_facts rules ~full ~provenance initial =
                     raise (Diverged (Index.cardinal full));
                   next_rev := triple :: !next_rev;
                   derived_rev := triple :: !derived_rev;
-                  Triple.Tbl.replace provenance triple
-                    { rule = rule.name; premises }
+                  record triple { rule = rule.name; premises }
                 end)
               buffers.(ri))
           shard_results)
@@ -161,9 +236,11 @@ let closure ?(max_facts = 10_000_000) ?pool rules base =
     (fun triple -> if Index.add full triple then initial := triple :: !initial)
     base;
   let derived, rounds =
-    fixpoint ?pool ~max_facts rules ~full ~provenance (List.rev !initial)
+    fixpoint ?pool ~max_facts rules ~full
+      ~record:(fun triple prov -> Triple.Tbl.replace provenance triple prov)
+      (List.rev !initial)
   in
-  { index = full; derived; provenance; rounds }
+  { index = full; derived; provenance; rounds; support = None }
 
 let extend ?(max_facts = 10_000_000) ?pool rules result extra =
   let fresh = ref [] in
@@ -172,13 +249,169 @@ let extend ?(max_facts = 10_000_000) ?pool rules result extra =
     extra;
   let fresh = List.rev !fresh in
   let derived, rounds =
-    fixpoint ?pool ~max_facts rules ~full:result.index ~provenance:result.provenance
-      fresh
+    fixpoint ?pool ~max_facts rules ~full:result.index
+      ~record:(record_provenance result) fresh
   in
   (* [derived] is deliberately NOT concatenated onto [result.derived]:
      that would make each extension O(closure size). Callers that track
      the full derivation order accumulate the returned segment. *)
   ({ result with rounds = result.rounds + rounds }, fresh @ derived)
+
+(* --- incremental retraction (delete/rederive) ----------------------- *)
+
+type retraction = {
+  removed : Triple.t list;
+  restored : Triple.t list;
+  over_deleted : int;
+  rederive_rounds : int;
+}
+
+exception Derivation of provenance
+
+(* Goal-directed single-fact check: is [fact] derivable in one rule
+   application from the facts currently in [full]? Unify each rule head
+   with [fact], then join the body over the index exactly as [eval_rule]
+   does. Read-only, so shards of these checks can run on separate
+   domains. Any derivation found is well-founded: [fact] itself is not in
+   [full] when this runs (phase 2 removed it), so it cannot support
+   itself.
+
+   Body atoms are joined most-selective-first ([Index.count] under the
+   bindings accumulated so far), not in written order: with the head
+   fully bound, a rule usually has one body atom pinned to the deleted
+   fact's entities (a handful of candidates) and another anchored only on
+   a hub key (thousands) — leading with the hub atom made each check cost
+   a bucket scan per cone fact. *)
+let find_derivation rules ~full fact =
+  let check (rule : Rule.t) =
+    let binding = Array.make (max rule.nvars 1) (-1) in
+    let body = Array.of_list rule.body in
+    let n = Array.length body in
+    let premises = Array.make n (Triple.make (-1) (-1) (-1)) in
+    let rec go remaining =
+      match remaining with
+      | [] ->
+          if guards_ok binding rule.guards then
+            raise
+              (Derivation { rule = rule.name; premises = Array.to_list premises })
+      | _ ->
+          let best = ref (-1) and best_n = ref max_int in
+          List.iter
+            (fun i ->
+              let s, r, tgt = atom_pattern binding body.(i) in
+              let c = Index.count full ~s ~r ~tgt in
+              if c < !best_n then begin
+                best := i;
+                best_n := c
+              end)
+            remaining;
+          let i = !best in
+          let rest = List.filter (fun j -> j <> i) remaining in
+          let atom = body.(i) in
+          let s, r, tgt = atom_pattern binding atom in
+          Index.candidates full ~s ~r ~tgt (fun triple ->
+              match Atom.match_against binding atom triple with
+              | None -> ()
+              | Some newly ->
+                  premises.(i) <- triple;
+                  if guards_ok binding rule.guards then go rest;
+                  List.iter (fun v -> binding.(v) <- -1) newly)
+    in
+    List.iter
+      (fun head ->
+        Array.fill binding 0 (Array.length binding) (-1);
+        match Atom.match_against binding head fact with
+        | None -> ()
+        | Some _ -> if guards_ok binding rule.guards then go (List.init n Fun.id))
+      rule.heads
+  in
+  match List.iter check rules with
+  | () -> None
+  | exception Derivation prov -> Some prov
+
+(* Delete/rederive. Phase 1 walks the support index to collect the cone
+   of facts whose recorded derivation transitively rests on a deleted
+   fact (the over-deletion: a fact may have other derivations — recorded
+   provenance keeps only one, so the cone is a superset of what must
+   go). Phase 2 removes the cone from the index and forgets its
+   provenance. Phase 3 re-checks each cone fact against the surviving
+   index for an alternative one-step derivation (sharded across the pool;
+   read-only, so no barrier is needed until the seeds are merged in
+   deterministic cone order). Phase 4 runs the ordinary semi-naive
+   fixpoint from those seeds, restoring everything reachable again. The
+   rules are monotone and the index is a subset of the old closure
+   throughout, so rederivation can only restore cone members — the final
+   fact set equals a from-scratch recompute, at any pool size. *)
+let retract ?(max_facts = 10_000_000) ?pool rules result deleted =
+  let support = force_support result in
+  let cone = Triple.Tbl.create 64 in
+  let stack = Stack.create () in
+  let enter fact =
+    if not (Triple.Tbl.mem cone fact) then begin
+      Triple.Tbl.add cone fact ();
+      Stack.push fact stack
+    end
+  in
+  List.iter (fun fact -> if Index.mem result.index fact then enter fact) deleted;
+  while not (Stack.is_empty stack) do
+    let fact = Stack.pop stack in
+    match Triple.Tbl.find_opt support.deps fact with
+    | None -> ()
+    | Some cell -> Triple.Tbl.iter (fun dep () -> enter dep) cell
+  done;
+  let cone_list =
+    List.sort Triple.compare (Triple.Tbl.fold (fun f () acc -> f :: acc) cone [])
+  in
+  List.iter
+    (fun fact ->
+      ignore (Index.remove result.index fact : bool);
+      forget_provenance result fact)
+    cone_list;
+  let cone_arr = Array.of_list cone_list in
+  let check fact =
+    match find_derivation rules ~full:result.index fact with
+    | Some prov -> Some (fact, prov)
+    | None -> None
+  in
+  let checked =
+    match pool with
+    | Some pool when Array.length cone_arr > 1 && Pool.size pool > 1 ->
+        (* Same amortization threshold spirit as the fixpoint rounds:
+           each check is a full body join, so shards can be smaller. *)
+        let nshards =
+          min (Pool.size pool) (max 1 ((Array.length cone_arr + 15) / 16))
+        in
+        if nshards = 1 then Array.map check cone_arr
+        else
+          Array.concat
+            (Array.to_list
+               (Pool.map_array pool (Array.map check) (shards_of nshards cone_arr)))
+    | _ -> Array.map check cone_arr
+  in
+  let seeds_rev = ref [] in
+  Array.iter
+    (function
+      | None -> ()
+      | Some (fact, prov) ->
+          ignore (Index.add result.index fact : bool);
+          record_provenance result fact prov;
+          seeds_rev := fact :: !seeds_rev)
+    checked;
+  let _, rederive_rounds =
+    fixpoint ?pool ~max_facts rules ~full:result.index
+      ~record:(record_provenance result)
+      (List.rev !seeds_rev)
+  in
+  let removed, restored =
+    List.partition (fun fact -> not (Index.mem result.index fact)) cone_list
+  in
+  ( { result with rounds = result.rounds + rederive_rounds },
+    {
+      removed;
+      restored;
+      over_deleted = List.length cone_list;
+      rederive_rounds;
+    } )
 
 let step rules index =
   let out = ref [] in

@@ -9,16 +9,30 @@
     are merged in deterministically (rule order, then delta order) at a
     single-threaded barrier. A round's delta can therefore be sharded
     across the domains of an [Lsdb_exec.Pool] — pass [?pool] to
-    {!closure}/{!extend} — and the result (index, derived order, rounds,
-    provenance) is byte-identical for every pool size, including none. *)
+    {!closure}/{!extend}/{!retract} — and the result (index, derived
+    order, rounds, provenance) is byte-identical for every pool size,
+    including none.
+
+    Closures are maintained incrementally in both directions: {!extend}
+    for insertions and {!retract} for deletions (delete/rederive, backed
+    by a support index inverting the provenance table). *)
 
 type provenance = { rule : string; premises : Triple.t list }
+
+type support
+(** Inverse of the provenance table: premise fact ↦ facts whose recorded
+    derivation uses it. Built lazily by the first {!retract}, maintained
+    incrementally afterwards through {!record_provenance} /
+    {!forget_provenance}. *)
 
 type result = {
   index : Index.t;  (** the full closure, base facts included *)
   derived : Triple.t list;  (** derived facts, in derivation order *)
   provenance : provenance Triple.Tbl.t;  (** one derivation per derived fact *)
   rounds : int;  (** number of semi-naive iterations to fixpoint *)
+  mutable support : support option;
+      (** support index over [provenance]; [None] until a retraction
+          needs it *)
 }
 
 exception Diverged of int
@@ -48,6 +62,46 @@ val extend :
   result ->
   Triple.t Seq.t ->
   result * Triple.t list
+
+type retraction = {
+  removed : Triple.t list;  (** cone facts gone for good, [Triple.compare] order *)
+  restored : Triple.t list;  (** cone facts rederived from survivors, same order *)
+  over_deleted : int;  (** size of the over-deleted cone *)
+  rederive_rounds : int;  (** semi-naive rounds spent restoring survivors *)
+}
+
+(** [retract ?max_facts ?pool rules result deleted] incrementally
+    maintains a closure under deletions using delete/rederive: the cone
+    of facts whose recorded derivation transitively rests on a [deleted]
+    fact is over-deleted, then every cone member still derivable from the
+    survivors is restored by the ordinary semi-naive fixpoint.
+    [result.index] and [result.provenance] are updated in place; the
+    resulting fact set is byte-identical to a from-scratch {!closure}
+    over the surviving base facts, at any pool size. [result.derived] is
+    {e not} rewritten (same O(closure) argument as {!extend}) — callers
+    tracking derivation order filter their own record against
+    {!result.provenance}. *)
+val retract :
+  ?max_facts:int ->
+  ?pool:Lsdb_exec.Pool.t ->
+  Rule.t list ->
+  result ->
+  Triple.t list ->
+  result * retraction
+
+(** [record_provenance result fact prov] replaces [fact]'s recorded
+    derivation, keeping the support index (when built) in sync. Used by
+    the closure strata to carry stage provenance across. *)
+val record_provenance : result -> Triple.t -> provenance -> unit
+
+(** [forget_provenance result fact] drops [fact]'s recorded derivation
+    (support index kept in sync) — e.g. when a derived fact is asserted
+    as base and must stop depending on its premises. *)
+val forget_provenance : result -> Triple.t -> unit
+
+(** Number of edges in the support index; [0] until a retraction has
+    forced it. *)
+val support_size : result -> int
 
 (** [consequences rules index binding_hook] — single application round used
     by incremental maintenance: derive everything the rules produce from the

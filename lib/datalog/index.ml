@@ -8,14 +8,29 @@ end
 module Pair_tbl = Hashtbl.Make (Pair)
 module Int_tbl = Hashtbl.Make (Int)
 
+(* Buckets track their length so [count] can answer selectivity probes
+   without walking the list. *)
+type cell = { mutable items : Triple.t list; mutable len : int }
+
+(* Deletion is tombstoned: [remove] unregisters the triple from [all] and
+   marks it [deleted]; the posting lists are left alone and skip dead
+   entries during iteration. Eagerly filtering the lists would be
+   O(bucket) per removal — hub keys (a hot relationship, a big class)
+   have posting lists proportional to the whole index, which made each
+   retraction scan and reallocate them. Tombstones make removal O(1);
+   [compact] rebuilds the lists (preserving order) once the dead fraction
+   passes 1/8, so iteration overhead stays bounded and re-adding a
+   tombstoned triple is O(1) too (its postings are still in place). *)
 type t = {
   all : unit Triple.Tbl.t;
-  by_sr : Triple.t list ref Pair_tbl.t;
-  by_st : Triple.t list ref Pair_tbl.t;
-  by_rt : Triple.t list ref Pair_tbl.t;
-  by_s : Triple.t list ref Int_tbl.t;
-  by_r : Triple.t list ref Int_tbl.t;
-  by_t : Triple.t list ref Int_tbl.t;
+  by_sr : cell Pair_tbl.t;
+  by_st : cell Pair_tbl.t;
+  by_rt : cell Pair_tbl.t;
+  by_s : cell Int_tbl.t;
+  by_r : cell Int_tbl.t;
+  by_t : cell Int_tbl.t;
+  deleted : unit Triple.Tbl.t;
+  mutable dead : int;
 }
 
 let create ?(size_hint = 1024) () =
@@ -27,28 +42,74 @@ let create ?(size_hint = 1024) () =
     by_s = Int_tbl.create size_hint;
     by_r = Int_tbl.create size_hint;
     by_t = Int_tbl.create size_hint;
+    deleted = Triple.Tbl.create 16;
+    dead = 0;
   }
 
 let push_pair tbl key triple =
   match Pair_tbl.find_opt tbl key with
-  | Some cell -> cell := triple :: !cell
-  | None -> Pair_tbl.add tbl key (ref [ triple ])
+  | Some cell ->
+      cell.items <- triple :: cell.items;
+      cell.len <- cell.len + 1
+  | None -> Pair_tbl.add tbl key { items = [ triple ]; len = 1 }
 
 let push_int tbl key triple =
   match Int_tbl.find_opt tbl key with
-  | Some cell -> cell := triple :: !cell
-  | None -> Int_tbl.add tbl key (ref [ triple ])
+  | Some cell ->
+      cell.items <- triple :: cell.items;
+      cell.len <- cell.len + 1
+  | None -> Int_tbl.add tbl key { items = [ triple ]; len = 1 }
 
 let add idx (triple : Triple.t) =
   if Triple.Tbl.mem idx.all triple then false
   else begin
     Triple.Tbl.add idx.all triple ();
-    push_pair idx.by_sr (triple.s, triple.r) triple;
-    push_pair idx.by_st (triple.s, triple.t) triple;
-    push_pair idx.by_rt (triple.r, triple.t) triple;
-    push_int idx.by_s triple.s triple;
-    push_int idx.by_r triple.r triple;
-    push_int idx.by_t triple.t triple;
+    if Triple.Tbl.mem idx.deleted triple then begin
+      (* Resurrection: the postings never went away. *)
+      Triple.Tbl.remove idx.deleted triple;
+      idx.dead <- idx.dead - 1
+    end
+    else begin
+      push_pair idx.by_sr (triple.s, triple.r) triple;
+      push_pair idx.by_st (triple.s, triple.t) triple;
+      push_pair idx.by_rt (triple.r, triple.t) triple;
+      push_int idx.by_s triple.s triple;
+      push_int idx.by_r triple.r triple;
+      push_int idx.by_t triple.t triple
+    end;
+    true
+  end
+
+let compact idx =
+  let live = idx.all in
+  let sweep_cell cell =
+    cell.items <- List.filter (fun t -> Triple.Tbl.mem live t) cell.items;
+    cell.len <- List.length cell.items;
+    cell.len = 0
+  in
+  let doomed_pairs tbl =
+    Pair_tbl.fold (fun key cell acc -> if sweep_cell cell then key :: acc else acc) tbl []
+    |> List.iter (Pair_tbl.remove tbl)
+  and doomed_ints tbl =
+    Int_tbl.fold (fun key cell acc -> if sweep_cell cell then key :: acc else acc) tbl []
+    |> List.iter (Int_tbl.remove tbl)
+  in
+  doomed_pairs idx.by_sr;
+  doomed_pairs idx.by_st;
+  doomed_pairs idx.by_rt;
+  doomed_ints idx.by_s;
+  doomed_ints idx.by_r;
+  doomed_ints idx.by_t;
+  Triple.Tbl.reset idx.deleted;
+  idx.dead <- 0
+
+let remove idx (triple : Triple.t) =
+  if not (Triple.Tbl.mem idx.all triple) then false
+  else begin
+    Triple.Tbl.remove idx.all triple;
+    Triple.Tbl.add idx.deleted triple ();
+    idx.dead <- idx.dead + 1;
+    if idx.dead > 64 && idx.dead * 8 > Triple.Tbl.length idx.all then compact idx;
     true
   end
 
@@ -57,14 +118,21 @@ let cardinal idx = Triple.Tbl.length idx.all
 let iter f idx = Triple.Tbl.iter (fun triple () -> f triple) idx.all
 let to_seq idx = Triple.Tbl.to_seq_keys idx.all
 
-let iter_pair tbl key f =
+let iter_cell idx cell f =
+  if idx.dead = 0 then List.iter f cell.items
+  else
+    List.iter
+      (fun t -> if not (Triple.Tbl.mem idx.deleted t) then f t)
+      cell.items
+
+let iter_pair idx tbl key f =
   match Pair_tbl.find_opt tbl key with
-  | Some cell -> List.iter f !cell
+  | Some cell -> iter_cell idx cell f
   | None -> ()
 
-let iter_int tbl key f =
+let iter_int idx tbl key f =
   match Int_tbl.find_opt tbl key with
-  | Some cell -> List.iter f !cell
+  | Some cell -> iter_cell idx cell f
   | None -> ()
 
 let candidates idx ~s ~r ~tgt f =
@@ -72,10 +140,30 @@ let candidates idx ~s ~r ~tgt f =
   | Some s, Some r, Some t ->
       let triple = Triple.make s r t in
       if mem idx triple then f triple
-  | Some s, Some r, None -> iter_pair idx.by_sr (s, r) f
-  | Some s, None, Some t -> iter_pair idx.by_st (s, t) f
-  | None, Some r, Some t -> iter_pair idx.by_rt (r, t) f
-  | Some s, None, None -> iter_int idx.by_s s f
-  | None, Some r, None -> iter_int idx.by_r r f
-  | None, None, Some t -> iter_int idx.by_t t f
+  | Some s, Some r, None -> iter_pair idx idx.by_sr (s, r) f
+  | Some s, None, Some t -> iter_pair idx idx.by_st (s, t) f
+  | None, Some r, Some t -> iter_pair idx idx.by_rt (r, t) f
+  | Some s, None, None -> iter_int idx idx.by_s s f
+  | None, Some r, None -> iter_int idx idx.by_r r f
+  | None, None, Some t -> iter_int idx idx.by_t t f
   | None, None, None -> iter f idx
+
+let pair_len tbl key =
+  match Pair_tbl.find_opt tbl key with Some cell -> cell.len | None -> 0
+
+let int_len tbl key =
+  match Int_tbl.find_opt tbl key with Some cell -> cell.len | None -> 0
+
+(* Upper bound on how many triples [candidates] will enumerate for the
+   pattern: posting-list lengths include tombstoned entries, so this can
+   overcount by at most the dead fraction — fine for join ordering. *)
+let count idx ~s ~r ~tgt =
+  match (s, r, tgt) with
+  | Some s, Some r, Some t -> if mem idx (Triple.make s r t) then 1 else 0
+  | Some s, Some r, None -> pair_len idx.by_sr (s, r)
+  | Some s, None, Some t -> pair_len idx.by_st (s, t)
+  | None, Some r, Some t -> pair_len idx.by_rt (r, t)
+  | Some s, None, None -> int_len idx.by_s s
+  | None, Some r, None -> int_len idx.by_r r
+  | None, None, Some t -> int_len idx.by_t t
+  | None, None, None -> cardinal idx

@@ -1,6 +1,7 @@
 (** Evaluation index over ground triples.
 
-    Append-only (the fixpoint only ever adds facts); every bound-position
+    The fixpoint only ever adds facts; incremental retraction
+    ({!Engine.retract}) additionally removes them. Every bound-position
     pattern is answered from the most selective available hash index. *)
 
 type t
@@ -10,6 +11,13 @@ val create : ?size_hint:int -> unit -> t
 (** [add t triple] is [true] if the triple was new, [false] if already
     present (in which case the index is unchanged). *)
 val add : t -> Triple.t -> bool
+
+(** [remove t triple] is [true] iff the triple was present. O(1):
+    removal tombstones the triple and leaves the posting lists in place
+    (iteration skips dead entries); the lists are compacted in bulk once
+    the dead fraction exceeds 1/8 of the live index, so the amortized
+    cost stays constant even for triples sitting in hub buckets. *)
+val remove : t -> Triple.t -> bool
 
 val mem : t -> Triple.t -> bool
 val cardinal : t -> int
@@ -21,3 +29,10 @@ val to_seq : t -> Triple.t Seq.t
     triples passed to [f] are guaranteed to match the bound positions. *)
 val candidates :
   t -> s:int option -> r:int option -> tgt:int option -> (Triple.t -> unit) -> unit
+
+(** [count t ~s ~r ~tgt] is an upper bound on the number of triples
+    [candidates] would enumerate for the same pattern, in O(1): posting
+    lists track their length, but the length includes tombstoned entries,
+    so the bound overcounts by at most the dead fraction. Intended for
+    join-order selection, not exact cardinalities. *)
+val count : t -> s:int option -> r:int option -> tgt:int option -> int

@@ -79,6 +79,14 @@ let stats_text db =
       Printf.sprintf "rules: %d enabled / %d"
         (List.length (Database.enabled_rules db))
         (List.length (Database.rules db));
+      Printf.sprintf "closure maintenance: %d computed, %d extensions, %d retractions"
+        (Database.closure_computations db)
+        (Database.closure_extensions db)
+        (Database.closure_retractions db);
+      Printf.sprintf "support index: %d edges" (Database.support_size db);
+      (let { Match_layer.hits; misses; evictions; size } = Match_layer.cache_stats () in
+       Printf.sprintf "answer cache: %d hits / %d misses, %d entries, %d evicted"
+         hits misses size evictions);
     ]
 
 let rec chunk_pairs out = function

@@ -65,7 +65,7 @@ let tests =
     test "§3.5 ⊥ is symmetric via the (⊥,↔,⊥) axiom" (fun () ->
         let db = Paper_examples.organization () in
         check_holds db "hates ⊥ loves" ("HATES", "contra", "LOVES"));
-    test "closure caching: inserts extend incrementally, removals recompute"
+    test "closure caching: inserts extend, removals retract, never recompute"
       (fun () ->
         let db = Paper_examples.organization () in
         ignore (Database.closure db);
@@ -76,8 +76,15 @@ let tests =
         Alcotest.(check int) "still one computation" 1 (Database.closure_computations db);
         Alcotest.(check int) "one extension" 1 (Database.closure_extensions db);
         ignore (Database.remove_names db "NEW" "in" "EMPLOYEE");
-        ignore (Database.closure db);
-        Alcotest.(check int) "removal recomputes" 2 (Database.closure_computations db));
+        check_not_holds db "retraction deletes the consequences"
+          ("NEW", "EARNS", "SALARY");
+        Alcotest.(check int)
+          "removal retracts instead of recomputing" 1
+          (Database.closure_computations db);
+        Alcotest.(check int) "one retraction" 1 (Database.closure_retractions db);
+        Alcotest.(check bool)
+          "retraction built the support index" true
+          (Database.support_size db > 0));
     test "incremental extension equals recomputation from scratch" (fun () ->
         let base = Paper_examples.organization () in
         let additions =

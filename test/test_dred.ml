@@ -1,0 +1,290 @@
+(* Incremental retraction (delete/rederive): equivalence with recompute,
+   cache-keeping rule toggles, the generation/answer-cache satellites. *)
+
+open Lsdb
+open Testutil
+module W = Lsdb_workload
+
+(* Everything observable about the closure that a recompute must agree
+   on: the fact set, which facts count as derived (provenance presence),
+   and the maintained counts. Names form, so it is robust across
+   database copies. *)
+let signature db =
+  let closure = Database.closure db in
+  let symtab = Database.symtab db in
+  let dump =
+    Closure.to_seq closure
+    |> Seq.map (fun f -> (Fact.names symtab f, Closure.is_derived closure f))
+    |> List.of_seq |> List.sort compare
+  in
+  ( dump,
+    Closure.cardinal closure,
+    Closure.derived_count closure,
+    Closure.base_cardinal closure )
+
+(* Compare the incrementally maintained closure against a from-scratch
+   recompute of the same database state. *)
+let check_matches_recompute what db =
+  let reference = Database.copy db in
+  Database.invalidate reference;
+  Alcotest.(check bool)
+    (what ^ ": incremental closure equals recompute")
+    true
+    (signature db = signature reference)
+
+let all_rule_names db =
+  List.map (fun ((rule : Rule.t), _) -> rule.name) (Database.rules db)
+
+(* --- random interleaving driver ------------------------------------- *)
+
+(* Apply [steps] random inserts / retracts / rule toggles, checking the
+   incremental closure against a recompute every few steps. The
+   vocabulary is drawn from the workload's own names so inserts hit the
+   existing hierarchy (and its rules) rather than only fresh entities. *)
+let interleave ?pool ~seed ~steps db vocab =
+  Database.set_pool db pool;
+  let rng = W.Rng.create seed in
+  let vocab = Array.of_list vocab in
+  let rules = all_rule_names db in
+  let pick () = W.Rng.choose_array rng vocab in
+  ignore (Database.closure db);
+  for step = 1 to steps do
+    (match W.Rng.int rng 10 with
+    | 0 | 1 | 2 | 3 ->
+        let s, r, t = (pick (), pick (), pick ()) in
+        ignore (Database.insert_names db s r t)
+    | 4 | 5 | 6 | 7 -> (
+        match Database.facts db with
+        | [] -> ()
+        | facts -> ignore (Database.remove db (W.Rng.choose rng facts)))
+    | 8 -> ignore (Database.exclude db (W.Rng.choose rng rules))
+    | _ -> ignore (Database.include_rule db (W.Rng.choose rng rules)));
+    if step mod 7 = 0 then
+      check_matches_recompute (Printf.sprintf "seed %d step %d" seed step) db
+  done;
+  check_matches_recompute (Printf.sprintf "seed %d final" seed) db;
+  signature db
+
+let org_db seed =
+  let gen =
+    W.Org_gen.generate
+      ~params:
+        {
+          W.Org_gen.default_params with
+          employees = 30;
+          departments = 4;
+        }
+      (W.Rng.create seed)
+  in
+  (W.Org_gen.to_database gen, gen.W.Org_gen.facts)
+
+let university_db seed =
+  let gen =
+    W.University_gen.generate
+      ~params:
+        {
+          W.University_gen.students = 18;
+          courses = 6;
+          instructors = 4;
+          enrollments_per_student = 2;
+        }
+      (W.Rng.create seed)
+  in
+  (W.University_gen.to_database gen, gen.W.University_gen.facts)
+
+let vocab_of facts =
+  List.concat_map (fun (s, r, t) -> [ s; r; t ]) facts
+  |> List.sort_uniq String.compare
+
+let tests =
+  [
+    test "every single-fact retraction matches a recompute (§3 example)" (fun () ->
+        let db = Paper_examples.organization () in
+        ignore (Database.closure db);
+        List.iter
+          (fun f ->
+            let trial = Database.copy db in
+            ignore (Database.closure trial);
+            ignore (Database.remove trial f);
+            let s, r, t = Fact.names (Database.symtab trial) f in
+            check_matches_recompute (Printf.sprintf "retract (%s,%s,%s)" s r t)
+              trial;
+            Alcotest.(check int)
+              "retraction was incremental" 1
+              (Database.closure_computations trial);
+            Alcotest.(check int)
+              "one retraction pass" 1
+              (Database.closure_retractions trial))
+          (Database.facts db));
+    test "retract then reinsert restores the closure exactly" (fun () ->
+        let db = Paper_examples.organization () in
+        let before = signature db in
+        let f = fact db ("JOHN", "in", "EMPLOYEE") in
+        ignore (Database.remove db f);
+        ignore (Database.closure db);
+        ignore (Database.insert db f);
+        Alcotest.(check bool) "round trip" true (signature db = before);
+        Alcotest.(check int)
+          "never recomputed" 1
+          (Database.closure_computations db));
+    test "retracting a still-derivable base fact keeps it, as derived" (fun () ->
+        let db =
+          db_of [ ("A", "isa", "B"); ("B", "isa", "C"); ("A", "isa", "C") ]
+        in
+        let closure = Database.closure db in
+        Alcotest.(check bool)
+          "stored (A,isa,C) is base" false
+          (Closure.is_derived closure (fact db ("A", "isa", "C")));
+        ignore (Database.remove db (fact db ("A", "isa", "C")));
+        check_holds db "still holds via transitivity" ("A", "isa", "C");
+        Alcotest.(check bool)
+          "now derived" true
+          (Closure.is_derived (Database.closure db) (fact db ("A", "isa", "C")));
+        Alcotest.(check int)
+          "incrementally" 1
+          (Database.closure_computations db);
+        check_matches_recompute "derivable base fact" db);
+    test "asserting a derived fact as base demotes it to base" (fun () ->
+        let db = db_of [ ("A", "isa", "B"); ("B", "isa", "C") ] in
+        check_holds db "derived first" ("A", "isa", "C");
+        ignore (Database.insert_names db "A" "isa" "C");
+        Alcotest.(check bool)
+          "no longer derived" false
+          (Closure.is_derived (Database.closure db) (fact db ("A", "isa", "C")));
+        check_matches_recompute "after demotion" db;
+        (* The demoted fact must survive deletion of its former premises. *)
+        ignore (Database.remove db (fact db ("A", "isa", "B")));
+        check_holds db "base fact survives premise deletion" ("A", "isa", "C");
+        check_matches_recompute "after premise deletion" db);
+    test "excluding a contributing rule recomputes; an idle one keeps the cache"
+      (fun () ->
+        let db = Paper_examples.organization () in
+        let closure = Database.closure db in
+        let counts = Closure.rule_counts closure in
+        (* Most productive rule: excluding it must invalidate. *)
+        let productive, _ = List.hd counts in
+        ignore (Database.exclude db productive);
+        ignore (Database.closure db);
+        Alcotest.(check int)
+          "contributing rule forces a recompute" 2
+          (Database.closure_computations db);
+        check_matches_recompute "after exclusion" db;
+        ignore (Database.include_rule db productive);
+        ignore (Database.closure db);
+        (* An enabled rule with no recorded derivations: toggling it must
+           not recompute. *)
+        let contributing =
+          List.map fst (Closure.rule_counts (Database.closure db))
+        in
+        let computations = Database.closure_computations db in
+        (match
+           List.find_opt
+             (fun name ->
+               (not (List.mem name contributing))
+               && not (String.equal name "inversion"))
+             (List.filter (Database.rule_enabled db) (all_rule_names db))
+         with
+        | None -> ()
+        | Some idle ->
+            ignore (Database.exclude db idle);
+            ignore (Database.closure db);
+            Alcotest.(check int)
+              "idle rule keeps the cache" computations
+              (Database.closure_computations db);
+            check_matches_recompute "after idle exclusion" db;
+            ignore (Database.include_rule db idle);
+            ignore (Database.closure db);
+            Alcotest.(check int)
+              "re-including a no-op rule keeps the cache" computations
+              (Database.closure_computations db)))
+    ;
+    test "reclassifying an inactive entity keeps the cache" (fun () ->
+        let db = Paper_examples.organization () in
+        ignore (Database.closure db);
+        let ghost = Database.entity db "NEVER-MENTIONED" in
+        Database.declare_class_relationship db ghost;
+        ignore (Database.closure db);
+        Alcotest.(check int)
+          "inactive entity: no recompute" 1
+          (Database.closure_computations db);
+        (* Restating an existing classification changes nothing at all. *)
+        let generation = Database.generation db in
+        Database.declare_class_relationship db ghost;
+        Alcotest.(check int)
+          "idempotent declaration: generation unchanged" generation
+          (Database.generation db);
+        (* Reclassifying an entity the closure mentions recomputes. *)
+        Database.declare_class_relationship db (Database.entity db "EARNS");
+        ignore (Database.closure db);
+        Alcotest.(check int)
+          "active entity: recompute" 2
+          (Database.closure_computations db);
+        check_matches_recompute "after reclassification" db);
+    test "set_limit bumps the generation (regression)" (fun () ->
+        let db = Paper_examples.organization () in
+        let g0 = Database.generation db in
+        Database.set_limit db 3;
+        Alcotest.(check bool)
+          "limit change bumps generation" true
+          (Database.generation db > g0);
+        let g1 = Database.generation db in
+        Database.set_limit db 3;
+        Alcotest.(check int) "restating the limit does not" g1
+          (Database.generation db));
+    test "answer cache: replay on repeat, refresh after mutation" (fun () ->
+        let db = Paper_examples.organization () in
+        let pat = Store.pattern ~s:(Database.entity db "JOHN") () in
+        let first = Match_layer.match_list db pat in
+        let stats0 = Match_layer.cache_stats () in
+        let second = Match_layer.match_list db pat in
+        let stats1 = Match_layer.cache_stats () in
+        Alcotest.(check bool) "replay is identical" true (first = second);
+        Alcotest.(check bool)
+          "repeat probe hit the cache" true
+          (stats1.Match_layer.hits > stats0.Match_layer.hits);
+        ignore (Database.insert_names db "JOHN" "LIKES" "MUSIC");
+        let third = Match_layer.match_list db pat in
+        Alcotest.(check bool)
+          "mutation visible through the cache" true
+          (List.mem (fact db ("JOHN", "LIKES", "MUSIC")) third);
+        (* A partial enumeration (exists aborts at the first match) must
+           not poison the cache with a truncated answer. *)
+        let earns = Store.pattern ~r:(Database.entity db "EARNS") () in
+        Alcotest.(check bool) "exists" true (Match_layer.exists db earns);
+        let full = Match_layer.match_list db earns in
+        Alcotest.(check bool)
+          "answer after an aborted probe is complete" true
+          (List.length full > 1));
+    test "property: random insert/retract/toggle equals recompute (org)" (fun () ->
+        List.iter
+          (fun seed ->
+            let db, facts = org_db seed in
+            ignore (interleave ~seed ~steps:35 db (vocab_of facts)))
+          [ 11; 42 ]);
+    test "property: random insert/retract/toggle equals recompute (university)"
+      (fun () ->
+        List.iter
+          (fun seed ->
+            let db, facts = university_db seed in
+            ignore (interleave ~seed ~steps:35 db (vocab_of facts)))
+          [ 7; 23 ]);
+    test "property: pooled maintenance is byte-identical to sequential" (fun () ->
+        let pool = Lsdb_exec.Pool.create ~domains:3 in
+        Fun.protect
+          ~finally:(fun () -> Lsdb_exec.Pool.shutdown pool)
+          (fun () ->
+            List.iter
+              (fun seed ->
+                let db_seq, facts = org_db seed in
+                let seq_sig =
+                  interleave ~seed ~steps:30 db_seq (vocab_of facts)
+                in
+                let db_par, facts = org_db seed in
+                let par_sig =
+                  interleave ~pool ~seed ~steps:30 db_par (vocab_of facts)
+                in
+                Alcotest.(check bool)
+                  (Printf.sprintf "seed %d: pooled equals sequential" seed)
+                  true (seq_sig = par_sig))
+              [ 5; 19 ]));
+  ]
