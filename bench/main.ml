@@ -15,13 +15,13 @@ let quick = ref false
 (* Machine-readable results                                            *)
 
 (* Every headline number printed in a pretty table is also recorded here
-   and dumped as JSON (default BENCH_PR3.json, override with --json FILE)
+   and dumped as JSON (default BENCH_PR4.json, override with --json FILE)
    so regressions can be tracked without parsing tables. Writing merges
    into an existing file: rows measured this run replace same-id rows,
    rows from experiments not re-run are preserved, so partial runs
    (`bench b15`) refresh their slice of the file instead of erasing the
    rest. *)
-let json_path = ref "BENCH_PR3.json"
+let json_path = ref "BENCH_PR4.json"
 let json_rows : (string * float * string) list ref = ref []
 let record id value unit_ = json_rows := (id, value, unit_) :: !json_rows
 
@@ -1196,6 +1196,135 @@ let b15 () =
     (List.rev !rows);
   ignore !seq_ms
 
+(* B16 — observability overhead                                          *)
+
+(* Like the B15 equivalence check, B16 doubles as a CI gate: if the
+   timed instrumentation costs more than 5% of wall-clock on either
+   kernel, this counter flips and the process exits nonzero after the
+   JSON dump. *)
+let overhead_failures = ref 0
+let overhead_limit_pct = 5.0
+
+let b16 () =
+  section "B16 — observability overhead: metrics off vs. on (5% budget)";
+  let module Metrics = Lsdb_obs.Metrics in
+  let module Trace = Lsdb_obs.Trace in
+  let was_metrics = Metrics.enabled () in
+  let was_trace = Trace.enabled () in
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled was_metrics;
+      Trace.set_enabled was_trace)
+  @@ fun () ->
+  (* Tracing stays off throughout: its rings are a debugging aid with an
+     explicit opt-in, while counters and the timed paths behind
+     Metrics.set_enabled are what CI runs with --obs. *)
+  Trace.set_enabled false;
+  let runs = 7 in
+  (* Kernel 1 — the B13 probe workload: every wave fails, so the whole
+     cost is broadened conjunctive queries (spans + wave timers on the
+     hot path). *)
+  let m = if !quick then 150 else 400 in
+  let probe_db, probe_query =
+    let r = rng () in
+    let rel_tax = Lsdb_workload.Taxonomy.generate ~prefix:"REL" ~depth:3 ~fanout:3 r in
+    let goal_tax = Lsdb_workload.Taxonomy.generate ~prefix:"GOAL" ~depth:3 ~fanout:2 r in
+    let db = Database.create () in
+    Lsdb_workload.Taxonomy.insert db rel_tax;
+    Lsdb_workload.Taxonomy.insert db goal_tax;
+    let leaf_rel = List.hd rel_tax.Lsdb_workload.Taxonomy.leaves in
+    let leaf_goal = List.hd goal_tax.Lsdb_workload.Taxonomy.leaves in
+    for j = 0 to m - 1 do
+      ignore
+        (Database.insert_names db (Printf.sprintf "SRC-%04d" j) leaf_rel
+           (Printf.sprintf "ITM-%04d" j));
+      ignore
+        (Database.insert_names db (Printf.sprintf "NDL-%04d" j) "NEEDLE" leaf_goal)
+    done;
+    let query =
+      Query_parser.parse db
+        (Printf.sprintf "(?x, %s, ?y) & (?y, NEEDLE, %s)" leaf_rel leaf_goal)
+    in
+    ignore (Database.closure db);
+    (db, query)
+  in
+  let probe_kernel () = ignore (Probing.probe ~max_waves:6 probe_db probe_query) in
+  (* Kernel 2 — the B15 single-fact retraction: delete/rederive a cone
+     out of a large closure (retract timers + round spans). *)
+  let employees = if !quick then 600 else 4000 in
+  let org =
+    Lsdb_workload.Org_gen.generate
+      ~params:{ Lsdb_workload.Org_gen.default_params with employees }
+      (rng ())
+  in
+  let retract_db = Lsdb_workload.Org_gen.to_database org in
+  ignore (Database.closure retract_db);
+  let victim =
+    Fact.of_names (Database.symtab retract_db) "EMP-0042" "in" "EMPLOYEE"
+  in
+  let retract_kernel () =
+    (* One retract+rederive cycle is tens of microseconds; batch enough
+       of them that a sample dwarfs timer resolution. *)
+    for _ = 1 to 50 do
+      ignore (Database.remove retract_db victim);
+      ignore (Database.closure retract_db);
+      ignore (Database.insert retract_db victim);
+      ignore (Database.closure retract_db)
+    done
+  in
+  (* Samples alternate off/on pairwise: two back-to-back series would
+     fold GC and cache drift into the comparison and swamp the few clock
+     reads actually being measured. *)
+  let measure_pair kernel =
+    Metrics.set_enabled false;
+    kernel ();
+    Metrics.set_enabled true;
+    kernel ();
+    let samples =
+      List.init runs (fun _ ->
+          Metrics.set_enabled false;
+          let _, off = time_ms kernel in
+          Metrics.set_enabled true;
+          let _, on = time_ms kernel in
+          (off, on))
+    in
+    (* Best-of-runs, not median: the kernels are deterministic, so the
+       minimum is the run least disturbed by GC and scheduling — exactly
+       the floor where a real per-operation cost would still show up. *)
+    let best xs = List.fold_left Float.min (List.hd xs) (List.tl xs) in
+    (best (List.map fst samples), best (List.map snd samples))
+  in
+  let rows =
+    List.map
+      (fun (id, label, kernel) ->
+        let off_ms, on_ms = measure_pair kernel in
+        let pct = 100. *. ((on_ms -. off_ms) /. off_ms) in
+        record (Printf.sprintf "b16/%s_ms_off" id) off_ms "ms";
+        record (Printf.sprintf "b16/%s_ms_on" id) on_ms "ms";
+        record (Printf.sprintf "b16/%s_overhead_pct" id) pct "%";
+        let over = pct > overhead_limit_pct in
+        if over then begin
+          incr overhead_failures;
+          Printf.printf "  ✗ OVERHEAD FAILURE: %s costs %.1f%% with metrics on\n"
+            label pct
+        end;
+        [
+          label;
+          Printf.sprintf "%.2f" off_ms;
+          Printf.sprintf "%.2f" on_ms;
+          Printf.sprintf "%+.1f%%" pct;
+          (if over then "✗ OVER" else "✓");
+        ])
+      [
+        ("probe", "exhaustive probe (B13 kernel)", probe_kernel);
+        ("retract", "retract+rederive (B15 kernel)", retract_kernel);
+      ]
+  in
+  table
+    [ "kernel"; "metrics off ms"; "metrics on ms"; "overhead";
+      Printf.sprintf "budget %.0f%%" overhead_limit_pct ]
+    rows
+
 (* Bechamel micro-op reference table                                     *)
 
 let micro () =
@@ -1261,7 +1390,7 @@ let experiments =
     ("ex6", ex6); ("ex7", ex7);
     ("b1", b1); ("b2", b2); ("b3", b3); ("b4", b4); ("b5", b5); ("b6", b6);
     ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10); ("b11", b11); ("b12", b12);
-    ("b13", b13); ("b14", b14); ("b15", b15); ("micro", micro);
+    ("b13", b13); ("b14", b14); ("b15", b15); ("b16", b16); ("micro", micro);
   ]
 
 let () =
@@ -1270,6 +1399,11 @@ let () =
     | [] -> List.rev acc
     | "--quick" :: rest ->
         quick := true;
+        parse acc rest
+    | "--obs" :: rest ->
+        (* Run every experiment with the timed metrics instrumentation
+           enabled — the state CI gates with B16's overhead budget. *)
+        Lsdb_obs.Metrics.set_enabled true;
         parse acc rest
     | "--json" :: path :: rest ->
         json_path := path;
@@ -1300,5 +1434,10 @@ let () =
   if !equivalence_failures > 0 then begin
     Printf.eprintf "FAIL: %d incremental/recompute equivalence mismatch(es)\n"
       !equivalence_failures;
+    exit 1
+  end;
+  if !overhead_failures > 0 then begin
+    Printf.eprintf "FAIL: %d kernel(s) exceed the %.0f%% observability budget\n"
+      !overhead_failures overhead_limit_pct;
     exit 1
   end

@@ -33,11 +33,18 @@ let drive ?domains ?journal db command =
         Some pool
     | _ -> None
   in
-  let shell = Lsdb_shell.Shell.create ?journal db in
-  (match command with
-  | Some cmd -> print_string (Lsdb_shell.Shell.execute shell cmd)
-  | None -> repl shell);
-  Option.iter Lsdb_exec.Pool.shutdown pool
+  (* The pool's worker domains must be joined on every exit path — a
+     session killed by an exception (or a raising command) would
+     otherwise leave them blocked on the queue forever. *)
+  Fun.protect
+    ~finally:(fun () ->
+      Database.set_pool db None;
+      Option.iter Lsdb_exec.Pool.shutdown pool)
+    (fun () ->
+      let shell = Lsdb_shell.Shell.create ?journal db in
+      match command with
+      | Some cmd -> print_string (Lsdb_shell.Shell.execute shell cmd)
+      | None -> repl shell)
 
 open Cmdliner
 
@@ -75,7 +82,47 @@ let salvage =
   in
   Arg.(value & flag & info [ "salvage" ] ~doc)
 
-let main file demo dir command domains salvage =
+let metrics_file =
+  let doc =
+    "Enable timed instrumentation and, on exit (normal or not), write the \
+     metrics registry in Prometheus text format to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let slow_ms =
+  let doc =
+    "Enable query tracing and keep a slowlog of queries at least $(docv) \
+     milliseconds long; the slowlog is printed to stderr on exit."
+  in
+  Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS" ~doc)
+
+let rec main file demo dir command domains salvage metrics_file slow_ms =
+  (match metrics_file with
+  | Some _ -> Lsdb_obs.Metrics.set_enabled true
+  | None -> ());
+  (match slow_ms with
+  | Some ms ->
+      Lsdb_obs.Metrics.set_enabled true;
+      Lsdb_obs.Trace.set_enabled true;
+      Lsdb_obs.Trace.set_slow_threshold (Float.max 0. ms /. 1e3)
+  | None -> ());
+  Fun.protect ~finally:(fun () ->
+      (match metrics_file with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (Lsdb_obs.Metrics.expose ());
+          close_out oc
+      | None -> ());
+      match slow_ms with
+      | None -> ()
+      | Some _ ->
+          List.iter
+            (fun p -> prerr_string (Lsdb_obs.Trace.render p))
+            (List.rev (Lsdb_obs.Trace.slowlog ())))
+  @@ fun () ->
+  run file demo dir command domains salvage
+
+and run file demo dir command domains salvage =
   match (demo, dir) with
   | Some name, _ -> (
       match List.assoc_opt name Lsdb_shell.Shell.demos with
@@ -114,8 +161,11 @@ let main file demo dir command domains salvage =
               | Lsdb_shell.Shell.Rule_excluded name -> Log.Exclude_rule name
               | Lsdb_shell.Shell.Limit_set n -> Log.Set_limit n)
           in
-          drive ~domains ~journal db command;
-          Lsdb_storage.Persistent.close p;
+          (* [close] both releases the store and syncs any buffered log
+             tail — it must run even when the session dies mid-command. *)
+          Fun.protect
+            ~finally:(fun () -> Lsdb_storage.Persistent.close p)
+            (fun () -> drive ~domains ~journal db command);
           0)
   | None, None -> (
       let db = Database.create () in
@@ -140,6 +190,7 @@ let cmd =
   let info = Cmd.info "lsdb-browse" ~version:"1.0.0" ~doc in
   Cmd.v info
     Term.(
-      const main $ file $ demo $ persistent_dir $ command_line $ domains $ salvage)
+      const main $ file $ demo $ persistent_dir $ command_line $ domains
+      $ salvage $ metrics_file $ slow_ms)
 
 let () = exit (Cmd.eval' cmd)

@@ -101,6 +101,7 @@ let try_bind env (tpl : Template.t) (fact : Fact.t) =
 exception Sat
 
 let eval ?(opts = Match_layer.eval_opts) ?(reorder = true) db q =
+  Lsdb_obs.Trace.span "eval" @@ fun () ->
   let q = alpha_rename q in
   let env : (string, Entity.t) Hashtbl.t = Hashtbl.create 16 in
   let rec sat q k =

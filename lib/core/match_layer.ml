@@ -117,29 +117,104 @@ module Key_tbl = Hashtbl.Make (Key)
 let cache_capacity = 512
 let max_cached_rows = 4096
 
+(* Hit/miss/eviction counts are kept {e per database} (the cache itself
+   is keyed by database uid, so process-global counters would blend
+   unrelated databases into one meaningless ratio). The counters live in
+   the metrics registry, labeled by uid; a process-wide table maps uid to
+   its handles, and each domain memoizes the handles it has used so the
+   hot path never takes the table lock. *)
+module Metrics = Lsdb_obs.Metrics
+
+type db_counters = {
+  c_hits : Lsdb_obs.Metrics.counter;
+  c_misses : Lsdb_obs.Metrics.counter;
+  c_evictions : Lsdb_obs.Metrics.counter;
+}
+
+let counters_lock = Mutex.create ()
+let counters_tbl : (int, db_counters) Hashtbl.t = Hashtbl.create 16
+
+let global_counters uid =
+  Mutex.lock counters_lock;
+  let handles =
+    match Hashtbl.find_opt counters_tbl uid with
+    | Some handles -> handles
+    | None ->
+        let labels = [ ("db", string_of_int uid) ] in
+        let handles =
+          {
+            c_hits =
+              Metrics.counter ~help:"Answer-cache hits per database" ~labels
+                "lsdb_match_cache_hits_total";
+            c_misses =
+              Metrics.counter ~help:"Answer-cache misses per database" ~labels
+                "lsdb_match_cache_misses_total";
+            c_evictions =
+              Metrics.counter ~help:"Answer-cache evictions per database"
+                ~labels "lsdb_match_cache_evictions_total";
+          }
+        in
+        Hashtbl.add counters_tbl uid handles;
+        handles
+  in
+  Mutex.unlock counters_lock;
+  handles
+
 type cache = {
   entries : (int * Fact.t list) Key_tbl.t;  (* generation, answer rows *)
   order : Key.t Queue.t;  (* insertion order, for FIFO eviction *)
+  counters : (int, db_counters) Hashtbl.t;  (* uid ↦ handles, domain-local memo *)
 }
 
 let cache_dls =
   Domain.DLS.new_key (fun () ->
-      { entries = Key_tbl.create 64; order = Queue.create () })
+      {
+        entries = Key_tbl.create 64;
+        order = Queue.create ();
+        counters = Hashtbl.create 4;
+      })
 
-let cache_hits = Atomic.make 0
-let cache_misses = Atomic.make 0
-let cache_evictions = Atomic.make 0
+let counters_for cache uid =
+  match Hashtbl.find_opt cache.counters uid with
+  | Some handles -> handles
+  | None ->
+      let handles = global_counters uid in
+      Hashtbl.add cache.counters uid handles;
+      handles
 
 type cache_stats = { hits : int; misses : int; evictions : int; size : int }
 
-let cache_stats () =
-  let cache = Domain.DLS.get cache_dls in
+let domain_cache_size ?uid cache =
+  match uid with
+  | None -> Key_tbl.length cache.entries
+  | Some uid ->
+      Key_tbl.fold
+        (fun (k : Key.t) _ n -> if k.uid = uid then n + 1 else n)
+        cache.entries 0
+
+let cache_stats_for db =
+  let uid = Database.uid db in
+  let handles = global_counters uid in
   {
-    hits = Atomic.get cache_hits;
-    misses = Atomic.get cache_misses;
-    evictions = Atomic.get cache_evictions;
-    size = Key_tbl.length cache.entries;
+    hits = Metrics.counter_value handles.c_hits;
+    misses = Metrics.counter_value handles.c_misses;
+    evictions = Metrics.counter_value handles.c_evictions;
+    size = domain_cache_size ~uid (Domain.DLS.get cache_dls);
   }
+
+let cache_stats () =
+  (* Deprecated aggregate: sums the per-database counters. *)
+  Mutex.lock counters_lock;
+  let hits, misses, evictions =
+    Hashtbl.fold
+      (fun _ h (hits, misses, evictions) ->
+        ( hits + Metrics.counter_value h.c_hits,
+          misses + Metrics.counter_value h.c_misses,
+          evictions + Metrics.counter_value h.c_evictions ))
+      counters_tbl (0, 0, 0)
+  in
+  Mutex.unlock counters_lock;
+  { hits; misses; evictions; size = domain_cache_size (Domain.DLS.get cache_dls) }
 
 let key_of db opts (pat : Store.pattern) =
   let enc = function Some e -> e | None -> min_int in
@@ -159,8 +234,11 @@ let cache_store cache key generation rows =
   if not (Key_tbl.mem cache.entries key) then begin
     Queue.push key cache.order;
     if Queue.length cache.order > cache_capacity then begin
-      Key_tbl.remove cache.entries (Queue.pop cache.order);
-      Atomic.incr cache_evictions
+      let (evicted : Key.t) = Queue.pop cache.order in
+      Key_tbl.remove cache.entries evicted;
+      (* Attribute the eviction to the database that owned the evicted
+         entry, not the one doing the inserting. *)
+      Metrics.incr (counters_for cache evicted.uid).c_evictions
     end
   end;
   Key_tbl.replace cache.entries key (generation, rows)
@@ -168,13 +246,14 @@ let cache_store cache key generation rows =
 let candidates ?(opts = eval_opts) db pat emit =
   let cache = Domain.DLS.get cache_dls in
   let key = key_of db opts pat in
+  let counters = counters_for cache key.uid in
   let generation = Database.generation db in
   match Key_tbl.find_opt cache.entries key with
   | Some (stamp, rows) when stamp = generation ->
-      Atomic.incr cache_hits;
+      Metrics.incr counters.c_hits;
       List.iter emit rows
   | _ ->
-      Atomic.incr cache_misses;
+      Metrics.incr counters.c_misses;
       let rows = ref [] in
       let n = ref 0 in
       enumerate ~opts db pat (fun fact ->

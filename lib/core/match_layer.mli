@@ -37,11 +37,22 @@ val plain_opts : opts
     misses. *)
 val candidates : ?opts:opts -> Database.t -> Store.pattern -> (Fact.t -> unit) -> unit
 
-(** Counters for the answer cache. [hits]/[misses]/[evictions] are
-    process-wide; [size] is the calling domain's entry count. *)
+(** Counters for the answer cache. [hits]/[misses]/[evictions] are kept
+    per database (in the process metrics registry, labeled by database
+    uid) and cover every domain; [size] is the calling domain's entry
+    count. *)
 type cache_stats = { hits : int; misses : int; evictions : int; size : int }
 
+val cache_stats_for : Database.t -> cache_stats
+(** The cache counters of one database: [hits]/[misses]/[evictions] are
+    that database's totals across all domains; [size] counts the calling
+    domain's entries for that database. *)
+
 val cache_stats : unit -> cache_stats
+(** @deprecated Sums the per-database counters into one process-wide
+    aggregate (the pre-registry behavior); [size] is the calling domain's
+    total entry count. Use {!cache_stats_for} to read the database you
+    actually care about. *)
 
 val match_list : ?opts:opts -> Database.t -> Store.pattern -> Fact.t list
 val count : ?opts:opts -> Database.t -> Store.pattern -> int

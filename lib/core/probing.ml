@@ -1,4 +1,6 @@
 module Pool = Lsdb_exec.Pool
+module Metrics = Lsdb_obs.Metrics
+module Trace = Lsdb_obs.Trace
 
 type success = {
   query : Query.t;
@@ -22,7 +24,42 @@ type outcome =
 
 type pending = { query : Query.t; steps_rev : Retraction.step list }
 
+(* Observability handles, registered once at module initialization. *)
+let m_probes =
+  Metrics.counter ~help:"Probe invocations" "lsdb_probing_probes_total"
+
+let m_waves =
+  Metrics.counter ~help:"Retraction waves evaluated" "lsdb_probing_waves_total"
+
+let m_attempted =
+  Metrics.counter ~help:"Broadened queries attempted across waves"
+    "lsdb_probing_broadenings_attempted_total"
+
+let m_succeeded =
+  Metrics.counter ~help:"Broadened queries that produced answers"
+    "lsdb_probing_broadenings_succeeded_total"
+
+let outcome_counter outcome =
+  Metrics.counter ~help:"Probe outcomes by kind"
+    ~labels:[ ("outcome", outcome) ]
+    "lsdb_probing_outcomes_total"
+
+let m_answered = outcome_counter "answered"
+let m_retracted = outcome_counter "retracted"
+let m_exhausted = outcome_counter "exhausted"
+
+let m_probe_seconds =
+  Metrics.histogram ~help:"Wall-clock seconds per probe"
+    "lsdb_probing_probe_seconds"
+
+let m_wave_seconds =
+  Metrics.histogram ~help:"Wall-clock seconds per retraction wave"
+    "lsdb_probing_wave_seconds"
+
 let probe ?policy ?(max_waves = 8) ?(max_wave_width = 512) ?opts ?pool db q =
+  Metrics.incr m_probes;
+  Trace.span "probe" @@ fun () ->
+  Metrics.time m_probe_seconds @@ fun () ->
   let pool = match pool with Some _ as p -> p | None -> Database.pool db in
   let parallel =
     match pool with Some p when Pool.size p > 1 -> Some p | _ -> None
@@ -45,51 +82,75 @@ let probe ?policy ?(max_waves = 8) ?(max_wave_width = 512) ?opts ?pool db q =
     | _ -> List.partition_map classify candidates
   in
   let answer = Eval.eval ?opts db q in
-  if answer.rows <> [] then Answered answer
+  if answer.rows <> [] then begin
+    Metrics.incr m_answered;
+    Answered answer
+  end
   else begin
     let broadness = Broadness.of_db db in
     let seen = Hashtbl.create 64 in
     Hashtbl.add seen q ();
     let total_attempted = ref 0 in
     let rec wave n frontier =
-      if n > max_waves || frontier = [] then
+      if n > max_waves || frontier = [] then begin
+        Metrics.incr m_exhausted;
         Exhausted
           {
             waves = n - 1;
             attempted = !total_attempted;
             unknown_entities = Query.unmatched_entities db q;
           }
+      end
       else begin
-        (* Expand every failed query of the previous wave by one minimal
-           broadening step, deduplicating across the whole search. *)
-        let next = ref [] in
-        let count = ref 0 in
-        List.iter
-          (fun { query; steps_rev } ->
-            if !count < max_wave_width then
-              List.iter
-                (fun ({ Retraction.query = broader_query; step } : Retraction.broader) ->
-                  if !count < max_wave_width && not (Hashtbl.mem seen broader_query)
-                  then begin
-                    Hashtbl.add seen broader_query ();
-                    incr count;
-                    next := { query = broader_query; steps_rev = step :: steps_rev } :: !next
-                  end)
-                (Retraction.retraction_set ?policy db broadness query))
-          frontier;
-        let candidates = List.rev !next in
-        let attempted = List.length candidates in
-        total_attempted := !total_attempted + attempted;
-        let successes, failures = evaluate_wave candidates in
-        if successes <> [] then
-          Retracted
-            {
-              wave = n;
-              successes;
-              attempted;
-              critical = List.length successes = attempted;
-            }
-        else wave (n + 1) failures
+        Metrics.incr m_waves;
+        (* The wave's own work (broadening + evaluation) runs inside the
+           span; the recursion happens outside it, so each wave's span
+           and histogram sample covers exactly one wave. *)
+        let step =
+          Trace.span "probe.wave" ~meta:[ ("wave", string_of_int n) ]
+          @@ fun () ->
+          Metrics.time m_wave_seconds @@ fun () ->
+          (* Expand every failed query of the previous wave by one minimal
+             broadening step, deduplicating across the whole search. *)
+          let next = ref [] in
+          let count = ref 0 in
+          List.iter
+            (fun { query; steps_rev } ->
+              if !count < max_wave_width then
+                List.iter
+                  (fun ({ Retraction.query = broader_query; step } : Retraction.broader) ->
+                    if !count < max_wave_width && not (Hashtbl.mem seen broader_query)
+                    then begin
+                      Hashtbl.add seen broader_query ();
+                      incr count;
+                      next := { query = broader_query; steps_rev = step :: steps_rev } :: !next
+                    end)
+                  (Retraction.retraction_set ?policy db broadness query))
+            frontier;
+          let candidates = List.rev !next in
+          let attempted = List.length candidates in
+          total_attempted := !total_attempted + attempted;
+          Metrics.add m_attempted attempted;
+          Trace.annotate "width" (string_of_int attempted);
+          let successes, failures = evaluate_wave candidates in
+          Metrics.add m_succeeded (List.length successes);
+          Trace.annotate "succeeded" (string_of_int (List.length successes));
+          if successes <> [] then begin
+            Metrics.incr m_retracted;
+            Either.Left
+              (Retracted
+                 {
+                   wave = n;
+                   successes;
+                   attempted;
+                   critical = List.length successes = attempted;
+                 })
+          end
+          else Either.Right failures
+        in
+        match step with
+        | Either.Left outcome -> outcome
+        | Either.Right failures -> wave (n + 1) failures
       end
     in
     wave 1 [ { query = q; steps_rev = [] } ]

@@ -1,6 +1,50 @@
 module Pool = Lsdb_exec.Pool
+module Metrics = Lsdb_obs.Metrics
+module Trace = Lsdb_obs.Trace
 
 type provenance = { rule : string; premises : Triple.t list }
+
+(* Observability handles, registered once at module initialization. *)
+let m_rounds =
+  Metrics.counter ~help:"Semi-naive closure rounds executed"
+    "lsdb_engine_closure_rounds_total"
+
+let m_delta =
+  Metrics.counter ~help:"Delta triples fed into closure rounds"
+    "lsdb_engine_delta_triples_total"
+
+let m_derived =
+  Metrics.counter ~help:"Triples derived by closure rounds"
+    "lsdb_engine_derived_triples_total"
+
+let m_closures =
+  Metrics.counter ~help:"Full closure computations" "lsdb_engine_closures_total"
+
+let m_extends =
+  Metrics.counter ~help:"Incremental extensions" "lsdb_engine_extends_total"
+
+let m_retracts =
+  Metrics.counter ~help:"Incremental retractions" "lsdb_engine_retracts_total"
+
+let m_cone =
+  Metrics.counter ~help:"Over-deleted cone facts across retractions"
+    "lsdb_engine_retract_cone_facts_total"
+
+let m_rederive_checks =
+  Metrics.counter ~help:"Single-fact rederivation checks during retractions"
+    "lsdb_engine_rederive_checks_total"
+
+let m_restored =
+  Metrics.counter ~help:"Cone facts restored by rederivation"
+    "lsdb_engine_restored_facts_total"
+
+let m_round_seconds =
+  Metrics.histogram ~help:"Wall-clock seconds per closure round"
+    "lsdb_engine_round_seconds"
+
+let m_retract_seconds =
+  Metrics.histogram ~help:"Wall-clock seconds per retraction (all phases)"
+    "lsdb_engine_retract_seconds"
 
 (* The support index inverts the provenance table: premise fact ↦ the set
    of facts whose {e recorded} derivation uses it. Built lazily on the
@@ -191,6 +235,16 @@ let fixpoint ?pool ~max_facts rules ~full ~record initial =
   let rounds = ref 0 in
   while Array.length !delta > 0 do
     incr rounds;
+    Metrics.incr m_rounds;
+    Metrics.add m_delta (Array.length !delta);
+    Trace.span "closure.round"
+      ~meta:
+        [
+          ("round", string_of_int !rounds);
+          ("delta", string_of_int (Array.length !delta));
+        ]
+    @@ fun () ->
+    Metrics.time m_round_seconds @@ fun () ->
     let shard_results =
       match pool with
       | Some pool when Array.length !delta > 1 && Pool.size pool > 1 ->
@@ -224,11 +278,15 @@ let fixpoint ?pool ~max_facts rules ~full ~record initial =
               buffers.(ri))
           shard_results)
       rules;
+    Metrics.add m_derived (List.length !next_rev);
+    Trace.annotate "derived" (string_of_int (List.length !next_rev));
     delta := Array.of_list (List.rev !next_rev)
   done;
   (List.rev !derived_rev, !rounds)
 
 let closure ?(max_facts = 10_000_000) ?pool rules base =
+  Metrics.incr m_closures;
+  Trace.span "engine.closure" @@ fun () ->
   let full = Index.create () in
   let provenance = Triple.Tbl.create 256 in
   let initial = ref [] in
@@ -243,6 +301,8 @@ let closure ?(max_facts = 10_000_000) ?pool rules base =
   { index = full; derived; provenance; rounds; support = None }
 
 let extend ?(max_facts = 10_000_000) ?pool rules result extra =
+  Metrics.incr m_extends;
+  Trace.span "engine.extend" @@ fun () ->
   let fresh = ref [] in
   Seq.iter
     (fun triple -> if Index.add result.index triple then fresh := triple :: !fresh)
@@ -343,6 +403,11 @@ let find_derivation rules ~full fact =
    throughout, so rederivation can only restore cone members — the final
    fact set equals a from-scratch recompute, at any pool size. *)
 let retract ?(max_facts = 10_000_000) ?pool rules result deleted =
+  Metrics.incr m_retracts;
+  Trace.span "engine.retract"
+    ~meta:[ ("deleted", string_of_int (List.length deleted)) ]
+  @@ fun () ->
+  Metrics.time m_retract_seconds @@ fun () ->
   let support = force_support result in
   let cone = Triple.Tbl.create 64 in
   let stack = Stack.create () in
@@ -368,6 +433,9 @@ let retract ?(max_facts = 10_000_000) ?pool rules result deleted =
       forget_provenance result fact)
     cone_list;
   let cone_arr = Array.of_list cone_list in
+  Metrics.add m_cone (Array.length cone_arr);
+  Metrics.add m_rederive_checks (Array.length cone_arr);
+  Trace.annotate "cone" (string_of_int (Array.length cone_arr));
   let check fact =
     match find_derivation rules ~full:result.index fact with
     | Some prov -> Some (fact, prov)
@@ -405,6 +473,8 @@ let retract ?(max_facts = 10_000_000) ?pool rules result deleted =
   let removed, restored =
     List.partition (fun fact -> not (Index.mem result.index fact)) cone_list
   in
+  Metrics.add m_restored (List.length restored);
+  Trace.annotate "restored" (string_of_int (List.length restored));
   ( { result with rounds = result.rounds + rederive_rounds },
     {
       removed;

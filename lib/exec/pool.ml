@@ -1,13 +1,44 @@
+module Metrics = Lsdb_obs.Metrics
+
 type t = {
   size : int;
   mutex : Mutex.t;  (* guards [jobs] and [stopped] *)
   nonempty : Condition.t;
-  jobs : (unit -> unit) Queue.t;
+  jobs : (float * (unit -> unit)) Queue.t;
+      (* enqueue timestamp (0. when timing is disabled) and the job *)
   mutable stopped : bool;
   mutable workers : unit Domain.t list;
 }
 
 let default_domains () = Domain.recommended_domain_count ()
+
+(* Observability: one handle per fact of pool life, registered once at
+   module initialization. Counters are aggregated per lane (one atomic
+   add per lane per fan-out), never per item. *)
+let m_lanes =
+  Metrics.gauge ~help:"Lanes (including the caller) of the most recently created pool"
+    "lsdb_pool_lanes"
+
+let m_maps =
+  Metrics.counter ~help:"Parallel fan-outs executed" "lsdb_pool_maps_total"
+
+let m_jobs =
+  Metrics.counter ~help:"Queued lane jobs picked up by worker domains"
+    "lsdb_pool_jobs_total"
+
+let m_items_caller =
+  Metrics.counter ~help:"Work items claimed by the calling domain's lane"
+    ~labels:[ ("lane", "caller") ]
+    "lsdb_pool_items_total"
+
+let m_items_worker =
+  Metrics.counter ~help:"Work items claimed by worker-domain lanes"
+    ~labels:[ ("lane", "worker") ]
+    "lsdb_pool_items_total"
+
+let m_queue_wait =
+  Metrics.histogram ~help:"Seconds a lane job waited in the queue before pickup"
+    "lsdb_pool_queue_wait_seconds"
 
 let worker_loop t () =
   let rec run () =
@@ -24,7 +55,10 @@ let worker_loop t () =
     Mutex.unlock t.mutex;
     match job with
     | None -> ()
-    | Some job ->
+    | Some (enqueued_at, job) ->
+        Metrics.incr m_jobs;
+        if enqueued_at > 0. then
+          Metrics.observe m_queue_wait (Metrics.now () -. enqueued_at);
         (* Jobs are wrappers built by [map_array] and never raise; the
            guard keeps a misbehaving job from killing the worker. *)
         (try job () with _ -> ());
@@ -45,6 +79,7 @@ let create ~domains =
     }
   in
   t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (worker_loop t));
+  Metrics.set m_lanes size;
   t
 
 let size t = t.size
@@ -69,13 +104,17 @@ let map_array t f input =
     let completed = Atomic.make 0 in
     let finished = Mutex.create () in
     let all_done = Condition.create () in
+    Metrics.incr m_maps;
     (* Every lane (workers and the caller) claims indices from the shared
        cursor until the input is exhausted. Results and errors land at
-       their input index, so scheduling cannot perturb the output. *)
-    let lane () =
+       their input index, so scheduling cannot perturb the output. Item
+       counts are accumulated locally and flushed once per lane. *)
+    let lane items_counter () =
+      let claimed = ref 0 in
       let rec loop () =
         let i = Atomic.fetch_and_add cursor 1 in
         if i < n then begin
+          incr claimed;
           (match f input.(i) with
           | v -> results.(i) <- Some v
           | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
@@ -87,18 +126,20 @@ let map_array t f input =
           loop ()
         end
       in
-      loop ()
+      loop ();
+      if !claimed > 0 then Metrics.add items_counter !claimed
     in
     let helpers = min (t.size - 1) (n - 1) in
     if helpers > 0 then begin
+      let enqueued_at = if Metrics.enabled () then Metrics.now () else 0. in
       Mutex.lock t.mutex;
       for _ = 1 to helpers do
-        Queue.push lane t.jobs
+        Queue.push (enqueued_at, lane m_items_worker) t.jobs
       done;
       Condition.broadcast t.nonempty;
       Mutex.unlock t.mutex
     end;
-    lane ();
+    lane m_items_caller ();
     Mutex.lock finished;
     while Atomic.get completed < n do
       Condition.wait all_done finished

@@ -1,0 +1,222 @@
+type span = {
+  span_name : string;
+  offset : float;
+  duration : float;
+  depth : int;
+  meta : (string * string) list;
+}
+
+type profile = {
+  id : int;
+  label : string;
+  started_at : float;
+  total : float;
+  spans : span list;
+  dropped_spans : int;
+}
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+(* The threshold is read from whichever domain completes a profile;
+   a float ref would be a data race under the memory model. Store
+   nanoseconds in an atomic int. *)
+let slow_ns = Atomic.make max_int
+
+let set_slow_threshold seconds =
+  Atomic.set slow_ns
+    (if seconds = infinity then max_int
+     else int_of_float (Float.max 0. seconds *. 1e9))
+
+let slow_threshold () =
+  let ns = Atomic.get slow_ns in
+  if ns = max_int then infinity else float_of_int ns /. 1e9
+
+let max_spans_per_profile = 512
+let recent_capacity = 64
+let slowlog_capacity = 32
+
+(* An open span on the per-domain stack: completed child spans have
+   already been emitted; [meta] grows via [annotate]. *)
+type open_span = {
+  os_name : string;
+  os_start : float;
+  os_depth : int;
+  mutable os_meta : (string * string) list;
+}
+
+type ctx = {
+  c_label : string;
+  c_started : float;
+  mutable c_spans_rev : span list;
+  mutable c_count : int;
+  mutable c_stack : open_span list;
+}
+
+let ctx_key : ctx option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let next_id = Atomic.make 0
+
+(* Completed-profile rings, shared across domains. *)
+let rings_lock = Mutex.create ()
+let recent_ring : profile list ref = ref []
+let slow_ring : profile list ref = ref []
+
+let push_bounded ring capacity profile =
+  ring := profile :: (if List.length !ring >= capacity then
+                        List.filteri (fun i _ -> i < capacity - 1) !ring
+                      else !ring)
+
+let publish profile =
+  Mutex.lock rings_lock;
+  push_bounded recent_ring recent_capacity profile;
+  let threshold = Atomic.get slow_ns in
+  if threshold <> max_int
+     && profile.total *. 1e9 >= float_of_int threshold then
+    push_bounded slow_ring slowlog_capacity profile;
+  Mutex.unlock rings_lock
+
+let with_query label f =
+  if not (Atomic.get enabled_flag) then f ()
+  else
+    let slot = Domain.DLS.get ctx_key in
+    match !slot with
+    | Some _ ->
+        (* Already profiling on this domain: the nested query is a span. *)
+        let ctx = Option.get !slot in
+        let t0 = Metrics.now () in
+        let depth = List.length ctx.c_stack in
+        let finish () =
+          if ctx.c_count < max_spans_per_profile then begin
+            ctx.c_spans_rev <-
+              { span_name = "query:" ^ label; offset = t0 -. ctx.c_started;
+                duration = Metrics.now () -. t0; depth; meta = [] }
+              :: ctx.c_spans_rev
+          end;
+          ctx.c_count <- ctx.c_count + 1
+        in
+        (match f () with
+        | result -> finish (); result
+        | exception e -> finish (); raise e)
+    | None ->
+        let started = Metrics.now () in
+        let ctx =
+          { c_label = label; c_started = started; c_spans_rev = [];
+            c_count = 0; c_stack = [] }
+        in
+        slot := Some ctx;
+        let finish () =
+          slot := None;
+          let total = Metrics.now () -. started in
+          let spans =
+            List.sort
+              (fun a b ->
+                match Float.compare a.offset b.offset with
+                | 0 -> Int.compare a.depth b.depth
+                | c -> c)
+              (List.rev ctx.c_spans_rev)
+          in
+          publish
+            {
+              id = Atomic.fetch_and_add next_id 1;
+              label = ctx.c_label;
+              started_at = started;
+              total;
+              spans;
+              dropped_spans = max 0 (ctx.c_count - max_spans_per_profile);
+            }
+        in
+        (match f () with
+        | result -> finish (); result
+        | exception e -> finish (); raise e)
+
+let span ?(meta = []) name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else
+    match !(Domain.DLS.get ctx_key) with
+    | None -> f ()
+    | Some ctx ->
+        let os =
+          { os_name = name; os_start = Metrics.now ();
+            os_depth = List.length ctx.c_stack; os_meta = meta }
+        in
+        ctx.c_stack <- os :: ctx.c_stack;
+        let finish () =
+          (match ctx.c_stack with
+          | top :: rest when top == os -> ctx.c_stack <- rest
+          | stack ->
+              (* A child escaped (exception unwound past it); drop down to
+                 and including our frame. *)
+              let rec unwind = function
+                | top :: rest when top == os -> rest
+                | _ :: rest -> unwind rest
+                | [] -> []
+              in
+              ctx.c_stack <- unwind stack);
+          if ctx.c_count < max_spans_per_profile then
+            ctx.c_spans_rev <-
+              { span_name = os.os_name; offset = os.os_start -. ctx.c_started;
+                duration = Metrics.now () -. os.os_start; depth = os.os_depth;
+                meta = List.rev os.os_meta }
+              :: ctx.c_spans_rev;
+          ctx.c_count <- ctx.c_count + 1
+        in
+        (match f () with
+        | result -> finish (); result
+        | exception e -> finish (); raise e)
+
+let annotate key value =
+  if Atomic.get enabled_flag then
+    match !(Domain.DLS.get ctx_key) with
+    | Some { c_stack = os :: _; _ } -> os.os_meta <- (key, value) :: os.os_meta
+    | _ -> ()
+
+let recent () =
+  Mutex.lock rings_lock;
+  let out = !recent_ring in
+  Mutex.unlock rings_lock;
+  out
+
+let slowlog () =
+  Mutex.lock rings_lock;
+  let out = !slow_ring in
+  Mutex.unlock rings_lock;
+  out
+
+let last () = match recent () with p :: _ -> Some p | [] -> None
+
+let clear () =
+  Mutex.lock rings_lock;
+  recent_ring := [];
+  slow_ring := [];
+  Mutex.unlock rings_lock
+
+let ms seconds = Printf.sprintf "%.3f ms" (seconds *. 1e3)
+
+let render p =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "profile #%d  %s  — total %s, %d span(s)%s\n" p.id p.label
+       (ms p.total) (List.length p.spans)
+       (if p.dropped_spans > 0 then
+          Printf.sprintf " (+%d dropped)" p.dropped_spans
+        else ""));
+  List.iter
+    (fun s ->
+      let meta =
+        match s.meta with
+        | [] -> ""
+        | meta ->
+            "  ["
+            ^ String.concat ", "
+                (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) meta)
+            ^ "]"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  +%-11s %s%-24s %s%s\n" (ms s.offset)
+           (String.make (2 * s.depth) ' ')
+           s.span_name (ms s.duration) meta))
+    p.spans;
+  Buffer.contents buf

@@ -1,0 +1,71 @@
+(** Span-based query tracing.
+
+    A {e profile} is the record of one top-level operation (normally one
+    shell query or probe): a label, a total duration, and the spans that
+    ran inside it — parse, evaluation, closure rounds, retraction waves —
+    each with its offset, duration, nesting depth and free-form metadata.
+
+    Profiles are collected per domain (domain-local state, no locks on
+    the hot path) and published on completion into two bounded global
+    ring buffers: the most recent profiles, and the {e slowlog} of
+    profiles whose duration met {!set_slow_threshold}. Spans opened on
+    pool worker domains while the coordinating domain holds the profile
+    are deliberately dropped — per-wave and per-round timing is recorded
+    at the barrier by the coordinator, so a profile is always a single
+    coherent timeline.
+
+    Tracing is off by default; when off, {!with_query} and {!span} run
+    their argument with no clock read. Tracing never changes the result
+    of the traced computation. *)
+
+type span = {
+  span_name : string;
+  offset : float;  (** seconds after profile start *)
+  duration : float;  (** seconds *)
+  depth : int;  (** nesting depth, 0 = directly under the profile *)
+  meta : (string * string) list;
+}
+
+type profile = {
+  id : int;  (** process-monotone *)
+  label : string;
+  started_at : float;  (** [Unix.gettimeofday] at profile start *)
+  total : float;  (** seconds *)
+  spans : span list;  (** in start order *)
+  dropped_spans : int;  (** spans beyond the per-profile cap *)
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val set_slow_threshold : float -> unit
+(** Seconds; profiles at least this slow also enter the slowlog.
+    Default: [infinity] (slowlog off). *)
+
+val slow_threshold : unit -> float
+
+val with_query : string -> (unit -> 'a) -> 'a
+(** [with_query label f] runs [f] as a traced profile. When tracing is
+    disabled, or when a profile is already active on this domain (the
+    nested call becomes an ordinary span), this is just [f ()]. The
+    profile is published even if [f] raises. *)
+
+val span : ?meta:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Record a timed span inside the active profile; [f ()] untimed when
+    tracing is off or no profile is active on this domain. *)
+
+val annotate : string -> string -> unit
+(** Attach metadata to the innermost open span (no-op without one). *)
+
+val recent : unit -> profile list
+(** Most recent completed profiles, newest first (bounded). *)
+
+val slowlog : unit -> profile list
+(** Profiles that met the slow threshold, newest first (bounded). *)
+
+val last : unit -> profile option
+val clear : unit -> unit
+
+val render : profile -> string
+(** Multi-line human rendering: one line per span, indented by depth,
+    with offset, duration and metadata. *)

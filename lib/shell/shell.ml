@@ -1,4 +1,6 @@
 open Lsdb
+module Metrics = Lsdb_obs.Metrics
+module Trace = Lsdb_obs.Trace
 
 type mutation =
   | Inserted of Fact.t
@@ -50,6 +52,10 @@ let help =
   limit N                       set the composition chain bound (§6.1)
   check                         report contradictions in the closure
   stats                         database statistics
+  .stats                        observability counters (engine, probing, pool, storage)
+  .profile [on|off]             show the last query profile / toggle tracing
+  .slowlog [MS]                 show slow queries / set the slow threshold
+  .metrics                      Prometheus-format metrics dump
   save FILE | load FILE         text fact-file I/O
   script FILE                   run a file of commands
   help | quit
@@ -84,9 +90,58 @@ let stats_text db =
         (Database.closure_extensions db)
         (Database.closure_retractions db);
       Printf.sprintf "support index: %d edges" (Database.support_size db);
-      (let { Match_layer.hits; misses; evictions; size } = Match_layer.cache_stats () in
+      (let { Match_layer.hits; misses; evictions; size } =
+         Match_layer.cache_stats_for db
+       in
        Printf.sprintf "answer cache: %d hits / %d misses, %d entries, %d evicted"
          hits misses size evictions);
+    ]
+
+(* Reading the observability counters back out goes through the same
+   find-or-create registration the instrumented modules use: asking for a
+   name + label set returns the existing handle. *)
+let obs_stats_text db =
+  let c ?labels name = Metrics.counter_value (Metrics.counter ?labels name) in
+  let outcome o = c ~labels:[ ("outcome", o) ] "lsdb_probing_outcomes_total" in
+  let lane l = c ~labels:[ ("lane", l) ] "lsdb_pool_items_total" in
+  let { Match_layer.hits; misses; evictions; size } =
+    Match_layer.cache_stats_for db
+  in
+  String.concat "\n"
+    [
+      Printf.sprintf
+        "probing: %d probes (%d answered, %d retracted, %d exhausted), %d \
+         waves, %d broadenings tried / %d succeeded"
+        (c "lsdb_probing_probes_total")
+        (outcome "answered") (outcome "retracted") (outcome "exhausted")
+        (c "lsdb_probing_waves_total")
+        (c "lsdb_probing_broadenings_attempted_total")
+        (c "lsdb_probing_broadenings_succeeded_total");
+      Printf.sprintf
+        "engine: %d closures, %d extensions, %d retractions; %d rounds, %d \
+         delta in / %d derived"
+        (c "lsdb_engine_closures_total")
+        (c "lsdb_engine_extends_total")
+        (c "lsdb_engine_retracts_total")
+        (c "lsdb_engine_closure_rounds_total")
+        (c "lsdb_engine_delta_triples_total")
+        (c "lsdb_engine_derived_triples_total");
+      Printf.sprintf "retraction cones: %d facts over-deleted, %d restored"
+        (c "lsdb_engine_retract_cone_facts_total")
+        (c "lsdb_engine_restored_facts_total");
+      Printf.sprintf
+        "pool: %d fan-outs, %d worker jobs; items %d caller / %d worker"
+        (c "lsdb_pool_maps_total") (c "lsdb_pool_jobs_total") (lane "caller")
+        (lane "worker");
+      Printf.sprintf "storage: %d log appends, %d syncs, %d compactions"
+        (c "lsdb_log_appends_total") (c "lsdb_log_syncs_total")
+        (c "lsdb_store_compactions_total");
+      Printf.sprintf
+        "answer cache (this db): %d hits / %d misses, %d entries, %d evicted"
+        hits misses size evictions;
+      Printf.sprintf "timed instrumentation: %s; tracing: %s"
+        (if Metrics.enabled () then "on" else "off")
+        (if Trace.enabled () then "on" else "off");
     ]
 
 let rec chunk_pairs out = function
@@ -153,13 +208,21 @@ and run t out words =
           | exception Query_parser.Parse_error msg -> say "parse error: %s" msg)
       | "q", _ :: _ -> (
           match Query_parser.parse db (rest_text ()) with
-          | query -> say "%s" (answer_text db (Eval.eval db query))
+          | query ->
+              let answer =
+                Trace.with_query ("q " ^ rest_text ()) (fun () -> Eval.eval db query)
+              in
+              say "%s" (answer_text db answer)
           | exception Query_parser.Parse_error msg -> say "parse error: %s" msg)
       | "probe", _ :: _ -> (
           match Query_parser.parse_with_unknowns db (rest_text ()) with
           | query, unknowns ->
               if unknowns <> [] then say "(new names: %s)" (String.concat ", " unknowns);
-              let outcome = Probing.probe db query in
+              let outcome =
+                Trace.with_query
+                  ("probe " ^ rest_text ())
+                  (fun () -> Probing.probe db query)
+              in
               Buffer.add_string out (Probing.render_menu db query outcome);
               (match outcome with
               | Probing.Retracted { successes; _ } ->
@@ -238,6 +301,40 @@ and run t out words =
           | [] -> say "no contradictions"
           | violations -> List.iter (fun v -> say "%s" (Integrity.describe db v)) violations)
       | "stats", _ -> say "%s" (stats_text db)
+      | ".stats", _ -> say "%s" (obs_stats_text db)
+      | ".metrics", _ -> Buffer.add_string out (Metrics.expose ())
+      | ".profile", [] -> (
+          match Trace.last () with
+          | Some p -> Buffer.add_string out (Trace.render p)
+          | None ->
+              if Trace.enabled () then say "(no profiles recorded yet)"
+              else say "(tracing is off — '.profile on' to enable)")
+      | ".profile", [ "on" ] ->
+          Metrics.set_enabled true;
+          Trace.set_enabled true;
+          say "profiling on"
+      | ".profile", [ "off" ] ->
+          Metrics.set_enabled false;
+          Trace.set_enabled false;
+          say "profiling off"
+      | ".slowlog", [] -> (
+          match Trace.slowlog () with
+          | [] ->
+              if Trace.slow_threshold () = infinity then
+                say "(slowlog is off — '.slowlog MS' to set a threshold)"
+              else say "(no queries above %.1f ms)" (Trace.slow_threshold () *. 1e3)
+          | profiles ->
+              List.iter (fun p -> Buffer.add_string out (Trace.render p)) profiles)
+      | ".slowlog", [ ms ] -> (
+          match float_of_string_opt ms with
+          | Some ms when ms >= 0. ->
+              Trace.set_slow_threshold (ms /. 1e3);
+              Metrics.set_enabled true;
+              Trace.set_enabled true;
+              say "slowlog threshold = %s ms (tracing on)"
+                (if Float.is_integer ms then Printf.sprintf "%.0f" ms
+                 else Printf.sprintf "%g" ms)
+          | _ -> say ".slowlog needs a non-negative threshold in milliseconds")
       | "save", [ path ] ->
           Fact_file.save_file db path;
           say "saved to %s" path

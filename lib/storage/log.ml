@@ -97,10 +97,26 @@ let decode_record payload =
 
 let flush_threshold = 32 * 1024
 
+module Metrics = Lsdb_obs.Metrics
+
+let m_appends =
+  Metrics.counter ~help:"Log records appended" "lsdb_log_appends_total"
+
+let m_bytes =
+  Metrics.counter ~help:"Log bytes written to the VFS"
+    "lsdb_log_bytes_written_total"
+
+let m_syncs = Metrics.counter ~help:"Log fsyncs" "lsdb_log_syncs_total"
+
+let m_fsync_seconds =
+  Metrics.histogram ~help:"Wall-clock seconds per log fsync"
+    "lsdb_log_fsync_seconds"
+
 type t = { vfs : Vfs.t; file : Vfs.file; buf : Buffer.t }
 
 let flush t =
   if Buffer.length t.buf > 0 then begin
+    Metrics.add m_bytes (Buffer.length t.buf);
     Vfs.write ~site:"log.write" t.file (Buffer.contents t.buf);
     Buffer.clear t.buf
   end
@@ -116,11 +132,14 @@ let open_ ?(vfs = Vfs.real) ?epoch path =
   t
 
 let append t op =
+  Metrics.incr m_appends;
   Buffer.add_string t.buf (Codec.frame (encode op));
   if Buffer.length t.buf >= flush_threshold then flush t
 
 let sync t =
+  Metrics.incr m_syncs;
   flush t;
+  Metrics.time m_fsync_seconds @@ fun () ->
   Vfs.fsync ~site:"log.fsync" t.file
 
 let close t =

@@ -1,5 +1,42 @@
 type sync_mode = Always | On_demand
 
+module Metrics = Lsdb_obs.Metrics
+
+let m_opens =
+  Metrics.counter ~help:"Persistent directories opened" "lsdb_store_opens_total"
+
+let recovery_counter outcome =
+  Metrics.counter ~help:"Recovery epoch decisions by outcome"
+    ~labels:[ ("outcome", outcome) ]
+    "lsdb_store_recovery_total"
+
+let m_recover_fresh = recovery_counter "fresh"
+let m_recover_applied = recovery_counter "applied"
+let m_recover_ignored_stale = recovery_counter "ignored_stale"
+let m_recover_replayed_future = recovery_counter "replayed_future"
+
+let m_salvaged_frames =
+  Metrics.counter ~help:"Log frames dropped during salvage recovery"
+    "lsdb_store_salvaged_frames_total"
+
+let m_truncated_bytes =
+  Metrics.counter ~help:"Torn-tail bytes truncated during recovery"
+    "lsdb_store_truncated_bytes_total"
+
+let m_compactions =
+  Metrics.counter ~help:"Completed compactions" "lsdb_store_compactions_total"
+
+let compaction_phase phase =
+  Metrics.histogram ~help:"Wall-clock seconds per compaction phase"
+    ~labels:[ ("phase", phase) ]
+    "lsdb_store_compaction_phase_seconds"
+
+let m_phase_sync = compaction_phase "log_sync"
+let m_phase_snapshot = compaction_phase "snapshot_write"
+let m_phase_verify = compaction_phase "verify"
+let m_phase_rename = compaction_phase "rename"
+let m_phase_reset = compaction_phase "log_reset"
+
 type t = {
   dir : string;
   vfs : Vfs.t;
@@ -77,6 +114,15 @@ let open_dir ?(vfs = Vfs.real) ?(recovery = `Strict) ?(sync_mode = On_demand) di
                  snapshot_epoch)
         | `Salvage -> (Recovery_report.Replayed_future, read.Log.ops))
   in
+  Metrics.incr m_opens;
+  Metrics.incr
+    (match decision with
+    | Recovery_report.Fresh -> m_recover_fresh
+    | Recovery_report.Applied -> m_recover_applied
+    | Recovery_report.Ignored_stale -> m_recover_ignored_stale
+    | Recovery_report.Replayed_future -> m_recover_replayed_future);
+  Metrics.add m_salvaged_frames read.Log.frames_skipped;
+  Metrics.add m_truncated_bytes read.Log.bytes_truncated;
   List.iter (Log.apply db) ops;
   (* Physically repair the log when anything was dropped or the epoch is
      off: appending after a torn tail would otherwise turn the tear into
@@ -207,11 +253,13 @@ let sync t = Log.sync t.log
    already folded in — they are ignored, never applied twice. *)
 let compact t =
   check_usable t;
-  Log.sync t.log;
+  Metrics.time m_phase_sync (fun () -> Log.sync t.log);
   let epoch' = t.epoch + 1 in
   let tmp = snapshot_tmp t.dir in
   (try
-     Snapshot.save ~vfs:t.vfs ~epoch:epoch' t.db tmp;
+     Metrics.time m_phase_snapshot (fun () ->
+         Snapshot.save ~vfs:t.vfs ~epoch:epoch' t.db tmp);
+     Metrics.time m_phase_verify @@ fun () ->
      match Vfs.read_file t.vfs tmp with
      | None -> failwith "Persistent.compact: snapshot vanished before verification"
      | Some data -> (
@@ -230,20 +278,23 @@ let compact t =
    with e ->
      (try Vfs.remove t.vfs tmp with _ -> ());
      raise e);
-  Vfs.rename ~site:"snapshot.rename" t.vfs tmp (snapshot_file t.dir);
-  Vfs.fsync_dir ~site:"dir.fsync" t.vfs t.dir;
+  Metrics.time m_phase_rename (fun () ->
+      Vfs.rename ~site:"snapshot.rename" t.vfs tmp (snapshot_file t.dir);
+      Vfs.fsync_dir ~site:"dir.fsync" t.vfs t.dir);
   (* Point of no return: the snapshot now carries epoch'. If the log
      reset fails we must refuse further appends — they would land in a
      stale-epoch log and be ignored at the next open. *)
   (try
-     Log.write_fresh ~vfs:t.vfs ~epoch:epoch' ~ops:[] (log_file t.dir);
-     Log.close t.log;
-     t.log <- Log.open_ ~vfs:t.vfs ~epoch:epoch' (log_file t.dir)
+     Metrics.time m_phase_reset (fun () ->
+         Log.write_fresh ~vfs:t.vfs ~epoch:epoch' ~ops:[] (log_file t.dir);
+         Log.close t.log;
+         t.log <- Log.open_ ~vfs:t.vfs ~epoch:epoch' (log_file t.dir))
    with e ->
      t.poisoned <- Some (Printexc.to_string e);
      raise e);
   t.epoch <- epoch';
-  t.log_length <- 0
+  t.log_length <- 0;
+  Metrics.incr m_compactions
 
 let close t =
   (match t.poisoned with None -> Log.sync t.log | Some _ -> ());

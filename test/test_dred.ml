@@ -287,4 +287,40 @@ let tests =
                   (Printf.sprintf "seed %d: pooled equals sequential" seed)
                   true (seq_sig = par_sig))
               [ 5; 19 ]));
+    test "retraction counter and support index survive a rule toggle (regression)"
+      (fun () ->
+        let db = Paper_examples.organization () in
+        ignore (Database.closure db);
+        (* One incremental retraction: builds the support index and bumps
+           the maintenance counter. *)
+        ignore (Database.insert_names db "ZOE" "EARNS" "9K");
+        ignore (Database.remove db (fact db ("ZOE", "EARNS", "9K")));
+        ignore (Database.closure db);
+        let retractions = Database.closure_retractions db in
+        Alcotest.(check bool) "a retraction was counted" true (retractions > 0);
+        Alcotest.(check bool) "support index built" true
+          (Database.support_size db > 0);
+        (* Toggle the most productive rule (drops the closure cache) and
+           force a recompute: the lifetime counter must not reset. *)
+        let productive, _ =
+          List.hd (Closure.rule_counts (Database.closure db))
+        in
+        ignore (Database.exclude db productive);
+        ignore (Database.closure db);
+        ignore (Database.include_rule db productive);
+        ignore (Database.closure db);
+        Alcotest.(check int)
+          "closure_retractions survives the toggle + recompute" retractions
+          (Database.closure_retractions db);
+        (* The support index is rebuilt lazily by the next retraction and
+           counting resumes from where it left off. *)
+        ignore (Database.insert_names db "ZOE" "EARNS" "9K");
+        ignore (Database.remove db (fact db ("ZOE", "EARNS", "9K")));
+        ignore (Database.closure db);
+        Alcotest.(check int)
+          "counting resumes after the toggle" (retractions + 1)
+          (Database.closure_retractions db);
+        Alcotest.(check bool) "support index rebuilt" true
+          (Database.support_size db > 0);
+        check_matches_recompute "after toggle and retraction" db);
   ]

@@ -1,0 +1,273 @@
+(* The observability layer: metrics registry semantics, histogram bucket
+   boundaries, counter determinism under domain pools, trace rings, and
+   the contract that instrumentation never changes query output. *)
+
+open Lsdb
+module Metrics = Lsdb_obs.Metrics
+module Trace = Lsdb_obs.Trace
+
+let test name f = Alcotest.test_case name `Quick f
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let check_line text line =
+  Alcotest.(check bool) (Printf.sprintf "output contains %S" line) true
+    (contains text line)
+
+(* Buckets compared as strings: (infinity, _) would trip Alcotest's
+   float-epsilon equality (inf - inf is nan). *)
+let buckets_printable h =
+  List.map (fun (le, n) -> (string_of_float le, n)) (Metrics.bucket_counts h)
+
+let tests =
+  [
+    test "histogram: boundaries are inclusive upper bounds" (fun () ->
+        let r = Metrics.create () in
+        let h =
+          Metrics.histogram ~registry:r ~buckets:[| 0.001; 0.01; 0.1 |]
+            "boundaries_seconds"
+        in
+        List.iter (Metrics.observe h) [ 0.001; 0.002; 0.01; 0.05; 0.5 ];
+        Alcotest.(check (list (pair string int)))
+          "cumulative bucket counts"
+          [
+            (string_of_float 0.001, 1);
+            (string_of_float 0.01, 3);
+            (string_of_float 0.1, 4);
+            (string_of_float infinity, 5);
+          ]
+          (buckets_printable h);
+        Alcotest.(check int) "count" 5 (Metrics.histogram_count h);
+        Alcotest.(check (float 1e-6)) "sum" 0.563 (Metrics.histogram_sum h);
+        Alcotest.check_raises "buckets must increase"
+          (Invalid_argument
+             "Metrics.histogram: buckets must be non-empty and strictly increasing")
+          (fun () ->
+            ignore (Metrics.histogram ~registry:r ~buckets:[| 1.0; 1.0 |] "bad")));
+    test "registry: find-or-create, kind mismatch, reset" (fun () ->
+        let r = Metrics.create () in
+        let a = Metrics.counter ~registry:r ~labels:[ ("db", "1") ] "c_total" in
+        let b = Metrics.counter ~registry:r ~labels:[ ("db", "1") ] "c_total" in
+        Metrics.incr a;
+        Metrics.incr b;
+        Alcotest.(check int) "same handle" 2 (Metrics.counter_value a);
+        (* Label order must not create a distinct metric. *)
+        let c =
+          Metrics.counter ~registry:r
+            ~labels:[ ("x", "1"); ("a", "2") ]
+            "l_total"
+        in
+        let d =
+          Metrics.counter ~registry:r
+            ~labels:[ ("a", "2"); ("x", "1") ]
+            "l_total"
+        in
+        Metrics.incr c;
+        Alcotest.(check int) "sorted labels unify" 1 (Metrics.counter_value d);
+        Alcotest.check_raises "kind mismatch"
+          (Invalid_argument "Metrics: c_total already registered as a counter")
+          (fun () ->
+            ignore (Metrics.gauge ~registry:r ~labels:[ ("db", "1") ] "c_total"));
+        let g = Metrics.gauge ~registry:r "g" in
+        Metrics.set g 7;
+        Metrics.gauge_add g (-3);
+        Alcotest.(check int) "gauge moves both ways" 4 (Metrics.gauge_value g);
+        Metrics.reset ~registry:r ();
+        Alcotest.(check int) "reset zeroes counters" 0 (Metrics.counter_value a);
+        Alcotest.(check int) "reset zeroes gauges" 0 (Metrics.gauge_value g));
+    test "time: records only while enabled" (fun () ->
+        let r = Metrics.create () in
+        let h = Metrics.histogram ~registry:r "timed_seconds" in
+        let was = Metrics.enabled () in
+        Metrics.set_enabled false;
+        Alcotest.(check int) "disabled: no sample" 17
+          (Metrics.time h (fun () -> 17));
+        Alcotest.(check int) "count stays zero" 0 (Metrics.histogram_count h);
+        Metrics.set_enabled true;
+        Fun.protect
+          ~finally:(fun () -> Metrics.set_enabled was)
+          (fun () ->
+            ignore (Metrics.time h (fun () -> ()));
+            Alcotest.(check int) "enabled: one sample" 1
+              (Metrics.histogram_count h);
+            (* The sample is recorded even when the thunk raises. *)
+            (try Metrics.time h (fun () -> failwith "boom") with _ -> ());
+            Alcotest.(check int) "raising thunk still sampled" 2
+              (Metrics.histogram_count h)));
+    test "counters: seeded parallel increment torture (1/2/4/8 domains)"
+      (fun () ->
+        let r = Metrics.create () in
+        let c = Metrics.counter ~registry:r "torture_total" in
+        let expected = ref 0 in
+        List.iter
+          (fun domains ->
+            let rng = Random.State.make [| 0xbeef + domains |] in
+            let amounts =
+              Array.init (domains * 16) (fun _ -> 1 + Random.State.int rng 100)
+            in
+            Array.iter (fun n -> expected := !expected + n) amounts;
+            let pool = Lsdb_exec.Pool.create ~domains in
+            Fun.protect
+              ~finally:(fun () -> Lsdb_exec.Pool.shutdown pool)
+              (fun () ->
+                ignore
+                  (Lsdb_exec.Pool.map_array pool
+                     (fun n ->
+                       (* Spread each amount over single increments to
+                          maximize interleaving. *)
+                       for _ = 1 to n do Metrics.incr c done)
+                     amounts)))
+          [ 1; 2; 4; 8 ];
+        Alcotest.(check int)
+          "every increment from every domain lands" !expected
+          (Metrics.counter_value c));
+    test "expose: Prometheus text format" (fun () ->
+        let r = Metrics.create () in
+        let c =
+          Metrics.counter ~registry:r ~help:"Help text"
+            ~labels:[ ("db", "1") ]
+            "x_total"
+        in
+        Metrics.add c 3;
+        let h =
+          Metrics.histogram ~registry:r ~buckets:[| 0.1 |] "lat_seconds"
+        in
+        Metrics.observe h 0.05;
+        let text = Metrics.expose ~registry:r () in
+        List.iter (check_line text)
+          [
+            "# HELP x_total Help text";
+            "# TYPE x_total counter";
+            "x_total{db=\"1\"} 3";
+            "# TYPE lat_seconds histogram";
+            "lat_seconds_bucket{le=\"0.1\"} 1";
+            "lat_seconds_bucket{le=\"+Inf\"} 1";
+            "lat_seconds_sum 0.05";
+            "lat_seconds_count 1";
+          ];
+        let json = Metrics.dump_json ~registry:r () in
+        List.iter (check_line json)
+          [ "\"name\": \"x_total\""; "\"value\": 3"; "\"le\": \"+Inf\"" ]);
+    test "trace: spans, metadata, slowlog, bounded rings" (fun () ->
+        Trace.clear ();
+        Trace.set_enabled true;
+        Trace.set_slow_threshold 0.;
+        Fun.protect
+          ~finally:(fun () ->
+            Trace.set_enabled false;
+            Trace.set_slow_threshold infinity;
+            Trace.clear ())
+          (fun () ->
+            let v =
+              Trace.with_query "test query" (fun () ->
+                  Trace.span "outer" (fun () ->
+                      Trace.span "inner" ~meta:[ ("k", "v") ] (fun () -> ());
+                      Trace.annotate "n" "1");
+                  42)
+            in
+            Alcotest.(check int) "result unchanged" 42 v;
+            let p = Option.get (Trace.last ()) in
+            Alcotest.(check string) "label" "test query" p.Trace.label;
+            (match p.Trace.spans with
+            | [ outer; inner ] ->
+                Alcotest.(check string) "outer first" "outer" outer.Trace.span_name;
+                Alcotest.(check int) "outer depth" 0 outer.Trace.depth;
+                Alcotest.(check int) "inner depth" 1 inner.Trace.depth;
+                Alcotest.(check (list (pair string string)))
+                  "annotate reached the open span"
+                  [ ("n", "1") ]
+                  outer.Trace.meta;
+                Alcotest.(check (list (pair string string)))
+                  "span meta kept" [ ("k", "v") ] inner.Trace.meta
+            | spans ->
+                Alcotest.failf "expected 2 spans, got %d" (List.length spans));
+            Alcotest.(check bool) "threshold 0 puts it in the slowlog" true
+              (Trace.slowlog () <> []);
+            let rendered = Trace.render p in
+            List.iter (check_line rendered) [ "outer"; "inner"; "k=v" ];
+            for _ = 1 to 100 do
+              Trace.with_query "spam" (fun () -> ())
+            done;
+            Alcotest.(check int) "recent ring is bounded" 64
+              (List.length (Trace.recent ()));
+            Alcotest.(check int) "slowlog ring is bounded" 32
+              (List.length (Trace.slowlog ()))));
+    test "trace: disabled tracing records nothing" (fun () ->
+        Trace.clear ();
+        Trace.set_enabled false;
+        let v = Trace.with_query "off" (fun () -> Trace.span "s" (fun () -> 5)) in
+        Alcotest.(check int) "result" 5 v;
+        Alcotest.(check bool) "no profile" true (Trace.last () = None));
+    test "match cache: counters are per database" (fun () ->
+        let a = Paper_examples.organization () in
+        let b = Paper_examples.organization () in
+        let pat = Store.pattern ~s:(Database.entity a "JOHN") () in
+        ignore (Match_layer.match_list a pat);
+        ignore (Match_layer.match_list a pat);
+        let sa = Match_layer.cache_stats_for a in
+        let sb = Match_layer.cache_stats_for b in
+        Alcotest.(check bool) "queried db counted a miss" true
+          (sa.Match_layer.misses >= 1);
+        Alcotest.(check bool) "queried db counted a hit" true
+          (sa.Match_layer.hits >= 1);
+        Alcotest.(check int) "untouched db: no hits" 0 sb.Match_layer.hits;
+        Alcotest.(check int) "untouched db: no misses" 0 sb.Match_layer.misses;
+        Alcotest.(check int) "untouched db: empty" 0 sb.Match_layer.size;
+        let aggregate = Match_layer.cache_stats () in
+        Alcotest.(check bool) "deprecated aggregate covers the per-db counts"
+          true
+          (aggregate.Match_layer.hits >= sa.Match_layer.hits
+          && aggregate.Match_layer.misses >= sa.Match_layer.misses));
+    test "byte-identity: instrumented output equals uninstrumented, any pool"
+      (fun () ->
+        let transcript domains =
+          let db = Paper_examples.organization () in
+          let pool =
+            if domains > 1 then Some (Lsdb_exec.Pool.create ~domains) else None
+          in
+          Database.set_pool db pool;
+          Fun.protect
+            ~finally:(fun () ->
+              Database.set_pool db None;
+              Option.iter Lsdb_exec.Pool.shutdown pool)
+            (fun () ->
+              let shell = Lsdb_shell.Shell.create db in
+              String.concat ""
+                (List.map
+                   (Lsdb_shell.Shell.execute shell)
+                   [
+                     "q (?x, EARNS, ?s)";
+                     "q exists y . (?x, IN, ?y)";
+                     "probe (JOHN, WORKS-IN, ?x)";
+                     "nav JOHN";
+                     "t (JOHN, *, *)";
+                     "insert (ZOE, EARNS, 9K)";
+                     "remove (ZOE, EARNS, 9K)";
+                     "q (?x, EARNS, ?s)";
+                   ]))
+        in
+        let was_metrics = Metrics.enabled () in
+        let was_trace = Trace.enabled () in
+        Metrics.set_enabled false;
+        Trace.set_enabled false;
+        let plain = transcript 1 in
+        Metrics.set_enabled true;
+        Trace.set_enabled true;
+        Trace.set_slow_threshold 0.;
+        Fun.protect
+          ~finally:(fun () ->
+            Metrics.set_enabled was_metrics;
+            Trace.set_enabled was_trace;
+            Trace.set_slow_threshold infinity;
+            Trace.clear ())
+          (fun () ->
+            List.iter
+              (fun domains ->
+                Alcotest.(check string)
+                  (Printf.sprintf "instrumented, %d domain(s)" domains)
+                  plain (transcript domains))
+              [ 1; 2; 4; 8 ]));
+  ]
