@@ -15,13 +15,13 @@ let quick = ref false
 (* Machine-readable results                                            *)
 
 (* Every headline number printed in a pretty table is also recorded here
-   and dumped as JSON (default BENCH_PR4.json, override with --json FILE)
+   and dumped as JSON (default BENCH_PR5.json, override with --json FILE)
    so regressions can be tracked without parsing tables. Writing merges
    into an existing file: rows measured this run replace same-id rows,
    rows from experiments not re-run are preserved, so partial runs
    (`bench b15`) refresh their slice of the file instead of erasing the
    rest. *)
-let json_path = ref "BENCH_PR4.json"
+let json_path = ref "BENCH_PR5.json"
 let json_rows : (string * float * string) list ref = ref []
 let record id value unit_ = json_rows := (id, value, unit_) :: !json_rows
 
@@ -1325,6 +1325,127 @@ let b16 () =
       Printf.sprintf "budget %.0f%%" overhead_limit_pct ]
     rows
 
+(* B17 — bidirectional composition path search                           *)
+
+(* Like B15's incremental/recompute comparison, B17 is a CI gate: the
+   bidirectional search must return byte-identical paths (same paths,
+   same order, same truncation point) to the retained DFS oracle, at
+   every limit and every pool size, or the process exits nonzero. *)
+let b17 () =
+  section "B17 — inference by composition: DFS vs bidirectional meet-in-the-middle";
+  let check what ok =
+    if not ok then begin
+      incr equivalence_failures;
+      Printf.printf "  ✗ EQUIVALENCE FAILURE: %s\n" what
+    end
+  in
+  let limits = if !quick then [ 2; 3; 4; 5 ] else [ 2; 3; 4; 5; 6 ] in
+  let runs = if !quick then 3 else 5 in
+  let compare_at key db ~src ~tgt =
+    List.map
+      (fun limit ->
+        Database.set_limit db limit;
+        let dfs = Composition.paths_dfs db ~src ~tgt in
+        let result = Composition.search db ~src ~tgt in
+        let identical = dfs = result.Composition.paths in
+        check (Printf.sprintf "%s limit=%d" key limit) identical;
+        let dfs_ms =
+          measure_ms ~runs (fun () -> ignore (Composition.paths_dfs db ~src ~tgt))
+        in
+        let bidir_ms =
+          measure_ms ~runs (fun () -> ignore (Composition.search db ~src ~tgt))
+        in
+        record (Printf.sprintf "b17/%s/dfs_ms/limit=%d" key limit) dfs_ms "ms";
+        record (Printf.sprintf "b17/%s/bidir_ms/limit=%d" key limit) bidir_ms "ms";
+        record (Printf.sprintf "b17/%s/speedup/limit=%d" key limit)
+          (dfs_ms /. bidir_ms) "x";
+        [
+          string_of_int limit;
+          string_of_int (List.length dfs);
+          Printf.sprintf "%.2f" dfs_ms;
+          Printf.sprintf "%.2f" bidir_ms;
+          Printf.sprintf "%.1fx" (dfs_ms /. bidir_ms);
+          (if identical then "✓" else "✗ DIFFERS");
+        ])
+      limits
+  in
+  (* Citation workload — the paper's library: a sparse pair (an early
+     book to the least-cited one) makes the DFS walk its whole forward
+     cone while the bidirectional frontiers stay small. *)
+  let books = if !quick then 200 else 800 in
+  let lib =
+    Lsdb_workload.Citation_gen.generate
+      ~params:
+        {
+          Lsdb_workload.Citation_gen.books;
+          authors = books / 4;
+          subjects = 8;
+          citations_per_book = 5;
+          skew = 1.0;
+        }
+      (rng ())
+  in
+  let cit_db = Lsdb_workload.Citation_gen.to_database lib in
+  let book i = Database.entity cit_db lib.Lsdb_workload.Citation_gen.book_names.(i) in
+  Printf.printf "citation workload: %d books, %d facts in closure\n" books
+    (Closure.cardinal (Database.closure cit_db));
+  table
+    [ "limit"; "paths"; "DFS ms"; "bidir ms"; "speedup"; "identical" ]
+    (compare_at "citation" cit_db ~src:(book 5) ~tgt:(book (books - 1)));
+  (* University workload — the §3.7 enrollment shape at browsing scale. *)
+  let uni =
+    Lsdb_workload.University_gen.generate
+      ~params:
+        {
+          Lsdb_workload.University_gen.students = (if !quick then 60 else 200);
+          courses = 20;
+          instructors = 8;
+          enrollments_per_student = 3;
+        }
+      (rng ())
+  in
+  let uni_db = Lsdb_workload.University_gen.to_database uni in
+  let uent = Database.entity uni_db in
+  Printf.printf "\nuniversity workload: %d facts in closure\n"
+    (Closure.cardinal (Database.closure uni_db));
+  table
+    [ "limit"; "paths"; "DFS ms"; "bidir ms"; "speedup"; "identical" ]
+    (compare_at "university" uni_db ~src:(uent "STU-0001") ~tgt:(uent "PROF-01"));
+  (* Pool scaling: parallel frontier expansion at the widest limit. The
+     citation frontiers are hundreds of nodes deep into the search, well
+     past the fan-out threshold. *)
+  let scale_limit = List.fold_left max 2 limits in
+  Database.set_limit cit_db scale_limit;
+  let src = book 5 and tgt = book (books - 1) in
+  let baseline = (Composition.search cit_db ~src ~tgt).Composition.paths in
+  let rows = ref [] in
+  let seq_ms = ref 0.0 in
+  List.iter
+    (fun domains ->
+      let pool = if domains <= 1 then None else Some (Lsdb_exec.Pool.create ~domains) in
+      Database.set_pool cit_db pool;
+      let paths = (Composition.search cit_db ~src ~tgt).Composition.paths in
+      let identical = paths = baseline in
+      check (Printf.sprintf "citation pool scaling at %d domain(s)" domains) identical;
+      let ms =
+        measure_ms ~runs (fun () -> ignore (Composition.search cit_db ~src ~tgt))
+      in
+      Database.set_pool cit_db None;
+      Option.iter Lsdb_exec.Pool.shutdown pool;
+      if domains <= 1 then seq_ms := ms;
+      record (Printf.sprintf "b17/pool_ms/domains=%d" domains) ms "ms";
+      rows :=
+        [
+          string_of_int domains;
+          Printf.sprintf "%.2f" ms;
+          Printf.sprintf "%.2fx" (!seq_ms /. ms);
+          (if identical then "✓" else "✗ DIFFERS");
+        ]
+        :: !rows)
+    [ 1; 2; 4 ];
+  Printf.printf "\npool scaling, citation workload at limit %d:\n" scale_limit;
+  table [ "domains"; "ms/search"; "speedup"; "same paths" ] (List.rev !rows)
+
 (* Bechamel micro-op reference table                                     *)
 
 let micro () =
@@ -1390,7 +1511,8 @@ let experiments =
     ("ex6", ex6); ("ex7", ex7);
     ("b1", b1); ("b2", b2); ("b3", b3); ("b4", b4); ("b5", b5); ("b6", b6);
     ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10); ("b11", b11); ("b12", b12);
-    ("b13", b13); ("b14", b14); ("b15", b15); ("b16", b16); ("micro", micro);
+    ("b13", b13); ("b14", b14); ("b15", b15); ("b16", b16); ("b17", b17);
+    ("micro", micro);
   ]
 
 let () =

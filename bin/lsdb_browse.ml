@@ -24,7 +24,10 @@ let repl shell =
   in
   loop ()
 
-let drive ?domains ?journal db command =
+let drive ?limit ?domains ?journal db command =
+  (* A session-only override of the composition chain bound: applied
+     after any journal replay, never journaled itself. *)
+  Option.iter (fun n -> Database.set_limit db n) limit;
   let pool =
     match domains with
     | Some n when n > 1 ->
@@ -67,6 +70,13 @@ let command_line =
   let doc = "Execute one command instead of starting the REPL." in
   Arg.(value & opt (some string) None & info [ "c"; "command" ] ~docv:"CMD" ~doc)
 
+let limit_flag =
+  let doc =
+    "Override the composition chain bound limit($(docv)) for this session \
+     (not journaled; see the shell's 'limit' command)."
+  in
+  Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc)
+
 let domains =
   let doc =
     "Evaluate closure rounds and retraction waves across $(docv) domains \
@@ -96,7 +106,7 @@ let slow_ms =
   in
   Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS" ~doc)
 
-let rec main file demo dir command domains salvage metrics_file slow_ms =
+let rec main file demo dir command domains salvage metrics_file slow_ms limit =
   (match metrics_file with
   | Some _ -> Lsdb_obs.Metrics.set_enabled true
   | None -> ());
@@ -120,14 +130,14 @@ let rec main file demo dir command domains salvage metrics_file slow_ms =
             (fun p -> prerr_string (Lsdb_obs.Trace.render p))
             (List.rev (Lsdb_obs.Trace.slowlog ())))
   @@ fun () ->
-  run file demo dir command domains salvage
+  run file demo dir command domains salvage limit
 
-and run file demo dir command domains salvage =
+and run file demo dir command domains salvage limit =
   match (demo, dir) with
   | Some name, _ -> (
       match List.assoc_opt name Lsdb_shell.Shell.demos with
       | Some build ->
-          drive ~domains (build ()) command;
+          drive ?limit ~domains (build ()) command;
           0
       | None ->
           Printf.eprintf "unknown demo %S (known: %s)\n" name
@@ -165,7 +175,7 @@ and run file demo dir command domains salvage =
              tail — it must run even when the session dies mid-command. *)
           Fun.protect
             ~finally:(fun () -> Lsdb_storage.Persistent.close p)
-            (fun () -> drive ~domains ~journal db command);
+            (fun () -> drive ?limit ~domains ~journal db command);
           0)
   | None, None -> (
       let db = Database.create () in
@@ -176,7 +186,7 @@ and run file demo dir command domains salvage =
       with
       | Ok n ->
           if n > 0 then Printf.printf "loaded %d facts from %s\n" n (Option.get file);
-          drive ~domains db command;
+          drive ?limit ~domains db command;
           0
       | Error (Fact_file.Syntax_error { line; message }) ->
           Printf.eprintf "%s:%d: %s\n" (Option.get file) line message;
@@ -191,6 +201,6 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ file $ demo $ persistent_dir $ command_line $ domains
-      $ salvage $ metrics_file $ slow_ms)
+      $ salvage $ metrics_file $ slow_ms $ limit_flag)
 
 let () = exit (Cmd.eval' cmd)

@@ -256,6 +256,15 @@ let count_matches t pat =
   match_pattern t pat (fun _ -> incr n);
   !n
 
+(* O(1) selectivity probes over the closure index: posting-list lengths
+   (tombstones included, so upper bounds). These back conjunct ordering
+   in Eval.cost and frontier selection in Composition. *)
+let count_pattern t (pat : Store.pattern) =
+  D.Index.count t.result.index ~s:pat.s ~r:pat.r ~tgt:pat.t
+
+let out_degree t e = D.Index.count_s t.result.index e
+let in_degree t e = D.Index.count_t t.result.index e
+
 exception Found
 
 let exists_match t pat =

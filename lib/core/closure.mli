@@ -101,6 +101,19 @@ val match_pattern : t -> Store.pattern -> (Fact.t -> unit) -> unit
 
 val match_list : t -> Store.pattern -> Fact.t list
 val count_matches : t -> Store.pattern -> int
+
+(** [count_pattern t pat] — an O(1) upper bound on how many closure facts
+    match [pat] (posting-list lengths include tombstoned entries; see
+    {!Lsdb_datalog.Index.count}). [count_matches] is exact but walks the
+    candidates; this is the cheap probe for join ordering and frontier
+    selection. *)
+val count_pattern : t -> Store.pattern -> int
+
+(** O(1) out-degree ([by_s] postings) / in-degree ([by_t] postings) of an
+    entity in the closure; same tombstone caveat as {!count_pattern}. *)
+val out_degree : t -> Entity.t -> int
+
+val in_degree : t -> Entity.t -> int
 val exists_match : t -> Store.pattern -> bool
 
 (** Entities appearing in some closure fact. *)

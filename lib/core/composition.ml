@@ -1,3 +1,6 @@
+module Metrics = Lsdb_obs.Metrics
+module Pool = Lsdb_exec.Pool
+
 let separator = "\xc2\xb7" (* "·" *)
 
 let contains_separator name =
@@ -6,23 +9,6 @@ let contains_separator name =
   let rec scan i = i + 1 < n && ((name.[i] = sep0 && name.[i + 1] = sep1) || scan (i + 1)) in
   scan 0
 
-let split_on_separator name =
-  let sep0 = separator.[0] and sep1 = separator.[1] in
-  let n = String.length name in
-  let parts = ref [] in
-  let start = ref 0 in
-  let i = ref 0 in
-  while !i + 1 < n do
-    if name.[!i] = sep0 && name.[!i + 1] = sep1 then begin
-      parts := String.sub name !start (!i - !start) :: !parts;
-      start := !i + 2;
-      i := !i + 2
-    end
-    else incr i
-  done;
-  parts := String.sub name !start (n - !start) :: !parts;
-  List.rev !parts
-
 let compose_name symtab rels =
   match rels with
   | [] | [ _ ] -> invalid_arg "Composition.compose_name: need at least two relationships"
@@ -30,19 +16,9 @@ let compose_name symtab rels =
       let name = String.concat separator (List.map (Symtab.name symtab) rels) in
       Symtab.intern symtab name
 
-let decompose symtab e =
-  let name = Symtab.name symtab e in
-  if not (contains_separator name) then None
-  else
-    let parts = split_on_separator name in
-    let rec resolve acc = function
-      | [] -> Some (List.rev acc)
-      | part :: rest -> (
-          match Symtab.find symtab part with
-          | Some id -> resolve (id :: acc) rest
-          | None -> None)
-    in
-    resolve [] parts
+(* Decomposition verdicts are memoized in the symbol table
+   (generation-safely: failures are retried once new names intern). *)
+let decompose symtab e = Symtab.decompose symtab ~sep:separator e
 
 let is_composed symtab e = contains_separator (Symtab.name symtab e)
 
@@ -54,9 +30,13 @@ let composable symtab r = (not (Entity.is_special r)) && not (is_composed symtab
 
 exception Enough
 
-let paths ?(max_paths = 10_000) db ~src ~tgt =
+(* The original unidirectional DFS, retained verbatim as the oracle the
+   bidirectional search must reproduce byte-for-byte (same paths, same
+   order, same truncation point). Also the fallback when the chain bound
+   exceeds the distance-bitmask width. *)
+let dfs_paths ?(max_paths = 10_000) db ~src ~tgt =
   let limit = Database.limit db in
-  if limit < 2 || Entity.equal src tgt then []
+  if limit < 2 || Entity.equal src tgt then ([], false)
   else begin
     let closure = Database.closure db in
     let symtab = Database.symtab db in
@@ -75,9 +55,333 @@ let paths ?(max_paths = 10_000) db ~src ~tgt =
               dfs fact.t chain_rev' (depth + 1)
             end)
     in
-    (try dfs src [] 0 with Enough -> ());
-    List.rev !found
+    let truncated =
+      try
+        dfs src [] 0;
+        false
+      with Enough -> true
+    in
+    (List.rev !found, truncated)
   end
+
+let paths_dfs ?max_paths db ~src ~tgt = fst (dfs_paths ?max_paths db ~src ~tgt)
+
+(* ------------------------------------------------------------------ *)
+(* Bidirectional meet-in-the-middle search                            *)
+(* ------------------------------------------------------------------ *)
+
+type search = {
+  paths : path list;
+  truncated : bool;
+  meet_nodes : int;
+  forward_expansions : int;
+  backward_expansions : int;
+}
+
+let m_searches =
+  Metrics.counter ~help:"Two-endpoint composition path searches"
+    "lsdb_composition_searches_total"
+
+let m_truncated =
+  Metrics.counter ~help:"Path searches cut short by the max_paths cap"
+    "lsdb_composition_truncated_total"
+
+let m_paths_total =
+  Metrics.counter ~help:"Composition paths enumerated" "lsdb_composition_paths_total"
+
+let m_meet_nodes =
+  Metrics.counter ~help:"Nodes where the forward and backward frontiers met"
+    "lsdb_composition_meet_nodes_total"
+
+let m_empty_meets =
+  Metrics.counter ~help:"Searches answered empty at the frontier join"
+    "lsdb_composition_empty_meets_total"
+
+let expansion_counter direction =
+  Metrics.counter ~help:"Frontier expansions by direction"
+    ~labels:[ ("direction", direction) ]
+    "lsdb_composition_expansions_total"
+
+let m_expand_forward = expansion_counter "forward"
+let m_expand_backward = expansion_counter "backward"
+
+(* Per-depth frontier population; the depth label is capped so the metric
+   cardinality stays bounded for large limits. *)
+let frontier_nodes_counter direction depth =
+  Metrics.counter ~help:"Frontier nodes expanded, by direction and depth"
+    ~labels:
+      [
+        ("direction", direction);
+        ("depth", (if depth > 8 then "8+" else string_of_int depth));
+      ]
+    "lsdb_composition_frontier_nodes_total"
+
+(* Buckets are node counts, not seconds: frontier population per expansion. *)
+let frontier_size_histogram direction =
+  Metrics.histogram ~help:"Frontier size per expansion (nodes)"
+    ~labels:[ ("direction", direction) ]
+    ~buckets:[| 1.; 4.; 16.; 64.; 256.; 1024.; 4096.; 16384. |]
+    "lsdb_composition_frontier_size"
+
+let m_frontier_forward = frontier_size_histogram "forward"
+let m_frontier_backward = frontier_size_histogram "backward"
+
+let m_search_seconds =
+  Metrics.histogram ~help:"Two-endpoint path search latency"
+    "lsdb_composition_search_seconds"
+
+(* Exact distances are kept as bitmasks (bit i ⇔ some path of length
+   exactly i), so the bound must fit an int. Beyond it, fall back to the
+   oracle — such limits are far past the paper's interactive range. *)
+let bitmask_limit = 60
+
+(* Frontier state for one direction: the nodes at exact distance [depth],
+   and for every node ever reached, the set of exact distances at which
+   it was reached (no visited-pruning: the DFS follows non-simple paths,
+   so a node legitimately has several exact distances). *)
+type frontier = {
+  mutable level : Entity.t list;
+  mutable depth : int;
+  mutable exhausted : bool;  (* an expansion returned no nodes: masks complete *)
+  masks : (Entity.t, int) Hashtbl.t;  (* node ↦ bitmask of exact distances *)
+}
+
+let add_distance masks node depth =
+  let prev = Option.value ~default:0 (Hashtbl.find_opt masks node) in
+  Hashtbl.replace masks node (prev lor (1 lsl depth))
+
+(* Any bit of [m] set within [lo..hi]? ([lo] is clamped at 0.) *)
+let has_bits m ~lo ~hi =
+  let lo = max lo 0 in
+  hi >= lo && m land (((1 lsl (hi - lo + 1)) - 1) lsl lo) <> 0
+
+(* ∃ i ∈ fm, j ∈ bm with 2 ≤ i + j ≤ limit? *)
+let masks_compatible ~limit fm bm =
+  let rec go j =
+    j <= limit
+    && ((bm land (1 lsl j) <> 0 && has_bits fm ~lo:(2 - j) ~hi:(limit - j)) || go (j + 1))
+  in
+  go 0
+
+let neighbors closure symtab ~forward node =
+  let pat =
+    if forward then Store.pattern ~s:node () else Store.pattern ~t:node ()
+  in
+  let acc = ref [] in
+  Closure.match_pattern closure pat (fun fact ->
+      if composable symtab fact.r then
+        acc := (if forward then fact.t else fact.s) :: !acc);
+  List.rev !acc
+
+(* Below this frontier population the domain fan-out costs more than the
+   expansion itself. *)
+let parallel_threshold = 64
+
+(* One BFS level: the deduplicated successors (forward) or predecessors
+   (backward) of [nodes]. Gathering is a read-only fan-out, so it shards
+   across the domain pool when the frontier is large enough; per-node
+   results come back in input order (Pool.map is deterministic) and the
+   sequential dedup keeps first-seen order, so the next level is
+   byte-identical at any pool size. *)
+let expand_level db closure symtab ~forward nodes =
+  let gather = neighbors closure symtab ~forward in
+  let per_node =
+    match Database.pool db with
+    | Some pool when List.length nodes >= parallel_threshold ->
+        Database.prepare_readers db;
+        Pool.map pool gather nodes
+    | _ -> List.map gather nodes
+  in
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  List.iter
+    (List.iter (fun v ->
+         if not (Hashtbl.mem seen v) then begin
+           Hashtbl.add seen v ();
+           out := v :: !out
+         end))
+    per_node;
+  List.rev !out
+
+(* O(1) per node: the posting-list length the next expansion would walk. *)
+let frontier_cost closure ~forward nodes =
+  List.fold_left
+    (fun acc v ->
+      acc + (if forward then Closure.out_degree closure v else Closure.in_degree closure v))
+    0 nodes
+
+let empty_search =
+  {
+    paths = [];
+    truncated = false;
+    meet_nodes = 0;
+    forward_expansions = 0;
+    backward_expansions = 0;
+  }
+
+(* The bidirectional two-endpoint search. Three phases:
+
+   1. Grow exact-distance BFS levels from both endpoints — forward over
+      by_s postings, backward over by_t postings — always expanding the
+      side whose next level is cheaper (O(1) degree sums), until the
+      radii cover the chain bound or a side exhausts.
+   2. Join: a path of length L ≤ limit exists iff some node carries a
+      forward distance i and a backward distance j with 2 ≤ i+j ≤ limit.
+      No meet ⇒ answer [] without ever enumerating a chain.
+   3. Reconstruct with the original DFS, pruned by the backward masks:
+      recurse into a child only if it still has a completion to [tgt]
+      within the remaining budget. Pruned subtrees emit nothing, so the
+      emission sequence — and hence the max_paths truncation point — is
+      byte-identical to the oracle.
+
+   Before phase 3 the backward masks are completed to depth limit-1,
+   keeping only nodes with a compatible forward distance; the forward
+   masks are complete over the range that pruning consults (depths
+   < limit - b whenever the main loop stopped at f + b = limit, and all
+   depths when a side exhausted), so no reachable completion is lost. *)
+let search ?(max_paths = 10_000) db ~src ~tgt =
+  Metrics.incr m_searches;
+  let limit = Database.limit db in
+  if limit < 2 || Entity.equal src tgt then empty_search
+  else if limit > bitmask_limit then begin
+    let paths, truncated = dfs_paths ~max_paths db ~src ~tgt in
+    if truncated then Metrics.incr m_truncated;
+    Metrics.add m_paths_total (List.length paths);
+    { empty_search with paths; truncated }
+  end
+  else
+    Lsdb_obs.Trace.span "composition.search" @@ fun () ->
+    Metrics.time m_search_seconds @@ fun () ->
+    let closure = Database.closure db in
+    let symtab = Database.symtab db in
+    let fresh node =
+      let masks = Hashtbl.create 256 in
+      add_distance masks node 0;
+      { level = [ node ]; depth = 0; exhausted = false; masks }
+    in
+    let fwd = fresh src and bwd = fresh tgt in
+    let forward_expansions = ref 0 and backward_expansions = ref 0 in
+    let expand fr ~forward =
+      let n = List.length fr.level in
+      Metrics.incr (if forward then m_expand_forward else m_expand_backward);
+      Metrics.add
+        (frontier_nodes_counter (if forward then "forward" else "backward") fr.depth)
+        n;
+      Metrics.observe (if forward then m_frontier_forward else m_frontier_backward)
+        (float_of_int n);
+      incr (if forward then forward_expansions else backward_expansions);
+      let next = expand_level db closure symtab ~forward fr.level in
+      fr.depth <- fr.depth + 1;
+      match next with
+      | [] ->
+          fr.exhausted <- true;
+          fr.level <- []
+      | _ ->
+          List.iter (fun v -> add_distance fr.masks v fr.depth) next;
+          fr.level <- next
+    in
+    (* Phase 1: interleaved radius growth, cheaper side first. *)
+    while fwd.depth + bwd.depth < limit && (not fwd.exhausted) && not bwd.exhausted do
+      if
+        frontier_cost closure ~forward:true fwd.level
+        <= frontier_cost closure ~forward:false bwd.level
+      then expand fwd ~forward:true
+      else expand bwd ~forward:false
+    done;
+    (* Phase 2: the meet check, iterating the smaller mask table. *)
+    let small, big, small_is_fwd =
+      if Hashtbl.length fwd.masks <= Hashtbl.length bwd.masks then
+        (fwd.masks, bwd.masks, true)
+      else (bwd.masks, fwd.masks, false)
+    in
+    let meet_nodes = ref 0 in
+    Hashtbl.iter
+      (fun v m1 ->
+        match Hashtbl.find_opt big v with
+        | None -> ()
+        | Some m2 ->
+            let fm, bm = if small_is_fwd then (m1, m2) else (m2, m1) in
+            if masks_compatible ~limit fm bm then incr meet_nodes)
+      small;
+    Metrics.add m_meet_nodes !meet_nodes;
+    let stats () =
+      {
+        empty_search with
+        meet_nodes = !meet_nodes;
+        forward_expansions = !forward_expansions;
+        backward_expansions = !backward_expansions;
+      }
+    in
+    if !meet_nodes = 0 then begin
+      Metrics.incr m_empty_meets;
+      stats ()
+    end
+    else begin
+      (* Complete the backward masks to depth limit-1, pruning nodes with
+         no compatible forward distance (the forward masks are complete
+         over the consulted range; see the phase comment above). *)
+      while (not bwd.exhausted) && bwd.depth < limit - 1 do
+        let depth' = bwd.depth + 1 in
+        Metrics.incr m_expand_backward;
+        Metrics.add (frontier_nodes_counter "backward" bwd.depth)
+          (List.length bwd.level);
+        Metrics.observe m_frontier_backward (float_of_int (List.length bwd.level));
+        incr backward_expansions;
+        let next = expand_level db closure symtab ~forward:false bwd.level in
+        let kept =
+          List.filter
+            (fun v ->
+              match Hashtbl.find_opt fwd.masks v with
+              | None -> false
+              | Some fm -> has_bits fm ~lo:(2 - depth') ~hi:(limit - depth'))
+            next
+        in
+        bwd.depth <- depth';
+        match kept with
+        | [] ->
+            bwd.exhausted <- true;
+            bwd.level <- []
+        | _ ->
+            List.iter (fun v -> add_distance bwd.masks v depth') kept;
+            bwd.level <- kept
+      done;
+      (* Phase 3: target-pruned DFS reconstruction. *)
+      let back_masks = bwd.masks in
+      let found = ref [] in
+      let count = ref 0 in
+      let rec dfs node chain_rev depth =
+        if depth < limit then
+          Closure.match_pattern closure (Store.pattern ~s:node ()) (fun fact ->
+              if composable symtab fact.r then begin
+                let chain_rev' = fact.r :: chain_rev in
+                let depth' = depth + 1 in
+                if Entity.equal fact.t tgt && depth' >= 2 then begin
+                  found :=
+                    { source = src; chain = List.rev chain_rev'; target = tgt }
+                    :: !found;
+                  incr count;
+                  if !count >= max_paths then raise Enough
+                end;
+                if depth' < limit then
+                  match Hashtbl.find_opt back_masks fact.t with
+                  | Some bm when has_bits bm ~lo:1 ~hi:(limit - depth') ->
+                      dfs fact.t chain_rev' depth'
+                  | _ -> ()
+              end)
+      in
+      let truncated =
+        try
+          dfs src [] 0;
+          false
+        with Enough -> true
+      in
+      if truncated then Metrics.incr m_truncated;
+      let paths = List.rev !found in
+      Metrics.add m_paths_total (List.length paths);
+      { (stats ()) with paths; truncated }
+    end
+
+let paths ?max_paths db ~src ~tgt = (search ?max_paths db ~src ~tgt).paths
 
 let walk db ~chain ~src =
   let closure = Database.closure db in
@@ -113,10 +417,11 @@ let candidates ?max_paths db (pat : Store.pattern) emit =
     | None -> (
         match (pat.s, pat.t) with
         | Some src, Some tgt ->
+            let result = search ?max_paths db ~src ~tgt in
             List.iter
               (fun path ->
                 emit (Fact.make path.source (compose_name symtab path.chain) path.target))
-              (paths ?max_paths db ~src ~tgt)
+              result.paths
         | _ -> ())
     | Some r -> (
         match decompose symtab r with

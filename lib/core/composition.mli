@@ -28,11 +28,44 @@ val is_composed : Symtab.t -> Entity.t -> bool
 (** A discovered path: the composed relationship chain and the endpoints. *)
 type path = { source : Entity.t; chain : Entity.t list; target : Entity.t }
 
-(** [paths db ~src ~tgt] — every composition chain of length 2..limit from
-    [src] to [tgt] (requires [src <> tgt] per the paper; returns [[]]
-    otherwise). Paths are capped at [max_paths] (default 10_000) to keep
-    pathological graphs interactive. *)
+(** Result of a two-endpoint search. [paths] come in the unidirectional
+    DFS's emission order; [truncated] reports that the [max_paths] cap cut
+    enumeration short (more chains may exist). The remaining fields are
+    instrumentation from the bidirectional frontier phase: how many nodes
+    joined the forward and backward frontiers, and how many level
+    expansions each direction performed (both [0] when the search
+    short-circuited or fell back to the plain DFS). *)
+type search = {
+  paths : path list;
+  truncated : bool;
+  meet_nodes : int;
+  forward_expansions : int;
+  backward_expansions : int;
+}
+
+(** [search db ~src ~tgt] — every composition chain of length 2..limit
+    from [src] to [tgt] (requires [src <> tgt] per the paper; returns no
+    paths otherwise), found by a degree-aware bidirectional
+    meet-in-the-middle search: exact-distance frontiers grow from both
+    endpoints (always the cheaper side first, by O(1) posting-list
+    counts), join in the middle, and a target-pruned DFS reconstructs the
+    chains — byte-identical, order included, to {!paths_dfs}. Paths are
+    capped at [max_paths] (default 10_000) to keep pathological graphs
+    interactive; the cap point matches the oracle's exactly. Frontier
+    expansion fans out across [Database.pool db] when one is set, with
+    identical results at any pool size. *)
+val search :
+  ?max_paths:int -> Database.t -> src:Entity.t -> tgt:Entity.t -> search
+
+(** [paths db ~src ~tgt] is [(search db ~src ~tgt).paths]. *)
 val paths : ?max_paths:int -> Database.t -> src:Entity.t -> tgt:Entity.t -> path list
+
+(** The original unidirectional DFS, retained as the equivalence oracle
+    for the bidirectional search (tests and experiment B17 compare the
+    two byte-for-byte) and as the fallback for chain bounds beyond the
+    distance-bitmask width. *)
+val paths_dfs :
+  ?max_paths:int -> Database.t -> src:Entity.t -> tgt:Entity.t -> path list
 
 (** [candidates db pattern emit] — the composition facts matching a
     pattern, honoring [Database.limit db]:

@@ -30,34 +30,6 @@ let alpha_rename q =
   in
   go [] q
 
-(* Cost heuristic for dynamic conjunct ordering: fewest unbound distinct
-   variables first; among equals, defer atoms whose relationship is
-   answered by enumeration over the active domain (comparators, ⊑ with
-   its virtual extent, Δ wildcards, or an unbound relationship variable)
-   behind ordinary indexed atoms. Quantified/disjunctive subformulas come
-   last. *)
-let cost env = function
-  | Query.Atom tpl ->
-      let unbound =
-        List.filter (fun v -> not (Hashtbl.mem env v)) (Template.distinct_vars tpl)
-      in
-      let rel_entity =
-        match tpl.Template.rel with
-        | Template.Ent e -> Some e
-        | Template.Var v -> Hashtbl.find_opt env v
-      in
-      let virtual_penalty =
-        match rel_entity with
-        | Some e when Entity.is_comparator e || e = Entity.gen || e = Entity.top -> 1
-        | Some _ -> 0
-        | None -> 1
-      in
-      (List.length unbound, virtual_penalty)
-  | Query.Or _ -> (3, 2)
-  | Query.Exists _ -> (3, 2)
-  | Query.Forall _ -> (4, 2)
-  | Query.And _ -> assert false (* conjunctions are flattened *)
-
 let rec flatten_conj = function
   | Query.And (a, b) -> flatten_conj a @ flatten_conj b
   | q -> [ q ]
@@ -68,6 +40,58 @@ let pattern_of env (tpl : Template.t) =
     | Template.Var v -> Hashtbl.find_opt env v
   in
   Store.pattern ?s:(value tpl.src) ?r:(value tpl.rel) ?t:(value tpl.tgt) ()
+
+(* Cost for dynamic conjunct ordering, compared lexicographically as
+   (group, estimate):
+
+   - group 0 — fully bound atoms: membership checks, cheapest; virtual
+     relationships (estimate 1) after indexed ones (estimate 0).
+   - group 1 — indexed atoms with unbound variables: ranked by real
+     selectivity, the O(1) posting-list count of the pattern under the
+     current bindings ({!Closure.count_pattern}) — i.e. how many
+     candidate facts enumeration would actually walk. Hierarchy extremes
+     count as wildcards, mirroring the match layer's rewrite.
+   - group 2 — enumeration-driven atoms: comparators, ⊑ (whose virtual
+     extent ranges over the domain), Δ relationships, unbound
+     relationship variables, and composed relationships (answered by
+     chain walks, not postings); ranked by unbound-variable count as
+     before, and always after indexed atoms, whose counts they lack.
+   - groups 3/4 — disjunctive/existential, then universal subformulas.
+
+   The closure is passed lazily: it is forced on the first group-1 probe
+   only (atom satisfaction forces it anyway). *)
+let cost db closure env = function
+  | Query.Atom tpl ->
+      let unbound =
+        List.filter (fun v -> not (Hashtbl.mem env v)) (Template.distinct_vars tpl)
+      in
+      let rel_entity =
+        match tpl.Template.rel with
+        | Template.Ent e -> Some e
+        | Template.Var v -> Hashtbl.find_opt env v
+      in
+      let enumeration_driven =
+        match rel_entity with
+        | Some e ->
+            Entity.is_comparator e || e = Entity.gen || e = Entity.top
+            || Composition.is_composed (Database.symtab db) e
+        | None -> true
+      in
+      if unbound = [] then (0, if enumeration_driven then 1 else 0)
+      else if enumeration_driven then (2, List.length unbound)
+      else
+        let pat = pattern_of env tpl in
+        let wild = function
+          | Some e when e = Entity.top || e = Entity.bottom -> None
+          | bound -> bound
+        in
+        ( 1,
+          Closure.count_pattern (Lazy.force closure)
+            { Store.s = wild pat.Store.s; r = pat.Store.r; t = wild pat.Store.t } )
+  | Query.Or _ | Query.Exists _ -> (3, 0)
+  | Query.Forall _ -> (4, 0)
+  | Query.And _ -> assert false (* conjunctions are flattened *)
+
 
 (* Bind the template's variables to the fact's entities, extending [env];
    returns the newly bound variables (for undo) or [None] on mismatch
@@ -100,14 +124,26 @@ let try_bind env (tpl : Template.t) (fact : Fact.t) =
 
 exception Sat
 
+(* Candidate facts walked while satisfying atoms — what conjunct ordering
+   tries to minimize; the selectivity regression test reads its deltas. *)
+let m_candidates =
+  Lsdb_obs.Metrics.counter ~help:"Facts enumerated while satisfying query atoms"
+    "lsdb_eval_candidates_total"
+
 let eval ?(opts = Match_layer.eval_opts) ?(reorder = true) db q =
   Lsdb_obs.Trace.span "eval" @@ fun () ->
   let q = alpha_rename q in
+  let closure = lazy (Database.closure db) in
   let env : (string, Entity.t) Hashtbl.t = Hashtbl.create 16 in
   let rec sat q k =
     match q with
     | Query.Atom tpl ->
+        let enumerated = ref 0 in
+        Fun.protect
+          ~finally:(fun () -> Lsdb_obs.Metrics.add m_candidates !enumerated)
+        @@ fun () ->
         Match_layer.candidates ~opts db (pattern_of env tpl) (fun fact ->
+            incr enumerated;
             match try_bind env tpl fact with
             | Some newly ->
                 k ();
@@ -160,16 +196,16 @@ let eval ?(opts = Match_layer.eval_opts) ?(reorder = true) db q =
     | _ ->
         (* Carry each candidate's cost through the fold so it is computed
            once per conjunct, not recomputed for the running best at
-           every comparison ([cost] is a pure heuristic over the binding
-           environment — it never touches the index). Strict [<] keeps
-           the first minimum, as before. *)
+           every comparison ([cost] reads at most one O(1) posting-list
+           count per conjunct). Strict [<] keeps the first minimum, as
+           before. *)
         let best =
           List.fold_left
             (fun acc q ->
               match acc with
-              | None -> Some (cost env q, q)
+              | None -> Some (cost db closure env q, q)
               | Some (best_cost, _) ->
-                  let c = cost env q in
+                  let c = cost db closure env q in
                   if c < best_cost then Some (c, q) else acc)
             None pending
         in

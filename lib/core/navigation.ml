@@ -67,15 +67,42 @@ let try_entity ?(opts = Match_layer.nav_opts) db entity =
   Match_layer.candidates ~opts db (Store.pattern ~t:entity ()) emit;
   List.rev !out
 
-let associations ?(opts = Match_layer.nav_opts) db ~src ~tgt =
+(* Associations are assembled from two sources so truncation is
+   observable: the direct relationships come from the match layer with
+   composition disabled, the composed ones straight from
+   Composition.search, whose [truncated] flag survives (the match
+   layer's answer cache replays facts but not callbacks, so the flag
+   cannot flow through it). The emission order — closure facts first,
+   then composed paths in search order, deduplicated first-seen — is
+   exactly what the single candidates call produced before. *)
+let associations_detailed ?(opts = Match_layer.nav_opts) db ~src ~tgt =
   let seen = Hashtbl.create 16 in
   let out = ref [] in
-  Match_layer.candidates ~opts db (Store.pattern ~s:src ~t:tgt ()) (fun fact ->
-      if not (Hashtbl.mem seen fact.r) then begin
-        Hashtbl.add seen fact.r ();
-        out := fact.r :: !out
-      end);
-  List.rev !out
+  let emit r =
+    if not (Hashtbl.mem seen r) then begin
+      Hashtbl.add seen r ();
+      out := r :: !out
+    end
+  in
+  Match_layer.candidates
+    ~opts:{ opts with Match_layer.composition = false }
+    db
+    (Store.pattern ~s:src ~t:tgt ())
+    (fun fact -> emit fact.r);
+  let truncated =
+    if opts.Match_layer.composition then begin
+      let result = Composition.search db ~src ~tgt in
+      let symtab = Database.symtab db in
+      List.iter
+        (fun (p : Composition.path) -> emit (Composition.compose_name symtab p.chain))
+        result.Composition.paths;
+      result.Composition.truncated
+    end
+    else false
+  in
+  (List.rev !out, truncated)
+
+let associations ?opts db ~src ~tgt = fst (associations_detailed ?opts db ~src ~tgt)
 
 (* Process-wide: star templates can be parsed from several domains at
    once (parallel rendering), so the counter must be atomic — a plain ref
@@ -102,18 +129,42 @@ let render_source_table ?derived db entity =
   in
   Pretty.columns ~title:(Printf.sprintf "%s, *, *" (name entity)) cols
 
+let truncation_warning =
+  "warning: path enumeration hit the max_paths cap; composed associations \
+   may be missing"
+
 let render_associations db ~src ~tgt =
   let symtab = Database.symtab db in
   let name = Symtab.name symtab in
-  let rels = associations db ~src ~tgt in
-  Pretty.column
-    ~title:(Printf.sprintf "%s, *, %s" (name src) (name tgt))
-    (List.map name rels)
+  let rels, truncated = associations_detailed db ~src ~tgt in
+  let table =
+    Pretty.column
+      ~title:(Printf.sprintf "%s, *, %s" (name src) (name tgt))
+      (List.map name rels)
+  in
+  if truncated then table ^ truncation_warning else table
+
+(* Two-entity templates — the (X, *, Y) and (X, ?r, Y) shapes —
+   enumerate composition paths, which the max_paths cap may silently cut
+   short; re-run the (now cheap, bidirectional) search for its truncated
+   flag so the rendering can warn. *)
+let template_truncated ~opts db tpl =
+  match (tpl.Template.src, tpl.Template.rel, tpl.Template.tgt) with
+  | Template.Ent src, Template.Var _, Template.Ent tgt
+    when opts.Match_layer.composition && not (Entity.equal src tgt) ->
+      (Composition.search db ~src ~tgt).Composition.truncated
+  | _ -> false
 
 let render_template ?(opts = Match_layer.nav_opts) db tpl =
   let symtab = Database.symtab db in
   let title = Template.to_string symtab tpl in
   let answer = Eval.eval ~opts db (Query.atom tpl) in
+  let warn rendered =
+    if template_truncated ~opts db tpl then rendered ^ truncation_warning
+    else rendered
+  in
+  warn
+  @@
   match answer.Eval.vars with
   | [] ->
       Pretty.column ~title [ (if answer.Eval.rows <> [] then "true" else "false") ]

@@ -31,6 +31,17 @@ val try_entity : ?opts:Match_layer.opts -> Database.t -> Entity.t -> Fact.t list
 val associations :
   ?opts:Match_layer.opts -> Database.t -> src:Entity.t -> tgt:Entity.t -> Entity.t list
 
+(** [associations_detailed] is {!associations} plus a truncation flag:
+    [true] when composition path enumeration hit its [max_paths] cap, so
+    composed associations may be missing (the {!Composition.search}
+    [truncated] signal — renderers print a warning). *)
+val associations_detailed :
+  ?opts:Match_layer.opts ->
+  Database.t ->
+  src:Entity.t ->
+  tgt:Entity.t ->
+  Entity.t list * bool
+
 (** [star_template db spec] parses a navigation template of the form
     [(term, term, term)] where each term is an entity name, [*], or
     [?var]; [*] becomes a fresh variable. Unknown entity names intern.
@@ -46,8 +57,13 @@ val star_template : Database.t -> string * string * string -> Template.t
 val render_source_table : ?derived:bool -> Database.t -> Entity.t -> string
 
 (** Render the table of associations between two entities, §4.1's last
-    example. *)
+    example. Appends {!truncation_warning} when path enumeration hit the
+    [max_paths] cap. *)
 val render_associations : Database.t -> src:Entity.t -> tgt:Entity.t -> string
+
+(** The warning line appended to two-entity renderings whose composition
+    path enumeration was cut short by the [max_paths] cap. *)
+val truncation_warning : string
 
 (** Render any navigation template's answer the way §4.1 prescribes: one
     free variable → a single column; two free variables → a

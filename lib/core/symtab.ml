@@ -6,12 +6,24 @@
    contents after a grow, and [next] is the release point for freshly
    added ids. *)
 
+(* Composed relationship names (Composition's [r1·r2·…·rk]) are
+   decomposed on hot match paths; re-splitting the name and re-resolving
+   every part under the lock on each call is wasted work, so verdicts are
+   memoized per entity. Generation safety: canonical names are immutable,
+   so a successful decomposition ([Chain]) and the "no separator"
+   verdict ([Atom]) are final; a failure ([Unresolved]) — some part not
+   yet interned — can flip once new names arrive, so it carries the
+   table's cardinal at computation time and is recomputed only after
+   interning has advanced past that stamp. *)
+type decomposition = Chain of int list | Atom | Unresolved of int
+
 type t = {
   names : string array Atomic.t;  (* id -> canonical name *)
   numeric : float array Atomic.t;  (* id -> value, nan when not numeric *)
   table : (string, int) Hashtbl.t;  (* guarded by [lock] *)
   next : int Atomic.t;
   lock : Mutex.t;
+  decomp : (int, decomposition) Hashtbl.t;  (* guarded by [lock] *)
 }
 
 let parse_numeric s =
@@ -66,6 +78,7 @@ let create () =
       table = Hashtbl.create 64;
       next = Atomic.make 0;
       lock = Mutex.create ();
+      decomp = Hashtbl.create 64;
     }
   in
   Array.iteri
@@ -115,6 +128,61 @@ let alias t alias_name id =
       | None -> Hashtbl.add t.table alias_name id)
 
 let cardinal t = Atomic.get t.next
+
+(* Split [name] on every occurrence of the (non-empty) byte string
+   [sep]; no separator yields a single part. *)
+let split_on_sep ~sep name =
+  let ns = String.length sep and n = String.length name in
+  let matches_at i =
+    i + ns <= n
+    &&
+    let rec eq j = j = ns || (name.[i + j] = sep.[j] && eq (j + 1)) in
+    eq 0
+  in
+  let parts = ref [] in
+  let start = ref 0 in
+  let i = ref 0 in
+  while !i + ns <= n do
+    if matches_at !i then begin
+      parts := String.sub name !start (!i - !start) :: !parts;
+      start := !i + ns;
+      i := !i + ns
+    end
+    else incr i
+  done;
+  parts := String.sub name !start (n - !start) :: !parts;
+  List.rev !parts
+
+let decompose t ~sep e =
+  let entity_name = name t e in
+  (* validates [e] *)
+  with_lock t (fun () ->
+      let compute () =
+        match split_on_sep ~sep entity_name with
+        | [] | [ _ ] -> Atom
+        | parts -> (
+            let rec resolve acc = function
+              | [] -> Chain (List.rev acc)
+              | part :: rest -> (
+                  match Hashtbl.find_opt t.table part with
+                  | Some id -> resolve (id :: acc) rest
+                  | None -> Unresolved (Atomic.get t.next))
+            in
+            resolve [] parts)
+      in
+      let verdict =
+        match Hashtbl.find_opt t.decomp e with
+        | Some (Chain _ | Atom) as cached -> Option.get cached
+        | Some (Unresolved stamp) when stamp = Atomic.get t.next ->
+            Unresolved stamp
+        | Some (Unresolved _) | None ->
+            let v = compute () in
+            Hashtbl.replace t.decomp e v;
+            v
+      in
+      match verdict with
+      | Chain chain -> Some chain
+      | Atom | Unresolved _ -> None)
 
 let numeric_value t id =
   let v = (Atomic.get t.numeric).(id) in

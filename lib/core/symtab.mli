@@ -33,6 +33,18 @@ val alias : t -> string -> Entity.t -> unit
 (** Number of distinct ids (specials included). *)
 val cardinal : t -> int
 
+(** [decompose t ~sep e] splits [e]'s canonical name on the (non-empty)
+    separator [sep] and resolves every part to its id (aliases included);
+    [None] when the name contains no separator or some part is not
+    interned. Backs {!Composition.decompose}'s [r1·r2·…·rk] chains.
+
+    Verdicts are memoized generation-safely: canonical names are
+    immutable, so successes and "no separator" answers are cached
+    forever, while failures are stamped with the table's {!cardinal} and
+    recomputed only after new names have been interned. The memo is
+    keyed by entity alone, so all callers must pass the same [sep]. *)
+val decompose : t -> sep:string -> Entity.t -> Entity.t list option
+
 (** Numeric value parsed from the canonical name, if any. *)
 val numeric_value : t -> Entity.t -> float option
 

@@ -167,3 +167,10 @@ let count idx ~s ~r ~tgt =
   | None, Some r, None -> int_len idx.by_r r
   | None, None, Some t -> int_len idx.by_t t
   | None, None, None -> cardinal idx
+
+(* Option-free single-key probes: the out-degree (by_s) and in-degree
+   (by_t) of an entity. The bidirectional path search sums these over a
+   whole frontier when deciding which side to expand, so they skip the
+   option boxing of [count]. *)
+let count_s idx s = int_len idx.by_s s
+let count_t idx t = int_len idx.by_t t

@@ -36,3 +36,11 @@ val candidates :
     so the bound overcounts by at most the dead fraction. Intended for
     join-order selection, not exact cardinalities. *)
 val count : t -> s:int option -> r:int option -> tgt:int option -> int
+
+(** [count_s t e] / [count_t t e] — the O(1) out-degree ([by_s] postings)
+    and in-degree ([by_t] postings) of an entity; option-free variants of
+    {!count} for selectivity sums over whole frontiers. Same tombstone
+    caveat as {!count}. *)
+val count_s : t -> int -> int
+
+val count_t : t -> int -> int

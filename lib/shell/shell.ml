@@ -129,6 +129,18 @@ let obs_stats_text db =
       Printf.sprintf "retraction cones: %d facts over-deleted, %d restored"
         (c "lsdb_engine_retract_cone_facts_total")
         (c "lsdb_engine_restored_facts_total");
+      (let direction d =
+         c ~labels:[ ("direction", d) ] "lsdb_composition_expansions_total"
+       in
+       Printf.sprintf
+         "composition: %d searches (%d truncated, %d empty at the join), %d \
+          paths, %d meet nodes; expansions %d forward / %d backward"
+         (c "lsdb_composition_searches_total")
+         (c "lsdb_composition_truncated_total")
+         (c "lsdb_composition_empty_meets_total")
+         (c "lsdb_composition_paths_total")
+         (c "lsdb_composition_meet_nodes_total")
+         (direction "forward") (direction "backward"));
       Printf.sprintf
         "pool: %d fan-outs, %d worker jobs; items %d caller / %d worker"
         (c "lsdb_pool_maps_total") (c "lsdb_pool_jobs_total") (lane "caller")
@@ -200,7 +212,11 @@ and run t out words =
                (List.rev_map (Database.entity_name db) (Navigation.history t.session)))
       | "assoc", [ a; b ] -> (
           match (Database.find_entity db a, Database.find_entity db b) with
-          | Some src, Some tgt -> say "%s" (Navigation.render_associations db ~src ~tgt)
+          | Some src, Some tgt ->
+              say "%s"
+                (Trace.with_query
+                   (Printf.sprintf "assoc %s %s" a b)
+                   (fun () -> Navigation.render_associations db ~src ~tgt))
           | _ -> say "unknown entity")
       | "t", _ :: _ -> (
           match Query_parser.parse_template db (rest_text ()) with

@@ -143,4 +143,34 @@ let tests =
         Alcotest.(check int) "100 paths" 100 (List.length all);
         let capped = Composition.paths ~max_paths:7 db ~src:(e "SRC") ~tgt:(e "TGT") in
         Alcotest.(check int) "capped" 7 (List.length capped));
+    test "search reports truncation and bumps the counter" (fun () ->
+        (* Same dense bipartite shape: 100 parallel 2-chains. *)
+        let facts = ref [] in
+        for i = 0 to 9 do
+          facts := ("SRC", Printf.sprintf "R%d" i, "MID") :: !facts;
+          facts := ("MID", Printf.sprintf "S%d" i, "TGT") :: !facts
+        done;
+        let db = db_of !facts in
+        Database.set_limit db 2;
+        let e = Database.entity db in
+        let truncations () =
+          Lsdb_obs.Metrics.counter_value
+            (Lsdb_obs.Metrics.counter "lsdb_composition_truncated_total")
+        in
+        let before = truncations () in
+        let capped = Composition.search ~max_paths:7 db ~src:(e "SRC") ~tgt:(e "TGT") in
+        Alcotest.(check bool) "truncated" true capped.Composition.truncated;
+        Alcotest.(check int) "capped paths" 7 (List.length capped.Composition.paths);
+        Alcotest.(check bool) "counter bumped" true (truncations () > before);
+        let full = Composition.search db ~src:(e "SRC") ~tgt:(e "TGT") in
+        Alcotest.(check bool) "full run not truncated" false full.Composition.truncated;
+        Alcotest.(check int) "all paths" 100 (List.length full.Composition.paths));
+    test "search exposes meet statistics" (fun () ->
+        let db = enrollment_db () in
+        let e = Database.entity db in
+        let result = Composition.search db ~src:(e "TOM") ~tgt:(e "HARRY") in
+        Alcotest.(check int) "one path" 1 (List.length result.Composition.paths);
+        Alcotest.(check bool) "met somewhere" true (result.Composition.meet_nodes >= 1);
+        Alcotest.(check bool) "expanded forward" true
+          (result.Composition.forward_expansions >= 1));
   ]

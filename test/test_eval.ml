@@ -104,4 +104,35 @@ let tests =
              ignore (Eval.column answer);
              false
            with Invalid_argument _ -> true));
+    test "selectivity ordering enumerates the bound conjunct first" (fun () ->
+        (* 40 HUB facts vs one SEL fact: cost must rank the selective
+           conjunct first, so the planner walks ~2 candidates instead of
+           ~41. The regression is observable through the candidate
+           counter, which both orders bump. *)
+        let facts = ref [ ("A1", "SEL", "C") ] in
+        for i = 1 to 40 do
+          facts :=
+            (Printf.sprintf "A%d" i, "HUB", Printf.sprintf "B%d" i) :: !facts
+        done;
+        let db = db_of !facts in
+        let query = q db "(?a, HUB, ?b) & (?a, SEL, ?c)" in
+        let candidates () =
+          Lsdb_obs.Metrics.counter_value
+            (Lsdb_obs.Metrics.counter "lsdb_eval_candidates_total")
+        in
+        let run ~reorder =
+          let before = candidates () in
+          let answer = Eval.eval ~reorder db query in
+          (List.sort compare (Eval.rows_named (Database.symtab db) answer),
+           candidates () - before)
+        in
+        let planned_rows, planned_walked = run ~reorder:true in
+        let naive_rows, naive_walked = run ~reorder:false in
+        Alcotest.(check (list (list string))) "same answers" naive_rows planned_rows;
+        Alcotest.(check (list (list string))) "the one join row"
+          [ [ "A1"; "B1"; "C" ] ] planned_rows;
+        Alcotest.(check bool)
+          (Printf.sprintf "planned %d < naive %d" planned_walked naive_walked)
+          true
+          (planned_walked < naive_walked));
   ]

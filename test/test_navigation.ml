@@ -134,6 +134,35 @@ let tests =
         in
         Alcotest.(check bool) "true" true (contains (Navigation.render_template db yes) "true");
         Alcotest.(check bool) "false" true (contains (Navigation.render_template db no) "false"));
+    test "association rendering warns when the path cap is hit" (fun () ->
+        (* 101 × 101 parallel 2-chains > the 10 000-path cap. *)
+        let facts = ref [] in
+        for i = 0 to 100 do
+          facts := ("SRC", Printf.sprintf "R%d" i, "MID") :: !facts;
+          facts := ("MID", Printf.sprintf "S%d" i, "TGT") :: !facts
+        done;
+        let db = db_of !facts in
+        Database.set_limit db 2;
+        let e = Database.entity db in
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+          go 0
+        in
+        let rendered = Navigation.render_associations db ~src:(e "SRC") ~tgt:(e "TGT") in
+        Alcotest.(check bool) "warns" true
+          (contains rendered Navigation.truncation_warning);
+        let _, truncated =
+          Navigation.associations_detailed db ~src:(e "SRC") ~tgt:(e "TGT")
+        in
+        Alcotest.(check bool) "flag" true truncated;
+        (* A small answer must render clean. *)
+        let small = db_of [ ("A", "R", "B"); ("B", "S", "C") ] in
+        Database.set_limit small 2;
+        let e = Database.entity small in
+        let rendered = Navigation.render_associations small ~src:(e "A") ~tgt:(e "C") in
+        Alcotest.(check bool) "no warning" false
+          (contains rendered Navigation.truncation_warning));
     test "rendered tables contain the §4.1 headers" (fun () ->
         let db = Paper_examples.music () in
         let table = Navigation.render_source_table db (Database.entity db "JOHN") in

@@ -66,4 +66,31 @@ let tests =
         Alcotest.check_raises "out of range"
           (Invalid_argument "Symtab.name: unknown entity id 9999") (fun () ->
             ignore (Symtab.name t 9999)));
+    test "decompose memo survives later interning (generation safety)" (fun () ->
+        let sep = Composition.separator in
+        let t = Symtab.create () in
+        (* The composed name arrives before its parts exist: unresolved. *)
+        let ab = Symtab.intern t (String.concat sep [ "A"; "B" ]) in
+        Alcotest.(check (option (list int))) "parts missing" None
+          (Symtab.decompose t ~sep ab);
+        (* Interning the parts must invalidate the cached verdict. *)
+        let a = Symtab.intern t "A" in
+        let b = Symtab.intern t "B" in
+        Alcotest.(check (option (list int))) "parts found" (Some [ a; b ])
+          (Symtab.decompose t ~sep ab);
+        (* Chain verdicts are immutable: repeated calls stay stable. *)
+        Alcotest.(check (option (list int))) "memo stable" (Some [ a; b ])
+          (Symtab.decompose t ~sep ab));
+    test "decompose handles atoms and longer chains" (fun () ->
+        let sep = Composition.separator in
+        let t = Symtab.create () in
+        let atom = Symtab.intern t "PLAIN" in
+        Alcotest.(check (option (list int))) "atom" None (Symtab.decompose t ~sep atom);
+        Alcotest.(check (option (list int))) "atom memo stable" None
+          (Symtab.decompose t ~sep atom);
+        let x = Symtab.intern t "X" and y = Symtab.intern t "Y" in
+        let z = Symtab.intern t "Z" in
+        let xyz = Symtab.intern t (String.concat sep [ "X"; "Y"; "Z" ]) in
+        Alcotest.(check (option (list int))) "three-chain" (Some [ x; y; z ])
+          (Symtab.decompose t ~sep xyz));
   ]
