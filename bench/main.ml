@@ -15,13 +15,13 @@ let quick = ref false
 (* Machine-readable results                                            *)
 
 (* Every headline number printed in a pretty table is also recorded here
-   and dumped as JSON (default BENCH_PR5.json, override with --json FILE)
+   and dumped as JSON (default BENCH_PR6.json, override with --json FILE)
    so regressions can be tracked without parsing tables. Writing merges
    into an existing file: rows measured this run replace same-id rows,
    rows from experiments not re-run are preserved, so partial runs
    (`bench b15`) refresh their slice of the file instead of erasing the
    rest. *)
-let json_path = ref "BENCH_PR5.json"
+let json_path = ref "BENCH_PR6.json"
 let json_rows : (string * float * string) list ref = ref []
 let record id value unit_ = json_rows := (id, value, unit_) :: !json_rows
 
@@ -1446,6 +1446,189 @@ let b17 () =
   Printf.printf "\npool scaling, citation workload at limit %d:\n" scale_limit;
   table [ "domains"; "ms/search"; "speedup"; "same paths" ] (List.rev !rows)
 
+(* B18 — demand-driven closure (magic sets)                              *)
+
+let b18 () =
+  section "B18 — demand-driven closure: cold-start magic sets vs eager saturation";
+  let check what ok =
+    if not ok then begin
+      incr equivalence_failures;
+      Printf.printf "  ✗ EQUIVALENCE FAILURE: %s\n" what
+    end
+  in
+  let sorted_pattern db pat =
+    let out = ref [] in
+    Database.closure_match db pat (fun (f : Fact.t) -> out := (f.s, f.r, f.t) :: !out);
+    List.sort compare !out
+  in
+  let cone_facts db =
+    match Database.demand_stats db with
+    | Some s ->
+        s.Lsdb_datalog.Magic.stage_cone_facts + s.Lsdb_datalog.Magic.full_cone_facts
+    | None -> 0
+  in
+  (* --- part 1: cold start on the org workload ------------------------ *)
+  (* Time to first answer on a fresh heap: the browsing probe is one
+     employee's full neighborhood. Eager mode pays the whole saturation
+     on that first touch; demand mode derives just the employee's cone.
+     8000 employees is B15's 175k-fact closure; 46000 crosses 1M. *)
+  let scales =
+    if !quick then [ ("600", 600) ] else [ ("175k", 8000); ("1m", 46000) ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun (label, employees) ->
+      let org =
+        Lsdb_workload.Org_gen.generate
+          ~params:{ Lsdb_workload.Org_gen.default_params with employees }
+          (rng ())
+      in
+      let probe db =
+        let n = ref 0 in
+        Database.closure_match db
+          (Store.pattern ~s:(Database.entity db "EMP-0042") ())
+          (fun _ -> incr n);
+        !n
+      in
+      let db_eager = Lsdb_workload.Org_gen.to_database org in
+      let eager_n, eager_ms = time_ms (fun () -> probe db_eager) in
+      let closure = Database.closure db_eager in
+      let full = Closure.cardinal closure in
+      let derived = Closure.derived_count closure in
+      let db_demand = Lsdb_workload.Org_gen.to_database org in
+      Database.set_closure_mode db_demand Database.Demand;
+      let demand_n, demand_ms = time_ms (fun () -> probe db_demand) in
+      let cone = cone_facts db_demand in
+      check
+        (Printf.sprintf "cold probe count at %s" label)
+        (eager_n = demand_n);
+      (* Byte-identity on the benchmarked selective patterns (sorted
+         answer sets; the two heaps intern identically). *)
+      List.iter
+        (fun (what, mk) ->
+          check
+            (Printf.sprintf "%s at %s" what label)
+            (sorted_pattern db_eager (mk db_eager)
+            = sorted_pattern db_demand (mk db_demand)))
+        [
+          ( "neighborhood answers",
+            fun db -> Store.pattern ~s:(Database.entity db "EMP-0042") () );
+          ( "point-query answers",
+            fun db ->
+              Store.pattern
+                ~s:(Database.entity db "EMP-0042")
+                ~r:(Database.entity db "EARNS")
+                () );
+          ( "second neighborhood",
+            fun db -> Store.pattern ~s:(Database.entity db "EMP-0123") () );
+        ];
+      let speedup = eager_ms /. demand_ms in
+      let pct = 100. *. float_of_int cone /. float_of_int (max 1 derived) in
+      record (Printf.sprintf "b18/eager_cold_ms/scale=%s" label) eager_ms "ms";
+      record (Printf.sprintf "b18/demand_cold_ms/scale=%s" label) demand_ms "ms";
+      record (Printf.sprintf "b18/cold_speedup/scale=%s" label) speedup "x";
+      record (Printf.sprintf "b18/closure_facts/scale=%s" label)
+        (float_of_int full) "facts";
+      record (Printf.sprintf "b18/cone_facts/scale=%s" label)
+        (float_of_int cone) "facts";
+      record (Printf.sprintf "b18/cone_pct/scale=%s" label) pct "%";
+      rows :=
+        [
+          label;
+          string_of_int full;
+          Printf.sprintf "%.1f" eager_ms;
+          Printf.sprintf "%.1f" demand_ms;
+          Printf.sprintf "%.0fx" speedup;
+          Printf.sprintf "%d (%.2f%% of derived)" cone pct;
+        ]
+        :: !rows)
+    scales;
+  Printf.printf "cold-start probe (one employee's neighborhood, fresh heap):\n";
+  table
+    [ "scale"; "closure"; "eager ms"; "demand ms"; "speedup"; "cone" ]
+    (List.rev !rows);
+  (* --- part 2: selective browsing queries, facts derived ------------- *)
+  let uni =
+    Lsdb_workload.University_gen.generate
+      ~params:
+        {
+          Lsdb_workload.University_gen.students = (if !quick then 60 else 200);
+          courses = 20;
+          instructors = 8;
+          enrollments_per_student = 3;
+        }
+      (rng ())
+  in
+  let uni_make () = Lsdb_workload.University_gen.to_database uni in
+  let books = if !quick then 200 else 800 in
+  let cit =
+    Lsdb_workload.Citation_gen.generate
+      ~params:
+        {
+          Lsdb_workload.Citation_gen.books;
+          authors = books / 4;
+          subjects = 8;
+          citations_per_book = 5;
+          skew = 1.0;
+        }
+      (rng ())
+  in
+  let cit_make () = Lsdb_workload.Citation_gen.to_database cit in
+  let selective label make mk_pat =
+    let db_eager = make () in
+    let db_demand = make () in
+    Database.set_closure_mode db_demand Database.Demand;
+    check
+      (Printf.sprintf "%s selective answers" label)
+      (sorted_pattern db_eager (mk_pat db_eager)
+      = sorted_pattern db_demand (mk_pat db_demand));
+    let derived = Closure.derived_count (Database.closure db_eager) in
+    let cone = cone_facts db_demand in
+    let pct = 100. *. float_of_int cone /. float_of_int (max 1 derived) in
+    record (Printf.sprintf "b18/%s/cone_facts" label) (float_of_int cone) "facts";
+    record (Printf.sprintf "b18/%s/cone_pct" label) pct "%";
+    check (Printf.sprintf "%s cone below 10%% (got %.2f%%)" label pct) (pct < 10.);
+    [ label; string_of_int derived; string_of_int cone; Printf.sprintf "%.2f%%" pct ]
+  in
+  Printf.printf "\nselective browsing queries (facts derived, demand vs eager):\n";
+  table
+    [ "workload"; "full derived"; "cone facts"; "cone/derived" ]
+    [
+      selective "university" uni_make (fun db ->
+          Store.pattern ~s:(Database.entity db "STU-0001") ());
+      selective "citation" cit_make (fun db ->
+          Store.pattern
+            ~t:(Database.entity db cit.Lsdb_workload.Citation_gen.book_names.(5))
+            ());
+    ];
+  (* --- part 3: byte-identity at every pool size ---------------------- *)
+  (* Demand evaluation is single-threaded by design, so answers are
+     pool-size independent by construction — this verifies it against
+     the eager oracle anyway, full extent included. *)
+  let patterns db =
+    [
+      Store.pattern ();
+      Store.pattern ~s:(Database.entity db "STU-0001") ();
+      Store.pattern ~r:(Database.entity db "ENROLL-STUDENT") ();
+    ]
+  in
+  let eager_ref = uni_make () in
+  let expected = List.map (sorted_pattern eager_ref) (patterns eager_ref) in
+  List.iter
+    (fun domains ->
+      let db = uni_make () in
+      Database.set_closure_mode db Database.Demand;
+      let pool = if domains <= 1 then None else Some (Lsdb_exec.Pool.create ~domains) in
+      Database.set_pool db pool;
+      let got = List.map (sorted_pattern db) (patterns db) in
+      Database.set_pool db None;
+      Option.iter Lsdb_exec.Pool.shutdown pool;
+      check
+        (Printf.sprintf "demand ≡ eager at %d domain(s)" domains)
+        (got = expected))
+    [ 1; 2; 4; 8 ];
+  Printf.printf "\nbyte-identity vs the eager oracle at pool sizes 1/2/4/8: checked\n"
+
 (* Bechamel micro-op reference table                                     *)
 
 let micro () =
@@ -1512,6 +1695,7 @@ let experiments =
     ("b1", b1); ("b2", b2); ("b3", b3); ("b4", b4); ("b5", b5); ("b6", b6);
     ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10); ("b11", b11); ("b12", b12);
     ("b13", b13); ("b14", b14); ("b15", b15); ("b16", b16); ("b17", b17);
+    ("b18", b18);
     ("micro", micro);
   ]
 

@@ -24,10 +24,11 @@ let repl shell =
   in
   loop ()
 
-let drive ?limit ?domains ?journal db command =
+let drive ?limit ?domains ?journal ~closure_mode db command =
   (* A session-only override of the composition chain bound: applied
      after any journal replay, never journaled itself. *)
   Option.iter (fun n -> Database.set_limit db n) limit;
+  Database.set_closure_mode db closure_mode;
   let pool =
     match domains with
     | Some n when n > 1 ->
@@ -106,7 +107,23 @@ let slow_ms =
   in
   Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS" ~doc)
 
-let rec main file demo dir command domains salvage metrics_file slow_ms limit =
+let closure_flag =
+  let mode =
+    Arg.enum [ ("eager", Database.Eager); ("demand", Database.Demand) ]
+  in
+  let doc =
+    "Closure mode. $(b,eager) materializes the full inference closure up \
+     front (amortized over many queries); $(b,demand) derives only the cone \
+     of facts each query can touch (magic sets), which makes cold starts on \
+     large heaps fast. Answers are identical in both modes. Defaults to \
+     $(b,demand) when opening a durable directory with $(b,--dir) (cold \
+     opens), $(b,eager) otherwise; flip at runtime with the shell's \
+     '.closure' command."
+  in
+  Arg.(value & opt (some mode) None & info [ "closure" ] ~docv:"MODE" ~doc)
+
+let rec main file demo dir command domains salvage metrics_file slow_ms limit
+    closure =
   (match metrics_file with
   | Some _ -> Lsdb_obs.Metrics.set_enabled true
   | None -> ());
@@ -130,14 +147,20 @@ let rec main file demo dir command domains salvage metrics_file slow_ms limit =
             (fun p -> prerr_string (Lsdb_obs.Trace.render p))
             (List.rev (Lsdb_obs.Trace.slowlog ())))
   @@ fun () ->
-  run file demo dir command domains salvage limit
+  run file demo dir command domains salvage limit closure
 
-and run file demo dir command domains salvage limit =
+and run file demo dir command domains salvage limit closure =
+  (* Demand is the default for --dir cold opens (the heap may be far
+     larger than anything this session will query); in-memory sessions
+     default to eager, the long-standing behavior. *)
+  let closure_mode ~default = Option.value closure ~default in
   match (demo, dir) with
   | Some name, _ -> (
       match List.assoc_opt name Lsdb_shell.Shell.demos with
       | Some build ->
-          drive ?limit ~domains (build ()) command;
+          drive ?limit ~domains
+            ~closure_mode:(closure_mode ~default:Database.Eager)
+            (build ()) command;
           0
       | None ->
           Printf.eprintf "unknown demo %S (known: %s)\n" name
@@ -175,7 +198,10 @@ and run file demo dir command domains salvage limit =
              tail — it must run even when the session dies mid-command. *)
           Fun.protect
             ~finally:(fun () -> Lsdb_storage.Persistent.close p)
-            (fun () -> drive ?limit ~domains ~journal db command);
+            (fun () ->
+              drive ?limit ~domains ~journal
+                ~closure_mode:(closure_mode ~default:Database.Demand)
+                db command);
           0)
   | None, None -> (
       let db = Database.create () in
@@ -186,7 +212,9 @@ and run file demo dir command domains salvage limit =
       with
       | Ok n ->
           if n > 0 then Printf.printf "loaded %d facts from %s\n" n (Option.get file);
-          drive ?limit ~domains db command;
+          drive ?limit ~domains
+            ~closure_mode:(closure_mode ~default:Database.Eager)
+            db command;
           0
       | Error (Fact_file.Syntax_error { line; message }) ->
           Printf.eprintf "%s:%d: %s\n" (Option.get file) line message;
@@ -201,6 +229,6 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ file $ demo $ persistent_dir $ command_line $ domains
-      $ salvage $ metrics_file $ slow_ms $ limit_flag)
+      $ salvage $ metrics_file $ slow_ms $ limit_flag $ closure_flag)
 
 let () = exit (Cmd.eval' cmd)

@@ -38,13 +38,12 @@ let dfs_paths ?(max_paths = 10_000) db ~src ~tgt =
   let limit = Database.limit db in
   if limit < 2 || Entity.equal src tgt then ([], false)
   else begin
-    let closure = Database.closure db in
     let symtab = Database.symtab db in
     let found = ref [] in
     let count = ref 0 in
     let rec dfs node chain_rev depth =
       if depth < limit then
-        Closure.match_pattern closure (Store.pattern ~s:node ()) (fun fact ->
+        Database.closure_match db (Store.pattern ~s:node ()) (fun fact ->
             if composable symtab fact.r then begin
               let chain_rev' = fact.r :: chain_rev in
               if Entity.equal fact.t tgt && depth + 1 >= 2 then begin
@@ -163,12 +162,12 @@ let masks_compatible ~limit fm bm =
   in
   go 0
 
-let neighbors closure symtab ~forward node =
+let neighbors db symtab ~forward node =
   let pat =
     if forward then Store.pattern ~s:node () else Store.pattern ~t:node ()
   in
   let acc = ref [] in
-  Closure.match_pattern closure pat (fun fact ->
+  Database.closure_match db pat (fun fact ->
       if composable symtab fact.r then
         acc := (if forward then fact.t else fact.s) :: !acc);
   List.rev !acc
@@ -183,11 +182,15 @@ let parallel_threshold = 64
    results come back in input order (Pool.map is deterministic) and the
    sequential dedup keeps first-seen order, so the next level is
    byte-identical at any pool size. *)
-let expand_level db closure symtab ~forward nodes =
-  let gather = neighbors closure symtab ~forward in
+let expand_level db symtab ~forward nodes =
+  let gather = neighbors db symtab ~forward in
   let per_node =
     match Database.pool db with
-    | Some pool when List.length nodes >= parallel_threshold ->
+    | Some pool
+      when List.length nodes >= parallel_threshold
+           && Database.closure_mode db = Database.Eager ->
+        (* Demand mode stays sequential: goal evaluation mutates the
+           demand state, which is single-threaded by design. *)
         Database.prepare_readers db;
         Pool.map pool gather nodes
     | _ -> List.map gather nodes
@@ -204,10 +207,11 @@ let expand_level db closure symtab ~forward nodes =
   List.rev !out
 
 (* O(1) per node: the posting-list length the next expansion would walk. *)
-let frontier_cost closure ~forward nodes =
+let frontier_cost db ~forward nodes =
   List.fold_left
     (fun acc v ->
-      acc + (if forward then Closure.out_degree closure v else Closure.in_degree closure v))
+      acc
+      + (if forward then Database.out_degree_hint db v else Database.in_degree_hint db v))
     0 nodes
 
 let empty_search =
@@ -252,7 +256,6 @@ let search ?(max_paths = 10_000) db ~src ~tgt =
   else
     Lsdb_obs.Trace.span "composition.search" @@ fun () ->
     Metrics.time m_search_seconds @@ fun () ->
-    let closure = Database.closure db in
     let symtab = Database.symtab db in
     let fresh node =
       let masks = Hashtbl.create 256 in
@@ -270,7 +273,7 @@ let search ?(max_paths = 10_000) db ~src ~tgt =
       Metrics.observe (if forward then m_frontier_forward else m_frontier_backward)
         (float_of_int n);
       incr (if forward then forward_expansions else backward_expansions);
-      let next = expand_level db closure symtab ~forward fr.level in
+      let next = expand_level db symtab ~forward fr.level in
       fr.depth <- fr.depth + 1;
       match next with
       | [] ->
@@ -283,8 +286,8 @@ let search ?(max_paths = 10_000) db ~src ~tgt =
     (* Phase 1: interleaved radius growth, cheaper side first. *)
     while fwd.depth + bwd.depth < limit && (not fwd.exhausted) && not bwd.exhausted do
       if
-        frontier_cost closure ~forward:true fwd.level
-        <= frontier_cost closure ~forward:false bwd.level
+        frontier_cost db ~forward:true fwd.level
+        <= frontier_cost db ~forward:false bwd.level
       then expand fwd ~forward:true
       else expand bwd ~forward:false
     done;
@@ -327,7 +330,7 @@ let search ?(max_paths = 10_000) db ~src ~tgt =
           (List.length bwd.level);
         Metrics.observe m_frontier_backward (float_of_int (List.length bwd.level));
         incr backward_expansions;
-        let next = expand_level db closure symtab ~forward:false bwd.level in
+        let next = expand_level db symtab ~forward:false bwd.level in
         let kept =
           List.filter
             (fun v ->
@@ -351,7 +354,7 @@ let search ?(max_paths = 10_000) db ~src ~tgt =
       let count = ref 0 in
       let rec dfs node chain_rev depth =
         if depth < limit then
-          Closure.match_pattern closure (Store.pattern ~s:node ()) (fun fact ->
+          Database.closure_match db (Store.pattern ~s:node ()) (fun fact ->
               if composable symtab fact.r then begin
                 let chain_rev' = fact.r :: chain_rev in
                 let depth' = depth + 1 in
@@ -384,12 +387,11 @@ let search ?(max_paths = 10_000) db ~src ~tgt =
 let paths ?max_paths db ~src ~tgt = (search ?max_paths db ~src ~tgt).paths
 
 let walk db ~chain ~src =
-  let closure = Database.closure db in
   let step frontier r =
     let next = Hashtbl.create 16 in
     List.iter
       (fun node ->
-        Closure.match_pattern closure (Store.pattern ~s:node ~r ()) (fun fact ->
+        Database.closure_match db (Store.pattern ~s:node ~r ()) (fun fact ->
             Hashtbl.replace next fact.t ()))
       frontier;
     Hashtbl.fold (fun e () acc -> e :: acc) next []
@@ -397,12 +399,11 @@ let walk db ~chain ~src =
   List.fold_left step [ src ] chain
 
 let walk_backward db ~chain ~tgt =
-  let closure = Database.closure db in
   let step r frontier =
     let prev = Hashtbl.create 16 in
     List.iter
       (fun node ->
-        Closure.match_pattern closure (Store.pattern ~r ~t:node ()) (fun fact ->
+        Database.closure_match db (Store.pattern ~r ~t:node ()) (fun fact ->
             Hashtbl.replace prev fact.s ()))
       frontier;
     Hashtbl.fold (fun e () acc -> e :: acc) prev []
@@ -444,10 +445,9 @@ let candidates ?max_paths db (pat : Store.pattern) emit =
                   (walk_backward db ~chain ~tgt)
             | None, None ->
                 (* Enumerate from every entity that sources the chain head. *)
-                let closure = Database.closure db in
                 let first = List.hd chain in
                 let seen = Hashtbl.create 64 in
-                Closure.match_pattern closure (Store.pattern ~r:first ()) (fun fact ->
+                Database.closure_match db (Store.pattern ~r:first ()) (fun fact ->
                     if not (Hashtbl.mem seen fact.s) then begin
                       Hashtbl.add seen fact.s ();
                       List.iter
@@ -460,13 +460,12 @@ let count_compositions ?(max_paths = 1_000_000) db =
   let limit = Database.limit db in
   if limit < 2 then 0
   else begin
-    let closure = Database.closure db in
     let symtab = Database.symtab db in
     let seen = Hashtbl.create 1024 in
     let count = ref 0 in
     let rec dfs origin node chain_rev depth =
       if depth < limit then
-        Closure.match_pattern closure (Store.pattern ~s:node ()) (fun fact ->
+        Database.closure_match db (Store.pattern ~s:node ()) (fun fact ->
             if composable symtab fact.r then begin
               let chain_rev' = fact.r :: chain_rev in
               if depth + 1 >= 2 && not (Entity.equal origin fact.t) then begin
@@ -483,7 +482,7 @@ let count_compositions ?(max_paths = 1_000_000) db =
     (try
        Seq.iter
          (fun e -> if not (Entity.is_special e) then dfs e e [] 0)
-         (Closure.active_entities closure)
+         (Database.active_domain db)
      with Enough -> ());
     !count
   end

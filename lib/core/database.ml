@@ -1,6 +1,14 @@
+module Magic = Lsdb_datalog.Magic
+
 (* Mutations not yet folded into the cached closure, in arrival order.
    Inserts extend, retracts delete/rederive; both are incremental. *)
 type op = Insert of Fact.t | Retract of Fact.t
+
+(* How the closure is served to the match/eval/probing layers. [Eager]
+   materializes the whole closure ({!Closure.compute}); [Demand] derives
+   only the cone each goal touches ({!Lsdb_datalog.Magic}), with the
+   eager path retained as the correctness oracle. *)
+type closure_mode = Eager | Demand
 
 type t = {
   uid : int;  (* unique per database; hash key for external caches *)
@@ -12,6 +20,11 @@ type t = {
   max_facts : int;
   mutable closure_cache : Closure.t option;
   mutable pending : op list;  (* reversed: newest first *)
+  mutable closure_mode : closure_mode;
+  mutable demand_cache : Magic.t option;  (* demand state; generation-free, kept
+                                             in sync via [demand_pending] *)
+  mutable demand_pending : op list;  (* reversed: newest first *)
+  mutable demand_domain : (int * Entity.t list) option;  (* generation-keyed *)
   mutable computations : int;
   mutable extensions : int;
   mutable retractions : int;
@@ -41,6 +54,10 @@ let create ?(max_facts = 2_000_000) () =
       max_facts;
       closure_cache = None;
       pending = [];
+      closure_mode = Eager;
+      demand_cache = None;
+      demand_pending = [];
+      demand_domain = None;
       computations = 0;
       extensions = 0;
       retractions = 0;
@@ -55,9 +72,15 @@ let symtab t = t.symtab
 let store t = t.store
 let relclass t = t.relclass
 
+let drop_demand t =
+  t.demand_cache <- None;
+  t.demand_pending <- [];
+  t.demand_domain <- None
+
 let invalidate t =
   t.closure_cache <- None;
   t.pending <- [];
+  drop_demand t;
   t.generation <- t.generation + 1
 
 let uid t = t.uid
@@ -80,7 +103,8 @@ let insert t fact =
      closure's content invalidate it. *)
   if added then begin
     t.generation <- t.generation + 1;
-    if t.closure_cache <> None then t.pending <- Insert fact :: t.pending
+    if t.closure_cache <> None then t.pending <- Insert fact :: t.pending;
+    if t.demand_cache <> None then t.demand_pending <- Insert fact :: t.demand_pending
   end;
   added
 
@@ -91,7 +115,8 @@ let remove t fact =
   let removed = Store.remove t.store fact in
   if removed then begin
     t.generation <- t.generation + 1;
-    if t.closure_cache <> None then t.pending <- Retract fact :: t.pending
+    if t.closure_cache <> None then t.pending <- Retract fact :: t.pending;
+    if t.demand_cache <> None then t.demand_pending <- Retract fact :: t.demand_pending
   end;
   removed
 
@@ -189,6 +214,157 @@ let closure t =
       t.computations <- t.computations + 1;
       closure
 
+(* --- demand-driven closure ------------------------------------------- *)
+
+let set_closure_mode t mode =
+  if mode <> t.closure_mode then begin
+    t.closure_mode <- mode;
+    (* Answer enumeration order can differ between modes (demand answers
+       are sorted); external generation-keyed caches must miss. *)
+    t.generation <- t.generation + 1
+  end
+
+let closure_mode t = t.closure_mode
+
+(* The demand state mirrors the closure cache's lifecycle: built lazily,
+   maintained incrementally through the pending ops (applied one at a
+   time — Magic.insert extends the demanded cones semi-naively,
+   Magic.retract is delete/rederive), dropped on rule/class changes. *)
+let demand_state t =
+  let m =
+    match t.demand_cache with
+    | Some m -> m
+    | None ->
+        let staged_rules, rules = compiled_rules t in
+        let m =
+          (* The store already indexes every bound-position combination;
+             evaluate demand over it directly rather than copying the
+             base — cold opens then cost only the demanded cone. *)
+          Magic.create_shared ~max_facts:t.max_facts ~staged_rules ~rules
+            {
+              Magic.bv_iter =
+                (fun ~s ~r ~tgt f ->
+                  Store.match_pattern t.store (Store.pattern ?s ?r ?t:tgt ()) f);
+              bv_mem = (fun fact -> Store.mem t.store fact);
+              bv_count =
+                (fun ~s ~r ~tgt ->
+                  Store.count_matches t.store (Store.pattern ?s ?r ?t:tgt ()));
+              bv_count_s =
+                (fun e -> Store.count_matches t.store (Store.pattern ~s:e ()));
+              bv_count_t =
+                (fun e -> Store.count_matches t.store (Store.pattern ~t:e ()));
+              bv_cardinal = (fun () -> Store.cardinal t.store);
+            }
+        in
+        t.demand_cache <- Some m;
+        m
+  in
+  (match t.demand_pending with
+  | [] -> ()
+  | pending ->
+      t.demand_pending <- [];
+      List.iter
+        (function Insert fact -> Magic.insert m fact | Retract fact -> Magic.retract m fact)
+        (List.rev pending));
+  m
+
+let with_demand t f =
+  try f (demand_state t)
+  with Magic.Diverged n ->
+    drop_demand t;
+    raise (Diverged n)
+
+let pat_parts (pat : Store.pattern) = (pat.s, pat.r, pat.t)
+
+(* Mode-aware closure accessors: the hot paths (match layer, eval,
+   probing, integrity, composition, broadness) go through these. Any
+   remaining caller of [closure t] in demand mode transparently forces
+   the eager closure — correct everywhere, just not goal-directed. *)
+
+let closure_match t pat f =
+  match t.closure_mode with
+  | Eager -> Closure.match_pattern (closure t) pat f
+  | Demand ->
+      let s, r, tgt = pat_parts pat in
+      with_demand t (fun m -> Magic.demand m ~s ~r ~tgt f)
+
+let closure_mem t fact =
+  match t.closure_mode with
+  | Eager -> Closure.mem (closure t) fact
+  | Demand -> with_demand t (fun m -> Magic.mem m fact)
+
+(* Selectivity estimate for join planning: eager asks the materialized
+   closure; demand counts base + already-derived cone postings without
+   deriving anything. A heuristic either way — plans may differ across
+   modes, answer sets cannot. *)
+let count_hint t pat =
+  match t.closure_mode with
+  | Eager -> Closure.count_pattern (closure t) pat
+  | Demand ->
+      let s, r, tgt = pat_parts pat in
+      with_demand t (fun m -> Magic.count_hint m ~s ~r ~tgt)
+
+let out_degree_hint t e =
+  match t.closure_mode with
+  | Eager -> Closure.out_degree (closure t) e
+  | Demand -> with_demand t (fun m -> Magic.degree_out m e)
+
+let in_degree_hint t e =
+  match t.closure_mode with
+  | Eager -> Closure.in_degree (closure t) e
+  | Demand -> with_demand t (fun m -> Magic.degree_in m e)
+
+let entity_in_closure t e =
+  match t.closure_mode with
+  | Eager -> Closure.entity_active (closure t) e
+  | Demand ->
+      with_demand t (fun m ->
+          Store.entity_active t.store e || Magic.entity_occurs m e)
+
+(* The active domain in demand mode, without forcing the closure: every
+   entity of a derived fact is propagated from some base fact or is a
+   rule-head constant, so the exact domain is the store's active entities
+   plus each enabled head constant that {!entity_in_closure} confirms.
+   Memoized per generation — the virtual-facts layer re-forces the
+   domain thunk repeatedly. *)
+let demand_domain t m =
+  match t.demand_domain with
+  | Some (g, entities) when g = t.generation -> entities
+  | _ ->
+      let seen = Hashtbl.create 256 in
+      Seq.iter (fun e -> Hashtbl.replace seen e ()) (Store.active_entities t.store);
+      let staged_rules, rules = compiled_rules t in
+      let add_head_consts (rule : Lsdb_datalog.Rule.t) =
+        List.iter
+          (fun (atom : Lsdb_datalog.Atom.t) ->
+            List.iter
+              (function
+                | Lsdb_datalog.Term.Const c ->
+                    if (not (Hashtbl.mem seen c)) && Magic.entity_occurs m c then
+                      Hashtbl.replace seen c ()
+                | Lsdb_datalog.Term.Var _ -> ())
+              [ atom.s; atom.r; atom.t ])
+          rule.heads
+      in
+      List.iter add_head_consts staged_rules;
+      List.iter add_head_consts rules;
+      let entities =
+        List.sort Entity.compare (Hashtbl.fold (fun e () acc -> e :: acc) seen [])
+      in
+      t.demand_domain <- Some (t.generation, entities);
+      entities
+
+let active_domain t =
+  match t.closure_mode with
+  | Eager -> Closure.active_entities (closure t)
+  | Demand -> with_demand t (fun m -> List.to_seq (demand_domain t m))
+
+let demand_stats t =
+  match (t.closure_mode, t.demand_cache) with
+  | Demand, _ -> Some (with_demand t Magic.stats)
+  | Eager, Some m -> Some (Magic.stats m)
+  | Eager, None -> None
+
 (* --- rule and classification changes -------------------------------- *)
 
 (* Rule toggles fall back to a full recompute only when the touched rule
@@ -208,6 +384,9 @@ let drop_cache t =
    covers pending mutations too. *)
 let after_rule_disabled t name =
   t.generation <- t.generation + 1;
+  (* Demand state is cheap to rebuild (nothing is derived until the next
+     goal), so any rule toggle just drops it. *)
+  drop_demand t;
   match t.closure_cache with
   | None -> ()
   | Some _ -> (
@@ -223,6 +402,7 @@ let after_rule_disabled t name =
    computed without a stage cannot grow one. *)
 let after_rule_enabled t (rule : Rule.t) =
   t.generation <- t.generation + 1;
+  drop_demand t;
   match t.closure_cache with
   | None -> ()
   | Some _ ->
@@ -285,6 +465,9 @@ let remove_rule t name =
    nothing at all. *)
 let reclassify t e ~is_class_now ~declare =
   if Relclass.is_class t.relclass e <> is_class_now then begin
+    (* Compiled guards read the classification live, so the demand
+       state's past derivations may no longer be justified: rebuild. *)
+    drop_demand t;
     (match t.closure_cache with
     | None -> ()
     | Some _ -> (
@@ -308,7 +491,7 @@ let declare_individual_relationship t e =
    domains. *)
 let prepare_readers t = Closure.prepare_readers (closure t)
 
-let mem t fact = Closure.mem (closure t) fact
+let mem t fact = closure_mem t fact
 let closure_computations t = t.computations
 let closure_extensions t = t.extensions
 let closure_retractions t = t.retractions
@@ -330,6 +513,10 @@ let copy t =
       max_facts = t.max_facts;
       closure_cache = None;
       pending = [];
+      closure_mode = t.closure_mode;
+      demand_cache = None;
+      demand_pending = [];
+      demand_domain = None;
       computations = 0;
       extensions = 0;
       retractions = 0;
@@ -342,3 +529,4 @@ let copy t =
   Symtab.iter (fun id -> ignore (Symtab.intern fresh.symtab (Symtab.name t.symtab id))) t.symtab;
   Store.iter (fun fact -> ignore (Store.add fresh.store fact)) t.store;
   fresh
+

@@ -137,8 +137,59 @@ exception Diverged of int
 (** The cached closure, recomputed if a mutation occurred. *)
 val closure : t -> Closure.t
 
-(** [mem t fact] — membership in the closure (stored or inferred). *)
+(** [mem t fact] — membership in the closure (stored or inferred).
+    Mode-aware: see {!closure_mode}. *)
 val mem : t -> Fact.t -> bool
+
+(** {1 Closure mode (demand-driven evaluation)}
+
+    [Eager] (the default) materializes the whole closure up front and
+    serves every goal from it. [Demand] routes the hot paths (match
+    layer, eval, probing, integrity, composition, broadness) through a
+    magic-sets state ({!Lsdb_datalog.Magic}) that derives only the cone
+    of facts each goal can touch, memoizing demanded cones for the
+    lifetime of the heap and maintaining them incrementally under
+    insertion (semi-naive) and retraction (delete/rederive). Rule or
+    classification changes rebuild the demand state from scratch.
+
+    Answer {e sets} are identical in both modes (the eager closure is the
+    retained oracle; see DESIGN.md); enumeration {e order} may differ —
+    demand answers arrive in [Fact.compare] order. Code that calls
+    {!closure} directly in demand mode (explain, save, …) transparently
+    falls back to forcing the eager closure. *)
+
+type closure_mode = Eager | Demand
+
+(** Switching modes keeps both caches but bumps the generation, so
+    order-sensitive external caches miss. *)
+val set_closure_mode : t -> closure_mode -> unit
+
+val closure_mode : t -> closure_mode
+
+(** [closure_match t pat f] — every closure fact matching [pat], through
+    the current mode. *)
+val closure_match : t -> Store.pattern -> (Fact.t -> unit) -> unit
+
+val closure_mem : t -> Fact.t -> bool
+
+(** Upper bound on the facts {!closure_match} would enumerate — a join
+    planning heuristic (eager: exact posting lengths; demand: base plus
+    already-derived cones, never deriving). *)
+val count_hint : t -> Store.pattern -> int
+
+val out_degree_hint : t -> Entity.t -> int
+val in_degree_hint : t -> Entity.t -> int
+
+(** Entities occurring in some closure fact (the paper's active domain).
+    In demand mode this is computed exactly without materializing the
+    closure: base actives plus rule-head constants verified present. *)
+val active_domain : t -> Entity.t Seq.t
+
+val entity_in_closure : t -> Entity.t -> bool
+
+(** Statistics of the demand state, if one exists (forced into existence
+    when the mode is [Demand]). *)
+val demand_stats : t -> Lsdb_datalog.Magic.stats option
 
 (** Force invalidation (rarely needed; mutations do it automatically). *)
 val invalidate : t -> unit
@@ -167,3 +218,4 @@ val facts : t -> Fact.t list
 
 (** A deep copy sharing nothing with the original. *)
 val copy : t -> t
+

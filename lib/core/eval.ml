@@ -58,9 +58,11 @@ let pattern_of env (tpl : Template.t) =
      before, and always after indexed atoms, whose counts they lack.
    - groups 3/4 — disjunctive/existential, then universal subformulas.
 
-   The closure is passed lazily: it is forced on the first group-1 probe
-   only (atom satisfaction forces it anyway). *)
-let cost db closure env = function
+   Selectivity goes through {!Database.count_hint}: eager mode forces the
+   closure on the first group-1 probe (atom satisfaction forces it
+   anyway); demand mode counts base + derived-cone postings without
+   forcing anything. *)
+let cost db env = function
   | Query.Atom tpl ->
       let unbound =
         List.filter (fun v -> not (Hashtbl.mem env v)) (Template.distinct_vars tpl)
@@ -86,7 +88,7 @@ let cost db closure env = function
           | bound -> bound
         in
         ( 1,
-          Closure.count_pattern (Lazy.force closure)
+          Database.count_hint db
             { Store.s = wild pat.Store.s; r = pat.Store.r; t = wild pat.Store.t } )
   | Query.Or _ | Query.Exists _ -> (3, 0)
   | Query.Forall _ -> (4, 0)
@@ -133,7 +135,6 @@ let m_candidates =
 let eval ?(opts = Match_layer.eval_opts) ?(reorder = true) db q =
   Lsdb_obs.Trace.span "eval" @@ fun () ->
   let q = alpha_rename q in
-  let closure = lazy (Database.closure db) in
   let env : (string, Entity.t) Hashtbl.t = Hashtbl.create 16 in
   let rec sat q k =
     match q with
@@ -203,9 +204,9 @@ let eval ?(opts = Match_layer.eval_opts) ?(reorder = true) db q =
           List.fold_left
             (fun acc q ->
               match acc with
-              | None -> Some (cost db closure env q, q)
+              | None -> Some (cost db env q, q)
               | Some (best_cost, _) ->
-                  let c = cost db closure env q in
+                  let c = cost db env q in
                   if c < best_cost then Some (c, q) else acc)
             None pending
         in
@@ -242,7 +243,10 @@ let eval ?(opts = Match_layer.eval_opts) ?(reorder = true) db q =
          sat q (fun () -> raise Sat)
        with Sat -> rows := [ [||] ])
   | _ -> sat q emit);
-  { vars; rows = List.rev !rows }
+  (* Canonical row order: enumeration order depends on the closure mode
+     (the eager index yields hash order, demand cones Fact.compare
+     order) and must not leak into answers. *)
+  { vars; rows = List.sort Stdlib.compare !rows }
 
 let holds ?opts db q = (eval ?opts db q).rows <> []
 

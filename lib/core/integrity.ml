@@ -3,30 +3,46 @@ type conflict = Contradictory of Fact.t | Math
 type violation = { fact : Fact.t; conflict : conflict }
 
 let violations db =
-  let closure = Database.closure db in
   let symtab = Database.symtab db in
   let out = ref [] in
   (* Contradiction pairs: for every (r,⊥,r') in the closure, facts related
      by r and also by r'. ⊥ is symmetric (axiom (⊥,↔,⊥) + inversion), so
-     each unordered pair is reported once via an order filter. *)
-  Closure.match_pattern closure (Store.pattern ~r:Entity.contra ()) (fun contra_fact ->
+     each unordered pair is reported once via an order filter. The
+     mode-aware accessors keep this goal-directed under demand: only the
+     ⊥ extent, the extents of relationships actually declared
+     contradictory, and the candidate clash memberships are derived. *)
+  Database.closure_match db (Store.pattern ~r:Entity.contra ()) (fun contra_fact ->
       let r = contra_fact.s and r' = contra_fact.t in
       if r <= r' && not (Entity.equal r Entity.contra) then
-        Closure.match_pattern closure (Store.pattern ~r ()) (fun fact ->
+        Database.closure_match db (Store.pattern ~r ()) (fun fact ->
             let clash = Fact.make fact.s r' fact.t in
             let clashes =
-              Closure.mem closure clash
+              Database.closure_mem db clash
               || Virtual_facts.holds symtab fact.s r' fact.t = Some true
             in
             if clashes && not (r = r' && Fact.compare fact clash > 0) then
               out := { fact; conflict = Contradictory clash } :: !out));
   (* Oracle refutations: stored or derived facts the mathematics denies. *)
-  Closure.iter
-    (fun fact ->
-      match Virtual_facts.holds symtab fact.s fact.r fact.t with
-      | Some false -> out := { fact; conflict = Math } :: !out
-      | Some true | None -> ())
-    closure;
+  (match Database.closure_mode db with
+  | Database.Eager ->
+      Closure.iter
+        (fun fact ->
+          match Virtual_facts.holds symtab fact.s fact.r fact.t with
+          | Some false -> out := { fact; conflict = Math } :: !out
+          | Some true | None -> ())
+        (Database.closure db)
+  | Database.Demand ->
+      (* [Virtual_facts.holds] refutes only comparator relationships (the
+         ⊑/Δ/∇ branch answers [Some true] or [None]), so demanding the six
+         comparator extents covers every possible Math violation without
+         materializing the closure. *)
+      List.iter
+        (fun cmp ->
+          Database.closure_match db (Store.pattern ~r:cmp ()) (fun fact ->
+              match Virtual_facts.holds symtab fact.s fact.r fact.t with
+              | Some false -> out := { fact; conflict = Math } :: !out
+              | Some true | None -> ()))
+        [ Entity.lt; Entity.gt; Entity.eq; Entity.neq; Entity.le; Entity.ge ]);
   List.rev !out
 
 let is_valid db = violations db = []

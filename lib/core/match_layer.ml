@@ -4,7 +4,7 @@ let eval_opts = { virtual_math = true; virtual_hierarchy = true; composition = t
 let nav_opts = { virtual_math = false; virtual_hierarchy = false; composition = true }
 let plain_opts = { virtual_math = false; virtual_hierarchy = false; composition = false }
 
-let domain db () = Closure.active_entities (Database.closure db)
+let domain db () = Database.active_domain db
 
 (* The oracle owns a ground triple when it can decide it; stored facts in
    that region are suppressed to avoid double emission and to keep the
@@ -74,9 +74,8 @@ let rec enumerate ?(opts = eval_opts) db (pat : Store.pattern) emit =
             emit fact
           end)
   | None ->
-  let closure = Database.closure db in
   let symtab = Database.symtab db in
-  Closure.match_pattern closure pat (fun fact ->
+  Database.closure_match db pat (fun fact ->
       if not (oracle_owns opts symtab fact) then emit fact);
   let wants_virtual =
     match pat.r with
@@ -288,5 +287,5 @@ let holds ?(opts = eval_opts) db (fact : Fact.t) =
          || (fact.r = Entity.gen && opts.virtual_hierarchy) ->
       answer
   | _ ->
-      Closure.mem (Database.closure db) fact
+      Database.closure_mem db fact
       || exists ~opts db (Store.pattern ~s:fact.s ~r:fact.r ~t:fact.t ())

@@ -54,18 +54,25 @@ let neighborhood ?(opts = Match_layer.nav_opts) ?(derived = true) db entity =
   }
 
 let try_entity ?(opts = Match_layer.nav_opts) db entity =
-  let out = ref [] in
   let seen = Fact.Tbl.create 32 in
-  let emit fact =
-    if not (Fact.Tbl.mem seen fact) then begin
-      Fact.Tbl.add seen fact ();
-      out := fact :: !out
-    end
+  (* Each position group is sorted: the backends enumerate in different
+     orders (the eager index by hash, the demand cones by Fact.compare),
+     and the listing must not depend on which one answered. First-seen
+     dedup across groups is order-independent because a fact's group is
+     decided by the pattern it matches, not by enumeration order. *)
+  let collect pattern =
+    let group = ref [] in
+    Match_layer.candidates ~opts db pattern (fun fact ->
+        if not (Fact.Tbl.mem seen fact) then begin
+          Fact.Tbl.add seen fact ();
+          group := fact :: !group
+        end);
+    List.sort Fact.compare !group
   in
-  Match_layer.candidates ~opts db (Store.pattern ~s:entity ()) emit;
-  Match_layer.candidates ~opts db (Store.pattern ~r:entity ()) emit;
-  Match_layer.candidates ~opts db (Store.pattern ~t:entity ()) emit;
-  List.rev !out
+  let as_source = collect (Store.pattern ~s:entity ()) in
+  let as_rel = collect (Store.pattern ~r:entity ()) in
+  let as_target = collect (Store.pattern ~t:entity ()) in
+  as_source @ as_rel @ as_target
 
 (* Associations are assembled from two sources so truncation is
    observable: the direct relationships come from the match layer with

@@ -62,7 +62,13 @@ let probe ?policy ?(max_waves = 8) ?(max_wave_width = 512) ?opts ?pool db q =
   Metrics.time m_probe_seconds @@ fun () ->
   let pool = match pool with Some _ as p -> p | None -> Database.pool db in
   let parallel =
-    match pool with Some p when Pool.size p > 1 -> Some p | _ -> None
+    (* Demand mode evaluates sequentially: the demand engine grows its
+       cones in place, so wave candidates are not read-only probes there.
+       Answers are unaffected — only wave wall-clock changes. *)
+    match pool with
+    | Some p when Pool.size p > 1 && Database.closure_mode db = Database.Eager ->
+        Some p
+    | _ -> None
   in
   (* Wave evaluation is read-only, so one candidate query per pool lane is
      safe once the closure and its lazy caches are forced up front. Results

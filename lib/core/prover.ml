@@ -244,17 +244,47 @@ and chain state depth ~consumer stage pattern (rule : Rule.t) (head : Template.t
     body rule.body
   end
 
+(* Cross-call tabling: the goal table is kept per database (and per
+   domain — no locking) and keyed by {!Database.generation}, the same
+   generation source the match-layer answer cache and the demand-mode
+   cone memos use. One rule toggle or fact mutation bumps the generation
+   and invalidates all of them consistently; a repeat query over an
+   unchanged heap replays tabled answers with zero new expansions (the
+   counter [prove_counted] reports — pinned by a regression test). *)
+type memo_entry = { gen : int; state : state }
+
+let memo_dls : (int, memo_entry) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+let state_for ~max_depth ~max_expansions db =
+  let memo = Domain.DLS.get memo_dls in
+  let uid = Database.uid db in
+  let gen = Database.generation db in
+  match Hashtbl.find_opt memo uid with
+  | Some { gen = g; state }
+    when g = gen
+         && state.max_depth = max_depth
+         && state.max_expansions = max_expansions
+         && state.db == db ->
+      (* Fresh budget per run; the tabled answers persist. *)
+      state.expansions <- 0;
+      state
+  | _ ->
+      let state =
+        {
+          db;
+          table = Hashtbl.create 64;
+          worklist = [];
+          expansions = 0;
+          max_depth;
+          max_expansions;
+        }
+      in
+      Hashtbl.replace memo uid { gen; state };
+      state
+
 let run ?(max_depth = 32) ?(max_expansions = 200_000) db pattern =
-  let state =
-    {
-      db;
-      table = Hashtbl.create 64;
-      worklist = [];
-      expansions = 0;
-      max_depth;
-      max_expansions;
-    }
-  in
+  let state = state_for ~max_depth ~max_expansions db in
   ignore (expand state state.max_depth Full pattern);
   (* Dependency-driven convergence: re-expand goals whose dependencies
      grew, until quiescence. Termination: answers grow monotonically

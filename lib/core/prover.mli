@@ -37,6 +37,13 @@ val solve :
   (string * Entity.t) list list
 
 (** [prove_counted] additionally returns the number of goal expansions
-    (for benchmarks). [max_expansions] defaults to 200_000. *)
+    performed {e by this call} (for benchmarks). [max_expansions]
+    defaults to 200_000.
+
+    Goal tables persist across calls, per database and per domain, keyed
+    by {!Database.generation} — the same generation source as the
+    match-layer answer cache and the demand-mode cone memos, so a rule
+    toggle or fact mutation invalidates all of them together. A repeat
+    proof over an unchanged heap therefore reports [0] expansions. *)
 val prove_counted :
   ?max_depth:int -> ?max_expansions:int -> Database.t -> Fact.t -> bool * int

@@ -118,15 +118,13 @@ let constants q =
        (atoms q))
 
 let unmatched_entities db q =
-  let closure = Database.closure db in
-  let active = Hashtbl.create 64 in
-  Seq.iter (fun e -> Hashtbl.replace active e ()) (Closure.active_entities closure);
   let symtab = Database.symtab db in
   let seen = Hashtbl.create 8 in
   List.filter_map
     (fun (_, _, e) ->
       if
-        Entity.is_special e || Symtab.is_numeric symtab e || Hashtbl.mem active e
+        Entity.is_special e || Symtab.is_numeric symtab e
+        || Database.entity_in_closure db e
         || Hashtbl.mem seen e
       then None
       else begin

@@ -64,9 +64,6 @@ let fuzzy ?(limit = 10) ?(max_distance = 2) db name =
   |> List.map snd
 
 let suggestions ?(limit = 5) db name =
-  let closure = Database.closure db in
-  let active = Hashtbl.create 64 in
-  Seq.iter (fun e -> Hashtbl.replace active e ()) (Closure.active_entities closure);
   fuzzy ~limit:(limit * 4) db name
-  |> List.filter (Hashtbl.mem active)
+  |> List.filter (Database.entity_in_closure db)
   |> List.filteri (fun i _ -> i < limit)

@@ -177,6 +177,7 @@ let matches_pattern { s; r; t = tgt } (fact : Fact.t) =
 let match_scan t pat f = iter (fun fact -> if matches_pattern pat fact then f fact) t
 
 let active_entities t = Int_tbl.to_seq_keys t.refcount
+let entity_active t e = Int_tbl.mem t.refcount e
 
 let copy t =
   let fresh = create ~size_hint:(max 256 (cardinal t)) () in

@@ -45,4 +45,7 @@ val match_scan : t -> pattern -> (Fact.t -> unit) -> unit
 (** Distinct entities appearing in some fact, with multiplicity ignored. *)
 val active_entities : t -> Entity.t Seq.t
 
+(** Does the entity appear in some stored fact? O(1). *)
+val entity_active : t -> Entity.t -> bool
+
 val copy : t -> t

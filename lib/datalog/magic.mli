@@ -1,0 +1,129 @@
+(** Demand-driven closure: a magic-sets / QSQ-style transformation of the
+    triple rules, evaluated semi-naively over the existing {!Index}
+    machinery.
+
+    Where {!Engine.closure} saturates the whole fact set up front, a
+    {!t} starts from the base facts alone and derives only the {e cone}
+    a goal can touch: {!demand} seeds a magic predicate from the goal's
+    bound arguments (the demanded pattern), unifies it with rule heads
+    to create {e activations} (rules specialised by the head binding,
+    body reordered most-bound-first — the sideways information passing),
+    and runs their joins to fixpoint. Body atoms whose own pattern has
+    not been demanded yet queue a sub-demand; facts those sub-demands
+    derive re-enter the joins as deltas, so evaluation is semi-naive
+    across the whole demand graph.
+
+    Strata mirror {!Lsdb.Closure}: staged rules (inversion) close over
+    base facts only, main rules over base ∪ stage. A demanded pattern at
+    the main level implies the same demand at the stage level.
+
+    Demanded cones are memoized for the lifetime of the state: demanding
+    a pattern already covered by an earlier (possibly more general)
+    demand answers straight from the cone indexes. {!insert} maintains
+    the cones semi-naively; {!retract} is DRed-style delete/rederive
+    over a provenance/support index scoped to the cones.
+
+    Evaluation is deliberately single-threaded: cones are small (that is
+    the point of demand), and answer sets are therefore identical for
+    every pool size by construction. {!demand} enumerates its answers in
+    {!Triple.compare} order. *)
+
+type t
+
+(** The base facts as a read-only view. {!create_shared} evaluates over
+    the caller's own fact index instead of copying it, so building a
+    demand state is O(1) in the base — a cold start pays only for the
+    cone it derives. The view must reflect every base fact at all times;
+    the caller keeps it current and reports mutations via {!insert} and
+    {!retract}. *)
+type base_view = {
+  bv_iter : s:int option -> r:int option -> tgt:int option -> (Triple.t -> unit) -> unit;
+      (** iterate base facts matching the pattern ([None] = wildcard) *)
+  bv_mem : Triple.t -> bool;
+  bv_count : s:int option -> r:int option -> tgt:int option -> int;
+      (** upper bound on what [bv_iter] enumerates (selectivity hint) *)
+  bv_count_s : int -> int;  (** out-degree hint *)
+  bv_count_t : int -> int;  (** in-degree hint *)
+  bv_cardinal : unit -> int;
+}
+
+exception Diverged of int
+(** Total fact count (base + cones) exceeded [max_facts]. *)
+
+type stats = {
+  goals : int;  (** external {!demand}/{!mem} calls *)
+  memo_hits : int;  (** goals answered by an already-demanded cone *)
+  memo_misses : int;  (** goals that ran a derivation *)
+  magic_patterns : int;  (** demanded patterns (magic predicates) *)
+  activations : int;  (** head-specialised rule instances created *)
+  base_facts : int;
+  stage_cone_facts : int;  (** facts derived into the stage stratum's cone *)
+  full_cone_facts : int;  (** facts derived into the main stratum's cone *)
+  deltas : int;  (** delta triples fed through activation joins *)
+}
+
+(** [create ?max_facts ~staged_rules ~rules base] copies the base facts
+    into a private index; nothing is derived until the first {!demand}. *)
+val create :
+  ?max_facts:int ->
+  ?size_hint:int ->
+  staged_rules:Rule.t list ->
+  rules:Rule.t list ->
+  Triple.t Seq.t ->
+  t
+
+(** [create_shared ~staged_rules ~rules view] evaluates directly over
+    [view] — no copy, O(1) setup. The caller owns the base: {!insert}
+    must be called after (and only after) a new fact entered the view,
+    {!retract} after (and only after) one left it. [?owned] is internal
+    plumbing for {!create}. *)
+val create_shared :
+  ?max_facts:int ->
+  staged_rules:Rule.t list ->
+  rules:Rule.t list ->
+  ?owned:Index.t ->
+  base_view ->
+  t
+
+(** [demand t ~s ~r ~tgt f] derives (or re-uses) the cone of the pattern
+    and calls [f] on every closure fact matching it, in {!Triple.compare}
+    order. [None] positions are wildcards. *)
+val demand :
+  t -> s:int option -> r:int option -> tgt:int option -> (Triple.t -> unit) -> unit
+
+(** [mem t triple] — is [triple] in the closure? Demands the ground
+    pattern. *)
+val mem : t -> Triple.t -> bool
+
+(** [count_hint t ~s ~r ~tgt] — upper bound on base + already-derived
+    cone facts matching the pattern. Never derives; selectivity heuristic
+    only (posting lengths include tombstones). *)
+val count_hint : t -> s:int option -> r:int option -> tgt:int option -> int
+
+val degree_out : t -> int -> int
+(** Out-degree over base + cones; heuristic, like {!count_hint}. *)
+
+val degree_in : t -> int -> int
+
+(** [entity_occurs t e] — does [e] occur (as source, relationship or
+    target) in any closure fact? Demands the three single-position
+    patterns for [e]. *)
+val entity_occurs : t -> int -> bool
+
+(** [insert t triple] adds a base fact and extends every demanded cone
+    it reaches (semi-naive, the fact entering as a delta). A cone fact
+    asserted as base is demoted to base. On a {!create_shared} state the
+    fact must already be in the view. *)
+val insert : t -> Triple.t -> unit
+
+(** [retract t triple] removes a base fact: the cone facts whose
+    recorded derivation transitively rests on it are over-deleted, then
+    every activation re-runs so survivors (including the retracted fact
+    itself, if derivable) are restored. On a {!create_shared} state the
+    fact must already be gone from the view. *)
+val retract : t -> Triple.t -> unit
+
+val cone_cardinal : t -> int
+(** Derived facts across both cones. *)
+
+val stats : t -> stats

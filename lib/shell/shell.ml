@@ -52,6 +52,7 @@ let help =
   limit N                       set the composition chain bound (§6.1)
   check                         report contradictions in the closure
   stats                         database statistics
+  .closure [eager|demand]       show / set the closure mode (demand derives on demand)
   .stats                        observability counters (engine, probing, pool, storage)
   .profile [on|off]             show the last query profile / toggle tracing
   .slowlog [MS]                 show slow queries / set the slow threshold
@@ -74,13 +75,35 @@ let answer_text db answer =
       else Pretty.grid ~headers:vars (Eval.rows_named (Database.symtab db) answer)
 
 let stats_text db =
-  let closure = Database.closure db in
+  (* In demand mode, statistics must not force the eager closure — that
+     would defeat the whole point of the mode. Report the derived-cone
+     sizes instead. *)
+  let closure_line =
+    match Database.closure_mode db with
+    | Database.Eager ->
+        let closure = Database.closure db in
+        Printf.sprintf "closure: %d (%d derived, %d rounds)" (Closure.cardinal closure)
+          (Closure.derived_count closure) (Closure.rounds closure)
+    | Database.Demand -> (
+        match Database.demand_stats db with
+        | Some s ->
+            Printf.sprintf
+              "closure (demand): %d cone facts derived (%d stage, %d full) over %d \
+               base facts"
+              (s.Lsdb_datalog.Magic.stage_cone_facts + s.Lsdb_datalog.Magic.full_cone_facts)
+              s.Lsdb_datalog.Magic.stage_cone_facts s.Lsdb_datalog.Magic.full_cone_facts
+              s.Lsdb_datalog.Magic.base_facts
+        | None -> "closure (demand): no goals demanded yet")
+  in
   String.concat "\n"
     [
       Printf.sprintf "entities: %d" (Database.entity_count db);
       Printf.sprintf "base facts: %d" (Database.base_cardinal db);
-      Printf.sprintf "closure: %d (%d derived, %d rounds)" (Closure.cardinal closure)
-        (Closure.derived_count closure) (Closure.rounds closure);
+      closure_line;
+      Printf.sprintf "closure mode: %s"
+        (match Database.closure_mode db with
+        | Database.Eager -> "eager"
+        | Database.Demand -> "demand");
       Printf.sprintf "composition limit: %d" (Database.limit db);
       Printf.sprintf "rules: %d enabled / %d"
         (List.length (Database.enabled_rules db))
@@ -129,6 +152,14 @@ let obs_stats_text db =
       Printf.sprintf "retraction cones: %d facts over-deleted, %d restored"
         (c "lsdb_engine_retract_cone_facts_total")
         (c "lsdb_engine_restored_facts_total");
+      Printf.sprintf
+        "demand: %d goals (%d memo hits / %d misses), %d magic patterns, %d \
+         cone facts derived"
+        (c "lsdb_demand_goals_total")
+        (c "lsdb_demand_memo_hits_total")
+        (c "lsdb_demand_memo_misses_total")
+        (c "lsdb_demand_magic_predicates_total")
+        (c "lsdb_demand_cone_facts_total");
       (let direction d =
          c ~labels:[ ("direction", d) ] "lsdb_composition_expansions_total"
        in
@@ -317,6 +348,18 @@ and run t out words =
           | [] -> say "no contradictions"
           | violations -> List.iter (fun v -> say "%s" (Integrity.describe db v)) violations)
       | "stats", _ -> say "%s" (stats_text db)
+      | ".closure", [] ->
+          say "closure mode: %s"
+            (match Database.closure_mode db with
+            | Database.Eager -> "eager"
+            | Database.Demand -> "demand")
+      | ".closure", [ "eager" ] ->
+          Database.set_closure_mode db Database.Eager;
+          say "closure mode: eager"
+      | ".closure", [ "demand" ] ->
+          Database.set_closure_mode db Database.Demand;
+          say "closure mode: demand"
+      | ".closure", _ -> say ".closure takes 'eager' or 'demand'"
       | ".stats", _ -> say "%s" (obs_stats_text db)
       | ".metrics", _ -> Buffer.add_string out (Metrics.expose ())
       | ".profile", [] -> (
