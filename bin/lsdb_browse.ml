@@ -17,14 +17,35 @@ let repl shell =
     print_string "lsdb> ";
     match read_line () with
     | exception End_of_file -> ()
+    | exception Sys.Break ->
+        (* Second Ctrl-C (or a Ctrl-C with no query in flight): leave the
+           loop so every Fun.protect finalizer on the way out runs. *)
+        print_newline ()
     | "quit" | "exit" -> ()
-    | line ->
-        print_string (Lsdb_shell.Shell.execute shell line);
-        loop ()
+    | line -> (
+        match Lsdb_shell.Shell.execute shell line with
+        | output ->
+            print_string output;
+            loop ()
+        | exception Sys.Break -> print_newline ())
   in
   loop ()
 
-let drive ?limit ?domains ?journal ~closure_mode db command =
+(* First Ctrl-C cancels the in-flight query cooperatively through its
+   governor token (the query returns with a "cancelled after …" notice);
+   a second one — or one with nothing running — raises [Sys.Break]. *)
+let install_sigint shell =
+  try
+    Sys.set_signal Sys.sigint
+      (Sys.Signal_handle
+         (fun _ ->
+           match Lsdb_shell.Shell.active_governor shell with
+           | Some gov when not (Lsdb_exec.Governor.cancelled gov) ->
+               Lsdb_exec.Governor.cancel gov
+           | _ -> raise Sys.Break))
+  with Invalid_argument _ | Sys_error _ -> ()
+
+let drive ?limit ?domains ?journal ?deadline_ms ~closure_mode db command =
   (* A session-only override of the composition chain bound: applied
      after any journal replay, never journaled itself. *)
   Option.iter (fun n -> Database.set_limit db n) limit;
@@ -46,6 +67,8 @@ let drive ?limit ?domains ?journal ~closure_mode db command =
       Option.iter Lsdb_exec.Pool.shutdown pool)
     (fun () ->
       let shell = Lsdb_shell.Shell.create ?journal db in
+      Lsdb_shell.Shell.set_deadline_ms shell deadline_ms;
+      install_sigint shell;
       match command with
       | Some cmd -> print_string (Lsdb_shell.Shell.execute shell cmd)
       | None -> repl shell)
@@ -107,6 +130,14 @@ let slow_ms =
   in
   Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS" ~doc)
 
+let deadline_ms_flag =
+  let doc =
+    "Per-query wall deadline in milliseconds: a query exceeding it stops \
+     early with a warning and sound partial answers (see the shell's \
+     '.deadline' and '.budget' commands)."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
 let closure_flag =
   let mode =
     Arg.enum [ ("eager", Database.Eager); ("demand", Database.Demand) ]
@@ -123,7 +154,7 @@ let closure_flag =
   Arg.(value & opt (some mode) None & info [ "closure" ] ~docv:"MODE" ~doc)
 
 let rec main file demo dir command domains salvage metrics_file slow_ms limit
-    closure =
+    closure deadline_ms =
   (match metrics_file with
   | Some _ -> Lsdb_obs.Metrics.set_enabled true
   | None -> ());
@@ -147,9 +178,9 @@ let rec main file demo dir command domains salvage metrics_file slow_ms limit
             (fun p -> prerr_string (Lsdb_obs.Trace.render p))
             (List.rev (Lsdb_obs.Trace.slowlog ())))
   @@ fun () ->
-  run file demo dir command domains salvage limit closure
+  run file demo dir command domains salvage limit closure deadline_ms
 
-and run file demo dir command domains salvage limit closure =
+and run file demo dir command domains salvage limit closure deadline_ms =
   (* Demand is the default for --dir cold opens (the heap may be far
      larger than anything this session will query); in-memory sessions
      default to eager, the long-standing behavior. *)
@@ -158,7 +189,7 @@ and run file demo dir command domains salvage limit closure =
   | Some name, _ -> (
       match List.assoc_opt name Lsdb_shell.Shell.demos with
       | Some build ->
-          drive ?limit ~domains
+          drive ?limit ~domains ?deadline_ms
             ~closure_mode:(closure_mode ~default:Database.Eager)
             (build ()) command;
           0
@@ -199,7 +230,7 @@ and run file demo dir command domains salvage limit closure =
           Fun.protect
             ~finally:(fun () -> Lsdb_storage.Persistent.close p)
             (fun () ->
-              drive ?limit ~domains ~journal
+              drive ?limit ~domains ~journal ?deadline_ms
                 ~closure_mode:(closure_mode ~default:Database.Demand)
                 db command);
           0)
@@ -212,7 +243,7 @@ and run file demo dir command domains salvage limit closure =
       with
       | Ok n ->
           if n > 0 then Printf.printf "loaded %d facts from %s\n" n (Option.get file);
-          drive ?limit ~domains
+          drive ?limit ~domains ?deadline_ms
             ~closure_mode:(closure_mode ~default:Database.Eager)
             db command;
           0
@@ -229,6 +260,7 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ file $ demo $ persistent_dir $ command_line $ domains
-      $ salvage $ metrics_file $ slow_ms $ limit_flag $ closure_flag)
+      $ salvage $ metrics_file $ slow_ms $ limit_flag $ closure_flag
+      $ deadline_ms_flag)
 
 let () = exit (Cmd.eval' cmd)

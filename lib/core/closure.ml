@@ -20,13 +20,35 @@ type t = {
 
 exception Diverged = D.Engine.Diverged
 
-let compute ?(max_facts = 2_000_000) ?pool ?(staged_rules = []) ~rules store =
+let compute ?(max_facts = 2_000_000) ?pool ?gov ?(staged_rules = []) ~rules store =
+  let tripped () =
+    match gov with
+    | Some g -> Lsdb_exec.Governor.tripped g <> None
+    | None -> false
+  in
   let staged, result =
     match staged_rules with
-    | [] -> (None, D.Engine.closure ~max_facts ?pool rules (Store.to_seq store))
+    | [] -> (None, D.Engine.closure ~max_facts ?pool ?gov rules (Store.to_seq store))
     | _ ->
-        let stage = D.Engine.closure ~max_facts ?pool staged_rules (Store.to_seq store) in
-        let result = D.Engine.closure ~max_facts ?pool rules (D.Index.to_seq stage.index) in
+        let stage =
+          D.Engine.closure ~max_facts ?pool ?gov staged_rules (Store.to_seq store)
+        in
+        if tripped () then
+          (* The budget tripped inside the inversion stratum. Running the
+             main stratum now would reload the whole stage index
+             (ungoverned, by the base-facts invariant) only to trip at
+             its first checkpoint — for a wall deadline that means twice
+             the budget gone on index loads alone. Adopt the stage as the
+             partial result instead: it holds every base fact plus
+             whatever inversions landed, the cache is flagged partial and
+             discarded at the next governor transition, and retraction on
+             it stays sound because the delete/rederive walk follows
+             recorded provenance, not the rule list. *)
+          (None, stage)
+        else
+        let result =
+          D.Engine.closure ~max_facts ?pool ?gov rules (D.Index.to_seq stage.index)
+        in
         (* The stage's derived facts are base facts to the main run;
            restore their provenance and derivation order. *)
         D.Triple.Tbl.iter
@@ -86,7 +108,7 @@ let compact_derived t =
   if t.derived_listed > (2 * D.Triple.Tbl.length t.result.provenance) + 1024 then
     refilter_derived t
 
-let extend ?(max_facts = 2_000_000) ?pool t facts =
+let extend ?(max_facts = 2_000_000) ?pool ?gov t facts =
   (* A fact asserted as base that the closure had already derived stops
      being derived: a from-scratch recompute records no derivation for
      base facts, and retraction must never delete a base fact just
@@ -104,12 +126,12 @@ let extend ?(max_facts = 2_000_000) ?pool t facts =
   let triples = List.to_seq facts in
   (match t.staged with
   | None ->
-      let result, added = D.Engine.extend ~max_facts ?pool t.rules t.result triples in
+      let result, added = D.Engine.extend ~max_facts ?pool ?gov t.rules t.result triples in
       t.result <- result;
       push_derived t added
   | Some stage ->
       let stage, stage_added =
-        D.Engine.extend ~max_facts ?pool t.staged_rules stage triples
+        D.Engine.extend ~max_facts ?pool ?gov t.staged_rules stage triples
       in
       t.staged <- Some stage;
       (* Stage provenance for the newly inverted facts carries over. *)
@@ -121,7 +143,7 @@ let extend ?(max_facts = 2_000_000) ?pool t facts =
           | _ -> ())
         stage_added;
       let result, added =
-        D.Engine.extend ~max_facts ?pool t.rules t.result (List.to_seq stage_added)
+        D.Engine.extend ~max_facts ?pool ?gov t.rules t.result (List.to_seq stage_added)
       in
       t.result <- result;
       push_derived t added);
@@ -135,14 +157,14 @@ let extend ?(max_facts = 2_000_000) ?pool t facts =
    stratum; restored stage facts get their fresh stage derivations
    mirrored into the main provenance {e before} the main support walk, so
    the main cone is never inflated by a stale inversion edge. *)
-let retract ?(max_facts = 2_000_000) ?pool t facts =
+let retract ?(max_facts = 2_000_000) ?pool ?gov t facts =
   (match t.staged with
   | None ->
-      let result, _ret = D.Engine.retract ~max_facts ?pool t.rules t.result facts in
+      let result, _ret = D.Engine.retract ~max_facts ?pool ?gov t.rules t.result facts in
       t.result <- result
   | Some stage ->
       let stage, sret =
-        D.Engine.retract ~max_facts ?pool t.staged_rules stage facts
+        D.Engine.retract ~max_facts ?pool ?gov t.staged_rules stage facts
       in
       t.staged <- Some stage;
       List.iter
@@ -152,7 +174,7 @@ let retract ?(max_facts = 2_000_000) ?pool t facts =
           | None -> ())
         sret.restored;
       let result, mret =
-        D.Engine.retract ~max_facts ?pool t.rules t.result sret.removed
+        D.Engine.retract ~max_facts ?pool ?gov t.rules t.result sret.removed
       in
       t.result <- result;
       (* Reconcile: anything the stage stratum kept is a base fact of the
@@ -174,7 +196,7 @@ let retract ?(max_facts = 2_000_000) ?pool t facts =
             | _ -> ())
           missing;
         let result, added =
-          D.Engine.extend ~max_facts ?pool t.rules t.result (List.to_seq missing)
+          D.Engine.extend ~max_facts ?pool ?gov t.rules t.result (List.to_seq missing)
         in
         t.result <- result;
         (* The retracted facts themselves are accounted for by the

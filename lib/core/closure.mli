@@ -26,6 +26,7 @@ exception Diverged of int
 val compute :
   ?max_facts:int ->
   ?pool:Lsdb_exec.Pool.t ->
+  ?gov:Lsdb_exec.Governor.t ->
   ?staged_rules:Lsdb_datalog.Rule.t list ->
   rules:Lsdb_datalog.Rule.t list ->
   Store.t ->
@@ -41,8 +42,19 @@ val compute :
 
     With [?pool] (here and in {!compute}/{!retract}), each semi-naive
     round is sharded across the pool's domains; results are
-    byte-identical to the sequential path for any pool size. *)
-val extend : ?max_facts:int -> ?pool:Lsdb_exec.Pool.t -> t -> Fact.t list -> t
+    byte-identical to the sequential path for any pool size.
+
+    With [?gov] (here and in {!compute}/{!retract}), the engine
+    checkpoints the governor; on a trip the closure holds a consistent
+    subset of the true fixpoint and must not be reused as if complete
+    (see {!Lsdb_datalog.Engine}). *)
+val extend :
+  ?max_facts:int ->
+  ?pool:Lsdb_exec.Pool.t ->
+  ?gov:Lsdb_exec.Governor.t ->
+  t ->
+  Fact.t list ->
+  t
 
 (** [retract ?max_facts closure facts] incrementally maintains the
     closure under deletion of base [facts], via delete/rederive
@@ -52,7 +64,13 @@ val extend : ?max_facts:int -> ?pool:Lsdb_exec.Pool.t -> t -> Fact.t list -> t
     derived) is identical to a from-scratch {!compute} over the surviving
     store; a retracted base fact that is still derivable stays in the
     closure, as a derived fact. *)
-val retract : ?max_facts:int -> ?pool:Lsdb_exec.Pool.t -> t -> Fact.t list -> t
+val retract :
+  ?max_facts:int ->
+  ?pool:Lsdb_exec.Pool.t ->
+  ?gov:Lsdb_exec.Governor.t ->
+  t ->
+  Fact.t list ->
+  t
 
 (** Total number of edges in the strata's support indexes (premise ↦
     dependents); [0] until the first retraction forces them. *)

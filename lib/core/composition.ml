@@ -1,5 +1,6 @@
 module Metrics = Lsdb_obs.Metrics
 module Pool = Lsdb_exec.Pool
+module Governor = Lsdb_exec.Governor
 
 let separator = "\xc2\xb7" (* "·" *)
 
@@ -30,6 +31,29 @@ let composable symtab r = (not (Entity.is_special r)) && not (is_composed symtab
 
 exception Enough
 
+(* Per-fact governor ticks batch through a plain local counter, flushed
+   every 256 units: two atomic RMWs per enumerated fact cost more than
+   the visit itself on hot DFS walks (B19 gates the governed overhead
+   under 5%). [flush] must be called inside the same handler that
+   catches the per-fact [Trip]s — it can raise one. *)
+let ticker gov =
+  let pending = ref 0 in
+  let bump n =
+    pending := !pending + n;
+    if !pending >= 256 then begin
+      let n = !pending in
+      pending := 0;
+      Governor.tick gov n
+    end
+  and flush () =
+    if !pending > 0 then begin
+      let n = !pending in
+      pending := 0;
+      Governor.tick gov n
+    end
+  in
+  (bump, flush)
+
 (* The original unidirectional DFS, retained verbatim as the oracle the
    bidirectional search must reproduce byte-for-byte (same paths, same
    order, same truncation point). Also the fallback when the chain bound
@@ -39,11 +63,14 @@ let dfs_paths ?(max_paths = 10_000) db ~src ~tgt =
   if limit < 2 || Entity.equal src tgt then ([], false)
   else begin
     let symtab = Database.symtab db in
+    let gov = Database.governor db in
+    let bump, flush_ticks = ticker gov in
     let found = ref [] in
     let count = ref 0 in
     let rec dfs node chain_rev depth =
       if depth < limit then
         Database.closure_match db (Store.pattern ~s:node ()) (fun fact ->
+            bump 1;
             if composable symtab fact.r then begin
               let chain_rev' = fact.r :: chain_rev in
               if Entity.equal fact.t tgt && depth + 1 >= 2 then begin
@@ -54,11 +81,14 @@ let dfs_paths ?(max_paths = 10_000) db ~src ~tgt =
               dfs fact.t chain_rev' (depth + 1)
             end)
     in
+    (* A governor trip reads as truncation: the paths found so far are
+       each genuine chains, the search just stopped early. *)
     let truncated =
       try
         dfs src [] 0;
+        flush_ticks ();
         false
-      with Enough -> true
+      with Enough | Governor.Trip _ -> true
     in
     (List.rev !found, truncated)
   end
@@ -257,6 +287,7 @@ let search ?(max_paths = 10_000) db ~src ~tgt =
     Lsdb_obs.Trace.span "composition.search" @@ fun () ->
     Metrics.time m_search_seconds @@ fun () ->
     let symtab = Database.symtab db in
+    let gov = Database.governor db in
     let fresh node =
       let masks = Hashtbl.create 256 in
       add_distance masks node 0;
@@ -273,6 +304,7 @@ let search ?(max_paths = 10_000) db ~src ~tgt =
       Metrics.observe (if forward then m_frontier_forward else m_frontier_backward)
         (float_of_int n);
       incr (if forward then forward_expansions else backward_expansions);
+      Governor.tick gov n;
       let next = expand_level db symtab ~forward fr.level in
       fr.depth <- fr.depth + 1;
       match next with
@@ -283,14 +315,20 @@ let search ?(max_paths = 10_000) db ~src ~tgt =
           List.iter (fun v -> add_distance fr.masks v fr.depth) next;
           fr.level <- next
     in
-    (* Phase 1: interleaved radius growth, cheaper side first. *)
-    while fwd.depth + bwd.depth < limit && (not fwd.exhausted) && not bwd.exhausted do
-      if
-        frontier_cost db ~forward:true fwd.level
-        <= frontier_cost db ~forward:false bwd.level
-      then expand fwd ~forward:true
-      else expand bwd ~forward:false
-    done;
+    (* Phase 1: interleaved radius growth, cheaper side first. A governor
+       trip abandons the growth: the masks gathered so far still describe
+       real paths, so the phases below can only under-report (sound). *)
+    (try
+       while fwd.depth + bwd.depth < limit && (not fwd.exhausted) && not bwd.exhausted do
+         if
+           frontier_cost db ~forward:true fwd.level
+           <= frontier_cost db ~forward:false bwd.level
+         then expand fwd ~forward:true
+         else expand bwd ~forward:false
+       done
+     with Governor.Trip _ ->
+       fwd.exhausted <- true;
+       bwd.exhausted <- true);
     (* Phase 2: the meet check, iterating the smaller mask table. *)
     let small, big, small_is_fwd =
       if Hashtbl.length fwd.masks <= Hashtbl.length bwd.masks then
@@ -310,6 +348,7 @@ let search ?(max_paths = 10_000) db ~src ~tgt =
     let stats () =
       {
         empty_search with
+        truncated = Governor.is_tripped gov;
         meet_nodes = !meet_nodes;
         forward_expansions = !forward_expansions;
         backward_expansions = !backward_expansions;
@@ -323,7 +362,8 @@ let search ?(max_paths = 10_000) db ~src ~tgt =
       (* Complete the backward masks to depth limit-1, pruning nodes with
          no compatible forward distance (the forward masks are complete
          over the consulted range; see the phase comment above). *)
-      while (not bwd.exhausted) && bwd.depth < limit - 1 do
+      (try
+        while (not bwd.exhausted) && bwd.depth < limit - 1 do
         let depth' = bwd.depth + 1 in
         Metrics.incr m_expand_backward;
         Metrics.add (frontier_nodes_counter "backward" bwd.depth)
@@ -347,14 +387,19 @@ let search ?(max_paths = 10_000) db ~src ~tgt =
         | _ ->
             List.iter (fun v -> add_distance bwd.masks v depth') kept;
             bwd.level <- kept
-      done;
+        done
+       with Governor.Trip _ ->
+         bwd.exhausted <- true;
+         bwd.level <- []);
       (* Phase 3: target-pruned DFS reconstruction. *)
       let back_masks = bwd.masks in
       let found = ref [] in
       let count = ref 0 in
+      let bump, flush_ticks = ticker gov in
       let rec dfs node chain_rev depth =
         if depth < limit then
           Database.closure_match db (Store.pattern ~s:node ()) (fun fact ->
+              bump 1;
               if composable symtab fact.r then begin
                 let chain_rev' = fact.r :: chain_rev in
                 let depth' = depth + 1 in
@@ -375,8 +420,9 @@ let search ?(max_paths = 10_000) db ~src ~tgt =
       let truncated =
         try
           dfs src [] 0;
-          false
-        with Enough -> true
+          flush_ticks ();
+          Governor.is_tripped gov
+        with Enough | Governor.Trip _ -> true
       in
       if truncated then Metrics.incr m_truncated;
       let paths = List.rev !found in
@@ -461,11 +507,14 @@ let count_compositions ?(max_paths = 1_000_000) db =
   if limit < 2 then 0
   else begin
     let symtab = Database.symtab db in
+    let gov = Database.governor db in
+    let bump, flush_ticks = ticker gov in
     let seen = Hashtbl.create 1024 in
     let count = ref 0 in
     let rec dfs origin node chain_rev depth =
       if depth < limit then
         Database.closure_match db (Store.pattern ~s:node ()) (fun fact ->
+            bump 1;
             if composable symtab fact.r then begin
               let chain_rev' = fact.r :: chain_rev in
               if depth + 1 >= 2 && not (Entity.equal origin fact.t) then begin
@@ -482,7 +531,8 @@ let count_compositions ?(max_paths = 1_000_000) db =
     (try
        Seq.iter
          (fun e -> if not (Entity.is_special e) then dfs e e [] 0)
-         (Database.active_domain db)
-     with Enough -> ());
+         (Database.active_domain db);
+       flush_ticks ()
+     with Enough | Governor.Trip _ -> ());
     !count
   end

@@ -1,4 +1,5 @@
 module Magic = Lsdb_datalog.Magic
+module Governor = Lsdb_exec.Governor
 
 (* Mutations not yet folded into the cached closure, in arrival order.
    Inserts extend, retracts delete/rederive; both are incremental. *)
@@ -30,6 +31,13 @@ type t = {
   mutable retractions : int;
   mutable generation : int;  (* bumped whenever facts/rules/classes change *)
   mutable pool : Lsdb_exec.Pool.t option;  (* domains for closure rounds & probing *)
+  mutable governor : Governor.t option;  (* per-query budgets/cancellation *)
+  (* The cached closure is a (sound) subset of the true closure: a
+     governor tripped while computing or maintaining it. Served as-is for
+     the rest of the governed query; discarded at the next governor
+     change ({!set_governor}), which also bumps the generation so
+     external answer caches filled from it miss. *)
+  mutable closure_partial : bool;
 }
 
 exception Diverged of int
@@ -63,6 +71,8 @@ let create ?(max_facts = 2_000_000) () =
       retractions = 0;
       generation = 0;
       pool = None;
+      governor = None;
+      closure_partial = false;
     }
   in
   List.iter (fun fact -> ignore (Store.add t.store fact)) axiom_facts;
@@ -80,6 +90,7 @@ let drop_demand t =
 let invalidate t =
   t.closure_cache <- None;
   t.pending <- [];
+  t.closure_partial <- false;
   drop_demand t;
   t.generation <- t.generation + 1
 
@@ -168,10 +179,14 @@ let flush_pending t closure =
     match kind with
     | `Insert ->
         t.extensions <- t.extensions + 1;
-        ignore (Closure.extend ~max_facts:t.max_facts ?pool:t.pool closure facts)
+        ignore
+          (Closure.extend ~max_facts:t.max_facts ?pool:t.pool ?gov:t.governor
+             closure facts)
     | `Retract ->
         t.retractions <- t.retractions + 1;
-        ignore (Closure.retract ~max_facts:t.max_facts ?pool:t.pool closure facts)
+        ignore
+          (Closure.retract ~max_facts:t.max_facts ?pool:t.pool ?gov:t.governor
+             closure facts)
   in
   let rec go kind batch = function
     | [] -> if batch <> [] then flush kind batch
@@ -192,11 +207,20 @@ let flush_pending t closure =
   t.pending <- [];
   go `Insert [] ops
 
+(* A governed computation that tripped leaves a sound subset: remember
+   that the cache is partial so the next governor change discards it
+   (recomputing on every access within the same over-budget query would
+   make each one O(closure)). *)
+let note_partial t =
+  if Governor.is_tripped t.governor then t.closure_partial <- true
+
 let closure t =
   match t.closure_cache with
   | Some closure when t.pending = [] -> closure
   | Some closure ->
-      (try flush_pending t closure
+      (try
+         flush_pending t closure;
+         note_partial t
        with Closure.Diverged n ->
          (* The cache is part-way through the batch; discard it. *)
          t.closure_cache <- None;
@@ -206,12 +230,13 @@ let closure t =
       let staged_rules, rules = compiled_rules t in
       let closure =
         try
-          Closure.compute ~max_facts:t.max_facts ?pool:t.pool ~staged_rules ~rules
-            t.store
+          Closure.compute ~max_facts:t.max_facts ?pool:t.pool ?gov:t.governor
+            ~staged_rules ~rules t.store
         with Closure.Diverged n -> raise (Diverged n)
       in
       t.closure_cache <- Some closure;
       t.computations <- t.computations + 1;
+      note_partial t;
       closure
 
 (* --- demand-driven closure ------------------------------------------- *)
@@ -259,6 +284,7 @@ let demand_state t =
         t.demand_cache <- Some m;
         m
   in
+  Magic.set_governor m t.governor;
   (match t.demand_pending with
   | [] -> ()
   | pending ->
@@ -375,7 +401,36 @@ let demand_stats t =
 
 let drop_cache t =
   t.closure_cache <- None;
-  t.pending <- []
+  t.pending <- [];
+  t.closure_partial <- false
+
+(* Install (or clear) the per-query governor. Partial state left behind
+   by a tripped predecessor is discarded here — this transition is the
+   only path out of a sticky trip — and the generation is bumped with it,
+   so generation-keyed external caches (match-layer answers, broadness)
+   filled from the partial closure miss from now on. Untripped
+   transitions cost two field writes. *)
+let set_governor t gov =
+  if t.closure_partial then begin
+    drop_cache t;
+    t.generation <- t.generation + 1
+  end;
+  (match t.demand_cache with
+  | Some m when Magic.poisoned m ->
+      drop_demand t;
+      t.generation <- t.generation + 1
+  | _ -> ());
+  t.governor <- gov;
+  match t.demand_cache with
+  | Some m -> Magic.set_governor m gov
+  | None -> ()
+
+let governor t = t.governor
+
+let governor_tripped t =
+  match t.governor with None -> None | Some gov -> Governor.tripped gov
+
+let closure_partial t = t.closure_partial
 
 (* After disabling/removing the enabled rule [name]: the closure content
    is unchanged iff no fact's recorded derivation uses [name] (each such
@@ -522,6 +577,8 @@ let copy t =
       retractions = 0;
       generation = 0;
       pool = t.pool;
+      governor = None;
+      closure_partial = false;
     }
   in
   (* Re-intern names so the copy owns its symbol table; ids are preserved

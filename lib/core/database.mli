@@ -52,6 +52,29 @@ val pool : t -> Lsdb_exec.Pool.t option
     [Probing.probe] calls this itself before parallel waves. *)
 val prepare_readers : t -> unit
 
+(** {1 Query governor}
+
+    A per-query {!Lsdb_exec.Governor.t} (deadline, fact/work/wave
+    budgets, cancellation token) threaded through every long-running
+    evaluation loop. Install one before a query, clear it after: a trip
+    is sticky, and the [set_governor] transition is what discards any
+    partial state the tripped query left behind (partial closure cache,
+    poisoned demand memos), bumping {!generation} so external caches
+    filled from partial answers miss. When the installed governor never
+    trips, results are byte-identical to ungoverned evaluation and the
+    transition costs two field writes. *)
+
+val set_governor : t -> Lsdb_exec.Governor.t option -> unit
+val governor : t -> Lsdb_exec.Governor.t option
+
+(** The installed governor's sticky trip reason, if any — how callers
+    detect that answers just computed are partial. *)
+val governor_tripped : t -> Lsdb_exec.Governor.reason option
+
+(** Is the cached closure a (sound) subset left behind by a tripped
+    governor? *)
+val closure_partial : t -> bool
+
 (** {1 Entities} *)
 
 (** Intern (or look up) an entity by name. *)

@@ -134,6 +134,19 @@ let m_candidates =
 
 let eval ?(opts = Match_layer.eval_opts) ?(reorder = true) db q =
   Lsdb_obs.Trace.span "eval" @@ fun () ->
+  let gov = Database.governor db in
+  (* Candidate enumeration ticks through a plain local counter flushed
+     every 256 units: two atomic RMWs per candidate outweigh the bind
+     they meter (B19 gates the governed overhead under 5%). *)
+  let pending = ref 0 in
+  let bump () =
+    incr pending;
+    if !pending >= 256 then begin
+      let n = !pending in
+      pending := 0;
+      Lsdb_exec.Governor.tick gov n
+    end
+  in
   let q = alpha_rename q in
   let env : (string, Entity.t) Hashtbl.t = Hashtbl.create 16 in
   let rec sat q k =
@@ -145,6 +158,7 @@ let eval ?(opts = Match_layer.eval_opts) ?(reorder = true) db q =
         @@ fun () ->
         Match_layer.candidates ~opts db (pattern_of env tpl) (fun fact ->
             incr enumerated;
+            bump ();
             match try_bind env tpl fact with
             | Some newly ->
                 k ();
@@ -236,13 +250,21 @@ let eval ?(opts = Match_layer.eval_opts) ?(reorder = true) db q =
       rows := row :: !rows
     end
   in
-  (match vars with
-  | [] ->
-      (* Proposition: record an empty row iff satisfiable. *)
-      (try
-         sat q (fun () -> raise Sat)
-       with Sat -> rows := [ [||] ])
-  | _ -> sat q emit);
+  (* A governor trip abandons the remaining search; the rows emitted so
+     far are each genuine answers (every binding was checked against the
+     closure before emission), so the partial answer set is sound. *)
+  (try
+     (match vars with
+     | [] ->
+         (* Proposition: record an empty row iff satisfiable. *)
+         (try
+            sat q (fun () -> raise Sat)
+          with Sat -> rows := [ [||] ])
+     | _ -> sat q emit);
+     (* Flush the batched work count inside the guard: an exact-boundary
+        work-budget trip on the last candidates must not escape. *)
+     if !pending > 0 then Lsdb_exec.Governor.tick gov !pending
+   with Lsdb_exec.Governor.Trip _ -> ());
   (* Canonical row order: enumeration order depends on the closure mode
      (the eager index yields hash order, demand cones Fact.compare
      order) and must not leak into answers. *)

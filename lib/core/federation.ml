@@ -1,14 +1,16 @@
 type t = {
   merged : Database.t;
   member_names : string list;
+  skipped_members : (string * string) list;
   origin_table : string list Fact.Tbl.t;
 }
 
-let create members =
-  let merged = Database.create () in
-  let origin_table = Fact.Tbl.create 256 in
-  List.iter
-    (fun (member_name, member_db) ->
+let m_skipped =
+  Lsdb_obs.Metrics.counter
+    ~help:"Federation members skipped because their heap failed to open"
+    "lsdb_federation_skipped_members_total"
+
+let merge_member merged origin_table (member_name, member_db) =
       let member_symtab = Database.symtab member_db in
       Store.iter
         (fun fact ->
@@ -38,12 +40,43 @@ let create members =
             Database.add_rule merged (Rule.map_entities remap rule);
             if not enabled then ignore (Database.exclude merged rule.name)
           end)
-        (Database.rules member_db))
+    (Database.rules member_db)
+
+let create members =
+  let merged = Database.create () in
+  let origin_table = Fact.Tbl.create 256 in
+  List.iter (merge_member merged origin_table) members;
+  { merged; member_names = List.map fst members; skipped_members = []; origin_table }
+
+let create_lenient members =
+  let merged = Database.create () in
+  let origin_table = Fact.Tbl.create 256 in
+  let merged_names = ref [] in
+  let skipped = ref [] in
+  List.iter
+    (fun (member_name, open_member) ->
+      (* A member whose heap fails to open or validate degrades to a
+         skipped member: the federation is partial, not dead. Only the
+         thunk is guarded — a failure during the merge proper would leave
+         half a member's facts in the view, which is worse than failing. *)
+      match open_member () with
+      | member_db ->
+          merge_member merged origin_table (member_name, member_db);
+          merged_names := member_name :: !merged_names
+      | exception e ->
+          Lsdb_obs.Metrics.incr m_skipped;
+          skipped := (member_name, Printexc.to_string e) :: !skipped)
     members;
-  { merged; member_names = List.map fst members; origin_table }
+  {
+    merged;
+    member_names = List.rev !merged_names;
+    skipped_members = List.rev !skipped;
+    origin_table;
+  }
 
 let database t = t.merged
 let members t = t.member_names
+let skipped t = t.skipped_members
 
 let origins t fact =
   Option.value ~default:[] (Fact.Tbl.find_opt t.origin_table fact)

@@ -15,10 +15,22 @@ type t
     the builtins are carried over (name clashes: last member wins). *)
 val create : (string * Database.t) list -> t
 
+(** Like {!create}, but each member is supplied as a thunk that opens its
+    heap, and a thunk that raises degrades to a {e skipped} member instead
+    of killing the whole federation: the merge carries on with the members
+    that did open, {!members} lists only those, and {!skipped} reports the
+    casualties (with the exception text). Each skip bumps the
+    [lsdb_federation_skipped_members_total] counter. *)
+val create_lenient : (string * (unit -> Database.t)) list -> t
+
 (** The merged database (browse and query it like any other). *)
 val database : t -> Database.t
 
 val members : t -> string list
+
+(** Members that failed to open under {!create_lenient}, as
+    [(name, error)] pairs; [[]] for federations built with {!create}. *)
+val skipped : t -> (string * string) list
 
 (** Member names that contributed a base fact ([[]] for facts added
     directly to the merged view, e.g. bridges). *)

@@ -259,7 +259,12 @@ let candidates ?(opts = eval_opts) db pat emit =
           incr n;
           if !n <= max_cached_rows then rows := fact :: !rows;
           emit fact);
-      if !n <= max_cached_rows then cache_store cache key generation (List.rev !rows)
+      (* An enumeration over a tripped governor's partial closure
+         completes without an exception but may be incomplete: never
+         cache it. (Belt and braces — [Database.set_governor] also bumps
+         the generation when it discards partial state.) *)
+      if !n <= max_cached_rows && Database.governor_tripped db = None then
+        cache_store cache key generation (List.rev !rows)
 
 let match_list ?opts db pat =
   let acc = ref [] in

@@ -60,6 +60,7 @@ let probe ?policy ?(max_waves = 8) ?(max_wave_width = 512) ?opts ?pool db q =
   Metrics.incr m_probes;
   Trace.span "probe" @@ fun () ->
   Metrics.time m_probe_seconds @@ fun () ->
+  let gov = Database.governor db in
   let pool = match pool with Some _ as p -> p | None -> Database.pool db in
   let parallel =
     (* Demand mode evaluates sequentially: the demand engine grows its
@@ -97,6 +98,7 @@ let probe ?policy ?(max_waves = 8) ?(max_wave_width = 512) ?opts ?pool db q =
     let seen = Hashtbl.create 64 in
     Hashtbl.add seen q ();
     let total_attempted = ref 0 in
+    let current_wave = ref 0 in
     let rec wave n frontier =
       if n > max_waves || frontier = [] then begin
         Metrics.incr m_exhausted;
@@ -108,6 +110,8 @@ let probe ?policy ?(max_waves = 8) ?(max_wave_width = 512) ?opts ?pool db q =
           }
       end
       else begin
+        current_wave := n;
+        Lsdb_exec.Governor.count_wave gov;
         Metrics.incr m_waves;
         (* The wave's own work (broadening + evaluation) runs inside the
            span; the recursion happens outside it, so each wave's span
@@ -159,7 +163,20 @@ let probe ?policy ?(max_waves = 8) ?(max_wave_width = 512) ?opts ?pool db q =
         | Either.Right failures -> wave (n + 1) failures
       end
     in
-    wave 1 [ { query = q; steps_rev = [] } ]
+    (* A governor trip mid-search surfaces as exhaustion at the wave
+       reached: each wave already evaluated returned sound (possibly
+       partial) answers, and none succeeded or we would have returned.
+       [unknown_entities] is left empty — computing it evaluates against
+       the closure and would immediately re-trip. *)
+    try wave 1 [ { query = q; steps_rev = [] } ]
+    with Lsdb_exec.Governor.Trip _ ->
+      Metrics.incr m_exhausted;
+      Exhausted
+        {
+          waves = max 0 (!current_wave - 1);
+          attempted = !total_attempted;
+          unknown_entities = [];
+        }
   end
 
 let render_menu db q outcome =

@@ -1,4 +1,5 @@
 module Pool = Lsdb_exec.Pool
+module Governor = Lsdb_exec.Governor
 module Metrics = Lsdb_obs.Metrics
 module Trace = Lsdb_obs.Trace
 
@@ -190,12 +191,28 @@ let eval_rule (rule : Rule.t) ~full ~delta ~emit =
    local seen-table bounds the buffers (keeping the first emission in the
    shard's rule-major stream, which is also the one the deterministic
    barrier merge would keep). *)
-let round_shard rules ~full shard =
+let round_shard ?gov rules ~full shard =
   let seen = Triple.Tbl.create 64 in
   let buffers = Array.make (Array.length rules) [] in
+  (* Work units accumulate in a plain local counter and reach the
+     governor in batches: two atomic RMWs per emission (and per rule on
+     small deltas) cost more than the joins they were metering on the
+     incremental kernels B19 gates. The ≤256-unit slop is well inside the
+     1024-unit checkpoint interval. *)
+  let pending = ref 0 in
+  let bump n =
+    pending := !pending + n;
+    if !pending >= 256 then begin
+      let n = !pending in
+      pending := 0;
+      Governor.tick gov n
+    end
+  in
   Array.iteri
     (fun ri (rule : Rule.t) ->
+      bump (Array.length shard);
       eval_rule rule ~full ~delta:shard ~emit:(fun binding premises ->
+          bump 1;
           List.iter
             (fun head ->
               match Atom.instantiate binding head with
@@ -208,6 +225,7 @@ let round_shard rules ~full shard =
                   end)
             rule.heads))
     rules;
+  if !pending > 0 then Governor.tick gov !pending;
   Array.map List.rev buffers
 
 (* Split [delta] into contiguous shards, preserving order. *)
@@ -228,79 +246,106 @@ let shards_of nshards delta =
    round count and provenance are identical for every [pool]/shard
    configuration. Returns the derived triples (in order) and the number
    of rounds. *)
-let fixpoint ?pool ~max_facts rules ~full ~record initial =
+let fixpoint ?pool ?gov ~max_facts rules ~full ~record initial =
   let rules = Array.of_list rules in
   let derived_rev = ref [] in
   let delta = ref (Array.of_list initial) in
   let rounds = ref 0 in
-  while Array.length !delta > 0 do
-    incr rounds;
-    Metrics.incr m_rounds;
-    Metrics.add m_delta (Array.length !delta);
-    Trace.span "closure.round"
-      ~meta:
-        [
-          ("round", string_of_int !rounds);
-          ("delta", string_of_int (Array.length !delta));
-        ]
-    @@ fun () ->
-    Metrics.time m_round_seconds @@ fun () ->
-    let shard_results =
-      match pool with
-      | Some pool when Array.length !delta > 1 && Pool.size pool > 1 ->
-          (* At least ~32 delta triples per shard: below that the join
-             work cannot amortize the fan-out. *)
-          let nshards =
-            min (Pool.size pool) (max 1 ((Array.length !delta + 31) / 32))
-          in
-          if nshards = 1 then [| round_shard rules ~full !delta |]
-          else
-            Pool.map_array pool (round_shard rules ~full) (shards_of nshards !delta)
-      | _ -> [| round_shard rules ~full !delta |]
-    in
-    (* Barrier: merge rule-major then shard-major — the same stream a
-       single shard would emit — deduplicate against the index, extend
-       it, and record provenance, all single-threaded. *)
-    let next_rev = ref [] in
-    Array.iteri
-      (fun ri (rule : Rule.t) ->
-        Array.iter
-          (fun buffers ->
-            List.iter
-              (fun (triple, premises) ->
-                if Index.add full triple then begin
-                  if Index.cardinal full > max_facts then
-                    raise (Diverged (Index.cardinal full));
-                  next_rev := triple :: !next_rev;
-                  derived_rev := triple :: !derived_rev;
-                  record triple { rule = rule.name; premises }
-                end)
-              buffers.(ri))
-          shard_results)
-      rules;
-    Metrics.add m_derived (List.length !next_rev);
-    Trace.annotate "derived" (string_of_int (List.length !next_rev));
-    delta := Array.of_list (List.rev !next_rev)
-  done;
+  (* A governor trip anywhere in a round leaves the index and provenance
+     exactly as of the last completed barrier action: shard evaluation is
+     read-only, and within the barrier each accepted triple's index add,
+     derived accumulation and provenance record are adjacent. Catching
+     [Trip] here therefore yields a consistent (sound, possibly
+     incomplete) derivation — no entry point above re-raises it. *)
+  (try
+     while Array.length !delta > 0 do
+       incr rounds;
+       Governor.check gov;
+       Metrics.incr m_rounds;
+       Metrics.add m_delta (Array.length !delta);
+       Trace.span "closure.round"
+         ~meta:
+           [
+             ("round", string_of_int !rounds);
+             ("delta", string_of_int (Array.length !delta));
+           ]
+       @@ fun () ->
+       Metrics.time m_round_seconds @@ fun () ->
+       let shard_results =
+         match pool with
+         | Some pool when Array.length !delta > 1 && Pool.size pool > 1 ->
+             (* At least ~32 delta triples per shard: below that the join
+                work cannot amortize the fan-out. *)
+             let nshards =
+               min (Pool.size pool) (max 1 ((Array.length !delta + 31) / 32))
+             in
+             if nshards = 1 then [| round_shard ?gov rules ~full !delta |]
+             else
+               Pool.map_array pool
+                 (round_shard ?gov rules ~full)
+                 (shards_of nshards !delta)
+         | _ -> [| round_shard ?gov rules ~full !delta |]
+       in
+       (* Barrier: merge rule-major then shard-major — the same stream a
+          single shard would emit — deduplicate against the index, extend
+          it, and record provenance, all single-threaded. *)
+       let next_rev = ref [] in
+       Array.iteri
+         (fun ri (rule : Rule.t) ->
+           Array.iter
+             (fun buffers ->
+               List.iter
+                 (fun (triple, premises) ->
+                   if Index.add full triple then begin
+                     if Index.cardinal full > max_facts then
+                       raise (Diverged (Index.cardinal full));
+                     next_rev := triple :: !next_rev;
+                     derived_rev := triple :: !derived_rev;
+                     record triple { rule = rule.name; premises };
+                     (* After [record]: the fact that trips the budget is
+                        fully accounted for, so the partial state stays
+                        consistent. *)
+                     Governor.count_facts gov 1
+                   end)
+                 buffers.(ri))
+             shard_results)
+         rules;
+       Metrics.add m_derived (List.length !next_rev);
+       Trace.annotate "derived" (string_of_int (List.length !next_rev));
+       delta := Array.of_list (List.rev !next_rev)
+     done
+   with Governor.Trip _ -> ());
   (List.rev !derived_rev, !rounds)
 
-let closure ?(max_facts = 10_000_000) ?pool rules base =
+let closure ?(max_facts = 10_000_000) ?pool ?gov rules base =
   Metrics.incr m_closures;
   Trace.span "engine.closure" @@ fun () ->
   let full = Index.create () in
   let provenance = Triple.Tbl.create 256 in
   let initial = ref [] in
-  Seq.iter
-    (fun triple -> if Index.add full triple then initial := triple :: !initial)
-    base;
+  (* Base loading is governed at checkpoint granularity too: on large
+     heaps the index build alone can dwarf a wall deadline, and a prefix
+     of the base is still a subset of the true closure — sound for the
+     positive queries partial answers serve. A trip here also makes the
+     first fixpoint round trip immediately, so nothing is derived from
+     the partial base. *)
+  (try
+     let loaded = ref 0 in
+     Seq.iter
+       (fun triple ->
+         incr loaded;
+         if !loaded land 1023 = 0 then Governor.check gov;
+         if Index.add full triple then initial := triple :: !initial)
+       base
+   with Governor.Trip _ -> ());
   let derived, rounds =
-    fixpoint ?pool ~max_facts rules ~full
+    fixpoint ?pool ?gov ~max_facts rules ~full
       ~record:(fun triple prov -> Triple.Tbl.replace provenance triple prov)
       (List.rev !initial)
   in
   { index = full; derived; provenance; rounds; support = None }
 
-let extend ?(max_facts = 10_000_000) ?pool rules result extra =
+let extend ?(max_facts = 10_000_000) ?pool ?gov rules result extra =
   Metrics.incr m_extends;
   Trace.span "engine.extend" @@ fun () ->
   let fresh = ref [] in
@@ -309,7 +354,7 @@ let extend ?(max_facts = 10_000_000) ?pool rules result extra =
     extra;
   let fresh = List.rev !fresh in
   let derived, rounds =
-    fixpoint ?pool ~max_facts rules ~full:result.index
+    fixpoint ?pool ?gov ~max_facts rules ~full:result.index
       ~record:(record_provenance result) fresh
   in
   (* [derived] is deliberately NOT concatenated onto [result.derived]:
@@ -402,7 +447,7 @@ let find_derivation rules ~full fact =
    rules are monotone and the index is a subset of the old closure
    throughout, so rederivation can only restore cone members — the final
    fact set equals a from-scratch recompute, at any pool size. *)
-let retract ?(max_facts = 10_000_000) ?pool rules result deleted =
+let retract ?(max_facts = 10_000_000) ?pool ?gov rules result deleted =
   Metrics.incr m_retracts;
   Trace.span "engine.retract"
     ~meta:[ ("deleted", string_of_int (List.length deleted)) ]
@@ -437,24 +482,33 @@ let retract ?(max_facts = 10_000_000) ?pool rules result deleted =
   Metrics.add m_rederive_checks (Array.length cone_arr);
   Trace.annotate "cone" (string_of_int (Array.length cone_arr));
   let check fact =
+    Governor.tick gov 1;
     match find_derivation rules ~full:result.index fact with
     | Some prov -> Some (fact, prov)
     | None -> None
   in
+  (* A trip during the rederive checks degrades every unchecked cone fact
+     to "not rederived": it stays removed, which keeps the closure a
+     subset of the true fixpoint (sound; the caller drops the cache on a
+     tripped maintenance pass anyway). Phases 1-2 above run ungoverned —
+     interrupting the removal loop could leave a deleted base fact in the
+     index, which would be unsound in the other direction. *)
   let checked =
-    match pool with
-    | Some pool when Array.length cone_arr > 1 && Pool.size pool > 1 ->
-        (* Same amortization threshold spirit as the fixpoint rounds:
-           each check is a full body join, so shards can be smaller. *)
-        let nshards =
-          min (Pool.size pool) (max 1 ((Array.length cone_arr + 15) / 16))
-        in
-        if nshards = 1 then Array.map check cone_arr
-        else
-          Array.concat
-            (Array.to_list
-               (Pool.map_array pool (Array.map check) (shards_of nshards cone_arr)))
-    | _ -> Array.map check cone_arr
+    try
+      match pool with
+      | Some pool when Array.length cone_arr > 1 && Pool.size pool > 1 ->
+          (* Same amortization threshold spirit as the fixpoint rounds:
+             each check is a full body join, so shards can be smaller. *)
+          let nshards =
+            min (Pool.size pool) (max 1 ((Array.length cone_arr + 15) / 16))
+          in
+          if nshards = 1 then Array.map check cone_arr
+          else
+            Array.concat
+              (Array.to_list
+                 (Pool.map_array pool (Array.map check) (shards_of nshards cone_arr)))
+      | _ -> Array.map check cone_arr
+    with Governor.Trip _ -> Array.map (fun _ -> None) cone_arr
   in
   let seeds_rev = ref [] in
   Array.iter
@@ -466,7 +520,7 @@ let retract ?(max_facts = 10_000_000) ?pool rules result deleted =
           seeds_rev := fact :: !seeds_rev)
     checked;
   let _, rederive_rounds =
-    fixpoint ?pool ~max_facts rules ~full:result.index
+    fixpoint ?pool ?gov ~max_facts rules ~full:result.index
       ~record:(record_provenance result)
       (List.rev !seeds_rev)
   in

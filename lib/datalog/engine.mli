@@ -15,7 +15,16 @@
 
     Closures are maintained incrementally in both directions: {!extend}
     for insertions and {!retract} for deletions (delete/rederive, backed
-    by a support index inverting the provenance table). *)
+    by a support index inverting the provenance table).
+
+    All three entry points accept an optional {!Lsdb_exec.Governor.t}
+    and checkpoint it at round barriers plus amortized ticks inside the
+    rule joins. A trip never escapes: the entry point returns a
+    {e consistent subset} of the ungoverned result (index, derived list
+    and provenance agree with each other at the interruption point;
+    retraction leaves unchecked cone facts removed). Callers detect
+    partiality with [Governor.tripped] and must treat the result as
+    non-cacheable for ungoverned use. *)
 
 type provenance = { rule : string; premises : Triple.t list }
 
@@ -42,9 +51,18 @@ exception Diverged of int
 
 (** [closure ?max_facts ?pool rules base] computes the closure of [base]
     under [rules]. Duplicate base triples are collapsed. With [?pool],
-    each round's delta is evaluated across the pool's domains. *)
+    each round's delta is evaluated across the pool's domains. With
+    [?gov], both the base load and the fixpoint run under the governor's
+    checkpoints: a trip yields a sound partial result (a prefix of the
+    base plus whatever was derived from it — always a subset of the true
+    closure), never an escaped exception. *)
 val closure :
-  ?max_facts:int -> ?pool:Lsdb_exec.Pool.t -> Rule.t list -> Triple.t Seq.t -> result
+  ?max_facts:int ->
+  ?pool:Lsdb_exec.Pool.t ->
+  ?gov:Lsdb_exec.Governor.t ->
+  Rule.t list ->
+  Triple.t Seq.t ->
+  result
 
 (** [extend ?max_facts rules result extra] incrementally maintains a
     closure under insertions: the [extra] base triples are added and the
@@ -58,6 +76,7 @@ val closure :
 val extend :
   ?max_facts:int ->
   ?pool:Lsdb_exec.Pool.t ->
+  ?gov:Lsdb_exec.Governor.t ->
   Rule.t list ->
   result ->
   Triple.t Seq.t ->
@@ -84,6 +103,7 @@ type retraction = {
 val retract :
   ?max_facts:int ->
   ?pool:Lsdb_exec.Pool.t ->
+  ?gov:Lsdb_exec.Governor.t ->
   Rule.t list ->
   result ->
   Triple.t list ->

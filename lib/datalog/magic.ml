@@ -1,5 +1,6 @@
 module Metrics = Lsdb_obs.Metrics
 module Trace = Lsdb_obs.Trace
+module Governor = Lsdb_exec.Governor
 
 (* Observability handles, registered once at module initialization. *)
 let m_goals =
@@ -145,6 +146,13 @@ type t = {
   mutable magic_patterns : int;
   mutable activations : int;
   mutable deltas : int;
+  (* Cooperative governor for the work loop. A trip mid-drain leaves
+     demanded patterns marked whose cones are incomplete — [poisoned]
+     records that the memo tables can no longer be trusted for
+     ungoverned answers; the owner must rebuild the state (the trip is
+     sticky, so a governor change is the only path out). *)
+  mutable gov : Governor.t option;
+  mutable poisoned : bool;
 }
 
 exception Diverged of int
@@ -188,6 +196,8 @@ let create_shared ?(max_facts = 10_000_000) ~staged_rules ~rules ?owned base =
       magic_patterns = 0;
       activations = 0;
       deltas = 0;
+      gov = None;
+      poisoned = false;
     }
   in
   st
@@ -198,6 +208,9 @@ let create ?max_facts ?(size_hint = 1024) ~staged_rules ~rules base =
   create_shared ?max_facts ~staged_rules ~rules ~owned:idx (view_of_index idx)
 
 let table st = function Stage -> st.stage_demanded | Full -> st.full_demanded
+
+let set_governor st gov = st.gov <- gov
+let poisoned st = st.poisoned
 
 let cone_cardinal st = Index.cardinal st.stage_cone + Index.cardinal st.full_cone
 let total st = st.base.bv_cardinal () + cone_cardinal st
@@ -447,6 +460,7 @@ let process_demand st (level, p) =
 (* --- joins ----------------------------------------------------------- *)
 
 let emit st act binding premises =
+  Governor.tick st.gov 1;
   List.iter
     (fun head ->
       match Atom.instantiate binding head with
@@ -633,6 +647,7 @@ let merge_one st (level, triple, rule_name, premises) =
           set_prov st triple rule_name premises;
           Metrics.incr m_cone;
           check_diverged st;
+          Governor.count_facts st.gov 1;
           push_delta st Stage triple;
           push_delta st Full triple
         end
@@ -647,6 +662,7 @@ let merge_one st (level, triple, rule_name, premises) =
         set_prov st triple rule_name premises;
         Metrics.incr m_cone;
         check_diverged st;
+        Governor.count_facts st.gov 1;
         push_delta st Full triple
       end
 
@@ -663,6 +679,7 @@ let merge st =
 let drain st =
   let continue = ref true in
   while !continue do
+    Governor.tick st.gov 1;
     if not (Queue.is_empty st.pending_demands) then
       process_demand st (Queue.pop st.pending_demands)
     else if not (Queue.is_empty st.pending_acts) then begin
@@ -675,6 +692,20 @@ let drain st =
     end
     else continue := false
   done
+
+(* Drain under the governor: a trip abandons the remaining queued work
+   and poisons the memo tables. The structural phase of the operation
+   (base add/remove, over-deletion) has already completed when this runs,
+   so the cones are always a subset of the true fixpoint — sound for the
+   partial answers the caller surfaces. *)
+let drain_governed st =
+  try drain st
+  with Governor.Trip _ ->
+    st.poisoned <- true;
+    Queue.clear st.pending_demands;
+    Queue.clear st.pending_acts;
+    Queue.clear st.pending_deltas;
+    st.out <- []
 
 (* --- the external goal API ------------------------------------------- *)
 
@@ -696,7 +727,7 @@ let ensure st p =
     let before = cone_cardinal st in
     (Trace.span "demand.eval" ~meta:[ ("pattern", pat_string p) ] @@ fun () ->
      enqueue_demand st Full p;
-     drain st);
+     drain_governed st);
     Metrics.observe m_cone_size (float_of_int (cone_cardinal st - before))
   end
 
@@ -751,7 +782,7 @@ let insert st triple =
     check_diverged st;
     if not in_stage_view then push_delta st Stage triple;
     if not in_full_view then push_delta st Full triple;
-    drain st
+    drain_governed st
   end
 
 let retract st triple =
@@ -797,7 +828,7 @@ let retract st triple =
     in
     List.iter requeue st.acts_stage;
     List.iter requeue st.acts_full;
-    drain st
+    drain_governed st
   end
 
 let stats st =

@@ -126,4 +126,20 @@ val retract : t -> Triple.t -> unit
 val cone_cardinal : t -> int
 (** Derived facts across both cones. *)
 
+(** {1 Governed evaluation}
+
+    [set_governor t gov] attaches (or clears) a cooperative governor:
+    the work loop ticks it per queue step and emission and counts every
+    cone fact derived. A trip abandons the remaining queued work — the
+    structural half of {!insert}/{!retract} (base update, over-deletion)
+    has already completed, so the cones stay a {e subset} of the true
+    closure and partial answers remain sound — but demanded patterns may
+    now be marked whose cones are incomplete: the state is {e poisoned}
+    and must be rebuilt before serving ungoverned goals (the owner,
+    {!Lsdb.Database}, does this on the next governor change). *)
+val set_governor : t -> Lsdb_exec.Governor.t option -> unit
+
+val poisoned : t -> bool
+(** Has a governor trip left the memo tables incomplete? *)
+
 val stats : t -> stats

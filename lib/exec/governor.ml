@@ -1,0 +1,207 @@
+type reason = Deadline | Fact_budget | Work_budget | Wave_budget | Cancelled
+
+exception Trip of reason
+
+type 'a outcome =
+  | Complete of 'a
+  | Partial of {
+      value : 'a;
+      reason : reason;
+      elapsed_s : float;
+      work : int;
+      facts : int;
+    }
+
+(* Budgets are stored denormalized ([max_int] / [infinity] = unlimited) so
+   the hot path compares without an Option match. All mutable state is
+   atomic: ticks arrive from every pool domain, and [cancel] from a signal
+   handler. *)
+type t = {
+  deadline : float;  (* absolute Metrics.now time; infinity = none *)
+  max_facts : int;
+  max_work : int;
+  max_waves : int;
+  started : float;
+  has_deadline : bool;
+  cancel_flag : bool Atomic.t;
+  work : int Atomic.t;
+  facts : int Atomic.t;
+  waves : int Atomic.t;
+  unchecked : int Atomic.t;  (* work units since the last full checkpoint *)
+  trip : reason option Atomic.t;  (* sticky: set once, never cleared *)
+}
+
+let reason_string = function
+  | Deadline -> "deadline"
+  | Fact_budget -> "fact-budget"
+  | Work_budget -> "work-budget"
+  | Wave_budget -> "wave-budget"
+  | Cancelled -> "cancelled"
+
+let m_checkpoints =
+  Lsdb_obs.Metrics.counter ~help:"Full governor checkpoints executed"
+    "lsdb_governor_checkpoints_total"
+
+let m_trip reason =
+  Lsdb_obs.Metrics.counter ~help:"Governor budget trips by reason"
+    ~labels:[ ("reason", reason_string reason) ]
+    "lsdb_governor_trips_total"
+
+let h_checkpoint =
+  Lsdb_obs.Metrics.histogram ~help:"Latency of full governor checkpoints"
+    "lsdb_governor_checkpoint_seconds"
+
+(* Full checkpoint every this many accumulated work units. A power of two
+   near 1k keeps deadline latency well under a millisecond on the fact
+   walks that tick 1 per fact, while making the common tick two atomic
+   adds and two loads (B19 gates the resulting overhead < 5%). *)
+let checkpoint_interval = 1024
+
+let create ?deadline_ms ?max_facts ?max_work ?max_waves () =
+  let has_deadline = deadline_ms <> None in
+  (* One clock read per governor, so [elapsed_s] is meaningful even for a
+     cancellation-only token; the hot checkpoint path still reads the
+     clock only when a deadline is armed. *)
+  let now = Lsdb_obs.Metrics.now () in
+  {
+    deadline =
+      (match deadline_ms with
+      | Some ms -> now +. (ms /. 1000.)
+      | None -> infinity);
+    max_facts = Option.value max_facts ~default:max_int;
+    max_work = Option.value max_work ~default:max_int;
+    max_waves = Option.value max_waves ~default:max_int;
+    started = now;
+    has_deadline;
+    cancel_flag = Atomic.make false;
+    work = Atomic.make 0;
+    facts = Atomic.make 0;
+    waves = Atomic.make 0;
+    unchecked = Atomic.make 0;
+    trip = Atomic.make None;
+  }
+
+let cancel t = Atomic.set t.cancel_flag true
+let cancelled t = Atomic.get t.cancel_flag
+let tripped t = Atomic.get t.trip
+
+let is_tripped = function None -> false | Some t -> tripped t <> None
+
+let elapsed_s t = Lsdb_obs.Metrics.now () -. t.started
+
+let work_done t = Atomic.get t.work
+let facts_done t = Atomic.get t.facts
+
+let describe t =
+  let parts = ref [] in
+  if t.max_waves <> max_int then
+    parts := Printf.sprintf "waves=%d" t.max_waves :: !parts;
+  if t.max_work <> max_int then
+    parts := Printf.sprintf "work=%d" t.max_work :: !parts;
+  if t.max_facts <> max_int then
+    parts := Printf.sprintf "facts=%d" t.max_facts :: !parts;
+  if t.has_deadline then
+    parts :=
+      Printf.sprintf "deadline=%.0fms" ((t.deadline -. t.started) *. 1000.)
+      :: !parts;
+  if !parts = [] then "no budget (cancellation only)"
+  else String.concat " " !parts
+
+(* Record the trip stickily: the first CAS wins and owns the metrics
+   bump; concurrent/later trippers re-raise the recorded reason so the
+   whole stack unwinds consistently toward one cause. *)
+let trip_with t reason =
+  let recorded =
+    if Atomic.compare_and_set t.trip None (Some reason) then begin
+      Lsdb_obs.Metrics.incr (m_trip reason);
+      reason
+    end
+    else match Atomic.get t.trip with Some r -> r | None -> reason
+  in
+  raise (Trip recorded)
+
+let full_check t =
+  Lsdb_obs.Metrics.incr m_checkpoints;
+  (match Atomic.get t.trip with Some r -> raise (Trip r) | None -> ());
+  if Atomic.get t.cancel_flag then trip_with t Cancelled;
+  if t.has_deadline then begin
+    let start = Lsdb_obs.Metrics.now () in
+    if start > t.deadline then trip_with t Deadline;
+    Lsdb_obs.Metrics.observe h_checkpoint (Lsdb_obs.Metrics.now () -. start)
+  end
+
+let check = function
+  | None -> ()
+  | Some t ->
+      Atomic.set t.unchecked 0;
+      full_check t
+
+let tick gov n =
+  match gov with
+  | None -> ()
+  | Some t ->
+      let work = Atomic.fetch_and_add t.work n + n in
+      if work > t.max_work then trip_with t Work_budget;
+      let unchecked = Atomic.fetch_and_add t.unchecked n + n in
+      if unchecked >= checkpoint_interval then begin
+        Atomic.set t.unchecked 0;
+        full_check t
+      end
+
+let count_facts gov n =
+  match gov with
+  | None -> ()
+  | Some t ->
+      let facts = Atomic.fetch_and_add t.facts n + n in
+      if facts > t.max_facts then trip_with t Fact_budget
+
+let count_wave = function
+  | None -> ()
+  | Some t ->
+      let waves = Atomic.fetch_and_add t.waves 1 + 1 in
+      if waves > t.max_waves then trip_with t Wave_budget;
+      full_check t
+
+let finish gov value =
+  match gov with
+  | None -> Complete value
+  | Some t -> (
+      match tripped t with
+      | None -> Complete value
+      | Some reason ->
+          Partial
+            {
+              value;
+              reason;
+              elapsed_s = elapsed_s t;
+              work = work_done t;
+              facts = facts_done t;
+            })
+
+module Retry = struct
+  type policy = { attempts : int; base_delay_s : float; max_delay_s : float }
+
+  let default = { attempts = 4; base_delay_s = 0.002; max_delay_s = 0.05 }
+  let none = { attempts = 1; base_delay_s = 0.; max_delay_s = 0. }
+
+  let run ?(policy = default) ?on_retry ?on_giveup ~retry_on f =
+    let attempts = max 1 policy.attempts in
+    let rec go attempt =
+      try f ()
+      with e when retry_on e ->
+        if attempt >= attempts then begin
+          (match on_giveup with Some g -> g e | None -> ());
+          raise e
+        end
+        else begin
+          (match on_retry with Some r -> r ~attempt e | None -> ());
+          let delay =
+            Float.min policy.max_delay_s
+              (policy.base_delay_s *. Float.pow 2. (float_of_int (attempt - 1)))
+          in
+          if delay > 0. then Unix.sleepf delay;
+          go (attempt + 1)
+        end
+    in
+    go 1
+end

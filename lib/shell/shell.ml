@@ -1,6 +1,7 @@
 open Lsdb
 module Metrics = Lsdb_obs.Metrics
 module Trace = Lsdb_obs.Trace
+module Governor = Lsdb_exec.Governor
 
 type mutation =
   | Inserted of Fact.t
@@ -14,11 +15,33 @@ type t = {
   session : Navigation.session;
   defs : Definitions.t;
   journal : mutation -> unit;
+  (* Session budgets, applied to every query command via a fresh
+     per-query governor (see [governed]). *)
+  mutable deadline_ms : float option;
+  mutable max_facts : int option;
+  mutable max_work : int option;
+  mutable max_waves : int option;
+  (* The governor of the query currently executing, if any — the handle a
+     SIGINT handler cancels through. *)
+  mutable active_gov : Governor.t option;
 }
 
 let create ?(journal = fun _ -> ()) db =
-  { db; session = Navigation.start db; defs = Definitions.create (); journal }
+  {
+    db;
+    session = Navigation.start db;
+    defs = Definitions.create ();
+    journal;
+    deadline_ms = None;
+    max_facts = None;
+    max_work = None;
+    max_waves = None;
+    active_gov = None;
+  }
+
 let database t = t.db
+let active_governor t = t.active_gov
+let set_deadline_ms t ms = t.deadline_ms <- ms
 
 let demos =
   [
@@ -53,6 +76,8 @@ let help =
   check                         report contradictions in the closure
   stats                         database statistics
   .closure [eager|demand]       show / set the closure mode (demand derives on demand)
+  .deadline [MS|off]            per-query wall deadline; a trip returns partial answers
+  .budget [facts N|work N|waves N|off]  per-query derivation/work/wave budgets
   .stats                        observability counters (engine, probing, pool, storage)
   .profile [on|off]             show the last query profile / toggle tracing
   .slowlog [MS]                 show slow queries / set the slow threshold
@@ -179,6 +204,19 @@ let obs_stats_text db =
       Printf.sprintf "storage: %d log appends, %d syncs, %d compactions"
         (c "lsdb_log_appends_total") (c "lsdb_log_syncs_total")
         (c "lsdb_store_compactions_total");
+      (let trip r = c ~labels:[ ("reason", r) ] "lsdb_governor_trips_total" in
+       Printf.sprintf
+         "governor: %d checkpoints; trips %d deadline / %d facts / %d work / \
+          %d waves / %d cancelled"
+         (c "lsdb_governor_checkpoints_total")
+         (trip "deadline") (trip "fact-budget") (trip "work-budget")
+         (trip "wave-budget") (trip "cancelled"));
+      Printf.sprintf
+        "degradation: %d storage retries (%d gave up), %d federation members \
+         skipped"
+        (c "lsdb_storage_retries_total")
+        (c "lsdb_storage_retry_giveups_total")
+        (c "lsdb_federation_skipped_members_total");
       Printf.sprintf
         "answer cache (this db): %d hits / %d misses, %d entries, %d evicted"
         hits misses size evictions;
@@ -206,13 +244,58 @@ let parse_fact out db text =
       Buffer.add_string out (Printf.sprintf "parse error: %s\n" msg);
       None
 
+(* Commands that evaluate over the closure and can therefore run long.
+   Each gets a fresh governor carrying the session budgets — even with no
+   budgets set, the token is what a Ctrl-C handler cancels through. *)
+let query_commands =
+  [ "try"; "nav"; "assoc"; "t"; "q"; "probe"; "explain"; "relation"; "call"; "check" ]
+
+let governed t out f =
+  let gov =
+    Governor.create ?deadline_ms:t.deadline_ms ?max_facts:t.max_facts
+      ?max_work:t.max_work ?max_waves:t.max_waves ()
+  in
+  t.active_gov <- Some gov;
+  Database.set_governor t.db (Some gov);
+  Fun.protect
+    ~finally:(fun () ->
+      t.active_gov <- None;
+      (* This transition discards any partial closure / poisoned demand
+         state the tripped query left behind. *)
+      Database.set_governor t.db None)
+    f;
+  match Governor.tripped gov with
+  | None -> ()
+  | Some reason ->
+      let ms = Governor.elapsed_s gov *. 1e3 in
+      Buffer.add_string out
+        (match reason with
+        | Governor.Cancelled ->
+            Printf.sprintf "(cancelled after %.1f ms — answers may be incomplete)\n"
+              ms
+        | _ ->
+            Printf.sprintf
+              "warning: %s tripped after %.1f ms (%d work units, %d derived \
+               facts) — answers are a sound subset\n"
+              (Governor.reason_string reason)
+              ms (Governor.work_done gov) (Governor.facts_done gov))
+
 let rec execute t line =
   let out = Buffer.create 256 in
-  (try run t out (split_words line)
-   with e -> Buffer.add_string out ("error: " ^ Printexc.to_string e ^ "\n"));
+  (* [Sys.Break] must escape: it is the REPL's "second Ctrl-C, exit now"
+     signal, and swallowing it here would trap the user in the loop. *)
+  (try run t out (split_words line) with
+  | Sys.Break as e -> raise e
+  | e -> Buffer.add_string out ("error: " ^ Printexc.to_string e ^ "\n"));
   Buffer.contents out
 
 and run t out words =
+  match words with
+  | cmd :: _ when List.mem (String.lowercase_ascii cmd) query_commands ->
+      governed t out (fun () -> dispatch t out words)
+  | _ -> dispatch t out words
+
+and dispatch t out words =
   let say fmt = Printf.ksprintf (fun s -> Buffer.add_string out (s ^ "\n")) fmt in
   let db = t.db in
   match words with
@@ -360,6 +443,47 @@ and run t out words =
           Database.set_closure_mode db Database.Demand;
           say "closure mode: demand"
       | ".closure", _ -> say ".closure takes 'eager' or 'demand'"
+      | ".deadline", [] -> (
+          match t.deadline_ms with
+          | Some ms -> say "deadline: %g ms" ms
+          | None -> say "deadline: off")
+      | ".deadline", [ "off" ] ->
+          t.deadline_ms <- None;
+          say "deadline off"
+      | ".deadline", [ ms ] -> (
+          match float_of_string_opt ms with
+          | Some ms when ms > 0. ->
+              t.deadline_ms <- Some ms;
+              say "deadline = %g ms" ms
+          | _ -> say ".deadline needs a positive duration in milliseconds, or 'off'")
+      | ".deadline", _ -> say ".deadline takes one argument: MS or 'off'"
+      | ".budget", [] ->
+          let show name v =
+            match v with
+            | Some n -> say "%s budget: %d" name n
+            | None -> say "%s budget: off" name
+          in
+          show "fact" t.max_facts;
+          show "work" t.max_work;
+          show "wave" t.max_waves
+      | ".budget", [ "off" ] ->
+          t.max_facts <- None;
+          t.max_work <- None;
+          t.max_waves <- None;
+          say "budgets off"
+      | ".budget", [ kind; n ] -> (
+          match (kind, int_of_string_opt n) with
+          | "facts", Some n when n > 0 ->
+              t.max_facts <- Some n;
+              say "fact budget = %d" n
+          | "work", Some n when n > 0 ->
+              t.max_work <- Some n;
+              say "work budget = %d" n
+          | "waves", Some n when n > 0 ->
+              t.max_waves <- Some n;
+              say "wave budget = %d" n
+          | _ -> say ".budget needs 'facts N', 'work N', 'waves N' (N positive) or 'off'")
+      | ".budget", _ -> say ".budget needs 'facts N', 'work N', 'waves N' or 'off'"
       | ".stats", _ -> say "%s" (obs_stats_text db)
       | ".metrics", _ -> Buffer.add_string out (Metrics.expose ())
       | ".profile", [] -> (

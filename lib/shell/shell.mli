@@ -24,8 +24,24 @@ type mutation =
 val create : ?journal:(mutation -> unit) -> Lsdb.Database.t -> t
 val database : t -> Lsdb.Database.t
 
+(** The governor of the query command currently executing, if any. Every
+    query command ([q], [probe], [assoc], …) runs under a fresh
+    {!Lsdb_exec.Governor.t} carrying the session's [.deadline]/[.budget]
+    settings; a budget trip appends a warning to the command output and
+    the answers shown are a sound subset. A SIGINT handler cancels the
+    in-flight query by calling {!Lsdb_exec.Governor.cancel} on this
+    handle — from the interrupted query's point of view the cancellation
+    is just another budget trip. *)
+val active_governor : t -> Lsdb_exec.Governor.t option
+
+(** Set the session deadline programmatically — the backing field of the
+    [.deadline] command, exposed for [lsdb-browse --deadline-ms]. *)
+val set_deadline_ms : t -> float option -> unit
+
 (** Execute one command line; returns the output text (possibly empty,
-    never raises — errors are reported in the output). *)
+    never raises — errors are reported in the output). The one exception
+    is [Sys.Break], which propagates so a REPL's interrupt handling can
+    exit through its cleanup paths. *)
 val execute : t -> string -> string
 
 (** Execute every line of a script (["#"] comments and blank lines are

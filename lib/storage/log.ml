@@ -108,22 +108,54 @@ let m_bytes =
 
 let m_syncs = Metrics.counter ~help:"Log fsyncs" "lsdb_log_syncs_total"
 
+let m_retries =
+  Metrics.counter ~help:"Transient storage faults retried with backoff"
+    "lsdb_storage_retries_total"
+
+let m_giveups =
+  Metrics.counter ~help:"Storage retry sequences that exhausted their attempts"
+    "lsdb_storage_retry_giveups_total"
+
 let m_fsync_seconds =
   Metrics.histogram ~help:"Wall-clock seconds per log fsync"
     "lsdb_log_fsync_seconds"
 
-type t = { vfs : Vfs.t; file : Vfs.file; buf : Buffer.t }
+type t = {
+  vfs : Vfs.t;
+  file : Vfs.file;
+  buf : Buffer.t;
+  retry : Lsdb_exec.Governor.Retry.policy option;
+}
+
+(* Retry transient faults ({!Vfs.Fault}: ENOSPC-/EIO-shaped, the write
+   landed no bytes) with bounded exponential backoff. {!Vfs.Crashed} is
+   latched process death and must propagate immediately — retrying it
+   would turn a crash test into a hang. Off by default: callers that
+   want the existing fail-fast semantics (and the crash-torture suite's
+   fault-propagation assertions) are untouched. *)
+let with_retry t f =
+  match t.retry with
+  | None -> f ()
+  | Some policy ->
+      Lsdb_exec.Governor.Retry.run ~policy
+        ~retry_on:(function Vfs.Fault _ -> true | _ -> false)
+        ~on_retry:(fun ~attempt:_ _ -> Metrics.incr m_retries)
+        ~on_giveup:(fun _ -> Metrics.incr m_giveups)
+        f
 
 let flush t =
   if Buffer.length t.buf > 0 then begin
     Metrics.add m_bytes (Buffer.length t.buf);
-    Vfs.write ~site:"log.write" t.file (Buffer.contents t.buf);
+    (* The buffer is cleared only after the write succeeds, so a retried
+       attempt resends the identical bytes — no frame is ever duplicated
+       and none is dropped. *)
+    with_retry t (fun () -> Vfs.write ~site:"log.write" t.file (Buffer.contents t.buf));
     Buffer.clear t.buf
   end
 
-let open_ ?(vfs = Vfs.real) ?epoch path =
+let open_ ?(vfs = Vfs.real) ?retry ?epoch path =
   let file = Vfs.open_append vfs path in
-  let t = { vfs; file; buf = Buffer.create 1024 } in
+  let t = { vfs; file; buf = Buffer.create 1024; retry } in
   (match epoch with
   | Some e when Vfs.size file = 0 ->
       Buffer.add_string t.buf (Codec.frame (encode_header e));
@@ -140,7 +172,7 @@ let sync t =
   Metrics.incr m_syncs;
   flush t;
   Metrics.time m_fsync_seconds @@ fun () ->
-  Vfs.fsync ~site:"log.fsync" t.file
+  with_retry t (fun () -> Vfs.fsync ~site:"log.fsync" t.file)
 
 let close t =
   flush t;

@@ -37,8 +37,17 @@ val encode_header : int -> string
 type t
 
 (** Open (creating if missing) for appending. If [epoch] is given and
-    the file is empty, an epoch header frame is written first. *)
-val open_ : ?vfs:Vfs.t -> ?epoch:int -> string -> t
+    the file is empty, an epoch header frame is written first.
+
+    [retry] (default: off) retries transient faults ({!Vfs.Fault}) on
+    the write/fsync paths with bounded exponential backoff
+    ({!Lsdb_exec.Governor.Retry}); the append buffer is cleared only
+    after a successful write, so a retried flush resends the identical
+    bytes and no frame is duplicated or dropped. {!Vfs.Crashed} always
+    propagates immediately. Retries and give-ups are counted in
+    [lsdb_storage_retries_total] / [lsdb_storage_retry_giveups_total]. *)
+val open_ :
+  ?vfs:Vfs.t -> ?retry:Lsdb_exec.Governor.Retry.policy -> ?epoch:int -> string -> t
 
 val append : t -> op -> unit
 

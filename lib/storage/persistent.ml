@@ -42,6 +42,7 @@ type t = {
   vfs : Vfs.t;
   db : Lsdb.Database.t;
   sync_mode : sync_mode;
+  retry : Lsdb_exec.Governor.Retry.policy option;
   report : Recovery_report.t;
   mutable log : Log.t;
   mutable log_length : int;
@@ -66,7 +67,8 @@ let fail_corrupt dir what detail =
         record that survives"
        dir what detail)
 
-let open_dir ?(vfs = Vfs.real) ?(recovery = `Strict) ?(sync_mode = On_demand) dir =
+let open_dir ?(vfs = Vfs.real) ?(recovery = `Strict) ?(sync_mode = On_demand)
+    ?retry dir =
   if not (Vfs.file_exists vfs dir) then Vfs.mkdir vfs dir
   else if not (Vfs.is_directory vfs dir) then
     invalid_arg (Printf.sprintf "Persistent.open_dir: %s is not a directory" dir);
@@ -141,7 +143,7 @@ let open_dir ?(vfs = Vfs.real) ?(recovery = `Strict) ?(sync_mode = On_demand) di
     Vfs.remove vfs (snapshot_file dir);
   let epoch = if snapshot_unreadable then 0 else snapshot_epoch in
   if needs_rewrite then Log.write_fresh ~vfs ~epoch ~ops (log_file dir);
-  let log = Log.open_ ~vfs ~epoch (log_file dir) in
+  let log = Log.open_ ~vfs ?retry ~epoch (log_file dir) in
   let report =
     {
       Recovery_report.mode = recovery;
@@ -162,6 +164,7 @@ let open_dir ?(vfs = Vfs.real) ?(recovery = `Strict) ?(sync_mode = On_demand) di
     vfs;
     db;
     sync_mode;
+    retry;
     report;
     log;
     log_length = List.length ops;
@@ -288,7 +291,7 @@ let compact t =
      Metrics.time m_phase_reset (fun () ->
          Log.write_fresh ~vfs:t.vfs ~epoch:epoch' ~ops:[] (log_file t.dir);
          Log.close t.log;
-         t.log <- Log.open_ ~vfs:t.vfs ~epoch:epoch' (log_file t.dir))
+         t.log <- Log.open_ ~vfs:t.vfs ?retry:t.retry ~epoch:epoch' (log_file t.dir))
    with e ->
      t.poisoned <- Some (Printexc.to_string e);
      raise e);

@@ -31,11 +31,16 @@ type sync_mode = Always | On_demand
     frames, abandoning an undecodable snapshot — and repairs the files
     so the next open is clean. Either way {!recovery_report} says what
     happened. A torn {e tail} on the log (the normal shape of a crash)
-    is tolerated even by [`Strict]. *)
+    is tolerated even by [`Strict].
+
+    [retry] (default: off) makes the operation log retry transient
+    storage faults with bounded exponential backoff; see {!Log.open_}.
+    The policy survives {!compact} (the reopened log inherits it). *)
 val open_dir :
   ?vfs:Vfs.t ->
   ?recovery:[ `Strict | `Salvage ] ->
   ?sync_mode:sync_mode ->
+  ?retry:Lsdb_exec.Governor.Retry.policy ->
   string ->
   t
 
