@@ -21,7 +21,7 @@ let quick = ref false
    rows from experiments not re-run are preserved, so partial runs
    (`bench b15`) refresh their slice of the file instead of erasing the
    rest. *)
-let json_path = ref "BENCH_PR7.json"
+let json_path = ref "BENCH_PR8.json"
 let json_rows : (string * float * string) list ref = ref []
 let record id value unit_ = json_rows := (id, value, unit_) :: !json_rows
 
@@ -1858,6 +1858,255 @@ let b19 () =
     ];
   Database.set_governor db None
 
+(* ------------------------------------------------------------------ *)
+(* B20 — sharded fact heaps                                            *)
+
+(* Closure, incremental maintenance and path search at 1–8 heap shards,
+   gated on canonical identity with the single-heap oracle at every
+   shard count and — in full mode, on the ≥1M-fact workload — on a ≥3x
+   cold-closure speedup at 8 shards. The speedup on one core comes from
+   reading through the store instead of copying it: the oracle loads the
+   whole heap into two private stratum indexes before deriving anything,
+   the sharded closure derives over the store's own postings. *)
+let b20 () =
+  section
+    "B20 — sharded heaps: closure/retract/search scaling vs the single-heap \
+     oracle";
+  let check what ok =
+    if not ok then begin
+      incr equivalence_failures;
+      Printf.printf "  ✗ SHARD FAILURE: %s\n" what
+    end
+  in
+  let params =
+    if !quick then
+      {
+        Lsdb_workload.Shard_gen.facts = 60_000;
+        entities = 12_000;
+        relationships = 16;
+        classes = 40;
+        memberships = 600;
+        skew = 0.8;
+      }
+    else
+      {
+        Lsdb_workload.Shard_gen.facts = 1_000_000;
+        entities = 200_000;
+        relationships = 16;
+        classes = 40;
+        memberships = 4_000;
+        skew = 0.8;
+      }
+  in
+  let gen = Lsdb_workload.Shard_gen.generate ~params (rng ()) in
+  Printf.printf "workload: %d generated facts, %d entities, zipf %.1f\n%!"
+    (Lsdb_workload.Shard_gen.fact_count gen)
+    params.Lsdb_workload.Shard_gen.entities
+    params.Lsdb_workload.Shard_gen.skew;
+  let build shards =
+    Lsdb_workload.Shard_gen.to_database ~max_facts:8_000_000 ~shards gen
+  in
+  (* Every database loads the same generated fact list in the same order,
+     so names intern to the same ids everywhere (the B18 argument) and
+     closures compare directly on triples. *)
+  let canon closure =
+    let acc = ref [] in
+    Closure.iter (fun f -> acc := f :: !acc) closure;
+    let arr = Array.of_list !acc in
+    Array.sort Fact.compare arr;
+    arr
+  in
+  let canon_derived closure =
+    List.sort Fact.compare (Closure.derived closure)
+  in
+  let arr_eq a b =
+    Array.length a = Array.length b
+    &&
+    let ok = ref true in
+    Array.iteri (fun i x -> if not (Fact.equal x b.(i)) then ok := false) a;
+    !ok
+  in
+  let extend_batch db =
+    for i = 0 to 999 do
+      ignore
+        (Database.insert_names db
+           (Printf.sprintf "X%d" i)
+           "REL0"
+           (Printf.sprintf "E%d" (i * 7 mod params.Lsdb_workload.Shard_gen.entities)))
+    done
+  in
+  let retract_names =
+    let mems, rest =
+      List.partition
+        (fun (_, r, _) -> r = "∈")
+        gen.Lsdb_workload.Shard_gen.facts
+    in
+    let take n l = List.filteri (fun i _ -> i < n) l in
+    (* 100 membership facts (each with a generalization cone) and the
+       first 100 other facts — which include taxonomy edges, whose
+       removal collapses whole cones. *)
+    take 100 mems @ take 100 rest
+  in
+  let retract_batch db =
+    List.iter
+      (fun (s, r, t) -> ignore (Database.remove_names db s r t))
+      retract_names
+  in
+  (* One full lifecycle at a given shard count: cold closure, extension
+     batch, retraction batch, composition search. Returns the timings
+     and the canonical content after each state. *)
+  let lifecycle shards =
+    let db = build shards in
+    let c0, closure_ms = time_ms (fun () -> Database.closure db) in
+    let state0 = canon c0 in
+    let derived0 = canon_derived c0 in
+    let _, extend_ms =
+      time_ms (fun () ->
+          extend_batch db;
+          ignore (Database.closure db))
+    in
+    let state1 = canon (Database.closure db) in
+    let _, retract_ms =
+      time_ms (fun () ->
+          retract_batch db;
+          ignore (Database.closure db))
+    in
+    let state2 = canon (Database.closure db) in
+    Database.set_limit db 3;
+    let src = Database.entity db "E500" and tgt = Database.entity db "E700" in
+    let search_ms =
+      measure_ms ~runs:3 (fun () -> ignore (Composition.search db ~src ~tgt))
+    in
+    let paths =
+      List.sort compare (Composition.search db ~src ~tgt).Composition.paths
+    in
+    (db, closure_ms, extend_ms, retract_ms, search_ms, state0, derived0,
+     state1, state2, paths)
+  in
+  let ( odb, oracle_closure_ms, oracle_extend_ms, oracle_retract_ms,
+        oracle_search_ms, o0, od0, o1, o2, opaths ) =
+    lifecycle 1
+  in
+  check "oracle really ran single-heap" (Closure.shards (Database.closure odb) = 1);
+  let closure8_ms = ref oracle_closure_ms in
+  let rows =
+    [
+      "1 (oracle)";
+      Printf.sprintf "%.0f" oracle_closure_ms;
+      Printf.sprintf "%.0f" oracle_extend_ms;
+      Printf.sprintf "%.0f" oracle_retract_ms;
+      Printf.sprintf "%.1f" oracle_search_ms;
+      "1.00x"; "—"; "✓";
+    ]
+    :: List.map
+         (fun shards ->
+           let ( db, closure_ms, extend_ms, retract_ms, search_ms, s0, d0, s1,
+                 s2, paths ) =
+             lifecycle shards
+           in
+           let label what = Printf.sprintf "%s at %d shards" what shards in
+           check (label "cold closure identical") (arr_eq o0 s0);
+           check (label "derived set identical") (d0 = od0);
+           check (label "post-extension closure identical") (arr_eq o1 s1);
+           check (label "post-retraction closure identical") (arr_eq o2 s2);
+           check (label "composition paths identical") (paths = opaths);
+           check (label "dispatcher picked the sharded path")
+             (Closure.shards (Database.closure db) = shards);
+           let speedup = oracle_closure_ms /. closure_ms in
+           if shards = 8 then closure8_ms := closure_ms;
+           record (Printf.sprintf "b20/closure_ms_%dsh" shards) closure_ms "ms";
+           record (Printf.sprintf "b20/extend_ms_%dsh" shards) extend_ms "ms";
+           record (Printf.sprintf "b20/retract_ms_%dsh" shards) retract_ms "ms";
+           record (Printf.sprintf "b20/search_ms_%dsh" shards) search_ms "ms";
+           let exchanged = Closure.exchanged (Database.closure db) in
+           record (Printf.sprintf "b20/exchanged_%dsh" shards)
+             (float_of_int exchanged) "triples";
+           (* Imbalance: largest shard over the even split. *)
+           let cards = Closure.overlay_cardinals (Database.closure db) in
+           let total = Array.fold_left ( + ) 0 cards in
+           let biggest = Array.fold_left max 0 cards in
+           let imbalance =
+             if total = 0 then 1.
+             else float_of_int (biggest * shards) /. float_of_int total
+           in
+           record (Printf.sprintf "b20/imbalance_%dsh" shards) imbalance "x";
+           (* Demand mode reads through the same sharded store: spot-check
+              the membership cone against the oracle's eager closure. *)
+           if shards = 8 then begin
+             Database.set_closure_mode db Database.Demand;
+             let member = Database.entity db "∈" in
+             let collect d =
+               let acc = ref [] in
+               Database.closure_match d (Store.pattern ~r:member ()) (fun f ->
+                   acc := f :: !acc);
+               List.sort Fact.compare !acc
+             in
+             check "demand-mode membership cone matches the eager oracle"
+               (collect db = collect odb);
+             Database.set_closure_mode db Database.Eager
+           end;
+           [
+             string_of_int shards;
+             Printf.sprintf "%.0f" closure_ms;
+             Printf.sprintf "%.0f" extend_ms;
+             Printf.sprintf "%.0f" retract_ms;
+             Printf.sprintf "%.1f" search_ms;
+             Printf.sprintf "%.2fx" speedup;
+             Printf.sprintf "%d" exchanged;
+             "✓";
+           ])
+         [ 2; 4; 8 ]
+  in
+  table
+    [ "shards"; "closure ms"; "extend ms"; "retract ms"; "search ms";
+      "speedup"; "exchanged"; "identical" ]
+    rows;
+  let speedup = oracle_closure_ms /. !closure8_ms in
+  record "b20/closure_speedup_8sh" speedup "x";
+  record "b20/base_facts" (float_of_int (Database.base_cardinal odb)) "facts";
+  Printf.printf "\ncold closure at 8 shards: %.2fx the single-heap oracle\n"
+    speedup;
+  if not !quick then
+    check
+      (Printf.sprintf "≥3x closure speedup at 8 shards (got %.2fx)" speedup)
+      (speedup >= 3.0);
+  (* A tripped governor over the sharded path must still yield a sound
+     subset: every fact it kept is in the oracle's closure, every base
+     fact is still visible. *)
+  let db = build 8 in
+  let gov =
+    Lsdb_exec.Governor.create
+      ~max_facts:(if !quick then 50 else 500)
+      ()
+  in
+  Database.set_governor db (Some gov);
+  let partial = Database.closure db in
+  check "tight fact budget tripped the sharded closure"
+    (Lsdb_exec.Governor.tripped gov <> None);
+  check "partial closure is flagged" (Database.closure_partial db);
+  let member_of arr fact =
+    (* [o0] is sorted: binary search. *)
+    let lo = ref 0 and hi = ref (Array.length arr) in
+    let found = ref false in
+    while (not !found) && !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      let c = Fact.compare fact arr.(mid) in
+      if c = 0 then found := true
+      else if c < 0 then hi := mid
+      else lo := mid + 1
+    done;
+    !found
+  in
+  let sound = ref true in
+  Closure.iter (fun f -> if not (member_of o0 f) then sound := false) partial;
+  check "tripped sharded closure is a subset of the oracle's" !sound;
+  let base_visible = ref true in
+  Store.iter
+    (fun f -> if not (Closure.mem partial f) then base_visible := false)
+    (Database.store db);
+  check "every base fact visible after the trip" !base_visible;
+  Database.set_governor db None
+
 (* Bechamel micro-op reference table                                     *)
 
 let micro () =
@@ -1924,7 +2173,7 @@ let experiments =
     ("b1", b1); ("b2", b2); ("b3", b3); ("b4", b4); ("b5", b5); ("b6", b6);
     ("b7", b7); ("b8", b8); ("b9", b9); ("b10", b10); ("b11", b11); ("b12", b12);
     ("b13", b13); ("b14", b14); ("b15", b15); ("b16", b16); ("b17", b17);
-    ("b18", b18); ("b19", b19);
+    ("b18", b18); ("b19", b19); ("b20", b20);
     ("micro", micro);
   ]
 

@@ -45,7 +45,11 @@ let install_sigint shell =
            | _ -> raise Sys.Break))
   with Invalid_argument _ | Sys_error _ -> ()
 
-let drive ?limit ?domains ?journal ?deadline_ms ~closure_mode db command =
+let drive ?limit ?shards ?domains ?journal ?deadline_ms ~closure_mode db command =
+  (* Re-partition before anything queries: at this point no closure has
+     been computed, so the reshard is pure heap work. Session-only, like
+     --limit: never journaled. *)
+  Option.iter (fun n -> Database.set_shards db n) shards;
   (* A session-only override of the composition chain bound: applied
      after any journal replay, never journaled itself. *)
   Option.iter (fun n -> Database.set_limit db n) limit;
@@ -108,6 +112,16 @@ let domains =
   in
   Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
 
+let shards_flag =
+  let doc =
+    "Hash-partition the fact heap by source entity into $(docv) shards; \
+     closure, retraction and search then run shard-parallel on the domain \
+     pool (pair with $(b,--domains)). Query results are identical at every \
+     shard count. Session-only; flip at runtime with the shell's '.shards' \
+     command."
+  in
+  Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N" ~doc)
+
 let salvage =
   let doc =
     "Open the durable directory in salvage mode: truncate a torn log tail, \
@@ -153,8 +167,8 @@ let closure_flag =
   in
   Arg.(value & opt (some mode) None & info [ "closure" ] ~docv:"MODE" ~doc)
 
-let rec main file demo dir command domains salvage metrics_file slow_ms limit
-    closure deadline_ms =
+let rec main file demo dir command domains shards salvage metrics_file slow_ms
+    limit closure deadline_ms =
   (match metrics_file with
   | Some _ -> Lsdb_obs.Metrics.set_enabled true
   | None -> ());
@@ -178,9 +192,9 @@ let rec main file demo dir command domains salvage metrics_file slow_ms limit
             (fun p -> prerr_string (Lsdb_obs.Trace.render p))
             (List.rev (Lsdb_obs.Trace.slowlog ())))
   @@ fun () ->
-  run file demo dir command domains salvage limit closure deadline_ms
+  run file demo dir command domains shards salvage limit closure deadline_ms
 
-and run file demo dir command domains salvage limit closure deadline_ms =
+and run file demo dir command domains shards salvage limit closure deadline_ms =
   (* Demand is the default for --dir cold opens (the heap may be far
      larger than anything this session will query); in-memory sessions
      default to eager, the long-standing behavior. *)
@@ -189,7 +203,7 @@ and run file demo dir command domains salvage limit closure deadline_ms =
   | Some name, _ -> (
       match List.assoc_opt name Lsdb_shell.Shell.demos with
       | Some build ->
-          drive ?limit ~domains ?deadline_ms
+          drive ?limit ?shards ~domains ?deadline_ms
             ~closure_mode:(closure_mode ~default:Database.Eager)
             (build ()) command;
           0
@@ -230,7 +244,7 @@ and run file demo dir command domains salvage limit closure deadline_ms =
           Fun.protect
             ~finally:(fun () -> Lsdb_storage.Persistent.close p)
             (fun () ->
-              drive ?limit ~domains ~journal ?deadline_ms
+              drive ?limit ?shards ~domains ~journal ?deadline_ms
                 ~closure_mode:(closure_mode ~default:Database.Demand)
                 db command);
           0)
@@ -243,7 +257,7 @@ and run file demo dir command domains salvage limit closure deadline_ms =
       with
       | Ok n ->
           if n > 0 then Printf.printf "loaded %d facts from %s\n" n (Option.get file);
-          drive ?limit ~domains ?deadline_ms
+          drive ?limit ?shards ~domains ?deadline_ms
             ~closure_mode:(closure_mode ~default:Database.Eager)
             db command;
           0
@@ -260,7 +274,7 @@ let cmd =
   Cmd.v info
     Term.(
       const main $ file $ demo $ persistent_dir $ command_line $ domains
-      $ salvage $ metrics_file $ slow_ms $ limit_flag $ closure_flag
-      $ deadline_ms_flag)
+      $ shards_flag $ salvage $ metrics_file $ slow_ms $ limit_flag
+      $ closure_flag $ deadline_ms_flag)
 
 let () = exit (Cmd.eval' cmd)

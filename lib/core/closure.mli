@@ -22,12 +22,22 @@ exception Diverged of int
     the target" (§3.2's footnote), and inverting a fact whose endpoint
     was already generalized would silently turn that ∃ into a ∀ — an
     unsoundness in the rules as printed that only shows up when they are
-    actually executed (see DESIGN.md). *)
+    actually executed (see DESIGN.md).
+
+    [shards] picks the implementation: [1] is the classic single-heap
+    path (each stratum copies its input into a private index); [> 1]
+    dispatches to {!Sharded_closure}, which evaluates {e through} the
+    store with hash-partitioned derived overlays and never copies the
+    base facts. Defaults to the store's own shard count
+    ({!Store.shards}), so a sharded heap automatically gets the sharded
+    closure. Content is identical either way; enumeration order is not
+    (compare canonically sorted). *)
 val compute :
   ?max_facts:int ->
   ?pool:Lsdb_exec.Pool.t ->
   ?gov:Lsdb_exec.Governor.t ->
   ?staged_rules:Lsdb_datalog.Rule.t list ->
+  ?shards:int ->
   rules:Lsdb_datalog.Rule.t list ->
   Store.t ->
   t
@@ -146,3 +156,16 @@ val entity_active : t -> Entity.t -> bool
     without racing a cache fill. Must be called from a single domain,
     before the fan-out, with no interleaved mutation. *)
 val prepare_readers : t -> unit
+
+(** {1 Shard introspection (B20, shell [.stats])} *)
+
+(** Shard count of the live implementation ([1] = single-heap path). *)
+val shards : t -> int
+
+(** Live derived facts per shard (a single-element array on the
+    single-heap path) — the balance behind the imbalance gauge. *)
+val overlay_cardinals : t -> int array
+
+(** Cross-shard deltas routed at round barriers over this closure's
+    lifetime; [0] on the single-heap path. *)
+val exchanged : t -> int

@@ -50,12 +50,12 @@ let axiom_facts =
 
 let next_uid = Atomic.make 0
 
-let create ?(max_facts = 2_000_000) () =
+let create ?(max_facts = 2_000_000) ?(shards = 1) () =
   let t =
     {
       uid = Atomic.fetch_and_add next_uid 1;
       symtab = Symtab.create ();
-      store = Store.create ();
+      store = Store.create ~shards ();
       relclass = Relclass.create ();
       rules = List.map (fun rule -> (rule, true)) Builtin_rules.all;
       composition_limit = 1;
@@ -96,6 +96,17 @@ let invalidate t =
 
 let uid t = t.uid
 let generation t = t.generation
+let shards t = Store.shards t.store
+
+(* Re-partition the heap in place. The closure dispatcher keys off the
+   store's shard count, so dropping the caches is all that's needed for
+   the next access to come up on the right implementation. *)
+let set_shards t n =
+  let n = max 1 n in
+  if n <> Store.shards t.store then begin
+    Store.reshard t.store n;
+    invalidate t
+  end
 let set_pool t pool = t.pool <- pool
 let pool t = t.pool
 
@@ -561,7 +572,7 @@ let copy t =
     {
       uid = Atomic.fetch_and_add next_uid 1;
       symtab = Symtab.create ();
-      store = Store.create ();
+      store = Store.create ~shards:(Store.shards t.store) ();
       relclass = Relclass.copy t.relclass;
       rules = t.rules;
       composition_limit = t.composition_limit;

@@ -14,8 +14,23 @@ type t
 
 (** [create ()] — a fresh database containing only the axiom facts
     [(↔,↔,↔)] and [(⊥,↔,⊥)] (§3.4, §3.5), with every builtin rule of §3
-    enabled and composition disabled ([limit 1]). *)
-val create : ?max_facts:int -> unit -> t
+    enabled and composition disabled ([limit 1]).
+
+    [shards] hash-partitions the fact heap by source entity
+    ({!Lsdb_datalog.Shard}) and makes closure maintenance run through the
+    sharded read-through implementation ({!Closure.compute}'s dispatch).
+    Query results are identical at every shard count; enumeration order
+    is not. Default [1] — the classic single heap. *)
+val create : ?max_facts:int -> ?shards:int -> unit -> t
+
+(** Current shard count of the fact heap ([>= 1]). *)
+val shards : t -> int
+
+(** [set_shards t n] re-partitions the heap in place ([O(heap)]) and
+    drops the closure/demand caches (the next access recomputes on the
+    new layout, choosing the matching closure implementation). Bumps the
+    generation. No-op when [n] equals the current count. *)
+val set_shards : t -> int -> unit
 
 (** The two axiom facts seeded into every database: [(↔,↔,↔)] and
     [(⊥,↔,⊥)] (§3.4, §3.5). *)

@@ -42,14 +42,14 @@ let merge_member merged origin_table (member_name, member_db) =
           end)
     (Database.rules member_db)
 
-let create members =
-  let merged = Database.create () in
+let create ?shards members =
+  let merged = Database.create ?shards () in
   let origin_table = Fact.Tbl.create 256 in
   List.iter (merge_member merged origin_table) members;
   { merged; member_names = List.map fst members; skipped_members = []; origin_table }
 
-let create_lenient members =
-  let merged = Database.create () in
+let create_lenient ?shards members =
+  let merged = Database.create ?shards () in
   let origin_table = Fact.Tbl.create 256 in
   let merged_names = ref [] in
   let skipped = ref [] in

@@ -12,8 +12,9 @@
 type t
 
 (** Merge the named members into a fresh database. Member rule sets beyond
-    the builtins are carried over (name clashes: last member wins). *)
-val create : (string * Database.t) list -> t
+    the builtins are carried over (name clashes: last member wins).
+    [shards] partitions the merged heap ({!Database.create}). *)
+val create : ?shards:int -> (string * Database.t) list -> t
 
 (** Like {!create}, but each member is supplied as a thunk that opens its
     heap, and a thunk that raises degrades to a {e skipped} member instead
@@ -21,7 +22,7 @@ val create : (string * Database.t) list -> t
     that did open, {!members} lists only those, and {!skipped} reports the
     casualties (with the exception text). Each skip bumps the
     [lsdb_federation_skipped_members_total] counter. *)
-val create_lenient : (string * (unit -> Database.t)) list -> t
+val create_lenient : ?shards:int -> (string * (unit -> Database.t)) list -> t
 
 (** The merged database (browse and query it like any other). *)
 val database : t -> Database.t

@@ -201,20 +201,6 @@ let cache_stats_for db =
     size = domain_cache_size ~uid (Domain.DLS.get cache_dls);
   }
 
-let cache_stats () =
-  (* Deprecated aggregate: sums the per-database counters. *)
-  Mutex.lock counters_lock;
-  let hits, misses, evictions =
-    Hashtbl.fold
-      (fun _ h (hits, misses, evictions) ->
-        ( hits + Metrics.counter_value h.c_hits,
-          misses + Metrics.counter_value h.c_misses,
-          evictions + Metrics.counter_value h.c_evictions ))
-      counters_tbl (0, 0, 0)
-  in
-  Mutex.unlock counters_lock;
-  { hits; misses; evictions; size = domain_cache_size (Domain.DLS.get cache_dls) }
-
 let key_of db opts (pat : Store.pattern) =
   let enc = function Some e -> e | None -> min_int in
   let bit b n = if b then n else 0 in

@@ -48,12 +48,6 @@ val cache_stats_for : Database.t -> cache_stats
     that database's totals across all domains; [size] counts the calling
     domain's entries for that database. *)
 
-val cache_stats : unit -> cache_stats
-(** @deprecated Sums the per-database counters into one process-wide
-    aggregate (the pre-registry behavior); [size] is the calling domain's
-    total entry count. Use {!cache_stats_for} to read the database you
-    actually care about. *)
-
 val match_list : ?opts:opts -> Database.t -> Store.pattern -> Fact.t list
 val count : ?opts:opts -> Database.t -> Store.pattern -> int
 val exists : ?opts:opts -> Database.t -> Store.pattern -> bool

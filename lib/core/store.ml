@@ -1,3 +1,5 @@
+module Shard = Lsdb_datalog.Shard
+
 module Pair = struct
   type t = int * int
 
@@ -10,7 +12,11 @@ module Int_tbl = Hashtbl.Make (Int)
 
 type bucket = unit Fact.Tbl.t
 
-type t = {
+(* One shard of the heap: a full set of posting tables over the facts it
+   owns. Everything routable by source ([all], [by_sr], [by_st], [by_s])
+   is answered from one shard; source-unbound probes fan out across all
+   shards in index order. *)
+type sub = {
   all : unit Fact.Tbl.t;
   by_sr : bucket Pair_tbl.t;
   by_st : bucket Pair_tbl.t;
@@ -18,14 +24,19 @@ type t = {
   by_s : bucket Int_tbl.t;
   by_r : bucket Int_tbl.t;
   by_t : bucket Int_tbl.t;
-  refcount : int Int_tbl.t;  (* entity -> number of occurrences in facts *)
+}
+
+type t = {
+  mutable plan : Shard.plan;
+  mutable subs : sub array;  (* length = Shard.shards plan *)
+  refcount : int Int_tbl.t;  (* entity -> occurrences, across all shards *)
 }
 
 type pattern = { s : Entity.t option; r : Entity.t option; t : Entity.t option }
 
 let pattern ?s ?r ?t () = { s; r; t }
 
-let create ?(size_hint = 256) () =
+let make_sub size_hint =
   {
     all = Fact.Tbl.create size_hint;
     by_sr = Pair_tbl.create size_hint;
@@ -34,8 +45,19 @@ let create ?(size_hint = 256) () =
     by_s = Int_tbl.create size_hint;
     by_r = Int_tbl.create size_hint;
     by_t = Int_tbl.create size_hint;
+  }
+
+let create ?(size_hint = 256) ?(shards = 1) () =
+  let plan = Shard.plan shards in
+  {
+    plan;
+    subs = Array.init (Shard.shards plan) (fun _ -> make_sub size_hint);
     refcount = Int_tbl.create size_hint;
   }
+
+let shards t = Shard.shards t.plan
+let shard_plan t = t.plan
+let sub_of t s = t.subs.(Shard.of_entity t.plan s)
 
 let bucket_add_pair tbl key fact =
   let bucket =
@@ -84,15 +106,16 @@ let ref_decr t e =
   | Some n -> Int_tbl.replace t.refcount e (n - 1)
 
 let add t (fact : Fact.t) =
-  if Fact.Tbl.mem t.all fact then false
+  let sub = sub_of t fact.s in
+  if Fact.Tbl.mem sub.all fact then false
   else begin
-    Fact.Tbl.add t.all fact ();
-    bucket_add_pair t.by_sr (fact.s, fact.r) fact;
-    bucket_add_pair t.by_st (fact.s, fact.t) fact;
-    bucket_add_pair t.by_rt (fact.r, fact.t) fact;
-    bucket_add_int t.by_s fact.s fact;
-    bucket_add_int t.by_r fact.r fact;
-    bucket_add_int t.by_t fact.t fact;
+    Fact.Tbl.add sub.all fact ();
+    bucket_add_pair sub.by_sr (fact.s, fact.r) fact;
+    bucket_add_pair sub.by_st (fact.s, fact.t) fact;
+    bucket_add_pair sub.by_rt (fact.r, fact.t) fact;
+    bucket_add_int sub.by_s fact.s fact;
+    bucket_add_int sub.by_r fact.r fact;
+    bucket_add_int sub.by_t fact.t fact;
     ref_incr t fact.s;
     ref_incr t fact.r;
     ref_incr t fact.t;
@@ -100,55 +123,81 @@ let add t (fact : Fact.t) =
   end
 
 let remove t (fact : Fact.t) =
-  if not (Fact.Tbl.mem t.all fact) then false
+  let sub = sub_of t fact.s in
+  if not (Fact.Tbl.mem sub.all fact) then false
   else begin
-    Fact.Tbl.remove t.all fact;
-    bucket_remove_pair t.by_sr (fact.s, fact.r) fact;
-    bucket_remove_pair t.by_st (fact.s, fact.t) fact;
-    bucket_remove_pair t.by_rt (fact.r, fact.t) fact;
-    bucket_remove_int t.by_s fact.s fact;
-    bucket_remove_int t.by_r fact.r fact;
-    bucket_remove_int t.by_t fact.t fact;
+    Fact.Tbl.remove sub.all fact;
+    bucket_remove_pair sub.by_sr (fact.s, fact.r) fact;
+    bucket_remove_pair sub.by_st (fact.s, fact.t) fact;
+    bucket_remove_pair sub.by_rt (fact.r, fact.t) fact;
+    bucket_remove_int sub.by_s fact.s fact;
+    bucket_remove_int sub.by_r fact.r fact;
+    bucket_remove_int sub.by_t fact.t fact;
     ref_decr t fact.s;
     ref_decr t fact.r;
     ref_decr t fact.t;
     true
   end
 
-let mem t fact = Fact.Tbl.mem t.all fact
-let cardinal t = Fact.Tbl.length t.all
+let mem t (fact : Fact.t) = Fact.Tbl.mem (sub_of t fact.s).all fact
+
+let cardinal t =
+  Array.fold_left (fun n sub -> n + Fact.Tbl.length sub.all) 0 t.subs
+
+let shard_cardinals t = Array.map (fun sub -> Fact.Tbl.length sub.all) t.subs
 let is_empty t = cardinal t = 0
 
 let clear t =
-  Fact.Tbl.reset t.all;
-  Pair_tbl.reset t.by_sr;
-  Pair_tbl.reset t.by_st;
-  Pair_tbl.reset t.by_rt;
-  Int_tbl.reset t.by_s;
-  Int_tbl.reset t.by_r;
-  Int_tbl.reset t.by_t;
+  Array.iter
+    (fun sub ->
+      Fact.Tbl.reset sub.all;
+      Pair_tbl.reset sub.by_sr;
+      Pair_tbl.reset sub.by_st;
+      Pair_tbl.reset sub.by_rt;
+      Int_tbl.reset sub.by_s;
+      Int_tbl.reset sub.by_r;
+      Int_tbl.reset sub.by_t)
+    t.subs;
   Int_tbl.reset t.refcount
 
-let iter f t = Fact.Tbl.iter (fun fact () -> f fact) t.all
-let fold f t init = Fact.Tbl.fold (fun fact () acc -> f fact acc) t.all init
-let to_seq t = Fact.Tbl.to_seq_keys t.all
+let iter f t =
+  Array.iter (fun sub -> Fact.Tbl.iter (fun fact () -> f fact) sub.all) t.subs
+
+let fold f t init =
+  Array.fold_left
+    (fun acc sub -> Fact.Tbl.fold (fun fact () acc -> f fact acc) sub.all acc)
+    init t.subs
+
+let to_seq t =
+  Seq.concat_map
+    (fun sub -> Fact.Tbl.to_seq_keys sub.all)
+    (Array.to_seq t.subs)
+
 let to_list t = List.of_seq (to_seq t)
 
 let iter_bucket f = function
   | None -> ()
   | Some bucket -> Fact.Tbl.iter (fun fact () -> f fact) bucket
 
+(* Source-bound patterns touch exactly one shard; the rest fan out. *)
 let match_pattern t { s; r; t = tgt } f =
   match (s, r, tgt) with
   | Some s, Some r, Some tg ->
       let fact = Fact.make s r tg in
       if mem t fact then f fact
-  | Some s, Some r, None -> iter_bucket f (Pair_tbl.find_opt t.by_sr (s, r))
-  | Some s, None, Some tg -> iter_bucket f (Pair_tbl.find_opt t.by_st (s, tg))
-  | None, Some r, Some tg -> iter_bucket f (Pair_tbl.find_opt t.by_rt (r, tg))
-  | Some s, None, None -> iter_bucket f (Int_tbl.find_opt t.by_s s)
-  | None, Some r, None -> iter_bucket f (Int_tbl.find_opt t.by_r r)
-  | None, None, Some tg -> iter_bucket f (Int_tbl.find_opt t.by_t tg)
+  | Some s, Some r, None ->
+      iter_bucket f (Pair_tbl.find_opt (sub_of t s).by_sr (s, r))
+  | Some s, None, Some tg ->
+      iter_bucket f (Pair_tbl.find_opt (sub_of t s).by_st (s, tg))
+  | None, Some r, Some tg ->
+      Array.iter
+        (fun sub -> iter_bucket f (Pair_tbl.find_opt sub.by_rt (r, tg)))
+        t.subs
+  | Some s, None, None -> iter_bucket f (Int_tbl.find_opt (sub_of t s).by_s s)
+  | None, Some r, None ->
+      Array.iter (fun sub -> iter_bucket f (Int_tbl.find_opt sub.by_r r)) t.subs
+  | None, None, Some tg ->
+      Array.iter (fun sub -> iter_bucket f (Int_tbl.find_opt sub.by_t tg)) t.subs
   | None, None, None -> iter f t
 
 let match_list t pat =
@@ -160,6 +209,31 @@ let count_matches t pat =
   let n = ref 0 in
   match_pattern t pat (fun _ -> incr n);
   !n
+
+let bucket_len = function None -> 0 | Some b -> Fact.Tbl.length b
+
+(* Exact O(1) counts from bucket sizes (the heap has no tombstones) —
+   the cheap selectivity probe the sharded closure's view exposes for
+   join ordering. *)
+let count_fast t { s; r; t = tgt } =
+  match (s, r, tgt) with
+  | Some s, Some r, Some tg -> if mem t (Fact.make s r tg) then 1 else 0
+  | Some s, Some r, None -> bucket_len (Pair_tbl.find_opt (sub_of t s).by_sr (s, r))
+  | Some s, None, Some tg -> bucket_len (Pair_tbl.find_opt (sub_of t s).by_st (s, tg))
+  | None, Some r, Some tg ->
+      Array.fold_left
+        (fun n sub -> n + bucket_len (Pair_tbl.find_opt sub.by_rt (r, tg)))
+        0 t.subs
+  | Some s, None, None -> bucket_len (Int_tbl.find_opt (sub_of t s).by_s s)
+  | None, Some r, None ->
+      Array.fold_left
+        (fun n sub -> n + bucket_len (Int_tbl.find_opt sub.by_r r))
+        0 t.subs
+  | None, None, Some tg ->
+      Array.fold_left
+        (fun n sub -> n + bucket_len (Int_tbl.find_opt sub.by_t tg))
+        0 t.subs
+  | None, None, None -> cardinal t
 
 exception Found
 
@@ -179,7 +253,21 @@ let match_scan t pat f = iter (fun fact -> if matches_pattern pat fact then f fa
 let active_entities t = Int_tbl.to_seq_keys t.refcount
 let entity_active t e = Int_tbl.mem t.refcount e
 
+(* Re-partition in place: the handle every reader captured stays valid,
+   only the internal routing changes. O(heap); callers invalidate any
+   structure that depends on iteration order. *)
+let reshard t n =
+  let plan = Shard.plan n in
+  if Shard.shards plan <> Shard.shards t.plan then begin
+    let facts = to_list t in
+    let size_hint = max 256 (cardinal t / Shard.shards plan) in
+    t.plan <- plan;
+    t.subs <- Array.init (Shard.shards plan) (fun _ -> make_sub size_hint);
+    Int_tbl.reset t.refcount;
+    List.iter (fun fact -> ignore (add t fact : bool)) facts
+  end
+
 let copy t =
-  let fresh = create ~size_hint:(max 256 (cardinal t)) () in
+  let fresh = create ~size_hint:(max 256 (cardinal t)) ~shards:(shards t) () in
   iter (fun fact -> ignore (add fresh fact)) t;
   fresh

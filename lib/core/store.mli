@@ -1,10 +1,15 @@
-(** The heap of facts: a mutable, fully indexed set of triples.
+(** The heap of facts: a mutable, fully indexed set of triples,
+    hash-partitioned by source entity across [shards] internal shards
+    ({!Lsdb_datalog.Shard}).
 
     Supports insertion, deletion and matching for every bound-position
-    pattern in O(1) expected time per result. A deliberately naive linear
-    [match_scan] is also exposed so the benchmarks can quantify what the
-    indexes buy (experiment B2) — the paper leaves "suitable storage
-    strategies" open (§6.2). *)
+    pattern in O(1) expected time per result; source-bound operations
+    touch exactly one shard, source-unbound probes fan out across all of
+    them. With the default single shard the layout is the classic
+    unpartitioned heap. A deliberately naive linear [match_scan] is also
+    exposed so the benchmarks can quantify what the indexes buy
+    (experiment B2) — the paper leaves "suitable storage strategies"
+    open (§6.2). *)
 
 type t
 
@@ -13,7 +18,23 @@ type pattern = { s : Entity.t option; r : Entity.t option; t : Entity.t option }
 
 val pattern : ?s:Entity.t -> ?r:Entity.t -> ?t:Entity.t -> unit -> pattern
 
-val create : ?size_hint:int -> unit -> t
+val create : ?size_hint:int -> ?shards:int -> unit -> t
+
+(** Number of internal shards ([>= 1]). *)
+val shards : t -> int
+
+(** The routing plan, for layers that co-partition with the heap (the
+    sharded closure's overlays). *)
+val shard_plan : t -> Lsdb_datalog.Shard.plan
+
+(** Facts per shard — the partition balance (B20's imbalance gauge). *)
+val shard_cardinals : t -> int array
+
+(** [reshard t n] re-partitions in place: the handle stays valid, every
+    fact is re-routed. O(heap). Iteration order changes — callers must
+    invalidate anything derived from it (the database bumps its
+    generation and drops its closure caches). *)
+val reshard : t -> int -> unit
 
 (** [add t fact] is [true] iff the fact was not already present. *)
 val add : t -> Fact.t -> bool
@@ -36,6 +57,13 @@ val match_pattern : t -> pattern -> (Fact.t -> unit) -> unit
 
 val match_list : t -> pattern -> Fact.t list
 val count_matches : t -> pattern -> int
+
+(** [count_fast t pat] — the number of facts matching [pat] in O(1)
+    (O(shards) for source-unbound patterns), from posting-bucket sizes.
+    Exact, unlike the closure index's tombstone-inclusive counts; the
+    cheap selectivity probe behind the sharded closure's join ordering. *)
+val count_fast : t -> pattern -> int
+
 val exists_match : t -> pattern -> bool
 
 (** Unindexed full-scan matching (baseline for B2). Same results as

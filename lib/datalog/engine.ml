@@ -131,6 +131,25 @@ let force_support result =
 let support_size result =
   match result.support with Some { edges; _ } -> edges | None -> 0
 
+(* A read-only window onto "all facts so far": the single-heap paths
+   wrap one {!Index.t}, the sharded paths ({!Sharded}) a base heap plus
+   per-shard derived overlays. The join loops below only ever need these
+   three probes, so evaluating over a view costs one closure indirection
+   per probe and spares the sharded engine from copying the base into a
+   fresh index. *)
+type view = {
+  v_iter : s:int option -> r:int option -> tgt:int option -> (Triple.t -> unit) -> unit;
+  v_mem : Triple.t -> bool;
+  v_count : s:int option -> r:int option -> tgt:int option -> int;
+}
+
+let view_of_index idx =
+  {
+    v_iter = (fun ~s ~r ~tgt f -> Index.candidates idx ~s ~r ~tgt f);
+    v_mem = (fun triple -> Index.mem idx triple);
+    v_count = (fun ~s ~r ~tgt -> Index.count idx ~s ~r ~tgt);
+  }
+
 (* Check every guard that is fully bound; fail fast on the first violated
    one. Guards whose variables are still unbound are deferred to a later
    atom (and are guaranteed checkable at the end because rules are safe). *)
@@ -153,7 +172,7 @@ let atom_pattern binding (atom : Atom.t) =
    Leading with the delta triple also binds variables that make the
    remaining full-index probes selective. [emit binding premises] is
    called for each complete match, premises in body order. *)
-let eval_rule (rule : Rule.t) ~full ~delta ~emit =
+let eval_rule (rule : Rule.t) ~(full : view) ~delta ~emit =
   let binding = Array.make (max rule.nvars 1) (-1) in
   let body = Array.of_list rule.body in
   let n = Array.length body in
@@ -165,7 +184,7 @@ let eval_rule (rule : Rule.t) ~full ~delta ~emit =
     | i :: rest ->
         let atom = body.(i) in
         let s, r, tgt = atom_pattern binding atom in
-        Index.candidates full ~s ~r ~tgt (fun triple ->
+        full.v_iter ~s ~r ~tgt (fun triple ->
             match Atom.match_against binding atom triple with
             | None -> ()
             | Some newly ->
@@ -191,41 +210,32 @@ let eval_rule (rule : Rule.t) ~full ~delta ~emit =
    local seen-table bounds the buffers (keeping the first emission in the
    shard's rule-major stream, which is also the one the deterministic
    barrier merge would keep). *)
-let round_shard ?gov rules ~full shard =
+let round_shard ?gov rules ~(full : view) shard =
   let seen = Triple.Tbl.create 64 in
   let buffers = Array.make (Array.length rules) [] in
-  (* Work units accumulate in a plain local counter and reach the
-     governor in batches: two atomic RMWs per emission (and per rule on
-     small deltas) cost more than the joins they were metering on the
-     incremental kernels B19 gates. The ≤256-unit slop is well inside the
-     1024-unit checkpoint interval. *)
-  let pending = ref 0 in
-  let bump n =
-    pending := !pending + n;
-    if !pending >= 256 then begin
-      let n = !pending in
-      pending := 0;
-      Governor.tick gov n
-    end
-  in
+  (* Work units accumulate in a lane-local ticker and reach the governor
+     in batches: two atomic RMWs per emission (and per rule on small
+     deltas) cost more than the joins they were metering on the
+     incremental kernels B19 gates (see {!Governor.ticker}). *)
+  let tk = Governor.ticker gov in
   Array.iteri
     (fun ri (rule : Rule.t) ->
-      bump (Array.length shard);
+      Governor.bump tk (Array.length shard);
       eval_rule rule ~full ~delta:shard ~emit:(fun binding premises ->
-          bump 1;
+          Governor.bump tk 1;
           List.iter
             (fun head ->
               match Atom.instantiate binding head with
               | None -> ()
               | Some triple ->
-                  if (not (Index.mem full triple)) && not (Triple.Tbl.mem seen triple)
+                  if (not (full.v_mem triple)) && not (Triple.Tbl.mem seen triple)
                   then begin
                     Triple.Tbl.add seen triple ();
                     buffers.(ri) <- (triple, premises) :: buffers.(ri)
                   end)
             rule.heads))
     rules;
-  if !pending > 0 then Governor.tick gov !pending;
+  Governor.flush_ticks tk;
   Array.map List.rev buffers
 
 (* Split [delta] into contiguous shards, preserving order. *)
@@ -248,6 +258,7 @@ let shards_of nshards delta =
    of rounds. *)
 let fixpoint ?pool ?gov ~max_facts rules ~full ~record initial =
   let rules = Array.of_list rules in
+  let fullv = view_of_index full in
   let derived_rev = ref [] in
   let delta = ref (Array.of_list initial) in
   let rounds = ref 0 in
@@ -279,12 +290,12 @@ let fixpoint ?pool ?gov ~max_facts rules ~full ~record initial =
              let nshards =
                min (Pool.size pool) (max 1 ((Array.length !delta + 31) / 32))
              in
-             if nshards = 1 then [| round_shard ?gov rules ~full !delta |]
+             if nshards = 1 then [| round_shard ?gov rules ~full:fullv !delta |]
              else
                Pool.map_array pool
-                 (round_shard ?gov rules ~full)
+                 (round_shard ?gov rules ~full:fullv)
                  (shards_of nshards !delta)
-         | _ -> [| round_shard ?gov rules ~full !delta |]
+         | _ -> [| round_shard ?gov rules ~full:fullv !delta |]
        in
        (* Barrier: merge rule-major then shard-major — the same stream a
           single shard would emit — deduplicate against the index, extend
@@ -387,7 +398,7 @@ exception Derivation of provenance
    fact's entities (a handful of candidates) and another anchored only on
    a hub key (thousands) — leading with the hub atom made each check cost
    a bucket scan per cone fact. *)
-let find_derivation rules ~full fact =
+let find_derivation rules ~(full : view) fact =
   let check (rule : Rule.t) =
     let binding = Array.make (max rule.nvars 1) (-1) in
     let body = Array.of_list rule.body in
@@ -404,7 +415,7 @@ let find_derivation rules ~full fact =
           List.iter
             (fun i ->
               let s, r, tgt = atom_pattern binding body.(i) in
-              let c = Index.count full ~s ~r ~tgt in
+              let c = full.v_count ~s ~r ~tgt in
               if c < !best_n then begin
                 best := i;
                 best_n := c
@@ -414,7 +425,7 @@ let find_derivation rules ~full fact =
           let rest = List.filter (fun j -> j <> i) remaining in
           let atom = body.(i) in
           let s, r, tgt = atom_pattern binding atom in
-          Index.candidates full ~s ~r ~tgt (fun triple ->
+          full.v_iter ~s ~r ~tgt (fun triple ->
               match Atom.match_against binding atom triple with
               | None -> ()
               | Some newly ->
@@ -481,9 +492,10 @@ let retract ?(max_facts = 10_000_000) ?pool ?gov rules result deleted =
   Metrics.add m_cone (Array.length cone_arr);
   Metrics.add m_rederive_checks (Array.length cone_arr);
   Trace.annotate "cone" (string_of_int (Array.length cone_arr));
+  let fullv = view_of_index result.index in
   let check fact =
     Governor.tick gov 1;
-    match find_derivation rules ~full:result.index fact with
+    match find_derivation rules ~full:fullv fact with
     | Some prov -> Some (fact, prov)
     | None -> None
   in
@@ -537,12 +549,16 @@ let retract ?(max_facts = 10_000_000) ?pool ?gov rules result deleted =
       rederive_rounds;
     } )
 
+let round_view = round_shard
+let find_derivation_view = find_derivation
+
 let step rules index =
   let out = ref [] in
   let delta = Array.of_seq (Index.to_seq index) in
+  let full = view_of_index index in
   List.iter
     (fun (rule : Rule.t) ->
-      eval_rule rule ~full:index ~delta ~emit:(fun binding _premises ->
+      eval_rule rule ~full ~delta ~emit:(fun binding _premises ->
           List.iter
             (fun head ->
               match Atom.instantiate binding head with

@@ -127,3 +127,43 @@ val support_size : result -> int
     by incremental maintenance: derive everything the rules produce from the
     facts currently in [index] without iterating to fixpoint. *)
 val step : Rule.t list -> Index.t -> Triple.t list
+
+(** {1 View-based evaluation}
+
+    The join loops read "all facts so far" through three probes only;
+    {!view} packages them so the sharded engine ({!Sharded}) can evaluate
+    over a base heap plus per-shard derived overlays {e without} copying
+    the base into a fresh {!Index.t} — on a million-fact heap the two
+    index loads are most of what a from-scratch closure costs. The
+    single-heap entry points above all run over {!view_of_index}. *)
+
+type view = {
+  v_iter : s:int option -> r:int option -> tgt:int option -> (Triple.t -> unit) -> unit;
+      (** [candidates]: every triple compatible with the pattern. *)
+  v_mem : Triple.t -> bool;
+  v_count : s:int option -> r:int option -> tgt:int option -> int;
+      (** O(1)-ish upper bound on [v_iter]'s yield, for join ordering. *)
+}
+
+val view_of_index : Index.t -> view
+
+(** [round_view rules ~full delta] — one semi-naive round of every rule
+    against one delta shard, reading [full] as frozen: returns the
+    [(head, premises)] emissions buffered per rule (rule order matching
+    [rules], emission order deterministic in the delta order), deduplicated
+    against [full] and within the shard. Read-only on [full], so shards
+    can run on separate pool domains; the caller merges rule-major then
+    shard-major and routes accepted heads itself. [?gov] is ticked at
+    amortized batches, [Trip] propagates to the caller. *)
+val round_view :
+  ?gov:Lsdb_exec.Governor.t ->
+  Rule.t array ->
+  full:view ->
+  Triple.t array ->
+  (Triple.t * Triple.t list) list array
+
+(** [find_derivation_view rules ~full fact] — is [fact] derivable in one
+    rule application from the facts in [full]? Joins most-selective-first
+    via [v_count]. Read-only; used by sharded delete/rederive. *)
+val find_derivation_view :
+  Rule.t list -> full:view -> Triple.t -> provenance option

@@ -1,0 +1,38 @@
+(** Deterministic hash partitioning of facts by source entity.
+
+    A heap with no schema has no natural partitioning key, which is
+    exactly why a mechanical one works: every fact is routed by a fixed
+    avalanche hash of its source entity, so any loosely structured heap
+    splits into [n] shards without coordination, and two processes (or
+    two runs) always agree on the owner of a fact. The closure overlays
+    ({!Sharded}), the in-memory heap ([Lsdb.Store]) and the persistent
+    heap ([Lsdb_storage.Sharded_heap]) all route through this module, so
+    their partitions line up.
+
+    Interned entity ids are not stable across sessions, so the
+    persistent layer routes by {e name} ({!of_name}) while the in-memory
+    layers route by id ({!of_entity}); both are deterministic within
+    their domain. *)
+
+type plan
+(** An immutable partitioning plan: just the shard count, carried as an
+    abstract value so a plan built once is threaded through rather than
+    re-derived. *)
+
+val plan : int -> plan
+(** [plan n] — a plan with [max 1 n] shards. *)
+
+val shards : plan -> int
+(** Number of shards ([>= 1]). *)
+
+val of_entity : plan -> int -> int
+(** [of_entity plan e] — the shard owning facts whose source is entity
+    [e]; in [\[0, shards plan)]. Deterministic in [(shards plan, e)]
+    only. *)
+
+val of_triple : plan -> Triple.t -> int
+(** Owner shard of a ground triple: [of_entity plan triple.s]. *)
+
+val of_name : shards:int -> string -> int
+(** FNV-1a over the source {e name}, for layers that outlive the symbol
+    table (persistent heaps). Deterministic in [(shards, name)]. *)

@@ -148,6 +148,21 @@ let tick gov n =
         full_check t
       end
 
+type ticker = { tk_gov : t option; tk_batch : int; mutable tk_pending : int }
+
+let ticker ?(batch = 256) gov = { tk_gov = gov; tk_batch = batch; tk_pending = 0 }
+
+let flush_ticks tk =
+  if tk.tk_pending > 0 then begin
+    let n = tk.tk_pending in
+    tk.tk_pending <- 0;
+    tick tk.tk_gov n
+  end
+
+let bump tk n =
+  tk.tk_pending <- tk.tk_pending + n;
+  if tk.tk_pending >= tk.tk_batch then flush_ticks tk
+
 let count_facts gov n =
   match gov with
   | None -> ()

@@ -95,6 +95,31 @@ val count_wave : t option -> unit
 
 val checkpoint_interval : int
 
+(** {1 Batched ticking — shard lanes}
+
+    Two atomic RMWs per {!tick} cost more than the joins they meter on
+    tight per-emission loops, and with several shard lanes ticking the
+    same governor the contention multiplies. A [ticker] accumulates work
+    units in a plain local counter and forwards them in batches: each
+    lane owns one, so the governor sees one aggregated [tick] per
+    [batch] units per lane. The un-forwarded slop is at most
+    [batch - 1] per lane, well inside the checkpoint interval for the
+    default batch of 256. *)
+
+type ticker
+
+(** [ticker gov] — a fresh local accumulator forwarding to [gov].
+    [ticker None] never forwards (all operations are near-free). *)
+val ticker : ?batch:int -> t option -> ticker
+
+(** [bump tk n] records [n] local units; forwards (and may raise
+    {!Trip}) once the batch fills. *)
+val bump : ticker -> int -> unit
+
+(** Forward whatever is pending. Call at the end of the lane's loop so
+    no work goes unmetered. Raises {!Trip} like {!tick}. *)
+val flush_ticks : ticker -> unit
+
 (** {1 Outcomes} *)
 
 (** Wrap a value in the typed outcome: [Complete] if [gov] is absent or

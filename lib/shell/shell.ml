@@ -76,6 +76,7 @@ let help =
   check                         report contradictions in the closure
   stats                         database statistics
   .closure [eager|demand]       show / set the closure mode (demand derives on demand)
+  .shards [N]                   show / set the fact-heap shard count (re-partitions)
   .deadline [MS|off]            per-query wall deadline; a trip returns partial answers
   .budget [facts N|work N|waves N|off]  per-query derivation/work/wave budgets
   .stats                        observability counters (engine, probing, pool, storage)
@@ -124,6 +125,14 @@ let stats_text db =
     [
       Printf.sprintf "entities: %d" (Database.entity_count db);
       Printf.sprintf "base facts: %d" (Database.base_cardinal db);
+      (let n = Database.shards db in
+       if n = 1 then "shards: 1"
+       else
+         let cards = Store.shard_cardinals (Database.store db) in
+         let total = Array.fold_left ( + ) 0 cards in
+         let biggest = Array.fold_left max 0 cards in
+         Printf.sprintf "shards: %d (largest %d of %d base facts)" n biggest
+           total);
       closure_line;
       Printf.sprintf "closure mode: %s"
         (match Database.closure_mode db with
@@ -177,6 +186,15 @@ let obs_stats_text db =
       Printf.sprintf "retraction cones: %d facts over-deleted, %d restored"
         (c "lsdb_engine_retract_cone_facts_total")
         (c "lsdb_engine_restored_facts_total");
+      Printf.sprintf
+        "sharded: %d rounds, %d derived, %d cross-shard exchanged, %d \
+         retractions; imbalance %d‰"
+        (c "lsdb_sharded_rounds_total")
+        (c "lsdb_sharded_derived_triples_total")
+        (c "lsdb_sharded_exchanged_total")
+        (c "lsdb_sharded_retracts_total")
+        (Metrics.gauge_value
+           (Metrics.gauge "lsdb_sharded_imbalance_permille"));
       Printf.sprintf
         "demand: %d goals (%d memo hits / %d misses), %d magic patterns, %d \
          cone facts derived"
@@ -443,6 +461,22 @@ and dispatch t out words =
           Database.set_closure_mode db Database.Demand;
           say "closure mode: demand"
       | ".closure", _ -> say ".closure takes 'eager' or 'demand'"
+      | ".shards", [] ->
+          let n = Database.shards db in
+          say "shards: %d" n;
+          if n > 1 then
+            say "balance: [%s]"
+              (String.concat "; "
+                 (Array.to_list
+                    (Array.map string_of_int
+                       (Store.shard_cardinals (Database.store db)))))
+      | ".shards", [ n ] -> (
+          match int_of_string_opt n with
+          | Some n when n >= 1 ->
+              Database.set_shards db n;
+              say "shards = %d (heap re-partitioned, caches dropped)" n
+          | _ -> say ".shards needs a positive shard count")
+      | ".shards", _ -> say ".shards takes one argument: N"
       | ".deadline", [] -> (
           match t.deadline_ms with
           | Some ms -> say "deadline: %g ms" ms

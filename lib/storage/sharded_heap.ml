@@ -1,0 +1,44 @@
+module Shard = Lsdb_datalog.Shard
+
+type t = { paths : string array; heaps : Fact_heap.t array; nshards : int }
+
+let shard_path base i = Printf.sprintf "%s.shard%d" base i
+
+let open_ ?(shards = 1) path =
+  let nshards = max 1 shards in
+  let paths =
+    if nshards = 1 then [| path |]
+    else Array.init nshards (shard_path path)
+  in
+  { paths; heaps = Array.map Fact_heap.open_ paths; nshards }
+
+let shard_count t = t.nshards
+
+let heap_of t (s, _, _) =
+  t.heaps.(Shard.of_name ~shards:t.nshards s)
+
+let insert t fact = Fact_heap.insert (heap_of t fact) fact
+let delete t fact = Fact_heap.delete (heap_of t fact) fact
+let mem t fact = Fact_heap.mem (heap_of t fact) fact
+
+let cardinal t =
+  Array.fold_left (fun n heap -> n + Fact_heap.cardinal heap) 0 t.heaps
+
+let shard_cardinals t = Array.map Fact_heap.cardinal t.heaps
+let iter f t = Array.iter (Fact_heap.iter f) t.heaps
+let sync t = Array.iter Fact_heap.sync t.heaps
+let close t = Array.iter Fact_heap.close t.heaps
+let pages t = Array.fold_left (fun n heap -> n + Fact_heap.pages heap) 0 t.heaps
+
+let to_database t =
+  let db = Lsdb.Database.create ~shards:t.nshards () in
+  iter (fun (s, r, tgt) -> ignore (Lsdb.Database.insert_names db s r tgt)) t;
+  db
+
+let add_database t db =
+  let added = ref 0 in
+  let symtab = Lsdb.Database.symtab db in
+  Lsdb.Store.iter
+    (fun fact -> if insert t (Lsdb.Fact.names symtab fact) then incr added)
+    (Lsdb.Database.store db);
+  !added

@@ -1,0 +1,49 @@
+(** A disk-resident fact heap hash-partitioned by source {e name} across
+    N {!Fact_heap} page files ([base.shard0] … [base.shardN-1]): the
+    on-disk counterpart of the in-memory store's sharding. Names are
+    routed with {!Lsdb_datalog.Shard.of_name} — stable across processes
+    and restarts, unlike entity ids, which depend on interning order.
+
+    Every operation has the same contract as {!Fact_heap}'s; insertion,
+    deletion and membership touch exactly one shard file. With a single
+    shard the layout {e is} a plain [Fact_heap] at [base] (no suffix), so
+    existing heaps open unchanged.
+
+    The shard count is a property of the files: reopening must pass the
+    same [shards] the heap was written with (facts routed to a shard file
+    that is not opened are simply invisible — the same failure mode as
+    opening the wrong path). *)
+
+type t
+
+(** Open or create the [shards] paged files rooted at [path]. *)
+val open_ : ?shards:int -> string -> t
+
+val shard_count : t -> int
+
+(** Facts per shard file (partition balance on disk). *)
+val shard_cardinals : t -> int array
+
+(** [insert t (s, r, tgt)] — [true] iff the fact was not present. *)
+val insert : t -> string * string * string -> bool
+
+val delete : t -> string * string * string -> bool
+val mem : t -> string * string * string -> bool
+val cardinal : t -> int
+val iter : (string * string * string -> unit) -> t -> unit
+
+(** Flush every shard's pages to disk. *)
+val sync : t -> unit
+
+val close : t -> unit
+
+(** Load every fact into a fresh database with a matching in-memory
+    shard count. *)
+val to_database : t -> Lsdb.Database.t
+
+(** Append every base fact of a database (names preserved); returns how
+    many were new. *)
+val add_database : t -> Lsdb.Database.t -> int
+
+(** Pages used across all shard files. *)
+val pages : t -> int

@@ -1,56 +1,97 @@
 open Lsdb
+module Shard = Lsdb_datalog.Shard
 
-type t = { spo : Bptree.t; pos : Bptree.t; osp : Bptree.t }
+(* One shard: three B+trees over the facts the shard owns. *)
+type sub = { spo : Bptree.t; pos : Bptree.t; osp : Bptree.t }
 
-let create ?branching () =
-  {
-    spo = Bptree.create ?branching ();
-    pos = Bptree.create ?branching ();
-    osp = Bptree.create ?branching ();
-  }
+type t = { plan : Shard.plan; subs : sub array }
+
+let create ?branching ?(shards = 1) () =
+  let plan = Shard.plan shards in
+  let make_sub () =
+    {
+      spo = Bptree.create ?branching ();
+      pos = Bptree.create ?branching ();
+      osp = Bptree.create ?branching ();
+    }
+  in
+  { plan; subs = Array.init (Shard.shards plan) (fun _ -> make_sub ()) }
+
+let shard_count t = Array.length t.subs
+let sub_of t s = t.subs.(Shard.of_entity t.plan s)
 
 let keys (fact : Fact.t) =
   ((fact.s, fact.r, fact.t), (fact.r, fact.t, fact.s), (fact.t, fact.s, fact.r))
 
 let add t fact =
+  let sub = sub_of t fact.Fact.s in
   let spo, pos, osp = keys fact in
-  let added = Bptree.insert t.spo spo in
+  let added = Bptree.insert sub.spo spo in
   if added then begin
-    ignore (Bptree.insert t.pos pos);
-    ignore (Bptree.insert t.osp osp)
+    ignore (Bptree.insert sub.pos pos);
+    ignore (Bptree.insert sub.osp osp)
   end;
   added
 
 let remove t fact =
+  let sub = sub_of t fact.Fact.s in
   let spo, pos, osp = keys fact in
-  let removed = Bptree.delete t.spo spo in
+  let removed = Bptree.delete sub.spo spo in
   if removed then begin
-    ignore (Bptree.delete t.pos pos);
-    ignore (Bptree.delete t.osp osp)
+    ignore (Bptree.delete sub.pos pos);
+    ignore (Bptree.delete sub.osp osp)
   end;
   removed
 
 let mem t fact =
   let spo, _, _ = keys fact in
-  Bptree.mem t.spo spo
+  Bptree.mem (sub_of t fact.Fact.s).spo spo
 
-let cardinal t = Bptree.cardinal t.spo
+let cardinal t =
+  Array.fold_left (fun n sub -> n + Bptree.cardinal sub.spo) 0 t.subs
 
-let iter f t = Bptree.iter (fun (s, r, tgt) -> f (Fact.make s r tgt)) t.spo
+let shard_cardinals t = Array.map (fun sub -> Bptree.cardinal sub.spo) t.subs
 
+let iter f t =
+  Array.iter
+    (fun sub -> Bptree.iter (fun (s, r, tgt) -> f (Fact.make s r tgt)) sub.spo)
+    t.subs
+
+(* Source-bound patterns are prefix scans of one shard's SPO tree; the
+   POS/OSP orders fan out across shards (each scan stays a prefix scan,
+   results come shard-major). *)
 let match_pattern t (pat : Store.pattern) f =
   match (pat.s, pat.r, pat.t) with
   | Some s, Some r, Some tgt ->
       let fact = Fact.make s r tgt in
       if mem t fact then f fact
-  | Some s, Some r, None -> Bptree.iter_prefix2 t.spo s r (fun (s, r, tgt) -> f (Fact.make s r tgt))
-  | Some s, None, None -> Bptree.iter_prefix1 t.spo s (fun (s, r, tgt) -> f (Fact.make s r tgt))
+  | Some s, Some r, None ->
+      Bptree.iter_prefix2 (sub_of t s).spo s r (fun (s, r, tgt) ->
+          f (Fact.make s r tgt))
+  | Some s, None, None ->
+      Bptree.iter_prefix1 (sub_of t s).spo s (fun (s, r, tgt) ->
+          f (Fact.make s r tgt))
   | None, Some r, Some tgt ->
-      Bptree.iter_prefix2 t.pos r tgt (fun (r, tgt, s) -> f (Fact.make s r tgt))
-  | None, Some r, None -> Bptree.iter_prefix1 t.pos r (fun (r, tgt, s) -> f (Fact.make s r tgt))
+      Array.iter
+        (fun sub ->
+          Bptree.iter_prefix2 sub.pos r tgt (fun (r, tgt, s) ->
+              f (Fact.make s r tgt)))
+        t.subs
+  | None, Some r, None ->
+      Array.iter
+        (fun sub ->
+          Bptree.iter_prefix1 sub.pos r (fun (r, tgt, s) ->
+              f (Fact.make s r tgt)))
+        t.subs
   | Some s, None, Some tgt ->
-      Bptree.iter_prefix2 t.osp tgt s (fun (tgt, s, r) -> f (Fact.make s r tgt))
-  | None, None, Some tgt -> Bptree.iter_prefix1 t.osp tgt (fun (tgt, s, r) -> f (Fact.make s r tgt))
+      Bptree.iter_prefix2 (sub_of t s).osp tgt s (fun (tgt, s, r) ->
+          f (Fact.make s r tgt))
+  | None, None, Some tgt ->
+      Array.iter
+        (fun sub ->
+          Bptree.iter_prefix1 sub.osp tgt (fun (tgt, s, r) ->
+              f (Fact.make s r tgt)))
+        t.subs
   | None, None, None -> iter f t
 
 let match_list t pat =
@@ -59,6 +100,6 @@ let match_list t pat =
   !acc
 
 let of_database db =
-  let t = create () in
+  let t = create ~shards:(Database.shards db) () in
   Store.iter (fun fact -> ignore (add t fact)) (Database.store db);
   t

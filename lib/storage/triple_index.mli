@@ -1,11 +1,22 @@
 (** The ordered storage strategy: three B+trees holding each fact in SPO,
     POS and OSP key order, so every bound-position pattern is a prefix or
     point scan. Drop-in alternative to the hash-indexed {!Lsdb.Store} for
-    experiment B2/B6 comparisons. *)
+    experiment B2/B6 comparisons.
+
+    Like the store, the trees can be hash-partitioned by source entity
+    ([shards]): source-bound patterns then scan one shard's SPO tree,
+    POS/OSP probes run the same prefix scan per shard (results
+    shard-major, each shard's slice still in key order). *)
 
 type t
 
-val create : ?branching:int -> unit -> t
+val create : ?branching:int -> ?shards:int -> unit -> t
+
+(** Number of shards ([1] = the classic unpartitioned trees). *)
+val shard_count : t -> int
+
+(** Facts per shard (partition balance). *)
+val shard_cardinals : t -> int array
 
 val add : t -> Lsdb.Fact.t -> bool
 val remove : t -> Lsdb.Fact.t -> bool
@@ -19,5 +30,5 @@ val match_pattern : t -> Lsdb.Store.pattern -> (Lsdb.Fact.t -> unit) -> unit
 
 val match_list : t -> Lsdb.Store.pattern -> Lsdb.Fact.t list
 
-(** Load every base fact of a database. *)
+(** Load every base fact of a database; the shard count carries over. *)
 val of_database : Lsdb.Database.t -> t

@@ -235,9 +235,9 @@ let tests =
         let db = Paper_examples.organization () in
         let pat = Store.pattern ~s:(Database.entity db "JOHN") () in
         let first = Match_layer.match_list db pat in
-        let stats0 = Match_layer.cache_stats () in
+        let stats0 = Match_layer.cache_stats_for db in
         let second = Match_layer.match_list db pat in
-        let stats1 = Match_layer.cache_stats () in
+        let stats1 = Match_layer.cache_stats_for db in
         Alcotest.(check bool) "replay is identical" true (first = second);
         Alcotest.(check bool)
           "repeat probe hit the cache" true

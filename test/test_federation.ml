@@ -98,4 +98,101 @@ let tests =
         let fed = Federation.create [ ("other", other); ("m", member) ] in
         let db = Federation.database fed in
         check_holds db "rule fired in merged view" ("REX", "CAN", "BARK"));
+    (* --- demand-mode federations ----------------------------------- *)
+    (* The demand cone is warmed by real queries and then the federation
+       changes under it — late bridges, late member merges. Every answer
+       must match an eager federation that saw the same final state.
+       Comparisons go through names: the eager oracle and the demand
+       federation intern in different orders. *)
+    test "demand cone: a bridge added after the cone is warm" (fun () ->
+        let eager =
+          let hr, crm = two_members () in
+          Federation.create [ ("hr", hr); ("crm", crm) ]
+        in
+        Federation.add_bridge eager "JOHN" "JOHNNY";
+        let demand =
+          let hr, crm = two_members () in
+          Federation.create [ ("hr", hr); ("crm", crm) ]
+        in
+        let ddb = Federation.database demand in
+        Database.set_closure_mode ddb Database.Demand;
+        (* Warm the cone on the pre-bridge state: JOHN's facts. *)
+        check_holds ddb "warm query" ("JOHN", "EARNS", "$25000");
+        check_not_holds ddb "pre-bridge: no synonym flow"
+          ("JOHNNY", "EARNS", "$25000");
+        (* The bridge lands after the cone is warm. *)
+        Federation.add_bridge demand "JOHN" "JOHNNY";
+        check_holds ddb "synonym substitution through the late bridge"
+          ("JOHNNY", "EARNS", "$25000");
+        check_holds ddb "and in the other direction" ("JOHN", "BOUGHT", "WIDGET");
+        (* Whole-answer identity with the eager oracle, by names. *)
+        let edb = Federation.database eager in
+        List.iter
+          (fun text ->
+            Alcotest.(check (list string))
+              (Printf.sprintf "answers of %S match the eager oracle" text)
+              (answers edb text) (answers ddb text))
+          [ "(JOHNNY, EARNS, ?x)"; "(JOHN, ?x, WIDGET)"; "(?x, in, PERSON)" ]);
+    test "demand cone: a member merged after the cone is warm" (fun () ->
+        let late_member = [ ("JOHN", "in", "VIP"); ("VIP", "isa", "CUSTOMER") ] in
+        let eager =
+          let hr, crm = two_members () in
+          Federation.create
+            [ ("hr", hr); ("crm", crm); ("vip", db_of late_member) ]
+        in
+        let demand =
+          let hr, crm = two_members () in
+          Federation.create [ ("hr", hr); ("crm", crm) ]
+        in
+        let ddb = Federation.database demand in
+        Database.set_closure_mode ddb Database.Demand;
+        check_holds ddb "warm query" ("JOHN", "in", "PERSON");
+        check_not_holds ddb "pre-merge: no VIP membership" ("JOHN", "in", "VIP");
+        (* The late member's heap merges into the (demand-mode) view. *)
+        List.iter
+          (fun (s, r, t) -> ignore (Database.insert_names ddb s r t))
+          late_member;
+        check_holds ddb "new base fact visible" ("JOHN", "in", "VIP");
+        check_holds ddb "membership generalizes through the merged taxonomy"
+          ("JOHN", "in", "CUSTOMER");
+        let edb = Federation.database eager in
+        List.iter
+          (fun text ->
+            Alcotest.(check (list string))
+              (Printf.sprintf "answers of %S match the eager oracle" text)
+              (answers edb text) (answers ddb text))
+          [ "(JOHN, in, ?x)"; "(?x, in, CUSTOMER)"; "(?x, isa, CUSTOMER)" ]);
+    test "demand cone: merge and late bridge compose, sharded" (fun () ->
+        (* The full scenario on a 4-shard merged heap: merge a member and
+           add a bridge after the cone is warm; then flip back to eager
+           and check the two modes agree with each other. *)
+        let build () =
+          let hr, crm = two_members () in
+          Federation.create ~shards:4 [ ("hr", hr); ("crm", crm) ]
+        in
+        let eager = build () in
+        let demand = build () in
+        let ddb = Federation.database demand in
+        Database.set_closure_mode ddb Database.Demand;
+        check_holds ddb "warm query" ("JOHN", "EARNS", "$25000");
+        List.iter
+          (fun fed ->
+            let db = Federation.database fed in
+            ignore (Database.insert_names db "JOHNNY" "in" "VIP");
+            Federation.add_bridge fed "JOHN" "JOHNNY")
+          [ eager; demand ];
+        let edb = Federation.database eager in
+        List.iter
+          (fun text ->
+            Alcotest.(check (list string))
+              (Printf.sprintf "answers of %S match the eager oracle" text)
+              (answers edb text) (answers ddb text))
+          [ "(JOHN, in, ?x)"; "(JOHNNY, EARNS, ?x)" ];
+        Database.set_closure_mode ddb Database.Eager;
+        List.iter
+          (fun text ->
+            Alcotest.(check (list string))
+              (Printf.sprintf "flipping to eager preserves %S" text)
+              (answers edb text) (answers ddb text))
+          [ "(JOHN, in, ?x)"; "(JOHNNY, EARNS, ?x)" ]);
   ]

@@ -215,12 +215,7 @@ let tests =
           (sa.Match_layer.hits >= 1);
         Alcotest.(check int) "untouched db: no hits" 0 sb.Match_layer.hits;
         Alcotest.(check int) "untouched db: no misses" 0 sb.Match_layer.misses;
-        Alcotest.(check int) "untouched db: empty" 0 sb.Match_layer.size;
-        let aggregate = Match_layer.cache_stats () in
-        Alcotest.(check bool) "deprecated aggregate covers the per-db counts"
-          true
-          (aggregate.Match_layer.hits >= sa.Match_layer.hits
-          && aggregate.Match_layer.misses >= sa.Match_layer.misses));
+        Alcotest.(check int) "untouched db: empty" 0 sb.Match_layer.size);
     test "byte-identity: instrumented output equals uninstrumented, any pool"
       (fun () ->
         let transcript domains =

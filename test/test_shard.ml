@@ -1,0 +1,494 @@
+(* Sharded fact heaps: the hash partitioner, the sharded store, the
+   sharded closure dispatch, and the storage-layer shard views. The
+   master contract throughout: query results are content-identical at
+   every shard count — the oracle is always the 1-shard layout. *)
+
+open Lsdb
+open Testutil
+module Shard = Lsdb_datalog.Shard
+
+let sorted_facts_of_closure c =
+  let acc = ref [] in
+  Closure.iter (fun f -> acc := f :: !acc) c;
+  List.sort Fact.compare !acc
+
+(* Two databases built by identical insert sequences intern identically,
+   so their facts compare directly. *)
+let closure_facts db = sorted_facts_of_closure (Database.closure db)
+
+let org_at_shards n =
+  let db = Paper_examples.organization () in
+  Database.set_shards db n;
+  db
+
+let check_same_closure what oracle db =
+  Alcotest.(check bool) (what ^ ": closure content identical") true
+    (closure_facts oracle = closure_facts db);
+  Alcotest.(check int)
+    (what ^ ": derived count identical")
+    (Closure.derived_count (Database.closure oracle))
+    (Closure.derived_count (Database.closure db))
+
+let tests =
+  [
+    (* --- the partitioner ------------------------------------------- *)
+    test "partitioner: of_entity is deterministic and in range" (fun () ->
+        let plan = Shard.plan 8 in
+        for e = 0 to 10_000 do
+          let s = Shard.of_entity plan e in
+          Alcotest.(check bool) "in range" true (s >= 0 && s < 8);
+          Alcotest.(check int) "stable on re-query" s (Shard.of_entity plan e)
+        done);
+    test "partitioner: one shard maps everything to 0" (fun () ->
+        let plan = Shard.plan 1 in
+        List.iter
+          (fun e -> Alcotest.(check int) "shard 0" 0 (Shard.of_entity plan e))
+          [ 0; 1; 42; 999_999; max_int ]);
+    test "partitioner: plan clamps to at least one shard" (fun () ->
+        Alcotest.(check int) "0 shards" 1 (Shard.shards (Shard.plan 0));
+        Alcotest.(check int) "-3 shards" 1 (Shard.shards (Shard.plan (-3)));
+        Alcotest.(check int) "4 shards" 4 (Shard.shards (Shard.plan 4)));
+    test "partitioner: of_triple routes by the source entity" (fun () ->
+        let plan = Shard.plan 4 in
+        let t = Lsdb_datalog.Triple.make 17 3 99 in
+        Alcotest.(check int) "source owns the fact"
+          (Shard.of_entity plan 17) (Shard.of_triple plan t));
+    test "partitioner: of_name is deterministic and in range" (fun () ->
+        List.iter
+          (fun name ->
+            let s = Shard.of_name ~shards:8 name in
+            Alcotest.(check bool) "in range" true (s >= 0 && s < 8);
+            Alcotest.(check int) "stable" s (Shard.of_name ~shards:8 name);
+            Alcotest.(check int) "one shard" 0 (Shard.of_name ~shards:1 name))
+          [ "JOHN"; "E0"; "E1"; "∈"; ""; "a-rather-long-entity-name" ]);
+    test "partitioner: distinct names spread over every shard" (fun () ->
+        let counts = Array.make 8 0 in
+        for i = 0 to 9_999 do
+          let s = Shard.of_name ~shards:8 (Printf.sprintf "E%d" i) in
+          counts.(s) <- counts.(s) + 1
+        done;
+        Array.iteri
+          (fun i n ->
+            Alcotest.(check bool)
+              (Printf.sprintf "shard %d got a fair share" i)
+              true
+              (n > 10_000 / 8 / 2 && n < 10_000 / 8 * 2))
+          counts);
+    qcheck "partitioner: every entity id lands in range"
+      QCheck.(pair (int_range 1 16) (int_range 0 1_000_000_000))
+      (fun (n, e) ->
+        let s = Shard.of_entity (Shard.plan n) e in
+        0 <= s && s < n);
+    (* --- the sharded store ----------------------------------------- *)
+    test "store: sharded content equals the single-heap layout" (fun () ->
+        let mk shards =
+          let st = Store.create ~shards () in
+          for i = 0 to 499 do
+            ignore (Store.add st (Fact.make (i mod 37) (i mod 5) (i mod 61)))
+          done;
+          st
+        in
+        let oracle = mk 1 in
+        List.iter
+          (fun shards ->
+            let st = mk shards in
+            Alcotest.(check int) "cardinal" (Store.cardinal oracle)
+              (Store.cardinal st);
+            Alcotest.(check bool) "same facts" true
+              (List.sort Fact.compare (Store.to_list oracle)
+              = List.sort Fact.compare (Store.to_list st));
+            (* Every pattern shape agrees with the oracle. *)
+            List.iter
+              (fun pat ->
+                Alcotest.(check bool) "match_list" true
+                  (List.sort Fact.compare (Store.match_list oracle pat)
+                  = List.sort Fact.compare (Store.match_list st pat));
+                Alcotest.(check int) "count_fast" (Store.count_fast oracle pat)
+                  (Store.count_fast st pat);
+                Alcotest.(check int) "count_matches"
+                  (Store.count_matches oracle pat)
+                  (Store.count_matches st pat))
+              [
+                Store.pattern ();
+                Store.pattern ~s:3 ();
+                Store.pattern ~r:2 ();
+                Store.pattern ~t:7 ();
+                Store.pattern ~s:3 ~r:2 ();
+                Store.pattern ~r:2 ~t:7 ();
+                Store.pattern ~s:3 ~t:7 ();
+                Store.pattern ~s:3 ~r:2 ~t:7 ();
+              ])
+          [ 2; 4; 8 ]);
+    test "store: shard_cardinals sum to the cardinal" (fun () ->
+        let st = Store.create ~shards:4 () in
+        for i = 0 to 99 do
+          ignore (Store.add st (Fact.make i 0 (i + 1)))
+        done;
+        Alcotest.(check int) "sum" (Store.cardinal st)
+          (Array.fold_left ( + ) 0 (Store.shard_cardinals st));
+        Alcotest.(check int) "one array slot per shard" 4
+          (Array.length (Store.shard_cardinals st)));
+    test "store: reshard preserves content in place" (fun () ->
+        let st = Store.create ~shards:1 () in
+        for i = 0 to 199 do
+          ignore (Store.add st (Fact.make (i mod 23) (i mod 3) i))
+        done;
+        let before = List.sort Fact.compare (Store.to_list st) in
+        List.iter
+          (fun n ->
+            Store.reshard st n;
+            Alcotest.(check int) "shard count" n (Store.shards st);
+            Alcotest.(check bool) "content" true
+              (before = List.sort Fact.compare (Store.to_list st));
+            Alcotest.(check bool) "membership survives" true
+              (Store.mem st (Fact.make 5 2 97)
+              = List.mem (Fact.make 5 2 97) before))
+          [ 4; 8; 1; 3 ]);
+    test "store: removal updates the owning shard only" (fun () ->
+        let st = Store.create ~shards:4 () in
+        ignore (Store.add st (Fact.make 1 2 3));
+        ignore (Store.add st (Fact.make 4 5 6));
+        Alcotest.(check bool) "remove present" true
+          (Store.remove st (Fact.make 1 2 3));
+        Alcotest.(check bool) "gone" false (Store.mem st (Fact.make 1 2 3));
+        Alcotest.(check bool) "other fact untouched" true
+          (Store.mem st (Fact.make 4 5 6));
+        Alcotest.(check bool) "remove absent" false
+          (Store.remove st (Fact.make 1 2 3));
+        Alcotest.(check int) "cardinal" 1 (Store.cardinal st));
+    test "store: copy carries the shard plan" (fun () ->
+        let st = Store.create ~shards:4 () in
+        ignore (Store.add st (Fact.make 1 2 3));
+        let c = Store.copy st in
+        Alcotest.(check int) "shards" 4 (Store.shards c);
+        Alcotest.(check bool) "content" true (Store.mem c (Fact.make 1 2 3));
+        ignore (Store.add c (Fact.make 7 8 9));
+        Alcotest.(check bool) "copies are independent" false
+          (Store.mem st (Fact.make 7 8 9)));
+    (* --- closure dispatch ------------------------------------------ *)
+    test "closure: dispatcher picks the layout the store has" (fun () ->
+        let oracle = Paper_examples.organization () in
+        Alcotest.(check int) "single-heap" 1
+          (Closure.shards (Database.closure oracle));
+        let db = org_at_shards 4 in
+        Alcotest.(check int) "sharded" 4 (Closure.shards (Database.closure db)));
+    test "closure: identical at 2, 4 and 8 shards" (fun () ->
+        let oracle = Paper_examples.organization () in
+        List.iter
+          (fun n ->
+            check_same_closure
+              (Printf.sprintf "%d shards" n)
+              oracle (org_at_shards n))
+          [ 2; 4; 8 ]);
+    test "closure: extension maintains identity" (fun () ->
+        let grow db =
+          ignore (Database.insert_names db "ALICE" "in" "EMPLOYEE");
+          ignore (Database.insert_names db "EMPLOYEE" "isa" "AGENT");
+          ignore (Database.closure db)
+        in
+        let oracle = Paper_examples.organization () in
+        grow oracle;
+        List.iter
+          (fun n ->
+            let db = org_at_shards n in
+            ignore (Database.closure db);
+            grow db;
+            check_same_closure (Printf.sprintf "extend at %d shards" n) oracle db)
+          [ 2; 8 ]);
+    test "closure: retraction maintains identity" (fun () ->
+        let shrink db =
+          ignore (Database.remove_names db "JOHN" "in" "EMPLOYEE");
+          ignore (Database.remove_names db "MANAGER" "isa" "EMPLOYEE");
+          ignore (Database.closure db)
+        in
+        let oracle = Paper_examples.organization () in
+        shrink oracle;
+        List.iter
+          (fun n ->
+            let db = org_at_shards n in
+            ignore (Database.closure db);
+            shrink db;
+            check_same_closure
+              (Printf.sprintf "retract at %d shards" n)
+              oracle db)
+          [ 2; 8 ]);
+    test "closure: demotion — asserting a derived fact as base" (fun () ->
+        (* (A isa C) is derived from the chain; asserting it as base must
+           demote it in both layouts, and retracting the chain must keep
+           it alive as base. *)
+        let run shards =
+          let db = Database.create ~shards () in
+          ignore (Database.insert_names db "A" "isa" "B");
+          ignore (Database.insert_names db "B" "isa" "C");
+          ignore (Database.closure db);
+          Alcotest.(check bool) "derived first" true
+            (Closure.is_derived (Database.closure db) (fact db ("A", "isa", "C")));
+          ignore (Database.insert_names db "A" "isa" "C");
+          Alcotest.(check bool) "demoted to base" false
+            (Closure.is_derived (Database.closure db) (fact db ("A", "isa", "C")));
+          ignore (Database.remove_names db "B" "isa" "C");
+          Alcotest.(check bool) "survives the chain's retraction" true
+            (holds db ("A", "isa", "C"))
+        in
+        run 1;
+        run 4);
+    test "closure: rule toggles keep identity across shard counts" (fun () ->
+        let toggle db =
+          ignore (Database.exclude db "syn-symmetry");
+          ignore (Database.closure db);
+          ignore (Database.include_rule db "syn-symmetry");
+          ignore (Database.closure db)
+        in
+        let oracle = Paper_examples.organization () in
+        toggle oracle;
+        let db = org_at_shards 4 in
+        toggle db;
+        check_same_closure "after exclude/include round-trip" oracle db);
+    test "closure: degree and count accessors agree" (fun () ->
+        let oracle = Paper_examples.organization () in
+        let db = org_at_shards 8 in
+        let co = Database.closure oracle and cs = Database.closure db in
+        List.iter
+          (fun name ->
+            let eo = Database.entity oracle name
+            and es = Database.entity db name in
+            Alcotest.(check int)
+              (name ^ " out_degree")
+              (Closure.out_degree co eo) (Closure.out_degree cs es);
+            Alcotest.(check int)
+              (name ^ " in_degree")
+              (Closure.in_degree co eo) (Closure.in_degree cs es);
+            Alcotest.(check bool)
+              (name ^ " entity_active")
+              (Closure.entity_active co eo)
+              (Closure.entity_active cs es))
+          [ "JOHN"; "EMPLOYEE"; "DEPARTMENT"; "SALARY" ];
+        Alcotest.(check int) "count_pattern over closure"
+          (Closure.count_pattern co
+             (Store.pattern ~r:(Database.entity oracle "isa") ()))
+          (Closure.count_pattern cs
+             (Store.pattern ~r:(Database.entity db "isa") ())));
+    test "closure: shard introspection" (fun () ->
+        let db = org_at_shards 4 in
+        let c = Database.closure db in
+        Alcotest.(check int) "overlay_cardinals has one slot per shard" 4
+          (Array.length (Closure.overlay_cardinals c));
+        Alcotest.(check int) "overlays hold exactly the derived facts"
+          (Closure.derived_count c)
+          (Array.fold_left ( + ) 0 (Closure.overlay_cardinals c));
+        Alcotest.(check bool) "exchange counter is sane" true
+          (Closure.exchanged c >= 0);
+        let single = Database.closure (Paper_examples.organization ()) in
+        Alcotest.(check int) "single-heap reports one shard" 1
+          (Closure.shards single);
+        Alcotest.(check int) "single-heap exchanges nothing" 0
+          (Closure.exchanged single));
+    test "closure: governor trip yields a sound subset, sharded" (fun () ->
+        let full = closure_facts (Paper_examples.organization ()) in
+        let db = org_at_shards 8 in
+        let gov = Lsdb_exec.Governor.create ~max_facts:5 () in
+        Database.set_governor db (Some gov);
+        let partial = Database.closure db in
+        Alcotest.(check bool) "tripped" true
+          (Lsdb_exec.Governor.tripped gov <> None);
+        Alcotest.(check bool) "flagged partial" true (Database.closure_partial db);
+        Closure.iter
+          (fun f ->
+            Alcotest.(check bool) "kept fact is in the true closure" true
+              (List.exists (Fact.equal f) full))
+          partial;
+        Store.iter
+          (fun f ->
+            Alcotest.(check bool) "base fact still visible" true
+              (Closure.mem partial f))
+          (Database.store db);
+        Database.set_governor db None;
+        check_same_closure "recovers once the governor is lifted"
+          (Paper_examples.organization ())
+          db);
+    test "closure: domain pool composes with sharding" (fun () ->
+        let oracle = Paper_examples.organization () in
+        let db = org_at_shards 4 in
+        let pool = Lsdb_exec.Pool.create ~domains:3 in
+        Fun.protect
+          ~finally:(fun () ->
+            Database.set_pool db None;
+            Lsdb_exec.Pool.shutdown pool)
+          (fun () ->
+            Database.set_pool db (Some pool);
+            check_same_closure "pooled sharded closure" oracle db;
+            ignore (Database.insert_names db "ALICE" "in" "EMPLOYEE");
+            ignore (Database.insert_names oracle "ALICE" "in" "EMPLOYEE");
+            check_same_closure "pooled sharded extension" oracle db));
+    (* --- database and federation plumbing -------------------------- *)
+    test "database: set_shards re-partitions and invalidates" (fun () ->
+        let db = Paper_examples.organization () in
+        ignore (Database.closure db);
+        let g0 = Database.generation db in
+        Database.set_shards db 4;
+        Alcotest.(check int) "shards" 4 (Database.shards db);
+        Alcotest.(check bool) "generation bumped" true
+          (Database.generation db > g0);
+        let g1 = Database.generation db in
+        Database.set_shards db 4;
+        Alcotest.(check int) "restating is a no-op" g1 (Database.generation db);
+        Database.set_shards db 0;
+        Alcotest.(check int) "clamped to one shard" 1 (Database.shards db));
+    test "database: copy carries the shard count" (fun () ->
+        let db = Database.create ~shards:4 () in
+        ignore (Database.insert_names db "A" "isa" "B");
+        let c = Database.copy db in
+        Alcotest.(check int) "shards" 4 (Database.shards c);
+        Alcotest.(check bool) "content" true (holds c ("A", "isa", "B")));
+    test "federation: ?shards partitions the merged heap" (fun () ->
+        let member name facts =
+          (name, db_of facts)
+        in
+        let members =
+          [
+            member "hr" [ ("JOHN", "in", "EMPLOYEE") ];
+            member "org" [ ("EMPLOYEE", "isa", "PERSON") ];
+          ]
+        in
+        let oracle = Federation.create members in
+        let f = Federation.create ~shards:4 members in
+        Alcotest.(check int) "merged heap is sharded" 4
+          (Database.shards (Federation.database f));
+        Alcotest.(check bool) "merged inference unchanged" true
+          (closure_facts (Federation.database oracle)
+          = closure_facts (Federation.database f));
+        check_holds (Federation.database f) "cross-member inference"
+          ("JOHN", "in", "PERSON"));
+    (* --- storage layer --------------------------------------------- *)
+    test "sharded heap: round-trips through shard files" (fun () ->
+        let dir = Filename.temp_file "lsdb_shardheap" "" in
+        Sys.remove dir;
+        Unix.mkdir dir 0o755;
+        let path = Filename.concat dir "facts" in
+        let h = Lsdb_storage.Sharded_heap.open_ ~shards:4 path in
+        Alcotest.(check int) "shard count" 4
+          (Lsdb_storage.Sharded_heap.shard_count h);
+        let facts =
+          List.init 50 (fun i ->
+              (Printf.sprintf "E%d" i, "REL", Printf.sprintf "E%d" (i + 1)))
+        in
+        List.iter
+          (fun f ->
+            Alcotest.(check bool) "fresh insert" true
+              (Lsdb_storage.Sharded_heap.insert h f))
+          facts;
+        Alcotest.(check bool) "duplicate insert" false
+          (Lsdb_storage.Sharded_heap.insert h (List.hd facts));
+        Alcotest.(check int) "cardinal" 50
+          (Lsdb_storage.Sharded_heap.cardinal h);
+        Alcotest.(check int) "shard cardinals sum" 50
+          (Array.fold_left ( + ) 0
+             (Lsdb_storage.Sharded_heap.shard_cardinals h));
+        Alcotest.(check bool) "delete" true
+          (Lsdb_storage.Sharded_heap.delete h ("E0", "REL", "E1"));
+        Lsdb_storage.Sharded_heap.close h;
+        (* Reopen with the same shard count: everything is still there. *)
+        let h = Lsdb_storage.Sharded_heap.open_ ~shards:4 path in
+        Alcotest.(check int) "cardinal after reopen" 49
+          (Lsdb_storage.Sharded_heap.cardinal h);
+        Alcotest.(check bool) "membership after reopen" true
+          (Lsdb_storage.Sharded_heap.mem h ("E7", "REL", "E8"));
+        Alcotest.(check bool) "deletion survived" false
+          (Lsdb_storage.Sharded_heap.mem h ("E0", "REL", "E1"));
+        let db = Lsdb_storage.Sharded_heap.to_database h in
+        Alcotest.(check int) "to_database carries the shard count" 4
+          (Database.shards db);
+        Alcotest.(check int) "to_database content"
+          (49 + List.length Database.axiom_facts)
+          (Database.base_cardinal db);
+        Lsdb_storage.Sharded_heap.close h);
+    test "sharded heap: one shard is a plain fact heap" (fun () ->
+        let dir = Filename.temp_file "lsdb_shardheap1" "" in
+        Sys.remove dir;
+        Unix.mkdir dir 0o755;
+        let path = Filename.concat dir "facts" in
+        let h = Lsdb_storage.Sharded_heap.open_ path in
+        ignore (Lsdb_storage.Sharded_heap.insert h ("A", "isa", "B"));
+        Lsdb_storage.Sharded_heap.close h;
+        (* The single-shard layout writes to [path] itself. *)
+        let plain = Lsdb_storage.Fact_heap.open_ path in
+        Alcotest.(check bool) "plain heap reads it" true
+          (Lsdb_storage.Fact_heap.mem plain ("A", "isa", "B"));
+        Lsdb_storage.Fact_heap.close plain);
+    test "triple index: sharded trees answer like the flat trees" (fun () ->
+        let db = Paper_examples.organization () in
+        let oracle = Lsdb_storage.Triple_index.of_database db in
+        Database.set_shards db 4;
+        let sharded = Lsdb_storage.Triple_index.of_database db in
+        Alcotest.(check int) "shard count carried over" 4
+          (Lsdb_storage.Triple_index.shard_count sharded);
+        Alcotest.(check int) "cardinal"
+          (Lsdb_storage.Triple_index.cardinal oracle)
+          (Lsdb_storage.Triple_index.cardinal sharded);
+        let isa = Database.entity db "isa" in
+        List.iter
+          (fun pat ->
+            Alcotest.(check bool) "same answers" true
+              (List.sort Fact.compare
+                 (Lsdb_storage.Triple_index.match_list oracle pat)
+              = List.sort Fact.compare
+                  (Lsdb_storage.Triple_index.match_list sharded pat)))
+          [
+            Store.pattern ();
+            Store.pattern ~s:(Database.entity db "JOHN") ();
+            Store.pattern ~r:isa ();
+            Store.pattern ~t:(Database.entity db "EMPLOYEE") ();
+            Store.pattern ~r:isa ~t:(Database.entity db "EMPLOYEE") ();
+          ]);
+    (* --- the workload generator ------------------------------------ *)
+    test "shard_gen: deterministic for a fixed seed" (fun () ->
+        let params =
+          { Lsdb_workload.Shard_gen.default_params with facts = 2_000 }
+        in
+        let a =
+          Lsdb_workload.Shard_gen.generate ~params
+            (Lsdb_workload.Rng.create 42)
+        in
+        let b =
+          Lsdb_workload.Shard_gen.generate ~params
+            (Lsdb_workload.Rng.create 42)
+        in
+        Alcotest.(check bool) "same fact list" true
+          (a.Lsdb_workload.Shard_gen.facts = b.Lsdb_workload.Shard_gen.facts);
+        let c =
+          Lsdb_workload.Shard_gen.generate ~params
+            (Lsdb_workload.Rng.create 43)
+        in
+        Alcotest.(check bool) "different seed differs" false
+          (a.Lsdb_workload.Shard_gen.facts = c.Lsdb_workload.Shard_gen.facts));
+    test "shard_gen: skew concentrates sources, closure stays identical"
+      (fun () ->
+        let params =
+          {
+            Lsdb_workload.Shard_gen.default_params with
+            facts = 3_000;
+            entities = 500;
+            memberships = 60;
+          }
+        in
+        let gen =
+          Lsdb_workload.Shard_gen.generate ~params
+            (Lsdb_workload.Rng.create 7)
+        in
+        let oracle = Lsdb_workload.Shard_gen.to_database gen in
+        let db = Lsdb_workload.Shard_gen.to_database ~shards:8 gen in
+        Alcotest.(check int) "same base heap" (Database.base_cardinal oracle)
+          (Database.base_cardinal db);
+        check_same_closure "workload closure" oracle db;
+        (* Zipf skew: the busiest source entity must own well more than
+           the uniform share of the flat graph. *)
+        let store = Database.store oracle in
+        let busiest = ref 0 in
+        Seq.iter
+          (fun e ->
+            let d = Store.count_fast store (Store.pattern ~s:e ()) in
+            if d > !busiest then busiest := d)
+          (Store.active_entities store);
+        Alcotest.(check bool) "hot key exists" true
+          (!busiest > 3 * (3_000 / 500)));
+  ]

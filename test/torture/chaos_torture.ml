@@ -160,6 +160,9 @@ let eval_chaos seed =
   let db0 = base_db rng in
   Database.set_closure_mode db0
     (if seed mod 2 = 0 then Database.Eager else Database.Demand);
+  (* Rotate the heap layout too: governor trips and cancellations must
+     stay sound on every shard count (1, 2, 4, 8 across the seeds). *)
+  Database.set_shards db0 (1 lsl (seed mod 4));
   let script = gen_script db0 rng in
   let oracle = run_all ~governed:false (Database.copy db0) script in
   let governed = run_all ~governed:true (Database.copy db0) script in

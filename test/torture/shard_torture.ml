@@ -1,0 +1,173 @@
+(* Shard-torture driver: the identity suite over the full
+   (shard count x pool size x closure mode) matrix.
+
+   Seeded random scripts of matches, queries, insertions and retractions
+   run once against a single-heap, sequential, eager oracle and once per
+   matrix cell; a cell diverging from the oracle in any step's answers,
+   any mutation's outcome, or the final closure is a failure. Answers
+   are compared as sorted rows — enumeration order is the one thing the
+   matrix is allowed to change.
+
+   Exit status 0 when every cell of every seed holds, 1 otherwise. *)
+
+open Lsdb
+module Rng = Lsdb_workload.Rng
+
+let failures = ref 0
+let cases = ref 0
+
+let failf case fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.printf "FAIL %-32s %s\n%!" case msg)
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Workload generation (names, so one script replays on every copy)    *)
+
+type step =
+  | Match of string option * string option * string option
+  | QueryText of string
+  | Ins of string * string * string
+  | Rem of string * string * string
+
+let base_db rng =
+  Lsdb_workload.University_gen.to_database
+    (Lsdb_workload.University_gen.generate
+       ~params:
+         {
+           Lsdb_workload.University_gen.students = 15 + Rng.int rng 25;
+           courses = 4 + Rng.int rng 6;
+           instructors = 2 + Rng.int rng 4;
+           enrollments_per_student = 2 + Rng.int rng 2;
+         }
+       rng)
+
+let gen_script db rng =
+  let facts = Array.of_list (Database.facts db) in
+  let symtab = Database.symtab db in
+  let random_names () = Fact.names symtab facts.(Rng.int rng (Array.length facts)) in
+  let opt name = if Rng.bool rng then Some name else None in
+  let steps = ref [] in
+  for i = 1 to 14 do
+    let step =
+      match Rng.int rng 10 with
+      | 0 | 1 | 2 | 3 ->
+          let s, r, t = random_names () in
+          Match (opt s, opt r, opt t)
+      | 4 | 5 ->
+          let s, r, _ = random_names () in
+          QueryText (Printf.sprintf "(%s, %s, ?x)" s r)
+      | 6 ->
+          let _, r, t = random_names () in
+          QueryText (Printf.sprintf "(?x, %s, %s) & (?x, in, ?c)" r t)
+      | 7 ->
+          let s, r, t = random_names () in
+          Ins (s ^ "-SHARD" ^ string_of_int i, r, t)
+      | _ ->
+          let s, r, t = random_names () in
+          Rem (s, r, t)
+    in
+    steps := step :: !steps
+  done;
+  List.rev !steps
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+
+(* A step's observable output, sorted: the matrix may change the order
+   answers are enumerated in, never the answers. *)
+let run_step db step =
+  let symtab = Database.symtab db in
+  let show f =
+    let s, r, t = Fact.names symtab f in
+    String.concat "," [ s; r; t ]
+  in
+  match step with
+  | Match (s, r, t) ->
+      let find n = Option.bind n (Database.find_entity db) in
+      let pat = Store.{ s = find s; r = find r; t = find t } in
+      List.sort compare (List.map show (Match_layer.match_list db pat))
+  | QueryText text -> (
+      match Query_parser.parse db text with
+      | query ->
+          let answer = Eval.eval db query in
+          List.sort compare
+            (List.map (String.concat ",") (Eval.rows_named symtab answer))
+      | exception Query_parser.Parse_error _ -> [ "parse-error" ])
+  | Ins (s, r, t) -> [ Printf.sprintf "ins:%b" (Database.insert_names db s r t) ]
+  | Rem (s, r, t) -> [ Printf.sprintf "rem:%b" (Database.remove_names db s r t) ]
+
+(* The final state signature: every closure fact, by names, sorted. The
+   copies share interning only up to the script's own insertions, so
+   names are the safe currency. *)
+let final_signature db =
+  Database.set_closure_mode db Database.Eager;
+  let symtab = Database.symtab db in
+  let acc = ref [] in
+  Closure.iter
+    (fun f -> acc := Fact.names symtab f :: !acc)
+    (Database.closure db);
+  List.sort compare !acc
+
+let run_cell ~shards ~domains ~mode db script =
+  Database.set_shards db shards;
+  Database.set_closure_mode db mode;
+  let pool =
+    if domains > 1 then Some (Lsdb_exec.Pool.create ~domains) else None
+  in
+  Database.set_pool db pool;
+  Fun.protect
+    ~finally:(fun () ->
+      Database.set_pool db None;
+      Option.iter Lsdb_exec.Pool.shutdown pool)
+    (fun () ->
+      let outputs = List.map (run_step db) script in
+      (outputs, final_signature db))
+
+let torture seed =
+  let rng = Rng.create seed in
+  let db0 = base_db rng in
+  let script = gen_script db0 rng in
+  let oracle_out, oracle_sig =
+    run_cell ~shards:1 ~domains:1 ~mode:Database.Eager (Database.copy db0)
+      script
+  in
+  List.iter
+    (fun shards ->
+      List.iter
+        (fun domains ->
+          List.iter
+            (fun mode ->
+              if not (shards = 1 && domains = 1 && mode = Database.Eager) then begin
+                let case =
+                  Printf.sprintf "seed%d/%dsh-%dd-%s" seed shards domains
+                    (match mode with
+                    | Database.Eager -> "eager"
+                    | Database.Demand -> "demand")
+                in
+                let out, final =
+                  run_cell ~shards ~domains ~mode (Database.copy db0) script
+                in
+                List.iteri
+                  (fun i (expected, got) ->
+                    incr cases;
+                    if got <> expected then
+                      failf case "step %d diverged (%d rows vs %d)" i
+                        (List.length got) (List.length expected))
+                  (List.combine oracle_out out);
+                incr cases;
+                if final <> oracle_sig then
+                  failf case "final closure diverged (%d facts vs %d)"
+                    (List.length final) (List.length oracle_sig)
+              end)
+            [ Database.Eager; Database.Demand ])
+        [ 1; 2; 4 ])
+    [ 1; 2; 4; 8 ]
+
+let () =
+  let seeds = List.init 4 (fun i -> i + 1) in
+  List.iter torture seeds;
+  Printf.printf "shard-torture: %d case(s), %d failure(s)\n%!" !cases !failures;
+  exit (if !failures = 0 then 0 else 1)
