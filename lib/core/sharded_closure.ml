@@ -7,7 +7,6 @@ type t = {
   uview : D.Engine.view;  (* the full union view (main's) *)
   mutable staged_rules : D.Rule.t list;
   mutable rules : D.Rule.t list;
-  mutable base_cardinal : int;
   mutable actives : (int, unit) Hashtbl.t option;
       (* entities of overlay (derived) facts only; the store's refcount
          table answers for the base tier *)
@@ -77,7 +76,6 @@ let compute ?(max_facts = 2_000_000) ?pool ?gov ?(staged_rules = []) ~rules
     uview = D.Sharded.view main;
     staged_rules;
     rules;
-    base_cardinal = Store.cardinal store;
     actives = None;
     derived_segments = [ derived ];
     derived_listed = List.length derived;
@@ -114,16 +112,19 @@ let extend ?pool ?gov t facts =
      from main below. They are already listed in an older segment, whose
      entry stays live through the stage's provenance — pushing them again
      would list them twice. *)
-  let moved = List.filter (D.Sharded.is_derived t.main) stage_added in
+  let moved = D.Triple.Tbl.create 16 in
+  List.iter
+    (fun f ->
+      if D.Sharded.is_derived t.main f then D.Triple.Tbl.replace moved f ())
+    stage_added;
   let main_added =
     D.Sharded.extend ?pool ?gov t.rules t.main (facts @ stage_added)
   in
   push_derived t
     (List.filter
-       (fun f -> not (List.exists (D.Triple.equal f) moved))
+       (fun f -> not (D.Triple.Tbl.mem moved f))
        (stage_added @ main_added));
   compact_derived t;
-  t.base_cardinal <- t.base_cardinal + List.length facts;
   t.actives <- None;
   t
 
@@ -138,7 +139,6 @@ let retract ?pool ?gov t facts =
   let _mret : D.Sharded.retraction =
     D.Sharded.retract ?pool ?gov t.rules t.main sret.removed
   in
-  t.base_cardinal <- t.base_cardinal - List.length facts;
   t.actives <- None;
   compact_derived t;
   (* Retracted base facts that survived rederivation are derived now and
@@ -160,7 +160,11 @@ let set_rules t ~staged_rules ~rules =
 let closed_under t rules = D.Sharded.closed_under rules t.main
 let mem t fact = t.uview.v_mem fact
 let cardinal t = D.Sharded.cardinal t.main
-let base_cardinal t = t.base_cardinal
+
+(* Read from the store, not a shadow counter: an [extend] handed a
+   duplicate or a [retract] handed a non-member would drift a counter
+   adjusted by [List.length facts]. [Store.cardinal] is O(1). *)
+let base_cardinal t = Store.cardinal t.store
 
 let derived t =
   List.concat_map (List.filter (has_prov t)) (List.rev t.derived_segments)

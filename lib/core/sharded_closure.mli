@@ -51,6 +51,10 @@ val set_rules :
 val closed_under : t -> Lsdb_datalog.Rule.t list -> bool
 val mem : t -> Fact.t -> bool
 val cardinal : t -> int
+
+(** Always [Store.cardinal] of the owning store — O(1), never a shadow
+    counter, so extending with a duplicate or retracting a non-member
+    cannot drift it. *)
 val base_cardinal : t -> int
 val derived : t -> Fact.t list
 val derived_count : t -> int

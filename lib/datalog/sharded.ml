@@ -41,6 +41,16 @@ let m_imbalance =
 let m_retracts =
   Metrics.counter ~help:"Sharded retractions" "lsdb_sharded_retracts_total"
 
+let m_lane_rounds =
+  Metrics.counter
+    ~help:"Closure rounds fanned out to persistent per-shard lanes"
+    "lsdb_sharded_lane_rounds_total"
+
+let m_solo_rounds =
+  Metrics.counter
+    ~help:"Closure rounds evaluated inline on the caller lane"
+    "lsdb_sharded_solo_rounds_total"
+
 (* Same shape as the engine's support index: premise ↦ facts whose
    recorded derivation uses it, built lazily by the first retraction. *)
 type support = {
@@ -53,6 +63,7 @@ type t = {
   base : base;
   overlays : Index.t array;  (* derived facts, routed by source owner *)
   shard_derived : Metrics.counter array;
+  lane_delta : Metrics.counter array;  (* delta triples evaluated per lane *)
   provenance : Engine.provenance Triple.Tbl.t;
   mutable support : support option;
   mutable rounds : int;
@@ -73,6 +84,12 @@ let create ?(max_facts = 10_000_000) ~plan base =
             ~help:"Triples derived into each shard's overlay"
             ~labels:[ ("shard", string_of_int i) ]
             "lsdb_sharded_shard_derived_total");
+    lane_delta =
+      Array.init nsh (fun i ->
+          Metrics.counter
+            ~help:"Delta triples evaluated by each shard's lane"
+            ~labels:[ ("shard", string_of_int i) ]
+            "lsdb_sharded_lane_delta_total");
     provenance = Triple.Tbl.create 256;
     support = None;
     rounds = 0;
@@ -242,12 +259,18 @@ let partition t triples =
   end
 
 (* One barrier-separated round per iteration: evaluate each shard's
-   slice against the frozen union view (pool-parallel when slices are
-   big enough to amortize the fan-out), then merge rule-major /
-   shard-major — the order a single evaluator would emit — routing each
-   accepted head to its owner's overlay. Trip semantics are the
-   engine's: the catch leaves the overlays and provenance as of the last
-   completed barrier action. *)
+   slice against the frozen union view — on persistent per-shard worker
+   lanes when the delta is wide enough to amortize the wake-up — then
+   merge rule-major / shard-major — the order a single evaluator would
+   emit — routing each accepted head to its owner's overlay. Lane [i] is
+   pinned to shard [i] for the whole fixpoint (lanes > pool size
+   multiplex deterministically, [Pool.lanes]); the round barrier at the
+   merge is the only synchronization point, so results are byte-identical
+   to the inline path at every (shards × domains) setting. Trip semantics
+   are the engine's: a [Governor.Trip] raised from any lane (worker
+   domains checkpoint through the same governor atomics) surfaces on the
+   caller after the barrier, and the catch leaves the overlays and
+   provenance as of the last completed barrier action. *)
 let fixpoint ?pool ?gov t rules ~record initial =
   let rules_arr = Array.of_list rules in
   let fullv = view t in
@@ -255,6 +278,25 @@ let fixpoint ?pool ?gov t rules ~record initial =
   let rounds = ref 0 in
   let delta = ref (partition t initial) in
   let total_delta deltas = Array.fold_left (fun n a -> n + Array.length a) 0 deltas in
+  let nonempty_slices deltas =
+    Array.fold_left (fun n a -> if Array.length a > 0 then n + 1 else n) 0 deltas
+  in
+  let nsh = Array.length t.overlays in
+  (* Lanes are created on the first round wide enough to fan out and
+     reused for every later round of this fixpoint — the whole point of
+     persistence: one wake-up negotiation per round instead of a queue
+     round-trip per shard per round. *)
+  let lanes = ref None in
+  let lanes_for pool =
+    match !lanes with
+    | Some lg -> lg
+    | None ->
+        let lg = Pool.lanes pool ~n:nsh in
+        lanes := Some lg;
+        lg
+  in
+  Fun.protect ~finally:(fun () -> Option.iter Pool.lanes_close !lanes)
+  @@ fun () ->
   (try
      while total_delta !delta > 0 do
        incr rounds;
@@ -269,9 +311,26 @@ let fixpoint ?pool ?gov t rules ~record initial =
        @@ fun () ->
        let shard_results =
          match pool with
-         | Some pool when Pool.size pool > 1 && total_delta !delta > 32 ->
-             Pool.map_array pool (Engine.round_view ?gov rules_arr ~full:fullv) !delta
-         | _ -> Array.map (Engine.round_view ?gov rules_arr ~full:fullv) !delta
+         | Some pool
+           when Pool.size pool > 1
+                (* A skewed delta concentrated in one slice (Zipf heads
+                   do this constantly) gains nothing from a fan-out:
+                   every other lane would evaluate an empty slice while
+                   the caller waits at the barrier. *)
+                && nonempty_slices !delta > 1
+                && total_delta !delta > 32 ->
+             let lg = lanes_for pool in
+             let out = Array.make nsh [||] in
+             Metrics.incr m_lane_rounds;
+             Pool.lanes_run lg (fun i ->
+                 let slice = !delta.(i) in
+                 if Array.length slice > 0 then
+                   Metrics.add t.lane_delta.(i) (Array.length slice);
+                 out.(i) <- Engine.round_view ?gov rules_arr ~full:fullv slice);
+             out
+         | _ ->
+             Metrics.incr m_solo_rounds;
+             Array.map (Engine.round_view ?gov rules_arr ~full:fullv) !delta
        in
        let nsh = Array.length t.overlays in
        let next = Array.make nsh [] in

@@ -17,8 +17,12 @@
     view), and at the single-threaded barrier the emissions are merged
     rule-major then shard-major and each accepted fact is routed to its
     owner's overlay — cross-shard consequences batch into that one
-    exchange per round. With a pool, shard slices evaluate on separate
-    domains. For a fixed shard count the result (fact set, derivation
+    exchange per round. With a pool, shard slices evaluate on persistent
+    per-shard worker lanes ({!Lsdb_exec.Pool.lanes}): lane [i] is pinned
+    to shard [i] for the whole fixpoint, lanes beyond the pool size
+    multiplex deterministically, and a round fans out only when more than
+    one slice is non-empty (a 1-hot skewed delta stays on the caller
+    lane). For a fixed shard count the result (fact set, derivation
     order, provenance, rounds) is identical at every pool size; across
     shard counts the fact set is identical but enumeration and
     derivation order are not (the identity gates compare canonically

@@ -72,6 +72,106 @@ let pool_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Persistent lanes and escaped-exception accounting                   *)
+
+let lanes_tests =
+  [
+    test "lanes run every index each round, any n vs pool size" (fun () ->
+        List.iter
+          (fun domains ->
+            with_pool ~domains (fun pool ->
+                List.iter
+                  (fun n ->
+                    let lg = Pool.lanes pool ~n in
+                    Fun.protect ~finally:(fun () -> Pool.lanes_close lg)
+                    @@ fun () ->
+                    Alcotest.(check int) "lanes_size" n (Pool.lanes_size lg);
+                    let out = Array.make n 0 in
+                    for round = 1 to 5 do
+                      Pool.lanes_run lg (fun i -> out.(i) <- out.(i) + i + round)
+                    done;
+                    Array.iteri
+                      (fun i got ->
+                        Alcotest.(check int)
+                          (Printf.sprintf "lane %d ran all 5 rounds" i)
+                          ((5 * i) + 15)
+                          got)
+                      out)
+                  [ 1; 2; 3; 8 ]))
+          [ 1; 2; 4 ]);
+    test "lanes_run re-raises the lowest failing lane" (fun () ->
+        with_pool ~domains:3 (fun pool ->
+            let lg = Pool.lanes pool ~n:8 in
+            Fun.protect ~finally:(fun () -> Pool.lanes_close lg)
+            @@ fun () ->
+            let ran = Array.make 8 false in
+            (match
+               Pool.lanes_run lg (fun i ->
+                   ran.(i) <- true;
+                   if i mod 3 = 2 then failwith (string_of_int i))
+             with
+            | () -> Alcotest.fail "expected Failure"
+            | exception Failure msg ->
+                (* Lanes 2, 5 fail; lane 2 wins deterministically. *)
+                Alcotest.(check string) "lane 2's exception" "2" msg);
+            Alcotest.(check bool) "all lanes still ran" true
+              (Array.for_all Fun.id ran);
+            (* The group survives a failing round. *)
+            Pool.lanes_run lg (fun _ -> ())));
+    test "closed lanes refuse to run; close is idempotent" (fun () ->
+        with_pool ~domains:2 (fun pool ->
+            let lg = Pool.lanes pool ~n:4 in
+            Pool.lanes_run lg ignore;
+            Pool.lanes_close lg;
+            Pool.lanes_close lg;
+            (match Pool.lanes_run lg ignore with
+            | () -> Alcotest.fail "expected Invalid_argument"
+            | exception Invalid_argument _ -> ());
+            (* The pool is still fully usable afterwards. *)
+            Alcotest.(check (list int)) "map after close" [ 1; 4; 9 ]
+              (Pool.map pool (fun x -> x * x) [ 1; 2; 3 ])));
+    test "shutdown closes a leaked lane group without deadlock" (fun () ->
+        let pool = Pool.create ~domains:3 in
+        let lg = Pool.lanes pool ~n:4 in
+        Pool.lanes_run lg ignore;
+        (* No lanes_close: shutdown must release the bound workers. *)
+        Pool.shutdown pool);
+    test "submitted job exceptions are counted and re-raised" (fun () ->
+        let module Metrics = Lsdb_obs.Metrics in
+        let m =
+          Metrics.counter
+            ~help:"Exceptions that escaped a queued job (invariant violations)"
+            "lsdb_pool_job_exceptions_total"
+        in
+        with_pool ~domains:2 (fun pool ->
+            let before = Metrics.counter_value m in
+            let exploded = ref false in
+            Pool.submit pool (fun () ->
+                exploded := true;
+                failwith "escaped");
+            (* Wait for the worker to pick the job up. *)
+            let deadline = Unix.gettimeofday () +. 5.0 in
+            while
+              Metrics.counter_value m = before
+              && Unix.gettimeofday () < deadline
+            do
+              Domain.cpu_relax ()
+            done;
+            Alcotest.(check bool) "job ran" true !exploded;
+            Alcotest.(check int) "counted once" (before + 1)
+              (Metrics.counter_value m);
+            (* The next caller-path operation surfaces it instead of
+               dropping it: the Governor.Trip-class escape contract. *)
+            (match Pool.map pool Fun.id [ 1 ] with
+            | _ -> Alcotest.fail "expected the escaped Failure"
+            | exception Failure msg ->
+                Alcotest.(check string) "escaped message" "escaped" msg);
+            (* Re-raise is one-shot; the pool then works normally. *)
+            Alcotest.(check (list int)) "pool healthy" [ 1 ]
+              (Pool.map pool Fun.id [ 1 ])));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Probing determinism                                                 *)
 
 (* A workload whose probe explores several waves: relationship and goal
@@ -231,4 +331,4 @@ let closure_tests =
               reference (extend db)));
   ]
 
-let tests = pool_tests @ probing_tests @ closure_tests
+let tests = pool_tests @ lanes_tests @ probing_tests @ closure_tests

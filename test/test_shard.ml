@@ -320,6 +320,173 @@ let tests =
             ignore (Database.insert_names db "ALICE" "in" "EMPLOYEE");
             ignore (Database.insert_names oracle "ALICE" "in" "EMPLOYEE");
             check_same_closure "pooled sharded extension" oracle db));
+    (* --- multi-domain lanes ----------------------------------------- *)
+    test "closure: lanes keep identity over the shards × domains grid"
+      (fun () ->
+        (* The Zipf workload makes every round's delta wide enough that
+           the lane fan-out actually engages; the contract under test is
+           the tentpole's: content-identical to the single-heap oracle at
+           every (shards × domains) point, and byte-identical derivation
+           order across domains for a fixed shard count. *)
+        let params =
+          {
+            Lsdb_workload.Shard_gen.default_params with
+            facts = 2_000;
+            entities = 400;
+            memberships = 50;
+          }
+        in
+        let gen =
+          Lsdb_workload.Shard_gen.generate ~params (Lsdb_workload.Rng.create 11)
+        in
+        let mutate db =
+          ignore (Database.insert_names db "XA" "isa" "XB");
+          ignore (Database.insert_names db "XB" "isa" "XC");
+          ignore (Database.insert_names db "XC" "isa" "XD");
+          ignore (Database.closure db);
+          ignore (Database.remove_names db "XB" "isa" "XC");
+          ignore (Database.closure db)
+        in
+        let oracle = Lsdb_workload.Shard_gen.to_database gen in
+        ignore (Database.closure oracle);
+        mutate oracle;
+        let lane_rounds =
+          Lsdb_obs.Metrics.counter
+            ~help:"Closure rounds fanned out to persistent per-shard lanes"
+            "lsdb_sharded_lane_rounds_total"
+        in
+        List.iter
+          (fun shards ->
+            let order = ref None in
+            List.iter
+              (fun domains ->
+                let db = Lsdb_workload.Shard_gen.to_database ~shards gen in
+                let pool = Lsdb_exec.Pool.create ~domains in
+                Fun.protect
+                  ~finally:(fun () ->
+                    Database.set_pool db None;
+                    Lsdb_exec.Pool.shutdown pool)
+                  (fun () ->
+                    Database.set_pool db (Some pool);
+                    let before = Lsdb_obs.Metrics.counter_value lane_rounds in
+                    ignore (Database.closure db);
+                    mutate db;
+                    let what =
+                      Printf.sprintf "%d shards × %d domains" shards domains
+                    in
+                    check_same_closure what oracle db;
+                    let got =
+                      Closure.derived (Database.closure db)
+                    in
+                    (match !order with
+                    | None -> order := Some got
+                    | Some reference ->
+                        Alcotest.(check bool)
+                          (what ^ ": derivation order byte-identical")
+                          true
+                          (List.equal Fact.equal reference got));
+                    if shards > 1 && domains > 1 then
+                      Alcotest.(check bool)
+                        (what ^ ": lane rounds actually ran")
+                        true
+                        (Lsdb_obs.Metrics.counter_value lane_rounds > before)))
+              [ 1; 2; 4 ])
+          [ 2; 8 ]);
+    test "closure: governor trip stays a sound subset under lanes" (fun () ->
+        let params =
+          {
+            Lsdb_workload.Shard_gen.default_params with
+            facts = 2_000;
+            entities = 400;
+            memberships = 50;
+          }
+        in
+        let gen =
+          Lsdb_workload.Shard_gen.generate ~params (Lsdb_workload.Rng.create 11)
+        in
+        let full = closure_facts (Lsdb_workload.Shard_gen.to_database gen) in
+        List.iter
+          (fun domains ->
+            let db = Lsdb_workload.Shard_gen.to_database ~shards:8 gen in
+            let pool = Lsdb_exec.Pool.create ~domains in
+            Fun.protect
+              ~finally:(fun () ->
+                Database.set_pool db None;
+                Lsdb_exec.Pool.shutdown pool)
+              (fun () ->
+                Database.set_pool db (Some pool);
+                let gov = Lsdb_exec.Governor.create ~max_facts:50 () in
+                Database.set_governor db (Some gov);
+                let partial = Database.closure db in
+                let what = Printf.sprintf "%d domains" domains in
+                Alcotest.(check bool) (what ^ ": tripped") true
+                  (Lsdb_exec.Governor.tripped gov <> None);
+                Alcotest.(check bool)
+                  (what ^ ": flagged partial")
+                  true
+                  (Database.closure_partial db);
+                (* Worker-domain checkpoints must not have let a single
+                   overshoot fact through: everything kept is in the true
+                   closure, and nothing from the base tier went missing. *)
+                Closure.iter
+                  (fun f ->
+                    if not (List.exists (Fact.equal f) full) then
+                      Alcotest.fail (what ^ ": kept fact outside true closure"))
+                  partial;
+                Store.iter
+                  (fun f ->
+                    if not (Closure.mem partial f) then
+                      Alcotest.fail (what ^ ": base fact went missing"))
+                  (Database.store db);
+                Database.set_governor db None;
+                check_same_closure
+                  (what ^ ": recovers once the governor is lifted")
+                  (Lsdb_workload.Shard_gen.to_database gen)
+                  db))
+          [ 2; 4 ]);
+    (* --- base-tier cardinality accounting ---------------------------- *)
+    test "sharded closure: base_cardinal tracks the store, not the batch"
+      (fun () ->
+        (* Regression: extend with a duplicate / retract with a
+           non-member used to drift a shadow counter adjusted by
+           [List.length facts]; the cardinal must always equal what the
+           store actually holds. *)
+        let open Lsdb_datalog in
+        let edge = 3 in
+        let rule =
+          Rule.make ~name:"trans"
+            ~body:
+              [
+                Atom.make (Term.Var 0) (Term.Const edge) (Term.Var 1);
+                Atom.make (Term.Var 1) (Term.Const edge) (Term.Var 2);
+              ]
+            ~heads:[ Atom.make (Term.Var 0) (Term.Const edge) (Term.Var 2) ]
+            ()
+        in
+        let store = Store.create ~shards:4 () in
+        for i = 0 to 9 do
+          ignore (Store.add store (Fact.make i edge (i + 1)))
+        done;
+        let c = Sharded_closure.compute ~rules:[ rule ] ~shards:4 store in
+        Alcotest.(check int) "initial" 10 (Sharded_closure.base_cardinal c);
+        (* One genuinely new fact, one duplicate the store refuses. *)
+        let fresh = Fact.make 100 edge 101 in
+        let dup = Fact.make 0 edge 1 in
+        Alcotest.(check bool) "fresh accepted" true (Store.add store fresh);
+        Alcotest.(check bool) "duplicate refused" false (Store.add store dup);
+        let c = Sharded_closure.extend c [ fresh; dup ] in
+        Alcotest.(check int) "after duplicate extend" 11
+          (Sharded_closure.base_cardinal c);
+        (* One member, one fact that was never in the base tier. *)
+        let member = Fact.make 5 edge 6 in
+        let ghost = Fact.make 500 edge 501 in
+        Alcotest.(check bool) "member removed" true (Store.remove store member);
+        Alcotest.(check bool) "ghost refused" false (Store.remove store ghost);
+        let c = Sharded_closure.retract c [ member; ghost ] in
+        Alcotest.(check int) "after non-member retract" 10
+          (Sharded_closure.base_cardinal c);
+        Alcotest.(check int) "agrees with the store" (Store.cardinal store)
+          (Sharded_closure.base_cardinal c));
     (* --- database and federation plumbing -------------------------- *)
     test "database: set_shards re-partitions and invalidates" (fun () ->
         let db = Paper_examples.organization () in

@@ -1,5 +1,5 @@
 (* Shard-torture driver: the identity suite over the full
-   (shard count x pool size x closure mode) matrix.
+   (shard count x domain count x closure mode) matrix.
 
    Seeded random scripts of matches, queries, insertions and retractions
    run once against a single-heap, sequential, eager oracle and once per
@@ -7,6 +7,12 @@
    any mutation's outcome, or the final closure is a failure. Answers
    are compared as sorted rows — enumeration order is the one thing the
    matrix is allowed to change.
+
+   The domains axis runs to 8 — past the machine's core count on most
+   runners, so lanes multiplex over fewer executors than shards — and
+   every multi-domain cell exercises the persistent per-shard lane
+   fan-out (closure, extension and DRed retraction all route through
+   it).
 
    Exit status 0 when every cell of every seed holds, 1 otherwise. *)
 
@@ -163,7 +169,7 @@ let torture seed =
                     (List.length final) (List.length oracle_sig)
               end)
             [ Database.Eager; Database.Demand ])
-        [ 1; 2; 4 ])
+        [ 1; 2; 4; 8 ])
     [ 1; 2; 4; 8 ]
 
 let () =
