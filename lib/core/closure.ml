@@ -284,9 +284,10 @@ module Single = struct
   let match_pattern t (pat : Store.pattern) f =
     D.Index.candidates t.result.index ~s:pat.s ~r:pat.r ~tgt:pat.t f
 
-  (* O(1) selectivity probes over the closure index: posting-list lengths
-     (tombstones included, so upper bounds). These back conjunct ordering
-     in Eval.cost and frontier selection in Composition. *)
+  (* Exact O(1) selectivity probes over the closure index: frozen-tier
+     ranges/postings net of tombstones plus live delta cells. These back
+     conjunct ordering in Eval.cost and frontier selection in
+     Composition. *)
   let count_pattern t (pat : Store.pattern) =
     D.Index.count t.result.index ~s:pat.s ~r:pat.r ~tgt:pat.t
 
@@ -471,3 +472,20 @@ let overlay_cardinals = function
 let exchanged = function
   | Single _ -> 0
   | Sharded s -> Sharded_closure.exchanged s
+
+let tier_stats = function
+  | Single s -> D.Index.tier_stats s.Single.result.D.Engine.index
+  | Sharded s -> Sharded_closure.tier_stats s
+
+let reshard_hint = function
+  | Single _ -> None
+  | Sharded s -> Sharded_closure.reshard_hint s
+
+(* The sharded path has no single packed index to gallop over; callers
+   fall back to a hash semi-join over [match_pattern]. *)
+let intersect t h1 h2 emit =
+  match t with
+  | Single s ->
+      D.Index.intersect s.Single.result.D.Engine.index h1 h2 emit;
+      true
+  | Sharded _ -> false

@@ -130,15 +130,14 @@ val match_pattern : t -> Store.pattern -> (Fact.t -> unit) -> unit
 val match_list : t -> Store.pattern -> Fact.t list
 val count_matches : t -> Store.pattern -> int
 
-(** [count_pattern t pat] — an O(1) upper bound on how many closure facts
-    match [pat] (posting-list lengths include tombstoned entries; see
-    {!Lsdb_datalog.Index.count}). [count_matches] is exact but walks the
-    candidates; this is the cheap probe for join ordering and frontier
-    selection. *)
+(** [count_pattern t pat] — the number of closure facts matching [pat],
+    in O(1) (see {!Lsdb_datalog.Index.count}; exact on the single heap,
+    exact store buckets plus exact overlay postings when sharded).
+    [count_matches] walks the candidates instead; this is the cheap
+    probe for join ordering and frontier selection. *)
 val count_pattern : t -> Store.pattern -> int
 
-(** O(1) out-degree ([by_s] postings) / in-degree ([by_t] postings) of an
-    entity in the closure; same tombstone caveat as {!count_pattern}. *)
+(** Exact O(1) out-degree / in-degree of an entity in the closure. *)
 val out_degree : t -> Entity.t -> int
 
 val in_degree : t -> Entity.t -> int
@@ -169,3 +168,25 @@ val overlay_cardinals : t -> int array
 (** Cross-shard deltas routed at round barriers over this closure's
     lifetime; [0] on the single-heap path. *)
 val exchanged : t -> int
+
+(** Frozen/delta posting-tier sizes of the closure's indexes (the one
+    full index on the single-heap path; all overlays of both strata when
+    sharded). *)
+val tier_stats : t -> Lsdb_datalog.Index.tier_stats
+
+(** Reshard suggestion [(shard, permille, streak)] when the sharded
+    imbalance gauge has pinned over threshold for several consecutive
+    fixpoints; [None] on the single-heap path or while balanced. *)
+val reshard_hint : t -> (int * int * int) option
+
+(** [intersect t h1 h2 emit] — gallop-intersect two posting paths of the
+    single-heap closure index, calling [emit] once per entity filling
+    both hinges' free position. [false] when this closure is sharded
+    (no single packed index to intersect — the caller falls back to a
+    hash semi-join over [match_pattern]). *)
+val intersect :
+  t ->
+  Lsdb_datalog.Index.hinge ->
+  Lsdb_datalog.Index.hinge ->
+  (Entity.t -> unit) ->
+  bool

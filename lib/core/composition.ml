@@ -477,10 +477,19 @@ let candidates ?max_paths db (pat : Store.pattern) emit =
         | Some chain -> (
             match (pat.s, pat.t) with
             | Some src, Some tgt ->
-                if
-                  (not (Entity.equal src tgt))
-                  && List.exists (Entity.equal tgt) (walk db ~chain ~src)
-                then emit (Fact.make src r tgt)
+                (* A 2-chain with both endpoints bound is one hinge
+                   intersection — does any middle entity link them? —
+                   instead of materializing the whole first frontier. *)
+                let linked =
+                  match chain with
+                  | [ r1; r2 ] ->
+                      Database.intersect_exists db
+                        (Lsdb_datalog.Index.Out { s = src; r = r1 })
+                        (Lsdb_datalog.Index.In { r = r2; t = tgt })
+                  | _ -> List.exists (Entity.equal tgt) (walk db ~chain ~src)
+                in
+                if (not (Entity.equal src tgt)) && linked then
+                  emit (Fact.make src r tgt)
             | Some src, None ->
                 List.iter
                   (fun tgt -> if not (Entity.equal src tgt) then emit (Fact.make src r tgt))

@@ -358,6 +358,79 @@ let entity_in_closure t e =
       with_demand t (fun m ->
           Store.entity_active t.store e || Magic.entity_occurs m e)
 
+(* --- two-pattern intersection ---------------------------------------- *)
+
+module Index = Lsdb_datalog.Index
+
+let hinge_pattern (h : Index.hinge) =
+  match h with
+  | Index.Out { s; r } -> Store.pattern ~s ~r ()
+  | Index.In { r; t } -> Store.pattern ~r ~t ()
+  | Index.Via { s; t } -> Store.pattern ~s ~t ()
+
+let hinge_free (h : Index.hinge) (fact : Fact.t) =
+  match h with
+  | Index.Out _ -> fact.Lsdb_datalog.Triple.t
+  | Index.In _ -> fact.Lsdb_datalog.Triple.s
+  | Index.Via _ -> fact.Lsdb_datalog.Triple.r
+
+(* [intersect_join t h1 h2 emit]: every entity filling both hinges' free
+   position, once each. The eager single-heap path gallops the closure
+   index's packed postings directly; sharded and demand modes fall back
+   to a hash semi-join over [closure_match] — enumerate the smaller
+   hinge (by {!count_hint}) into a set, probe with the larger. Demand
+   mode thereby issues exactly two pattern demands. *)
+let intersect_join t h1 h2 emit =
+  let galloped =
+    match t.closure_mode with
+    | Eager -> Closure.intersect (closure t) h1 h2 emit
+    | Demand -> false
+  in
+  if not galloped then begin
+    let p1 = hinge_pattern h1 and p2 = hinge_pattern h2 in
+    let small_h, small_p, big_h, big_p =
+      if count_hint t p1 <= count_hint t p2 then (h1, p1, h2, p2)
+      else (h2, p2, h1, p1)
+    in
+    let seen = Hashtbl.create 64 in
+    closure_match t small_p (fun fact ->
+        Hashtbl.replace seen (hinge_free small_h fact) ());
+    closure_match t big_p (fun fact ->
+        let v = hinge_free big_h fact in
+        if Hashtbl.mem seen v then begin
+          (* Remove before emitting: each entity exactly once. *)
+          Hashtbl.remove seen v;
+          emit v
+        end)
+  end
+
+exception Intersect_hit
+
+let intersect_exists t h1 h2 =
+  try
+    intersect_join t h1 h2 (fun _ -> raise Intersect_hit);
+    false
+  with Intersect_hit -> true
+
+(* --- tier introspection (shell [.stats]) ------------------------------ *)
+
+(* Non-forcing: report whatever caches exist rather than computing a
+   closure just to measure it. *)
+let tier_stats t =
+  let acc =
+    match t.closure_cache with
+    | Some c -> Closure.tier_stats c
+    | None -> Index.zero_stats
+  in
+  match t.demand_cache with
+  | Some m -> Index.sum_stats acc (Magic.tier_stats m)
+  | None -> acc
+
+let reshard_hint t =
+  match t.closure_cache with
+  | Some c -> Closure.reshard_hint c
+  | None -> None
+
 (* The active domain in demand mode, without forcing the closure: every
    entity of a derived fact is propagated from some base fact or is a
    rule-head constant, so the exact domain is the store's active entities

@@ -218,6 +218,33 @@ val count_hint : t -> Store.pattern -> int
 val out_degree_hint : t -> Entity.t -> int
 val in_degree_hint : t -> Entity.t -> int
 
+(** [intersect_join t h1 h2 emit] — every entity that fills both hinges'
+    free position (see {!Lsdb_datalog.Index.hinge}), exactly once each,
+    in unspecified order. On the eager single-heap path this gallops the
+    closure index's packed frozen postings plus delta cells; sharded and
+    demand modes run a hash semi-join over {!closure_match}, enumerating
+    the smaller hinge (by {!count_hint}) into a set and probing with the
+    larger. Demand mode issues exactly two pattern demands. *)
+val intersect_join :
+  t ->
+  Lsdb_datalog.Index.hinge ->
+  Lsdb_datalog.Index.hinge ->
+  (Entity.t -> unit) ->
+  unit
+
+(** [intersect_exists t h1 h2] — does any entity fill both hinges? Early
+    exit on the first hit. *)
+val intersect_exists :
+  t -> Lsdb_datalog.Index.hinge -> Lsdb_datalog.Index.hinge -> bool
+
+(** Frozen/delta posting-tier sizes summed over whatever closure/demand
+    caches currently exist (never forces a computation). *)
+val tier_stats : t -> Lsdb_datalog.Index.tier_stats
+
+(** Pending reshard suggestion [(shard, permille, streak)] from the
+    sharded closure's imbalance tracker, if any. *)
+val reshard_hint : t -> (int * int * int) option
+
 (** Entities occurring in some closure fact (the paper's active domain).
     In demand mode this is computed exactly without materializing the
     closure: base actives plus rule-head constants verified present. *)

@@ -132,6 +132,58 @@ let m_candidates =
   Lsdb_obs.Metrics.counter ~help:"Facts enumerated while satisfying query atoms"
     "lsdb_eval_candidates_total"
 
+let m_fused =
+  Lsdb_obs.Metrics.counter
+    ~help:"Conjunct pairs satisfied by posting-list intersection"
+    "lsdb_eval_fused_intersections_total"
+
+(* A conjunct is a {e hinge} (a posting path with one free position, see
+   {!Lsdb_datalog.Index.hinge}) when, under the current bindings, it is
+   an atom with exactly one unbound variable, occupying exactly one
+   non-relationship position, whose bound positions are all non-special,
+   non-composed entities. Those conditions make [Match_layer.candidates]
+   coincide with [Database.closure_match] for the pattern whatever the
+   [opts]: no extremity rewrite (no Δ/∇ bound), no oracle suppression
+   and no virtual candidates (relationship neither comparator nor ⊑),
+   no composition candidates (relationship bound and not composed). Two
+   hinges sharing their free variable can then be satisfied by a single
+   intersection instead of nested enumeration. *)
+let hinge_of symtab env = function
+  | Query.Atom (tpl : Template.t) -> (
+      let value = function
+        | Template.Ent e -> Some e
+        | Template.Var v -> Hashtbl.find_opt env v
+      in
+      let free = function
+        | Template.Var v when not (Hashtbl.mem env v) -> Some v
+        | _ -> None
+      in
+      let plain_ent = function
+        | Some e -> not (Entity.is_special e)
+        | None -> false
+      in
+      let plain_rel = function
+        | Some e ->
+            (not (Entity.is_special e))
+            && not (Composition.is_composed symtab e)
+        | None -> false
+      in
+      match (free tpl.src, free tpl.rel, free tpl.tgt) with
+      | Some v, None, None ->
+          let r = value tpl.rel and t = value tpl.tgt in
+          if plain_rel r && plain_ent t then
+            Some
+              (v, Lsdb_datalog.Index.In { r = Option.get r; t = Option.get t })
+          else None
+      | None, None, Some v ->
+          let s = value tpl.src and r = value tpl.rel in
+          if plain_ent s && plain_rel r then
+            Some
+              (v, Lsdb_datalog.Index.Out { s = Option.get s; r = Option.get r })
+          else None
+      | _ -> None)
+  | _ -> None
+
 let eval ?(opts = Match_layer.eval_opts) ?(reorder = true) db q =
   Lsdb_obs.Trace.span "eval" @@ fun () ->
   let gov = Database.governor db in
@@ -148,6 +200,7 @@ let eval ?(opts = Match_layer.eval_opts) ?(reorder = true) db q =
     end
   in
   let q = alpha_rename q in
+  let symtab = Database.symtab db in
   let env : (string, Entity.t) Hashtbl.t = Hashtbl.create 16 in
   let rec sat q k =
     match q with
@@ -226,7 +279,43 @@ let eval ?(opts = Match_layer.eval_opts) ?(reorder = true) db q =
         in
         let _, chosen = Option.get best in
         let rest = List.filter (fun q -> q != chosen) pending in
-        sat chosen (fun () -> sat_conj rest k)
+        let fused =
+          (* Pair fusion: when the chosen conjunct is a hinge and some
+             other conjunct hinges on the same variable, one intersection
+             ({!Database.intersect_join} — galloped over packed postings
+             on the eager single heap) replaces enumerate-then-check.
+             Each emitted entity is a fact match in both atoms, so the
+             continuation semantics are unchanged. *)
+          match hinge_of symtab env chosen with
+          | None -> false
+          | Some (v, h1) -> (
+              let partner =
+                List.find_opt
+                  (fun q ->
+                    match hinge_of symtab env q with
+                    | Some (v2, _) -> String.equal v2 v
+                    | None -> false)
+                  rest
+              in
+              match partner with
+              | None -> false
+              | Some p ->
+                  let h2 =
+                    match hinge_of symtab env p with
+                    | Some (_, h2) -> h2
+                    | None -> assert false
+                  in
+                  let rest = List.filter (fun q -> q != p) rest in
+                  Lsdb_obs.Metrics.incr m_fused;
+                  Database.intersect_join db h1 h2 (fun e ->
+                      Lsdb_obs.Metrics.incr m_candidates;
+                      bump ();
+                      Hashtbl.replace env v e;
+                      sat_conj rest k;
+                      Hashtbl.remove env v);
+                  true)
+        in
+        if not fused then sat chosen (fun () -> sat_conj rest k)
   in
   let vars = Query.free_vars q in
   let seen = Hashtbl.create 64 in

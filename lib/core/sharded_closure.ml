@@ -217,8 +217,8 @@ let count_matches t pat =
   match_pattern t pat (fun _ -> incr n);
   !n
 
-(* Selectivity probes: exact store bucket sizes plus (tombstone-inclusive)
-   overlay postings, summed across the shards a pattern can touch — the
+(* Selectivity probes: exact store bucket sizes plus exact overlay
+   posting counts, summed across the shards a pattern can touch — the
    "degree sums aggregated across shards" the bidirectional frontier
    choice runs on. *)
 let count_pattern t (pat : Store.pattern) =
@@ -271,3 +271,11 @@ let overlay_cardinals t =
   Array.init (Array.length stage) (fun i -> stage.(i) + main.(i))
 
 let exchanged t = D.Sharded.exchanged t.stage + D.Sharded.exchanged t.main
+
+let tier_stats t =
+  D.Index.sum_stats (D.Sharded.tier_stats t.stage) (D.Sharded.tier_stats t.main)
+
+let reshard_hint t =
+  match D.Sharded.reshard_hint t.main with
+  | Some h -> Some h
+  | None -> D.Sharded.reshard_hint t.stage

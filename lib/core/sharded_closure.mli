@@ -84,3 +84,9 @@ val overlay_cardinals : t -> int array
 
 (** Cross-shard deltas routed at round barriers so far, both strata. *)
 val exchanged : t -> int
+
+(** Frozen/delta tier sizes summed over both strata's overlays. *)
+val tier_stats : t -> Lsdb_datalog.Index.tier_stats
+
+(** The main stratum's reshard hint, falling back to the stage's. *)
+val reshard_hint : t -> (int * int * int) option

@@ -323,7 +323,11 @@ let fixpoint ?pool ?gov ~max_facts rules ~full ~record initial =
          rules;
        Metrics.add m_derived (List.length !next_rev);
        Trace.annotate "derived" (string_of_int (List.length !next_rev));
-       delta := Array.of_list (List.rev !next_rev)
+       delta := Array.of_list (List.rev !next_rev);
+       (* Round barrier: single-threaded, nothing iterating the index —
+          the natural quiesce point for folding the delta tier into the
+          packed segment. *)
+       Index.quiesce full
      done
    with Governor.Trip _ -> ());
   (List.rev !derived_rev, !rounds)
@@ -333,26 +337,37 @@ let closure ?(max_facts = 10_000_000) ?pool ?gov rules base =
   Trace.span "engine.closure" @@ fun () ->
   let full = Index.create () in
   let provenance = Triple.Tbl.create 256 in
-  let initial = ref [] in
   (* Base loading is governed at checkpoint granularity too: on large
      heaps the index build alone can dwarf a wall deadline, and a prefix
      of the base is still a subset of the true closure — sound for the
      positive queries partial answers serve. A trip here also makes the
      first fixpoint round trip immediately, so nothing is derived from
-     the partial base. *)
+     the partial base. The base is materialized first and bulk-loaded:
+     on a fresh index [Index.bulk_add] sorts once and builds the packed
+     segment directly instead of paying the per-fact hashtable insert
+     and posting cons of an add loop. *)
+  let buf = ref [] and nbuf = ref 0 in
   (try
-     let loaded = ref 0 in
      Seq.iter
        (fun triple ->
-         incr loaded;
-         if !loaded land 1023 = 0 then Governor.check gov;
-         if Index.add full triple then initial := triple :: !initial)
+         incr nbuf;
+         if !nbuf land 1023 = 0 then Governor.check gov;
+         buf := triple :: !buf)
        base
    with Governor.Trip _ -> ());
+  let arr = Array.make !nbuf (Triple.make 0 0 0) in
+  let w = ref (!nbuf - 1) in
+  List.iter
+    (fun triple ->
+      arr.(!w) <- triple;
+      decr w)
+    !buf;
+  buf := [];
+  let initial = Index.bulk_add full arr in
   let derived, rounds =
     fixpoint ?pool ?gov ~max_facts rules ~full
       ~record:(fun triple prov -> Triple.Tbl.replace provenance triple prov)
-      (List.rev !initial)
+      initial
   in
   { index = full; derived; provenance; rounds; support = None }
 
@@ -368,6 +383,7 @@ let extend ?(max_facts = 10_000_000) ?pool ?gov rules result extra =
     fixpoint ?pool ?gov ~max_facts rules ~full:result.index
       ~record:(record_provenance result) fresh
   in
+  Index.quiesce result.index;
   (* [derived] is deliberately NOT concatenated onto [result.derived]:
      that would make each extension O(closure size). Callers that track
      the full derivation order accumulate the returned segment. *)
@@ -536,6 +552,10 @@ let retract ?(max_facts = 10_000_000) ?pool ?gov rules result deleted =
       ~record:(record_provenance result)
       (List.rev !seeds_rev)
   in
+  (* End-of-retract quiesce: the cone removal above may have tombstoned
+     a large frozen swath that the (possibly empty) rederive fixpoint
+     never folded. *)
+  Index.quiesce result.index;
   let removed, restored =
     List.partition (fun fact -> not (Index.mem result.index fact)) cone_list
   in

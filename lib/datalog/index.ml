@@ -6,92 +6,307 @@ module Pair = struct
 end
 
 module Pair_tbl = Hashtbl.Make (Pair)
-module Int_tbl = Hashtbl.Make (Int)
 
-(* Buckets track their length so [count] can answer selectivity probes
-   without walking the list. *)
-type cell = { mutable items : Triple.t list; mutable len : int }
+(* Int-keyed tables are on the fixpoint's dedup path; [Int.hash] is the
+   generic byte-mixing hash and costs a C call per probe. Two integer
+   ops suffice — the shift-xor folds the high half down because packed
+   pair keys carry one coordinate in the high bits and [Hashtbl] masks
+   the low bits for the bucket index. *)
+module Ikey = struct
+  type t = int
 
-(* Deletion is tombstoned: [remove] unregisters the triple from [all] and
-   marks it [deleted]; the posting lists are left alone and skip dead
-   entries during iteration. Eagerly filtering the lists would be
-   O(bucket) per removal — hub keys (a hot relationship, a big class)
-   have posting lists proportional to the whole index, which made each
-   retraction scan and reallocate them. Tombstones make removal O(1);
-   [compact] rebuilds the lists (preserving order) once the dead fraction
-   passes 1/8, so iteration overhead stays bounded and re-adding a
-   tombstoned triple is O(1) too (its postings are still in place). *)
+  let equal (a : int) b = a = b
+
+  let hash v =
+    let h = v * 0x9e3779b1 in
+    (h lxor (h lsr 31)) land max_int
+end
+
+module Int_tbl = Hashtbl.Make (Ikey)
+
+(* Frozen-tier tables key coordinate pairs as one packed int: entity ids
+   are symtab-interned and bounded by fact count, far below 2^31, so the
+   packing is injective. Packed keys are immediate values — probing a
+   frozen access path allocates nothing, unlike a boxed (int * int) key.
+   The delta tier keeps tuple keys: it is the pre-segment layout. *)
+let key2 a b = (a lsl 31) lor b
+
+(* ------------------------------------------------------------------ *)
+(* Delta tier: the mutable tail. Recent inserts keep the list-cell
+   representation; cells track their length and their tombstone count so
+   selectivity probes stay O(1) and exact. *)
+
+type cell = {
+  mutable items : Triple.t list;
+  mutable len : int;  (* including tombstoned entries *)
+  mutable dead : int;  (* tombstoned entries still in [items] *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Frozen tier: one immutable packed segment. The spine [tri] holds the
+   segment's triples sorted by [Triple.compare] (s, then r, then t); a
+   triple's id is its slot. [fs]/[fr]/[ft] mirror the three coordinates
+   into flat int arrays so binary search and galloping touch cache-linear
+   memory instead of chasing record pointers.
+
+   Because the spine sort is (s,r,t)-lexicographic, the [by_s] and
+   [by_sr] access paths are contiguous id ranges ([r_s]/[r_sr]); the
+   other four paths are packed id postings in ascending id order, which
+   makes each posting's free coordinate ascend too: within [p_rt] key
+   (r,t) the source ascends, within [p_st] key (s,t) the relationship
+   ascends, and within an [r_sr] range the target ascends — exactly the
+   sorted-set shape galloping intersection needs.
+
+   Removal tombstones ids in [dead_bits] (folded away by the next
+   freeze); sparse per-key tombstone counters keep [count] exact between
+   freezes without a full sweep. *)
+
+type seg = {
+  tri : Triple.t array;
+  fs : int array;
+  fr : int array;
+  ft : int array;
+  dead_bits : Bytes.t;
+  mutable ndead : int;
+  r_s : (int * int) Int_tbl.t;  (* s -> [lo,hi) *)
+  r_sr : (int * int) Int_tbl.t;  (* key2 s r -> [lo,hi) *)
+  p_r : int array Int_tbl.t;
+  p_t : int array Int_tbl.t;
+  p_st : int array Int_tbl.t;  (* key2 s t *)
+  p_rt : int array Int_tbl.t;  (* key2 r t *)
+  d_s : int Int_tbl.t;  (* per-key tombstone counts, sparse *)
+  d_r : int Int_tbl.t;
+  d_t : int Int_tbl.t;
+  d_sr : int Int_tbl.t;
+  d_st : int Int_tbl.t;
+  d_rt : int Int_tbl.t;
+}
+
+(* Safe to share: a segment is only ever mutated at ids it contains, and
+   the empty segment contains none. *)
+let empty_seg =
+  {
+    tri = [||];
+    fs = [||];
+    fr = [||];
+    ft = [||];
+    dead_bits = Bytes.empty;
+    ndead = 0;
+    r_s = Int_tbl.create 1;
+    r_sr = Int_tbl.create 1;
+    p_r = Int_tbl.create 1;
+    p_t = Int_tbl.create 1;
+    p_st = Int_tbl.create 1;
+    p_rt = Int_tbl.create 1;
+    d_s = Int_tbl.create 1;
+    d_r = Int_tbl.create 1;
+    d_t = Int_tbl.create 1;
+    d_sr = Int_tbl.create 1;
+    d_st = Int_tbl.create 1;
+    d_rt = Int_tbl.create 1;
+  }
+
 type t = {
-  all : unit Triple.Tbl.t;
+  mutable fz : seg;
+  dmem : unit Triple.Tbl.t;  (* live delta triples *)
+  ddead : unit Triple.Tbl.t;  (* tombstoned delta triples (postings in place) *)
   by_sr : cell Pair_tbl.t;
   by_st : cell Pair_tbl.t;
   by_rt : cell Pair_tbl.t;
   by_s : cell Int_tbl.t;
   by_r : cell Int_tbl.t;
   by_t : cell Int_tbl.t;
-  deleted : unit Triple.Tbl.t;
-  mutable dead : int;
+  mutable freezes : int;
 }
 
 let create ?(size_hint = 1024) () =
   {
-    all = Triple.Tbl.create size_hint;
+    fz = empty_seg;
+    dmem = Triple.Tbl.create size_hint;
+    ddead = Triple.Tbl.create 16;
     by_sr = Pair_tbl.create size_hint;
     by_st = Pair_tbl.create size_hint;
     by_rt = Pair_tbl.create size_hint;
     by_s = Int_tbl.create size_hint;
     by_r = Int_tbl.create size_hint;
     by_t = Int_tbl.create size_hint;
-    deleted = Triple.Tbl.create 16;
-    dead = 0;
+    freezes = 0;
   }
+
+(* --- frozen-tier primitives ----------------------------------------- *)
+
+let seg_len fz = Array.length fz.tri
+let seg_live fz = seg_len fz - fz.ndead
+
+let is_dead fz id =
+  Char.code (Bytes.unsafe_get fz.dead_bits (id lsr 3)) land (1 lsl (id land 7))
+  <> 0
+
+let set_dead fz id =
+  let b = id lsr 3 in
+  Bytes.unsafe_set fz.dead_bits b
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get fz.dead_bits b) lor (1 lsl (id land 7))));
+  fz.ndead <- fz.ndead + 1
+
+let clear_dead fz id =
+  let b = id lsr 3 in
+  Bytes.unsafe_set fz.dead_bits b
+    (Char.unsafe_chr
+       (Char.code (Bytes.unsafe_get fz.dead_bits b)
+       land lnot (1 lsl (id land 7))
+       land 0xff));
+  fz.ndead <- fz.ndead - 1
+
+(* The id of [x] in the segment (dead or alive), or -1: range lookup on
+   (s,r), then binary search on the target coordinate within it.
+   [find]-with-exception rather than [find_opt]: this runs once per
+   dedup probe of the fixpoint, and the [Some] box would be a minor
+   allocation per probe. *)
+let seg_find fz (x : Triple.t) =
+  match Int_tbl.find fz.r_sr (key2 x.Triple.s x.Triple.r) with
+  | exception Not_found -> -1
+  | l, h ->
+      let tv = x.Triple.t in
+      let lo = ref l and hi = ref h and res = ref (-1) in
+      while !res < 0 && !lo < !hi do
+        let mid = (!lo + !hi) lsr 1 in
+        let v = Array.unsafe_get fz.ft mid in
+        if v = tv then res := mid else if v < tv then lo := mid + 1 else hi := mid
+      done;
+      !res
+
+let frozen_mem fz x =
+  let id = seg_find fz x in
+  id >= 0 && not (is_dead fz id)
+
+let bump_int tbl k by =
+  match Int_tbl.find_opt tbl k with
+  | Some n ->
+      let n = n + by in
+      if n = 0 then Int_tbl.remove tbl k else Int_tbl.replace tbl k n
+  | None -> if by <> 0 then Int_tbl.add tbl k by
+
+let bump_frozen_dead fz (x : Triple.t) by =
+  bump_int fz.d_s x.Triple.s by;
+  bump_int fz.d_r x.Triple.r by;
+  bump_int fz.d_t x.Triple.t by;
+  bump_int fz.d_sr (key2 x.Triple.s x.Triple.r) by;
+  bump_int fz.d_st (key2 x.Triple.s x.Triple.t) by;
+  bump_int fz.d_rt (key2 x.Triple.r x.Triple.t) by
+
+let dead_i tbl k = match Int_tbl.find tbl k with n -> n | exception Not_found -> 0
+
+(* --- membership / size ---------------------------------------------- *)
+
+(* Probe the bigger tier first: during a closure the frozen segment
+   holds the base facts and re-derivations mostly land there, so one
+   lookup settles the common hit. Tier disjointness makes either order
+   correct; empty tiers are skipped without hashing the triple. *)
+let mem idx x =
+  let dn = Triple.Tbl.length idx.dmem in
+  if seg_live idx.fz >= dn then
+    frozen_mem idx.fz x || (dn > 0 && Triple.Tbl.mem idx.dmem x)
+  else Triple.Tbl.mem idx.dmem x || frozen_mem idx.fz x
+let cardinal idx = Triple.Tbl.length idx.dmem + seg_live idx.fz
+
+(* --- delta-tier mutation -------------------------------------------- *)
 
 let push_pair tbl key triple =
   match Pair_tbl.find_opt tbl key with
   | Some cell ->
       cell.items <- triple :: cell.items;
       cell.len <- cell.len + 1
-  | None -> Pair_tbl.add tbl key { items = [ triple ]; len = 1 }
+  | None -> Pair_tbl.add tbl key { items = [ triple ]; len = 1; dead = 0 }
 
 let push_int tbl key triple =
   match Int_tbl.find_opt tbl key with
   | Some cell ->
       cell.items <- triple :: cell.items;
       cell.len <- cell.len + 1
-  | None -> Int_tbl.add tbl key { items = [ triple ]; len = 1 }
+  | None -> Int_tbl.add tbl key { items = [ triple ]; len = 1; dead = 0 }
 
-let add idx (triple : Triple.t) =
-  if Triple.Tbl.mem idx.all triple then false
-  else begin
-    Triple.Tbl.add idx.all triple ();
-    if Triple.Tbl.mem idx.deleted triple then begin
-      (* Resurrection: the postings never went away. *)
-      Triple.Tbl.remove idx.deleted triple;
-      idx.dead <- idx.dead - 1
-    end
-    else begin
-      push_pair idx.by_sr (triple.s, triple.r) triple;
-      push_pair idx.by_st (triple.s, triple.t) triple;
-      push_pair idx.by_rt (triple.r, triple.t) triple;
-      push_int idx.by_s triple.s triple;
-      push_int idx.by_r triple.r triple;
-      push_int idx.by_t triple.t triple
-    end;
+(* Adjust the six posting cells' tombstone counts for a delta triple
+   whose liveness just flipped. The cells are guaranteed to exist: a
+   delta triple's postings stay in place until [compact], which also
+   empties [ddead]. *)
+let cell_dead_delta idx (x : Triple.t) by =
+  let on_pair tbl key =
+    match Pair_tbl.find_opt tbl key with
+    | Some cell -> cell.dead <- cell.dead + by
+    | None -> ()
+  and on_int tbl key =
+    match Int_tbl.find_opt tbl key with
+    | Some cell -> cell.dead <- cell.dead + by
+    | None -> ()
+  in
+  on_pair idx.by_sr (x.Triple.s, x.Triple.r);
+  on_pair idx.by_st (x.Triple.s, x.Triple.t);
+  on_pair idx.by_rt (x.Triple.r, x.Triple.t);
+  on_int idx.by_s x.Triple.s;
+  on_int idx.by_r x.Triple.r;
+  on_int idx.by_t x.Triple.t
+
+let add idx (x : Triple.t) =
+  if Triple.Tbl.length idx.dmem > 0 && Triple.Tbl.mem idx.dmem x then false
+  else if Triple.Tbl.length idx.ddead > 0 && Triple.Tbl.mem idx.ddead x
+  then begin
+    (* Delta resurrection: the postings never went away. *)
+    Triple.Tbl.remove idx.ddead x;
+    Triple.Tbl.add idx.dmem x ();
+    cell_dead_delta idx x (-1);
     true
   end
+  else
+    let id = seg_find idx.fz x in
+    if id >= 0 then
+      if is_dead idx.fz id then begin
+        (* Frozen resurrection: clear the tombstone in place. *)
+        clear_dead idx.fz id;
+        bump_frozen_dead idx.fz x (-1);
+        true
+      end
+      else false
+    else begin
+      Triple.Tbl.add idx.dmem x ();
+      push_pair idx.by_sr (x.Triple.s, x.Triple.r) x;
+      push_pair idx.by_st (x.Triple.s, x.Triple.t) x;
+      push_pair idx.by_rt (x.Triple.r, x.Triple.t) x;
+      push_int idx.by_s x.Triple.s x;
+      push_int idx.by_r x.Triple.r x;
+      push_int idx.by_t x.Triple.t x;
+      true
+    end
 
+(* Delta-tier sweep: rebuild each posting cell without its tombstoned
+   entries, counting during the filter fold (one pass per cell; cells
+   with no tombstones are skipped outright). The frozen tier is not
+   touched — its tombstones fold away at the next freeze. *)
 let compact idx =
-  let live = idx.all in
+  let gone = idx.ddead in
   let sweep_cell cell =
-    cell.items <- List.filter (fun t -> Triple.Tbl.mem live t) cell.items;
-    cell.len <- List.length cell.items;
+    if cell.dead > 0 then begin
+      let kept, n =
+        List.fold_left
+          (fun (acc, n) x ->
+            if Triple.Tbl.mem gone x then (acc, n) else (x :: acc, n + 1))
+          ([], 0) cell.items
+      in
+      cell.items <- List.rev kept;
+      cell.len <- n;
+      cell.dead <- 0
+    end;
     cell.len = 0
   in
   let doomed_pairs tbl =
-    Pair_tbl.fold (fun key cell acc -> if sweep_cell cell then key :: acc else acc) tbl []
+    Pair_tbl.fold
+      (fun key cell acc -> if sweep_cell cell then key :: acc else acc)
+      tbl []
     |> List.iter (Pair_tbl.remove tbl)
   and doomed_ints tbl =
-    Int_tbl.fold (fun key cell acc -> if sweep_cell cell then key :: acc else acc) tbl []
+    Int_tbl.fold
+      (fun key cell acc -> if sweep_cell cell then key :: acc else acc)
+      tbl []
     |> List.iter (Int_tbl.remove tbl)
   in
   doomed_pairs idx.by_sr;
@@ -100,29 +315,57 @@ let compact idx =
   doomed_ints idx.by_s;
   doomed_ints idx.by_r;
   doomed_ints idx.by_t;
-  Triple.Tbl.reset idx.deleted;
-  idx.dead <- 0
+  Triple.Tbl.reset idx.ddead
 
-let remove idx (triple : Triple.t) =
-  if not (Triple.Tbl.mem idx.all triple) then false
-  else begin
-    Triple.Tbl.remove idx.all triple;
-    Triple.Tbl.add idx.deleted triple ();
-    idx.dead <- idx.dead + 1;
-    if idx.dead > 64 && idx.dead * 8 > Triple.Tbl.length idx.all then compact idx;
+let remove idx (x : Triple.t) =
+  if Triple.Tbl.mem idx.dmem x then begin
+    Triple.Tbl.remove idx.dmem x;
+    Triple.Tbl.add idx.ddead x ();
+    cell_dead_delta idx x 1;
+    let dd = Triple.Tbl.length idx.ddead in
+    if dd > 64 && dd * 8 > Triple.Tbl.length idx.dmem then compact idx;
     true
   end
+  else
+    let id = seg_find idx.fz x in
+    if id >= 0 && not (is_dead idx.fz id) then begin
+      (* O(1): tombstone only; the next freeze folds it away. *)
+      set_dead idx.fz id;
+      bump_frozen_dead idx.fz x 1;
+      true
+    end
+    else false
 
-let mem idx triple = Triple.Tbl.mem idx.all triple
-let cardinal idx = Triple.Tbl.length idx.all
-let iter f idx = Triple.Tbl.iter (fun triple () -> f triple) idx.all
-let to_seq idx = Triple.Tbl.to_seq_keys idx.all
+(* --- iteration ------------------------------------------------------ *)
+
+let iter f idx =
+  let fz = idx.fz in
+  let n = seg_len fz in
+  if fz.ndead = 0 then
+    for id = 0 to n - 1 do
+      f (Array.unsafe_get fz.tri id)
+    done
+  else
+    for id = 0 to n - 1 do
+      if not (is_dead fz id) then f (Array.unsafe_get fz.tri id)
+    done;
+  Triple.Tbl.iter (fun x () -> f x) idx.dmem
+
+let to_seq idx =
+  let fz = idx.fz in
+  let n = seg_len fz in
+  let rec frozen id () =
+    if id >= n then Triple.Tbl.to_seq_keys idx.dmem ()
+    else if is_dead fz id then frozen (id + 1) ()
+    else Seq.Cons (fz.tri.(id), frozen (id + 1))
+  in
+  frozen 0
 
 let iter_cell idx cell f =
-  if idx.dead = 0 then List.iter f cell.items
+  if cell.dead = 0 then List.iter f cell.items
   else
     List.iter
-      (fun t -> if not (Triple.Tbl.mem idx.deleted t) then f t)
+      (fun x -> if not (Triple.Tbl.mem idx.ddead x) then f x)
       cell.items
 
 let iter_pair idx tbl key f =
@@ -135,42 +378,487 @@ let iter_int idx tbl key f =
   | Some cell -> iter_cell idx cell f
   | None -> ()
 
+let iter_range fz lo hi f =
+  if fz.ndead = 0 then
+    for id = lo to hi - 1 do
+      f (Array.unsafe_get fz.tri id)
+    done
+  else
+    for id = lo to hi - 1 do
+      if not (is_dead fz id) then f (Array.unsafe_get fz.tri id)
+    done
+
+let iter_ids fz ids f =
+  let n = Array.length ids in
+  if fz.ndead = 0 then
+    for i = 0 to n - 1 do
+      f (Array.unsafe_get fz.tri (Array.unsafe_get ids i))
+    done
+  else
+    for i = 0 to n - 1 do
+      let id = Array.unsafe_get ids i in
+      if not (is_dead fz id) then f (Array.unsafe_get fz.tri id)
+    done
+
+let frozen_range tbl key f fz =
+  match Int_tbl.find tbl key with
+  | lo, hi -> iter_range fz lo hi f
+  | exception Not_found -> ()
+
+let frozen_posting tbl key f fz =
+  match Int_tbl.find tbl key with
+  | ids -> iter_ids fz ids f
+  | exception Not_found -> ()
+
 let candidates idx ~s ~r ~tgt f =
+  let fz = idx.fz in
   match (s, r, tgt) with
   | Some s, Some r, Some t ->
-      let triple = Triple.make s r t in
-      if mem idx triple then f triple
-  | Some s, Some r, None -> iter_pair idx idx.by_sr (s, r) f
-  | Some s, None, Some t -> iter_pair idx idx.by_st (s, t) f
-  | None, Some r, Some t -> iter_pair idx idx.by_rt (r, t) f
-  | Some s, None, None -> iter_int idx idx.by_s s f
-  | None, Some r, None -> iter_int idx idx.by_r r f
-  | None, None, Some t -> iter_int idx idx.by_t t f
+      let x = Triple.make s r t in
+      if mem idx x then f x
+  | Some s, Some r, None ->
+      frozen_range fz.r_sr (key2 s r) f fz;
+      iter_pair idx idx.by_sr (s, r) f
+  | Some s, None, Some t ->
+      frozen_posting fz.p_st (key2 s t) f fz;
+      iter_pair idx idx.by_st (s, t) f
+  | None, Some r, Some t ->
+      frozen_posting fz.p_rt (key2 r t) f fz;
+      iter_pair idx idx.by_rt (r, t) f
+  | Some s, None, None ->
+      frozen_range fz.r_s s f fz;
+      iter_int idx idx.by_s s f
+  | None, Some r, None ->
+      frozen_posting fz.p_r r f fz;
+      iter_int idx idx.by_r r f
+  | None, None, Some t ->
+      frozen_posting fz.p_t t f fz;
+      iter_int idx idx.by_t t f
   | None, None, None -> iter f idx
 
-let pair_len tbl key =
-  match Pair_tbl.find_opt tbl key with Some cell -> cell.len | None -> 0
+(* --- exact O(1) counts ---------------------------------------------- *)
 
-let int_len tbl key =
-  match Int_tbl.find_opt tbl key with Some cell -> cell.len | None -> 0
+let cell_live_pair tbl key =
+  match Pair_tbl.find_opt tbl key with
+  | Some cell -> cell.len - cell.dead
+  | None -> 0
 
-(* Upper bound on how many triples [candidates] will enumerate for the
-   pattern: posting-list lengths include tombstoned entries, so this can
-   overcount by at most the dead fraction — fine for join ordering. *)
+let cell_live_int tbl key =
+  match Int_tbl.find_opt tbl key with
+  | Some cell -> cell.len - cell.dead
+  | None -> 0
+
+let frozen_live_range tbl dead key =
+  match Int_tbl.find tbl key with
+  | lo, hi -> hi - lo - dead_i dead key
+  | exception Not_found -> 0
+
+let frozen_live_posting tbl dead key =
+  match Int_tbl.find tbl key with
+  | ids -> Array.length ids - dead_i dead key
+  | exception Not_found -> 0
+
 let count idx ~s ~r ~tgt =
+  let fz = idx.fz in
   match (s, r, tgt) with
   | Some s, Some r, Some t -> if mem idx (Triple.make s r t) then 1 else 0
-  | Some s, Some r, None -> pair_len idx.by_sr (s, r)
-  | Some s, None, Some t -> pair_len idx.by_st (s, t)
-  | None, Some r, Some t -> pair_len idx.by_rt (r, t)
-  | Some s, None, None -> int_len idx.by_s s
-  | None, Some r, None -> int_len idx.by_r r
-  | None, None, Some t -> int_len idx.by_t t
+  | Some s, Some r, None ->
+      frozen_live_range fz.r_sr fz.d_sr (key2 s r)
+      + cell_live_pair idx.by_sr (s, r)
+  | Some s, None, Some t ->
+      frozen_live_posting fz.p_st fz.d_st (key2 s t)
+      + cell_live_pair idx.by_st (s, t)
+  | None, Some r, Some t ->
+      frozen_live_posting fz.p_rt fz.d_rt (key2 r t)
+      + cell_live_pair idx.by_rt (r, t)
+  | Some s, None, None ->
+      frozen_live_range fz.r_s fz.d_s s + cell_live_int idx.by_s s
+  | None, Some r, None ->
+      frozen_live_posting fz.p_r fz.d_r r + cell_live_int idx.by_r r
+  | None, None, Some t ->
+      frozen_live_posting fz.p_t fz.d_t t + cell_live_int idx.by_t t
   | None, None, None -> cardinal idx
 
-(* Option-free single-key probes: the out-degree (by_s) and in-degree
-   (by_t) of an entity. The bidirectional path search sums these over a
-   whole frontier when deciding which side to expand, so they skip the
-   option boxing of [count]. *)
-let count_s idx s = int_len idx.by_s s
-let count_t idx t = int_len idx.by_t t
+let count_s idx s =
+  frozen_live_range idx.fz.r_s idx.fz.d_s s + cell_live_int idx.by_s s
+
+let count_t idx t =
+  frozen_live_posting idx.fz.p_t idx.fz.d_t t + cell_live_int idx.by_t t
+
+(* --- freezing ------------------------------------------------------- *)
+
+let dummy_triple = Triple.make 0 0 0
+
+(* Build a segment over [tris], which must be sorted by [Triple.compare]
+   and duplicate-free. Contiguous ranges (r_s/r_sr) come from one run
+   scan; scattered postings are built count-then-fill, with the count
+   tables reused as fill cursors — no cons cell is allocated per fact. *)
+let build_seg (tris : Triple.t array) : seg =
+  let n = Array.length tris in
+  let fs = Array.make n 0 and fr = Array.make n 0 and ft = Array.make n 0 in
+  for id = 0 to n - 1 do
+    let x = Array.unsafe_get tris id in
+    Array.unsafe_set fs id x.Triple.s;
+    Array.unsafe_set fr id x.Triple.r;
+    Array.unsafe_set ft id x.Triple.t
+  done;
+  let r_s = Int_tbl.create (max 16 (n / 8)) in
+  let r_sr = Int_tbl.create (max 16 (n / 4)) in
+  let i = ref 0 in
+  while !i < n do
+    let s = fs.(!i) in
+    let j = ref !i in
+    while !j < n && fs.(!j) = s do
+      let r = fr.(!j) in
+      let k = ref !j in
+      while !k < n && fs.(!k) = s && fr.(!k) = r do
+        incr k
+      done;
+      Int_tbl.add r_sr (key2 s r) (!j, !k);
+      j := !k
+    done;
+    Int_tbl.add r_s s (!i, !j);
+    i := !j
+  done;
+  let c_r = Int_tbl.create (max 16 (n / 8)) in
+  let c_t = Int_tbl.create (max 16 (n / 8)) in
+  let c_st = Int_tbl.create (max 16 (n / 4)) in
+  let c_rt = Int_tbl.create (max 16 (n / 4)) in
+  let ci tbl k =
+    Int_tbl.replace tbl k
+      (1 + match Int_tbl.find tbl k with v -> v | exception Not_found -> 0)
+  in
+  for id = 0 to n - 1 do
+    ci c_r fr.(id);
+    ci c_t ft.(id);
+    ci c_st (key2 fs.(id) ft.(id));
+    ci c_rt (key2 fr.(id) ft.(id))
+  done;
+  let c_to_p c =
+    let p = Int_tbl.create (max 1 (Int_tbl.length c)) in
+    Int_tbl.iter (fun k n -> Int_tbl.add p k (Array.make n 0)) c;
+    Int_tbl.filter_map_inplace (fun _ _ -> Some 0) c;
+    p
+  in
+  let p_r = c_to_p c_r in
+  let p_t = c_to_p c_t in
+  let p_st = c_to_p c_st in
+  let p_rt = c_to_p c_rt in
+  let fi ptbl ctbl k id =
+    let arr = Int_tbl.find ptbl k in
+    let c = Int_tbl.find ctbl k in
+    arr.(c) <- id;
+    Int_tbl.replace ctbl k (c + 1)
+  in
+  for id = 0 to n - 1 do
+    fi p_r c_r fr.(id) id;
+    fi p_t c_t ft.(id) id;
+    fi p_st c_st (key2 fs.(id) ft.(id)) id;
+    fi p_rt c_rt (key2 fr.(id) ft.(id)) id
+  done;
+  {
+    tri = tris;
+    fs;
+    fr;
+    ft;
+    dead_bits = Bytes.make ((n + 7) / 8) '\000';
+    ndead = 0;
+    r_s;
+    r_sr;
+    p_r;
+    p_t;
+    p_st;
+    p_rt;
+    d_s = Int_tbl.create 16;
+    d_r = Int_tbl.create 16;
+    d_t = Int_tbl.create 16;
+    d_sr = Int_tbl.create 16;
+    d_st = Int_tbl.create 16;
+    d_rt = Int_tbl.create 16;
+  }
+
+let clear_delta idx =
+  Triple.Tbl.reset idx.dmem;
+  Triple.Tbl.reset idx.ddead;
+  Pair_tbl.reset idx.by_sr;
+  Pair_tbl.reset idx.by_st;
+  Pair_tbl.reset idx.by_rt;
+  Int_tbl.reset idx.by_s;
+  Int_tbl.reset idx.by_r;
+  Int_tbl.reset idx.by_t
+
+let freeze idx =
+  let fz = idx.fz in
+  let dn = Triple.Tbl.length idx.dmem in
+  if dn = 0 && fz.ndead = 0 then
+    (* Nothing to fold into the spine: just drop the (entirely dead, if
+       anything) delta postings. Covers the 100%-dead-delta case without
+       a rebuild. *)
+    clear_delta idx
+  else begin
+    let delta = Array.make dn dummy_triple in
+    let w = ref 0 in
+    Triple.Tbl.iter
+      (fun x () ->
+        delta.(!w) <- x;
+        incr w)
+      idx.dmem;
+    Array.sort Triple.compare delta;
+    (* Merge the frozen live run (already sorted) with the sorted delta.
+       The two sets are disjoint — [add] resurrects rather than
+       re-inserting — so this is a strict interleave. *)
+    let n = seg_len fz in
+    let merged = Array.make (seg_live fz + dn) dummy_triple in
+    let out = ref 0 and fi = ref 0 and di = ref 0 in
+    let skip () =
+      while !fi < n && is_dead fz !fi do
+        incr fi
+      done
+    in
+    skip ();
+    while !fi < n && !di < dn do
+      if Triple.compare fz.tri.(!fi) delta.(!di) < 0 then begin
+        merged.(!out) <- fz.tri.(!fi);
+        incr out;
+        incr fi;
+        skip ()
+      end
+      else begin
+        merged.(!out) <- delta.(!di);
+        incr out;
+        incr di
+      end
+    done;
+    while !fi < n do
+      merged.(!out) <- fz.tri.(!fi);
+      incr out;
+      incr fi;
+      skip ()
+    done;
+    while !di < dn do
+      merged.(!out) <- delta.(!di);
+      incr out;
+      incr di
+    done;
+    idx.fz <- build_seg merged;
+    clear_delta idx
+  end;
+  idx.freezes <- idx.freezes + 1
+
+(* --- freeze policy -------------------------------------------------- *)
+
+type policy = Always | Never | Watermark
+
+let freeze_policy = ref Watermark
+let freeze_min_delta = ref 8192
+let set_policy p = freeze_policy := p
+let policy () = !freeze_policy
+let set_min_delta n = freeze_min_delta := max 1 n
+let min_delta () = !freeze_min_delta
+
+let wants_freeze idx =
+  let fz = idx.fz in
+  let dn = Triple.Tbl.length idx.dmem + Triple.Tbl.length idx.ddead in
+  let fn = seg_len fz in
+  (dn >= !freeze_min_delta && dn * 4 >= fn)
+  || (fz.ndead > 64 && fz.ndead * 8 > fn)
+
+let quiesce idx =
+  match !freeze_policy with
+  | Never -> ()
+  | Always -> freeze idx
+  | Watermark -> if wants_freeze idx then freeze idx
+
+(* --- bulk load ------------------------------------------------------ *)
+
+let bulk_add idx (arr : Triple.t array) =
+  let n = Array.length arr in
+  let virgin =
+    seg_len idx.fz = 0
+    && Triple.Tbl.length idx.dmem = 0
+    && Triple.Tbl.length idx.ddead = 0
+  in
+  let fast =
+    virgin
+    &&
+    match !freeze_policy with
+    | Never -> false
+    | Always -> true
+    | Watermark -> n >= !freeze_min_delta
+  in
+  if not fast then begin
+    let fresh = ref [] in
+    Array.iter (fun x -> if add idx x then fresh := x :: !fresh) arr;
+    List.rev !fresh
+  end
+  else begin
+    (* Sort a permutation by (triple, first occurrence): run heads are
+       the distinct triples in spine order AND carry the earliest input
+       position, which recovers the fresh-triple order an add loop would
+       have reported. Builds the frozen segment directly — no per-fact
+       hashtable insert, no posting cons cells. *)
+    let perm = Array.init n (fun i -> i) in
+    Array.sort
+      (fun i j ->
+        let c = Triple.compare arr.(i) arr.(j) in
+        if c <> 0 then c else Int.compare i j)
+      perm;
+    let distinct = ref 0 in
+    for k = 0 to n - 1 do
+      if k = 0 || Triple.compare arr.(perm.(k)) arr.(perm.(k - 1)) <> 0 then
+        incr distinct
+    done;
+    let tris = Array.make !distinct dummy_triple in
+    let firsts = Array.make !distinct 0 in
+    let w = ref 0 in
+    for k = 0 to n - 1 do
+      if k = 0 || Triple.compare arr.(perm.(k)) arr.(perm.(k - 1)) <> 0 then begin
+        tris.(!w) <- arr.(perm.(k));
+        firsts.(!w) <- perm.(k);
+        incr w
+      end
+    done;
+    idx.fz <- build_seg tris;
+    idx.freezes <- idx.freezes + 1;
+    Array.sort Int.compare firsts;
+    Array.fold_right (fun p acc -> arr.(p) :: acc) firsts []
+  end
+
+(* --- tier statistics ------------------------------------------------ *)
+
+type tier_stats = {
+  frozen_live : int;
+  frozen_dead : int;
+  delta_live : int;
+  delta_dead : int;
+  freezes : int;
+}
+
+let tier_stats idx =
+  {
+    frozen_live = seg_live idx.fz;
+    frozen_dead = idx.fz.ndead;
+    delta_live = Triple.Tbl.length idx.dmem;
+    delta_dead = Triple.Tbl.length idx.ddead;
+    freezes = idx.freezes;
+  }
+
+let zero_stats =
+  { frozen_live = 0; frozen_dead = 0; delta_live = 0; delta_dead = 0; freezes = 0 }
+
+let sum_stats a b =
+  {
+    frozen_live = a.frozen_live + b.frozen_live;
+    frozen_dead = a.frozen_dead + b.frozen_dead;
+    delta_live = a.delta_live + b.delta_live;
+    delta_dead = a.delta_dead + b.delta_dead;
+    freezes = a.freezes + b.freezes;
+  }
+
+(* --- galloping intersection ----------------------------------------- *)
+
+type hinge = Out of { s : int; r : int } | In of { r : int; t : int } | Via of { s : int; t : int }
+
+let hinge_triple h v =
+  match h with
+  | Out { s; r } -> Triple.make s r v
+  | In { r; t } -> Triple.make v r t
+  | Via { s; t } -> Triple.make s v t
+
+(* A hinge's frozen posting: [f_len] ids whose free coordinate
+   ([f_proj].(id)) ascends. [f_ids == no_ids] marks a contiguous range
+   starting at [f_lo] (ids are positions); otherwise ids come from the
+   posting array. Real postings are never length zero, so the physical
+   equality is unambiguous. *)
+let no_ids : int array = [||]
+
+type fspan = { f_ids : int array; f_lo : int; f_len : int; f_proj : int array }
+
+let fspan_of idx h =
+  let fz = idx.fz in
+  let empty proj = { f_ids = no_ids; f_lo = 0; f_len = 0; f_proj = proj } in
+  match h with
+  | Out { s; r } -> (
+      match Int_tbl.find fz.r_sr (key2 s r) with
+      | lo, hi -> { f_ids = no_ids; f_lo = lo; f_len = hi - lo; f_proj = fz.ft }
+      | exception Not_found -> empty fz.ft)
+  | In { r; t } -> (
+      match Int_tbl.find fz.p_rt (key2 r t) with
+      | ids ->
+          { f_ids = ids; f_lo = 0; f_len = Array.length ids; f_proj = fz.fs }
+      | exception Not_found -> empty fz.fs)
+  | Via { s; t } -> (
+      match Int_tbl.find fz.p_st (key2 s t) with
+      | ids ->
+          { f_ids = ids; f_lo = 0; f_len = Array.length ids; f_proj = fz.fr }
+      | exception Not_found -> empty fz.fr)
+
+let sp_id sp i =
+  if sp.f_ids == no_ids then sp.f_lo + i else Array.unsafe_get sp.f_ids i
+
+let sp_val sp i = Array.unsafe_get sp.f_proj (sp_id sp i)
+
+(* Least index in [lo, f_len) whose value is >= v: exponential probe from
+   [lo], then binary search inside the bracket. *)
+let gallop_ge sp v lo =
+  let len = sp.f_len in
+  if lo >= len || sp_val sp lo >= v then lo
+  else begin
+    let step = ref 1 and prev = ref lo and cur = ref (lo + 1) in
+    while !cur < len && sp_val sp !cur < v do
+      prev := !cur;
+      step := !step lsl 1;
+      cur := !cur + !step
+    done;
+    let lo = ref (!prev + 1) and hi = ref (min !cur len) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) lsr 1 in
+      if sp_val sp mid < v then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  end
+
+(* Symmetric gallop: each miss skips the other side forward past the
+   gap, so runtime is O(min log max) instead of O(min + max). Tombstoned
+   ids participate in the search but are filtered at emission — a value
+   is emitted only when both sides' ids are live. *)
+let intersect_frozen fz a b emit =
+  if a.f_len > 0 && b.f_len > 0 then begin
+    let a, b = if a.f_len <= b.f_len then (a, b) else (b, a) in
+    let i = ref 0 and j = ref 0 in
+    while !i < a.f_len && !j < b.f_len do
+      let v = sp_val a !i in
+      j := gallop_ge b v !j;
+      if !j < b.f_len then begin
+        let w = sp_val b !j in
+        if w = v then begin
+          if
+            (not (is_dead fz (sp_id a !i))) && not (is_dead fz (sp_id b !j))
+          then emit v;
+          incr i;
+          incr j
+        end
+        else i := gallop_ge a w !i
+      end
+    done
+  end
+
+(* Live delta triples matching the hinge, projected to the free
+   coordinate. *)
+let delta_hinge_iter idx h f =
+  match h with
+  | Out { s; r } -> iter_pair idx idx.by_sr (s, r) (fun x -> f x.Triple.t)
+  | In { r; t } -> iter_pair idx idx.by_rt (r, t) (fun x -> f x.Triple.s)
+  | Via { s; t } -> iter_pair idx idx.by_st (s, t) (fun x -> f x.Triple.r)
+
+(* [intersect idx h1 h2 emit]: every entity that fills both hinges' free
+   position, each exactly once, in a deterministic order for a fixed
+   index state. Frozen×frozen matches gallop (ascending entity order);
+   the delta tiers are reconciled by probing the opposite side — the
+   three parts are disjoint because a hinge's frozen and delta value
+   sets are. *)
+let intersect idx h1 h2 emit =
+  intersect_frozen idx.fz (fspan_of idx h1) (fspan_of idx h2) emit;
+  delta_hinge_iter idx h1 (fun v -> if mem idx (hinge_triple h2 v) then emit v);
+  delta_hinge_iter idx h2 (fun v ->
+      if frozen_mem idx.fz (hinge_triple h1 v) then emit v)

@@ -204,7 +204,9 @@ let create_shared ?(max_facts = 10_000_000) ~staged_rules ~rules ?owned base =
 
 let create ?max_facts ?(size_hint = 1024) ~staged_rules ~rules base =
   let idx = Index.create ~size_hint () in
-  Seq.iter (fun triple -> ignore (Index.add idx triple)) base;
+  (* Bulk load: on the virgin index this builds the packed segment in
+     one sort instead of per-fact posting inserts. *)
+  ignore (Index.bulk_add idx (Array.of_seq base) : Triple.t list);
   create_shared ?max_facts ~staged_rules ~rules ~owned:idx (view_of_index idx)
 
 let table st = function Stage -> st.stage_demanded | Full -> st.full_demanded
@@ -699,13 +701,19 @@ let drain st =
    so the cones are always a subset of the true fixpoint — sound for the
    partial answers the caller surfaces. *)
 let drain_governed st =
-  try drain st
-  with Governor.Trip _ ->
-    st.poisoned <- true;
-    Queue.clear st.pending_demands;
-    Queue.clear st.pending_acts;
-    Queue.clear st.pending_deltas;
-    st.out <- []
+  (try drain st
+   with Governor.Trip _ ->
+     st.poisoned <- true;
+     Queue.clear st.pending_demands;
+     Queue.clear st.pending_acts;
+     Queue.clear st.pending_deltas;
+     st.out <- []);
+  (* The drain loop is single-threaded and buffers emissions between
+     joins, so a completed (or abandoned) drain is a quiesce point for
+     the cones and the owned base. *)
+  Index.quiesce st.stage_cone;
+  Index.quiesce st.full_cone;
+  match st.owned with Some idx -> Index.quiesce idx | None -> ()
 
 (* --- the external goal API ------------------------------------------- *)
 
@@ -843,3 +851,9 @@ let stats st =
     full_cone_facts = Index.cardinal st.full_cone;
     deltas = st.deltas;
   }
+
+let tier_stats st =
+  let acc = Index.sum_stats (Index.tier_stats st.stage_cone) (Index.tier_stats st.full_cone) in
+  match st.owned with
+  | Some idx -> Index.sum_stats acc (Index.tier_stats idx)
+  | None -> acc

@@ -143,3 +143,7 @@ val poisoned : t -> bool
 (** Has a governor trip left the memo tables incomplete? *)
 
 val stats : t -> stats
+
+val tier_stats : t -> Index.tier_stats
+(** Frozen/delta tier sizes summed over the cones (and the owned base
+    index, when this state built its own). *)

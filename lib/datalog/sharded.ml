@@ -70,6 +70,11 @@ type t = {
   mutable derived_total : int;  (* live overlay facts, all shards *)
   mutable exchanged : int;
   max_facts : int;
+  (* Reshard-hint state: how many consecutive imbalance observations
+     (one per fixpoint) pinned above the threshold, and the latest
+     pinned reading as (hottest shard, permille, streak). *)
+  mutable hot_streak : int;
+  mutable hot_hint : (int * int * int) option;
 }
 
 let create ?(max_facts = 10_000_000) ~plan base =
@@ -96,6 +101,8 @@ let create ?(max_facts = 10_000_000) ~plan base =
     derived_total = 0;
     exchanged = 0;
     max_facts;
+    hot_streak = 0;
+    hot_hint = None;
   }
 
 let plan t = t.plan
@@ -231,14 +238,40 @@ let demote t triple =
   forget_provenance t triple;
   removed
 
+(* Imbalance above this (hottest overlay ≥ 1.5× the even share) counts
+   as pinned; pinned for this many consecutive fixpoints raises the
+   reshard hint. The cheap, 1-core-honest nub of adaptive resharding:
+   we only *suggest* the split — acting on it stays with the caller. *)
+let hint_permille = 1500
+let hint_streak = 3
+
 let note_imbalance t =
   let cards = overlay_cardinals t in
   let nsh = Array.length cards in
   let total = Array.fold_left ( + ) 0 cards in
   if nsh > 1 && total > 0 then begin
-    let biggest = Array.fold_left max 0 cards in
-    Metrics.set m_imbalance (biggest * nsh * 1000 / total)
+    let biggest = ref 0 and hottest = ref 0 in
+    Array.iteri
+      (fun i c ->
+        if c > !biggest then begin
+          biggest := c;
+          hottest := i
+        end)
+      cards;
+    let permille = !biggest * nsh * 1000 / total in
+    Metrics.set m_imbalance permille;
+    if permille >= hint_permille then begin
+      t.hot_streak <- t.hot_streak + 1;
+      if t.hot_streak >= hint_streak then
+        t.hot_hint <- Some (!hottest, permille, t.hot_streak)
+    end
+    else begin
+      t.hot_streak <- 0;
+      t.hot_hint <- None
+    end
   end
+
+let reshard_hint t = t.hot_hint
 
 (* --- the sharded fixpoint -------------------------------------------- *)
 
@@ -363,7 +396,10 @@ let fixpoint ?pool ?gov t rules ~record initial =
        Metrics.add m_exchanged !crossed;
        if Array.length t.overlays > 1 then
          Metrics.observe m_exchange_batch (float_of_int !crossed);
-       delta := Array.map (fun l -> Array.of_list (List.rev l)) next
+       delta := Array.map (fun l -> Array.of_list (List.rev l)) next;
+       (* Round barrier: lanes are parked, nothing reads the overlays —
+          quiesce each one so hot overlays migrate to packed segments. *)
+       Array.iter Index.quiesce t.overlays
      done
    with Governor.Trip _ -> ());
   t.rounds <- t.rounds + !rounds;
@@ -495,6 +531,9 @@ let retract ?pool ?gov rules t deleted =
        (List.rev !seeds_rev)
       : Triple.t list);
   let rederive_rounds = t.rounds - rounds_before in
+  (* The cone demotion may have tombstoned frozen overlay swaths the
+     rederive fixpoint never folded. *)
+  Array.iter Index.quiesce t.overlays;
   let v = view t in
   let removed, restored =
     List.partition (fun fact -> not (v.v_mem fact)) cone_list
@@ -509,3 +548,8 @@ let closed_under rules t =
     Engine.round_view (Array.of_list rules) ~full:v (Array.of_list !all)
   in
   Array.for_all (fun emissions -> emissions = []) buffers
+
+let tier_stats t =
+  Array.fold_left
+    (fun acc overlay -> Index.sum_stats acc (Index.tier_stats overlay))
+    Index.zero_stats t.overlays

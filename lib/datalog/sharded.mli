@@ -137,3 +137,12 @@ val overlay_cardinals : t -> int array
 val exchanged : t -> int
 (** Cross-shard routings so far: consequences produced while evaluating
     one shard's delta but owned by another shard. *)
+
+val reshard_hint : t -> (int * int * int) option
+(** [(shard, permille, streak)] when the imbalance gauge has pinned at or
+    above 1500‰ for 3+ consecutive fixpoints: the hottest overlay's shard
+    index, the latest reading, and how many fixpoints it has pinned.
+    Cleared as soon as a fixpoint observes balance again. *)
+
+val tier_stats : t -> Index.tier_stats
+(** Frozen/delta tier sizes summed over all overlays. *)

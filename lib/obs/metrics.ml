@@ -183,7 +183,28 @@ let render_float f =
     String.sub s 0 !len
   end
 
+(* GC gauges, refreshed at every scrape and at bench-record time so
+   perf gates can compare allocation rate, not just wall clock.
+   [minor_words] is monotone (a counter in gauge clothing);
+   [heap_words] is the current major heap size. *)
+let sample_gc ?registry () =
+  let st = Gc.quick_stat () in
+  set
+    (gauge ?registry
+       ~help:"Minor-heap bytes allocated since program start"
+       "lsdb_gc_minor_allocated_bytes_total")
+    (int_of_float (st.Gc.minor_words *. 8.0));
+  set
+    (gauge ?registry ~help:"Major heap size in bytes"
+       "lsdb_gc_major_heap_bytes")
+    (st.Gc.heap_words * 8);
+  set
+    (gauge ?registry ~help:"Major GC collections since program start"
+       "lsdb_gc_major_collections_total")
+    st.Gc.major_collections
+
 let expose ?(registry = default) () =
+  sample_gc ~registry ();
   let buf = Buffer.create 4096 in
   let last_family = ref "" in
   List.iter
@@ -231,6 +252,7 @@ let json_escape s =
   Buffer.contents buf
 
 let dump_json ?(registry = default) () =
+  sample_gc ~registry ();
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"metrics\": [";
   List.iteri

@@ -108,6 +108,12 @@ val bucket_counts : histogram -> (float * int) list
 
 (** {1 Exposition} *)
 
+val sample_gc : ?registry:t -> unit -> unit
+(** Refresh the GC gauges ([lsdb_gc_minor_allocated_bytes_total],
+    [lsdb_gc_major_heap_bytes], [lsdb_gc_major_collections_total]) from
+    [Gc.quick_stat]. Called automatically by {!expose} and {!dump_json};
+    benches call it directly at record time to gate allocation rate. *)
+
 val expose : ?registry:t -> unit -> string
 (** Prometheus text format, version 0.0.4: [# HELP]/[# TYPE] per metric
     family, histograms as [_bucket{le=...}]/[_sum]/[_count]. Families

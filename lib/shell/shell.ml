@@ -235,6 +235,22 @@ let obs_stats_text db =
         (c "lsdb_storage_retries_total")
         (c "lsdb_storage_retry_giveups_total")
         (c "lsdb_federation_skipped_members_total");
+      (let { Lsdb_datalog.Index.frozen_live; frozen_dead; delta_live;
+             delta_dead; freezes } =
+         Database.tier_stats db
+       in
+       Printf.sprintf
+         "index tiers (this db): frozen %d live / %d dead, delta %d live / \
+          %d dead, %d freezes"
+         frozen_live frozen_dead delta_live delta_dead freezes);
+      (match Database.reshard_hint db with
+      | Some (shard, permille, streak) ->
+          Printf.sprintf
+            "reshard hint: shard %d held %d‰ of derived facts for %d \
+             fixpoints — consider .shards %d to split it"
+            shard permille streak
+            (2 * Database.shards db)
+      | None -> "reshard hint: none (derived facts balanced)");
       Printf.sprintf
         "answer cache (this db): %d hits / %d misses, %d entries, %d evicted"
         hits misses size evictions;

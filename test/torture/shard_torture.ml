@@ -172,8 +172,46 @@ let torture seed =
         [ 1; 2; 4; 8 ])
     [ 1; 2; 4; 8 ]
 
+(* ------------------------------------------------------------------ *)
+(* Segment torture: the freeze policy must be invisible. [Always]
+   rebuilds the packed segment at every quiesce point, [Never] keeps
+   every fact in list-cell deltas (the pre-segment layout), [Watermark]
+   is the production default. Same script, same cell — the three runs
+   must be byte-identical in every step's output and the final
+   closure. *)
+
+let segment_torture seed =
+  let module Index = Lsdb_datalog.Index in
+  let rng = Rng.create (1000 + seed) in
+  let db0 = base_db rng in
+  let script = gen_script db0 rng in
+  let run_with policy ~shards ~domains ~mode =
+    let saved = Index.policy () in
+    Index.set_policy policy;
+    Fun.protect
+      ~finally:(fun () -> Index.set_policy saved)
+      (fun () -> run_cell ~shards ~domains ~mode (Database.copy db0) script)
+  in
+  List.iter
+    (fun (shards, domains, mode, label) ->
+      let case = Printf.sprintf "seg-seed%d/%s" seed label in
+      let never = run_with Index.Never ~shards ~domains ~mode in
+      let always = run_with Index.Always ~shards ~domains ~mode in
+      let watermark = run_with Index.Watermark ~shards ~domains ~mode in
+      incr cases;
+      if always <> never then failf case "Always diverged from Never";
+      incr cases;
+      if watermark <> never then failf case "Watermark diverged from Never")
+    [
+      (1, 1, Database.Eager, "1sh-1d-eager");
+      (4, 2, Database.Eager, "4sh-2d-eager");
+      (1, 1, Database.Demand, "1sh-1d-demand");
+      (2, 2, Database.Demand, "2sh-2d-demand");
+    ]
+
 let () =
   let seeds = List.init 4 (fun i -> i + 1) in
   List.iter torture seeds;
+  List.iter segment_torture seeds;
   Printf.printf "shard-torture: %d case(s), %d failure(s)\n%!" !cases !failures;
   exit (if !failures = 0 then 0 else 1)
